@@ -1,0 +1,27 @@
+//! Criterion microbenchmarks: the three single-path function kernels, via
+//! strategies that exercise them exclusively — classic Zhang–Shasha (∆L on
+//! every keyroot pair), its mirror (∆R), and Klein's all-heavy strategy
+//! (∆I on every pair).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rted_core::{Algorithm, UnitCost};
+use rted_datasets::Shape;
+use std::hint::black_box;
+
+fn spf_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spf_kernels");
+    group.sample_size(10);
+    for n in [200usize] {
+        let f = Shape::Random.generate(n, 3);
+        let g = Shape::Random.generate(n, 4);
+        for alg in [Algorithm::ZhangL, Algorithm::ZhangR, Algorithm::KleinH] {
+            group.bench_with_input(BenchmarkId::new(alg.name(), n), &n, |b, _| {
+                b.iter(|| black_box(alg.run(&f, &g, &UnitCost).distance));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, spf_kernels);
+criterion_main!(benches);

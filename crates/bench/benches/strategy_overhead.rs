@@ -1,0 +1,27 @@
+//! Criterion microbenchmarks: cost of the strategy computation
+//! (Algorithm 2) alone versus the full RTED pipeline (the microbench
+//! counterpart of Fig. 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rted_core::{optimal_strategy, Algorithm, UnitCost};
+use rted_datasets::Shape;
+use std::hint::black_box;
+
+fn strategy_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_overhead");
+    group.sample_size(10);
+    for n in [200usize, 500] {
+        let f = Shape::Random.generate(n, 11);
+        let g = Shape::Random.generate(n, 22);
+        group.bench_with_input(BenchmarkId::new("strategy_only", n), &n, |b, _| {
+            b.iter(|| black_box(optimal_strategy(&f, &g).cost));
+        });
+        group.bench_with_input(BenchmarkId::new("rted_total", n), &n, |b, _| {
+            b.iter(|| black_box(Algorithm::Rted.run(&f, &g, &UnitCost).distance));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, strategy_overhead);
+criterion_main!(benches);

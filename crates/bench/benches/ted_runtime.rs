@@ -1,0 +1,32 @@
+//! Criterion microbenchmarks: distance computation runtime per algorithm
+//! and shape (the microbench counterpart of Fig. 9; run the `fig9` binary
+//! for the full-size sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rted_core::{Algorithm, UnitCost};
+use rted_datasets::Shape;
+use std::hint::black_box;
+
+fn ted_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ted_runtime");
+    group.sample_size(10);
+    for shape in [Shape::FullBinary, Shape::ZigZag, Shape::Mixed, Shape::Random] {
+        for n in [100usize, 300] {
+            let f = shape.generate(n, 7);
+            let g = shape.generate(n, 8);
+            for alg in Algorithm::ALL {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/{}", shape.name(), alg.name()), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| black_box(alg.run(&f, &g, &UnitCost).distance));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ted_runtime);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation study (beyond the paper's tables, motivated by its §3/§7
+//! discussion): how much does each ingredient of the LRH class contribute?
+//!
+//! Compares the optimal strategy restricted to sub-classes:
+//! * `L-only`  — left paths in either tree (adaptive Zhang);
+//! * `LR-only` — left/right paths, no heavy machinery;
+//! * `H-only`  — heavy paths in either tree (per-pair-adaptive Demaine);
+//! * `F-side`  — single-tree strategies (Dulucq & Touzet's class);
+//! * `LRH`     — the full class (= RTED).
+//!
+//! ```text
+//! cargo run --release -p rted-bench --bin ablation -- [--size 500]
+//! ```
+
+use rted_bench::{human_count, print_table, Args};
+use rted_core::strategy::{compute_strategy, SubsetChooser};
+use rted_core::OptimalChooser;
+use rted_datasets::Shape;
+
+fn main() {
+    let args = Args::capture();
+    let size = args.get("size", 500usize);
+
+    println!("# Ablation: optimal subproblem count within strategy sub-classes, identical pairs of {size}-node trees");
+    let header: Vec<String> = ["shape", "L-only", "LR-only", "H-only", "F-side", "LRH (RTED)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for shape in Shape::ALL {
+        let t = shape.generate(size, 21);
+        let l = compute_strategy(&t, &t, &SubsetChooser::left_only()).cost;
+        let lr = compute_strategy(&t, &t, &SubsetChooser::lr_only()).cost;
+        let h = compute_strategy(&t, &t, &SubsetChooser::heavy_only()).cost;
+        let fs = compute_strategy(&t, &t, &SubsetChooser::f_side_only()).cost;
+        let full = compute_strategy(&t, &t, &OptimalChooser).cost;
+        assert!(full <= l && full <= lr && full <= h && full <= fs);
+        rows.push(vec![
+            shape.name().to_string(),
+            human_count(l),
+            human_count(lr),
+            human_count(h),
+            human_count(fs),
+            human_count(full),
+        ]);
+    }
+    print_table(&header, &rows);
+
+    println!("\n# Same, on cross-shape pairs (the join's hard cases)");
+    let pairs = [
+        (Shape::LeftBranch, Shape::RightBranch),
+        (Shape::ZigZag, Shape::FullBinary),
+        (Shape::Mixed, Shape::Random),
+    ];
+    let mut rows = Vec::new();
+    for (sf, sg) in pairs {
+        let f = sf.generate(size, 5);
+        let g = sg.generate(size, 6);
+        let l = compute_strategy(&f, &g, &SubsetChooser::left_only()).cost;
+        let lr = compute_strategy(&f, &g, &SubsetChooser::lr_only()).cost;
+        let h = compute_strategy(&f, &g, &SubsetChooser::heavy_only()).cost;
+        let fs = compute_strategy(&f, &g, &SubsetChooser::f_side_only()).cost;
+        let full = compute_strategy(&f, &g, &OptimalChooser).cost;
+        rows.push(vec![
+            format!("{sf}×{sg}"),
+            human_count(l),
+            human_count(lr),
+            human_count(h),
+            human_count(fs),
+            human_count(full),
+        ]);
+    }
+    let header: Vec<String> = ["pair", "L-only", "LR-only", "H-only", "F-side", "LRH (RTED)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    print_table(&header, &rows);
+}

@@ -1,0 +1,64 @@
+//! Figure 10 reproduction: overhead of the strategy computation within the
+//! overall RTED runtime, on TreeBank-like, SwissProt-like and random trees.
+//!
+//! ```text
+//! cargo run --release -p rted-bench --bin fig10 -- [--reps 3]
+//!     [--treebank-max 300] [--swissprot-max 2000] [--random-max 3000]
+//! ```
+
+use rted_bench::{print_table, size_series, Args};
+use rted_core::{Algorithm, UnitCost};
+use rted_datasets::realworld::{swissprot_like, treebank_like};
+use rted_datasets::shapes::random_tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rted_tree::Tree;
+
+fn run_dataset(
+    name: &str,
+    sizes: &[usize],
+    reps: usize,
+    gen: impl Fn(usize, u64) -> Tree<u32>,
+) {
+    println!("\n# Figure 10: {name} — strategy time vs overall RTED time (seconds)");
+    let header: Vec<String> =
+        ["size", "strategy", "overall", "strategy %"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let f = gen(n, 11);
+        let g = gen(n, 22);
+        let mut best_total = f64::INFINITY;
+        let mut best_strategy = f64::INFINITY;
+        for _ in 0..reps {
+            let run = Algorithm::Rted.run(&f, &g, &UnitCost);
+            let strat = run.strategy_time.as_secs_f64();
+            let total = strat + run.distance_time.as_secs_f64();
+            if total < best_total {
+                best_total = total;
+                best_strategy = strat;
+            }
+        }
+        rows.push(vec![
+            n.to_string(),
+            format!("{best_strategy:.4}"),
+            format!("{best_total:.4}"),
+            format!("{:.1}%", 100.0 * best_strategy / best_total),
+        ]);
+    }
+    print_table(&header, &rows);
+}
+
+fn main() {
+    let args = Args::capture();
+    let reps = args.get("reps", 3usize);
+    let tb_max = args.get("treebank-max", 300usize);
+    let sp_max = args.get("swissprot-max", 2000usize);
+    let rnd_max = args.get("random-max", 3000usize);
+
+    run_dataset("TreeBank-like", &size_series(tb_max, tb_max / 6), reps, treebank_like);
+    run_dataset("SwissProt-like", &size_series(sp_max, sp_max / 5), reps, swissprot_like);
+    run_dataset("synthetic random", &size_series(rnd_max, rnd_max / 5), reps, |n, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_tree(n, 15, 6, &mut rng)
+    });
+}

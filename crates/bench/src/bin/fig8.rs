@@ -1,0 +1,39 @@
+//! Figure 8 reproduction: number of relevant subproblems computed by each
+//! algorithm on pairs of identical trees, for the six synthetic shapes.
+//!
+//! The counts are exact, obtained from the Fig.-5 cost formula evaluated
+//! with each algorithm's strategy (the test suite proves they equal the
+//! instrumented execution counts).
+//!
+//! ```text
+//! cargo run --release -p rted-bench --bin fig8 -- [--max-size 2000] [--step 200]
+//! ```
+
+use rted_bench::{human_count, print_table, size_series, Args};
+use rted_core::Algorithm;
+use rted_datasets::Shape;
+
+fn main() {
+    let args = Args::capture();
+    let max = args.get("max-size", 2000usize);
+    let step = args.get("step", 200usize);
+    let raw = args.has("raw");
+
+    for shape in Shape::ALL {
+        println!("\n# Figure 8: shape {shape} (pairs of identical trees)");
+        let header: Vec<String> = std::iter::once("size".to_string())
+            .chain(Algorithm::ALL.iter().map(|a| a.name().to_string()))
+            .collect();
+        let mut rows = Vec::new();
+        for n in size_series(max, step) {
+            let t = shape.generate(n, 42);
+            let mut row = vec![n.to_string()];
+            for alg in Algorithm::ALL {
+                let count = alg.predicted_subproblems(&t, &t);
+                row.push(if raw { count.to_string() } else { human_count(count) });
+            }
+            rows.push(row);
+        }
+        print_table(&header, &rows);
+    }
+}

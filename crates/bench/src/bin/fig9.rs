@@ -1,0 +1,45 @@
+//! Figure 9 reproduction: runtime of Zhang-L, Demaine-H and RTED on full
+//! binary (FB), zig-zag (ZZ) and mixed (MX) trees of growing size.
+//!
+//! ```text
+//! cargo run --release -p rted-bench --bin fig9 -- [--max-size 1000] [--step 200] [--reps 3]
+//! ```
+
+use rted_bench::{print_table, size_series, Args};
+use rted_core::{Algorithm, UnitCost};
+use rted_datasets::Shape;
+
+fn main() {
+    let args = Args::capture();
+    let max = args.get("max-size", 1000usize);
+    let step = args.get("step", 200usize);
+    let reps = args.get("reps", 3usize);
+    let algos = [Algorithm::ZhangL, Algorithm::DemaineH, Algorithm::Rted];
+
+    for shape in [Shape::FullBinary, Shape::ZigZag, Shape::Mixed] {
+        println!("\n# Figure 9: runtime on shape {shape} (seconds, best of {reps})");
+        let header: Vec<String> = std::iter::once("size".to_string())
+            .chain(algos.iter().map(|a| a.name().to_string()))
+            .collect();
+        let mut rows = Vec::new();
+        for n in size_series(max, step) {
+            let f = shape.generate(n, 7);
+            let g = shape.generate(n, 8);
+            let mut row = vec![n.to_string()];
+            for alg in algos {
+                let mut best = f64::INFINITY;
+                let mut dist = 0.0;
+                for _ in 0..reps {
+                    let run = alg.run(&f, &g, &UnitCost);
+                    let total = (run.strategy_time + run.distance_time).as_secs_f64();
+                    best = best.min(total);
+                    dist = run.distance;
+                }
+                let _ = dist;
+                row.push(format!("{best:.4}"));
+            }
+            rows.push(row);
+        }
+        print_table(&header, &rows);
+    }
+}

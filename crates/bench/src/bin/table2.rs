@@ -1,0 +1,73 @@
+//! Table 2 reproduction: ratio of relevant subproblems computed by RTED
+//! w.r.t. the best and the worst competitor, on TreeFam-like phylogenies
+//! partitioned by size (<500, 500–1000, >1000 nodes).
+//!
+//! ```text
+//! cargo run --release -p rted-bench --bin table2 -- [--samples 20] [--pairs 40]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rted_bench::{print_table, Args};
+use rted_core::Algorithm;
+use rted_datasets::realworld::treefam_like;
+use rted_tree::Tree;
+
+fn main() {
+    let args = Args::capture();
+    let samples = args.get("samples", 20usize);
+    let pairs = args.get("pairs", 40usize);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Sample trees per size partition.
+    let partitions: [(&str, usize, usize); 3] =
+        [("<500", 50, 499), ("500-1000", 500, 1000), (">1000", 1001, 2000)];
+    let mut sampled: Vec<Vec<Tree<u32>>> = Vec::new();
+    for (i, &(_, lo, hi)) in partitions.iter().enumerate() {
+        let trees = (0..samples)
+            .map(|k| {
+                let n = rng.random_range(lo..=hi);
+                treefam_like(n, (i * 1000 + k) as u64)
+            })
+            .collect();
+        sampled.push(trees);
+    }
+
+    let competitors =
+        [Algorithm::ZhangL, Algorithm::ZhangR, Algorithm::KleinH, Algorithm::DemaineH];
+
+    let mut best_rows = Vec::new();
+    let mut worst_rows = Vec::new();
+    for (i, &(pname, _, _)) in partitions.iter().enumerate() {
+        let mut best_row = vec![pname.to_string()];
+        let mut worst_row = vec![pname.to_string()];
+        for (j, _) in partitions.iter().enumerate() {
+            // Random tree pairs across the two partitions.
+            let mut rted_total = 0u64;
+            let mut best_total = 0u64;
+            let mut worst_total = 0u64;
+            for _ in 0..pairs {
+                let f = &sampled[i][rng.random_range(0..samples)];
+                let g = &sampled[j][rng.random_range(0..samples)];
+                let rted = Algorithm::Rted.predicted_subproblems(f, g);
+                let counts: Vec<u64> =
+                    competitors.iter().map(|a| a.predicted_subproblems(f, g)).collect();
+                rted_total += rted;
+                best_total += counts.iter().copied().min().unwrap();
+                worst_total += counts.iter().copied().max().unwrap();
+            }
+            best_row.push(format!("{:.1}%", 100.0 * rted_total as f64 / best_total as f64));
+            worst_row.push(format!("{:.1}%", 100.0 * rted_total as f64 / worst_total as f64));
+        }
+        best_rows.push(best_row);
+        worst_rows.push(worst_row);
+    }
+
+    let header: Vec<String> = std::iter::once("sizes".to_string())
+        .chain(partitions.iter().map(|&(p, _, _)| p.to_string()))
+        .collect();
+    println!("# Table 2(a): RTED subproblems w.r.t. the BEST competitor ({pairs} pairs/cell)");
+    print_table(&header, &best_rows);
+    println!("\n# Table 2(b): RTED subproblems w.r.t. the WORST competitor");
+    print_table(&header, &worst_rows);
+}

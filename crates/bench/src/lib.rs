@@ -1,0 +1,112 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one figure or table of the paper's
+//! evaluation (§8). This library holds the shared pieces: a tiny CLI
+//! argument reader, aligned table printing, and workload construction
+//! helpers. See EXPERIMENTS.md at the workspace root for recorded outputs.
+
+use std::time::{Duration, Instant};
+
+/// Reads `--key value` style options from `std::env::args`, with defaults.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn capture() -> Args {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// The value following `--name`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let flag = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether the bare flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+}
+
+/// Times a closure once.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a subproblem count the way the paper's plots label axes
+/// (`12.3M`, `4.5G`).
+pub fn human_count(n: u64) -> String {
+    let nf = n as f64;
+    if nf >= 1e9 {
+        format!("{:.2}G", nf / 1e9)
+    } else if nf >= 1e6 {
+        format!("{:.2}M", nf / 1e6)
+    } else if nf >= 1e3 {
+        format!("{:.1}k", nf / 1e3)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Prints an aligned table: a header row then data rows.
+pub fn print_table(header: &[String], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:>w$}", cell, w = width[i]));
+        }
+        println!("{s}");
+    };
+    line(header);
+    println!("{}", "-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Evenly spaced sizes `step, 2·step, …, ≤ max`.
+pub fn size_series(max: usize, step: usize) -> Vec<usize> {
+    (1..).map(|i| i * step).take_while(|&s| s <= max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_count_formats() {
+        assert_eq!(human_count(950), "950");
+        assert_eq!(human_count(12_300), "12.3k");
+        assert_eq!(human_count(12_300_000), "12.30M");
+        assert_eq!(human_count(4_500_000_000), "4.50G");
+    }
+
+    #[test]
+    fn size_series_bounds() {
+        assert_eq!(size_series(1000, 250), vec![250, 500, 750, 1000]);
+        assert_eq!(size_series(100, 40), vec![40, 80]);
+    }
+}

@@ -1,0 +1,271 @@
+//! `rted` — command-line tree edit distance.
+//!
+//! ```text
+//! rted distance  <TREE1> <TREE2> [--xml] [--algorithm NAME] [--costs D,I,R]
+//! rted compare   <TREE1> <TREE2> [--xml]
+//! rted mapping   <TREE1> <TREE2> [--xml] [--costs D,I,R]
+//! rted generate  <SHAPE> <N> [--seed S]
+//! rted join      <FILE> [--tau T] [--algorithm NAME]
+//! ```
+//!
+//! Trees are given inline in bracket notation (`{a{b}{c}}`) or as file
+//! paths; `--xml` parses the inputs as XML documents instead. `<FILE>` for
+//! `join` holds one bracket tree per line. `<SHAPE>` is one of
+//! `lb rb fb zz mx random`.
+
+use rted_core::mapping::edit_mapping;
+use rted_core::{Algorithm, CostModel, PerLabelCost, UnitCost};
+use rted_datasets::xml::parse_xml;
+use rted_datasets::Shape;
+use rted_join::{self_join, JoinConfig};
+use rted_tree::{parse_bracket, to_bracket, Tree};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         rted distance <TREE1> <TREE2> [--xml] [--algorithm NAME] [--costs D,I,R]\n  \
+         rted compare  <TREE1> <TREE2> [--xml]\n  \
+         rted mapping  <TREE1> <TREE2> [--xml] [--costs D,I,R]\n  \
+         rted generate <SHAPE> <N> [--seed S]\n  \
+         rted join     <FILE> [--tau T] [--algorithm NAME]\n\n\
+         NAME: rted (default) | zhang-l | zhang-r | klein-h | demaine-h\n\
+         SHAPE: lb | rb | fb | zz | mx | random\n\
+         TREE: inline bracket notation or a file path"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                let takes_value = matches!(name, "algorithm" | "costs" | "seed" | "tau");
+                let value = if takes_value { args.get(i + 1).cloned() } else { None };
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(args[i].clone());
+            }
+            i += 1;
+        }
+        Opts { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn algorithm_by_name(name: &str) -> Option<Algorithm> {
+    match name.to_ascii_lowercase().as_str() {
+        "rted" => Some(Algorithm::Rted),
+        "zhang-l" | "zhangl" => Some(Algorithm::ZhangL),
+        "zhang-r" | "zhangr" => Some(Algorithm::ZhangR),
+        "klein-h" | "klein" => Some(Algorithm::KleinH),
+        "demaine-h" | "demaine" => Some(Algorithm::DemaineH),
+        _ => None,
+    }
+}
+
+fn shape_by_name(name: &str) -> Option<Shape> {
+    match name.to_ascii_lowercase().as_str() {
+        "lb" => Some(Shape::LeftBranch),
+        "rb" => Some(Shape::RightBranch),
+        "fb" => Some(Shape::FullBinary),
+        "zz" => Some(Shape::ZigZag),
+        "mx" => Some(Shape::Mixed),
+        "random" | "rnd" => Some(Shape::Random),
+        _ => None,
+    }
+}
+
+/// Loads a tree argument: inline bracket text, or a file (bracket or XML).
+fn load_tree(arg: &str, xml: bool) -> Result<Tree<String>, String> {
+    let content = if arg.trim_start().starts_with('{') || (xml && arg.trim_start().starts_with('<'))
+    {
+        arg.to_string()
+    } else {
+        std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?
+    };
+    if xml {
+        parse_xml(&content).map_err(|e| e.to_string())
+    } else {
+        parse_bracket(content.trim()).map_err(|e| e.to_string())
+    }
+}
+
+fn cost_model(opts: &Opts) -> Result<PerLabelCost, String> {
+    match opts.flag("costs") {
+        None => Ok(PerLabelCost::new(1.0, 1.0, 1.0)),
+        Some(spec) => {
+            let parts: Vec<f64> = spec
+                .split(',')
+                .map(|p| p.trim().parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(|e| format!("bad --costs {spec}: {e}"))?;
+            if parts.len() != 3 {
+                return Err(format!("--costs needs D,I,R — got {spec}"));
+            }
+            Ok(PerLabelCost::new(parts[0], parts[1], parts[2]))
+        }
+    }
+}
+
+fn cmd_distance(opts: &Opts) -> Result<(), String> {
+    if opts.positional.len() != 2 {
+        return Err("distance needs two trees".into());
+    }
+    let xml = opts.has("xml");
+    let f = load_tree(&opts.positional[0], xml)?;
+    let g = load_tree(&opts.positional[1], xml)?;
+    let alg = match opts.flag("algorithm") {
+        None => Algorithm::Rted,
+        Some(name) => algorithm_by_name(name).ok_or(format!("unknown algorithm {name}"))?,
+    };
+    let cm = cost_model(opts)?;
+    let run = alg.run(&f, &g, &cm);
+    println!("{}", run.distance);
+    eprintln!(
+        "algorithm {} | {} + {} nodes | {} subproblems | strategy {:?} | distance {:?}",
+        alg.name(),
+        f.len(),
+        g.len(),
+        run.subproblems,
+        run.strategy_time,
+        run.distance_time
+    );
+    Ok(())
+}
+
+fn cmd_compare(opts: &Opts) -> Result<(), String> {
+    if opts.positional.len() != 2 {
+        return Err("compare needs two trees".into());
+    }
+    let xml = opts.has("xml");
+    let f = load_tree(&opts.positional[0], xml)?;
+    let g = load_tree(&opts.positional[1], xml)?;
+    println!("{:<10} {:>14} {:>12} {:>14}", "algorithm", "subproblems", "time", "distance");
+    for alg in Algorithm::ALL {
+        let run = alg.run(&f, &g, &UnitCost);
+        println!(
+            "{:<10} {:>14} {:>12?} {:>14}",
+            alg.name(),
+            run.subproblems,
+            run.strategy_time + run.distance_time,
+            run.distance
+        );
+    }
+    Ok(())
+}
+
+fn cmd_mapping(opts: &Opts) -> Result<(), String> {
+    if opts.positional.len() != 2 {
+        return Err("mapping needs two trees".into());
+    }
+    let xml = opts.has("xml");
+    let f = load_tree(&opts.positional[0], xml)?;
+    let g = load_tree(&opts.positional[1], xml)?;
+    let cm = cost_model(opts)?;
+    let m = edit_mapping(&f, &g, &cm);
+    println!("distance {}", m.cost);
+    for op in &m.ops {
+        match op {
+            rted_core::EditOp::Delete(v) => println!("delete {}", f.label(*v)),
+            rted_core::EditOp::Insert(w) => println!("insert {}", g.label(*w)),
+            rted_core::EditOp::Map(v, w) => {
+                let (a, b) = (f.label(*v), g.label(*w));
+                if CostModel::<String>::rename(&cm, a, b) > 0.0 {
+                    println!("rename {a} -> {b}");
+                } else {
+                    println!("keep   {a}");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    if opts.positional.len() != 2 {
+        return Err("generate needs SHAPE and N".into());
+    }
+    let shape = shape_by_name(&opts.positional[0])
+        .ok_or(format!("unknown shape {}", opts.positional[0]))?;
+    let n: usize =
+        opts.positional[1].parse().map_err(|_| format!("bad size {}", opts.positional[1]))?;
+    let seed: u64 = opts.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let t = shape.generate(n.max(1), seed);
+    println!("{}", to_bracket(&t.map_labels(|l| l.to_string())));
+    Ok(())
+}
+
+fn cmd_join(opts: &Opts) -> Result<(), String> {
+    if opts.positional.len() != 1 {
+        return Err("join needs a file with one bracket tree per line".into());
+    }
+    let content = std::fs::read_to_string(&opts.positional[0])
+        .map_err(|e| format!("cannot read {}: {e}", opts.positional[0]))?;
+    let trees: Vec<Tree<String>> = content
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse_bracket(l.trim()).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let tau: f64 = opts.flag("tau").and_then(|s| s.parse().ok()).unwrap_or(f64::INFINITY);
+    let alg = match opts.flag("algorithm") {
+        None => Algorithm::Rted,
+        Some(name) => algorithm_by_name(name).ok_or(format!("unknown algorithm {name}"))?,
+    };
+    let cfg = JoinConfig { tau, algorithm: alg, size_prune: tau.is_finite() };
+    let res = self_join(&trees, &UnitCost, &cfg);
+    for m in &res.matches {
+        println!("{}\t{}\t{}", m.left, m.right, m.distance);
+    }
+    eprintln!(
+        "{} trees | {} pairs computed, {} pruned | {} subproblems | {:?}",
+        trees.len(),
+        res.pairs_computed,
+        res.pairs_pruned,
+        res.subproblems,
+        res.time
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let opts = Opts::parse(&args[1..]);
+    let result = match cmd.as_str() {
+        "distance" => cmd_distance(&opts),
+        "compare" => cmd_compare(&opts),
+        "mapping" => cmd_mapping(&opts),
+        "generate" => cmd_generate(&opts),
+        "join" => cmd_join(&opts),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

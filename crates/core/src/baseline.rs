@@ -1,0 +1,159 @@
+//! The baseline algorithm for the optimal strategy (§6.1 of the paper):
+//! a direct memoized implementation of the cost formula in Fig. 5.
+//!
+//! Runs in O(n³) time (Theorem 2) against Algorithm 2's O(n²) — it exists
+//! here as the executable specification that the optimized `OptStrategy`
+//! engine is validated against, and to reproduce the Theorem-2 tightness
+//! instance (left-branch × right-branch trees).
+
+use crate::strategy::{PathChoice, Side};
+use rted_tree::counts::DecompCounts;
+use rted_tree::paths::relevant_subtrees;
+use rted_tree::{NodeId, PathKind, Tree};
+
+/// Result of the baseline optimal-strategy computation.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Cost of the optimal LRH strategy (number of relevant subproblems).
+    pub cost: u64,
+    /// Number of summations performed (the quantity bounded in Theorem 2).
+    pub summations: u64,
+}
+
+struct Baseline<'a, L> {
+    f: &'a Tree<L>,
+    g: &'a Tree<L>,
+    cf: DecompCounts,
+    cg: DecompCounts,
+    /// Memoized optimal cost per subtree pair; u64::MAX = not computed.
+    memo: Vec<u64>,
+    ng: usize,
+    summations: u64,
+}
+
+impl<L> Baseline<'_, L> {
+    fn cost(&mut self, v: NodeId, w: NodeId) -> u64 {
+        let idx = v.idx() * self.ng + w.idx();
+        if self.memo[idx] != u64::MAX {
+            return self.memo[idx];
+        }
+        let szf = self.f.size(v) as u64;
+        let szg = self.g.size(w) as u64;
+        let mut best = u64::MAX;
+        for choice in PathChoice::ALL {
+            // Product term: the single-path function cost (Lemma 4).
+            let product = match (choice.side, choice.kind) {
+                (Side::F, PathKind::Left) => szf * self.cg.left_of(w),
+                (Side::F, PathKind::Right) => szf * self.cg.right_of(w),
+                (Side::F, PathKind::Heavy) => szf * self.cg.full_of(w),
+                (Side::G, PathKind::Left) => szg * self.cf.left_of(v),
+                (Side::G, PathKind::Right) => szg * self.cf.right_of(v),
+                (Side::G, PathKind::Heavy) => szg * self.cf.full_of(v),
+            };
+            // Recursive term: sum over the relevant subtrees of the
+            // decomposed side.
+            let mut total = product;
+            match choice.side {
+                Side::F => {
+                    for s in relevant_subtrees(self.f, v, choice.kind) {
+                        total += self.cost(s, w);
+                        self.summations += 1;
+                    }
+                }
+                Side::G => {
+                    for s in relevant_subtrees(self.g, w, choice.kind) {
+                        total += self.cost(v, s);
+                        self.summations += 1;
+                    }
+                }
+            }
+            best = best.min(total);
+        }
+        self.memo[idx] = best;
+        best
+    }
+}
+
+/// Computes the optimal LRH strategy cost by the §6.1 baseline algorithm.
+pub fn baseline_optimal_cost<L>(f: &Tree<L>, g: &Tree<L>) -> BaselineResult {
+    let ng = g.len();
+    let mut b = Baseline {
+        f,
+        g,
+        cf: DecompCounts::new(f),
+        cg: DecompCounts::new(g),
+        memo: vec![u64::MAX; f.len() * ng],
+        ng,
+        summations: 0,
+    };
+    // Iterative postorder-pair evaluation to bound recursion depth: the
+    // memoized recursion only ever descends to smaller subtree pairs, so
+    // filling pairs in ascending postorder of both nodes is valid.
+    for v in f.nodes() {
+        for w in g.nodes() {
+            b.cost(v, w);
+        }
+    }
+    let cost = b.cost(f.root(), g.root());
+    BaselineResult { cost, summations: b.summations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::optimal_strategy;
+    use rted_tree::parse_bracket;
+
+    #[test]
+    fn matches_algorithm2_on_samples() {
+        let cases = [
+            ("{a}", "{b}"),
+            ("{3{1}{2}}", "{2{1}}"),
+            ("{a{b{c}{d}}{e}}", "{x{y}{z{w{q}}}}"),
+            ("{A{C}{B{G}{E{F}}{D}}}", "{A{B{D}{E{F}}}{C{G}}}"),
+            ("{a{b{c{d{e{f}}}}}}", "{a{b}{c}{d}{e}{f}}"),
+            ("{a{b}{c}{d}{e}{f}}", "{a{b{c{d{e{f}}}}}}"),
+        ];
+        for (a, b) in cases {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let base = baseline_optimal_cost(&f, &g);
+            let fast = optimal_strategy(&f, &g);
+            assert_eq!(base.cost, fast.cost, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn summations_grow_cubically_on_lb_rb() {
+        // Theorem 2 tightness: left-branch × right-branch trees force
+        // Ω(n³) summations in the baseline.
+        fn lb(depth: usize) -> String {
+            // Left branch: spine to the left, one leaf to the right per level.
+            let mut s = String::from("{x}");
+            for _ in 0..depth {
+                s = format!("{{x{s}{{x}}}}");
+            }
+            s
+        }
+        fn rb(depth: usize) -> String {
+            let mut s = String::from("{x}");
+            for _ in 0..depth {
+                s = format!("{{x{{x}}{s}}}");
+            }
+            s
+        }
+        let small = {
+            let f = parse_bracket(&lb(4)).unwrap();
+            let g = parse_bracket(&rb(4)).unwrap();
+            baseline_optimal_cost(&f, &g).summations
+        };
+        let big = {
+            let f = parse_bracket(&lb(8)).unwrap();
+            let g = parse_bracket(&rb(8)).unwrap();
+            baseline_optimal_cost(&f, &g).summations
+        };
+        // Doubling the depth must grow summations by at least ~2^2.5 (the
+        // cubic term dominates; sizes roughly double).
+        assert!(big as f64 > small as f64 * 5.0, "small={small} big={big}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Lower bounds on the unit-cost tree edit distance.
+//!
+//! §7 of the paper surveys bounds (string edit distance on serializations,
+//! binary branches, pq-grams) used to prune exact computations in
+//! similarity joins. This module provides the two cheapest sound bounds:
+//!
+//! * **size bound** — `|‖F‖ − ‖G‖| ≤ TED(F, G)`: any mapping leaves at
+//!   least the size difference unmapped;
+//! * **label histogram bound** — `max(‖F‖, ‖G‖) − |hist(F) ∩ hist(G)| ≤
+//!   TED(F, G)`: a mapping of `m` pairs with `r` renames costs
+//!   `(‖F‖ − m) + (‖G‖ − m) + r`; since at most `|hist ∩|` pairs can be
+//!   rename-free, the cost is at least `‖F‖ + ‖G‖ − m − |hist ∩|` ≥
+//!   `max(‖F‖, ‖G‖) − |hist ∩|`.
+//!
+//! Both are valid for any cost model whose deletes/inserts cost ≥ 1 and
+//! renames of distinct labels cost ≥ 1 (in particular [`crate::UnitCost`]).
+
+use rted_tree::Tree;
+use std::collections::HashMap;
+
+/// The size lower bound `|‖F‖ − ‖G‖|`.
+#[inline]
+pub fn size_lower_bound<L>(f: &Tree<L>, g: &Tree<L>) -> f64 {
+    (f.len() as f64 - g.len() as f64).abs()
+}
+
+/// A label multiset, precomputed once per tree for repeated join probes.
+#[derive(Debug, Clone)]
+pub struct LabelHistogram<L> {
+    counts: HashMap<L, u32>,
+    size: usize,
+}
+
+impl<L: Eq + std::hash::Hash + Clone> LabelHistogram<L> {
+    /// Builds the histogram of `tree`'s labels.
+    pub fn new(tree: &Tree<L>) -> Self {
+        let mut counts: HashMap<L, u32> = HashMap::with_capacity(tree.len());
+        for v in tree.nodes() {
+            *counts.entry(tree.label(v).clone()).or_insert(0) += 1;
+        }
+        LabelHistogram { counts, size: tree.len() }
+    }
+
+    /// Number of nodes in the underlying tree.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Size of the multiset intersection with `other`.
+    pub fn intersection(&self, other: &LabelHistogram<L>) -> usize {
+        // Iterate the smaller map.
+        let (small, large) = if self.counts.len() <= other.counts.len() {
+            (&self.counts, &other.counts)
+        } else {
+            (&other.counts, &self.counts)
+        };
+        small
+            .iter()
+            .map(|(l, &c)| c.min(large.get(l).copied().unwrap_or(0)) as usize)
+            .sum()
+    }
+
+    /// The histogram lower bound between the two underlying trees.
+    pub fn lower_bound(&self, other: &LabelHistogram<L>) -> f64 {
+        let common = self.intersection(other);
+        (self.size.max(other.size) - common) as f64
+    }
+}
+
+/// The combined (max of size and histogram) lower bound.
+pub fn lower_bound<L: Eq + std::hash::Hash + Clone>(f: &Tree<L>, g: &Tree<L>) -> f64 {
+    let h = LabelHistogram::new(f).lower_bound(&LabelHistogram::new(g));
+    size_lower_bound(f, g).max(h)
+}
+
+/// A trivial upper bound: delete all of `F`, insert all of `G` — except
+/// the root pair can always be mapped, so `‖F‖ + ‖G‖ − 2 + [roots differ]`
+/// bounds the unit-cost distance from above.
+pub fn upper_bound<L: PartialEq>(f: &Tree<L>, g: &Tree<L>) -> f64 {
+    let rename = if f.label(f.root()) == g.label(g.root()) { 0.0 } else { 1.0 };
+    (f.len() + g.len()) as f64 - 2.0 + rename
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rted::ted;
+    use rted_tree::parse_bracket;
+
+    #[test]
+    fn bounds_bracket_the_distance_on_samples() {
+        let cases = [
+            ("{a}", "{a}"),
+            ("{a{b}{c}}", "{a{b}{c}}"),
+            ("{a{b}{c}}", "{x{y}{z}}"),
+            ("{a{b{c}{d}}{e}}", "{a{e}{b{c}{d}}}"),
+            ("{a{a}{a}{a}{a}}", "{a{a{a{a{a}}}}}"),
+            ("{a{b}}", "{c{d{e}{f}}{g}}"),
+        ];
+        for (a, b) in cases {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let d = ted(&f, &g);
+            let lo = lower_bound(&f, &g);
+            let hi = upper_bound(&f, &g);
+            assert!(lo <= d, "{a} vs {b}: lb {lo} > {d}");
+            assert!(d <= hi, "{a} vs {b}: ub {hi} < {d}");
+        }
+    }
+
+    #[test]
+    fn histogram_bound_beats_size_bound_on_disjoint_labels() {
+        // Same sizes, disjoint labels: size bound is 0, histogram bound n.
+        let f = parse_bracket("{a{b}{c}}").unwrap();
+        let g = parse_bracket("{x{y}{z}}").unwrap();
+        assert_eq!(size_lower_bound(&f, &g), 0.0);
+        assert_eq!(lower_bound(&f, &g), 3.0);
+        assert_eq!(ted(&f, &g), 3.0); // bound is tight here
+    }
+
+    #[test]
+    fn histogram_intersection_is_multiset() {
+        let f = parse_bracket("{a{a}{a}{b}}").unwrap();
+        let g = parse_bracket("{a{a}{b}{b}}").unwrap();
+        let hf = LabelHistogram::new(&f);
+        let hg = LabelHistogram::new(&g);
+        assert_eq!(hf.intersection(&hg), 3); // two a's + one b
+        assert_eq!(hf.lower_bound(&hg), 1.0);
+    }
+
+    #[test]
+    fn bounds_on_random_trees() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n1 = rng.random_range(1..30usize);
+            let n2 = rng.random_range(1..30usize);
+            let mk = |n: usize, rng: &mut StdRng| {
+                let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+                for i in 1..n {
+                    let p = rng.random_range(0..i) as u32;
+                    children[p as usize].push(i as u32);
+                }
+                let mut post_of = vec![u32::MAX; n];
+                let mut order = Vec::new();
+                let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+                while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                    if *i < children[v as usize].len() {
+                        let c = children[v as usize][*i];
+                        *i += 1;
+                        stack.push((c, 0));
+                    } else {
+                        post_of[v as usize] = order.len() as u32;
+                        order.push(v);
+                        stack.pop();
+                    }
+                }
+                let labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..5u32)).collect();
+                let pc: Vec<Vec<u32>> = order
+                    .iter()
+                    .map(|&v| children[v as usize].iter().map(|&c| post_of[c as usize]).collect())
+                    .collect();
+                Tree::from_postorder(labels, pc)
+            };
+            let f = mk(n1, &mut rng);
+            let g = mk(n2, &mut rng);
+            let d = ted(&f, &g);
+            assert!(lower_bound(&f, &g) <= d, "seed {seed}");
+            assert!(d <= upper_bound(&f, &g), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Edit operation cost models (§2.2 of the paper).
+//!
+//! The tree edit distance is parameterized by three per-node costs:
+//! `cd(v)` for deleting node `v`, `ci(w)` for inserting node `w`, and
+//! `cr(v, w)` for renaming `v`'s label into `w`'s. A [`CostModel`] supplies
+//! these as functions of the labels. Costs must be non-negative, and for the
+//! distance to be sensible `rename(a, a)` should be 0.
+
+use rted_tree::Tree;
+
+/// Supplies the three edit operation costs as functions of node labels.
+pub trait CostModel<L> {
+    /// Cost of deleting a node labeled `label`.
+    fn delete(&self, label: &L) -> f64;
+    /// Cost of inserting a node labeled `label`.
+    fn insert(&self, label: &L) -> f64;
+    /// Cost of renaming a node labeled `from` into label `to`.
+    fn rename(&self, from: &L, to: &L) -> f64;
+}
+
+/// The unit cost model used throughout the paper's evaluation: every delete
+/// and insert costs 1, a rename costs 1 unless the labels are equal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitCost;
+
+impl<L: PartialEq> CostModel<L> for UnitCost {
+    #[inline]
+    fn delete(&self, _label: &L) -> f64 {
+        1.0
+    }
+    #[inline]
+    fn insert(&self, _label: &L) -> f64 {
+        1.0
+    }
+    #[inline]
+    fn rename(&self, from: &L, to: &L) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A weighted cost model with uniform per-operation weights: deletes cost
+/// `del`, inserts `ins`, renames of distinct labels `ren` (equal labels are
+/// free). Useful for asymmetric edit models (e.g. making structure removal
+/// cheaper than insertion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerLabelCost {
+    /// Cost of every delete.
+    pub del: f64,
+    /// Cost of every insert.
+    pub ins: f64,
+    /// Cost of renaming two distinct labels.
+    pub ren: f64,
+}
+
+impl PerLabelCost {
+    /// Creates a weighted model; all weights must be non-negative.
+    pub fn new(del: f64, ins: f64, ren: f64) -> Self {
+        assert!(del >= 0.0 && ins >= 0.0 && ren >= 0.0, "costs must be non-negative");
+        PerLabelCost { del, ins, ren }
+    }
+}
+
+impl<L: PartialEq> CostModel<L> for PerLabelCost {
+    #[inline]
+    fn delete(&self, _label: &L) -> f64 {
+        self.del
+    }
+    #[inline]
+    fn insert(&self, _label: &L) -> f64 {
+        self.ins
+    }
+    #[inline]
+    fn rename(&self, from: &L, to: &L) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            self.ren
+        }
+    }
+}
+
+/// A cost model defined by three closures (handy in tests and examples).
+#[derive(Clone)]
+pub struct FnCost<D, I, R> {
+    /// Delete cost function.
+    pub del: D,
+    /// Insert cost function.
+    pub ins: I,
+    /// Rename cost function.
+    pub ren: R,
+}
+
+impl<L, D, I, R> CostModel<L> for FnCost<D, I, R>
+where
+    D: Fn(&L) -> f64,
+    I: Fn(&L) -> f64,
+    R: Fn(&L, &L) -> f64,
+{
+    #[inline]
+    fn delete(&self, label: &L) -> f64 {
+        (self.del)(label)
+    }
+    #[inline]
+    fn insert(&self, label: &L) -> f64 {
+        (self.ins)(label)
+    }
+    #[inline]
+    fn rename(&self, from: &L, to: &L) -> f64 {
+        (self.ren)(from, to)
+    }
+}
+
+/// Per-node cost tables for one tree under a cost model, plus subtree
+/// aggregates, snapshotted once so the DP hot loops never call back into the
+/// model for delete/insert costs.
+#[derive(Debug, Clone)]
+pub(crate) struct CostTables {
+    /// Delete cost per node.
+    pub del: Vec<f64>,
+    /// Insert cost per node.
+    pub ins: Vec<f64>,
+    /// Sum of delete costs over each node's subtree.
+    pub sub_del: Vec<f64>,
+    /// Sum of insert costs over each node's subtree.
+    pub sub_ins: Vec<f64>,
+}
+
+impl CostTables {
+    pub(crate) fn new<L, C: CostModel<L>>(tree: &Tree<L>, cm: &C) -> Self {
+        let n = tree.len();
+        let mut del = Vec::with_capacity(n);
+        let mut ins = Vec::with_capacity(n);
+        let mut sub_del = vec![0.0f64; n];
+        let mut sub_ins = vec![0.0f64; n];
+        for v in tree.nodes() {
+            let d = cm.delete(tree.label(v));
+            let i = cm.insert(tree.label(v));
+            assert!(d >= 0.0 && i >= 0.0, "edit costs must be non-negative");
+            del.push(d);
+            ins.push(i);
+            let mut sd = d;
+            let mut si = i;
+            for c in tree.children(v) {
+                sd += sub_del[c.idx()];
+                si += sub_ins[c.idx()];
+            }
+            sub_del[v.idx()] = sd;
+            sub_ins[v.idx()] = si;
+        }
+        CostTables { del, ins, sub_del, sub_ins }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rted_tree::parse_bracket;
+
+    #[test]
+    fn unit_cost_values() {
+        let c = UnitCost;
+        assert_eq!(CostModel::<&str>::delete(&c, &"a"), 1.0);
+        assert_eq!(c.rename(&"a", &"a"), 0.0);
+        assert_eq!(c.rename(&"a", &"b"), 1.0);
+    }
+
+    #[test]
+    fn tables_aggregate_subtrees() {
+        let t = parse_bracket("{a{b}{c{d}}}").unwrap();
+        let tab = CostTables::new(&t, &UnitCost);
+        let root = t.root();
+        assert_eq!(tab.sub_del[root.idx()], 4.0);
+        assert_eq!(tab.sub_ins[root.idx()], 4.0);
+        // subtree c{d} has two nodes
+        assert_eq!(tab.sub_del[2], 2.0);
+    }
+
+    #[test]
+    fn weighted_model() {
+        let c = PerLabelCost::new(2.0, 3.0, 0.5);
+        assert_eq!(CostModel::<&str>::delete(&c, &"x"), 2.0);
+        assert_eq!(CostModel::<&str>::insert(&c, &"x"), 3.0);
+        assert_eq!(c.rename(&"x", &"y"), 0.5);
+        assert_eq!(c.rename(&"x", &"x"), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_costs_rejected() {
+        PerLabelCost::new(-1.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! GTED — the general tree edit distance algorithm (Algorithm 1).
+//!
+//! GTED executes any LRH path strategy in O(n²) space: it looks up the
+//! strategy's root-leaf path for the current subtree pair, recurses on the
+//! relevant subtrees hanging off that path, then runs the single-path
+//! function matching the path type (`∆L`, `∆R`, or `∆I` for heavy paths).
+//! When the path lies in the right-hand tree the roles are swapped and the
+//! distance matrix is accessed transposed (with delete/insert costs
+//! exchanged, which preserves the distance for asymmetric cost models).
+//!
+//! The executor fills the distance matrix `D` with δ(F_v, G_w) for **every**
+//! pair of subtrees — the final entry is the tree edit distance.
+
+use crate::cost::{CostModel, CostTables};
+use crate::strategy::{PathChoice, Side, StrategyProvider};
+use crate::{spf_i, spf_lr};
+use rted_tree::paths::{relevant_subtrees, root_leaf_path};
+use rted_tree::{NodeId, PathKind, Tree};
+
+/// Instrumentation counters for one GTED run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Relevant subproblems computed (DP cells across all single-path
+    /// function invocations). Matches the Fig.-5 cost of the strategy.
+    pub subproblems: u64,
+    /// Number of `∆L` invocations.
+    pub spf_l_calls: u64,
+    /// Number of `∆R` invocations.
+    pub spf_r_calls: u64,
+    /// Number of `∆I` (heavy path) invocations.
+    pub spf_i_calls: u64,
+}
+
+/// A GTED execution over one pair of trees: owns the distance matrix and
+/// the per-tree cost tables.
+pub struct Executor<'a, L, C> {
+    pub(crate) f: &'a Tree<L>,
+    pub(crate) g: &'a Tree<L>,
+    pub(crate) cm: &'a C,
+    pub(crate) ftab: CostTables,
+    pub(crate) gtab: CostTables,
+    /// Subtree distance matrix, row-major `[v_F][w_G]`.
+    d: Vec<f64>,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+impl<'a, L, C: CostModel<L>> Executor<'a, L, C> {
+    /// Prepares an execution for the pair `(f, g)` under cost model `cm`.
+    pub fn new(f: &'a Tree<L>, g: &'a Tree<L>, cm: &'a C) -> Self {
+        let ftab = CostTables::new(f, cm);
+        let gtab = CostTables::new(g, cm);
+        let d = vec![f64::NAN; f.len() * g.len()];
+        Executor { f, g, cm, ftab, gtab, d, stats: ExecStats::default() }
+    }
+
+    /// Runs GTED under `strategy` and returns the tree edit distance.
+    pub fn run<S: StrategyProvider<L>>(&mut self, strategy: &S) -> f64 {
+        enum Work {
+            Expand(NodeId, NodeId),
+            Spf(NodeId, NodeId, PathChoice),
+        }
+        // Iterative driver (strategy recursions can nest O(n) deep on
+        // degenerate shapes). Children are expanded before the parent
+        // pair's single-path function runs.
+        let mut stack = vec![Work::Expand(self.f.root(), self.g.root())];
+        while let Some(work) = stack.pop() {
+            match work {
+                Work::Expand(v, w) => {
+                    let choice = strategy.choose(self.f, self.g, v, w);
+                    stack.push(Work::Spf(v, w, choice));
+                    match choice.side {
+                        Side::F => {
+                            for s in relevant_subtrees(self.f, v, choice.kind) {
+                                stack.push(Work::Expand(s, w));
+                            }
+                        }
+                        Side::G => {
+                            for s in relevant_subtrees(self.g, w, choice.kind) {
+                                stack.push(Work::Expand(v, s));
+                            }
+                        }
+                    }
+                }
+                Work::Spf(v, w, choice) => self.run_spf(v, w, choice),
+            }
+        }
+        self.distance()
+    }
+
+    fn run_spf(&mut self, v: NodeId, w: NodeId, choice: PathChoice) {
+        match (choice.side, choice.kind) {
+            (Side::F, PathKind::Left) => {
+                self.stats.spf_l_calls += 1;
+                spf_lr::run(self, v, w, false, false);
+            }
+            (Side::F, PathKind::Right) => {
+                self.stats.spf_r_calls += 1;
+                spf_lr::run(self, v, w, false, true);
+            }
+            (Side::F, PathKind::Heavy) => {
+                self.stats.spf_i_calls += 1;
+                let path = root_leaf_path(self.f, v, PathKind::Heavy);
+                spf_i::run(self, v, w, &path, false);
+            }
+            (Side::G, PathKind::Left) => {
+                self.stats.spf_l_calls += 1;
+                spf_lr::run(self, w, v, true, false);
+            }
+            (Side::G, PathKind::Right) => {
+                self.stats.spf_r_calls += 1;
+                spf_lr::run(self, w, v, true, true);
+            }
+            (Side::G, PathKind::Heavy) => {
+                self.stats.spf_i_calls += 1;
+                let path = root_leaf_path(self.g, w, PathKind::Heavy);
+                spf_i::run(self, w, v, &path, true);
+            }
+        }
+    }
+
+    /// The computed tree edit distance (valid after [`Executor::run`]).
+    #[inline]
+    pub fn distance(&self) -> f64 {
+        self.d[self.d.len() - 1]
+    }
+
+    /// Distance between the subtrees rooted at `v` (in `F`) and `w` (in
+    /// `G`). All pairs are available after [`Executor::run`].
+    #[inline]
+    pub fn subtree_distance(&self, v: NodeId, w: NodeId) -> f64 {
+        let d = self.d[v.idx() * self.g.len() + w.idx()];
+        debug_assert!(!d.is_nan(), "distance ({v},{w}) read before computed");
+        d
+    }
+
+    // ---- orientation-aware accessors used by the single-path functions.
+    //
+    // A single-path function decomposes the "A side"; `swapped == true`
+    // means the A side is the original right-hand tree G, in which case
+    // delete/insert roles and the D indexing are transposed.
+
+    #[inline]
+    pub(crate) fn tree_a(&self, swapped: bool) -> &'a Tree<L> {
+        if swapped {
+            self.g
+        } else {
+            self.f
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tree_b(&self, swapped: bool) -> &'a Tree<L> {
+        if swapped {
+            self.f
+        } else {
+            self.g
+        }
+    }
+
+    /// Cost of deleting A-side node `a` (in the oriented problem).
+    #[inline]
+    pub(crate) fn del_a(&self, a: NodeId, swapped: bool) -> f64 {
+        if swapped {
+            self.gtab.ins[a.idx()]
+        } else {
+            self.ftab.del[a.idx()]
+        }
+    }
+
+    /// Cost of inserting B-side node `b`.
+    #[inline]
+    pub(crate) fn ins_b(&self, b: NodeId, swapped: bool) -> f64 {
+        if swapped {
+            self.ftab.del[b.idx()]
+        } else {
+            self.gtab.ins[b.idx()]
+        }
+    }
+
+    /// Total delete cost of A-side subtree `a`.
+    #[inline]
+    pub(crate) fn sub_del_a(&self, a: NodeId, swapped: bool) -> f64 {
+        if swapped {
+            self.gtab.sub_ins[a.idx()]
+        } else {
+            self.ftab.sub_del[a.idx()]
+        }
+    }
+
+    /// Total insert cost of B-side subtree `b`.
+    #[inline]
+    pub(crate) fn sub_ins_b(&self, b: NodeId, swapped: bool) -> f64 {
+        if swapped {
+            self.ftab.sub_del[b.idx()]
+        } else {
+            self.gtab.sub_ins[b.idx()]
+        }
+    }
+
+    /// Rename cost from A-side node `a` to B-side node `b`.
+    #[inline]
+    pub(crate) fn ren_ab(&self, a: NodeId, b: NodeId, swapped: bool) -> f64 {
+        if swapped {
+            self.cm.rename(self.f.label(b), self.g.label(a))
+        } else {
+            self.cm.rename(self.f.label(a), self.g.label(b))
+        }
+    }
+
+    /// Reads δ(subtree(a), subtree(b)) in the current orientation.
+    #[inline]
+    pub(crate) fn d_get(&self, a: NodeId, b: NodeId, swapped: bool) -> f64 {
+        let idx = if swapped {
+            b.idx() * self.g.len() + a.idx()
+        } else {
+            a.idx() * self.g.len() + b.idx()
+        };
+        let d = self.d[idx];
+        debug_assert!(!d.is_nan(), "D({a},{b}) read before computed");
+        d
+    }
+
+    /// Writes δ(subtree(a), subtree(b)) in the current orientation.
+    #[inline]
+    pub(crate) fn d_set(&mut self, a: NodeId, b: NodeId, swapped: bool, val: f64) {
+        let idx = if swapped {
+            b.idx() * self.g.len() + a.idx()
+        } else {
+            a.idx() * self.g.len() + b.idx()
+        };
+        self.d[idx] = val;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UnitCost;
+    use crate::reference::reference_ted;
+    use crate::strategy::{optimal_strategy, DemaineHeavy};
+    use crate::zs::zhang_shasha;
+    use rted_tree::parse_bracket;
+
+    const CASES: &[(&str, &str)] = &[
+        ("{a}", "{b}"),
+        ("{a{b}}", "{a}"),
+        ("{a{b}{c{d}}}", "{a{b{d}}{c}}"),
+        ("{a{b{c}{d}}{e}}", "{x{y}{z{w{q}}}}"),
+        ("{A{C}{B{G}{E{F}}{D}}}", "{A{B{D}{E{F}}}{C{G}}}"),
+        ("{r{a{x}}{b}}", "{r{a}{b{x}}}"),
+        ("{a{a}{a}{a}}", "{a{a{a}}}"),
+        ("{a{b{c{d{e}}}}}", "{e{d{c{b{a}}}}}"),
+        ("{a{b}{c}{d}{e}{f}}", "{a{b{c{d{e{f}}}}}}"),
+    ];
+
+    fn check_strategy<S: StrategyProvider<String>>(s: &S, name: &str) {
+        for (a, b) in CASES {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let want = reference_ted(&f, &g, &UnitCost);
+            let mut exec = Executor::new(&f, &g, &UnitCost);
+            let got = exec.run(s);
+            assert_eq!(got, want, "{name}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn const_left_matches_reference() {
+        check_strategy(&PathChoice { side: Side::F, kind: PathKind::Left }, "F-Left");
+        check_strategy(&PathChoice { side: Side::G, kind: PathKind::Left }, "G-Left");
+    }
+
+    #[test]
+    fn const_right_matches_reference() {
+        check_strategy(&PathChoice { side: Side::F, kind: PathKind::Right }, "F-Right");
+        check_strategy(&PathChoice { side: Side::G, kind: PathKind::Right }, "G-Right");
+    }
+
+    #[test]
+    fn const_heavy_matches_reference() {
+        check_strategy(&PathChoice { side: Side::F, kind: PathKind::Heavy }, "Klein-H");
+        check_strategy(&PathChoice { side: Side::G, kind: PathKind::Heavy }, "G-Heavy");
+    }
+
+    #[test]
+    fn demaine_matches_reference() {
+        check_strategy(&DemaineHeavy, "Demaine-H");
+    }
+
+    #[test]
+    fn optimal_strategy_matches_reference() {
+        for (a, b) in CASES {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let want = reference_ted(&f, &g, &UnitCost);
+            let strat = optimal_strategy(&f, &g);
+            let mut exec = Executor::new(&f, &g, &UnitCost);
+            let got = exec.run(&strat);
+            assert_eq!(got, want, "RTED: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_subtree_pairs_filled_and_match_zs() {
+        for (a, b) in CASES {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let strat = optimal_strategy(&f, &g);
+            let mut exec = Executor::new(&f, &g, &UnitCost);
+            exec.run(&strat);
+            let zs = zhang_shasha(&f, &g, &UnitCost, false);
+            for v in f.nodes() {
+                for w in g.nodes() {
+                    let want = zs.subtree_distance(v.0 + 1, w.0 + 1, g.len() as u32);
+                    let got = exec.subtree_distance(v, w);
+                    assert_eq!(got, want, "{a} vs {b}, pair ({v},{w})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measured_subproblems_match_strategy_cost() {
+        use crate::strategy::{compute_strategy, FixedChooser};
+        for (a, b) in CASES {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            for choice in PathChoice::ALL {
+                let predicted = compute_strategy(&f, &g, &FixedChooser(choice)).cost;
+                let mut exec = Executor::new(&f, &g, &UnitCost);
+                exec.run(&choice);
+                assert_eq!(
+                    exec.stats.subproblems, predicted,
+                    "{a} vs {b}, strategy {choice}"
+                );
+            }
+            // And for the optimal strategy.
+            let strat = optimal_strategy(&f, &g);
+            let mut exec = Executor::new(&f, &g, &UnitCost);
+            exec.run(&strat);
+            assert_eq!(exec.stats.subproblems, strat.cost, "{a} vs {b}, RTED");
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Optimal edit mapping recovery.
+//!
+//! The distance algorithms report only the cost; applications (XML diff,
+//! change detection — the paper's §1 motivation) need the *edit script*:
+//! which nodes were deleted, inserted, or mapped (kept/renamed). This
+//! module recovers an optimal mapping by re-running the Zhang–Shasha
+//! forest DP along the optimal trace: the full keyroot DP gives all
+//! subtree distances, then a backtrace walks each forest DP from the top
+//! cell, recursing into matched subtree pairs.
+//!
+//! A valid edit mapping `M` is a set of node pairs that is one-to-one and
+//! preserves both postorder (left-to-right) order and the ancestor
+//! relation; its cost is `Σ cd(v)` over unmapped `v ∈ F` + `Σ ci(w)` over
+//! unmapped `w ∈ G` + `Σ cr(v, w)` over pairs — the tree edit distance is
+//! the minimum over all valid mappings (Tai 1979).
+
+use crate::cost::{CostModel, CostTables};
+use crate::view::SubtreeView;
+use crate::zs::zhang_shasha;
+use rted_tree::{NodeId, Tree};
+
+/// One edit operation of a script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// Delete node `v` of the first tree.
+    Delete(NodeId),
+    /// Insert node `w` of the second tree.
+    Insert(NodeId),
+    /// Map node `v` to node `w` (a rename when labels differ, otherwise a
+    /// kept node).
+    Map(NodeId, NodeId),
+}
+
+/// An optimal edit mapping between two trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EditMapping {
+    /// All operations; every node of both trees appears exactly once.
+    pub ops: Vec<EditOp>,
+    /// The mapping's cost (equals the tree edit distance).
+    pub cost: f64,
+}
+
+impl EditMapping {
+    /// The mapped pairs only.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.ops.iter().filter_map(|op| match op {
+            EditOp::Map(v, w) => Some((*v, *w)),
+            _ => None,
+        })
+    }
+
+    /// Deleted nodes of the first tree.
+    pub fn deletions(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ops.iter().filter_map(|op| match op {
+            EditOp::Delete(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Inserted nodes of the second tree.
+    pub fn insertions(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ops.iter().filter_map(|op| match op {
+            EditOp::Insert(w) => Some(*w),
+            _ => None,
+        })
+    }
+
+    /// Recomputes the cost of this mapping under `cm`.
+    pub fn cost_under<L, C: CostModel<L>>(&self, f: &Tree<L>, g: &Tree<L>, cm: &C) -> f64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                EditOp::Delete(v) => cm.delete(f.label(*v)),
+                EditOp::Insert(w) => cm.insert(g.label(*w)),
+                EditOp::Map(v, w) => cm.rename(f.label(*v), g.label(*w)),
+            })
+            .sum()
+    }
+
+    /// Checks the Tai mapping conditions: one-to-one, order-preserving,
+    /// ancestor-preserving, and that every node appears exactly once.
+    /// O(k²) — intended for tests and debugging.
+    pub fn validate<L>(&self, f: &Tree<L>, g: &Tree<L>) -> Result<(), String> {
+        let mut seen_f = vec![false; f.len()];
+        let mut seen_g = vec![false; g.len()];
+        let mark = |arr: &mut Vec<bool>, i: usize, side: &str| {
+            if arr[i] {
+                return Err(format!("{side} node {i} appears twice"));
+            }
+            arr[i] = true;
+            Ok(())
+        };
+        for op in &self.ops {
+            match op {
+                EditOp::Delete(v) => mark(&mut seen_f, v.idx(), "F")?,
+                EditOp::Insert(w) => mark(&mut seen_g, w.idx(), "G")?,
+                EditOp::Map(v, w) => {
+                    mark(&mut seen_f, v.idx(), "F")?;
+                    mark(&mut seen_g, w.idx(), "G")?;
+                }
+            }
+        }
+        if !seen_f.iter().all(|&b| b) || !seen_g.iter().all(|&b| b) {
+            return Err("some node missing from the script".into());
+        }
+        let pairs: Vec<(NodeId, NodeId)> = self.pairs().collect();
+        for (i, &(v1, w1)) in pairs.iter().enumerate() {
+            for &(v2, w2) in &pairs[i + 1..] {
+                // Postorder order preservation.
+                if (v1 < v2) != (w1 < w2) {
+                    return Err(format!("order violated: ({v1},{w1}) vs ({v2},{w2})"));
+                }
+                // Ancestor preservation.
+                let f_anc = f.in_subtree(v2, v1) || f.in_subtree(v1, v2);
+                let g_anc = g.in_subtree(w2, w1) || g.in_subtree(w1, w2);
+                let f_v1_anc_v2 = f.in_subtree(v2, v1);
+                let g_w1_anc_w2 = g.in_subtree(w2, w1);
+                if f_anc != g_anc || f_v1_anc_v2 != g_w1_anc_w2 {
+                    return Err(format!("ancestry violated: ({v1},{w1}) vs ({v2},{w2})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Float comparison for backtrace decisions: exact for integer-valued cost
+/// models, tolerant for general `f64` costs.
+#[inline]
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+struct Tracer<'a, L, C> {
+    f: &'a Tree<L>,
+    g: &'a Tree<L>,
+    cm: &'a C,
+    ftab: CostTables,
+    gtab: CostTables,
+    /// Zhang–Shasha subtree-distance matrix, local ranks (= postorder+1).
+    td: Vec<f64>,
+    ng: u32,
+    ops: Vec<EditOp>,
+    f_lml: Vec<u32>,
+    g_lml: Vec<u32>,
+}
+
+impl<L, C: CostModel<L>> Tracer<'_, L, C> {
+    #[inline]
+    fn td_at(&self, x: u32, y: u32) -> f64 {
+        self.td[(x * (self.ng + 1) + y) as usize]
+    }
+
+    #[inline]
+    fn del(&self, x: u32) -> f64 {
+        self.ftab.del[x as usize - 1]
+    }
+
+    #[inline]
+    fn ins(&self, y: u32) -> f64 {
+        self.gtab.ins[y as usize - 1]
+    }
+
+    #[inline]
+    fn ren(&self, x: u32, y: u32) -> f64 {
+        self.cm.rename(self.f.label(NodeId(x - 1)), self.g.label(NodeId(y - 1)))
+    }
+
+    /// Emits deletes for the whole subtree forest `[lx..=x]`.
+    fn delete_range(&mut self, lx: u32, x: u32) {
+        for i in lx..=x {
+            self.ops.push(EditOp::Delete(NodeId(i - 1)));
+        }
+    }
+
+    fn insert_range(&mut self, ly: u32, y: u32) {
+        for j in ly..=y {
+            self.ops.push(EditOp::Insert(NodeId(j - 1)));
+        }
+    }
+
+    /// Re-runs the forest DP for the subtree pair `(x, y)` and backtraces
+    /// it, emitting operations for every node of both subtrees.
+    fn trace_tree(&mut self, x: u32, y: u32) {
+        let lx = self.f_lml[x as usize];
+        let ly = self.g_lml[y as usize];
+        let w = (y - ly + 2) as usize; // columns ly-1..=y
+        let h = (x - lx + 2) as usize; // rows lx-1..=x
+        let at = |a: u32, b: u32| ((a + 1 - lx) as usize) * w + (b + 1 - ly) as usize;
+        let mut fd = vec![0.0f64; h * w];
+        for a in lx..=x {
+            fd[at(a, ly - 1)] = fd[at(a - 1, ly - 1)] + self.del(a);
+        }
+        for b in ly..=y {
+            fd[at(lx - 1, b)] = fd[at(lx - 1, b - 1)] + self.ins(b);
+        }
+        for a in lx..=x {
+            let la = self.f_lml[a as usize];
+            for b in ly..=y {
+                let lb = self.g_lml[b as usize];
+                let del = fd[at(a - 1, b)] + self.del(a);
+                let ins = fd[at(a, b - 1)] + self.ins(b);
+                let v = if la == lx && lb == ly {
+                    del.min(ins).min(fd[at(a - 1, b - 1)] + self.ren(a, b))
+                } else {
+                    del.min(ins).min(fd[at(la - 1, lb - 1)] + self.td_at(a, b))
+                };
+                fd[at(a, b)] = v;
+            }
+        }
+        debug_assert!(close(fd[at(x, y)], self.td_at(x, y)), "trace DP mismatch");
+
+        // Backtrace from (x, y) to (lx-1, ly-1).
+        let (mut a, mut b) = (x, y);
+        while a >= lx || b >= ly {
+            if a < lx {
+                self.insert_range(ly, b);
+                break;
+            }
+            if b < ly {
+                self.delete_range(lx, a);
+                break;
+            }
+            let cur = fd[at(a, b)];
+            if close(cur, fd[at(a - 1, b)] + self.del(a)) {
+                self.ops.push(EditOp::Delete(NodeId(a - 1)));
+                a -= 1;
+                continue;
+            }
+            if close(cur, fd[at(a, b - 1)] + self.ins(b)) {
+                self.ops.push(EditOp::Insert(NodeId(b - 1)));
+                b -= 1;
+                continue;
+            }
+            let la = self.f_lml[a as usize];
+            let lb = self.g_lml[b as usize];
+            if la == lx && lb == ly {
+                debug_assert!(close(cur, fd[at(a - 1, b - 1)] + self.ren(a, b)));
+                self.ops.push(EditOp::Map(NodeId(a - 1), NodeId(b - 1)));
+                a -= 1;
+                b -= 1;
+            } else {
+                debug_assert!(close(cur, fd[at(la - 1, lb - 1)] + self.td_at(a, b)));
+                if a == x && b == y {
+                    // Cannot happen: (x, y) has la == lx && lb == ly.
+                    unreachable!("subtree-match transition at the DP origin");
+                }
+                self.trace_tree(a, b);
+                a = la - 1;
+                b = lb - 1;
+            }
+        }
+    }
+}
+
+/// Computes an optimal edit mapping (and its cost, the tree edit distance).
+///
+/// Runs Zhang–Shasha once for the subtree distances, then backtraces. For
+/// integer-valued cost models (including [`crate::UnitCost`]) the result is
+/// exact; for general `f64` costs the backtrace uses a small tolerance.
+///
+/// ```
+/// use rted_core::mapping::{edit_mapping, EditOp};
+/// use rted_core::UnitCost;
+/// use rted_tree::parse_bracket;
+///
+/// let f = parse_bracket("{a{b}{c}}").unwrap();
+/// let g = parse_bracket("{a{c}}").unwrap();
+/// let m = edit_mapping(&f, &g, &UnitCost);
+/// assert_eq!(m.cost, 1.0);
+/// assert_eq!(m.pairs().count(), 2); // a→a, c→c
+/// ```
+pub fn edit_mapping<L, C: CostModel<L>>(f: &Tree<L>, g: &Tree<L>, cm: &C) -> EditMapping {
+    let zs = zhang_shasha(f, g, cm, false);
+    let fv = SubtreeView::new(f, f.root(), false);
+    let gv = SubtreeView::new(g, g.root(), false);
+    let f_lml: Vec<u32> = std::iter::once(0).chain((1..=fv.n).map(|r| fv.lml(r))).collect();
+    let g_lml: Vec<u32> = std::iter::once(0).chain((1..=gv.n).map(|r| gv.lml(r))).collect();
+    let mut tracer = Tracer {
+        f,
+        g,
+        cm,
+        ftab: CostTables::new(f, cm),
+        gtab: CostTables::new(g, cm),
+        td: zs.td,
+        ng: g.len() as u32,
+        ops: Vec::with_capacity(f.len() + g.len()),
+        f_lml,
+        g_lml,
+    };
+    tracer.trace_tree(f.len() as u32, g.len() as u32);
+    let mut ops = tracer.ops;
+    ops.reverse(); // backtrace emits from the right; present left-to-right
+    EditMapping { ops, cost: zs.distance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{PerLabelCost, UnitCost};
+    use rted_tree::parse_bracket;
+
+    fn mapping(a: &str, b: &str) -> (EditMapping, Tree<String>, Tree<String>) {
+        let f = parse_bracket(a).unwrap();
+        let g = parse_bracket(b).unwrap();
+        let m = edit_mapping(&f, &g, &UnitCost);
+        (m, f, g)
+    }
+
+    #[test]
+    fn identity_mapping() {
+        let (m, f, g) = mapping("{a{b}{c{d}}}", "{a{b}{c{d}}}");
+        assert_eq!(m.cost, 0.0);
+        assert_eq!(m.pairs().count(), 4);
+        m.validate(&f, &g).unwrap();
+        assert_eq!(m.cost_under(&f, &g, &UnitCost), 0.0);
+    }
+
+    #[test]
+    fn single_delete() {
+        let (m, f, g) = mapping("{a{b}{c}}", "{a{c}}");
+        assert_eq!(m.cost, 1.0);
+        m.validate(&f, &g).unwrap();
+        assert_eq!(m.deletions().count(), 1);
+        assert_eq!(m.insertions().count(), 0);
+        // The deleted node is b (postorder id 0).
+        assert_eq!(m.deletions().next(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn rename_detected() {
+        let (m, f, g) = mapping("{a{b}{c}}", "{a{b}{x}}");
+        assert_eq!(m.cost, 1.0);
+        m.validate(&f, &g).unwrap();
+        // c (id 1) maps to x (id 1) as a rename.
+        assert!(m.pairs().any(|(v, w)| v == NodeId(1) && w == NodeId(1)));
+    }
+
+    #[test]
+    fn inner_delete_promotes_children() {
+        let (m, f, g) = mapping("{a{b{c}{d}}}", "{a{c}{d}}");
+        assert_eq!(m.cost, 1.0);
+        m.validate(&f, &g).unwrap();
+        // b deleted; c and d mapped.
+        assert_eq!(m.pairs().count(), 3);
+    }
+
+    #[test]
+    fn script_cost_matches_distance_on_random_trees() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Random trees via random attachment in postorder-safe form.
+            let n1 = rng.random_range(1..28usize);
+            let n2 = rng.random_range(1..28usize);
+            let mk = |n: usize, rng: &mut StdRng| {
+                let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+                for i in 1..n {
+                    let p = rng.random_range(0..i) as u32;
+                    children[p as usize].push(i as u32);
+                }
+                let mut post_of = vec![u32::MAX; n];
+                let mut order = Vec::new();
+                let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+                while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                    if *i < children[v as usize].len() {
+                        let c = children[v as usize][*i];
+                        *i += 1;
+                        stack.push((c, 0));
+                    } else {
+                        post_of[v as usize] = order.len() as u32;
+                        order.push(v);
+                        stack.pop();
+                    }
+                }
+                let labels: Vec<u32> =
+                    (0..n).map(|_| rng.random_range(0..4u32)).collect();
+                let pc: Vec<Vec<u32>> = order
+                    .iter()
+                    .map(|&v| {
+                        children[v as usize].iter().map(|&c| post_of[c as usize]).collect()
+                    })
+                    .collect();
+                Tree::from_postorder(labels, pc)
+            };
+            let f = mk(n1, &mut rng);
+            let g = mk(n2, &mut rng);
+            let m = edit_mapping(&f, &g, &UnitCost);
+            let want = crate::zs::zs_distance(&f, &g, &UnitCost);
+            assert_eq!(m.cost, want, "seed {seed}");
+            assert_eq!(m.cost_under(&f, &g, &UnitCost), want, "seed {seed}");
+            m.validate(&f, &g).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn weighted_model_script() {
+        let f = parse_bracket("{a{b}}").unwrap();
+        let g = parse_bracket("{a{x}}").unwrap();
+        // Rename cheap: map b→x.
+        let cheap = PerLabelCost::new(1.0, 1.0, 0.25);
+        let m = edit_mapping(&f, &g, &cheap);
+        assert_eq!(m.cost, 0.25);
+        assert_eq!(m.pairs().count(), 2);
+        // Rename expensive: delete + insert instead.
+        let dear = PerLabelCost::new(1.0, 1.0, 5.0);
+        let m = edit_mapping(&f, &g, &dear);
+        assert_eq!(m.cost, 2.0);
+        assert_eq!(m.pairs().count(), 1); // only the roots map
+        m.validate(&f, &g).unwrap();
+    }
+
+    #[test]
+    fn every_node_accounted_once() {
+        let (m, f, g) = mapping("{a{b{c}{d}}{e}}", "{x{y}{z{q{r}}}}");
+        let total = m.ops.len();
+        let mapped = m.pairs().count();
+        assert_eq!(total, f.len() + g.len() - mapped);
+        m.validate(&f, &g).unwrap();
+    }
+}

@@ -1,0 +1,170 @@
+//! Reference implementation: the recursive tree edit distance formula of
+//! Fig. 2, memoized on explicit forests.
+//!
+//! This is the executable specification of the distance. It is exponentially
+//! wasteful in memory compared to the real algorithms (it memoizes on root
+//! lists) and is used only as the correctness oracle for small inputs in the
+//! test suite, and to double-check individual distances.
+
+use crate::cost::CostModel;
+use rted_tree::decompose::Forest;
+use rted_tree::Tree;
+use std::collections::HashMap;
+
+/// State of one memoized recursion over forests of `f` × forests of `g`.
+struct Rec<'a, L, C> {
+    f: &'a Tree<L>,
+    g: &'a Tree<L>,
+    cm: &'a C,
+    memo: HashMap<(Forest, Forest), f64>,
+}
+
+impl<'a, L, C: CostModel<L>> Rec<'a, L, C> {
+    fn delete_all(&self, forest: &Forest, tree: &Tree<L>) -> f64 {
+        forest
+            .all_nodes(tree)
+            .iter()
+            .map(|&x| self.cm.delete(tree.label(rted_tree::NodeId(x))))
+            .sum()
+    }
+
+    fn insert_all(&self, forest: &Forest, tree: &Tree<L>) -> f64 {
+        forest
+            .all_nodes(tree)
+            .iter()
+            .map(|&x| self.cm.insert(tree.label(rted_tree::NodeId(x))))
+            .sum()
+    }
+
+    fn dist(&mut self, ff: Forest, gf: Forest) -> f64 {
+        if ff.is_empty() {
+            return self.insert_all(&gf, self.g);
+        }
+        if gf.is_empty() {
+            return self.delete_all(&ff, self.f);
+        }
+        if let Some(&d) = self.memo.get(&(ff.clone(), gf.clone())) {
+            return d;
+        }
+        // Decompose at the leftmost roots (the recursive formula yields the
+        // same value for either direction choice).
+        let v = ff.leftmost().unwrap();
+        let w = gf.leftmost().unwrap();
+        let f_is_tree = ff.0.len() == 1;
+        let g_is_tree = gf.0.len() == 1;
+
+        let del = self.dist(ff.remove_leftmost(self.f), gf.clone())
+            + self.cm.delete(self.f.label(v));
+        let ins = self.dist(ff.clone(), gf.remove_leftmost(self.g))
+            + self.cm.insert(self.g.label(w));
+        let third = if f_is_tree && g_is_tree {
+            // Case (5): rename the roots, match the child forests.
+            self.dist(ff.remove_leftmost(self.f), gf.remove_leftmost(self.g))
+                + self.cm.rename(self.f.label(v), self.g.label(w))
+        } else {
+            // Cases (3)+(4): match subtree F_v against G_w, and the rest.
+            let fv = Forest::tree(v);
+            let gw = Forest::tree(w);
+            let rest_f = Forest(ff.0[1..].to_vec());
+            let rest_g = Forest(gf.0[1..].to_vec());
+            self.dist(fv, gw) + self.dist(rest_f, rest_g)
+        };
+        let d = del.min(ins).min(third);
+        self.memo.insert((ff, gf), d);
+        d
+    }
+}
+
+/// Computes the tree edit distance by the memoized recursive formula.
+///
+/// Intended for testing on small trees: time and memory grow with the
+/// number of distinct forest pairs, which can be far beyond O(n²).
+pub fn reference_ted<L, C: CostModel<L>>(f: &Tree<L>, g: &Tree<L>, cm: &C) -> f64 {
+    let mut rec = Rec { f, g, cm, memo: HashMap::new() };
+    rec.dist(Forest::tree(f.root()), Forest::tree(g.root()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{PerLabelCost, UnitCost};
+    use rted_tree::parse_bracket;
+
+    fn d(a: &str, b: &str) -> f64 {
+        let f = parse_bracket(a).unwrap();
+        let g = parse_bracket(b).unwrap();
+        reference_ted(&f, &g, &UnitCost)
+    }
+
+    #[test]
+    fn identical_trees_distance_zero() {
+        for s in ["{a}", "{a{b}{c}}", "{a{b{c{d}}}}"] {
+            assert_eq!(d(s, s), 0.0);
+        }
+    }
+
+    #[test]
+    fn single_rename() {
+        assert_eq!(d("{a{b}{c}}", "{a{b}{x}}"), 1.0);
+        assert_eq!(d("{a}", "{b}"), 1.0);
+    }
+
+    #[test]
+    fn single_delete_insert() {
+        assert_eq!(d("{a{b}{c}}", "{a{b}}"), 1.0);
+        assert_eq!(d("{a{b}}", "{a{b}{c}}"), 1.0);
+        // Deleting an inner node reattaches its children.
+        assert_eq!(d("{a{b{c}{d}}}", "{a{c}{d}}"), 1.0);
+    }
+
+    #[test]
+    fn figure1_example() {
+        // Figure 1 shows (conceptually) delete/insert/rename around node e.
+        // T1 = a(b, d(c), e); delete d -> a(b, c, e); rename e->f is 1 more.
+        assert_eq!(d("{a{b}{d{c}}{e}}", "{a{b}{c}{e}}"), 1.0);
+        assert_eq!(d("{a{b}{d{c}}{e}}", "{a{b}{c}{f}}"), 2.0);
+    }
+
+    #[test]
+    fn structural_move_costs_two() {
+        // Moving a leaf across siblings = delete + insert.
+        assert_eq!(d("{r{a{x}}{b}}", "{r{a}{b{x}}}"), 2.0);
+    }
+
+    #[test]
+    fn disjoint_trees_full_rewrite() {
+        // No common labels: rename root + rename/delete/insert everything.
+        assert_eq!(d("{a{b}{c}}", "{x{y}{z}}"), 3.0);
+        // Different sizes: 3 renames + 1 delete.
+        assert_eq!(d("{a{b}{c}{d}}", "{x{y}{z}}"), 4.0);
+    }
+
+    #[test]
+    fn ordered_semantics() {
+        // Ordered trees: swapping children is NOT free.
+        assert_eq!(d("{r{a}{b}}", "{r{b}{a}}"), 2.0);
+    }
+
+    #[test]
+    fn weighted_costs() {
+        let f = parse_bracket("{a{b}}").unwrap();
+        let g = parse_bracket("{a}").unwrap();
+        // Deleting b costs 2 under this model.
+        let cm = PerLabelCost::new(2.0, 3.0, 0.5);
+        assert_eq!(reference_ted(&f, &g, &cm), 2.0);
+        // Inserting b costs 3.
+        assert_eq!(reference_ted(&g, &f, &cm), 3.0);
+        // Rename cheaper than delete+insert.
+        let h = parse_bracket("{a{x}}").unwrap();
+        assert_eq!(reference_ted(&f, &h, &cm), 0.5);
+    }
+
+    #[test]
+    fn size_bounds_hold() {
+        let f = parse_bracket("{a{b}{c{d}{e}}}").unwrap();
+        let g = parse_bracket("{x{y}}").unwrap();
+        let dist = reference_ted(&f, &g, &UnitCost);
+        assert!(dist >= (f.len() as f64 - g.len() as f64).abs());
+        assert!(dist <= (f.len() + g.len()) as f64);
+    }
+}

@@ -1,0 +1,253 @@
+//! RTED — the robust tree edit distance algorithm (§6), plus the
+//! [`Algorithm`] enum running every competitor of the paper's evaluation
+//! through a uniform interface.
+//!
+//! RTED computes the optimal LRH strategy with Algorithm 2, then runs GTED
+//! under it. Its subproblem count is, by construction, at most that of any
+//! LRH competitor (Zhang-L/R, Klein-H, Demaine-H) on every input.
+
+use crate::cost::CostModel;
+use crate::gted::{ExecStats, Executor};
+use crate::strategy::{
+    compute_strategy, optimal_strategy, DemaineChooser, DemaineHeavy, FixedChooser, PathChoice,
+    Side,
+};
+use crate::zs::zhang_shasha;
+use rted_tree::{PathKind, Tree};
+use std::time::{Duration, Instant};
+
+/// Statistics of one distance computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// The tree edit distance.
+    pub distance: f64,
+    /// Relevant subproblems actually computed (instrumented DP cells).
+    pub subproblems: u64,
+    /// Time spent computing the strategy (zero for fixed-strategy
+    /// algorithms, which need no strategy phase).
+    pub strategy_time: Duration,
+    /// Time spent in the distance computation proper.
+    pub distance_time: Duration,
+    /// Executor counters (zeroed for the standalone Zhang–Shasha runs).
+    pub exec: ExecStats,
+}
+
+/// The five algorithms evaluated in §8 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Zhang & Shasha's algorithm: always decomposes with left paths
+    /// (classic keyroot implementation, hard-coded strategy).
+    ZhangL,
+    /// The symmetric right-path variant of Zhang & Shasha.
+    ZhangR,
+    /// Klein's algorithm: heavy paths, always in the left-hand tree.
+    KleinH,
+    /// Demaine et al.: heavy paths in the larger tree (worst-case optimal).
+    DemaineH,
+    /// RTED: the optimal LRH strategy computed by Algorithm 2, run by GTED.
+    Rted,
+}
+
+impl Algorithm {
+    /// All five, in the paper's presentation order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::ZhangL,
+        Algorithm::ZhangR,
+        Algorithm::KleinH,
+        Algorithm::DemaineH,
+        Algorithm::Rted,
+    ];
+
+    /// The display name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::ZhangL => "Zhang-L",
+            Algorithm::ZhangR => "Zhang-R",
+            Algorithm::KleinH => "Klein-H",
+            Algorithm::DemaineH => "Demaine-H",
+            Algorithm::Rted => "RTED",
+        }
+    }
+
+    /// Runs the algorithm on `(f, g)` under `cm`, with timing and counters.
+    pub fn run<L, C: CostModel<L>>(self, f: &Tree<L>, g: &Tree<L>, cm: &C) -> RunStats {
+        match self {
+            Algorithm::ZhangL | Algorithm::ZhangR => {
+                let start = Instant::now();
+                let res = zhang_shasha(f, g, cm, self == Algorithm::ZhangR);
+                RunStats {
+                    distance: res.distance,
+                    subproblems: res.subproblems,
+                    strategy_time: Duration::ZERO,
+                    distance_time: start.elapsed(),
+                    exec: ExecStats::default(),
+                }
+            }
+            Algorithm::KleinH => {
+                run_gted(f, g, cm, &PathChoice { side: Side::F, kind: PathKind::Heavy })
+            }
+            Algorithm::DemaineH => run_gted(f, g, cm, &DemaineHeavy),
+            Algorithm::Rted => {
+                let t0 = Instant::now();
+                let strategy = optimal_strategy(f, g);
+                let strategy_time = t0.elapsed();
+                let mut stats = run_gted(f, g, cm, &strategy);
+                stats.strategy_time = strategy_time;
+                stats
+            }
+        }
+    }
+
+    /// The exact number of relevant subproblems this algorithm computes on
+    /// `(f, g)`, via the Fig.-5 cost formula (no distance computation).
+    pub fn predicted_subproblems<L>(self, f: &Tree<L>, g: &Tree<L>) -> u64 {
+        match self {
+            Algorithm::ZhangL => compute_strategy(
+                f,
+                g,
+                &FixedChooser(PathChoice { side: Side::F, kind: PathKind::Left }),
+            )
+            .cost,
+            Algorithm::ZhangR => compute_strategy(
+                f,
+                g,
+                &FixedChooser(PathChoice { side: Side::F, kind: PathKind::Right }),
+            )
+            .cost,
+            Algorithm::KleinH => compute_strategy(
+                f,
+                g,
+                &FixedChooser(PathChoice { side: Side::F, kind: PathKind::Heavy }),
+            )
+            .cost,
+            Algorithm::DemaineH => compute_strategy(f, g, &DemaineChooser).cost,
+            Algorithm::Rted => optimal_strategy(f, g).cost,
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn run_gted<L, C: CostModel<L>, S: crate::strategy::StrategyProvider<L>>(
+    f: &Tree<L>,
+    g: &Tree<L>,
+    cm: &C,
+    strategy: &S,
+) -> RunStats {
+    let start = Instant::now();
+    let mut exec = Executor::new(f, g, cm);
+    let distance = exec.run(strategy);
+    RunStats {
+        distance,
+        subproblems: exec.stats.subproblems,
+        strategy_time: Duration::ZERO,
+        distance_time: start.elapsed(),
+        exec: exec.stats,
+    }
+}
+
+/// The RTED algorithm bound to a cost model.
+///
+/// ```
+/// use rted_core::{Rted, UnitCost};
+/// use rted_tree::parse_bracket;
+///
+/// let f = parse_bracket("{a{b}{c}}").unwrap();
+/// let g = parse_bracket("{a{c}}").unwrap();
+/// let rted = Rted::new(UnitCost);
+/// let run = rted.distance(&f, &g);
+/// assert_eq!(run.distance, 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Rted<C> {
+    cm: C,
+}
+
+impl<C> Rted<C> {
+    /// Binds RTED to a cost model.
+    pub fn new(cm: C) -> Self {
+        Rted { cm }
+    }
+
+    /// Computes the distance and run statistics for `(f, g)`.
+    pub fn distance<L>(&self, f: &Tree<L>, g: &Tree<L>) -> RunStats
+    where
+        C: CostModel<L>,
+    {
+        Algorithm::Rted.run(f, g, &self.cm)
+    }
+}
+
+/// The unit-cost tree edit distance computed by RTED.
+pub fn ted<L: PartialEq>(f: &Tree<L>, g: &Tree<L>) -> f64 {
+    Algorithm::Rted.run(f, g, &crate::cost::UnitCost).distance
+}
+
+/// The tree edit distance under a custom cost model, computed by RTED.
+pub fn ted_with<L, C: CostModel<L>>(f: &Tree<L>, g: &Tree<L>, cm: &C) -> f64 {
+    Algorithm::Rted.run(f, g, cm).distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UnitCost;
+    use rted_tree::parse_bracket;
+
+    #[test]
+    fn all_algorithms_agree() {
+        let cases = [
+            ("{a{b}{c{d}}}", "{a{b{d}}{c}}"),
+            ("{A{C}{B{G}{E{F}}{D}}}", "{A{B{D}{E{F}}}{C{G}}}"),
+            ("{a{b{c{d{e}}}}}", "{e{d{c{b{a}}}}}"),
+        ];
+        for (a, b) in cases {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let runs: Vec<RunStats> =
+                Algorithm::ALL.iter().map(|alg| alg.run(&f, &g, &UnitCost)).collect();
+            for (alg, r) in Algorithm::ALL.iter().zip(&runs) {
+                assert_eq!(r.distance, runs[0].distance, "{alg} disagrees on {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rted_subproblems_minimal() {
+        let cases = [
+            ("{a{b{c}{d}}{e}}", "{x{y}{z{w{q}}}}"),
+            ("{a{b{c{d{e}}}}}", "{a{b}{c}{d}{e}}"),
+        ];
+        for (a, b) in cases {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let rted = Algorithm::Rted.predicted_subproblems(&f, &g);
+            for alg in Algorithm::ALL {
+                let p = alg.predicted_subproblems(&f, &g);
+                assert!(rted <= p, "{alg}: {p} < RTED {rted} on {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_matches_predicted_for_every_algorithm() {
+        let f = parse_bracket("{a{b{c}{d}}{e{f}{g{h}}}}").unwrap();
+        let g = parse_bracket("{A{C}{B{G}{E{F}}{D}}}").unwrap();
+        for alg in Algorithm::ALL {
+            let run = alg.run(&f, &g, &UnitCost);
+            let predicted = alg.predicted_subproblems(&f, &g);
+            assert_eq!(run.subproblems, predicted, "{alg}");
+        }
+    }
+
+    #[test]
+    fn ted_helper() {
+        let f = parse_bracket("{a{b}{c{d}}}").unwrap();
+        let g = parse_bracket("{a{b{d}}{c}}").unwrap();
+        assert_eq!(ted(&f, &g), 2.0);
+    }
+}

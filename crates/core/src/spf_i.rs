@@ -1,0 +1,571 @@
+//! Single-path function `∆I` (§4.3): the Demaine-style "compute period" DP
+//! for arbitrary (in GTED: heavy) root-leaf paths, in O(n²) space.
+//!
+//! `∆I(F, G, γ, D)` computes δ(F_v, G_w) for every node `v` on the path `γ`
+//! of `F` and every `w ∈ G`, computing exactly `|F| × |A(G)|` relevant
+//! subproblems (Lemma 4), where `A(G)` is the full decomposition of `G`.
+//!
+//! # How it works
+//!
+//! **B-side (G) forests.** Every forest of the full decomposition `A(G)` is
+//! `S(a, b) = {x : lpost(x) ≤ a ∧ rpost(x) ≤ b}` for a unique canonical
+//! pair, where `lpost`/`rpost` are the (mirror) postorder ranks local to the
+//! subtree (see `rted_tree::decompose::canonical_pairs`). Removing the
+//! rightmost root maps `(a, b)` to set-index `(a − 1, b)`; removing the
+//! rightmost root's subtree to `(a − size, b)`; symmetrically on the left
+//! with `b`. Any set index maps back to a value by **rank**: the forest
+//! `{lpost ≤ a', rpost ≤ b}` is determined within family `b` by its member
+//! count `cnt(a', b)`, so DP rows store one value per canonical pair and
+//! resolve set indices through the `cnt` table.
+//!
+//! **A-side (F) forests.** The relevant subforests of `F` w.r.t. `γ` form a
+//! linear sequence — one node removed per step (Lemma 2) — grouped into
+//! periods along the path. Walking the path bottom-up, each period turns
+//! the row of δ(children-forest(p), ·) into δ(subtree(p), ·) ("stage T"),
+//! then re-adds the right siblings of the path child one node at a time
+//! ("stage R", removal direction *right* since the leftmost root is the
+//! path node), then the left siblings ("stage L", direction *left*).
+//!
+//! Within stage R the B-side recursion never leaves family `b` while the
+//! forest has ≥ 2 roots; the only cross-family dependency is through
+//! single-tree forests, whose "root removed" values are kept in a `kids`
+//! side table (δ(row forest, children-forest(x)) for every `x ∈ G`). This
+//! is what bounds memory by O(|F|·|G| + |A(G)|) while still computing each
+//! relevant subproblem exactly once.
+
+use crate::cost::CostModel;
+use crate::gted::Executor;
+use rted_tree::{NodeId, Tree};
+
+/// Precomputed B-side (the non-decomposed tree) canonical-forest tables.
+struct BSide {
+    m: usize,
+    /// Global node id by local lpost rank (index 1..=m).
+    node_l: Vec<u32>,
+    /// Global node id by local rpost rank.
+    node_r: Vec<u32>,
+    /// Local rpost of the node with local lpost `a`.
+    rb: Vec<u32>,
+    /// Local lpost of the node with local rpost `b`.
+    lb: Vec<u32>,
+    /// Subtree size by local lpost / local rpost.
+    sz_l: Vec<u32>,
+    sz_r: Vec<u32>,
+    /// `cnt[a * (m+1) + b]` = |{x : lpost(x) ≤ a ∧ rpost(x) ≤ b}|.
+    cnt: Vec<u32>,
+    /// Canonical lpost members per rpost family `b`, ascending, concatenated.
+    mem_a: Vec<u32>,
+    mem_a_off: Vec<usize>,
+    /// Canonical rpost members per lpost family `a`, ascending, concatenated.
+    mem_b: Vec<u32>,
+    mem_b_off: Vec<usize>,
+    /// Row-vector offset of family `b` (canonical pairs laid out family by
+    /// family); `start_b[m+1]` = |A(G)|.
+    start_b: Vec<usize>,
+    /// Insert cost by local lpost / local rpost (orientation applied).
+    ins_l: Vec<f64>,
+    ins_r: Vec<f64>,
+    /// Subtree insert-cost sums by local lpost.
+    sub_ins_l: Vec<f64>,
+}
+
+impl BSide {
+    fn build<L, C: CostModel<L>>(
+        exec: &Executor<'_, L, C>,
+        b_root: NodeId,
+        swapped: bool,
+    ) -> BSide {
+        let tb: &Tree<L> = exec.tree_b(swapped);
+        let m = tb.size(b_root) as usize;
+        let first_l = tb.subtree_first(b_root).0;
+        let first_r = tb.rpost(b_root) + 1 - m as u32;
+
+        let mut node_l = vec![0u32; m + 1];
+        let mut node_r = vec![0u32; m + 1];
+        let mut rb = vec![0u32; m + 1];
+        let mut lb = vec![0u32; m + 1];
+        let mut sz_l = vec![0u32; m + 1];
+        let mut sz_r = vec![0u32; m + 1];
+        let mut ins_l = vec![0.0f64; m + 1];
+        let mut ins_r = vec![0.0f64; m + 1];
+        let mut sub_ins_l = vec![0.0f64; m + 1];
+        for a in 1..=m as u32 {
+            let v = NodeId(first_l + a - 1);
+            let b = tb.rpost(v) - first_r + 1;
+            node_l[a as usize] = v.0;
+            rb[a as usize] = b;
+            node_r[b as usize] = v.0;
+            lb[b as usize] = a;
+            sz_l[a as usize] = tb.size(v);
+            sz_r[b as usize] = tb.size(v);
+            ins_l[a as usize] = exec.ins_b(v, swapped);
+            ins_r[b as usize] = exec.ins_b(v, swapped);
+            sub_ins_l[a as usize] = exec.sub_ins_b(v, swapped);
+        }
+
+        // Membership counts.
+        let stride = m + 1;
+        let mut cnt = vec![0u32; stride * stride];
+        for a in 1..=m {
+            let r = rb[a] as usize;
+            for b in 0..=m {
+                cnt[a * stride + b] = cnt[(a - 1) * stride + b] + u32::from(r <= b);
+            }
+        }
+
+        // Canonical member lists and family offsets.
+        let mut mem_a = Vec::new();
+        let mut mem_a_off = vec![0usize; m + 2];
+        let mut start_b = vec![0usize; m + 2];
+        for b in 1..=m {
+            mem_a_off[b] = mem_a.len();
+            start_b[b] = start_b[b - 1]
+                + if b >= 2 { cnt[m * stride + b - 1] as usize - sz_r[b - 1] as usize + 1 } else { 0 };
+            for a in lb[b] as usize..=m {
+                if rb[a] as usize <= b {
+                    mem_a.push(a as u32);
+                }
+            }
+        }
+        mem_a_off[m + 1] = mem_a.len();
+        start_b[m + 1] = start_b[m] + cnt[m * stride + m] as usize - sz_r[m] as usize + 1;
+
+        let mut mem_b = Vec::new();
+        let mut mem_b_off = vec![0usize; m + 2];
+        for a in 1..=m {
+            mem_b_off[a] = mem_b.len();
+            for b in rb[a] as usize..=m {
+                if lb[b] as usize <= a {
+                    mem_b.push(b as u32);
+                }
+            }
+        }
+        mem_b_off[m + 1] = mem_b.len();
+
+        BSide {
+            m,
+            node_l,
+            node_r,
+            rb,
+            lb,
+            sz_l,
+            sz_r,
+            cnt,
+            mem_a,
+            mem_a_off,
+            mem_b,
+            mem_b_off,
+            start_b,
+            ins_l,
+            ins_r,
+            sub_ins_l,
+        }
+    }
+
+    #[inline]
+    fn cnt_at(&self, a: u32, b: u32) -> u32 {
+        self.cnt[a as usize * (self.m + 1) + b as usize]
+    }
+
+    /// Total number of canonical pairs, |A(G)|.
+    #[inline]
+    fn total(&self) -> usize {
+        self.start_b[self.m + 1]
+    }
+
+    /// Position of canonical pair `(a, b)` in a row vector.
+    #[inline]
+    fn pos(&self, a: u32, b: u32) -> usize {
+        debug_assert!(self.rb[a as usize] <= b && self.lb[b as usize] <= a, "({a},{b}) not canonical");
+        // Rank of the first canonical member of family b is |subtree(y)|.
+        self.start_b[b as usize] + (self.cnt_at(a, b) - self.sz_r[b as usize]) as usize
+    }
+
+    /// Canonical members `a` of family `b`.
+    #[inline]
+    fn fam_a(&self, b: u32) -> &[u32] {
+        &self.mem_a[self.mem_a_off[b as usize]..self.mem_a_off[b as usize + 1]]
+    }
+
+    /// Canonical members `b` of family `a`.
+    #[inline]
+    fn fam_b(&self, a: u32) -> &[u32] {
+        &self.mem_b[self.mem_b_off[a as usize]..self.mem_b_off[a as usize + 1]]
+    }
+}
+
+/// One row of the DP: δ(fixed A-forest, ·) over all canonical B-forests.
+struct Row {
+    /// Values per canonical pair, family-`b` layout (see [`BSide::pos`]).
+    vals: Vec<f64>,
+    /// `kids[a]` = δ(row forest, children-forest of node with local lpost
+    /// `a`); meaningful for non-leaf nodes only.
+    kids: Vec<f64>,
+    /// δ(row forest, empty forest).
+    col0: f64,
+}
+
+impl Row {
+    #[inline]
+    fn get(&self, bs: &BSide, a: u32, b: u32) -> f64 {
+        self.vals[bs.pos(a, b)]
+    }
+
+    /// δ(row forest, children forest of node at local lpost `a`): for
+    /// leaves the children forest is empty.
+    #[inline]
+    fn kid(&self, bs: &BSide, a: u32) -> f64 {
+        if bs.sz_l[a as usize] == 1 {
+            self.col0
+        } else {
+            self.kids[a as usize]
+        }
+    }
+}
+
+/// Marks `val` as the children-forest value of a parent node if the
+/// canonical pair `(a, b)` is exactly `(lpost(x) − 1, rpost(x) − 1)` for
+/// some node `x` (whose children the forest then is).
+#[inline]
+fn note_kid(bs: &BSide, kids: &mut [f64], a: u32, b: u32, val: f64) {
+    let pa = a as usize + 1;
+    if pa <= bs.m && bs.rb[pa] == b + 1 {
+        kids[pa] = val;
+    }
+}
+
+/// δ(∅, ·) row: pure insertion costs.
+fn empty_a_row(bs: &BSide) -> Row {
+    let mut vals = Vec::with_capacity(bs.total());
+    let mut kids = vec![0.0f64; bs.m + 1];
+    for b in 1..=bs.m as u32 {
+        let mut sum = 0.0f64;
+        for (i, &a) in bs.fam_a(b).iter().enumerate() {
+            if i == 0 {
+                sum = bs.sub_ins_l[a as usize]; // S = subtree(y)
+            } else {
+                sum += bs.ins_l[a as usize];
+            }
+            vals.push(sum);
+            note_kid(bs, &mut kids, a, b, sum);
+        }
+    }
+    // Children-forest insert sums are also directly available.
+    for a in 1..=bs.m {
+        if bs.sz_l[a] > 1 {
+            kids[a] = bs.sub_ins_l[a] - bs.ins_l[a];
+        }
+    }
+    Row { vals, kids, col0: 0.0 }
+}
+
+/// Stage T: from δ(children-forest(p), ·) compute δ(subtree(p), ·), writing
+/// the new tree-tree distances δ(subtree(p), subtree(w)) into `D`.
+fn stage_t<L, C: CostModel<L>>(
+    exec: &mut Executor<'_, L, C>,
+    bs: &BSide,
+    p: NodeId,
+    top_prev: &Row,
+    swapped: bool,
+) -> Row {
+    let del_p = exec.del_a(p, swapped);
+    let mut vals = Vec::with_capacity(bs.total());
+    let mut kids = vec![0.0f64; bs.m + 1];
+    let col0 = exec.sub_del_a(p, swapped);
+    let mut cells = 0u64;
+    for b in 1..=bs.m as u32 {
+        let mut sum_ins = 0.0f64;
+        let fam = bs.fam_a(b);
+        for (i, &a) in fam.iter().enumerate() {
+            let x = NodeId(bs.node_l[a as usize]);
+            let val;
+            if i == 0 {
+                // S = subtree(x): both sides are trees — delete / insert /
+                // rename (Fig. 2, tree-tree case).
+                sum_ins = bs.sub_ins_l[a as usize];
+                let s_minus_w = if bs.sz_l[a as usize] == 1 {
+                    col0
+                } else {
+                    kids[a as usize]
+                };
+                val = (top_prev.get(bs, a, b) + del_p)
+                    .min(s_minus_w + bs.ins_l[a as usize])
+                    .min(top_prev.kid(bs, a) + exec.ren_ab(p, x, swapped));
+                exec.d_set(p, x, swapped, val);
+            } else {
+                // S has ≥ 2 roots; direction right, w = rightmost root = x.
+                sum_ins += bs.ins_l[a as usize];
+                let prev_col = vals[vals.len() - 1]; // set (a−1, b)
+                let subtree_x = vals[bs.pos(a, bs.rb[a as usize])];
+                val = (top_prev.get(bs, a, b) + del_p)
+                    .min(prev_col + bs.ins_l[a as usize])
+                    .min(subtree_x + (sum_ins - bs.sub_ins_l[a as usize]));
+            }
+            vals.push(val);
+            note_kid(bs, &mut kids, a, b, val);
+            cells += 1;
+        }
+    }
+    exec.stats.subproblems += cells;
+    Row { vals, kids, col0 }
+}
+
+/// Stage R (`left == false`): re-add the right siblings of the path child
+/// one node at a time (removal direction right). Stage L (`left == true`):
+/// re-add the left siblings (direction left). `add` lists the nodes in
+/// re-addition order: ascending postorder for stage R, ascending mirror
+/// postorder for stage L — each added node becomes the new extreme root.
+fn stage_rl<L, C: CostModel<L>>(
+    exec: &mut Executor<'_, L, C>,
+    bs: &BSide,
+    base: &Row,
+    add: &[NodeId],
+    swapped: bool,
+    left: bool,
+) -> Row {
+    let ta = exec.tree_a(swapped);
+    let r_rows = add.len();
+    let m = bs.m;
+
+    // δ(F-row, ∅) per row.
+    let mut col0 = Vec::with_capacity(r_rows + 1);
+    col0.push(base.col0);
+    for (j, &v) in add.iter().enumerate() {
+        col0.push(col0[j] + exec.del_a(v, swapped));
+    }
+    // Per-row children-forest values; row 0 comes from the base row.
+    let kstride = m + 1;
+    let mut kids = vec![0.0f64; (r_rows + 1) * kstride];
+    kids[..kstride].copy_from_slice(&base.kids);
+
+    let sz_v: Vec<u32> = add.iter().map(|&v| ta.size(v)).collect();
+    let del_v: Vec<f64> = add.iter().map(|&v| exec.del_a(v, swapped)).collect();
+
+    let mut out_vals = if left {
+        vec![0.0f64; bs.total()]
+    } else {
+        Vec::with_capacity(bs.total())
+    };
+    // Stage buffer: (r_rows + 1) × (max family width).
+    let mut wmax = 0usize;
+    for fam_idx in 1..=m as u32 {
+        let w = if left { bs.fam_b(fam_idx).len() } else { bs.fam_a(fam_idx).len() };
+        wmax = wmax.max(w);
+    }
+    let mut stage = vec![0.0f64; (r_rows + 1) * wmax];
+    let mut cells = 0u64;
+
+    for fam_idx in 1..=m as u32 {
+        let fam: &[u32] = if left { bs.fam_b(fam_idx) } else { bs.fam_a(fam_idx) };
+        let width = fam.len();
+        if width == 0 {
+            continue;
+        }
+        // Rank of the first canonical member (size of the anchoring
+        // subtree), used to convert member counts to column indices.
+        let fam_low = if left { bs.sz_l[fam_idx as usize] } else { bs.sz_r[fam_idx as usize] };
+        // Row 0 = base row restricted to this family.
+        for (ci, &mb) in fam.iter().enumerate() {
+            let (a, b) = if left { (fam_idx, mb) } else { (mb, fam_idx) };
+            stage[ci] = base.get(bs, a, b);
+        }
+        for j in 1..=r_rows {
+            let v = add[j - 1];
+            let szv = sz_v[j - 1] as usize;
+            let dv = del_v[j - 1];
+            let jrow = j * wmax;
+            let prow = (j - 1) * wmax;
+            for (ci, &mb) in fam.iter().enumerate() {
+                let (a, b) = if left { (fam_idx, mb) } else { (mb, fam_idx) };
+                // w = extreme root of S on the removal side.
+                let (w_node, szw) = if left {
+                    (NodeId(bs.node_r[b as usize]), bs.sz_r[b as usize])
+                } else {
+                    (NodeId(bs.node_l[a as usize]), bs.sz_l[a as usize])
+                };
+                let val;
+                if ci == 0 {
+                    // S is the single subtree anchoring this family.
+                    let s_minus_w = if szw == 1 {
+                        col0[j]
+                    } else {
+                        kids[j * kstride + if left { a as usize } else { bs.lb[b as usize] as usize }]
+                    };
+                    let ins_w = if left { bs.ins_r[b as usize] } else { bs.ins_l[a as usize] };
+                    val = (stage[prow + ci] + dv)
+                        .min(s_minus_w + ins_w)
+                        .min(exec.d_get(v, w_node, swapped) + col0[j - szv]);
+                } else {
+                    // S has ≥ 2 roots: remove from this stage's direction.
+                    let jump_rank = if left {
+                        bs.cnt_at(a, b - szw)
+                    } else {
+                        bs.cnt_at(a - szw, b)
+                    };
+                    debug_assert!(jump_rank >= fam_low);
+                    let jump = stage[(j - szv) * wmax + (jump_rank - fam_low) as usize];
+                    let ins_w = if left { bs.ins_r[b as usize] } else { bs.ins_l[a as usize] };
+                    val = (stage[prow + ci] + dv)
+                        .min(stage[jrow + ci - 1] + ins_w)
+                        .min(exec.d_get(v, w_node, swapped) + jump);
+                }
+                stage[jrow + ci] = val;
+                note_kid(bs, &mut kids[j * kstride..(j + 1) * kstride], a, b, val);
+                cells += 1;
+            }
+        }
+        // Capture the stage's top row into the output row.
+        let top = r_rows * wmax;
+        if left {
+            for (ci, &mb) in fam.iter().enumerate() {
+                out_vals[bs.pos(fam_idx, mb)] = stage[top + ci];
+            }
+        } else {
+            out_vals.extend_from_slice(&stage[top..top + width]);
+        }
+    }
+    exec.stats.subproblems += cells;
+
+    let out_kids = kids[r_rows * kstride..].to_vec();
+    Row { vals: out_vals, kids: out_kids, col0: col0[r_rows] }
+}
+
+/// Runs `∆I` for the A-side subtree at `a_root` decomposed along `path`
+/// (root-leaf, `path[0] == a_root`) against the B-side subtree at `b_root`.
+pub(crate) fn run<L, C: CostModel<L>>(
+    exec: &mut Executor<'_, L, C>,
+    a_root: NodeId,
+    b_root: NodeId,
+    path: &[NodeId],
+    swapped: bool,
+) {
+    debug_assert_eq!(path.first(), Some(&a_root), "path must start at the subtree root");
+    let bs = BSide::build(exec, b_root, swapped);
+    let ta = exec.tree_a(swapped);
+
+    let mut top_prev = empty_a_row(&bs);
+    for i in (0..path.len()).rev() {
+        let p = path[i];
+        let tree_row = stage_t(exec, &bs, p, &top_prev, swapped);
+        if i == 0 {
+            return;
+        }
+        let parent = path[i - 1];
+        let children: Vec<NodeId> = ta.children(parent).collect();
+        let t = children.iter().position(|&c| c == p).expect("path child");
+
+        // Right siblings' nodes in ascending postorder (stage R re-adds the
+        // rightmost-removed nodes in reverse removal order).
+        let mut add_r: Vec<NodeId> = Vec::new();
+        for &c in &children[t + 1..] {
+            add_r.extend(ta.subtree_nodes(c));
+        }
+        // Left siblings' nodes in ascending mirror postorder.
+        let mut add_l: Vec<NodeId> = Vec::new();
+        for &c in children[..t].iter().rev() {
+            let first_r = ta.rpost(c) + 1 - ta.size(c);
+            for r in first_r..=ta.rpost(c) {
+                add_l.push(ta.by_rpost(r));
+            }
+        }
+
+        let mid = if add_r.is_empty() {
+            tree_row
+        } else {
+            stage_rl(exec, &bs, &tree_row, &add_r, swapped, false)
+        };
+        let top = if add_l.is_empty() {
+            mid
+        } else {
+            stage_rl(exec, &bs, &mid, &add_l, swapped, true)
+        };
+        top_prev = top;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UnitCost;
+    use rted_tree::counts::DecompCounts;
+    use rted_tree::parse_bracket;
+
+    fn bside_for(s: &str) -> (BSide, rted_tree::Tree<String>) {
+        let g = parse_bracket(s).unwrap();
+        let f = parse_bracket("{x}").unwrap();
+        // Build through a throwaway executor (BSide only reads cost tables).
+        let t = Box::leak(Box::new(g.clone()));
+        let fl = Box::leak(Box::new(f));
+        let cm = Box::leak(Box::new(UnitCost));
+        let exec = Executor::new(fl, t, cm);
+        let bs = BSide::build(&exec, t.root(), false);
+        (bs, g)
+    }
+
+    #[test]
+    fn canonical_pair_total_matches_lemma1() {
+        for s in [
+            "{a}",
+            "{a{b}}",
+            "{a{b}{c}}",
+            "{A{C}{B{G}{E{F}}{D}}}",
+            "{a{b{c{d{e}}}}}",
+            "{a{b}{c}{d}{e}}",
+        ] {
+            let (bs, g) = bside_for(s);
+            let counts = DecompCounts::new(&g);
+            assert_eq!(bs.total() as u64, counts.full_of(g.root()), "{s}");
+            // Family lists partition the canonical pairs.
+            let fam_total: usize = (1..=bs.m as u32).map(|b| bs.fam_a(b).len()).sum();
+            assert_eq!(fam_total, bs.total(), "{s}");
+            let fam_total_b: usize = (1..=bs.m as u32).map(|a| bs.fam_b(a).len()).sum();
+            assert_eq!(fam_total_b, bs.total(), "{s}");
+        }
+    }
+
+    #[test]
+    fn positions_are_a_bijection() {
+        let (bs, _) = bside_for("{A{C}{B{G}{E{F}}{D}}}");
+        let mut seen = vec![false; bs.total()];
+        for b in 1..=bs.m as u32 {
+            for &a in bs.fam_a(b) {
+                let p = bs.pos(a, b);
+                assert!(!seen[p], "position {p} reused at ({a},{b})");
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn lpost_rpost_tables_consistent() {
+        let (bs, g) = bside_for("{a{b{c}{d}}{e{f}}}");
+        for a in 1..=bs.m {
+            let b = bs.rb[a] as usize;
+            assert_eq!(bs.lb[b], a as u32);
+            assert_eq!(bs.node_l[a], bs.node_r[b]);
+            assert_eq!(bs.sz_l[a], bs.sz_r[b]);
+        }
+        // cnt grows to m at (m, m).
+        assert_eq!(bs.cnt_at(bs.m as u32, bs.m as u32) as usize, bs.m);
+        // cnt of a subtree's canonical pair equals its size.
+        for a in 1..=bs.m as u32 {
+            let b = bs.rb[a as usize];
+            assert_eq!(bs.cnt_at(a, b), bs.sz_l[a as usize]);
+        }
+        drop(g);
+    }
+
+    #[test]
+    fn empty_row_is_insert_costs() {
+        let (bs, g) = bside_for("{a{b}{c{d}}}");
+        let row = empty_a_row(&bs);
+        assert_eq!(row.col0, 0.0);
+        // Full-tree pair: inserting everything costs n under unit costs.
+        let a = bs.m as u32;
+        let b = bs.rb[a as usize];
+        assert_eq!(row.get(&bs, a, b), g.len() as f64);
+        // Children forest of the root costs n - 1.
+        assert_eq!(row.kid(&bs, a), (g.len() - 1) as f64);
+    }
+}

@@ -1,0 +1,91 @@
+//! Single-path functions `∆L` and `∆R` (§4.3): the Zhang–Shasha keyroot DP
+//! adapted to a single root-leaf path.
+//!
+//! `∆L(F, G, γL(F), D)` computes δ(F_v, G_w) for every node `v` on the
+//! **left** path of `F` and every `w` in `G`, given that `D` already holds
+//! the distances for all subtrees of `F` hanging off the path (GTED
+//! recursed on them first). It computes exactly
+//! `|F| × |F(G, Γ_L(G))|` relevant subproblems (Lemma 4): one keyroot DP of
+//! size `|F| × |G_j|` per left-keyroot `j` of `G`. `∆R` is the same code on
+//! the mirrored orientation.
+
+use crate::cost::CostModel;
+use crate::gted::Executor;
+use crate::view::SubtreeView;
+use rted_tree::NodeId;
+
+/// Runs `∆L` (`right == false`) or `∆R` (`right == true`) for the A-side
+/// subtree rooted at `a_root` against the B-side subtree at `b_root`.
+///
+/// `swapped` selects the orientation of the executor's cost/distance
+/// accessors (true when the A side is the original right-hand tree).
+pub(crate) fn run<L, C: CostModel<L>>(
+    exec: &mut Executor<'_, L, C>,
+    a_root: NodeId,
+    b_root: NodeId,
+    swapped: bool,
+    right: bool,
+) {
+    let ta = exec.tree_a(swapped);
+    let tb = exec.tree_b(swapped);
+    let va = SubtreeView::new(ta, a_root, right);
+    let vb = SubtreeView::new(tb, b_root, right);
+    let na = va.n;
+    let nb = vb.n;
+    let stride = (nb + 1) as usize;
+
+    // Per-rank data. Rank 0 entries are padding.
+    let a_lml: Vec<u32> = std::iter::once(0).chain((1..=na).map(|r| va.lml(r))).collect();
+    let b_lml: Vec<u32> = std::iter::once(0).chain((1..=nb).map(|r| vb.lml(r))).collect();
+    let a_node: Vec<NodeId> =
+        std::iter::once(NodeId(0)).chain((1..=na).map(|r| va.node(r))).collect();
+    let b_node: Vec<NodeId> =
+        std::iter::once(NodeId(0)).chain((1..=nb).map(|r| vb.node(r))).collect();
+    let a_del: Vec<f64> =
+        std::iter::once(0.0).chain((1..=na).map(|r| exec.del_a(a_node[r as usize], swapped))).collect();
+    let b_ins: Vec<f64> =
+        std::iter::once(0.0).chain((1..=nb).map(|r| exec.ins_b(b_node[r as usize], swapped))).collect();
+
+    let mut fd = vec![0.0f64; (na as usize + 1) * stride];
+    let at = |x: u32, y: u32| (x as usize) * stride + y as usize;
+
+    // The A side always spans the whole subtree (its "keyroot" is the root,
+    // whose view-leftmost leaf is rank 1). Spine nodes are the ranks whose
+    // lml is 1 — exactly the nodes on the left (resp. right) path.
+    for j in vb.keyroots() {
+        let lj = b_lml[j as usize];
+        exec.stats.subproblems += na as u64 * (j - lj + 1) as u64;
+        fd[at(0, lj - 1)] = 0.0;
+        for x in 1..=na {
+            fd[at(x, lj - 1)] = fd[at(x - 1, lj - 1)] + a_del[x as usize];
+        }
+        for y in lj..=j {
+            fd[at(0, y)] = fd[at(0, y - 1)] + b_ins[y as usize];
+        }
+        for x in 1..=na {
+            let lx = a_lml[x as usize];
+            for y in lj..=j {
+                let ly = b_lml[y as usize];
+                let del = fd[at(x - 1, y)] + a_del[x as usize];
+                let ins = fd[at(x, y - 1)] + b_ins[y as usize];
+                let v = if lx == 1 && ly == lj {
+                    // Both prefixes are complete subtrees rooted at path
+                    // nodes: rename case; this is a new tree-tree distance.
+                    let ren = fd[at(x - 1, y - 1)]
+                        + exec.ren_ab(a_node[x as usize], b_node[y as usize], swapped);
+                    let best = del.min(ins).min(ren);
+                    exec.d_set(a_node[x as usize], b_node[y as usize], swapped, best);
+                    best
+                } else {
+                    // Match complete subtrees at x and y; their tree-tree
+                    // distance is in D (hanging subtree of A × anything, or
+                    // A-path node × earlier keyroot region of B).
+                    let m = fd[at(lx - 1, ly - 1)]
+                        + exec.d_get(a_node[x as usize], b_node[y as usize], swapped);
+                    del.min(ins).min(m)
+                };
+                fd[at(x, y)] = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The classic Zhang–Shasha algorithm (SIAM J. Comput. 1989) — the paper's
+//! `Zhang-L` baseline — and its mirrored variant `Zhang-R`.
+//!
+//! Zhang–Shasha is the GTED instance whose strategy maps every subtree pair
+//! to the left (resp. right) root-leaf path of the first tree. This
+//! standalone implementation hard-codes that strategy the way the paper's
+//! optimized baseline does: one keyroot DP per pair of keyroots. It is used
+//! both as a baseline in the benchmarks and as a trusted second
+//! implementation in the test suite (validated against the recursive
+//! reference, then used to validate GTED on larger inputs).
+
+use crate::cost::{CostModel, CostTables};
+use crate::view::SubtreeView;
+use rted_tree::Tree;
+
+/// Result of a Zhang–Shasha run.
+#[derive(Debug, Clone)]
+pub struct ZsResult {
+    /// The tree edit distance.
+    pub distance: f64,
+    /// Number of relevant subproblems computed (forest-pair DP cells).
+    pub subproblems: u64,
+    /// `(n_F + 1) × (n_G + 1)` matrix of subtree distances in **view-local**
+    /// ranks: `td[x * (n_G + 1) + y]` is the distance between the subtrees
+    /// rooted at local ranks `x` and `y` (1-based; row/column 0 unused).
+    pub td: Vec<f64>,
+}
+
+impl ZsResult {
+    /// Distance between the subtrees rooted at local ranks `x` and `y`.
+    #[inline]
+    pub fn subtree_distance(&self, x: u32, y: u32, ng: u32) -> f64 {
+        self.td[(x * (ng + 1) + y) as usize]
+    }
+}
+
+/// Runs Zhang–Shasha with left paths (`right = false`, the classic
+/// algorithm) or right paths (`right = true`, its mirror).
+pub fn zhang_shasha<L, C: CostModel<L>>(
+    f: &Tree<L>,
+    g: &Tree<L>,
+    cm: &C,
+    right: bool,
+) -> ZsResult {
+    let fv = SubtreeView::new(f, f.root(), right);
+    let gv = SubtreeView::new(g, g.root(), right);
+    let ftab = CostTables::new(f, cm);
+    let gtab = CostTables::new(g, cm);
+
+    let nf = fv.n;
+    let ng = gv.n;
+    let stride = (ng + 1) as usize;
+    let mut td = vec![0.0f64; (nf as usize + 1) * stride];
+    let mut fd = vec![0.0f64; (nf as usize + 1) * stride];
+    let mut subproblems = 0u64;
+
+    // Precompute per-rank data to keep the inner loop tight.
+    let f_lml: Vec<u32> = std::iter::once(0).chain((1..=nf).map(|r| fv.lml(r))).collect();
+    let g_lml: Vec<u32> = std::iter::once(0).chain((1..=ng).map(|r| gv.lml(r))).collect();
+    let f_del: Vec<f64> =
+        std::iter::once(0.0).chain((1..=nf).map(|r| ftab.del[fv.node(r).idx()])).collect();
+    let g_ins: Vec<f64> =
+        std::iter::once(0.0).chain((1..=ng).map(|r| gtab.ins[gv.node(r).idx()])).collect();
+
+    let f_kr = fv.keyroots();
+    let g_kr = gv.keyroots();
+
+    for &i in &f_kr {
+        let li = f_lml[i as usize];
+        for &j in &g_kr {
+            let lj = g_lml[j as usize];
+            subproblems += (i - li + 1) as u64 * (j - lj + 1) as u64;
+            // Forest distances over prefixes [li..x] × [lj..y].
+            let at = |x: u32, y: u32| (x as usize) * stride + y as usize;
+            fd[at(li - 1, lj - 1)] = 0.0;
+            for x in li..=i {
+                fd[at(x, lj - 1)] = fd[at(x - 1, lj - 1)] + f_del[x as usize];
+            }
+            for y in lj..=j {
+                fd[at(li - 1, y)] = fd[at(li - 1, y - 1)] + g_ins[y as usize];
+            }
+            for x in li..=i {
+                let lx = f_lml[x as usize];
+                for y in lj..=j {
+                    let ly = g_lml[y as usize];
+                    let del = fd[at(x - 1, y)] + f_del[x as usize];
+                    let ins = fd[at(x, y - 1)] + g_ins[y as usize];
+                    let v = if lx == li && ly == lj {
+                        // Both prefixes are complete subtrees: rename case.
+                        let ren = fd[at(x - 1, y - 1)]
+                            + cm.rename(f.label(fv.node(x)), g.label(gv.node(y)));
+                        let best = del.min(ins).min(ren);
+                        td[at(x, y)] = best;
+                        best
+                    } else {
+                        // Match the complete subtrees at x and y.
+                        let m = fd[at(lx - 1, ly - 1)] + td[at(x, y)];
+                        del.min(ins).min(m)
+                    };
+                    fd[at(x, y)] = v;
+                }
+            }
+        }
+    }
+
+    ZsResult {
+        distance: td[(nf as usize) * stride + ng as usize],
+        subproblems,
+        td,
+    }
+}
+
+/// Convenience wrapper: the Zhang–Shasha (left) distance.
+pub fn zs_distance<L, C: CostModel<L>>(f: &Tree<L>, g: &Tree<L>, cm: &C) -> f64 {
+    zhang_shasha(f, g, cm, false).distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{PerLabelCost, UnitCost};
+    use crate::reference::reference_ted;
+    use rted_tree::parse_bracket;
+
+    fn zs(a: &str, b: &str) -> f64 {
+        let f = parse_bracket(a).unwrap();
+        let g = parse_bracket(b).unwrap();
+        zhang_shasha(&f, &g, &UnitCost, false).distance
+    }
+
+    #[test]
+    fn basic_distances() {
+        assert_eq!(zs("{a}", "{a}"), 0.0);
+        assert_eq!(zs("{a}", "{b}"), 1.0);
+        assert_eq!(zs("{a{b}{c}}", "{a{b}}"), 1.0);
+        assert_eq!(zs("{a{b{c}{d}}}", "{a{c}{d}}"), 1.0);
+        assert_eq!(zs("{r{a}{b}}", "{r{b}{a}}"), 2.0);
+    }
+
+    #[test]
+    fn left_and_right_agree() {
+        let cases = [
+            ("{a{b}{c{d}}}", "{a{b{d}}{c}}"),
+            ("{a{b{c}{d}}{e}}", "{x{y}{z{w{q}}}}"),
+            ("{A{C}{B{G}{E{F}}{D}}}", "{A{B{D}{E{F}}}{C{G}}}"),
+        ];
+        for (a, b) in cases {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let l = zhang_shasha(&f, &g, &UnitCost, false).distance;
+            let r = zhang_shasha(&f, &g, &UnitCost, true).distance;
+            assert_eq!(l, r, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_fixed_cases() {
+        let cases = [
+            ("{a{b}{c{d}}}", "{a{b{d}}{c}}"),
+            ("{a{b{c}{d}}{e}}", "{x{y}{z{w{q}}}}"),
+            ("{a{a}{a}{a}}", "{a{a{a}}}"),
+            ("{r{a{x}}{b}}", "{r{a}{b{x}}}"),
+            ("{A{C}{B{G}{E{F}}{D}}}", "{B{G}{E{F}}{D}}"),
+        ];
+        for (a, b) in cases {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let want = reference_ted(&f, &g, &UnitCost);
+            assert_eq!(zhang_shasha(&f, &g, &UnitCost, false).distance, want, "{a} {b}");
+            assert_eq!(zhang_shasha(&f, &g, &UnitCost, true).distance, want, "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn weighted_costs_match_reference() {
+        let cm = PerLabelCost::new(1.5, 2.0, 0.75);
+        let f = parse_bracket("{a{b{c}}{d}}").unwrap();
+        let g = parse_bracket("{a{x}{d{c}}}").unwrap();
+        let want = reference_ted(&f, &g, &cm);
+        assert_eq!(zhang_shasha(&f, &g, &cm, false).distance, want);
+        assert_eq!(zhang_shasha(&f, &g, &cm, true).distance, want);
+    }
+
+    #[test]
+    fn subproblem_count_matches_keyroot_formula() {
+        // #subproblems = |F(F,ΓL)| × |F(G,ΓL)| for the left variant.
+        use rted_tree::counts::DecompCounts;
+        let f = parse_bracket("{a{b{c}{d}}{e}}").unwrap();
+        let g = parse_bracket("{A{C}{B{G}{E{F}}{D}}}").unwrap();
+        let cf = DecompCounts::new(&f);
+        let cg = DecompCounts::new(&g);
+        let run = zhang_shasha(&f, &g, &UnitCost, false);
+        assert_eq!(run.subproblems, cf.left_of(f.root()) * cg.left_of(g.root()));
+        let run_r = zhang_shasha(&f, &g, &UnitCost, true);
+        assert_eq!(run_r.subproblems, cf.right_of(f.root()) * cg.right_of(g.root()));
+    }
+
+    #[test]
+    fn td_matrix_contains_subtree_distances() {
+        let f = parse_bracket("{a{b{c}}{d}}").unwrap();
+        let g = parse_bracket("{a{b}{d{c}}}").unwrap();
+        let run = zhang_shasha(&f, &g, &UnitCost, false);
+        // Left view local rank = postorder id + 1; check every subtree pair
+        // against the reference.
+        for v in f.nodes() {
+            for w in g.nodes() {
+                let sf = f.subtree(v);
+                let sg = g.subtree(w);
+                let want = reference_ted(&sf, &sg, &UnitCost);
+                let got = run.subtree_distance(v.0 + 1, w.0 + 1, g.len() as u32);
+                assert_eq!(got, want, "subtrees {v} {w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Workload generators for the RTED reproduction.
+//!
+//! * [`shapes`] — the six synthetic shapes of the paper's evaluation
+//!   (Fig. 7): left branch, right branch, full binary, zig-zag, mixed, and
+//!   bounded random trees;
+//! * [`realworld`] — shape-matched simulators for the three real-world
+//!   datasets (SwissProt, TreeBank, TreeFam), substituting for the
+//!   originals which are not redistributable (see DESIGN.md: the
+//!   algorithms are label-agnostic beyond equality, so shape statistics
+//!   are the behaviourally relevant property);
+//! * [`xml`] — a small XML element parser producing label trees, used by
+//!   the `xml_diff` example.
+
+pub mod realworld;
+pub mod shapes;
+pub mod xml;
+
+pub use shapes::Shape;

@@ -1,0 +1,175 @@
+//! A minimal XML element-tree parser.
+//!
+//! Parses just enough XML to turn documents into ordered labeled trees for
+//! edit distance comparison (the paper's motivating application): element
+//! nesting and tag names, with text content becoming leaf nodes. No
+//! namespaces, DTDs or entities — this is a workload adapter, not an XML
+//! library.
+
+use rted_tree::build::BuildNode;
+use rted_tree::Tree;
+
+/// Error from [`parse_xml`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the error.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xml error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+fn err<T>(position: usize, message: impl Into<String>) -> Result<T, XmlError> {
+    Err(XmlError { position, message: message.into() })
+}
+
+/// Parses an XML document into a label tree: element nodes are labeled with
+/// their tag name, non-whitespace text runs become leaf nodes labeled with
+/// the trimmed text. Attributes are ignored.
+pub fn parse_xml(input: &str) -> Result<Tree<String>, XmlError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut stack: Vec<BuildNode<String>> = Vec::new();
+    let mut root: Option<BuildNode<String>> = None;
+
+    let flush_text = |stack: &mut Vec<BuildNode<String>>, text: &mut String| {
+        let trimmed = text.trim();
+        if !trimmed.is_empty() {
+            if let Some(top) = stack.last_mut() {
+                top.children.push(BuildNode::leaf(trimmed.to_string()));
+            }
+        }
+        text.clear();
+    };
+
+    let mut text = String::new();
+    while pos < bytes.len() {
+        if bytes[pos] == b'<' {
+            // Comments / processing instructions / declarations: skip.
+            if input[pos..].starts_with("<!--") {
+                match input[pos..].find("-->") {
+                    Some(end) => {
+                        pos += end + 3;
+                        continue;
+                    }
+                    None => return err(pos, "unterminated comment"),
+                }
+            }
+            if input[pos..].starts_with("<?") || input[pos..].starts_with("<!") {
+                match input[pos..].find('>') {
+                    Some(end) => {
+                        pos += end + 1;
+                        continue;
+                    }
+                    None => return err(pos, "unterminated declaration"),
+                }
+            }
+            flush_text(&mut stack, &mut text);
+            let close = bytes.get(pos + 1) == Some(&b'/');
+            let end = match input[pos..].find('>') {
+                Some(e) => pos + e,
+                None => return err(pos, "unterminated tag"),
+            };
+            let self_closing = bytes[end - 1] == b'/';
+            let inner_start = pos + if close { 2 } else { 1 };
+            let inner_end = if self_closing && !close { end - 1 } else { end };
+            let inner = input[inner_start..inner_end].trim();
+            let name = inner.split_whitespace().next().unwrap_or("");
+            if name.is_empty() {
+                return err(pos, "empty tag name");
+            }
+            if close {
+                let node = match stack.pop() {
+                    Some(n) => n,
+                    None => return err(pos, format!("unmatched closing tag </{name}>")),
+                };
+                if node.label != name {
+                    return err(pos, format!("expected </{}>, found </{name}>", node.label));
+                }
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => {
+                        if root.is_some() {
+                            return err(pos, "multiple root elements");
+                        }
+                        root = Some(node);
+                    }
+                }
+            } else if self_closing {
+                let node = BuildNode::leaf(name.to_string());
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => {
+                        if root.is_some() {
+                            return err(pos, "multiple root elements");
+                        }
+                        root = Some(node);
+                    }
+                }
+            } else {
+                stack.push(BuildNode::leaf(name.to_string()));
+            }
+            pos = end + 1;
+        } else {
+            text.push(bytes[pos] as char);
+            pos += 1;
+        }
+    }
+    if !stack.is_empty() {
+        return err(pos, format!("unclosed element <{}>", stack.last().unwrap().label));
+    }
+    match root {
+        Some(r) => Ok(r.build()),
+        None => err(pos, "no root element"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_document() {
+        let t = parse_xml("<a><b/><c>hello</c></a>").unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.label(t.root()), "a");
+        // c's child is the text leaf.
+        let c = t.children(t.root()).last().unwrap();
+        assert_eq!(t.label(c), "c");
+        assert_eq!(t.label(t.children(c).next().unwrap()), "hello");
+    }
+
+    #[test]
+    fn attributes_ignored() {
+        let t = parse_xml(r#"<a x="1"><b y="2"/></a>"#).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.label(t.root()), "a");
+    }
+
+    #[test]
+    fn comments_and_decls_skipped() {
+        let t = parse_xml("<?xml version=\"1.0\"?><!-- hi --><a><b/></a>").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(parse_xml("<a><b></a></b>").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("text only").is_err());
+        assert!(parse_xml("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn whitespace_text_dropped() {
+        let t = parse_xml("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+}

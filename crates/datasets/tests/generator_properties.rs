@@ -1,0 +1,127 @@
+//! Generator contract tests: exact sizes, bounds, determinism, and the
+//! adversarial properties each shape is designed to have.
+
+use rted_datasets::realworld::{swissprot_like, treebank_like, treefam_like};
+use rted_datasets::shapes::{profile, random_tree};
+use rted_datasets::Shape;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rted_tree::counts::DecompCounts;
+use rted_tree::PathKind;
+
+#[test]
+fn lb_is_optimal_for_left_paths() {
+    // On the left-branch tree the recursive left decomposition is linear
+    // in n (the hanging subtrees are leaves) while the right decomposition
+    // is quadratic — the asymmetry that breaks Zhang-R.
+    let t = Shape::LeftBranch.generate(201, 0);
+    let c = DecompCounts::new(&t);
+    let root = t.root();
+    assert!(c.left_of(root) < 2 * t.len() as u64);
+    assert!(c.right_of(root) > (t.len() * t.len() / 8) as u64);
+}
+
+#[test]
+fn zz_favors_heavy_paths() {
+    // On zig-zags all decomposition sets are Θ(n²), but the heavy-path
+    // cost multiplies |A| by n while Zhang multiplies the quadratic
+    // left/right counts together — a full polynomial degree apart.
+    let t = Shape::ZigZag.generate(401, 0);
+    let c = DecompCounts::new(&t);
+    let n = t.len() as u64;
+    assert!(c.left_of(t.root()) > n * n / 16);
+    assert!(c.right_of(t.root()) > n * n / 16);
+    let zl = rted_core::Algorithm::ZhangL.predicted_subproblems(&t, &t);
+    let dh = rted_core::Algorithm::DemaineH.predicted_subproblems(&t, &t);
+    assert!(dh * 20 < zl, "Demaine {dh} vs Zhang {zl}");
+    // A pure chain, by contrast, has a linear full decomposition.
+    let c2 = {
+        let mut s = String::from("{x}");
+        for _ in 0..200 {
+            s = format!("{{x{s}}}");
+        }
+        DecompCounts::new(&rted_tree::parse_bracket(&s).unwrap())
+    };
+    assert_eq!(c2.full[c2.full.len() - 1], 201);
+}
+
+#[test]
+fn fb_decompositions_are_quasilinear() {
+    // On complete binary trees the L/R decompositions are Θ(n log n).
+    let t = Shape::FullBinary.generate(1023, 0);
+    let c = DecompCounts::new(&t);
+    let n = t.len() as u64;
+    let nlogn = n * 11; // log2(1023) ≈ 10
+    assert!(c.left_of(t.root()) <= nlogn);
+    // The full decomposition is quadratic: Demaine pays for it.
+    assert!(c.full_of(t.root()) > n * n / 8);
+}
+
+#[test]
+fn random_tree_capacity_assert() {
+    let mut rng = StdRng::seed_from_u64(0);
+    // depth 15, fanout 6 supports far more than 5000 nodes.
+    let t = random_tree(5000, 15, 6, &mut rng);
+    assert_eq!(t.len(), 5000);
+    let p = profile(&t);
+    assert!(p.depth <= 15 && p.max_fanout <= 6);
+}
+
+#[test]
+fn realworld_simulators_deterministic() {
+    for f in [swissprot_like, treebank_like, treefam_like] {
+        let a = f(200, 9);
+        let b = f(200, 9);
+        assert_eq!(
+            rted_tree::to_bracket(&a.map_labels(|l| l.to_string())),
+            rted_tree::to_bracket(&b.map_labels(|l| l.to_string()))
+        );
+    }
+}
+
+#[test]
+fn treefam_is_deep_and_binary() {
+    // Phylogenies: fanout ≤ 2 with long chains; heavy paths matter.
+    let t = treefam_like(1000, 5);
+    let p = profile(&t);
+    assert!(p.max_fanout <= 2);
+    assert!(p.depth >= 15, "depth {}", p.depth);
+    // Heavy path decomposition beats L/R on these shapes more often than
+    // not — check the optimal strategy uses heavy paths somewhere.
+    let s = rted_core::optimal_strategy(&t, &t);
+    let uses_heavy = t
+        .nodes()
+        .any(|v| s.choice(v, v).kind == PathKind::Heavy);
+    assert!(uses_heavy);
+}
+
+#[test]
+fn shapes_cover_strategy_space() {
+    // Across the six shapes, the optimal strategy must exercise all three
+    // path kinds (otherwise the generators don't span the LRH space).
+    let mut kinds_seen = std::collections::BTreeSet::new();
+    for shape in Shape::ALL {
+        let t = shape.generate(120, 3);
+        let s = rted_core::optimal_strategy(&t, &t);
+        for v in t.nodes() {
+            kinds_seen.insert(format!("{}", s.choice(v, t.root()).kind));
+        }
+    }
+    assert_eq!(kinds_seen.len(), 3, "saw {kinds_seen:?}");
+}
+
+#[test]
+fn profiles_match_paper_targets() {
+    // Averages over a small sample; generous tolerances (these are
+    // simulators, not replicas).
+    let sp: Vec<_> = (0..10).map(|s| profile(&swissprot_like(187, s))).collect();
+    assert!(sp.iter().all(|p| p.depth <= 4));
+    assert!(sp.iter().map(|p| p.max_fanout).max().unwrap() >= 20);
+
+    let tb: Vec<_> = (0..10).map(|s| profile(&treebank_like(68, s))).collect();
+    let avg_depth: f64 = tb.iter().map(|p| p.depth as f64).sum::<f64>() / 10.0;
+    assert!((6.0..=35.0).contains(&avg_depth), "avg depth {avg_depth}");
+
+    let tf: Vec<_> = (0..10).map(|s| profile(&treefam_like(95, s))).collect();
+    assert!(tf.iter().all(|p| p.max_fanout <= 2));
+}

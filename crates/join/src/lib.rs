@@ -1,0 +1,239 @@
+//! Tree edit distance similarity joins (§8, Table 1 of the paper).
+//!
+//! A similarity self-join over a collection `T` of trees matches every pair
+//! `(T_i, T_j)`, `i < j`, with `TED(T_i, T_j) < τ`. The join is the
+//! paper's stress test for robustness: it pairs trees of *different*
+//! shapes, so any fixed decomposition strategy degenerates on some pairs
+//! while RTED adapts per pair.
+//!
+//! A cheap size-difference lower bound (`|size(F) − size(G)| ≤ TED` under
+//! unit costs) can optionally prune pairs before the exact computation; the
+//! paper's experiment computes all pairs, which remains the default.
+
+use rted_core::{Algorithm, CostModel, RunStats};
+use rted_tree::Tree;
+use std::time::{Duration, Instant};
+
+/// One matched pair of a join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinMatch {
+    /// Index of the first tree in the input collection.
+    pub left: usize,
+    /// Index of the second tree (always > `left`).
+    pub right: usize,
+    /// Their tree edit distance.
+    pub distance: f64,
+}
+
+/// Aggregate result of a similarity self-join.
+#[derive(Debug, Clone)]
+pub struct JoinResult {
+    /// Pairs within the threshold.
+    pub matches: Vec<JoinMatch>,
+    /// Total number of pairs compared exactly.
+    pub pairs_computed: usize,
+    /// Pairs skipped by the size lower bound (0 unless pruning enabled).
+    pub pairs_pruned: usize,
+    /// Total relevant subproblems computed over all pairs.
+    pub subproblems: u64,
+    /// Total wall-clock time of the distance computations.
+    pub time: Duration,
+}
+
+/// Configuration of a similarity self-join.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinConfig {
+    /// Distance threshold: pairs with `TED < tau` match.
+    pub tau: f64,
+    /// Algorithm used for the exact distances.
+    pub algorithm: Algorithm,
+    /// Skip pairs whose size difference already exceeds `tau` (valid for
+    /// cost models with all delete/insert costs ≥ 1, e.g. unit costs).
+    pub size_prune: bool,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        JoinConfig { tau: f64::INFINITY, algorithm: Algorithm::Rted, size_prune: false }
+    }
+}
+
+/// Runs a similarity self-join over `trees` under `config`.
+pub fn self_join<L, C: CostModel<L>>(
+    trees: &[Tree<L>],
+    cm: &C,
+    config: &JoinConfig,
+) -> JoinResult {
+    let mut matches = Vec::new();
+    let mut pairs_computed = 0usize;
+    let mut pairs_pruned = 0usize;
+    let mut subproblems = 0u64;
+    let start = Instant::now();
+    for i in 0..trees.len() {
+        for j in i + 1..trees.len() {
+            if config.size_prune {
+                let diff = (trees[i].len() as f64 - trees[j].len() as f64).abs();
+                if diff >= config.tau {
+                    pairs_pruned += 1;
+                    continue;
+                }
+            }
+            let run: RunStats = config.algorithm.run(&trees[i], &trees[j], cm);
+            pairs_computed += 1;
+            subproblems += run.subproblems;
+            if run.distance < config.tau {
+                matches.push(JoinMatch { left: i, right: j, distance: run.distance });
+            }
+        }
+    }
+    JoinResult { matches, pairs_computed, pairs_pruned, subproblems, time: start.elapsed() }
+}
+
+/// Total *predicted* subproblems of a self-join under `algorithm` (via the
+/// Fig.-5 cost formula; no distances computed). This is the analytic
+/// counterpart of [`JoinResult::subproblems`].
+pub fn predicted_join_subproblems<L>(trees: &[Tree<L>], algorithm: Algorithm) -> u64 {
+    let mut total = 0u64;
+    for i in 0..trees.len() {
+        for j in i + 1..trees.len() {
+            total += algorithm.predicted_subproblems(&trees[i], &trees[j]);
+        }
+    }
+    total
+}
+
+/// Similarity self-join with label-histogram pruning (§7's bound idea):
+/// precomputes one label multiset per tree and skips every pair whose
+/// combined size/histogram lower bound already reaches `tau`.
+///
+/// Sound for cost models where deletes/inserts cost ≥ 1 and renames of
+/// distinct labels cost ≥ 1 (e.g. unit costs).
+pub fn self_join_pruned<L, C>(trees: &[Tree<L>], cm: &C, tau: f64, algorithm: Algorithm) -> JoinResult
+where
+    L: Eq + std::hash::Hash + Clone,
+    C: CostModel<L>,
+{
+    use rted_core::bounds::LabelHistogram;
+    let histograms: Vec<LabelHistogram<L>> = trees.iter().map(LabelHistogram::new).collect();
+    let mut matches = Vec::new();
+    let mut pairs_computed = 0usize;
+    let mut pairs_pruned = 0usize;
+    let mut subproblems = 0u64;
+    let start = Instant::now();
+    for i in 0..trees.len() {
+        for j in i + 1..trees.len() {
+            let lb = histograms[i].lower_bound(&histograms[j]);
+            if lb >= tau {
+                pairs_pruned += 1;
+                continue;
+            }
+            let run = algorithm.run(&trees[i], &trees[j], cm);
+            pairs_computed += 1;
+            subproblems += run.subproblems;
+            if run.distance < tau {
+                matches.push(JoinMatch { left: i, right: j, distance: run.distance });
+            }
+        }
+    }
+    JoinResult { matches, pairs_computed, pairs_pruned, subproblems, time: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rted_core::UnitCost;
+    use rted_datasets::shapes::{perturb_labels, Shape, DEFAULT_ALPHABET};
+
+    fn sample_trees() -> Vec<rted_tree::Tree<u32>> {
+        let base = Shape::Random.generate(40, 1);
+        vec![
+            base.clone(),
+            perturb_labels(&base, 2, DEFAULT_ALPHABET, 7),
+            Shape::LeftBranch.generate(40, 2),
+            Shape::RightBranch.generate(40, 3),
+            Shape::FullBinary.generate(15, 4),
+        ]
+    }
+
+    #[test]
+    fn join_finds_close_pairs() {
+        let trees = sample_trees();
+        let cfg = JoinConfig { tau: 4.0, algorithm: Algorithm::Rted, size_prune: false };
+        let res = self_join(&trees, &UnitCost, &cfg);
+        assert_eq!(res.pairs_computed, 10);
+        // The perturbed copy must match its base.
+        assert!(res.matches.iter().any(|m| m.left == 0 && m.right == 1));
+        // The small FB tree is far from everything of size 40.
+        assert!(!res.matches.iter().any(|m| m.right == 4 && m.distance >= 4.0));
+    }
+
+    #[test]
+    fn all_algorithms_same_matches() {
+        let trees = sample_trees();
+        let base = self_join(
+            &trees,
+            &UnitCost,
+            &JoinConfig { tau: 10.0, algorithm: Algorithm::ZhangL, size_prune: false },
+        );
+        for alg in Algorithm::ALL {
+            let res = self_join(
+                &trees,
+                &UnitCost,
+                &JoinConfig { tau: 10.0, algorithm: alg, size_prune: false },
+            );
+            assert_eq!(res.matches, base.matches, "{alg}");
+        }
+    }
+
+    #[test]
+    fn size_pruning_preserves_matches() {
+        let trees = sample_trees();
+        let full = self_join(
+            &trees,
+            &UnitCost,
+            &JoinConfig { tau: 5.0, algorithm: Algorithm::Rted, size_prune: false },
+        );
+        let pruned = self_join(
+            &trees,
+            &UnitCost,
+            &JoinConfig { tau: 5.0, algorithm: Algorithm::Rted, size_prune: true },
+        );
+        assert_eq!(full.matches, pruned.matches);
+        assert!(pruned.pairs_pruned > 0);
+        assert_eq!(pruned.pairs_computed + pruned.pairs_pruned, 10);
+    }
+
+    #[test]
+    fn histogram_pruned_join_preserves_matches() {
+        let trees = sample_trees();
+        let full = self_join(
+            &trees,
+            &UnitCost,
+            &JoinConfig { tau: 6.0, algorithm: Algorithm::Rted, size_prune: false },
+        );
+        let pruned = self_join_pruned(&trees, &UnitCost, 6.0, Algorithm::Rted);
+        assert_eq!(full.matches, pruned.matches);
+        // The histogram bound dominates the size bound, so it prunes at
+        // least as many pairs.
+        let size_only = self_join(
+            &trees,
+            &UnitCost,
+            &JoinConfig { tau: 6.0, algorithm: Algorithm::Rted, size_prune: true },
+        );
+        assert!(pruned.pairs_pruned >= size_only.pairs_pruned);
+    }
+
+    #[test]
+    fn measured_subproblems_match_predicted() {
+        let trees = sample_trees();
+        for alg in Algorithm::ALL {
+            let res = self_join(
+                &trees,
+                &UnitCost,
+                &JoinConfig { tau: 1.0, algorithm: alg, size_prune: false },
+            );
+            let predicted = predicted_join_subproblems(&trees, alg);
+            assert_eq!(res.subproblems, predicted, "{alg}");
+        }
+    }
+}

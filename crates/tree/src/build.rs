@@ -1,0 +1,217 @@
+//! Incremental tree construction.
+
+use crate::{NodeId, Tree};
+
+/// A node under construction: a label and its ordered children.
+#[derive(Debug, Clone)]
+pub struct BuildNode<L> {
+    /// Node label.
+    pub label: L,
+    /// Children in left-to-right order.
+    pub children: Vec<BuildNode<L>>,
+}
+
+impl<L> BuildNode<L> {
+    /// A leaf with the given label.
+    pub fn leaf(label: L) -> Self {
+        BuildNode { label, children: Vec::new() }
+    }
+
+    /// An inner node with the given label and children.
+    pub fn node(label: L, children: Vec<BuildNode<L>>) -> Self {
+        BuildNode { label, children }
+    }
+
+    /// Number of nodes in this subtree.
+    pub fn size(&self) -> usize {
+        // Iterative to support degenerate chain-shaped trees.
+        let mut count = 0usize;
+        let mut stack: Vec<&BuildNode<L>> = vec![self];
+        while let Some(node) = stack.pop() {
+            count += 1;
+            stack.extend(node.children.iter());
+        }
+        count
+    }
+
+    /// Finalizes this nested structure into a [`Tree`] (postorder arena).
+    pub fn build(self) -> Tree<L> {
+        let n = self.size();
+        let mut labels: Vec<L> = Vec::with_capacity(n);
+        let mut children: Vec<Vec<u32>> = Vec::with_capacity(n);
+        // Iterative postorder flattening (avoids recursion-depth limits on
+        // degenerate chain trees used as adversarial benchmark shapes).
+        enum Item<L> {
+            Visit(BuildNode<L>),
+            Emit { label: L, degree: usize },
+        }
+        let mut stack = vec![Item::Visit(self)];
+        let mut id_stack: Vec<u32> = Vec::new();
+        while let Some(item) = stack.pop() {
+            match item {
+                Item::Visit(node) => {
+                    let BuildNode { label, children: ch } = node;
+                    stack.push(Item::Emit { label, degree: ch.len() });
+                    for c in ch.into_iter().rev() {
+                        stack.push(Item::Visit(c));
+                    }
+                }
+                Item::Emit { label, degree } => {
+                    let id = labels.len() as u32;
+                    let ch = id_stack.split_off(id_stack.len() - degree);
+                    labels.push(label);
+                    children.push(ch);
+                    id_stack.push(id);
+                }
+            }
+        }
+        Tree::from_postorder(labels, children)
+    }
+}
+
+/// Stack-based builder: push nodes depth-first, closing each with
+/// [`TreeBuilder::up`].
+///
+/// ```
+/// use rted_tree::TreeBuilder;
+/// let mut b = TreeBuilder::new();
+/// b.open("a");
+/// b.open("b");
+/// b.up();
+/// b.open("c");
+/// b.up();
+/// b.up();
+/// let t = b.finish().unwrap();
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.label(t.root()), &"a");
+/// ```
+#[derive(Debug)]
+pub struct TreeBuilder<L> {
+    stack: Vec<BuildNode<L>>,
+    finished: Option<BuildNode<L>>,
+}
+
+impl<L> Default for TreeBuilder<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L> TreeBuilder<L> {
+    /// An empty builder.
+    pub fn new() -> Self {
+        TreeBuilder { stack: Vec::new(), finished: None }
+    }
+
+    /// Opens a new node as the next child of the currently open node (or as
+    /// the root if no node is open).
+    pub fn open(&mut self, label: L) -> &mut Self {
+        assert!(self.finished.is_none(), "root already closed");
+        self.stack.push(BuildNode::leaf(label));
+        self
+    }
+
+    /// Closes the currently open node.
+    pub fn up(&mut self) -> &mut Self {
+        let node = self.stack.pop().expect("no open node to close");
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => {
+                assert!(self.finished.is_none(), "multiple roots");
+                self.finished = Some(node);
+            }
+        }
+        self
+    }
+
+    /// Adds a leaf child to the currently open node.
+    pub fn leaf(&mut self, label: L) -> &mut Self {
+        self.open(label);
+        self.up()
+    }
+
+    /// Completes the build. Returns `None` if no root was closed or nodes
+    /// remain open.
+    pub fn finish(&mut self) -> Option<Tree<L>> {
+        if !self.stack.is_empty() {
+            return None;
+        }
+        self.finished.take().map(BuildNode::build)
+    }
+}
+
+/// Convenience: builds a tree from a parent vector given in postorder.
+///
+/// `parents[i]` is the postorder id of node `i`'s parent; the root (last
+/// node) uses `parents[n-1] == n-1` or any value `>= n`. The vector must
+/// describe a valid postorder layout (every subtree a contiguous id
+/// range); [`Tree::from_postorder`] panics otherwise.
+pub fn from_parent_vec<L>(labels: Vec<L>, parents: &[u32]) -> Tree<L> {
+    let n = labels.len();
+    assert_eq!(parents.len(), n);
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..n - 1 {
+        let p = parents[i] as usize;
+        assert!(p > i && p < n, "parent of {i} must follow it in postorder");
+        children[p].push(i as u32);
+    }
+    Tree::from_postorder(labels, children)
+}
+
+/// Relabels node `v`'s subtree root in a copied tree (testing utility).
+pub fn with_label<L: Clone>(tree: &Tree<L>, v: NodeId, label: L) -> Tree<L> {
+    let mut labels: Vec<L> = tree.nodes().map(|u| tree.label(u).clone()).collect();
+    labels[v.idx()] = label;
+    let children = tree
+        .nodes()
+        .map(|u| tree.children(u).map(|c| c.0).collect())
+        .collect();
+    Tree::from_postorder(labels, children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_node_nested() {
+        let t = BuildNode::node(
+            "a",
+            vec![BuildNode::leaf("b"), BuildNode::node("c", vec![BuildNode::leaf("d")])],
+        )
+        .build();
+        // Postorder: b=0, d=1, c=2, a=3.
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.label(NodeId(0)), &"b");
+        assert_eq!(t.label(NodeId(1)), &"d");
+        assert_eq!(t.label(NodeId(2)), &"c");
+        assert_eq!(t.label(NodeId(3)), &"a");
+    }
+
+    #[test]
+    fn builder_unbalanced_is_error() {
+        let mut b = TreeBuilder::new();
+        b.open(1);
+        assert!(b.finish().is_none());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 200k-node chain: must not recurse.
+        let mut node = BuildNode::leaf(0u32);
+        for i in 1..200_000u32 {
+            node = BuildNode::node(i, vec![node]);
+        }
+        let t = node.build();
+        assert_eq!(t.len(), 200_000);
+        assert_eq!(t.max_depth(), 199_999);
+    }
+
+    #[test]
+    fn parent_vec_roundtrip() {
+        // chain a->b->c: postorder c=0,b=1,a=2; parents: c->1, b->2.
+        let t = from_parent_vec(vec!["c", "b", "a"], &[1, 2, 2]);
+        assert_eq!(t.label(t.root()), &"a");
+        assert_eq!(t.depth(NodeId(0)), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Closed-form decomposition counts (Lemmas 1–3 of the paper), per subtree.
+//!
+//! For every node `v` of a tree `F`, the strategy cost formula (Fig. 5)
+//! needs three quantities of the subtree `F_v` in O(1):
+//!
+//! * `|A(F_v)|` — size of the full decomposition (Lemma 1):
+//!   `|F_v|(|F_v|+3)/2 − Σ_{x ∈ F_v} |F_x|`;
+//! * `|F(F_v, Γ_L(F_v))|` — relevant subforests of the recursive **left**
+//!   path decomposition (Lemma 3): the sum of the sizes of all subtrees in
+//!   `T(F_v, Γ_L)`, which are exactly `F_v` itself plus every subtree rooted
+//!   at a node that is not the leftmost child of its parent;
+//! * `|F(F_v, Γ_R(F_v))|` — symmetrically with rightmost children.
+//!
+//! All three are computed for every subtree in a single O(n) pass.
+
+use crate::{NodeId, Tree};
+
+/// Per-subtree decomposition counts for one tree.
+#[derive(Debug, Clone)]
+pub struct DecompCounts {
+    /// `Σ_{x ∈ F_v} |F_x|` for each `v`.
+    pub sum_sizes: Vec<u64>,
+    /// `|A(F_v)|` for each `v` (Lemma 1).
+    pub full: Vec<u64>,
+    /// `|F(F_v, Γ_L(F_v))|` for each `v` (Lemma 3, left paths).
+    pub left: Vec<u64>,
+    /// `|F(F_v, Γ_R(F_v))|` for each `v` (Lemma 3, right paths).
+    pub right: Vec<u64>,
+}
+
+impl DecompCounts {
+    /// Computes all counts for `tree` in O(n).
+    pub fn new<L>(tree: &Tree<L>) -> Self {
+        let n = tree.len();
+        let mut sum_sizes = vec![0u64; n];
+        // g_l[v] = Σ over nodes x in F_v that are NOT leftmost children
+        // (x ≠ v) of |F_x|; symmetric for g_r.
+        let mut g_l = vec![0u64; n];
+        let mut g_r = vec![0u64; n];
+        let mut full = vec![0u64; n];
+        let mut left = vec![0u64; n];
+        let mut right = vec![0u64; n];
+
+        for v in 0..n {
+            let vid = NodeId(v as u32);
+            let sz = tree.size(vid) as u64;
+            let mut ss = sz;
+            let mut gl = 0u64;
+            let mut gr = 0u64;
+            let degree = tree.degree(vid);
+            for (i, c) in tree.children(vid).enumerate() {
+                let ci = c.idx();
+                ss += sum_sizes[ci];
+                gl += g_l[ci];
+                gr += g_r[ci];
+                if i != 0 {
+                    gl += tree.size(c) as u64;
+                }
+                if i != degree - 1 {
+                    gr += tree.size(c) as u64;
+                }
+            }
+            sum_sizes[v] = ss;
+            g_l[v] = gl;
+            g_r[v] = gr;
+            full[v] = sz * (sz + 3) / 2 - ss;
+            left[v] = sz + gl;
+            right[v] = sz + gr;
+        }
+        DecompCounts { sum_sizes, full, left, right }
+    }
+
+    /// `|A(F_v)|`.
+    #[inline]
+    pub fn full_of(&self, v: NodeId) -> u64 {
+        self.full[v.idx()]
+    }
+
+    /// `|F(F_v, Γ_L)|`.
+    #[inline]
+    pub fn left_of(&self, v: NodeId) -> u64 {
+        self.left[v.idx()]
+    }
+
+    /// `|F(F_v, Γ_R)|`.
+    #[inline]
+    pub fn right_of(&self, v: NodeId) -> u64 {
+        self.right[v.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_bracket;
+
+    #[test]
+    fn example4_values() {
+        // §6.2 Example 4: F = root with two leaf children.
+        // |A(F)| = |F(F,ΓL)| = |F(F,ΓR)| = 4, |F| = 3.
+        let f = parse_bracket("{3{1}{2}}").unwrap();
+        let c = DecompCounts::new(&f);
+        let root = f.root();
+        assert_eq!(c.full_of(root), 4);
+        assert_eq!(c.left_of(root), 4);
+        assert_eq!(c.right_of(root), 4);
+        // G = 2-node chain: |A(G)| = |F(G,ΓL)| = |F(G,ΓR)| = 2.
+        let g = parse_bracket("{2{1}}").unwrap();
+        let cg = DecompCounts::new(&g);
+        assert_eq!(cg.full_of(g.root()), 2);
+        assert_eq!(cg.left_of(g.root()), 2);
+        assert_eq!(cg.right_of(g.root()), 2);
+    }
+
+    #[test]
+    fn chain_tree_counts() {
+        // For a chain of n nodes, A(F) has exactly n elements (every forest
+        // in the decomposition is a sub-chain suffix) and the left/right
+        // decompositions also have n relevant subforests.
+        let f = parse_bracket("{a{b{c{d{e}}}}}").unwrap();
+        let c = DecompCounts::new(&f);
+        assert_eq!(c.full_of(f.root()), 5);
+        assert_eq!(c.left_of(f.root()), 5);
+        assert_eq!(c.right_of(f.root()), 5);
+    }
+
+    #[test]
+    fn figure3_full_decomposition_count() {
+        // Paper Figures 3/4 use the 7-node tree A(C, B(G, E(F), D)): the
+        // full decomposition has 17 non-empty subforests, the recursive left
+        // path decomposition 15, right 11, heavy 10.
+        let f = parse_bracket("{A{C}{B{G}{E{F}}{D}}}").unwrap();
+        let c = DecompCounts::new(&f);
+        assert_eq!(c.full_of(f.root()), 17);
+        assert_eq!(c.left_of(f.root()), 15);
+        assert_eq!(c.right_of(f.root()), 11);
+    }
+
+    #[test]
+    fn per_subtree_counts() {
+        let f = parse_bracket("{a{b{c}{d}}{e}}").unwrap();
+        let c = DecompCounts::new(&f);
+        // Subtree at b (= node 2): root with two leaf children → |A| = 4.
+        assert_eq!(c.full_of(NodeId(2)), 4);
+        // Leaves.
+        assert_eq!(c.full_of(NodeId(0)), 1);
+        assert_eq!(c.left_of(NodeId(0)), 1);
+        assert_eq!(c.right_of(NodeId(0)), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Explicit enumeration of decompositions (Definitions 1–3) — the executable
+//! specification against which the closed-form counts of [`crate::counts`]
+//! and the canonical forest encoding used by the edit distance engine are
+//! validated. These routines are O(n²)–O(n³) and intended for tests,
+//! debugging and small inputs only.
+
+use crate::paths::{root_leaf_path, PathKind};
+use crate::{NodeId, Tree};
+use std::collections::BTreeSet;
+
+/// A subforest represented by its root nodes (each rooting a complete
+/// subtree of the underlying tree), in left-to-right order.
+///
+/// Every forest reachable by the Fig.-2 recursion is of this form: removing
+/// a root node replaces it by its children, which root complete subtrees.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Forest(pub Vec<u32>);
+
+impl Forest {
+    /// The forest consisting of the single subtree rooted at `v`.
+    pub fn tree(v: NodeId) -> Self {
+        Forest(vec![v.0])
+    }
+
+    /// `true` iff the forest has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of nodes (sum of root subtree sizes).
+    pub fn node_count<L>(&self, tree: &Tree<L>) -> u64 {
+        self.0.iter().map(|&r| tree.size(NodeId(r)) as u64).sum()
+    }
+
+    /// Leftmost root, if any.
+    pub fn leftmost(&self) -> Option<NodeId> {
+        self.0.first().map(|&r| NodeId(r))
+    }
+
+    /// Rightmost root, if any.
+    pub fn rightmost(&self) -> Option<NodeId> {
+        self.0.last().map(|&r| NodeId(r))
+    }
+
+    /// Removes the leftmost root node, replacing it by its children.
+    pub fn remove_leftmost<L>(&self, tree: &Tree<L>) -> Forest {
+        let mut out = Vec::with_capacity(self.0.len() + 2);
+        let first = NodeId(self.0[0]);
+        out.extend(tree.children(first).map(|c| c.0));
+        out.extend_from_slice(&self.0[1..]);
+        Forest(out)
+    }
+
+    /// Removes the rightmost root node, replacing it by its children.
+    pub fn remove_rightmost<L>(&self, tree: &Tree<L>) -> Forest {
+        let mut out = Vec::with_capacity(self.0.len() + 2);
+        let last = NodeId(*self.0.last().unwrap());
+        out.extend_from_slice(&self.0[..self.0.len() - 1]);
+        out.extend(tree.children(last).map(|c| c.0));
+        Forest(out)
+    }
+
+    /// All node ids of the forest, ascending.
+    pub fn all_nodes<L>(&self, tree: &Tree<L>) -> Vec<u32> {
+        let mut nodes = Vec::new();
+        for &r in &self.0 {
+            let rid = NodeId(r);
+            nodes.extend(tree.subtree_first(rid).0..=r);
+        }
+        nodes.sort_unstable();
+        nodes
+    }
+}
+
+/// Enumerates the full decomposition `A(F_v)` (Definition 1): all distinct
+/// non-empty subforests reachable by repeatedly removing leftmost or
+/// rightmost root nodes. Exponential-looking recursion tamed by a visited
+/// set; fine for the small trees used in tests.
+pub fn full_decomposition<L>(tree: &Tree<L>, v: NodeId) -> BTreeSet<Forest> {
+    let mut seen: BTreeSet<Forest> = BTreeSet::new();
+    let mut stack = vec![Forest::tree(v)];
+    while let Some(f) = stack.pop() {
+        if f.is_empty() || !seen.insert(f.clone()) {
+            continue;
+        }
+        stack.push(f.remove_leftmost(tree));
+        stack.push(f.remove_rightmost(tree));
+    }
+    seen
+}
+
+/// The relevant-subforest sequence `F(F_v, γ)` (Definition 3) for the `kind`
+/// root-leaf path of `F_v`: `F_v` itself first, then one node removed per
+/// step (rightmost root while the leftmost root is on the path, otherwise
+/// leftmost), down to a single node. Empty forest not included.
+pub fn relevant_forest_sequence<L>(tree: &Tree<L>, v: NodeId, kind: PathKind) -> Vec<Forest> {
+    let path: BTreeSet<u32> = root_leaf_path(tree, v, kind).iter().map(|n| n.0).collect();
+    let mut seq = Vec::new();
+    let mut cur = Forest::tree(v);
+    while !cur.is_empty() {
+        seq.push(cur.clone());
+        let lm = cur.leftmost().unwrap();
+        cur = if path.contains(&lm.0) {
+            cur.remove_rightmost(tree)
+        } else {
+            cur.remove_leftmost(tree)
+        };
+    }
+    seq
+}
+
+/// The set of relevant subforests of the recursive path decomposition
+/// `F(F_v, Γ)` (Equation 1) where every subtree uses its `kind` path.
+pub fn recursive_relevant_forests<L>(
+    tree: &Tree<L>,
+    v: NodeId,
+    kind: PathKind,
+) -> BTreeSet<Forest> {
+    let mut out = BTreeSet::new();
+    let mut stack = vec![v];
+    while let Some(u) = stack.pop() {
+        out.extend(relevant_forest_sequence(tree, u, kind));
+        stack.extend(crate::paths::relevant_subtrees(tree, u, kind));
+    }
+    out
+}
+
+/// The canonical pair of a forest within the subtree rooted at `v`:
+/// `(a, b)` where `a` is the maximum **local** left-postorder rank and `b`
+/// the maximum local mirror-postorder rank of its nodes (1-based; the empty
+/// forest would be `(0, 0)`).
+///
+/// Every forest of the full decomposition satisfies
+/// `nodes = {x : lpost(x) ≤ a ∧ rpost(x) ≤ b}`; this encoding underlies the
+/// O(n²)-space heavy-path single-path function.
+pub fn canonical_pair<L>(tree: &Tree<L>, v: NodeId, forest: &Forest) -> (u32, u32) {
+    let first_l = tree.subtree_first(v).0;
+    let first_r = tree.rpost(v) + 1 - tree.size(v);
+    let mut a = 0;
+    let mut b = 0;
+    for x in forest.all_nodes(tree) {
+        a = a.max(x - first_l + 1);
+        b = b.max(tree.rpost(NodeId(x)) - first_r + 1);
+    }
+    (a, b)
+}
+
+/// Enumerates all canonical pairs of the subtree rooted at `v` directly from
+/// the membership condition: `(a, b)` is canonical iff the node with local
+/// lpost `a` has local rpost ≤ `b` and the node with local rpost `b` has
+/// local lpost ≤ `a`. The count equals `|A(F_v)|`.
+pub fn canonical_pairs<L>(tree: &Tree<L>, v: NodeId) -> BTreeSet<(u32, u32)> {
+    let m = tree.size(v);
+    let first_l = tree.subtree_first(v).0;
+    let first_r = tree.rpost(v) + 1 - m;
+    // rb[a] = local rpost of node with local lpost a; lb[b] = inverse.
+    let mut rb = vec![0u32; m as usize + 1];
+    let mut lb = vec![0u32; m as usize + 1];
+    for x in tree.subtree_nodes(v) {
+        let a = x.0 - first_l + 1;
+        let b = tree.rpost(x) - first_r + 1;
+        rb[a as usize] = b;
+        lb[b as usize] = a;
+    }
+    let mut out = BTreeSet::new();
+    for a in 1..=m {
+        for b in 1..=m {
+            if rb[a as usize] <= b && lb[b as usize] <= a {
+                out.insert((a, b));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::DecompCounts;
+    use crate::parse::parse_bracket;
+
+    fn t(s: &str) -> Tree<String> {
+        parse_bracket(s).unwrap()
+    }
+
+    const SAMPLES: &[&str] = &[
+        "{a}",
+        "{a{b}}",
+        "{a{b}{c}}",
+        "{a{b{c{d{e}}}}}",
+        "{A{B{D}{E{F}}}{C{G}}}",
+        "{a{b{c}{d}}{e{f}{g}}}",
+        "{a{b}{c}{d}{e}}",
+        "{a{b{c{d}}{e}}{f}{g{h}{i{j}}}}",
+    ];
+
+    #[test]
+    fn lemma1_full_decomposition_size() {
+        for s in SAMPLES {
+            let tree = t(s);
+            let counts = DecompCounts::new(&tree);
+            for v in tree.nodes() {
+                let enumerated = full_decomposition(&tree, v).len() as u64;
+                assert_eq!(enumerated, counts.full_of(v), "tree {s}, node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_single_path_forest_count() {
+        // |F(F, γ)| = |F| for every root-leaf path.
+        for s in SAMPLES {
+            let tree = t(s);
+            for v in tree.nodes() {
+                for kind in PathKind::ALL {
+                    let seq = relevant_forest_sequence(&tree, v, kind);
+                    assert_eq!(seq.len() as u32, tree.size(v), "tree {s}, node {v}, {kind}");
+                    // The sequence removes exactly one node per step.
+                    for (i, f) in seq.iter().enumerate() {
+                        assert_eq!(
+                            f.node_count(&tree),
+                            (tree.size(v) as usize - i) as u64
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma3_recursive_decomposition_count() {
+        for s in SAMPLES {
+            let tree = t(s);
+            let counts = DecompCounts::new(&tree);
+            for v in tree.nodes() {
+                let l = recursive_relevant_forests(&tree, v, PathKind::Left).len() as u64;
+                assert_eq!(l, counts.left_of(v), "left, tree {s}, node {v}");
+                let r = recursive_relevant_forests(&tree, v, PathKind::Right).len() as u64;
+                assert_eq!(r, counts.right_of(v), "right, tree {s}, node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn relevant_forests_subset_of_full_decomposition() {
+        for s in SAMPLES {
+            let tree = t(s);
+            let v = tree.root();
+            let full = full_decomposition(&tree, v);
+            for kind in PathKind::ALL {
+                for f in recursive_relevant_forests(&tree, v, kind) {
+                    assert!(full.contains(&f), "tree {s}, {kind}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_pairs_biject_with_full_decomposition() {
+        for s in SAMPLES {
+            let tree = t(s);
+            for v in tree.nodes() {
+                let full = full_decomposition(&tree, v);
+                let pairs: BTreeSet<(u32, u32)> =
+                    full.iter().map(|f| canonical_pair(&tree, v, f)).collect();
+                // Distinct forests map to distinct pairs...
+                assert_eq!(pairs.len(), full.len(), "tree {s}, node {v}");
+                // ...and the pairs are exactly the membership-condition pairs.
+                assert_eq!(pairs, canonical_pairs(&tree, v), "tree {s}, node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_pair_determines_membership() {
+        // For each decomposition forest with canonical pair (a, b), the node
+        // set is exactly {x : local lpost ≤ a and local rpost ≤ b}.
+        for s in SAMPLES {
+            let tree = t(s);
+            let v = tree.root();
+            let first_l = tree.subtree_first(v).0;
+            let m = tree.size(v);
+            let first_r = tree.rpost(v) + 1 - m;
+            for f in full_decomposition(&tree, v) {
+                let (a, b) = canonical_pair(&tree, v, &f);
+                let expected: Vec<u32> = tree
+                    .subtree_nodes(v)
+                    .filter(|&x| {
+                        x.0 - first_l + 1 <= a && tree.rpost(x) - first_r + 1 <= b
+                    })
+                    .map(|x| x.0)
+                    .collect();
+                assert_eq!(f.all_nodes(&tree), expected, "tree {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_exact_forests() {
+        // Paper Figures 3/4 tree: A(C, B(G, E(F), D)).
+        let tree = t("{A{C}{B{G}{E{F}}{D}}}");
+        let full = full_decomposition(&tree, tree.root());
+        assert_eq!(full.len(), 17);
+        // Figure 4 relevant-subforest counts per recursive decomposition:
+        // left 15, right 11, heavy 10.
+        let l = recursive_relevant_forests(&tree, tree.root(), PathKind::Left);
+        assert_eq!(l.len(), 15);
+        let r = recursive_relevant_forests(&tree, tree.root(), PathKind::Right);
+        assert_eq!(r.len(), 11);
+        let h = recursive_relevant_forests(&tree, tree.root(), PathKind::Heavy);
+        assert_eq!(h.len(), 10);
+    }
+}

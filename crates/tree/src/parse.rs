@@ -1,0 +1,185 @@
+//! Bracket notation parsing and serialization.
+//!
+//! The notation is the one used by the reference RTED/APTED implementations:
+//! a tree is `{label c1 c2 ...}` where each `ci` is itself a bracketed tree.
+//! Example: `{a{b}{c{d}}}` is a root `a` with children `b` and `c`, where `c`
+//! has a single child `d`. Labels may contain any character except `{` and
+//! `}`, which can be escaped as `\{`, `\}` (and `\\` for a backslash).
+
+use crate::build::BuildNode;
+use crate::Tree;
+
+/// Error produced when parsing bracket notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(position: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { position, message: message.into() })
+}
+
+/// Parses a tree in bracket notation, e.g. `{a{b}{c}}`.
+pub fn parse_bracket(input: &str) -> Result<Tree<String>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    // Skip leading whitespace.
+    while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+        pos += 1;
+    }
+    // Iterative parse to support very deep trees.
+    let mut stack: Vec<BuildNode<String>> = Vec::new();
+    loop {
+        if pos >= bytes.len() {
+            return err(pos, "unexpected end of input");
+        }
+        if bytes[pos] != b'{' {
+            return err(pos, format!("expected '{{', found {:?}", bytes[pos] as char));
+        }
+        pos += 1;
+        // Read the label up to the next unescaped '{' or '}'.
+        let mut label = String::new();
+        while pos < bytes.len() {
+            match bytes[pos] {
+                b'{' | b'}' => break,
+                b'\\' if pos + 1 < bytes.len() => {
+                    label.push(bytes[pos + 1] as char);
+                    pos += 2;
+                }
+                c => {
+                    label.push(c as char);
+                    pos += 1;
+                }
+            }
+        }
+        stack.push(BuildNode::leaf(label));
+        // Close any finished nodes.
+        loop {
+            if pos >= bytes.len() {
+                return err(pos, "unexpected end of input (unclosed '{')");
+            }
+            match bytes[pos] {
+                b'{' => break, // next child of the top node
+                b'}' => {
+                    pos += 1;
+                    let node = stack.pop().expect("stack invariant");
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => {
+                            // Allow trailing whitespace only.
+                            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                                pos += 1;
+                            }
+                            if pos != bytes.len() {
+                                return err(pos, "trailing input after root");
+                            }
+                            return Ok(node.build());
+                        }
+                    }
+                }
+                c => {
+                    return err(pos, format!("expected '{{' or '}}', found {:?}", c as char));
+                }
+            }
+        }
+    }
+}
+
+/// Serializes a tree to bracket notation (inverse of [`parse_bracket`]).
+pub fn to_bracket<L: std::fmt::Display>(tree: &Tree<L>) -> String {
+    let mut out = String::new();
+    // Iterative preorder with explicit close markers.
+    enum Step {
+        Open(crate::NodeId),
+        Close,
+    }
+    let mut stack = vec![Step::Open(tree.root())];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Open(v) => {
+                out.push('{');
+                let label = tree.label(v).to_string();
+                for ch in label.chars() {
+                    if ch == '{' || ch == '}' || ch == '\\' {
+                        out.push('\\');
+                    }
+                    out.push(ch);
+                }
+                stack.push(Step::Close);
+                let children: Vec<_> = tree.children(v).collect();
+                for &c in children.iter().rev() {
+                    stack.push(Step::Open(c));
+                }
+            }
+            Step::Close => out.push('}'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        for s in ["{a}", "{a{b}{c}}", "{a{b{d}{e}}{c}}", "{x{y{z{w}}}}"] {
+            let t = parse_bracket(s).unwrap();
+            assert_eq!(to_bracket(&t), s);
+        }
+    }
+
+    #[test]
+    fn labels_with_spaces_and_escapes() {
+        let t = parse_bracket("{hello world{sub \\{tree\\}}}").unwrap();
+        assert_eq!(t.label(t.root()), "hello world");
+        assert_eq!(t.label(crate::NodeId(0)), "sub {tree}");
+        let s = to_bracket(&t);
+        let t2 = parse_bracket(&s).unwrap();
+        assert_eq!(t2.label(crate::NodeId(0)), "sub {tree}");
+    }
+
+    #[test]
+    fn empty_labels_allowed() {
+        let t = parse_bracket("{{}{}}").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.label(t.root()), "");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_bracket("").is_err());
+        assert!(parse_bracket("a").is_err());
+        assert!(parse_bracket("{a").is_err());
+        assert!(parse_bracket("{a}}").is_err());
+        assert!(parse_bracket("{a}{b}").is_err());
+    }
+
+    #[test]
+    fn deep_parse_no_overflow() {
+        let mut s = String::new();
+        for _ in 0..100_000 {
+            s.push_str("{x");
+        }
+        s.push_str(&"}".repeat(100_000));
+        let t = parse_bracket(&s).unwrap();
+        assert_eq!(t.len(), 100_000);
+    }
+
+    #[test]
+    fn whitespace_tolerated_at_ends() {
+        let t = parse_bracket("  {a{b}}\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+}

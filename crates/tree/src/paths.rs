@@ -1,0 +1,181 @@
+//! Root-leaf paths and relevant subtrees (Definitions 2 and 4 of the paper).
+
+use crate::{NodeId, Tree};
+
+/// The three path families of an LRH strategy (§3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathKind {
+    /// `γL`: parent → leftmost child.
+    Left,
+    /// `γR`: parent → rightmost child.
+    Right,
+    /// `γH`: parent → child rooting the largest subtree.
+    Heavy,
+}
+
+impl PathKind {
+    /// All three kinds, in the order used throughout the crate.
+    pub const ALL: [PathKind; 3] = [PathKind::Left, PathKind::Right, PathKind::Heavy];
+}
+
+impl std::fmt::Display for PathKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathKind::Left => write!(f, "L"),
+            PathKind::Right => write!(f, "R"),
+            PathKind::Heavy => write!(f, "H"),
+        }
+    }
+}
+
+/// The next node of a `kind` path below `v`, or `None` if `v` is a leaf.
+#[inline]
+pub fn path_step<L>(tree: &Tree<L>, v: NodeId, kind: PathKind) -> Option<NodeId> {
+    match kind {
+        PathKind::Left => tree.children(v).next(),
+        PathKind::Right => tree.children(v).last(),
+        PathKind::Heavy => tree.heavy_child(v),
+    }
+}
+
+/// The root-leaf path of `kind` starting at `v`: `v` first, leaf last.
+pub fn root_leaf_path<L>(tree: &Tree<L>, v: NodeId, kind: PathKind) -> Vec<NodeId> {
+    let mut path = Vec::new();
+    let mut cur = v;
+    loop {
+        path.push(cur);
+        match path_step(tree, cur, kind) {
+            Some(next) => cur = next,
+            None => return path,
+        }
+    }
+}
+
+/// The relevant subtrees `F_v − γ` (Definition 2): roots of the subtrees
+/// hanging off the `kind` path of `F_v`, i.e. children of path nodes that
+/// are not themselves on the path.
+///
+/// The returned roots are in descending postorder of their path-node parent,
+/// left-to-right within each parent — the order is irrelevant to callers.
+pub fn relevant_subtrees<L>(tree: &Tree<L>, v: NodeId, kind: PathKind) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut cur = v;
+    loop {
+        match path_step(tree, cur, kind) {
+            Some(next) => {
+                for c in tree.children(cur) {
+                    if c != next {
+                        out.push(c);
+                    }
+                }
+                cur = next;
+            }
+            None => return out,
+        }
+    }
+}
+
+/// `true` iff `x` lies on the `kind` root-leaf path of the subtree rooted at
+/// `v`. O(depth) walk; used by tests and the reference implementations.
+pub fn on_path<L>(tree: &Tree<L>, v: NodeId, kind: PathKind, x: NodeId) -> bool {
+    let mut cur = v;
+    loop {
+        if cur == x {
+            return true;
+        }
+        match path_step(tree, cur, kind) {
+            Some(next) => cur = next,
+            None => return false,
+        }
+    }
+}
+
+/// The recursive path partitioning `Γ(F_v)` for a single path kind
+/// (e.g. `Γ_L` when `kind == Left`): the set of relevant subtrees
+/// `T(F_v, Γ)` visited by recursively decomposing with `kind` paths.
+/// Returns the subtree roots, `v` included.
+pub fn recursive_relevant_subtrees<L>(tree: &Tree<L>, v: NodeId, kind: PathKind) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack = vec![v];
+    while let Some(u) = stack.pop() {
+        out.push(u);
+        stack.extend(relevant_subtrees(tree, u, kind));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_bracket;
+
+    fn t(s: &str) -> Tree<String> {
+        parse_bracket(s).unwrap()
+    }
+
+    #[test]
+    fn paths_on_figure4_tree() {
+        // Paper Figure 3/4 tree: A(B(D,E(F)),C(G)).
+        // Postorder: D=0, F=1, E=2, B=3, G=4, C=5, A=6.
+        let t = t("{A{B{D}{E{F}}}{C{G}}}");
+        let root = t.root();
+        let left: Vec<u32> = root_leaf_path(&t, root, PathKind::Left).iter().map(|n| n.0).collect();
+        assert_eq!(left, vec![6, 3, 0]); // A, B, D
+        let right: Vec<u32> =
+            root_leaf_path(&t, root, PathKind::Right).iter().map(|n| n.0).collect();
+        assert_eq!(right, vec![6, 5, 4]); // A, C, G
+        let heavy: Vec<u32> =
+            root_leaf_path(&t, root, PathKind::Heavy).iter().map(|n| n.0).collect();
+        assert_eq!(heavy, vec![6, 3, 2, 1]); // A, B (size 4), E, F
+    }
+
+    #[test]
+    fn relevant_subtrees_match_figure4() {
+        let t = t("{A{B{D}{E{F}}}{C{G}}}");
+        let root = t.root();
+        // Left path A-B-D: hanging subtrees are C (child of A) and E (child of B).
+        let mut l: Vec<u32> = relevant_subtrees(&t, root, PathKind::Left).iter().map(|n| n.0).collect();
+        l.sort();
+        assert_eq!(l, vec![2, 5]);
+        // Heavy path A-B-E-F: hanging are C and D.
+        let mut h: Vec<u32> =
+            relevant_subtrees(&t, root, PathKind::Heavy).iter().map(|n| n.0).collect();
+        h.sort();
+        assert_eq!(h, vec![0, 5]);
+    }
+
+    #[test]
+    fn paths_partition_the_tree() {
+        // Path nodes plus nodes of the recursive relevant subtrees cover all
+        // nodes exactly once for every path kind.
+        let t = t("{a{b{c}{d{e}{f}}}{g}{h{i{j}}{k}}}");
+        for kind in PathKind::ALL {
+            let subs = recursive_relevant_subtrees(&t, t.root(), kind);
+            let total: u32 = subs
+                .iter()
+                .map(|&s| root_leaf_path(&t, s, kind).len() as u32)
+                .sum();
+            assert_eq!(total, t.len() as u32, "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn on_path_consistency() {
+        let t = t("{a{b{c}{d}}{e}}");
+        for kind in PathKind::ALL {
+            let path = root_leaf_path(&t, t.root(), kind);
+            for v in t.nodes() {
+                assert_eq!(path.contains(&v), on_path(&t, t.root(), kind, v));
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_path() {
+        let t = t("{a}");
+        for kind in PathKind::ALL {
+            assert_eq!(root_leaf_path(&t, t.root(), kind), vec![NodeId(0)]);
+            assert!(relevant_subtrees(&t, t.root(), kind).is_empty());
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! The arena tree type and its derived per-node structure.
+
+use crate::NONE;
+
+/// Identifier of a tree node: the 0-based left-to-right postorder rank.
+///
+/// Postorder ids give every subtree a contiguous id range, which the edit
+/// distance dynamic programs exploit heavily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An ordered labeled tree.
+///
+/// All per-node arrays are indexed by postorder id ([`NodeId`]). The tree is
+/// immutable after construction; every derived quantity used by the edit
+/// distance algorithms is precomputed once in O(n).
+#[derive(Debug, Clone)]
+pub struct Tree<L> {
+    labels: Vec<L>,
+    parent: Vec<u32>,
+    /// CSR offsets into `children`; length `n + 1`.
+    children_off: Vec<u32>,
+    /// Children of each node in left-to-right order, grouped per node.
+    children: Vec<u32>,
+    size: Vec<u32>,
+    depth: Vec<u32>,
+    /// Leftmost leaf descendant (`l(v)` in Zhang–Shasha).
+    lld: Vec<u32>,
+    /// Rightmost leaf descendant.
+    rld: Vec<u32>,
+    /// Mirror (right-to-left) postorder rank, 0-based.
+    rpost: Vec<u32>,
+    /// Inverse of `rpost`: node with mirror postorder rank `r`.
+    by_rpost: Vec<u32>,
+    /// Preorder rank, 0-based.
+    pre: Vec<u32>,
+    /// Heavy child: the child rooting the largest subtree (leftmost wins
+    /// ties); `NONE` for leaves.
+    heavy: Vec<u32>,
+}
+
+impl<L> Tree<L> {
+    /// Builds a tree from parallel postorder arrays.
+    ///
+    /// `post_labels[i]` is the label of the node with postorder rank `i`, and
+    /// `post_children[i]` lists its children (postorder ids, left-to-right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays do not describe a single well-formed tree in
+    /// postorder (children must precede parents, every non-root node must
+    /// have exactly one parent, the last node must be the root).
+    pub fn from_postorder(post_labels: Vec<L>, post_children: Vec<Vec<u32>>) -> Self {
+        let n = post_labels.len();
+        assert!(n > 0, "tree must have at least one node");
+        assert_eq!(post_children.len(), n);
+
+        let mut parent = vec![NONE; n];
+        let mut children_off = Vec::with_capacity(n + 1);
+        let mut children = Vec::with_capacity(n.saturating_sub(1));
+        for (i, ch) in post_children.iter().enumerate() {
+            children_off.push(children.len() as u32);
+            for &c in ch {
+                assert!((c as usize) < i, "child {c} must precede parent {i} in postorder");
+                assert_eq!(parent[c as usize], NONE, "node {c} has two parents");
+                parent[c as usize] = i as u32;
+                children.push(c);
+            }
+        }
+        children_off.push(children.len() as u32);
+        assert_eq!(parent[n - 1], NONE, "last postorder node must be the root");
+        let roots = parent.iter().filter(|&&p| p == NONE).count();
+        assert_eq!(roots, 1, "input is a forest, not a tree");
+        // Postorder validity: every subtree must occupy a contiguous id
+        // range, i.e. each node's children tile the range right below it.
+        let mut size = vec![0u32; n];
+        for i in 0..n {
+            let ch = &children[children_off[i] as usize..children_off[i + 1] as usize];
+            let mut sz = 1u32;
+            let mut expect_end = i as u32; // exclusive upper bound of next child
+            for &c in ch.iter().rev() {
+                assert_eq!(
+                    c + 1,
+                    expect_end,
+                    "node {i}: children do not tile a contiguous postorder range"
+                );
+                sz += size[c as usize];
+                expect_end = c + 1 - size[c as usize];
+            }
+            size[i] = sz;
+        }
+
+        let mut t = Tree {
+            labels: post_labels,
+            parent,
+            children_off,
+            children,
+            size: vec![0; n],
+            depth: vec![0; n],
+            lld: vec![0; n],
+            rld: vec![0; n],
+            rpost: vec![0; n],
+            by_rpost: vec![0; n],
+            pre: vec![0; n],
+            heavy: vec![NONE; n],
+        };
+        t.compute_derived();
+        t
+    }
+
+    fn compute_derived(&mut self) {
+        let n = self.len();
+        // Sizes, leaf descendants, heavy child: children precede parents in
+        // postorder, so a single ascending pass suffices.
+        for v in 0..n {
+            let ch: &[u32] =
+                &self.children[self.children_off[v] as usize..self.children_off[v + 1] as usize];
+            let ch = ch.to_vec();
+            let ch = &ch[..];
+            if ch.is_empty() {
+                self.size[v] = 1;
+                self.lld[v] = v as u32;
+                self.rld[v] = v as u32;
+            } else {
+                let mut sz = 1u32;
+                let mut heavy = ch[0];
+                let mut heavy_sz = self.size[ch[0] as usize];
+                for &c in ch {
+                    sz += self.size[c as usize];
+                    if self.size[c as usize] > heavy_sz {
+                        heavy_sz = self.size[c as usize];
+                        heavy = c;
+                    }
+                }
+                self.size[v] = sz;
+                self.lld[v] = self.lld[ch[0] as usize];
+                self.rld[v] = self.rld[*ch.last().unwrap() as usize];
+                self.heavy[v] = heavy;
+            }
+        }
+        // Depth, preorder and mirror postorder via explicit DFS from the root.
+        let root = (n - 1) as u32;
+        let mut pre_rank = 0u32;
+        let mut rpost_rank = 0u32;
+        // Stack entries: (node, next child position in right-to-left order).
+        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+        self.depth[root as usize] = 0;
+        // Preorder with children visited left-to-right.
+        let mut pstack: Vec<u32> = vec![root];
+        while let Some(v) = pstack.pop() {
+            self.pre[v as usize] = pre_rank;
+            pre_rank += 1;
+            let (lo, hi) = (
+                self.children_off[v as usize] as usize,
+                self.children_off[v as usize + 1] as usize,
+            );
+            for i in (lo..hi).rev() {
+                let c = self.children[i];
+                self.depth[c as usize] = self.depth[v as usize] + 1;
+                pstack.push(c);
+            }
+        }
+        // Mirror postorder: children right-to-left, node after its children.
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            let ch = self.children_range(v as usize);
+            if *i < ch.len() {
+                let c = ch[ch.len() - 1 - *i];
+                *i += 1;
+                stack.push((c, 0));
+            } else {
+                self.rpost[v as usize] = rpost_rank;
+                self.by_rpost[rpost_rank as usize] = v;
+                rpost_rank += 1;
+                stack.pop();
+            }
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` iff the tree consists of a single node. Trees are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root node (always the last postorder id).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId((self.len() - 1) as u32)
+    }
+
+    /// Label of node `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> &L {
+        &self.labels[v.idx()]
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.parent[v.idx()];
+        (p != NONE).then_some(NodeId(p))
+    }
+
+    #[inline]
+    fn children_range(&self, v: usize) -> &[u32] {
+        &self.children[self.children_off[v] as usize..self.children_off[v + 1] as usize]
+    }
+
+    /// Children of `v` in left-to-right order.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.children_range(v.idx()).iter().map(|&c| NodeId(c))
+    }
+
+    /// Number of children of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.children_range(v.idx()).len()
+    }
+
+    /// `true` iff `v` has no children.
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.degree(v) == 0
+    }
+
+    /// Size of the subtree rooted at `v`.
+    #[inline]
+    pub fn size(&self, v: NodeId) -> u32 {
+        self.size[v.idx()]
+    }
+
+    /// Depth of `v` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.idx()]
+    }
+
+    /// Leftmost leaf descendant of `v` (Zhang–Shasha's `l(v)`).
+    #[inline]
+    pub fn lld(&self, v: NodeId) -> NodeId {
+        NodeId(self.lld[v.idx()])
+    }
+
+    /// Rightmost leaf descendant of `v`.
+    #[inline]
+    pub fn rld(&self, v: NodeId) -> NodeId {
+        NodeId(self.rld[v.idx()])
+    }
+
+    /// Mirror (right-to-left) postorder rank of `v`, 0-based.
+    #[inline]
+    pub fn rpost(&self, v: NodeId) -> u32 {
+        self.rpost[v.idx()]
+    }
+
+    /// Node with mirror postorder rank `r`.
+    #[inline]
+    pub fn by_rpost(&self, r: u32) -> NodeId {
+        NodeId(self.by_rpost[r as usize])
+    }
+
+    /// Preorder rank of `v`, 0-based.
+    #[inline]
+    pub fn preorder(&self, v: NodeId) -> u32 {
+        self.pre[v.idx()]
+    }
+
+    /// Heavy child of `v`: the child rooting the largest subtree (leftmost
+    /// wins ties), or `None` for leaves.
+    #[inline]
+    pub fn heavy_child(&self, v: NodeId) -> Option<NodeId> {
+        let h = self.heavy[v.idx()];
+        (h != NONE).then_some(NodeId(h))
+    }
+
+    /// First (postorder-smallest) node of the subtree rooted at `v`.
+    ///
+    /// The subtree of `v` occupies the contiguous postorder id range
+    /// `[subtree_first(v), v]`.
+    #[inline]
+    pub fn subtree_first(&self, v: NodeId) -> NodeId {
+        NodeId(v.0 + 1 - self.size[v.idx()])
+    }
+
+    /// `true` iff `x` lies in the subtree rooted at `v` (including `v`).
+    #[inline]
+    pub fn in_subtree(&self, x: NodeId, v: NodeId) -> bool {
+        self.subtree_first(v) <= x && x <= v
+    }
+
+    /// All node ids in postorder (`0..n`).
+    #[inline]
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// Nodes of the subtree rooted at `v`, in postorder.
+    #[inline]
+    pub fn subtree_nodes(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> {
+        (self.subtree_first(v).0..v.0 + 1).map(NodeId)
+    }
+
+    /// Maximum node depth.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes().filter(|&v| self.is_leaf(v)).count()
+    }
+
+    /// Maximum fanout (degree) over all nodes.
+    pub fn max_fanout(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Returns the mirrored tree (children reversed at every node).
+    ///
+    /// Node ids change: the node with mirror postorder rank `r` in `self`
+    /// becomes node `r` of the result.
+    pub fn mirrored(&self) -> Tree<L>
+    where
+        L: Clone,
+    {
+        let n = self.len();
+        let mut labels = Vec::with_capacity(n);
+        let mut ch = Vec::with_capacity(n);
+        for r in 0..n as u32 {
+            let v = self.by_rpost(r);
+            labels.push(self.label(v).clone());
+            let mut cs: Vec<u32> = self.children(v).map(|c| self.rpost(c)).collect();
+            cs.reverse();
+            ch.push(cs);
+        }
+        Tree::from_postorder(labels, ch)
+    }
+
+    /// Extracts the subtree rooted at `v` as a standalone tree.
+    pub fn subtree(&self, v: NodeId) -> Tree<L>
+    where
+        L: Clone,
+    {
+        let first = self.subtree_first(v).0;
+        let labels: Vec<L> = (first..=v.0)
+            .map(|i| self.labels[i as usize].clone())
+            .collect();
+        let ch: Vec<Vec<u32>> = (first..=v.0)
+            .map(|i| self.children(NodeId(i)).map(|c| c.0 - first).collect())
+            .collect();
+        Tree::from_postorder(labels, ch)
+    }
+
+    /// Maps labels through `f`, preserving structure.
+    pub fn map_labels<M>(&self, mut f: impl FnMut(&L) -> M) -> Tree<M> {
+        let labels = self.labels.iter().map(&mut f).collect();
+        let ch = (0..self.len())
+            .map(|i| self.children_range(i).to_vec())
+            .collect();
+        Tree::from_postorder(labels, ch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_bracket;
+
+    fn t(s: &str) -> Tree<String> {
+        parse_bracket(s).unwrap()
+    }
+
+    #[test]
+    fn single_node() {
+        let t = t("{a}");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.root(), NodeId(0));
+        assert!(t.is_leaf(t.root()));
+        assert_eq!(t.size(t.root()), 1);
+        assert_eq!(t.lld(t.root()), NodeId(0));
+        assert_eq!(t.rpost(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn paper_example_tree() {
+        // Figure 1 of the paper: root a with children b, d(->c), e.
+        // Postorder: b=0, c=1, d=2, e=3, a=4.
+        let t = t("{a{b}{d{c}}{e}}");
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.label(NodeId(4)), "a");
+        assert_eq!(t.label(NodeId(0)), "b");
+        assert_eq!(t.label(NodeId(2)), "d");
+        assert_eq!(t.size(NodeId(4)), 5);
+        assert_eq!(t.size(NodeId(2)), 2);
+        assert_eq!(t.parent(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(t.parent(NodeId(4)), None);
+        assert_eq!(t.lld(NodeId(4)), NodeId(0));
+        assert_eq!(t.rld(NodeId(4)), NodeId(3));
+        assert_eq!(t.lld(NodeId(2)), NodeId(1));
+        // Heavy child of the root is d (subtree size 2).
+        assert_eq!(t.heavy_child(NodeId(4)), Some(NodeId(2)));
+        // Depths.
+        assert_eq!(t.depth(NodeId(4)), 0);
+        assert_eq!(t.depth(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn mirror_postorder() {
+        // {a{b}{c}}: postorder b=0, c=1, a=2. Mirror postorder: c=0, b=1, a=2.
+        let t = t("{a{b}{c}}");
+        assert_eq!(t.rpost(NodeId(1)), 0); // c first in mirror order
+        assert_eq!(t.rpost(NodeId(0)), 1);
+        assert_eq!(t.rpost(NodeId(2)), 2);
+        assert_eq!(t.by_rpost(0), NodeId(1));
+    }
+
+    #[test]
+    fn mirrored_tree_roundtrip() {
+        let t = t("{a{b{d}{e}}{c}}");
+        let m = t.mirrored();
+        assert_eq!(m.len(), t.len());
+        // Mirror of mirror is the original structure.
+        let mm = m.mirrored();
+        for v in t.nodes() {
+            assert_eq!(t.label(v), mm.label(v));
+            assert_eq!(t.degree(v), mm.degree(v));
+        }
+        // Root label preserved; leftmost child of mirror is rightmost of t.
+        assert_eq!(m.label(m.root()), "a");
+        let first_child = m.children(m.root()).next().unwrap();
+        assert_eq!(m.label(first_child), "c");
+    }
+
+    #[test]
+    fn subtree_extraction() {
+        let t = t("{a{b{d}{e}}{c}}");
+        // Node with label b has postorder id 2 (d=0, e=1, b=2, c=3, a=4).
+        let sub = t.subtree(NodeId(2));
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.label(sub.root()), "b");
+        assert_eq!(sub.leaf_count(), 2);
+    }
+
+    #[test]
+    fn subtree_range_and_membership() {
+        let t = t("{a{b{d}{e}}{c}}");
+        assert_eq!(t.subtree_first(NodeId(2)), NodeId(0));
+        assert!(t.in_subtree(NodeId(1), NodeId(2)));
+        assert!(!t.in_subtree(NodeId(3), NodeId(2)));
+    }
+
+    #[test]
+    fn preorder_ranks() {
+        // {a{b{d}{e}}{c}}: preorder a,b,d,e,c ; postorder d,e,b,c,a.
+        let t = t("{a{b{d}{e}}{c}}");
+        assert_eq!(t.preorder(NodeId(4)), 0); // a
+        assert_eq!(t.preorder(NodeId(2)), 1); // b
+        assert_eq!(t.preorder(NodeId(0)), 2); // d
+        assert_eq!(t.preorder(NodeId(1)), 3); // e
+        assert_eq!(t.preorder(NodeId(3)), 4); // c
+    }
+
+    #[test]
+    #[should_panic(expected = "forest")]
+    fn rejects_forest() {
+        // Two roots: node 1 is not connected.
+        Tree::from_postorder(vec!["a", "b", "c"], vec![vec![], vec![], vec![0]]);
+    }
+}

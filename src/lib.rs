@@ -1,0 +1,39 @@
+//! # rted — Robust Tree Edit Distance
+//!
+//! A complete Rust implementation of **RTED** (Pawlik & Augsten, *RTED: A
+//! Robust Algorithm for the Tree Edit Distance*, PVLDB 5(4), 2011), together
+//! with the general path-strategy executor **GTED**, the optimal LRH
+//! strategy computation, and all competitor algorithms the paper evaluates
+//! (Zhang–Shasha left/right, Klein, Demaine).
+//!
+//! This crate is a thin facade re-exporting the workspace crates:
+//!
+//! * [`tree`] — ordered labeled trees, paths, decompositions
+//!   ([`rted_tree`]);
+//! * [`core`] — cost models, algorithms, strategies ([`rted_core`]);
+//! * [`datasets`] — synthetic shapes and dataset simulators
+//!   ([`rted_datasets`]);
+//! * [`join`] — TED similarity joins ([`rted_join`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use rted::{parse_bracket, ted};
+//!
+//! let f = parse_bracket("{a{b}{c{d}}}").unwrap();
+//! let g = parse_bracket("{a{b{d}}{c}}").unwrap();
+//! // Unit-cost tree edit distance with the robust (optimal-strategy)
+//! // algorithm.
+//! assert_eq!(ted(&f, &g), 2.0);
+//! ```
+
+pub use rted_core as core;
+pub use rted_datasets as datasets;
+pub use rted_join as join;
+pub use rted_tree as tree;
+
+pub use rted_core::{
+    edit_mapping, ted, Algorithm, CostModel, EditMapping, EditOp, PerLabelCost, Rted, RunStats,
+    UnitCost,
+};
+pub use rted_tree::{parse_bracket, to_bracket, NodeId, PathKind, Tree, TreeBuilder};

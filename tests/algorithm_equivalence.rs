@@ -1,0 +1,147 @@
+//! Cross-algorithm equivalence on randomized workloads.
+//!
+//! The oracle chain: the recursive reference validates Zhang–Shasha on
+//! small trees (in rted-core's unit tests); here Zhang–Shasha validates
+//! every GTED strategy, Klein, Demaine and RTED on hundreds of larger
+//! random and adversarial inputs, under unit and non-uniform cost models.
+
+use rted::core::cost::FnCost;
+use rted::core::strategy::{PathChoice, Side};
+use rted::core::{Algorithm, Executor, PerLabelCost, UnitCost};
+use rted::datasets::shapes::random_tree;
+use rted::datasets::Shape;
+use rted::tree::{PathKind, Tree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_pair(seed: u64, max_n: usize) -> (Tree<u32>, Tree<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n1 = 1 + (seed as usize * 7) % max_n;
+    let n2 = 1 + (seed as usize * 13) % max_n;
+    let f = random_tree(n1.max(1), 15, 6, &mut rng);
+    let g = random_tree(n2.max(1), 15, 6, &mut rng);
+    (
+        rted::datasets::shapes::relabel_random(&f, 4, seed),
+        rted::datasets::shapes::relabel_random(&g, 4, seed + 1),
+    )
+}
+
+#[test]
+fn all_algorithms_agree_on_random_trees() {
+    for seed in 0..60 {
+        let (f, g) = random_pair(seed, 60);
+        let want = Algorithm::ZhangL.run(&f, &g, &UnitCost).distance;
+        for alg in Algorithm::ALL {
+            let got = alg.run(&f, &g, &UnitCost).distance;
+            assert_eq!(got, want, "{alg} seed {seed} ({} vs {} nodes)", f.len(), g.len());
+        }
+    }
+}
+
+#[test]
+fn all_gted_strategies_agree_on_random_trees() {
+    for seed in 0..40 {
+        let (f, g) = random_pair(seed, 50);
+        let want = Algorithm::ZhangL.run(&f, &g, &UnitCost).distance;
+        for choice in PathChoice::ALL {
+            let mut exec = Executor::new(&f, &g, &UnitCost);
+            let got = exec.run(&choice);
+            assert_eq!(got, want, "strategy {choice} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn agreement_on_adversarial_shape_pairs() {
+    for (i, sf) in Shape::ALL.iter().enumerate() {
+        for (j, sg) in Shape::ALL.iter().enumerate() {
+            let f = sf.generate(70, i as u64);
+            let g = sg.generate(55, 100 + j as u64);
+            let want = Algorithm::ZhangL.run(&f, &g, &UnitCost).distance;
+            for alg in Algorithm::ALL {
+                let got = alg.run(&f, &g, &UnitCost).distance;
+                assert_eq!(got, want, "{alg} on {sf}×{sg}");
+            }
+        }
+    }
+}
+
+#[test]
+fn agreement_under_weighted_costs() {
+    let cm = PerLabelCost::new(1.5, 2.5, 0.75);
+    for seed in 0..25 {
+        let (f, g) = random_pair(seed, 40);
+        let want = Algorithm::ZhangL.run(&f, &g, &cm).distance;
+        for alg in Algorithm::ALL {
+            let got = alg.run(&f, &g, &cm).distance;
+            assert!((got - want).abs() < 1e-9, "{alg} seed {seed}: {got} vs {want}");
+        }
+    }
+}
+
+#[test]
+fn agreement_under_label_dependent_costs() {
+    // Costs depending on the label value exercise the per-node cost tables
+    // and the swapped-orientation accessors (delete ≠ insert).
+    let cm = FnCost {
+        del: |l: &u32| 1.0 + (*l % 3) as f64,
+        ins: |l: &u32| 2.0 + (*l % 2) as f64,
+        ren: |a: &u32, b: &u32| if a == b { 0.0 } else { 1.0 + ((a + b) % 2) as f64 },
+    };
+    for seed in 0..25 {
+        let (f, g) = random_pair(seed, 36);
+        let want = Algorithm::ZhangL.run(&f, &g, &cm).distance;
+        for alg in Algorithm::ALL {
+            let got = alg.run(&f, &g, &cm).distance;
+            assert!((got - want).abs() < 1e-9, "{alg} seed {seed}: {got} vs {want}");
+        }
+    }
+}
+
+#[test]
+fn gted_fills_consistent_subtree_matrix() {
+    // Under any strategy, GTED's full subtree-distance matrix must be
+    // internally consistent with per-pair recomputation.
+    let f = Shape::Random.generate(35, 5);
+    let g = Shape::Mixed.generate(30, 6);
+    let strat = rted::core::optimal_strategy(&f, &g);
+    let mut exec = Executor::new(&f, &g, &UnitCost);
+    exec.run(&strat);
+    for v in f.nodes().step_by(7) {
+        for w in g.nodes().step_by(5) {
+            let sf = f.subtree(v);
+            let sg = g.subtree(w);
+            let want = Algorithm::ZhangL.run(&sf, &sg, &UnitCost).distance;
+            assert_eq!(exec.subtree_distance(v, w), want, "pair ({v},{w})");
+        }
+    }
+}
+
+#[test]
+fn heavy_path_strategies_on_deep_narrow_trees() {
+    // Deep chains stress ∆I's period machinery (single-child path nodes,
+    // empty sibling stages) and the iterative GTED driver.
+    let f = rted::datasets::realworld::treefam_like(120, 3);
+    let g = rted::datasets::realworld::treefam_like(90, 4);
+    let want = Algorithm::ZhangL.run(&f, &g, &UnitCost).distance;
+    for alg in [Algorithm::KleinH, Algorithm::DemaineH, Algorithm::Rted] {
+        assert_eq!(alg.run(&f, &g, &UnitCost).distance, want, "{alg}");
+    }
+    // G-side heavy (forced swap on every pair).
+    let mut exec = Executor::new(&f, &g, &UnitCost);
+    let got = exec.run(&PathChoice { side: Side::G, kind: PathKind::Heavy });
+    assert_eq!(got, want);
+}
+
+#[test]
+fn single_node_edge_cases() {
+    let one = Shape::LeftBranch.generate(1, 0);
+    let big = Shape::Random.generate(30, 1);
+    for alg in Algorithm::ALL {
+        let d1 = alg.run(&one, &big, &UnitCost).distance;
+        let d2 = alg.run(&big, &one, &UnitCost).distance;
+        assert_eq!(d1, d2, "{alg}");
+        // Delete everything but one matched/renamed node.
+        assert!(d1 == (big.len() - 1) as f64 || d1 == big.len() as f64);
+    }
+}

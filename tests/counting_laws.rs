@@ -1,0 +1,145 @@
+//! The counting backbone of the paper, end to end: instrumented execution
+//! counts equal the Fig.-5 cost formula, Algorithm 2 equals the §6.1
+//! baseline, and RTED's count is minimal among all LRH competitors.
+
+use rted::core::baseline::baseline_optimal_cost;
+use rted::core::strategy::{compute_strategy, FixedChooser, PathChoice};
+use rted::core::{optimal_strategy, Algorithm, Executor, UnitCost};
+use rted::datasets::shapes::{random_tree, relabel_random};
+use rted::datasets::Shape;
+use rted::tree::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rnd(seed: u64, n: usize) -> Tree<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = random_tree(n, 15, 6, &mut rng);
+    relabel_random(&t, 4, seed)
+}
+
+#[test]
+fn measured_equals_predicted_for_all_fixed_strategies() {
+    for seed in 0..20 {
+        let f = rnd(seed, 1 + (seed as usize * 9) % 45);
+        let g = rnd(seed + 5, 1 + (seed as usize * 17) % 45);
+        for choice in PathChoice::ALL {
+            let predicted = compute_strategy(&f, &g, &FixedChooser(choice)).cost;
+            let mut exec = Executor::new(&f, &g, &UnitCost);
+            exec.run(&choice);
+            assert_eq!(exec.stats.subproblems, predicted, "{choice} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn measured_equals_predicted_for_all_algorithms() {
+    for seed in 0..15 {
+        let f = rnd(seed, 40);
+        let g = rnd(seed + 9, 35);
+        for alg in Algorithm::ALL {
+            let run = alg.run(&f, &g, &UnitCost);
+            let predicted = alg.predicted_subproblems(&f, &g);
+            assert_eq!(run.subproblems, predicted, "{alg} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn algorithm2_equals_baseline_on_random_trees() {
+    for seed in 0..25 {
+        let f = rnd(seed, 1 + (seed as usize * 5) % 30);
+        let g = rnd(seed + 40, 1 + (seed as usize * 3) % 30);
+        let fast = optimal_strategy(&f, &g).cost;
+        let base = baseline_optimal_cost(&f, &g).cost;
+        assert_eq!(fast, base, "seed {seed}");
+    }
+}
+
+#[test]
+fn algorithm2_equals_baseline_on_shapes() {
+    for sf in Shape::ALL {
+        for sg in Shape::ALL {
+            let f = sf.generate(25, 1);
+            let g = sg.generate(20, 2);
+            assert_eq!(
+                optimal_strategy(&f, &g).cost,
+                baseline_optimal_cost(&f, &g).cost,
+                "{sf} × {sg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rted_count_never_exceeds_any_lrh_competitor() {
+    for seed in 0..20 {
+        let f = rnd(seed, 50);
+        let g = rnd(seed + 11, 45);
+        let rted = Algorithm::Rted.predicted_subproblems(&f, &g);
+        for alg in Algorithm::ALL {
+            let c = alg.predicted_subproblems(&f, &g);
+            assert!(rted <= c, "{alg} {c} < RTED {rted}, seed {seed}");
+        }
+        // ...and below every constant LRH strategy, including G-side ones.
+        for choice in PathChoice::ALL {
+            let c = compute_strategy(&f, &g, &FixedChooser(choice)).cost;
+            assert!(rted <= c, "{choice} {c} < RTED {rted}, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn strategy_cost_is_symmetric_under_swap() {
+    // cost(F, G) under the optimal strategy equals cost(G, F): the six
+    // options are mirror images of each other.
+    for seed in 0..15 {
+        let f = rnd(seed, 35);
+        let g = rnd(seed + 21, 30);
+        assert_eq!(
+            optimal_strategy(&f, &g).cost,
+            optimal_strategy(&g, &f).cost,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn identical_tree_pairs_figure8_invariants() {
+    // On identical pairs of the named shapes the paper's winners hold.
+    let n = 150;
+    let check = |shape: Shape, winners: &[Algorithm]| {
+        let t = shape.generate(n, 3);
+        let rted = Algorithm::Rted.predicted_subproblems(&t, &t);
+        let best_fixed = [Algorithm::ZhangL, Algorithm::ZhangR, Algorithm::KleinH, Algorithm::DemaineH]
+            .iter()
+            .map(|a| a.predicted_subproblems(&t, &t))
+            .min()
+            .unwrap();
+        for w in winners {
+            let c = w.predicted_subproblems(&t, &t);
+            assert_eq!(c, best_fixed, "{shape}: {w} should be the best fixed strategy");
+        }
+        assert!(rted <= best_fixed, "{shape}");
+    };
+    check(Shape::LeftBranch, &[Algorithm::ZhangL]);
+    check(Shape::RightBranch, &[Algorithm::ZhangR]);
+    check(Shape::ZigZag, &[Algorithm::DemaineH]);
+}
+
+#[test]
+fn subproblem_scaling_exponents() {
+    // Asymptotic sanity on identical pairs: Zhang-L on LB is ~quadratic,
+    // Zhang-R on LB ~quartic, Demaine-H on LB ~cubic.
+    let lb_s = Shape::LeftBranch.generate(101, 0);
+    let lb_l = Shape::LeftBranch.generate(201, 0);
+    let ratio = |alg: Algorithm| {
+        Algorithm::predicted_subproblems(alg, &lb_l, &lb_l) as f64
+            / Algorithm::predicted_subproblems(alg, &lb_s, &lb_s) as f64
+    };
+    let zl = ratio(Algorithm::ZhangL);
+    let zr = ratio(Algorithm::ZhangR);
+    let dh = ratio(Algorithm::DemaineH);
+    assert!(zl > 3.0 && zl < 5.0, "Zhang-L on LB should be ~n²: ratio {zl}");
+    assert!(zr > 12.0 && zr < 20.0, "Zhang-R on LB should be ~n⁴: ratio {zr}");
+    assert!(dh > 6.0 && dh < 10.0, "Demaine-H on LB should be ~n³: ratio {dh}");
+}
