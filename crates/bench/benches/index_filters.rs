@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks: filter effectiveness of the rted-index
+//! engine — the same similarity join and range queries with the staged
+//! lower-bound pipeline on versus brute force, over a mixed-shape corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rted_datasets::shapes::{perturb_labels, Shape, DEFAULT_ALPHABET};
+use rted_index::{FilterPipeline, TreeIndex};
+use rted_tree::Tree;
+use std::hint::black_box;
+
+/// A mixed-shape corpus with planted near-duplicate pairs.
+fn corpus(n_trees: usize, tree_size: usize) -> Vec<Tree<u32>> {
+    let mut trees = Vec::with_capacity(n_trees);
+    for i in 0..n_trees {
+        let shape = Shape::ALL[i % Shape::ALL.len()];
+        let base = shape.generate(tree_size + (i * 5) % 20, i as u64);
+        if i % 3 == 0 {
+            trees.push(perturb_labels(&base, 2, DEFAULT_ALPHABET, 1000 + i as u64));
+        }
+        trees.push(base);
+    }
+    trees.truncate(n_trees);
+    trees
+}
+
+fn index_filters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_filters");
+    group.sample_size(10);
+    let trees = corpus(40, 60);
+    let tau = 8.0;
+
+    for (label, pipeline) in [
+        ("join_filtered", FilterPipeline::standard()),
+        ("join_size_only", FilterPipeline::size_only()),
+        ("join_brute", FilterPipeline::none()),
+    ] {
+        let index = TreeIndex::build(trees.iter().cloned()).with_pipeline(pipeline);
+        group.bench_with_input(BenchmarkId::new(label, trees.len()), &tau, |b, &tau| {
+            b.iter(|| black_box(index.join(tau).matches.len()));
+        });
+    }
+
+    let query = perturb_labels(&trees[0], 1, DEFAULT_ALPHABET, 77);
+    for (label, pipeline) in [
+        ("range_filtered", FilterPipeline::standard()),
+        ("range_brute", FilterPipeline::none()),
+    ] {
+        let index = TreeIndex::build(trees.iter().cloned()).with_pipeline(pipeline);
+        group.bench_with_input(BenchmarkId::new(label, trees.len()), &tau, |b, &tau| {
+            b.iter(|| black_box(index.range(&query, tau).neighbors.len()));
+        });
+    }
+
+    for (label, pipeline) in [
+        ("topk_filtered", FilterPipeline::standard()),
+        ("topk_brute", FilterPipeline::none()),
+    ] {
+        let index = TreeIndex::build(trees.iter().cloned()).with_pipeline(pipeline);
+        group.bench_with_input(BenchmarkId::new(label, trees.len()), &5usize, |b, &k| {
+            b.iter(|| black_box(index.top_k(&query, k).neighbors.len()));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, index_filters);
+criterion_main!(benches);

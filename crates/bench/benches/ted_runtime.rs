@@ -10,7 +10,12 @@ use std::hint::black_box;
 fn ted_runtime(c: &mut Criterion) {
     let mut group = c.benchmark_group("ted_runtime");
     group.sample_size(10);
-    for shape in [Shape::FullBinary, Shape::ZigZag, Shape::Mixed, Shape::Random] {
+    for shape in [
+        Shape::FullBinary,
+        Shape::ZigZag,
+        Shape::Mixed,
+        Shape::Random,
+    ] {
         for n in [100usize, 300] {
             let f = shape.generate(n, 7);
             let g = shape.generate(n, 8);

@@ -22,10 +22,17 @@ fn main() {
     let size = args.get("size", 500usize);
 
     println!("# Ablation: optimal subproblem count within strategy sub-classes, identical pairs of {size}-node trees");
-    let header: Vec<String> = ["shape", "L-only", "LR-only", "H-only", "F-side", "LRH (RTED)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "shape",
+        "L-only",
+        "LR-only",
+        "H-only",
+        "F-side",
+        "LRH (RTED)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for shape in Shape::ALL {
         let t = shape.generate(size, 21);
@@ -70,9 +77,16 @@ fn main() {
             human_count(full),
         ]);
     }
-    let header: Vec<String> = ["pair", "L-only", "LR-only", "H-only", "F-side", "LRH (RTED)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "pair",
+        "L-only",
+        "LR-only",
+        "H-only",
+        "F-side",
+        "LRH (RTED)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     print_table(&header, &rows);
 }

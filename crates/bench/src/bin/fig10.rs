@@ -6,23 +6,20 @@
 //!     [--treebank-max 300] [--swissprot-max 2000] [--random-max 3000]
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rted_bench::{print_table, size_series, Args};
 use rted_core::{Algorithm, UnitCost};
 use rted_datasets::realworld::{swissprot_like, treebank_like};
 use rted_datasets::shapes::random_tree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rted_tree::Tree;
 
-fn run_dataset(
-    name: &str,
-    sizes: &[usize],
-    reps: usize,
-    gen: impl Fn(usize, u64) -> Tree<u32>,
-) {
+fn run_dataset(name: &str, sizes: &[usize], reps: usize, gen: impl Fn(usize, u64) -> Tree<u32>) {
     println!("\n# Figure 10: {name} — strategy time vs overall RTED time (seconds)");
-    let header: Vec<String> =
-        ["size", "strategy", "overall", "strategy %"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["size", "strategy", "overall", "strategy %"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     for &n in sizes {
         let f = gen(n, 11);
@@ -55,10 +52,25 @@ fn main() {
     let sp_max = args.get("swissprot-max", 2000usize);
     let rnd_max = args.get("random-max", 3000usize);
 
-    run_dataset("TreeBank-like", &size_series(tb_max, tb_max / 6), reps, treebank_like);
-    run_dataset("SwissProt-like", &size_series(sp_max, sp_max / 5), reps, swissprot_like);
-    run_dataset("synthetic random", &size_series(rnd_max, rnd_max / 5), reps, |n, seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        random_tree(n, 15, 6, &mut rng)
-    });
+    run_dataset(
+        "TreeBank-like",
+        &size_series(tb_max, tb_max / 6),
+        reps,
+        treebank_like,
+    );
+    run_dataset(
+        "SwissProt-like",
+        &size_series(sp_max, sp_max / 5),
+        reps,
+        swissprot_like,
+    );
+    run_dataset(
+        "synthetic random",
+        &size_series(rnd_max, rnd_max / 5),
+        reps,
+        |n, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_tree(n, 15, 6, &mut rng)
+        },
+    );
 }

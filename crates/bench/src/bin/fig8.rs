@@ -30,7 +30,11 @@ fn main() {
             let mut row = vec![n.to_string()];
             for alg in Algorithm::ALL {
                 let count = alg.predicted_subproblems(&t, &t);
-                row.push(if raw { count.to_string() } else { human_count(count) });
+                row.push(if raw {
+                    count.to_string()
+                } else {
+                    human_count(count)
+                });
             }
             rows.push(row);
         }

@@ -21,7 +21,13 @@ fn main() {
     let size = args.get("size", 500usize);
     let tau = args.get("tau", f64::INFINITY);
 
-    let shapes = [Shape::LeftBranch, Shape::RightBranch, Shape::FullBinary, Shape::ZigZag, Shape::Random];
+    let shapes = [
+        Shape::LeftBranch,
+        Shape::RightBranch,
+        Shape::FullBinary,
+        Shape::ZigZag,
+        Shape::Random,
+    ];
     let trees: Vec<_> = shapes
         .iter()
         .enumerate()
@@ -29,11 +35,17 @@ fn main() {
         .collect();
 
     println!("# Table 1: self-join on {{LB, RB, FB, ZZ, Random}}, {size} nodes each, tau = {tau}");
-    let header: Vec<String> =
-        ["Algorithm", "Time [s]", "#Rel. subproblems", "Matches"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["Algorithm", "Time [s]", "#Rel. subproblems", "Matches"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     for alg in Algorithm::ALL {
-        let cfg = JoinConfig { tau, algorithm: alg, size_prune: false };
+        let cfg = JoinConfig {
+            tau,
+            algorithm: alg,
+            size_prune: false,
+        };
         let res = self_join(&trees, &UnitCost, &cfg);
         rows.push(vec![
             alg.name().to_string(),

@@ -20,8 +20,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
 
     // Sample trees per size partition.
-    let partitions: [(&str, usize, usize); 3] =
-        [("<500", 50, 499), ("500-1000", 500, 1000), (">1000", 1001, 2000)];
+    let partitions: [(&str, usize, usize); 3] = [
+        ("<500", 50, 499),
+        ("500-1000", 500, 1000),
+        (">1000", 1001, 2000),
+    ];
     let mut sampled: Vec<Vec<Tree<u32>>> = Vec::new();
     for (i, &(_, lo, hi)) in partitions.iter().enumerate() {
         let trees = (0..samples)
@@ -33,8 +36,12 @@ fn main() {
         sampled.push(trees);
     }
 
-    let competitors =
-        [Algorithm::ZhangL, Algorithm::ZhangR, Algorithm::KleinH, Algorithm::DemaineH];
+    let competitors = [
+        Algorithm::ZhangL,
+        Algorithm::ZhangR,
+        Algorithm::KleinH,
+        Algorithm::DemaineH,
+    ];
 
     let mut best_rows = Vec::new();
     let mut worst_rows = Vec::new();
@@ -50,14 +57,22 @@ fn main() {
                 let f = &sampled[i][rng.random_range(0..samples)];
                 let g = &sampled[j][rng.random_range(0..samples)];
                 let rted = Algorithm::Rted.predicted_subproblems(f, g);
-                let counts: Vec<u64> =
-                    competitors.iter().map(|a| a.predicted_subproblems(f, g)).collect();
+                let counts: Vec<u64> = competitors
+                    .iter()
+                    .map(|a| a.predicted_subproblems(f, g))
+                    .collect();
                 rted_total += rted;
                 best_total += counts.iter().copied().min().unwrap();
                 worst_total += counts.iter().copied().max().unwrap();
             }
-            best_row.push(format!("{:.1}%", 100.0 * rted_total as f64 / best_total as f64));
-            worst_row.push(format!("{:.1}%", 100.0 * rted_total as f64 / worst_total as f64));
+            best_row.push(format!(
+                "{:.1}%",
+                100.0 * rted_total as f64 / best_total as f64
+            ));
+            worst_row.push(format!(
+                "{:.1}%",
+                100.0 * rted_total as f64 / worst_total as f64
+            ));
         }
         best_rows.push(best_row);
         worst_rows.push(worst_row);

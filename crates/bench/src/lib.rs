@@ -15,7 +15,9 @@ pub struct Args {
 impl Args {
     /// Captures the process arguments.
     pub fn capture() -> Args {
-        Args { raw: std::env::args().skip(1).collect() }
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     /// The value following `--name`, parsed, or `default`.
@@ -81,7 +83,10 @@ pub fn print_table(header: &[String], rows: &[Vec<String>]) {
         println!("{s}");
     };
     line(header);
-    println!("{}", "-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         line(row);
     }

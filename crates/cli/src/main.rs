@@ -5,19 +5,22 @@
 //! rted compare   <TREE1> <TREE2> [--xml]
 //! rted mapping   <TREE1> <TREE2> [--xml] [--costs D,I,R]
 //! rted generate  <SHAPE> <N> [--seed S]
-//! rted join      <FILE> [--tau T] [--algorithm NAME]
+//! rted join      <FILE> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]
+//! rted search    <FILE> <QUERY> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]
+//! rted topk      <FILE> <QUERY> [--k K] [--algorithm NAME] [--threads N] [--no-filter]
 //! ```
 //!
 //! Trees are given inline in bracket notation (`{a{b}{c}}`) or as file
 //! paths; `--xml` parses the inputs as XML documents instead. `<FILE>` for
-//! `join` holds one bracket tree per line. `<SHAPE>` is one of
+//! `join`, `search` and `topk` holds one bracket tree per line and is
+//! loaded into an in-memory [`rted_index::TreeIndex`]. `<SHAPE>` is one of
 //! `lb rb fb zz mx random`.
 
 use rted_core::mapping::edit_mapping;
 use rted_core::{Algorithm, CostModel, PerLabelCost, UnitCost};
 use rted_datasets::xml::parse_xml;
 use rted_datasets::Shape;
-use rted_join::{self_join, JoinConfig};
+use rted_index::{SearchStats, TreeIndex};
 use rted_tree::{parse_bracket, to_bracket, Tree};
 use std::process::ExitCode;
 
@@ -28,10 +31,13 @@ fn usage() -> ExitCode {
          rted compare  <TREE1> <TREE2> [--xml]\n  \
          rted mapping  <TREE1> <TREE2> [--xml] [--costs D,I,R]\n  \
          rted generate <SHAPE> <N> [--seed S]\n  \
-         rted join     <FILE> [--tau T] [--algorithm NAME]\n\n\
+         rted join     <FILE> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]\n  \
+         rted search   <FILE> <QUERY> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]\n  \
+         rted topk     <FILE> <QUERY> [--k K] [--algorithm NAME] [--threads N] [--no-filter]\n\n\
          NAME: rted (default) | zhang-l | zhang-r | klein-h | demaine-h\n\
          SHAPE: lb | rb | fb | zz | mx | random\n\
-         TREE: inline bracket notation or a file path"
+         TREE/QUERY: inline bracket notation or a file path\n\
+         FILE: one bracket tree per line (an indexed corpus)"
     );
     ExitCode::from(2)
 }
@@ -48,8 +54,15 @@ impl Opts {
         let mut i = 0;
         while i < args.len() {
             if let Some(name) = args[i].strip_prefix("--") {
-                let takes_value = matches!(name, "algorithm" | "costs" | "seed" | "tau");
-                let value = if takes_value { args.get(i + 1).cloned() } else { None };
+                let takes_value = matches!(
+                    name,
+                    "algorithm" | "costs" | "seed" | "tau" | "k" | "threads"
+                );
+                let value = if takes_value {
+                    args.get(i + 1).cloned()
+                } else {
+                    None
+                };
                 if value.is_some() {
                     i += 1;
                 }
@@ -162,7 +175,10 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
     let xml = opts.has("xml");
     let f = load_tree(&opts.positional[0], xml)?;
     let g = load_tree(&opts.positional[1], xml)?;
-    println!("{:<10} {:>14} {:>12} {:>14}", "algorithm", "subproblems", "time", "distance");
+    println!(
+        "{:<10} {:>14} {:>12} {:>14}",
+        "algorithm", "subproblems", "time", "distance"
+    );
     for alg in Algorithm::ALL {
         let run = alg.run(&f, &g, &UnitCost);
         println!(
@@ -209,8 +225,9 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     }
     let shape = shape_by_name(&opts.positional[0])
         .ok_or(format!("unknown shape {}", opts.positional[0]))?;
-    let n: usize =
-        opts.positional[1].parse().map_err(|_| format!("bad size {}", opts.positional[1]))?;
+    let n: usize = opts.positional[1]
+        .parse()
+        .map_err(|_| format!("bad size {}", opts.positional[1]))?;
     let seed: u64 = opts.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
     let t = shape.generate(n.max(1), seed);
     println!("{}", to_bracket(&t.map_labels(|l| l.to_string())));
@@ -221,37 +238,104 @@ fn cmd_join(opts: &Opts) -> Result<(), String> {
     if opts.positional.len() != 1 {
         return Err("join needs a file with one bracket tree per line".into());
     }
-    let content = std::fs::read_to_string(&opts.positional[0])
-        .map_err(|e| format!("cannot read {}: {e}", opts.positional[0]))?;
+    let index = load_index(&opts.positional[0], opts)?;
+    let tau: f64 = parsed_flag(opts, "tau", f64::INFINITY)?;
+    let res = index.join(tau);
+    for m in &res.matches {
+        println!("{}\t{}\t{}", m.left, m.right, m.distance);
+    }
+    report_stats(&res.stats, "pairs");
+    Ok(())
+}
+
+/// Loads an indexed corpus from a one-bracket-tree-per-line file, honoring
+/// the shared `--algorithm`, `--threads` and `--no-filter` flags.
+fn load_index(path: &str, opts: &Opts) -> Result<TreeIndex<String>, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let trees: Vec<Tree<String>> = content
         .lines()
         .filter(|l| !l.trim().is_empty())
         .map(|l| parse_bracket(l.trim()).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
-    let tau: f64 = opts.flag("tau").and_then(|s| s.parse().ok()).unwrap_or(f64::INFINITY);
     let alg = match opts.flag("algorithm") {
         None => Algorithm::Rted,
         Some(name) => algorithm_by_name(name).ok_or(format!("unknown algorithm {name}"))?,
     };
-    let cfg = JoinConfig { tau, algorithm: alg, size_prune: tau.is_finite() };
-    let res = self_join(&trees, &UnitCost, &cfg);
-    for m in &res.matches {
-        println!("{}\t{}\t{}", m.left, m.right, m.distance);
+    let mut index = TreeIndex::build(trees).with_algorithm(alg);
+    if opts.has("no-filter") {
+        index = index.unfiltered();
     }
+    if let Some(t) = opts.flag("threads") {
+        let threads: usize = t.parse().map_err(|_| format!("bad --threads {t}"))?;
+        index = index.with_threads(threads);
+    }
+    Ok(index)
+}
+
+/// Parses an optional numeric flag, erroring on malformed values instead
+/// of silently falling back to the default.
+fn parsed_flag<T: std::str::FromStr>(opts: &Opts, name: &str, default: T) -> Result<T, String> {
+    match opts.flag(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --{name} {v}")),
+    }
+}
+
+/// Prints query statistics, including per-filter-stage prune counters.
+fn report_stats(stats: &SearchStats, what: &str) {
+    let pruned: Vec<String> = stats
+        .filter
+        .stages
+        .iter()
+        .filter(|s| s.pruned > 0)
+        .map(|s| format!("{} {}", s.stage, s.pruned))
+        .collect();
+    let pruned = if pruned.is_empty() {
+        "none".to_string()
+    } else {
+        pruned.join(", ")
+    };
     eprintln!(
-        "{} trees | {} pairs computed, {} pruned | {} subproblems | {:?}",
-        trees.len(),
-        res.pairs_computed,
-        res.pairs_pruned,
-        res.subproblems,
-        res.time
+        "{} {what} | {} verified exactly | pruned: {pruned} | {} subproblems | {:?}",
+        stats.candidates, stats.verified, stats.subproblems, stats.time
     );
+}
+
+fn cmd_search(opts: &Opts) -> Result<(), String> {
+    if opts.positional.len() != 2 {
+        return Err("search needs FILE and QUERY".into());
+    }
+    let index = load_index(&opts.positional[0], opts)?;
+    let query = load_tree(&opts.positional[1], opts.has("xml"))?;
+    let tau: f64 = parsed_flag(opts, "tau", f64::INFINITY)?;
+    let res = index.range(&query, tau);
+    for n in &res.neighbors {
+        println!("{}\t{}", n.id, n.distance);
+    }
+    report_stats(&res.stats, "candidates");
+    Ok(())
+}
+
+fn cmd_topk(opts: &Opts) -> Result<(), String> {
+    if opts.positional.len() != 2 {
+        return Err("topk needs FILE and QUERY".into());
+    }
+    let index = load_index(&opts.positional[0], opts)?;
+    let query = load_tree(&opts.positional[1], opts.has("xml"))?;
+    let k: usize = parsed_flag(opts, "k", 5)?;
+    let res = index.top_k(&query, k);
+    for n in &res.neighbors {
+        println!("{}\t{}", n.id, n.distance);
+    }
+    report_stats(&res.stats, "candidates");
     Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
     let opts = Opts::parse(&args[1..]);
     let result = match cmd.as_str() {
         "distance" => cmd_distance(&opts),
@@ -259,6 +343,8 @@ fn main() -> ExitCode {
         "mapping" => cmd_mapping(&opts),
         "generate" => cmd_generate(&opts),
         "join" => cmd_join(&opts),
+        "search" => cmd_search(&opts),
+        "topk" => cmd_topk(&opts),
         _ => return usage(),
     };
     match result {

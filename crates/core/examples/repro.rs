@@ -34,7 +34,12 @@ fn tree_from_choices(n: usize, rnd: &mut impl FnMut() -> u32) -> Tree<u8> {
     let labels: Vec<u8> = order.iter().map(|&v| (v % 3) as u8).collect();
     let post_children: Vec<Vec<u32>> = order
         .iter()
-        .map(|&v| children[v as usize].iter().map(|&c| post_of[c as usize]).collect())
+        .map(|&v| {
+            children[v as usize]
+                .iter()
+                .map(|&c| post_of[c as usize])
+                .collect()
+        })
         .collect();
     Tree::from_postorder(labels, post_children)
 }
@@ -46,7 +51,9 @@ fn main() {
 
     let mut seed: u64 = 0x1234_5678;
     let mut rnd = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as u32
     };
     for trial in 0..trials {
@@ -60,8 +67,14 @@ fn main() {
             let got = exec.run(&choice);
             if got != want {
                 println!("MISMATCH trial {trial} choice {choice}: got {got} want {want}");
-                println!("f: {}", rted_tree::to_bracket(&f.map_labels(|l| l.to_string())));
-                println!("g: {}", rted_tree::to_bracket(&g.map_labels(|l| l.to_string())));
+                println!(
+                    "f: {}",
+                    rted_tree::to_bracket(&f.map_labels(|l| l.to_string()))
+                );
+                println!(
+                    "g: {}",
+                    rted_tree::to_bracket(&g.map_labels(|l| l.to_string()))
+                );
                 std::process::exit(1);
             }
         }
@@ -70,8 +83,14 @@ fn main() {
         let got = exec.run(&strat);
         if got != want {
             println!("RTED MISMATCH trial {trial}: got {got} want {want}");
-            println!("f: {}", rted_tree::to_bracket(&f.map_labels(|l| l.to_string())));
-            println!("g: {}", rted_tree::to_bracket(&g.map_labels(|l| l.to_string())));
+            println!(
+                "f: {}",
+                rted_tree::to_bracket(&f.map_labels(|l| l.to_string()))
+            );
+            println!(
+                "g: {}",
+                rted_tree::to_bracket(&g.map_labels(|l| l.to_string()))
+            );
             std::process::exit(1);
         }
     }

@@ -95,7 +95,10 @@ pub fn baseline_optimal_cost<L>(f: &Tree<L>, g: &Tree<L>) -> BaselineResult {
         }
     }
     let cost = b.cost(f.root(), g.root());
-    BaselineResult { cost, summations: b.summations }
+    BaselineResult {
+        cost,
+        summations: b.summations,
+    }
 }
 
 #[cfg(test)]

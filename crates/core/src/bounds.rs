@@ -2,18 +2,35 @@
 //!
 //! §7 of the paper surveys bounds (string edit distance on serializations,
 //! binary branches, pq-grams) used to prune exact computations in
-//! similarity joins. This module provides the two cheapest sound bounds:
+//! similarity joins. This module provides a family of cheap sound bounds,
+//! unified under the [`LowerBound`] trait so similarity-search engines can
+//! stage them into a filter pipeline (cheapest first):
 //!
 //! * **size bound** — `|‖F‖ − ‖G‖| ≤ TED(F, G)`: any mapping leaves at
 //!   least the size difference unmapped;
+//! * **depth bound** — `|depth(F) − depth(G)| ≤ TED(F, G)`: a delete moves
+//!   the deleted node's descendants up one level, so the maximum depth
+//!   changes by at most 1 per edit operation (inserts symmetrically, and
+//!   renames not at all);
+//! * **leaf bound** — `|leaves(F) − leaves(G)| ≤ TED(F, G)`: deleting a
+//!   leaf removes one leaf but may turn its parent into a leaf, deleting
+//!   an internal node splices its children in place — either way the leaf
+//!   count changes by at most 1 per operation;
+//! * **degree bound** — `|internal(F) − internal(G)| ≤ TED(F, G)` where
+//!   `internal` counts nodes of degree ≥ 1: each operation creates or
+//!   destroys at most one internal node;
 //! * **label histogram bound** — `max(‖F‖, ‖G‖) − |hist(F) ∩ hist(G)| ≤
 //!   TED(F, G)`: a mapping of `m` pairs with `r` renames costs
 //!   `(‖F‖ − m) + (‖G‖ − m) + r`; since at most `|hist ∩|` pairs can be
 //!   rename-free, the cost is at least `‖F‖ + ‖G‖ − m − |hist ∩|` ≥
 //!   `max(‖F‖, ‖G‖) − |hist ∩|`.
 //!
-//! Both are valid for any cost model whose deletes/inserts cost ≥ 1 and
-//! renames of distinct labels cost ≥ 1 (in particular [`crate::UnitCost`]).
+//! All bounds are valid for any cost model whose deletes/inserts cost ≥ 1;
+//! the histogram bound additionally needs renames of distinct labels to
+//! cost ≥ 1 (both hold for [`crate::UnitCost`]).
+//!
+//! Every stage reads precomputed per-tree data from a [`TreeSketch`], so a
+//! corpus can be analyzed once at build time and probed millions of times.
 
 use rted_tree::Tree;
 use std::collections::HashMap;
@@ -38,7 +55,10 @@ impl<L: Eq + std::hash::Hash + Clone> LabelHistogram<L> {
         for v in tree.nodes() {
             *counts.entry(tree.label(v).clone()).or_insert(0) += 1;
         }
-        LabelHistogram { counts, size: tree.len() }
+        LabelHistogram {
+            counts,
+            size: tree.len(),
+        }
     }
 
     /// Number of nodes in the underlying tree.
@@ -68,17 +88,149 @@ impl<L: Eq + std::hash::Hash + Clone> LabelHistogram<L> {
     }
 }
 
-/// The combined (max of size and histogram) lower bound.
+/// The combined (max over all [`standard_bounds`] stages) lower bound.
 pub fn lower_bound<L: Eq + std::hash::Hash + Clone>(f: &Tree<L>, g: &Tree<L>) -> f64 {
-    let h = LabelHistogram::new(f).lower_bound(&LabelHistogram::new(g));
-    size_lower_bound(f, g).max(h)
+    let (sf, sg) = (TreeSketch::new(f), TreeSketch::new(g));
+    // Hand-enumerated (no boxing) but must mirror standard_bounds();
+    // `lower_bound_matches_standard_stages` guards against drift.
+    LowerBound::<L>::bound(&SizeBound, &sf, &sg)
+        .max(LowerBound::<L>::bound(&DepthBound, &sf, &sg))
+        .max(LowerBound::<L>::bound(&LeafBound, &sf, &sg))
+        .max(LowerBound::<L>::bound(&DegreeBound, &sf, &sg))
+        .max(HistogramBound.bound(&sf, &sg))
+}
+
+/// Per-tree summary computed once in O(n), consumed by every
+/// [`LowerBound`] stage. Corpus indexes build one sketch per tree at
+/// insert time and never touch the tree again during filtering.
+#[derive(Debug, Clone)]
+pub struct TreeSketch<L> {
+    /// Node count `‖T‖`.
+    pub size: usize,
+    /// Maximum node depth (root = 0).
+    pub max_depth: u32,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Number of internal (degree ≥ 1) nodes.
+    pub internal: usize,
+    /// Label multiset.
+    pub histogram: LabelHistogram<L>,
+}
+
+impl<L: Eq + std::hash::Hash + Clone> TreeSketch<L> {
+    /// Analyzes `tree` once.
+    pub fn new(tree: &Tree<L>) -> Self {
+        let leaves = tree.leaf_count();
+        TreeSketch {
+            size: tree.len(),
+            max_depth: tree.max_depth(),
+            leaves,
+            internal: tree.len() - leaves,
+            histogram: LabelHistogram::new(tree),
+        }
+    }
+}
+
+/// A sound lower bound on `TED(F, G)` computed from two [`TreeSketch`]es.
+///
+/// Implementations must guarantee `bound(f, g) ≤ TED(F, G)` for every tree
+/// pair under any cost model with delete/insert costs ≥ 1 and (for
+/// label-sensitive bounds) renames of distinct labels ≥ 1.
+pub trait LowerBound<L> {
+    /// Stage name used in filter statistics.
+    fn name(&self) -> &'static str;
+
+    /// The lower bound value for the pair of sketched trees.
+    fn bound(&self, f: &TreeSketch<L>, g: &TreeSketch<L>) -> f64;
+}
+
+/// `|‖F‖ − ‖G‖|` — see module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SizeBound;
+
+impl<L> LowerBound<L> for SizeBound {
+    fn name(&self) -> &'static str {
+        "size"
+    }
+    fn bound(&self, f: &TreeSketch<L>, g: &TreeSketch<L>) -> f64 {
+        (f.size as f64 - g.size as f64).abs()
+    }
+}
+
+/// `|depth(F) − depth(G)|` — see module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DepthBound;
+
+impl<L> LowerBound<L> for DepthBound {
+    fn name(&self) -> &'static str {
+        "depth"
+    }
+    fn bound(&self, f: &TreeSketch<L>, g: &TreeSketch<L>) -> f64 {
+        (f.max_depth as f64 - g.max_depth as f64).abs()
+    }
+}
+
+/// `|leaves(F) − leaves(G)|` — see module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeafBound;
+
+impl<L> LowerBound<L> for LeafBound {
+    fn name(&self) -> &'static str {
+        "leaf"
+    }
+    fn bound(&self, f: &TreeSketch<L>, g: &TreeSketch<L>) -> f64 {
+        (f.leaves as f64 - g.leaves as f64).abs()
+    }
+}
+
+/// `|internal(F) − internal(G)|` over degree-≥-1 nodes — see module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegreeBound;
+
+impl<L> LowerBound<L> for DegreeBound {
+    fn name(&self) -> &'static str {
+        "degree"
+    }
+    fn bound(&self, f: &TreeSketch<L>, g: &TreeSketch<L>) -> f64 {
+        (f.internal as f64 - g.internal as f64).abs()
+    }
+}
+
+/// `max(‖F‖, ‖G‖) − |hist(F) ∩ hist(G)|` — see module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistogramBound;
+
+impl<L: Eq + std::hash::Hash + Clone> LowerBound<L> for HistogramBound {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+    fn bound(&self, f: &TreeSketch<L>, g: &TreeSketch<L>) -> f64 {
+        f.histogram.lower_bound(&g.histogram)
+    }
+}
+
+/// The standard filter staging: every bound, cheapest first. The histogram
+/// bound goes last — it is the only stage that is not O(1) per pair.
+pub fn standard_bounds<L: Eq + std::hash::Hash + Clone>(
+) -> Vec<Box<dyn LowerBound<L> + Send + Sync>> {
+    vec![
+        Box::new(SizeBound),
+        Box::new(DepthBound),
+        Box::new(LeafBound),
+        Box::new(DegreeBound),
+        Box::new(HistogramBound),
+    ]
 }
 
 /// A trivial upper bound: delete all of `F`, insert all of `G` — except
 /// the root pair can always be mapped, so `‖F‖ + ‖G‖ − 2 + [roots differ]`
 /// bounds the unit-cost distance from above.
 pub fn upper_bound<L: PartialEq>(f: &Tree<L>, g: &Tree<L>) -> f64 {
-    let rename = if f.label(f.root()) == g.label(g.root()) { 0.0 } else { 1.0 };
+    let rename = if f.label(f.root()) == g.label(g.root()) {
+        0.0
+    } else {
+        1.0
+    };
     (f.len() + g.len()) as f64 - 2.0 + rename
 }
 
@@ -130,6 +282,68 @@ mod tests {
     }
 
     #[test]
+    fn structural_stage_values() {
+        // {a{b{c}}} : size 3, depth 2, 1 leaf, 2 internal.
+        // {a{b}{c}} : size 3, depth 1, 2 leaves, 1 internal.
+        let f = parse_bracket("{a{b{c}}}").unwrap();
+        let g = parse_bracket("{a{b}{c}}").unwrap();
+        let (sf, sg) = (TreeSketch::new(&f), TreeSketch::new(&g));
+        assert_eq!(LowerBound::<String>::bound(&SizeBound, &sf, &sg), 0.0);
+        assert_eq!(LowerBound::<String>::bound(&DepthBound, &sf, &sg), 1.0);
+        assert_eq!(LowerBound::<String>::bound(&LeafBound, &sf, &sg), 1.0);
+        assert_eq!(LowerBound::<String>::bound(&DegreeBound, &sf, &sg), 1.0);
+        let d = ted(&f, &g);
+        assert!(d >= 1.0);
+    }
+
+    #[test]
+    fn every_stage_below_distance_on_samples() {
+        let cases = [
+            ("{a}", "{a{b}{c}{d}}"),
+            ("{a{b{c{d}}}}", "{a{b}{c}{d}}"),
+            ("{a{b}{c}}", "{x{y{z}}}"),
+            ("{a{a{a}}{a}}", "{b{b}{b{b}}}"),
+        ];
+        for (a, b) in cases {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let d = ted(&f, &g);
+            let (sf, sg) = (TreeSketch::new(&f), TreeSketch::new(&g));
+            for stage in standard_bounds::<String>() {
+                let lb = stage.bound(&sf, &sg);
+                assert!(
+                    lb <= d,
+                    "{} bound {lb} > ted {d} on {a} vs {b}",
+                    stage.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_matches_standard_stages() {
+        // Drift guard: lower_bound() hand-enumerates the stages for
+        // allocation-free probing; it must stay the max over
+        // standard_bounds(), or a newly added stage would be silently
+        // missing from the combined bound.
+        let cases = [
+            ("{a{b}{c}}", "{x{y{z}}}"),
+            ("{a{b{c{d}}}}", "{a{b}{c}{d}}"),
+            ("{a}", "{a{a}{a}{a}}"),
+        ];
+        for (a, b) in cases {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let (sf, sg) = (TreeSketch::new(&f), TreeSketch::new(&g));
+            let folded = standard_bounds::<String>()
+                .iter()
+                .map(|s| s.bound(&sf, &sg))
+                .fold(0.0, f64::max);
+            assert_eq!(lower_bound(&f, &g), folded, "{a} vs {b}");
+        }
+    }
+
+    #[test]
     fn bounds_on_random_trees() {
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
@@ -160,7 +374,12 @@ mod tests {
                 let labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..5u32)).collect();
                 let pc: Vec<Vec<u32>> = order
                     .iter()
-                    .map(|&v| children[v as usize].iter().map(|&c| post_of[c as usize]).collect())
+                    .map(|&v| {
+                        children[v as usize]
+                            .iter()
+                            .map(|&c| post_of[c as usize])
+                            .collect()
+                    })
                     .collect();
                 Tree::from_postorder(labels, pc)
             };

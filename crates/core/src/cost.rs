@@ -18,6 +18,21 @@ pub trait CostModel<L> {
     fn rename(&self, from: &L, to: &L) -> f64;
 }
 
+impl<L, C: CostModel<L> + ?Sized> CostModel<L> for &C {
+    #[inline]
+    fn delete(&self, label: &L) -> f64 {
+        (**self).delete(label)
+    }
+    #[inline]
+    fn insert(&self, label: &L) -> f64 {
+        (**self).insert(label)
+    }
+    #[inline]
+    fn rename(&self, from: &L, to: &L) -> f64 {
+        (**self).rename(from, to)
+    }
+}
+
 /// The unit cost model used throughout the paper's evaluation: every delete
 /// and insert costs 1, a rename costs 1 unless the labels are equal.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,7 +74,10 @@ pub struct PerLabelCost {
 impl PerLabelCost {
     /// Creates a weighted model; all weights must be non-negative.
     pub fn new(del: f64, ins: f64, ren: f64) -> Self {
-        assert!(del >= 0.0 && ins >= 0.0 && ren >= 0.0, "costs must be non-negative");
+        assert!(
+            del >= 0.0 && ins >= 0.0 && ren >= 0.0,
+            "costs must be non-negative"
+        );
         PerLabelCost { del, ins, ren }
     }
 }
@@ -151,7 +169,12 @@ impl CostTables {
             sub_del[v.idx()] = sd;
             sub_ins[v.idx()] = si;
         }
-        CostTables { del, ins, sub_del, sub_ins }
+        CostTables {
+            del,
+            ins,
+            sub_del,
+            sub_ins,
+        }
     }
 }
 

@@ -51,7 +51,15 @@ impl<'a, L, C: CostModel<L>> Executor<'a, L, C> {
         let ftab = CostTables::new(f, cm);
         let gtab = CostTables::new(g, cm);
         let d = vec![f64::NAN; f.len() * g.len()];
-        Executor { f, g, cm, ftab, gtab, d, stats: ExecStats::default() }
+        Executor {
+            f,
+            g,
+            cm,
+            ftab,
+            gtab,
+            d,
+            stats: ExecStats::default(),
+        }
     }
 
     /// Runs GTED under `strategy` and returns the tree edit distance.
@@ -267,20 +275,56 @@ mod tests {
 
     #[test]
     fn const_left_matches_reference() {
-        check_strategy(&PathChoice { side: Side::F, kind: PathKind::Left }, "F-Left");
-        check_strategy(&PathChoice { side: Side::G, kind: PathKind::Left }, "G-Left");
+        check_strategy(
+            &PathChoice {
+                side: Side::F,
+                kind: PathKind::Left,
+            },
+            "F-Left",
+        );
+        check_strategy(
+            &PathChoice {
+                side: Side::G,
+                kind: PathKind::Left,
+            },
+            "G-Left",
+        );
     }
 
     #[test]
     fn const_right_matches_reference() {
-        check_strategy(&PathChoice { side: Side::F, kind: PathKind::Right }, "F-Right");
-        check_strategy(&PathChoice { side: Side::G, kind: PathKind::Right }, "G-Right");
+        check_strategy(
+            &PathChoice {
+                side: Side::F,
+                kind: PathKind::Right,
+            },
+            "F-Right",
+        );
+        check_strategy(
+            &PathChoice {
+                side: Side::G,
+                kind: PathKind::Right,
+            },
+            "G-Right",
+        );
     }
 
     #[test]
     fn const_heavy_matches_reference() {
-        check_strategy(&PathChoice { side: Side::F, kind: PathKind::Heavy }, "Klein-H");
-        check_strategy(&PathChoice { side: Side::G, kind: PathKind::Heavy }, "G-Heavy");
+        check_strategy(
+            &PathChoice {
+                side: Side::F,
+                kind: PathKind::Heavy,
+            },
+            "Klein-H",
+        );
+        check_strategy(
+            &PathChoice {
+                side: Side::G,
+                kind: PathKind::Heavy,
+            },
+            "G-Heavy",
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod zs;
 mod spf_i;
 mod spf_lr;
 
+pub use bounds::{LowerBound, TreeSketch};
 pub use cost::{CostModel, PerLabelCost, UnitCost};
 pub use gted::{ExecStats, Executor};
 pub use mapping::{edit_mapping, EditMapping, EditOp};

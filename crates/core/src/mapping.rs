@@ -163,7 +163,8 @@ impl<L, C: CostModel<L>> Tracer<'_, L, C> {
 
     #[inline]
     fn ren(&self, x: u32, y: u32) -> f64 {
-        self.cm.rename(self.f.label(NodeId(x - 1)), self.g.label(NodeId(y - 1)))
+        self.cm
+            .rename(self.f.label(NodeId(x - 1)), self.g.label(NodeId(y - 1)))
     }
 
     /// Emits deletes for the whole subtree forest `[lx..=x]`.
@@ -274,8 +275,12 @@ pub fn edit_mapping<L, C: CostModel<L>>(f: &Tree<L>, g: &Tree<L>, cm: &C) -> Edi
     let zs = zhang_shasha(f, g, cm, false);
     let fv = SubtreeView::new(f, f.root(), false);
     let gv = SubtreeView::new(g, g.root(), false);
-    let f_lml: Vec<u32> = std::iter::once(0).chain((1..=fv.n).map(|r| fv.lml(r))).collect();
-    let g_lml: Vec<u32> = std::iter::once(0).chain((1..=gv.n).map(|r| gv.lml(r))).collect();
+    let f_lml: Vec<u32> = std::iter::once(0)
+        .chain((1..=fv.n).map(|r| fv.lml(r)))
+        .collect();
+    let g_lml: Vec<u32> = std::iter::once(0)
+        .chain((1..=gv.n).map(|r| gv.lml(r)))
+        .collect();
     let mut tracer = Tracer {
         f,
         g,
@@ -291,7 +296,10 @@ pub fn edit_mapping<L, C: CostModel<L>>(f: &Tree<L>, g: &Tree<L>, cm: &C) -> Edi
     tracer.trace_tree(f.len() as u32, g.len() as u32);
     let mut ops = tracer.ops;
     ops.reverse(); // backtrace emits from the right; present left-to-right
-    EditMapping { ops, cost: zs.distance }
+    EditMapping {
+        ops,
+        cost: zs.distance,
+    }
 }
 
 #[cfg(test)]
@@ -374,12 +382,14 @@ mod tests {
                         stack.pop();
                     }
                 }
-                let labels: Vec<u32> =
-                    (0..n).map(|_| rng.random_range(0..4u32)).collect();
+                let labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..4u32)).collect();
                 let pc: Vec<Vec<u32>> = order
                     .iter()
                     .map(|&v| {
-                        children[v as usize].iter().map(|&c| post_of[c as usize]).collect()
+                        children[v as usize]
+                            .iter()
+                            .map(|&c| post_of[c as usize])
+                            .collect()
                     })
                     .collect();
                 Tree::from_postorder(labels, pc)
@@ -390,7 +400,8 @@ mod tests {
             let want = crate::zs::zs_distance(&f, &g, &UnitCost);
             assert_eq!(m.cost, want, "seed {seed}");
             assert_eq!(m.cost_under(&f, &g, &UnitCost), want, "seed {seed}");
-            m.validate(&f, &g).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            m.validate(&f, &g)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

@@ -53,10 +53,10 @@ impl<'a, L, C: CostModel<L>> Rec<'a, L, C> {
         let f_is_tree = ff.0.len() == 1;
         let g_is_tree = gf.0.len() == 1;
 
-        let del = self.dist(ff.remove_leftmost(self.f), gf.clone())
-            + self.cm.delete(self.f.label(v));
-        let ins = self.dist(ff.clone(), gf.remove_leftmost(self.g))
-            + self.cm.insert(self.g.label(w));
+        let del =
+            self.dist(ff.remove_leftmost(self.f), gf.clone()) + self.cm.delete(self.f.label(v));
+        let ins =
+            self.dist(ff.clone(), gf.remove_leftmost(self.g)) + self.cm.insert(self.g.label(w));
         let third = if f_is_tree && g_is_tree {
             // Case (5): rename the roots, match the child forests.
             self.dist(ff.remove_leftmost(self.f), gf.remove_leftmost(self.g))
@@ -80,7 +80,12 @@ impl<'a, L, C: CostModel<L>> Rec<'a, L, C> {
 /// Intended for testing on small trees: time and memory grow with the
 /// number of distinct forest pairs, which can be far beyond O(n²).
 pub fn reference_ted<L, C: CostModel<L>>(f: &Tree<L>, g: &Tree<L>, cm: &C) -> f64 {
-    let mut rec = Rec { f, g, cm, memo: HashMap::new() };
+    let mut rec = Rec {
+        f,
+        g,
+        cm,
+        memo: HashMap::new(),
+    };
     rec.dist(Forest::tree(f.root()), Forest::tree(g.root()))
 }
 

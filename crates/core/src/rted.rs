@@ -83,9 +83,15 @@ impl Algorithm {
                     exec: ExecStats::default(),
                 }
             }
-            Algorithm::KleinH => {
-                run_gted(f, g, cm, &PathChoice { side: Side::F, kind: PathKind::Heavy })
-            }
+            Algorithm::KleinH => run_gted(
+                f,
+                g,
+                cm,
+                &PathChoice {
+                    side: Side::F,
+                    kind: PathKind::Heavy,
+                },
+            ),
             Algorithm::DemaineH => run_gted(f, g, cm, &DemaineHeavy),
             Algorithm::Rted => {
                 let t0 = Instant::now();
@@ -102,24 +108,39 @@ impl Algorithm {
     /// `(f, g)`, via the Fig.-5 cost formula (no distance computation).
     pub fn predicted_subproblems<L>(self, f: &Tree<L>, g: &Tree<L>) -> u64 {
         match self {
-            Algorithm::ZhangL => compute_strategy(
-                f,
-                g,
-                &FixedChooser(PathChoice { side: Side::F, kind: PathKind::Left }),
-            )
-            .cost,
-            Algorithm::ZhangR => compute_strategy(
-                f,
-                g,
-                &FixedChooser(PathChoice { side: Side::F, kind: PathKind::Right }),
-            )
-            .cost,
-            Algorithm::KleinH => compute_strategy(
-                f,
-                g,
-                &FixedChooser(PathChoice { side: Side::F, kind: PathKind::Heavy }),
-            )
-            .cost,
+            Algorithm::ZhangL => {
+                compute_strategy(
+                    f,
+                    g,
+                    &FixedChooser(PathChoice {
+                        side: Side::F,
+                        kind: PathKind::Left,
+                    }),
+                )
+                .cost
+            }
+            Algorithm::ZhangR => {
+                compute_strategy(
+                    f,
+                    g,
+                    &FixedChooser(PathChoice {
+                        side: Side::F,
+                        kind: PathKind::Right,
+                    }),
+                )
+                .cost
+            }
+            Algorithm::KleinH => {
+                compute_strategy(
+                    f,
+                    g,
+                    &FixedChooser(PathChoice {
+                        side: Side::F,
+                        kind: PathKind::Heavy,
+                    }),
+                )
+                .cost
+            }
             Algorithm::DemaineH => compute_strategy(f, g, &DemaineChooser).cost,
             Algorithm::Rted => optimal_strategy(f, g).cost,
         }
@@ -208,10 +229,15 @@ mod tests {
         for (a, b) in cases {
             let f = parse_bracket(a).unwrap();
             let g = parse_bracket(b).unwrap();
-            let runs: Vec<RunStats> =
-                Algorithm::ALL.iter().map(|alg| alg.run(&f, &g, &UnitCost)).collect();
+            let runs: Vec<RunStats> = Algorithm::ALL
+                .iter()
+                .map(|alg| alg.run(&f, &g, &UnitCost))
+                .collect();
             for (alg, r) in Algorithm::ALL.iter().zip(&runs) {
-                assert_eq!(r.distance, runs[0].distance, "{alg} disagrees on {a} vs {b}");
+                assert_eq!(
+                    r.distance, runs[0].distance,
+                    "{alg} disagrees on {a} vs {b}"
+                );
             }
         }
     }

@@ -33,6 +33,11 @@
 //! is what bounds memory by O(|F|·|G| + |A(G)|) while still computing each
 //! relevant subproblem exactly once.
 
+#![allow(clippy::needless_range_loop, clippy::needless_late_init)]
+// The DP kernels below are written as explicit index loops over
+// canonical-pair arrays; iterator rewrites obscure the index
+// arithmetic the comments reference.
+
 use crate::cost::CostModel;
 use crate::gted::Executor;
 use rted_tree::{NodeId, Tree};
@@ -120,7 +125,11 @@ impl BSide {
         for b in 1..=m {
             mem_a_off[b] = mem_a.len();
             start_b[b] = start_b[b - 1]
-                + if b >= 2 { cnt[m * stride + b - 1] as usize - sz_r[b - 1] as usize + 1 } else { 0 };
+                + if b >= 2 {
+                    cnt[m * stride + b - 1] as usize - sz_r[b - 1] as usize + 1
+                } else {
+                    0
+                };
             for a in lb[b] as usize..=m {
                 if rb[a] as usize <= b {
                     mem_a.push(a as u32);
@@ -176,7 +185,10 @@ impl BSide {
     /// Position of canonical pair `(a, b)` in a row vector.
     #[inline]
     fn pos(&self, a: u32, b: u32) -> usize {
-        debug_assert!(self.rb[a as usize] <= b && self.lb[b as usize] <= a, "({a},{b}) not canonical");
+        debug_assert!(
+            self.rb[a as usize] <= b && self.lb[b as usize] <= a,
+            "({a},{b}) not canonical"
+        );
         // Rank of the first canonical member of family b is |subtree(y)|.
         self.start_b[b as usize] + (self.cnt_at(a, b) - self.sz_r[b as usize]) as usize
     }
@@ -256,7 +268,11 @@ fn empty_a_row(bs: &BSide) -> Row {
             kids[a] = bs.sub_ins_l[a] - bs.ins_l[a];
         }
     }
-    Row { vals, kids, col0: 0.0 }
+    Row {
+        vals,
+        kids,
+        col0: 0.0,
+    }
 }
 
 /// Stage T: from δ(children-forest(p), ·) compute δ(subtree(p), ·), writing
@@ -349,21 +365,33 @@ fn stage_rl<L, C: CostModel<L>>(
     // Stage buffer: (r_rows + 1) × (max family width).
     let mut wmax = 0usize;
     for fam_idx in 1..=m as u32 {
-        let w = if left { bs.fam_b(fam_idx).len() } else { bs.fam_a(fam_idx).len() };
+        let w = if left {
+            bs.fam_b(fam_idx).len()
+        } else {
+            bs.fam_a(fam_idx).len()
+        };
         wmax = wmax.max(w);
     }
     let mut stage = vec![0.0f64; (r_rows + 1) * wmax];
     let mut cells = 0u64;
 
     for fam_idx in 1..=m as u32 {
-        let fam: &[u32] = if left { bs.fam_b(fam_idx) } else { bs.fam_a(fam_idx) };
+        let fam: &[u32] = if left {
+            bs.fam_b(fam_idx)
+        } else {
+            bs.fam_a(fam_idx)
+        };
         let width = fam.len();
         if width == 0 {
             continue;
         }
         // Rank of the first canonical member (size of the anchoring
         // subtree), used to convert member counts to column indices.
-        let fam_low = if left { bs.sz_l[fam_idx as usize] } else { bs.sz_r[fam_idx as usize] };
+        let fam_low = if left {
+            bs.sz_l[fam_idx as usize]
+        } else {
+            bs.sz_r[fam_idx as usize]
+        };
         // Row 0 = base row restricted to this family.
         for (ci, &mb) in fam.iter().enumerate() {
             let (a, b) = if left { (fam_idx, mb) } else { (mb, fam_idx) };
@@ -389,9 +417,18 @@ fn stage_rl<L, C: CostModel<L>>(
                     let s_minus_w = if szw == 1 {
                         col0[j]
                     } else {
-                        kids[j * kstride + if left { a as usize } else { bs.lb[b as usize] as usize }]
+                        kids[j * kstride
+                            + if left {
+                                a as usize
+                            } else {
+                                bs.lb[b as usize] as usize
+                            }]
                     };
-                    let ins_w = if left { bs.ins_r[b as usize] } else { bs.ins_l[a as usize] };
+                    let ins_w = if left {
+                        bs.ins_r[b as usize]
+                    } else {
+                        bs.ins_l[a as usize]
+                    };
                     val = (stage[prow + ci] + dv)
                         .min(s_minus_w + ins_w)
                         .min(exec.d_get(v, w_node, swapped) + col0[j - szv]);
@@ -404,7 +441,11 @@ fn stage_rl<L, C: CostModel<L>>(
                     };
                     debug_assert!(jump_rank >= fam_low);
                     let jump = stage[(j - szv) * wmax + (jump_rank - fam_low) as usize];
-                    let ins_w = if left { bs.ins_r[b as usize] } else { bs.ins_l[a as usize] };
+                    let ins_w = if left {
+                        bs.ins_r[b as usize]
+                    } else {
+                        bs.ins_l[a as usize]
+                    };
                     val = (stage[prow + ci] + dv)
                         .min(stage[jrow + ci - 1] + ins_w)
                         .min(exec.d_get(v, w_node, swapped) + jump);
@@ -427,7 +468,11 @@ fn stage_rl<L, C: CostModel<L>>(
     exec.stats.subproblems += cells;
 
     let out_kids = kids[r_rows * kstride..].to_vec();
-    Row { vals: out_vals, kids: out_kids, col0: col0[r_rows] }
+    Row {
+        vals: out_vals,
+        kids: out_kids,
+        col0: col0[r_rows],
+    }
 }
 
 /// Runs `∆I` for the A-side subtree at `a_root` decomposed along `path`
@@ -439,7 +484,11 @@ pub(crate) fn run<L, C: CostModel<L>>(
     path: &[NodeId],
     swapped: bool,
 ) {
-    debug_assert_eq!(path.first(), Some(&a_root), "path must start at the subtree root");
+    debug_assert_eq!(
+        path.first(),
+        Some(&a_root),
+        "path must start at the subtree root"
+    );
     let bs = BSide::build(exec, b_root, swapped);
     let ta = exec.tree_a(swapped);
 

@@ -35,16 +35,24 @@ pub(crate) fn run<L, C: CostModel<L>>(
     let stride = (nb + 1) as usize;
 
     // Per-rank data. Rank 0 entries are padding.
-    let a_lml: Vec<u32> = std::iter::once(0).chain((1..=na).map(|r| va.lml(r))).collect();
-    let b_lml: Vec<u32> = std::iter::once(0).chain((1..=nb).map(|r| vb.lml(r))).collect();
-    let a_node: Vec<NodeId> =
-        std::iter::once(NodeId(0)).chain((1..=na).map(|r| va.node(r))).collect();
-    let b_node: Vec<NodeId> =
-        std::iter::once(NodeId(0)).chain((1..=nb).map(|r| vb.node(r))).collect();
-    let a_del: Vec<f64> =
-        std::iter::once(0.0).chain((1..=na).map(|r| exec.del_a(a_node[r as usize], swapped))).collect();
-    let b_ins: Vec<f64> =
-        std::iter::once(0.0).chain((1..=nb).map(|r| exec.ins_b(b_node[r as usize], swapped))).collect();
+    let a_lml: Vec<u32> = std::iter::once(0)
+        .chain((1..=na).map(|r| va.lml(r)))
+        .collect();
+    let b_lml: Vec<u32> = std::iter::once(0)
+        .chain((1..=nb).map(|r| vb.lml(r)))
+        .collect();
+    let a_node: Vec<NodeId> = std::iter::once(NodeId(0))
+        .chain((1..=na).map(|r| va.node(r)))
+        .collect();
+    let b_node: Vec<NodeId> = std::iter::once(NodeId(0))
+        .chain((1..=nb).map(|r| vb.node(r)))
+        .collect();
+    let a_del: Vec<f64> = std::iter::once(0.0)
+        .chain((1..=na).map(|r| exec.del_a(a_node[r as usize], swapped)))
+        .collect();
+    let b_ins: Vec<f64> = std::iter::once(0.0)
+        .chain((1..=nb).map(|r| exec.ins_b(b_node[r as usize], swapped)))
+        .collect();
 
     let mut fd = vec![0.0f64; (na as usize + 1) * stride];
     let at = |x: u32, y: u32| (x as usize) * stride + y as usize;

@@ -35,12 +35,30 @@ pub struct PathChoice {
 impl PathChoice {
     /// Option order used throughout: FL, GL, FR, GR, FH, GH.
     pub const ALL: [PathChoice; 6] = [
-        PathChoice { side: Side::F, kind: PathKind::Left },
-        PathChoice { side: Side::G, kind: PathKind::Left },
-        PathChoice { side: Side::F, kind: PathKind::Right },
-        PathChoice { side: Side::G, kind: PathKind::Right },
-        PathChoice { side: Side::F, kind: PathKind::Heavy },
-        PathChoice { side: Side::G, kind: PathKind::Heavy },
+        PathChoice {
+            side: Side::F,
+            kind: PathKind::Left,
+        },
+        PathChoice {
+            side: Side::G,
+            kind: PathKind::Left,
+        },
+        PathChoice {
+            side: Side::F,
+            kind: PathKind::Right,
+        },
+        PathChoice {
+            side: Side::G,
+            kind: PathKind::Right,
+        },
+        PathChoice {
+            side: Side::F,
+            kind: PathKind::Heavy,
+        },
+        PathChoice {
+            side: Side::G,
+            kind: PathKind::Heavy,
+        },
     ];
 
     /// Compact encoding (index into [`PathChoice::ALL`]).
@@ -122,9 +140,17 @@ impl Chooser for DemaineChooser {
     #[inline]
     fn pick(&self, sf: u32, sg: u32, _costs: &[u64; 6]) -> u8 {
         if sf >= sg {
-            PathChoice { side: Side::F, kind: PathKind::Heavy }.code()
+            PathChoice {
+                side: Side::F,
+                kind: PathKind::Heavy,
+            }
+            .code()
         } else {
-            PathChoice { side: Side::G, kind: PathKind::Heavy }.code()
+            PathChoice {
+                side: Side::G,
+                kind: PathKind::Heavy,
+            }
+            .code()
         }
     }
 }
@@ -145,23 +171,31 @@ pub struct SubsetChooser {
 impl SubsetChooser {
     /// Optimal over left and right paths only (no `∆I` / heavy machinery).
     pub fn lr_only() -> Self {
-        SubsetChooser { allowed: [true, true, true, true, false, false] }
+        SubsetChooser {
+            allowed: [true, true, true, true, false, false],
+        }
     }
 
     /// Optimal over heavy paths only (adaptive side choice).
     pub fn heavy_only() -> Self {
-        SubsetChooser { allowed: [false, false, false, false, true, true] }
+        SubsetChooser {
+            allowed: [false, false, false, false, true, true],
+        }
     }
 
     /// Optimal over left paths only (adaptive Zhang side).
     pub fn left_only() -> Self {
-        SubsetChooser { allowed: [true, true, false, false, false, false] }
+        SubsetChooser {
+            allowed: [true, true, false, false, false, false],
+        }
     }
 
     /// Optimal over strategies that only decompose the first tree
     /// (single-tree strategies à la Dulucq & Touzet).
     pub fn f_side_only() -> Self {
-        SubsetChooser { allowed: [true, false, true, false, true, false] }
+        SubsetChooser {
+            allowed: [true, false, true, false, true, false],
+        }
     }
 }
 
@@ -230,9 +264,15 @@ impl<L> StrategyProvider<L> for DemaineHeavy {
     #[inline]
     fn choose(&self, f: &Tree<L>, g: &Tree<L>, v: NodeId, w: NodeId) -> PathChoice {
         if f.size(v) >= g.size(w) {
-            PathChoice { side: Side::F, kind: PathKind::Heavy }
+            PathChoice {
+                side: Side::F,
+                kind: PathKind::Heavy,
+            }
         } else {
-            PathChoice { side: Side::G, kind: PathKind::Heavy }
+            PathChoice {
+                side: Side::G,
+                kind: PathKind::Heavy,
+            }
         }
     }
 }
@@ -286,6 +326,9 @@ pub fn compute_strategy<L, Ch: Chooser>(f: &Tree<L>, g: &Tree<L>, chooser: &Ch) 
     let mut choices = vec![0u8; nf * ng];
     let mut root_cost = 0u64;
 
+    // Explicit index loop: `v` is simultaneously a postorder id and the
+    // row offset into `choices`/`froles`.
+    #[allow(clippy::needless_range_loop)]
     for v in 0..nf {
         lw.iter_mut().for_each(|x| *x = 0);
         rw.iter_mut().for_each(|x| *x = 0);
@@ -334,7 +377,11 @@ pub fn compute_strategy<L, Ch: Chooser>(f: &Tree<L>, g: &Tree<L>, chooser: &Ch) 
         }
     }
 
-    Strategy { ng, choices, cost: root_cost }
+    Strategy {
+        ng,
+        choices,
+        cost: root_cost,
+    }
 }
 
 /// Computes the optimal LRH strategy (RTED's first phase, Algorithm 2).
@@ -399,13 +446,19 @@ mod tests {
         let zl = strategy_cost(
             &f,
             &g,
-            &FixedChooser(PathChoice { side: Side::F, kind: PathKind::Left }),
+            &FixedChooser(PathChoice {
+                side: Side::F,
+                kind: PathKind::Left,
+            }),
         );
         assert_eq!(zl, cf.left_of(f.root()) * cg.left_of(g.root()));
         let zr = strategy_cost(
             &f,
             &g,
-            &FixedChooser(PathChoice { side: Side::F, kind: PathKind::Right }),
+            &FixedChooser(PathChoice {
+                side: Side::F,
+                kind: PathKind::Right,
+            }),
         );
         assert_eq!(zr, cf.right_of(f.root()) * cg.right_of(g.root()));
     }

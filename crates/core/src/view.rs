@@ -35,7 +35,12 @@ impl<'a, L> SubtreeView<'a, L> {
         } else {
             root.0 + 1 - n
         };
-        SubtreeView { tree, n, base, right }
+        SubtreeView {
+            tree,
+            n,
+            base,
+            right,
+        }
     }
 
     /// Node at local rank `r` (1-based).
@@ -64,7 +69,11 @@ impl<'a, L> SubtreeView<'a, L> {
     #[inline]
     pub fn lml(&self, r: u32) -> u32 {
         let v = self.node(r);
-        let leaf = if self.right { self.tree.rld(v) } else { self.tree.lld(v) };
+        let leaf = if self.right {
+            self.tree.rld(v)
+        } else {
+            self.tree.lld(v)
+        };
         self.local(leaf)
     }
 
@@ -88,11 +97,22 @@ impl<'a, L> SubtreeView<'a, L> {
                 continue;
             }
             let v = self.node(r);
-            let p = self.tree.parent(v).expect("non-root subtree node has a parent");
+            let p = self
+                .tree
+                .parent(v)
+                .expect("non-root subtree node has a parent");
             // `v` is a keyroot iff it is not the view-first child of its
             // parent, i.e. its view-leftmost leaf differs from the parent's.
-            let vleaf = if self.right { self.tree.rld(v) } else { self.tree.lld(v) };
-            let pleaf = if self.right { self.tree.rld(p) } else { self.tree.lld(p) };
+            let vleaf = if self.right {
+                self.tree.rld(v)
+            } else {
+                self.tree.lld(v)
+            };
+            let pleaf = if self.right {
+                self.tree.rld(p)
+            } else {
+                self.tree.lld(p)
+            };
             if vleaf != pleaf {
                 kr.push(r);
             }

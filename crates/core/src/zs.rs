@@ -36,12 +36,7 @@ impl ZsResult {
 
 /// Runs Zhang–Shasha with left paths (`right = false`, the classic
 /// algorithm) or right paths (`right = true`, its mirror).
-pub fn zhang_shasha<L, C: CostModel<L>>(
-    f: &Tree<L>,
-    g: &Tree<L>,
-    cm: &C,
-    right: bool,
-) -> ZsResult {
+pub fn zhang_shasha<L, C: CostModel<L>>(f: &Tree<L>, g: &Tree<L>, cm: &C, right: bool) -> ZsResult {
     let fv = SubtreeView::new(f, f.root(), right);
     let gv = SubtreeView::new(g, g.root(), right);
     let ftab = CostTables::new(f, cm);
@@ -55,12 +50,18 @@ pub fn zhang_shasha<L, C: CostModel<L>>(
     let mut subproblems = 0u64;
 
     // Precompute per-rank data to keep the inner loop tight.
-    let f_lml: Vec<u32> = std::iter::once(0).chain((1..=nf).map(|r| fv.lml(r))).collect();
-    let g_lml: Vec<u32> = std::iter::once(0).chain((1..=ng).map(|r| gv.lml(r))).collect();
-    let f_del: Vec<f64> =
-        std::iter::once(0.0).chain((1..=nf).map(|r| ftab.del[fv.node(r).idx()])).collect();
-    let g_ins: Vec<f64> =
-        std::iter::once(0.0).chain((1..=ng).map(|r| gtab.ins[gv.node(r).idx()])).collect();
+    let f_lml: Vec<u32> = std::iter::once(0)
+        .chain((1..=nf).map(|r| fv.lml(r)))
+        .collect();
+    let g_lml: Vec<u32> = std::iter::once(0)
+        .chain((1..=ng).map(|r| gv.lml(r)))
+        .collect();
+    let f_del: Vec<f64> = std::iter::once(0.0)
+        .chain((1..=nf).map(|r| ftab.del[fv.node(r).idx()]))
+        .collect();
+    let g_ins: Vec<f64> = std::iter::once(0.0)
+        .chain((1..=ng).map(|r| gtab.ins[gv.node(r).idx()]))
+        .collect();
 
     let f_kr = fv.keyroots();
     let g_kr = gv.keyroots();
@@ -166,8 +167,16 @@ mod tests {
             let f = parse_bracket(a).unwrap();
             let g = parse_bracket(b).unwrap();
             let want = reference_ted(&f, &g, &UnitCost);
-            assert_eq!(zhang_shasha(&f, &g, &UnitCost, false).distance, want, "{a} {b}");
-            assert_eq!(zhang_shasha(&f, &g, &UnitCost, true).distance, want, "{a} {b}");
+            assert_eq!(
+                zhang_shasha(&f, &g, &UnitCost, false).distance,
+                want,
+                "{a} {b}"
+            );
+            assert_eq!(
+                zhang_shasha(&f, &g, &UnitCost, true).distance,
+                want,
+                "{a} {b}"
+            );
         }
     }
 
@@ -192,7 +201,10 @@ mod tests {
         let run = zhang_shasha(&f, &g, &UnitCost, false);
         assert_eq!(run.subproblems, cf.left_of(f.root()) * cg.left_of(g.root()));
         let run_r = zhang_shasha(&f, &g, &UnitCost, true);
-        assert_eq!(run_r.subproblems, cf.right_of(f.root()) * cg.right_of(g.root()));
+        assert_eq!(
+            run_r.subproblems,
+            cf.right_of(f.root()) * cg.right_of(g.root())
+        );
     }
 
     #[test]

@@ -13,8 +13,14 @@ use rted_tree::{parse_bracket, PathKind, Tree};
 fn check_heavy(f: &Tree<String>, g: &Tree<String>, name: &str) {
     let want = zs_distance(f, g, &UnitCost);
     for choice in [
-        PathChoice { side: Side::F, kind: PathKind::Heavy },
-        PathChoice { side: Side::G, kind: PathKind::Heavy },
+        PathChoice {
+            side: Side::F,
+            kind: PathKind::Heavy,
+        },
+        PathChoice {
+            side: Side::G,
+            kind: PathKind::Heavy,
+        },
     ] {
         let mut exec = Executor::new(f, g, &UnitCost);
         let got = exec.run(&choice);
@@ -28,7 +34,9 @@ fn check_heavy(f: &Tree<String>, g: &Tree<String>, name: &str) {
 fn star(n: usize, label: &str) -> Tree<String> {
     BuildNode::node(
         label.to_string(),
-        (0..n - 1).map(|i| BuildNode::leaf(format!("c{}", i % 3))).collect(),
+        (0..n - 1)
+            .map(|i| BuildNode::leaf(format!("c{}", i % 3)))
+            .collect(),
     )
     .build()
 }
@@ -91,13 +99,20 @@ fn right_comb_only_right_siblings() {
 fn wide_shallow_periods() {
     // Path node with many siblings on both sides of the heavy child.
     let mk = |k: usize| {
-        let mut children: Vec<BuildNode<String>> =
-            (0..k).map(|i| BuildNode::leaf(format!("a{}", i % 2))).collect();
-        children.insert(k / 2, BuildNode::node("h".into(), vec![
-            BuildNode::leaf("u".into()),
-            BuildNode::leaf("v".into()),
-            BuildNode::leaf("w".into()),
-        ]));
+        let mut children: Vec<BuildNode<String>> = (0..k)
+            .map(|i| BuildNode::leaf(format!("a{}", i % 2)))
+            .collect();
+        children.insert(
+            k / 2,
+            BuildNode::node(
+                "h".into(),
+                vec![
+                    BuildNode::leaf("u".into()),
+                    BuildNode::leaf("v".into()),
+                    BuildNode::leaf("w".into()),
+                ],
+            ),
+        );
         BuildNode::node("root".into(), children).build()
     };
     check_heavy(&mk(12), &mk(9), "wide periods");
@@ -143,7 +158,9 @@ fn medium_random_cross_validation() {
     // machinery runs hundreds of periods.
     let mut seed = 0xdead_beefu64;
     let mut rnd = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as u32
     };
     for trial in 0..8 {
@@ -169,10 +186,15 @@ fn medium_random_cross_validation() {
                     stack.pop();
                 }
             }
-            let labels: Vec<String> = (0..n).map(|i| format!("{}", rnd() % 3 + i as u32 * 0)).collect();
+            let labels: Vec<String> = (0..n).map(|_| format!("{}", rnd() % 3)).collect();
             let pc: Vec<Vec<u32>> = order
                 .iter()
-                .map(|&v| children[v as usize].iter().map(|&c| post_of[c as usize]).collect())
+                .map(|&v| {
+                    children[v as usize]
+                        .iter()
+                        .map(|&c| post_of[c as usize])
+                        .collect()
+                })
                 .collect();
             Tree::from_postorder(labels, pc)
         };

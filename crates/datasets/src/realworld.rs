@@ -161,7 +161,12 @@ fn finish(children: Vec<Vec<u32>>, _target: usize, seed: u64) -> Tree<u32> {
     }
     let post_children: Vec<Vec<u32>> = order
         .iter()
-        .map(|&v| children[v as usize].iter().map(|&c| post_of[c as usize]).collect())
+        .map(|&v| {
+            children[v as usize]
+                .iter()
+                .map(|&c| post_of[c as usize])
+                .collect()
+        })
         .collect();
     let t = Tree::from_postorder(vec![0u32; n], post_children);
     relabel_random(&t, 64, seed)

@@ -102,7 +102,9 @@ struct Adj {
 
 impl Adj {
     fn with_root() -> Adj {
-        Adj { children: vec![Vec::new()] }
+        Adj {
+            children: vec![Vec::new()],
+        }
     }
 
     fn add_child(&mut self, parent: u32) -> u32 {
@@ -133,7 +135,12 @@ impl Adj {
         let labels = vec![0u32; n];
         let children: Vec<Vec<u32>> = order
             .iter()
-            .map(|&v| self.children[v as usize].iter().map(|&c| post_of[c as usize]).collect())
+            .map(|&v| {
+                self.children[v as usize]
+                    .iter()
+                    .map(|&c| post_of[c as usize])
+                    .collect()
+            })
             .collect();
         Tree::from_postorder(labels, children)
     }
@@ -168,7 +175,9 @@ fn branch_tree(n: usize, right: bool) -> Tree<u32> {
 /// Complete binary tree in heap layout (every level full except the last,
 /// filled left to right).
 fn complete_binary(n: usize) -> Tree<u32> {
-    let mut adj = Adj { children: (0..n).map(|_| Vec::new()).collect() };
+    let mut adj = Adj {
+        children: (0..n).map(|_| Vec::new()).collect(),
+    };
     for i in 0..n {
         for c in [2 * i + 1, 2 * i + 2] {
             if c < n {
@@ -261,7 +270,10 @@ pub fn random_tree(n: usize, max_depth: u32, max_fanout: usize, rng: &mut StdRng
         if depth[id as usize] < max_depth {
             open.push(id);
         }
-        assert!(!open.is_empty(), "tree capacity exhausted: raise depth/fanout bounds");
+        assert!(
+            !open.is_empty(),
+            "tree capacity exhausted: raise depth/fanout bounds"
+        );
     }
     adj.into_tree()
 }
@@ -282,8 +294,10 @@ pub fn perturb_labels(tree: &Tree<u32>, k: usize, alphabet: u32, seed: u64) -> T
         let i = rng.random_range(0..labels.len());
         labels[i] = rng.random_range(0..alphabet);
     }
-    let children: Vec<Vec<u32>> =
-        tree.nodes().map(|v| tree.children(v).map(|c| c.0).collect()).collect();
+    let children: Vec<Vec<u32>> = tree
+        .nodes()
+        .map(|v| tree.children(v).map(|c| c.0).collect())
+        .collect();
     Tree::from_postorder(labels, children)
 }
 
@@ -335,8 +349,10 @@ mod tests {
         for shape in Shape::ALL {
             let a = shape.generate(64, 7);
             let b = shape.generate(64, 7);
-            assert_eq!(rted_tree::to_bracket(&a.map_labels(|l| l.to_string())),
-                       rted_tree::to_bracket(&b.map_labels(|l| l.to_string())));
+            assert_eq!(
+                rted_tree::to_bracket(&a.map_labels(|l| l.to_string())),
+                rted_tree::to_bracket(&b.map_labels(|l| l.to_string()))
+            );
         }
     }
 

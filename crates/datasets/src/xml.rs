@@ -27,7 +27,10 @@ impl std::fmt::Display for XmlError {
 impl std::error::Error for XmlError {}
 
 fn err<T>(position: usize, message: impl Into<String>) -> Result<T, XmlError> {
-    Err(XmlError { position, message: message.into() })
+    Err(XmlError {
+        position,
+        message: message.into(),
+    })
 }
 
 /// Parses an XML document into a label tree: element nodes are labeled with
@@ -123,7 +126,10 @@ pub fn parse_xml(input: &str) -> Result<Tree<String>, XmlError> {
         }
     }
     if !stack.is_empty() {
-        return err(pos, format!("unclosed element <{}>", stack.last().unwrap().label));
+        return err(
+            pos,
+            format!("unclosed element <{}>", stack.last().unwrap().label),
+        );
     }
     match root {
         Some(r) => Ok(r.build()),

@@ -1,11 +1,11 @@
 //! Generator contract tests: exact sizes, bounds, determinism, and the
 //! adversarial properties each shape is designed to have.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rted_datasets::realworld::{swissprot_like, treebank_like, treefam_like};
 use rted_datasets::shapes::{profile, random_tree};
 use rted_datasets::Shape;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rted_tree::counts::DecompCounts;
 use rted_tree::PathKind;
 
@@ -89,9 +89,7 @@ fn treefam_is_deep_and_binary() {
     // Heavy path decomposition beats L/R on these shapes more often than
     // not — check the optimal strategy uses heavy paths somewhere.
     let s = rted_core::optimal_strategy(&t, &t);
-    let uses_heavy = t
-        .nodes()
-        .any(|v| s.choice(v, v).kind == PathKind::Heavy);
+    let uses_heavy = t.nodes().any(|v| s.choice(v, v).kind == PathKind::Heavy);
     assert!(uses_heavy);
 }
 

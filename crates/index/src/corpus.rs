@@ -1,0 +1,116 @@
+//! The immutable, pre-analyzed tree corpus.
+//!
+//! Every tree is analyzed exactly once when the corpus is built: its
+//! [`TreeSketch`] (size, depth, leaf/internal counts, label histogram) is
+//! computed at insert time, and the corpus keeps a size-sorted view so
+//! queries can restrict themselves to a contiguous size window instead of
+//! scanning all entries. After construction the corpus never changes —
+//! queries borrow it concurrently from many threads.
+
+use rted_core::bounds::TreeSketch;
+use rted_tree::Tree;
+
+/// One corpus entry: the tree plus its insert-time analysis.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry<L> {
+    tree: Tree<L>,
+    sketch: TreeSketch<L>,
+}
+
+impl<L> CorpusEntry<L> {
+    /// The stored tree.
+    #[inline]
+    pub fn tree(&self) -> &Tree<L> {
+        &self.tree
+    }
+
+    /// The precomputed per-tree summary.
+    #[inline]
+    pub fn sketch(&self) -> &TreeSketch<L> {
+        &self.sketch
+    }
+}
+
+/// An immutable collection of pre-analyzed trees, ordered by insertion.
+///
+/// Entry ids are the 0-based insertion positions; all query results refer
+/// to trees by these ids.
+#[derive(Debug, Clone)]
+pub struct TreeCorpus<L> {
+    entries: Vec<CorpusEntry<L>>,
+    /// Entry ids sorted by (subtree size, id) — the size-window accelerator.
+    by_size: Vec<u32>,
+}
+
+impl<L: Eq + std::hash::Hash + Clone> TreeCorpus<L> {
+    /// Builds a corpus, analyzing every tree once.
+    pub fn build(trees: impl IntoIterator<Item = Tree<L>>) -> Self {
+        let entries: Vec<CorpusEntry<L>> = trees
+            .into_iter()
+            .map(|tree| {
+                let sketch = TreeSketch::new(&tree);
+                CorpusEntry { tree, sketch }
+            })
+            .collect();
+        let mut by_size: Vec<u32> = (0..entries.len() as u32).collect();
+        by_size.sort_by_key(|&id| (entries[id as usize].sketch.size, id));
+        TreeCorpus { entries, by_size }
+    }
+
+    /// Number of trees.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the corpus holds no trees.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry with id `id`.
+    #[inline]
+    pub fn entry(&self, id: usize) -> &CorpusEntry<L> {
+        &self.entries[id]
+    }
+
+    /// The tree with id `id`.
+    #[inline]
+    pub fn tree(&self, id: usize) -> &Tree<L> {
+        &self.entries[id].tree
+    }
+
+    /// The sketch of tree `id`.
+    #[inline]
+    pub fn sketch(&self, id: usize) -> &TreeSketch<L> {
+        &self.entries[id].sketch
+    }
+
+    /// All entries in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &CorpusEntry<L>> {
+        self.entries.iter()
+    }
+
+    /// Entry ids sorted by (size, id).
+    #[inline]
+    pub fn by_size(&self) -> &[u32] {
+        &self.by_size
+    }
+
+    /// The contiguous slice of [`by_size`](Self::by_size) whose tree sizes
+    /// lie strictly within `tau` of `center`: candidates a size lower
+    /// bound of `tau` cannot prune. With `tau = ∞` this is every entry.
+    pub fn size_window(&self, center: usize, tau: f64) -> &[u32] {
+        let lo = self.by_size.partition_point(|&id| {
+            (self.entries[id as usize].sketch.size as f64) <= center as f64 - tau
+        });
+        let hi = self.by_size.partition_point(|&id| {
+            (self.entries[id as usize].sketch.size as f64) < center as f64 + tau
+        });
+        // With tau <= 0 nothing can match and the two cuts cross (`lo`
+        // skips past sizes == center, `hi` stops before them): clamp to
+        // an empty window instead of slicing backwards.
+        &self.by_size[lo..hi.max(lo)]
+    }
+}

@@ -1,0 +1,150 @@
+//! The chunked parallel executor.
+//!
+//! Queries split their candidate lists into fixed-size chunks and map a
+//! worker function over them with `std::thread::scope` — no extra
+//! dependencies, no thread pool to manage. Chunk boundaries depend only on
+//! the chunk size, and results are re-assembled in chunk order, so the
+//! output is identical for any thread count (including 1, which bypasses
+//! the threads entirely).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a query distributes work across threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecPolicy {
+    /// Worker threads (1 = run everything on the calling thread).
+    pub threads: usize,
+    /// Candidates per chunk; smaller chunks balance better, larger chunks
+    /// amortize dispatch.
+    pub chunk: usize,
+}
+
+impl ExecPolicy {
+    /// A serial policy.
+    pub fn serial() -> Self {
+        ExecPolicy {
+            threads: 1,
+            chunk: 64,
+        }
+    }
+
+    /// A policy with `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecPolicy {
+            threads: threads.max(1),
+            chunk: 64,
+        }
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        ExecPolicy { threads, chunk: 64 }
+    }
+}
+
+/// Maps `f` over fixed-size chunks of `items`, in parallel when the policy
+/// allows, returning per-chunk results in chunk order. `f` receives the
+/// chunk's start offset within `items` and the chunk slice.
+pub fn map_chunks<T, R, F>(items: &[T], policy: &ExecPolicy, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let chunk = policy.chunk.max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    let threads = policy.threads.clamp(1, n_chunks.max(1));
+    if threads <= 1 {
+        return (0..n_chunks)
+            .map(|c| {
+                let start = c * chunk;
+                let end = (start + chunk).min(items.len());
+                f(start, &items[start..end])
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(items.len());
+                let r = f(start, &items[start..end]);
+                slots.lock().unwrap().push((c, r));
+            });
+        }
+    });
+    let mut collected = slots.into_inner().unwrap();
+    collected.sort_by_key(|&(c, _)| c);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial = map_chunks(&items, &ExecPolicy::serial(), |start, chunk| {
+            (start, chunk.iter().sum::<u64>())
+        });
+        let parallel = map_chunks(
+            &items,
+            &ExecPolicy {
+                threads: 4,
+                chunk: 7,
+            },
+            |start, chunk| (start, chunk.iter().sum::<u64>()),
+        );
+        let serial_small = map_chunks(
+            &items,
+            &ExecPolicy {
+                threads: 1,
+                chunk: 7,
+            },
+            |start, chunk| (start, chunk.iter().sum::<u64>()),
+        );
+        assert_eq!(parallel, serial_small);
+        let total: u64 = serial.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = Vec::new();
+        let out = map_chunks(&items, &ExecPolicy::default(), |_, c| c.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn covers_every_item_once() {
+        let items: Vec<usize> = (0..503).collect();
+        let chunks = map_chunks(
+            &items,
+            &ExecPolicy {
+                threads: 3,
+                chunk: 10,
+            },
+            |start, c| (start, c.to_vec()),
+        );
+        let mut flat = Vec::new();
+        for (start, c) in chunks {
+            assert_eq!(start, flat.len());
+            flat.extend(c);
+        }
+        assert_eq!(flat, items);
+    }
+}

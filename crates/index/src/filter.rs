@@ -1,0 +1,128 @@
+//! The staged candidate filter pipeline.
+//!
+//! A pipeline is an ordered list of [`LowerBound`] stages, cheapest first.
+//! For each candidate pair the stages run in order; the first stage whose
+//! bound already reaches the current threshold prunes the pair, and the
+//! per-stage counters record which stage did it. Only pairs surviving
+//! every stage reach the exact (expensive) verifier.
+
+use rted_core::bounds::{standard_bounds, LowerBound, SizeBound, TreeSketch};
+
+/// An ordered list of lower-bound stages.
+pub struct FilterPipeline<L> {
+    stages: Vec<Box<dyn LowerBound<L> + Send + Sync>>,
+}
+
+impl<L: Eq + std::hash::Hash + Clone> FilterPipeline<L> {
+    /// The standard staging: size → depth → leaf → degree → histogram.
+    pub fn standard() -> Self {
+        FilterPipeline {
+            stages: standard_bounds::<L>(),
+        }
+    }
+
+    /// Only the O(1) size stage (the seed join's `size_prune` mode).
+    pub fn size_only() -> Self {
+        FilterPipeline {
+            stages: vec![Box::new(SizeBound)],
+        }
+    }
+}
+
+impl<L> FilterPipeline<L> {
+    /// No filtering: every pair goes straight to exact verification.
+    pub fn none() -> Self {
+        FilterPipeline { stages: Vec::new() }
+    }
+
+    /// A pipeline from custom stages.
+    pub fn from_stages(stages: Vec<Box<dyn LowerBound<L> + Send + Sync>>) -> Self {
+        FilterPipeline { stages }
+    }
+
+    /// The stages, in evaluation order.
+    pub fn stages(&self) -> &[Box<dyn LowerBound<L> + Send + Sync>] {
+        &self.stages
+    }
+
+    /// `true` iff the pipeline has no stages (filtering disabled).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Index of the stage called `name`, if present.
+    pub fn stage_index(&self, name: &str) -> Option<usize> {
+        self.stages.iter().position(|s| s.name() == name)
+    }
+
+    /// Runs the stages in order against threshold `tau`; returns the index
+    /// of the first stage that prunes the pair (`bound ≥ tau`), or `None`
+    /// if the pair survives all stages and must be verified exactly.
+    pub fn prune_stage(&self, f: &TreeSketch<L>, g: &TreeSketch<L>, tau: f64) -> Option<usize> {
+        self.stages.iter().position(|s| s.bound(f, g) >= tau)
+    }
+
+    /// Like [`prune_stage`](Self::prune_stage) with a strict threshold:
+    /// prunes only when `bound > radius`. Used by top-k queries, where a
+    /// candidate tying the current k-th distance can still enter the
+    /// result on the id tie-break.
+    pub fn prune_stage_strict(
+        &self,
+        f: &TreeSketch<L>,
+        g: &TreeSketch<L>,
+        radius: f64,
+    ) -> Option<usize> {
+        self.stages.iter().position(|s| s.bound(f, g) > radius)
+    }
+}
+
+/// One stage's prune counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagePrune {
+    /// Stage name (see [`LowerBound::name`]).
+    pub stage: &'static str,
+    /// Pairs this stage pruned.
+    pub pruned: u64,
+}
+
+/// Per-stage prune counters, aligned with a pipeline's stage order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// One counter per pipeline stage.
+    pub stages: Vec<StagePrune>,
+}
+
+impl FilterStats {
+    /// Zeroed counters mirroring `pipeline`'s stages.
+    pub fn for_pipeline<L>(pipeline: &FilterPipeline<L>) -> Self {
+        FilterStats {
+            stages: pipeline
+                .stages()
+                .iter()
+                .map(|s| StagePrune {
+                    stage: s.name(),
+                    pruned: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds `count` prunes to stage `idx`.
+    #[inline]
+    pub fn record(&mut self, idx: usize, count: u64) {
+        self.stages[idx].pruned += count;
+    }
+
+    /// Accumulates another run's counters (same pipeline shape).
+    pub fn merge(&mut self, other: &FilterStats) {
+        debug_assert_eq!(self.stages.len(), other.stages.len());
+        for (a, b) in self.stages.iter_mut().zip(&other.stages) {
+            a.pruned += b.pruned;
+        }
+    }
+
+    /// Total pairs pruned across all stages.
+    pub fn total_pruned(&self) -> u64 {
+        self.stages.iter().map(|s| s.pruned).sum()
+    }
+}

@@ -1,0 +1,560 @@
+//! `rted-index` — an indexed, parallel similarity-search engine over tree
+//! corpora.
+//!
+//! The paper's similarity join (§8, Table 1) is the stress test for
+//! RTED's robustness, but a production search engine cannot afford an
+//! O(n²·TED) all-pairs scan. This crate turns joins and queries into
+//! filter-dominated scans:
+//!
+//! * a [`TreeCorpus`] analyzes every tree **once** at build time
+//!   ([`rted_core::bounds::TreeSketch`]: size, depth, leaf/internal
+//!   counts, label histogram) and keeps a size-sorted view;
+//! * a staged [`FilterPipeline`] of sound [`rted_core::bounds::LowerBound`]
+//!   stages (size → depth → leaf → degree → histogram) prunes candidate
+//!   pairs before any exact computation, recording per-stage counters;
+//! * surviving candidates go to a pluggable [`Verifier`] — RTED under unit
+//!   costs by default, any [`rted_core::Algorithm`] and cost model on
+//!   request;
+//! * a chunked executor ([`exec::map_chunks`]) spreads verification over
+//!   scoped threads; results are bit-identical for any thread count.
+//!
+//! Three query APIs cover the common workloads: [`TreeIndex::range`]
+//! (all trees within a distance threshold), [`TreeIndex::top_k`]
+//! (k nearest neighbours, best-first with a shrinking radius), and
+//! [`TreeIndex::join`] (the all-pairs similarity self-join, with a
+//! sorted-by-size traversal that early-breaks on the size bound).
+//!
+//! Matching is strict, as in the paper's join: a tree matches iff
+//! `TED < tau`, and a stage prunes iff its bound reaches `tau`.
+//!
+//! The standard filter stages are sound for cost models charging ≥ 1 per
+//! delete/insert and ≥ 1 per rename of distinct labels (unit costs, the
+//! default verifier). When plugging in a cheaper cost model via
+//! [`TreeIndex::with_verifier`], disable or replace the pipeline — see
+//! the `with_verifier` docs.
+//!
+//! # Example
+//!
+//! ```
+//! use rted_index::TreeIndex;
+//! use rted_tree::parse_bracket;
+//!
+//! let corpus = vec![
+//!     parse_bracket("{a{b}{c}}").unwrap(),
+//!     parse_bracket("{a{b}{d}}").unwrap(),
+//!     parse_bracket("{x{y{z{w}}}}").unwrap(),
+//! ];
+//! let index = TreeIndex::build(corpus);
+//!
+//! let query = parse_bracket("{a{b}{c}}").unwrap();
+//! let res = index.range(&query, 2.0);
+//! let ids: Vec<usize> = res.neighbors.iter().map(|n| n.id).collect();
+//! assert_eq!(ids, vec![0, 1]); // the deep {x...} tree is filtered out
+//! assert!(res.stats.filter.total_pruned() > 0);
+//!
+//! let knn = index.top_k(&query, 2);
+//! assert_eq!(knn.neighbors[0].id, 0);
+//! assert_eq!(knn.neighbors[0].distance, 0.0);
+//! ```
+
+pub mod corpus;
+pub mod exec;
+pub mod filter;
+pub mod verify;
+
+pub use corpus::{CorpusEntry, TreeCorpus};
+pub use exec::{map_chunks, ExecPolicy};
+pub use filter::{FilterPipeline, FilterStats, StagePrune};
+pub use verify::{AlgorithmVerifier, Verifier};
+
+use rted_core::bounds::TreeSketch;
+use rted_core::Algorithm;
+use rted_tree::Tree;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Total-order wrapper for (never-NaN) distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One query answer: a corpus tree and its exact distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Corpus id of the matched tree.
+    pub id: usize,
+    /// Exact tree edit distance.
+    pub distance: f64,
+}
+
+/// One matched pair of a self-join (`left < right`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinPair {
+    /// Smaller corpus id.
+    pub left: usize,
+    /// Larger corpus id.
+    pub right: usize,
+    /// Exact tree edit distance.
+    pub distance: f64,
+}
+
+/// Counters for one query run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Candidates considered: corpus size for `range`/`top_k`, number of
+    /// unordered pairs for `join`.
+    pub candidates: usize,
+    /// Per-stage prune counters.
+    pub filter: FilterStats,
+    /// Exact distance computations performed.
+    pub verified: usize,
+    /// Relevant subproblems computed by the verifier, summed.
+    pub subproblems: u64,
+    /// Wall-clock time of the whole query.
+    pub time: Duration,
+}
+
+/// Result of a [`TreeIndex::range`] or [`TreeIndex::top_k`] query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Matches: sorted by id for `range`, by `(distance, id)` for `top_k`.
+    pub neighbors: Vec<Neighbor>,
+    /// Run counters.
+    pub stats: SearchStats,
+}
+
+/// Result of a [`TreeIndex::join`].
+#[derive(Debug, Clone)]
+pub struct JoinOutcome {
+    /// Matched pairs, sorted by `(left, right)`.
+    pub matches: Vec<JoinPair>,
+    /// Run counters (`candidates` counts unordered pairs).
+    pub stats: SearchStats,
+}
+
+/// The similarity-search engine: corpus + filter pipeline + verifier +
+/// execution policy.
+///
+/// Built once over an immutable corpus; all queries take `&self` and are
+/// safe to issue concurrently.
+pub struct TreeIndex<L> {
+    corpus: TreeCorpus<L>,
+    pipeline: FilterPipeline<L>,
+    verifier: Box<dyn Verifier<L>>,
+    policy: ExecPolicy,
+}
+
+/// Per-chunk accumulator for the worker threads.
+struct ChunkOut<T> {
+    filter: FilterStats,
+    verified: usize,
+    subproblems: u64,
+    found: Vec<T>,
+}
+
+impl<T> ChunkOut<T> {
+    fn new<L>(pipeline: &FilterPipeline<L>) -> Self {
+        ChunkOut {
+            filter: FilterStats::for_pipeline(pipeline),
+            verified: 0,
+            subproblems: 0,
+            found: Vec::new(),
+        }
+    }
+}
+
+impl<L> TreeIndex<L>
+where
+    L: Eq + std::hash::Hash + Clone + Send + Sync + 'static,
+{
+    /// Builds an index with the standard filter pipeline, the RTED unit-
+    /// cost verifier, and the default execution policy.
+    pub fn build(trees: impl IntoIterator<Item = Tree<L>>) -> Self {
+        TreeIndex {
+            corpus: TreeCorpus::build(trees),
+            pipeline: FilterPipeline::standard(),
+            verifier: Box::new(AlgorithmVerifier::rted()),
+            policy: ExecPolicy::default(),
+        }
+    }
+
+    /// Replaces the filter pipeline.
+    pub fn with_pipeline(mut self, pipeline: FilterPipeline<L>) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Disables all filtering (every candidate is verified exactly).
+    pub fn unfiltered(mut self) -> Self {
+        self.pipeline = FilterPipeline::none();
+        self
+    }
+
+    /// Replaces the verifier.
+    ///
+    /// **Soundness:** the filter stages assume the verifier's cost model
+    /// charges ≥ 1 per delete/insert and ≥ 1 per rename of distinct
+    /// labels (true for unit costs). A verifier with cheaper operations
+    /// can have exact distances *below* the stage bounds, silently
+    /// dropping true matches — pair such verifiers with
+    /// [`unfiltered`](Self::unfiltered) or a custom pipeline whose stages
+    /// are sound for that model.
+    pub fn with_verifier(mut self, verifier: Box<dyn Verifier<L>>) -> Self {
+        self.verifier = verifier;
+        self
+    }
+
+    /// Verifies with `algorithm` under unit costs.
+    pub fn with_algorithm(self, algorithm: Algorithm) -> Self {
+        self.with_verifier(Box::new(AlgorithmVerifier::unit(algorithm)))
+    }
+
+    /// Sets the number of worker threads (1 = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.policy.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the whole execution policy.
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The underlying corpus.
+    pub fn corpus(&self) -> &TreeCorpus<L> {
+        &self.corpus
+    }
+
+    /// The active filter pipeline.
+    pub fn pipeline(&self) -> &FilterPipeline<L> {
+        &self.pipeline
+    }
+
+    /// The active execution policy.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// All corpus trees with `TED(query, tree) < tau`, sorted by id.
+    pub fn range(&self, query: &Tree<L>, tau: f64) -> QueryResult {
+        self.range_with(query, tau, self.verifier.as_ref())
+    }
+
+    /// [`range`](Self::range) with an explicit (possibly borrowed) verifier.
+    pub fn range_with(&self, query: &Tree<L>, tau: f64, verifier: &dyn Verifier<L>) -> QueryResult {
+        let start = Instant::now();
+        let qsketch = TreeSketch::new(query);
+        let mut stats = SearchStats {
+            candidates: self.corpus.len(),
+            filter: FilterStats::for_pipeline(&self.pipeline),
+            ..SearchStats::default()
+        };
+
+        // The size-sorted window is the size stage, run as index arithmetic
+        // instead of a per-candidate check.
+        let size_stage = self.leading_size_stage();
+        let window: &[u32] = if size_stage.is_some() {
+            self.corpus.size_window(qsketch.size, tau)
+        } else {
+            self.corpus.by_size()
+        };
+        if let Some(idx) = size_stage {
+            stats
+                .filter
+                .record(idx, (self.corpus.len() - window.len()) as u64);
+        }
+
+        // With `tau = ∞` no finite bound can reach the threshold: skip the
+        // per-candidate stage evaluation entirely.
+        let filters_active = tau != f64::INFINITY;
+        let chunks = map_chunks(window, &self.policy, |_, chunk| {
+            let mut out: ChunkOut<Neighbor> = ChunkOut::new(&self.pipeline);
+            for &id in chunk {
+                let entry = self.corpus.entry(id as usize);
+                if filters_active {
+                    if let Some(stage) = self.pipeline.prune_stage(&qsketch, entry.sketch(), tau) {
+                        out.filter.record(stage, 1);
+                        continue;
+                    }
+                }
+                let run = verifier.verify(query, entry.tree());
+                out.verified += 1;
+                out.subproblems += run.subproblems;
+                if run.distance < tau {
+                    out.found.push(Neighbor {
+                        id: id as usize,
+                        distance: run.distance,
+                    });
+                }
+            }
+            out
+        });
+
+        let mut neighbors = Vec::new();
+        for out in chunks {
+            stats.filter.merge(&out.filter);
+            stats.verified += out.verified;
+            stats.subproblems += out.subproblems;
+            neighbors.extend(out.found);
+        }
+        neighbors.sort_by_key(|n| n.id);
+        stats.time = start.elapsed();
+        QueryResult { neighbors, stats }
+    }
+
+    /// The `k` nearest corpus trees by exact distance (ties broken by id),
+    /// sorted by `(distance, id)`.
+    ///
+    /// Best-first: candidates are visited in order of size difference from
+    /// the query, and once `k` neighbours are known the search radius
+    /// shrinks to the current k-th distance, letting the filter stages and
+    /// the sorted-size early-break prune the tail. The neighbour set is
+    /// identical for every thread count; with filters disabled every
+    /// candidate is verified.
+    pub fn top_k(&self, query: &Tree<L>, k: usize) -> QueryResult {
+        self.top_k_with(query, k, self.verifier.as_ref())
+    }
+
+    /// [`top_k`](Self::top_k) with an explicit (possibly borrowed) verifier.
+    pub fn top_k_with(&self, query: &Tree<L>, k: usize, verifier: &dyn Verifier<L>) -> QueryResult {
+        let start = Instant::now();
+        let qsketch = TreeSketch::new(query);
+        let mut stats = SearchStats {
+            candidates: self.corpus.len(),
+            filter: FilterStats::for_pipeline(&self.pipeline),
+            ..SearchStats::default()
+        };
+        if k == 0 || self.corpus.is_empty() {
+            stats.time = start.elapsed();
+            return QueryResult {
+                neighbors: Vec::new(),
+                stats,
+            };
+        }
+
+        // Candidates ordered by |size − query size|: walk outward from the
+        // query's position in the size-sorted view.
+        let order = self.candidates_by_size_distance(qsketch.size);
+        let size_stage = self.leading_size_stage();
+
+        // Max-heap on (distance, id): the top is the worst of the best k.
+        let mut heap: BinaryHeap<(OrdF64, usize)> = BinaryHeap::with_capacity(k + 1);
+        // Batches grow geometrically: a small first batch establishes a
+        // finite radius quickly (so later batches can prune), while later
+        // batches amortize dispatch. Sizes depend only on `k` and the
+        // chunk setting — never on the thread count — so prune counters
+        // (not just results) are reproducible across policies.
+        let mut batch = (2 * k).max(16);
+        let batch_cap = (self.policy.chunk.max(1) * 4).max(batch);
+        let mut pos = 0;
+        while pos < order.len() {
+            let radius = if heap.len() == k {
+                heap.peek()
+                    .map(|&(OrdF64(d), _)| d)
+                    .unwrap_or(f64::INFINITY)
+            } else {
+                f64::INFINITY
+            };
+
+            // Select this batch's survivors at the current radius. Pruning
+            // is strict (`bound > radius`) because a candidate tying the
+            // k-th distance can still win the id tie-break.
+            let mut survivors: Vec<u32> = Vec::new();
+            let batch_end = (pos + batch).min(order.len());
+            batch = (batch * 2).min(batch_cap);
+            // Until the heap holds k entries the radius is infinite and no
+            // finite bound can prune; skip the stage evaluation.
+            if radius == f64::INFINITY {
+                while pos < batch_end {
+                    survivors.push(order[pos]);
+                    pos += 1;
+                }
+            }
+            while pos < batch_end {
+                let id = order[pos];
+                let sketch = self.corpus.sketch(id as usize);
+                if let Some(idx) = size_stage {
+                    let size_lb = (sketch.size as f64 - qsketch.size as f64).abs();
+                    if size_lb > radius {
+                        // Candidates are size-ordered: everything after
+                        // this one is at least as far. Prune the tail.
+                        stats.filter.record(idx, (order.len() - pos) as u64);
+                        pos = order.len();
+                        break;
+                    }
+                }
+                match self.pipeline.prune_stage_strict(&qsketch, sketch, radius) {
+                    Some(stage) => stats.filter.record(stage, 1),
+                    None => survivors.push(id),
+                }
+                pos += 1;
+            }
+
+            // Verify the survivors in parallel, then fold them into the
+            // best-k heap in deterministic (batch) order.
+            let runs = map_chunks(&survivors, &self.policy, |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|&id| {
+                        let run = verifier.verify(query, self.corpus.tree(id as usize));
+                        (id as usize, run.distance, run.subproblems)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for (id, distance, subproblems) in runs.into_iter().flatten() {
+                stats.verified += 1;
+                stats.subproblems += subproblems;
+                heap.push((OrdF64(distance), id));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+
+        let neighbors: Vec<Neighbor> = heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(OrdF64(distance), id)| Neighbor { id, distance })
+            .collect();
+        stats.time = start.elapsed();
+        QueryResult { neighbors, stats }
+    }
+
+    /// The similarity self-join: every pair `(i, j)`, `i < j`, with
+    /// `TED < tau`, sorted by `(left, right)`.
+    ///
+    /// Pairs are enumerated in size-sorted order, so the size stage becomes
+    /// an early-break of the inner loop; remaining stages and exact
+    /// verification run per surviving pair, parallelized over chunks of
+    /// outer positions.
+    pub fn join(&self, tau: f64) -> JoinOutcome {
+        self.join_with(tau, self.verifier.as_ref())
+    }
+
+    /// [`join`](Self::join) with an explicit (possibly borrowed) verifier.
+    pub fn join_with(&self, tau: f64, verifier: &dyn Verifier<L>) -> JoinOutcome {
+        let start = Instant::now();
+        let n = self.corpus.len();
+        let mut stats = SearchStats {
+            candidates: n.saturating_sub(1) * n / 2,
+            filter: FilterStats::for_pipeline(&self.pipeline),
+            ..SearchStats::default()
+        };
+        let by_size = self.corpus.by_size();
+        let size_stage = self.leading_size_stage();
+        // With `tau = ∞` no finite bound can reach the threshold: skip the
+        // per-pair stage evaluation entirely.
+        let filters_active = tau != f64::INFINITY;
+
+        let chunks = map_chunks(by_size, &self.policy, |chunk_start, chunk| {
+            let mut out: ChunkOut<JoinPair> = ChunkOut::new(&self.pipeline);
+            for (off, &i) in chunk.iter().enumerate() {
+                let p = chunk_start + off;
+                let si = self.corpus.sketch(i as usize);
+                for (q, &j) in by_size.iter().enumerate().skip(p + 1) {
+                    let sj = self.corpus.sketch(j as usize);
+                    if let Some(idx) = size_stage {
+                        // Sizes ascend along `by_size`: once the size bound
+                        // prunes, it prunes the rest of the inner loop.
+                        if (sj.size as f64 - si.size as f64) >= tau {
+                            out.filter.record(idx, (n - q) as u64);
+                            break;
+                        }
+                    }
+                    if filters_active {
+                        if let Some(stage) = self.pipeline.prune_stage(si, sj, tau) {
+                            out.filter.record(stage, 1);
+                            continue;
+                        }
+                    }
+                    // Verify in original-id order: asymmetric verifiers
+                    // (e.g. Klein-H) count subproblems differently per
+                    // operand order, and the historical join ran (i, j)
+                    // with i < j.
+                    let (left, right) =
+                        ((i as usize).min(j as usize), (i as usize).max(j as usize));
+                    let run = verifier.verify(self.corpus.tree(left), self.corpus.tree(right));
+                    out.verified += 1;
+                    out.subproblems += run.subproblems;
+                    if run.distance < tau {
+                        out.found.push(JoinPair {
+                            left,
+                            right,
+                            distance: run.distance,
+                        });
+                    }
+                }
+            }
+            out
+        });
+
+        let mut matches = Vec::new();
+        for out in chunks {
+            stats.filter.merge(&out.filter);
+            stats.verified += out.verified;
+            stats.subproblems += out.subproblems;
+            matches.extend(out.found);
+        }
+        matches.sort_by_key(|m| (m.left, m.right));
+        stats.time = start.elapsed();
+        JoinOutcome { matches, stats }
+    }
+
+    /// The size stage, but only when it runs first — the sorted-size
+    /// window/early-break replaces a per-candidate stage check, which is
+    /// only faithful to the documented "first stage that reaches the
+    /// threshold prunes" counter semantics when no other stage precedes
+    /// it. Custom pipelines with `size` elsewhere fall back to evaluating
+    /// every stage per candidate, in order.
+    fn leading_size_stage(&self) -> Option<usize> {
+        self.pipeline.stage_index("size").filter(|&idx| idx == 0)
+    }
+
+    /// Corpus ids ordered by `(|size − center|, side, id)` — the best-first
+    /// visit order for top-k.
+    fn candidates_by_size_distance(&self, center: usize) -> Vec<u32> {
+        let by_size = self.corpus.by_size();
+        let split = by_size.partition_point(|&id| self.corpus.sketch(id as usize).size < center);
+        let mut order = Vec::with_capacity(by_size.len());
+        let (mut lo, mut hi) = (split, split);
+        while lo > 0 || hi < by_size.len() {
+            let below =
+                (lo > 0).then(|| center - self.corpus.sketch(by_size[lo - 1] as usize).size);
+            let above = (hi < by_size.len())
+                .then(|| self.corpus.sketch(by_size[hi] as usize).size - center);
+            // Prefer the smaller size gap; on ties, the smaller size (the
+            // "below" side) — any fixed rule works, it only has to be
+            // deterministic.
+            match (below, above) {
+                (Some(b), Some(a)) if b <= a => {
+                    lo -= 1;
+                    order.push(by_size[lo]);
+                }
+                (Some(_), None) => {
+                    lo -= 1;
+                    order.push(by_size[lo]);
+                }
+                (_, Some(_)) => {
+                    order.push(by_size[hi]);
+                    hi += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        order
+    }
+}

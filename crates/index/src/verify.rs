@@ -1,0 +1,69 @@
+//! Exact verification of surviving candidate pairs.
+//!
+//! Filters only ever prune pairs that provably cannot match; every
+//! survivor is handed to a [`Verifier`] for an exact distance. The default
+//! verifier runs RTED under unit costs, but any [`Algorithm`] and any
+//! [`CostModel`] plug in — including borrowed cost models, since
+//! `CostModel` is implemented for references.
+
+use rted_core::{Algorithm, CostModel, RunStats, UnitCost};
+use rted_tree::Tree;
+
+/// Computes exact tree edit distances for candidate pairs.
+///
+/// Implementations must be thread-safe: the parallel executor calls
+/// `verify` concurrently from worker threads.
+pub trait Verifier<L>: Send + Sync {
+    /// The exact distance computation for one pair, with run statistics.
+    fn verify(&self, f: &Tree<L>, g: &Tree<L>) -> RunStats;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// A verifier running one of the paper's five algorithms under a cost
+/// model (RTED + unit costs by default).
+#[derive(Debug, Clone, Copy)]
+pub struct AlgorithmVerifier<C = UnitCost> {
+    /// The exact algorithm to run.
+    pub algorithm: Algorithm,
+    /// The cost model (owned or borrowed — `CostModel` is implemented for
+    /// references).
+    pub cost_model: C,
+}
+
+impl AlgorithmVerifier<UnitCost> {
+    /// RTED under unit costs.
+    pub fn rted() -> Self {
+        AlgorithmVerifier {
+            algorithm: Algorithm::Rted,
+            cost_model: UnitCost,
+        }
+    }
+
+    /// Any algorithm under unit costs.
+    pub fn unit(algorithm: Algorithm) -> Self {
+        AlgorithmVerifier {
+            algorithm,
+            cost_model: UnitCost,
+        }
+    }
+}
+
+impl Default for AlgorithmVerifier<UnitCost> {
+    fn default() -> Self {
+        Self::rted()
+    }
+}
+
+impl<L, C: CostModel<L> + Send + Sync> Verifier<L> for AlgorithmVerifier<C> {
+    fn verify(&self, f: &Tree<L>, g: &Tree<L>) -> RunStats {
+        self.algorithm.run(f, g, &self.cost_model)
+    }
+
+    fn name(&self) -> &'static str {
+        self.algorithm.name()
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: every filter stage is a sound lower bound, and the
+//! engine returns identical results with filters on and off.
+//!
+//! Trees come from the paper's `Shape` generators (crates/datasets), so
+//! the properties cover the adversarial shapes (caterpillars, full binary,
+//! zig-zag, mixed, bounded-random), not just uniform random attachment.
+
+use proptest::prelude::*;
+use rted_core::bounds::{lower_bound, standard_bounds, upper_bound, TreeSketch};
+use rted_core::ted;
+use rted_datasets::shapes::{perturb_labels, Shape, DEFAULT_ALPHABET};
+use rted_index::{ExecPolicy, FilterPipeline, TreeIndex};
+use rted_tree::Tree;
+
+/// An arbitrary shape-generated tree with 1..=max nodes.
+fn arb_shape_tree(max: usize) -> impl Strategy<Value = Tree<u32>> {
+    (0..Shape::ALL.len(), 1..=max, any::<u32>())
+        .prop_map(|(s, n, seed)| Shape::ALL[s].generate(n, seed as u64))
+}
+
+/// A small corpus: shape trees plus a perturbed near-duplicate of the
+/// first one (so joins and queries have close pairs to find).
+fn arb_corpus(max_trees: usize, max_nodes: usize) -> impl Strategy<Value = Vec<Tree<u32>>> {
+    proptest::collection::vec(arb_shape_tree(max_nodes), 2..=max_trees).prop_map(|mut trees| {
+        let dup = perturb_labels(&trees[0], 1, DEFAULT_ALPHABET, 99);
+        trees.push(dup);
+        trees
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_stage_is_a_sound_lower_bound(
+        f in arb_shape_tree(30),
+        g in arb_shape_tree(30),
+    ) {
+        let d = ted(&f, &g);
+        let (sf, sg) = (TreeSketch::new(&f), TreeSketch::new(&g));
+        for stage in standard_bounds::<u32>() {
+            let lb = stage.bound(&sf, &sg);
+            prop_assert!(
+                lb <= d,
+                "stage {} claims lb {lb} > exact ted {d}",
+                stage.name()
+            );
+        }
+        prop_assert!(lower_bound(&f, &g) <= d);
+        prop_assert!(d <= upper_bound(&f, &g));
+    }
+
+    #[test]
+    fn range_identical_with_filters_on_and_off(
+        corpus in arb_corpus(6, 20),
+        q in arb_shape_tree(20),
+        tau_int in 0..25usize,
+    ) {
+        let tau = tau_int as f64;
+        let filtered = TreeIndex::build(corpus.iter().cloned());
+        let brute = TreeIndex::build(corpus.iter().cloned()).unfiltered();
+        let a = filtered.range(&q, tau);
+        let b = brute.range(&q, tau);
+        prop_assert_eq!(&a.neighbors, &b.neighbors);
+        // Brute force verifies every candidate exactly.
+        prop_assert_eq!(b.stats.verified, corpus.len());
+    }
+
+    #[test]
+    fn top_k_identical_with_filters_on_and_off(
+        corpus in arb_corpus(6, 20),
+        q in arb_shape_tree(20),
+        k in 1..8usize,
+    ) {
+        let filtered = TreeIndex::build(corpus.iter().cloned());
+        let brute = TreeIndex::build(corpus.iter().cloned()).unfiltered();
+        let a = filtered.top_k(&q, k);
+        let b = brute.top_k(&q, k);
+        prop_assert_eq!(&a.neighbors, &b.neighbors);
+        prop_assert_eq!(a.neighbors.len(), k.min(corpus.len()));
+    }
+
+    #[test]
+    fn join_identical_with_filters_on_and_off(
+        corpus in arb_corpus(6, 18),
+        tau_int in 1..20usize,
+    ) {
+        let tau = tau_int as f64;
+        let filtered = TreeIndex::build(corpus.iter().cloned());
+        let brute = TreeIndex::build(corpus.iter().cloned()).unfiltered();
+        let a = filtered.join(tau);
+        let b = brute.join(tau);
+        prop_assert_eq!(&a.matches, &b.matches);
+        // Brute force verifies all pairs; the filtered engine never
+        // verifies more.
+        let n = corpus.len();
+        prop_assert_eq!(b.stats.verified, n * (n - 1) / 2);
+        prop_assert!(a.stats.verified <= b.stats.verified);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree(
+        corpus in arb_corpus(6, 18),
+        q in arb_shape_tree(18),
+        tau_int in 1..20usize,
+    ) {
+        let tau = tau_int as f64;
+        let serial = TreeIndex::build(corpus.iter().cloned())
+            .with_policy(ExecPolicy { threads: 1, chunk: 2 });
+        let parallel = TreeIndex::build(corpus.iter().cloned())
+            .with_policy(ExecPolicy { threads: 4, chunk: 2 });
+        let (rs, rp) = (serial.range(&q, tau), parallel.range(&q, tau));
+        prop_assert_eq!(&rs.neighbors, &rp.neighbors);
+        prop_assert_eq!(&rs.stats.filter, &rp.stats.filter);
+        let (ks, kp) = (serial.top_k(&q, 3), parallel.top_k(&q, 3));
+        prop_assert_eq!(&ks.neighbors, &kp.neighbors);
+        prop_assert_eq!(&ks.stats.filter, &kp.stats.filter);
+        let (js, jp) = (serial.join(tau), parallel.join(tau));
+        prop_assert_eq!(&js.matches, &jp.matches);
+        prop_assert_eq!(&js.stats.filter, &jp.stats.filter);
+        prop_assert_eq!(js.stats.subproblems, jp.stats.subproblems);
+    }
+
+    #[test]
+    fn size_only_pipeline_identical_matches(
+        corpus in arb_corpus(6, 18),
+        tau_int in 1..15usize,
+    ) {
+        let tau = tau_int as f64;
+        let size_only = TreeIndex::build(corpus.iter().cloned())
+            .with_pipeline(FilterPipeline::size_only());
+        let brute = TreeIndex::build(corpus.iter().cloned()).unfiltered();
+        prop_assert_eq!(&size_only.join(tau).matches, &brute.join(tau).matches);
+    }
+}

@@ -6,13 +6,25 @@
 //! shapes, so any fixed decomposition strategy degenerates on some pairs
 //! while RTED adapts per pair.
 //!
-//! A cheap size-difference lower bound (`|size(F) − size(G)| ≤ TED` under
-//! unit costs) can optionally prune pairs before the exact computation; the
-//! paper's experiment computes all pairs, which remains the default.
+//! This crate is now a thin compatibility layer over the
+//! [`rted_index`] search engine: [`self_join`] builds a [`TreeIndex`]
+//! (analyzing each tree once), picks a filter pipeline matching the
+//! requested pruning mode, and runs the index's sorted-by-size join.
+//! Function signatures and result semantics are unchanged — with pruning
+//! off every pair is verified exactly, and execution stays serial so the
+//! wall-clock numbers of the paper-reproduction binaries (Table 1,
+//! Fig. 8) remain comparable to the paper's single-threaded
+//! measurements — but the trait bounds tightened (`L: Send + Sync +
+//! 'static`, `C: Sync`) because the engine is built for scoped threads.
+//!
+//! Each call clones the slice into a fresh index and analyzes it; for
+//! repeated joins, parallel execution, or mixed query workloads over the
+//! same corpus, build one [`TreeIndex`] directly and reuse it.
 
-use rted_core::{Algorithm, CostModel, RunStats};
+use rted_core::{Algorithm, CostModel};
+use rted_index::{AlgorithmVerifier, ExecPolicy, FilterPipeline, JoinOutcome, TreeIndex};
 use rted_tree::Tree;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One matched pair of a join.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,39 +66,64 @@ pub struct JoinConfig {
 
 impl Default for JoinConfig {
     fn default() -> Self {
-        JoinConfig { tau: f64::INFINITY, algorithm: Algorithm::Rted, size_prune: false }
+        JoinConfig {
+            tau: f64::INFINITY,
+            algorithm: Algorithm::Rted,
+            size_prune: false,
+        }
+    }
+}
+
+/// Converts an index [`JoinOutcome`] into the legacy [`JoinResult`].
+fn outcome_to_result(outcome: JoinOutcome) -> JoinResult {
+    JoinResult {
+        matches: outcome
+            .matches
+            .iter()
+            .map(|m| JoinMatch {
+                left: m.left,
+                right: m.right,
+                distance: m.distance,
+            })
+            .collect(),
+        pairs_computed: outcome.stats.verified,
+        pairs_pruned: outcome.stats.filter.total_pruned() as usize,
+        subproblems: outcome.stats.subproblems,
+        time: outcome.stats.time,
     }
 }
 
 /// Runs a similarity self-join over `trees` under `config`.
-pub fn self_join<L, C: CostModel<L>>(
-    trees: &[Tree<L>],
-    cm: &C,
-    config: &JoinConfig,
-) -> JoinResult {
-    let mut matches = Vec::new();
-    let mut pairs_computed = 0usize;
-    let mut pairs_pruned = 0usize;
-    let mut subproblems = 0u64;
-    let start = Instant::now();
-    for i in 0..trees.len() {
-        for j in i + 1..trees.len() {
-            if config.size_prune {
-                let diff = (trees[i].len() as f64 - trees[j].len() as f64).abs();
-                if diff >= config.tau {
-                    pairs_pruned += 1;
-                    continue;
-                }
-            }
-            let run: RunStats = config.algorithm.run(&trees[i], &trees[j], cm);
-            pairs_computed += 1;
-            subproblems += run.subproblems;
-            if run.distance < config.tau {
-                matches.push(JoinMatch { left: i, right: j, distance: run.distance });
-            }
-        }
-    }
-    JoinResult { matches, pairs_computed, pairs_pruned, subproblems, time: start.elapsed() }
+///
+/// Implemented on the [`rted_index`] engine: trees are analyzed once into
+/// a corpus and the join traverses them in size order (so the optional
+/// size bound early-breaks instead of testing every pair). Execution is
+/// deliberately single-threaded so timings stay comparable to the
+/// paper's serial measurements — build a [`TreeIndex`] directly for
+/// parallel joins. Matches are reported sorted by `(left, right)` — the
+/// same order as the historical nested-loop scan.
+pub fn self_join<L, C>(trees: &[Tree<L>], cm: &C, config: &JoinConfig) -> JoinResult
+where
+    L: Eq + std::hash::Hash + Clone + Send + Sync + 'static,
+    C: CostModel<L> + Sync,
+{
+    let pipeline = if config.size_prune {
+        FilterPipeline::size_only()
+    } else {
+        FilterPipeline::none()
+    };
+    // Serial on purpose: this wrapper backs the paper-reproduction
+    // binaries (Table 1, Fig. 8), whose wall-clock numbers must stay
+    // comparable to the single-threaded measurements of the paper. Build
+    // a TreeIndex directly for parallel joins.
+    let index = TreeIndex::build(trees.iter().cloned())
+        .with_pipeline(pipeline)
+        .with_policy(ExecPolicy::serial());
+    let verifier = AlgorithmVerifier {
+        algorithm: config.algorithm,
+        cost_model: cm,
+    };
+    outcome_to_result(index.join_with(config.tau, &verifier))
 }
 
 /// Total *predicted* subproblems of a self-join under `algorithm` (via the
@@ -102,40 +139,29 @@ pub fn predicted_join_subproblems<L>(trees: &[Tree<L>], algorithm: Algorithm) ->
     total
 }
 
-/// Similarity self-join with label-histogram pruning (§7's bound idea):
-/// precomputes one label multiset per tree and skips every pair whose
-/// combined size/histogram lower bound already reaches `tau`.
+/// Similarity self-join with the full filter pipeline (§7's bound idea):
+/// every pair runs the staged lower bounds — size, depth, leaf, degree,
+/// label histogram — and only survivors are verified exactly.
 ///
 /// Sound for cost models where deletes/inserts cost ≥ 1 and renames of
 /// distinct labels cost ≥ 1 (e.g. unit costs).
-pub fn self_join_pruned<L, C>(trees: &[Tree<L>], cm: &C, tau: f64, algorithm: Algorithm) -> JoinResult
+pub fn self_join_pruned<L, C>(
+    trees: &[Tree<L>],
+    cm: &C,
+    tau: f64,
+    algorithm: Algorithm,
+) -> JoinResult
 where
-    L: Eq + std::hash::Hash + Clone,
-    C: CostModel<L>,
+    L: Eq + std::hash::Hash + Clone + Send + Sync + 'static,
+    C: CostModel<L> + Sync,
 {
-    use rted_core::bounds::LabelHistogram;
-    let histograms: Vec<LabelHistogram<L>> = trees.iter().map(LabelHistogram::new).collect();
-    let mut matches = Vec::new();
-    let mut pairs_computed = 0usize;
-    let mut pairs_pruned = 0usize;
-    let mut subproblems = 0u64;
-    let start = Instant::now();
-    for i in 0..trees.len() {
-        for j in i + 1..trees.len() {
-            let lb = histograms[i].lower_bound(&histograms[j]);
-            if lb >= tau {
-                pairs_pruned += 1;
-                continue;
-            }
-            let run = algorithm.run(&trees[i], &trees[j], cm);
-            pairs_computed += 1;
-            subproblems += run.subproblems;
-            if run.distance < tau {
-                matches.push(JoinMatch { left: i, right: j, distance: run.distance });
-            }
-        }
-    }
-    JoinResult { matches, pairs_computed, pairs_pruned, subproblems, time: start.elapsed() }
+    // Serial for the same timing-comparability reason as `self_join`.
+    let index = TreeIndex::build(trees.iter().cloned()).with_policy(ExecPolicy::serial());
+    let verifier = AlgorithmVerifier {
+        algorithm,
+        cost_model: cm,
+    };
+    outcome_to_result(index.join_with(tau, &verifier))
 }
 
 #[cfg(test)]
@@ -158,13 +184,20 @@ mod tests {
     #[test]
     fn join_finds_close_pairs() {
         let trees = sample_trees();
-        let cfg = JoinConfig { tau: 4.0, algorithm: Algorithm::Rted, size_prune: false };
+        let cfg = JoinConfig {
+            tau: 4.0,
+            algorithm: Algorithm::Rted,
+            size_prune: false,
+        };
         let res = self_join(&trees, &UnitCost, &cfg);
         assert_eq!(res.pairs_computed, 10);
         // The perturbed copy must match its base.
         assert!(res.matches.iter().any(|m| m.left == 0 && m.right == 1));
         // The small FB tree is far from everything of size 40.
-        assert!(!res.matches.iter().any(|m| m.right == 4 && m.distance >= 4.0));
+        assert!(!res
+            .matches
+            .iter()
+            .any(|m| m.right == 4 && m.distance >= 4.0));
     }
 
     #[test]
@@ -173,13 +206,21 @@ mod tests {
         let base = self_join(
             &trees,
             &UnitCost,
-            &JoinConfig { tau: 10.0, algorithm: Algorithm::ZhangL, size_prune: false },
+            &JoinConfig {
+                tau: 10.0,
+                algorithm: Algorithm::ZhangL,
+                size_prune: false,
+            },
         );
         for alg in Algorithm::ALL {
             let res = self_join(
                 &trees,
                 &UnitCost,
-                &JoinConfig { tau: 10.0, algorithm: alg, size_prune: false },
+                &JoinConfig {
+                    tau: 10.0,
+                    algorithm: alg,
+                    size_prune: false,
+                },
             );
             assert_eq!(res.matches, base.matches, "{alg}");
         }
@@ -191,12 +232,20 @@ mod tests {
         let full = self_join(
             &trees,
             &UnitCost,
-            &JoinConfig { tau: 5.0, algorithm: Algorithm::Rted, size_prune: false },
+            &JoinConfig {
+                tau: 5.0,
+                algorithm: Algorithm::Rted,
+                size_prune: false,
+            },
         );
         let pruned = self_join(
             &trees,
             &UnitCost,
-            &JoinConfig { tau: 5.0, algorithm: Algorithm::Rted, size_prune: true },
+            &JoinConfig {
+                tau: 5.0,
+                algorithm: Algorithm::Rted,
+                size_prune: true,
+            },
         );
         assert_eq!(full.matches, pruned.matches);
         assert!(pruned.pairs_pruned > 0);
@@ -209,7 +258,11 @@ mod tests {
         let full = self_join(
             &trees,
             &UnitCost,
-            &JoinConfig { tau: 6.0, algorithm: Algorithm::Rted, size_prune: false },
+            &JoinConfig {
+                tau: 6.0,
+                algorithm: Algorithm::Rted,
+                size_prune: false,
+            },
         );
         let pruned = self_join_pruned(&trees, &UnitCost, 6.0, Algorithm::Rted);
         assert_eq!(full.matches, pruned.matches);
@@ -218,7 +271,11 @@ mod tests {
         let size_only = self_join(
             &trees,
             &UnitCost,
-            &JoinConfig { tau: 6.0, algorithm: Algorithm::Rted, size_prune: true },
+            &JoinConfig {
+                tau: 6.0,
+                algorithm: Algorithm::Rted,
+                size_prune: true,
+            },
         );
         assert!(pruned.pairs_pruned >= size_only.pairs_pruned);
     }
@@ -230,7 +287,11 @@ mod tests {
             let res = self_join(
                 &trees,
                 &UnitCost,
-                &JoinConfig { tau: 1.0, algorithm: alg, size_prune: false },
+                &JoinConfig {
+                    tau: 1.0,
+                    algorithm: alg,
+                    size_prune: false,
+                },
             );
             let predicted = predicted_join_subproblems(&trees, alg);
             assert_eq!(res.subproblems, predicted, "{alg}");

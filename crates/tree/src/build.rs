@@ -14,7 +14,10 @@ pub struct BuildNode<L> {
 impl<L> BuildNode<L> {
     /// A leaf with the given label.
     pub fn leaf(label: L) -> Self {
-        BuildNode { label, children: Vec::new() }
+        BuildNode {
+            label,
+            children: Vec::new(),
+        }
     }
 
     /// An inner node with the given label and children.
@@ -50,8 +53,14 @@ impl<L> BuildNode<L> {
         while let Some(item) = stack.pop() {
             match item {
                 Item::Visit(node) => {
-                    let BuildNode { label, children: ch } = node;
-                    stack.push(Item::Emit { label, degree: ch.len() });
+                    let BuildNode {
+                        label,
+                        children: ch,
+                    } = node;
+                    stack.push(Item::Emit {
+                        label,
+                        degree: ch.len(),
+                    });
                     for c in ch.into_iter().rev() {
                         stack.push(Item::Visit(c));
                     }
@@ -100,7 +109,10 @@ impl<L> Default for TreeBuilder<L> {
 impl<L> TreeBuilder<L> {
     /// An empty builder.
     pub fn new() -> Self {
-        TreeBuilder { stack: Vec::new(), finished: None }
+        TreeBuilder {
+            stack: Vec::new(),
+            finished: None,
+        }
     }
 
     /// Opens a new node as the next child of the currently open node (or as
@@ -150,8 +162,9 @@ pub fn from_parent_vec<L>(labels: Vec<L>, parents: &[u32]) -> Tree<L> {
     let n = labels.len();
     assert_eq!(parents.len(), n);
     let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for i in 0..n - 1 {
-        let p = parents[i] as usize;
+    assert!(n > 0, "tree must have at least one node");
+    for (i, &p) in parents.iter().enumerate().take(n - 1) {
+        let p = p as usize;
         assert!(p > i && p < n, "parent of {i} must follow it in postorder");
         children[p].push(i as u32);
     }
@@ -177,7 +190,10 @@ mod tests {
     fn build_node_nested() {
         let t = BuildNode::node(
             "a",
-            vec![BuildNode::leaf("b"), BuildNode::node("c", vec![BuildNode::leaf("d")])],
+            vec![
+                BuildNode::leaf("b"),
+                BuildNode::node("c", vec![BuildNode::leaf("d")]),
+            ],
         )
         .build();
         // Postorder: b=0, d=1, c=2, a=3.
@@ -213,5 +229,11 @@ mod tests {
         let t = from_parent_vec(vec!["c", "b", "a"], &[1, 2, 2]);
         assert_eq!(t.label(t.root()), &"a");
         assert_eq!(t.depth(NodeId(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn parent_vec_rejects_empty() {
+        from_parent_vec(Vec::<u8>::new(), &[]);
     }
 }

@@ -67,7 +67,12 @@ impl DecompCounts {
             left[v] = sz + gl;
             right[v] = sz + gr;
         }
-        DecompCounts { sum_sizes, full, left, right }
+        DecompCounts {
+            sum_sizes,
+            full,
+            left,
+            right,
+        }
     }
 
     /// `|A(F_v)|`.

@@ -217,10 +217,7 @@ mod tests {
                     assert_eq!(seq.len() as u32, tree.size(v), "tree {s}, node {v}, {kind}");
                     // The sequence removes exactly one node per step.
                     for (i, f) in seq.iter().enumerate() {
-                        assert_eq!(
-                            f.node_count(&tree),
-                            (tree.size(v) as usize - i) as u64
-                        );
+                        assert_eq!(f.node_count(&tree), (tree.size(v) as usize - i) as u64);
                     }
                 }
             }
@@ -285,9 +282,7 @@ mod tests {
                 let (a, b) = canonical_pair(&tree, v, &f);
                 let expected: Vec<u32> = tree
                     .subtree_nodes(v)
-                    .filter(|&x| {
-                        x.0 - first_l + 1 <= a && tree.rpost(x) - first_r + 1 <= b
-                    })
+                    .filter(|&x| x.0 - first_l < a && tree.rpost(x) - first_r < b)
                     .map(|x| x.0)
                     .collect();
                 assert_eq!(f.all_nodes(&tree), expected, "tree {s}");

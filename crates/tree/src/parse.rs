@@ -27,7 +27,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(position: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { position, message: message.into() })
+    Err(ParseError {
+        position,
+        message: message.into(),
+    })
 }
 
 /// Parses a tree in bracket notation, e.g. `{a{b}{c}}`.
@@ -45,7 +48,10 @@ pub fn parse_bracket(input: &str) -> Result<Tree<String>, ParseError> {
             return err(pos, "unexpected end of input");
         }
         if bytes[pos] != b'{' {
-            return err(pos, format!("expected '{{', found {:?}", bytes[pos] as char));
+            return err(
+                pos,
+                format!("expected '{{', found {:?}", bytes[pos] as char),
+            );
         }
         pos += 1;
         // Read the label up to the next unescaped '{' or '}'.

@@ -119,13 +119,20 @@ mod tests {
         // Postorder: D=0, F=1, E=2, B=3, G=4, C=5, A=6.
         let t = t("{A{B{D}{E{F}}}{C{G}}}");
         let root = t.root();
-        let left: Vec<u32> = root_leaf_path(&t, root, PathKind::Left).iter().map(|n| n.0).collect();
+        let left: Vec<u32> = root_leaf_path(&t, root, PathKind::Left)
+            .iter()
+            .map(|n| n.0)
+            .collect();
         assert_eq!(left, vec![6, 3, 0]); // A, B, D
-        let right: Vec<u32> =
-            root_leaf_path(&t, root, PathKind::Right).iter().map(|n| n.0).collect();
+        let right: Vec<u32> = root_leaf_path(&t, root, PathKind::Right)
+            .iter()
+            .map(|n| n.0)
+            .collect();
         assert_eq!(right, vec![6, 5, 4]); // A, C, G
-        let heavy: Vec<u32> =
-            root_leaf_path(&t, root, PathKind::Heavy).iter().map(|n| n.0).collect();
+        let heavy: Vec<u32> = root_leaf_path(&t, root, PathKind::Heavy)
+            .iter()
+            .map(|n| n.0)
+            .collect();
         assert_eq!(heavy, vec![6, 3, 2, 1]); // A, B (size 4), E, F
     }
 
@@ -134,12 +141,17 @@ mod tests {
         let t = t("{A{B{D}{E{F}}}{C{G}}}");
         let root = t.root();
         // Left path A-B-D: hanging subtrees are C (child of A) and E (child of B).
-        let mut l: Vec<u32> = relevant_subtrees(&t, root, PathKind::Left).iter().map(|n| n.0).collect();
+        let mut l: Vec<u32> = relevant_subtrees(&t, root, PathKind::Left)
+            .iter()
+            .map(|n| n.0)
+            .collect();
         l.sort();
         assert_eq!(l, vec![2, 5]);
         // Heavy path A-B-E-F: hanging are C and D.
-        let mut h: Vec<u32> =
-            relevant_subtrees(&t, root, PathKind::Heavy).iter().map(|n| n.0).collect();
+        let mut h: Vec<u32> = relevant_subtrees(&t, root, PathKind::Heavy)
+            .iter()
+            .map(|n| n.0)
+            .collect();
         h.sort();
         assert_eq!(h, vec![0, 5]);
     }

@@ -75,7 +75,10 @@ impl<L> Tree<L> {
         for (i, ch) in post_children.iter().enumerate() {
             children_off.push(children.len() as u32);
             for &c in ch {
-                assert!((c as usize) < i, "child {c} must precede parent {i} in postorder");
+                assert!(
+                    (c as usize) < i,
+                    "child {c} must precede parent {i} in postorder"
+                );
                 assert_eq!(parent[c as usize], NONE, "node {c} has two parents");
                 parent[c as usize] = i as u32;
                 children.push(c);

@@ -15,8 +15,10 @@ fn main() {
         (args[0].clone(), args[1].clone())
     } else {
         // Two versions of a small document tree.
-        ("{article{title{Tree Edit}}{sec{p}{p}{fig}}{sec{p}}}".to_string(),
-         "{article{title{Tree Edit Distance}}{sec{p}{fig}}{sec{p}{p}}}".to_string())
+        (
+            "{article{title{Tree Edit}}{sec{p}{p}{fig}}{sec{p}}}".to_string(),
+            "{article{title{Tree Edit Distance}}{sec{p}{fig}}{sec{p}{p}}}".to_string(),
+        )
     };
 
     let f = parse_bracket(&a).expect("first tree");

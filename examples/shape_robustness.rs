@@ -13,7 +13,10 @@ use rted::core::{Algorithm, UnitCost};
 use rted::datasets::Shape;
 
 fn main() {
-    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
 
     let pairs = [
         (Shape::LeftBranch, Shape::LeftBranch),
@@ -33,8 +36,10 @@ fn main() {
         let f = sf.generate(size, 1);
         let g = sg.generate(size, 2);
         print!("{:>6} {:>6}  ", sf.name(), sg.name());
-        let counts: Vec<u64> =
-            Algorithm::ALL.iter().map(|a| a.predicted_subproblems(&f, &g)).collect();
+        let counts: Vec<u64> = Algorithm::ALL
+            .iter()
+            .map(|a| a.predicted_subproblems(&f, &g))
+            .collect();
         for c in &counts {
             print!("{c:>13}");
         }
@@ -47,8 +52,10 @@ fn main() {
     println!("\nverifying distances agree across algorithms on one pair...");
     let f = Shape::LeftBranch.generate(size.min(200), 1);
     let g = Shape::RightBranch.generate(size.min(200), 2);
-    let d: Vec<f64> =
-        Algorithm::ALL.iter().map(|a| a.run(&f, &g, &UnitCost).distance).collect();
+    let d: Vec<f64> = Algorithm::ALL
+        .iter()
+        .map(|a| a.run(&f, &g, &UnitCost).distance)
+        .collect();
     assert!(d.windows(2).all(|w| w[0] == w[1]));
     println!("all five algorithms: distance = {}", d[0]);
 }

@@ -31,7 +31,11 @@ fn main() {
         "self-join over {} trees of ~{size} nodes, tau = {tau} (RTED, size-bound pruning on)",
         trees.len()
     );
-    let cfg = JoinConfig { tau, algorithm: Algorithm::Rted, size_prune: true };
+    let cfg = JoinConfig {
+        tau,
+        algorithm: Algorithm::Rted,
+        size_prune: true,
+    };
     let res = self_join(&trees, &UnitCost, &cfg);
 
     println!(
@@ -40,13 +44,20 @@ fn main() {
     );
     println!("\nmatches (distance < {tau}):");
     for m in &res.matches {
-        println!("  {:12} ~ {:12}  distance {}", names[m.left], names[m.right], m.distance);
+        println!(
+            "  {:12} ~ {:12}  distance {}",
+            names[m.left], names[m.right], m.distance
+        );
     }
     // Every perturbed copy must match its base.
     let found = Shape::ALL
         .iter()
         .enumerate()
-        .filter(|(i, _)| res.matches.iter().any(|m| (m.left, m.right) == (2 * i, 2 * i + 1)))
+        .filter(|(i, _)| {
+            res.matches
+                .iter()
+                .any(|m| (m.left, m.right) == (2 * i, 2 * i + 1))
+        })
         .count();
     println!("\n{found}/{} base~copy pairs found", Shape::ALL.len());
 }

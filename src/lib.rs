@@ -13,7 +13,10 @@
 //! * [`core`] — cost models, algorithms, strategies ([`rted_core`]);
 //! * [`datasets`] — synthetic shapes and dataset simulators
 //!   ([`rted_datasets`]);
-//! * [`join`] — TED similarity joins ([`rted_join`]).
+//! * [`join`] — TED similarity joins ([`rted_join`]);
+//! * [`index`] — the indexed, parallel similarity-search engine over tree
+//!   corpora: threshold (`range`), k-nearest-neighbour (`top_k`) and
+//!   self-join queries behind staged lower-bound filters ([`rted_index`]).
 //!
 //! # Quick start
 //!
@@ -26,9 +29,33 @@
 //! // algorithm.
 //! assert_eq!(ted(&f, &g), 2.0);
 //! ```
+//!
+//! # Indexed similarity search
+//!
+//! ```
+//! use rted::index::TreeIndex;
+//! use rted::parse_bracket;
+//!
+//! let corpus = vec![
+//!     parse_bracket("{a{b}{c}}").unwrap(),
+//!     parse_bracket("{a{b}{d}}").unwrap(),
+//!     parse_bracket("{x{y{z{w}}}}").unwrap(),
+//! ];
+//! let index = TreeIndex::build(corpus);
+//! let query = parse_bracket("{a{b}{c}}").unwrap();
+//!
+//! // All trees within distance 2 of the query, cheap filters first.
+//! let hits = index.range(&query, 2.0);
+//! assert_eq!(hits.neighbors.len(), 2);
+//!
+//! // The two nearest neighbours.
+//! let knn = index.top_k(&query, 2);
+//! assert_eq!(knn.neighbors[0].distance, 0.0);
+//! ```
 
 pub use rted_core as core;
 pub use rted_datasets as datasets;
+pub use rted_index as index;
 pub use rted_join as join;
 pub use rted_tree as tree;
 
@@ -36,4 +63,5 @@ pub use rted_core::{
     edit_mapping, ted, Algorithm, CostModel, EditMapping, EditOp, PerLabelCost, Rted, RunStats,
     UnitCost,
 };
+pub use rted_index::TreeIndex;
 pub use rted_tree::{parse_bracket, to_bracket, NodeId, PathKind, Tree, TreeBuilder};

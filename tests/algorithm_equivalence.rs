@@ -5,14 +5,14 @@
 //! every GTED strategy, Klein, Demaine and RTED on hundreds of larger
 //! random and adversarial inputs, under unit and non-uniform cost models.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rted::core::cost::FnCost;
 use rted::core::strategy::{PathChoice, Side};
 use rted::core::{Algorithm, Executor, PerLabelCost, UnitCost};
 use rted::datasets::shapes::random_tree;
 use rted::datasets::Shape;
 use rted::tree::{PathKind, Tree};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn random_pair(seed: u64, max_n: usize) -> (Tree<u32>, Tree<u32>) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -33,7 +33,13 @@ fn all_algorithms_agree_on_random_trees() {
         let want = Algorithm::ZhangL.run(&f, &g, &UnitCost).distance;
         for alg in Algorithm::ALL {
             let got = alg.run(&f, &g, &UnitCost).distance;
-            assert_eq!(got, want, "{alg} seed {seed} ({} vs {} nodes)", f.len(), g.len());
+            assert_eq!(
+                got,
+                want,
+                "{alg} seed {seed} ({} vs {} nodes)",
+                f.len(),
+                g.len()
+            );
         }
     }
 }
@@ -74,7 +80,10 @@ fn agreement_under_weighted_costs() {
         let want = Algorithm::ZhangL.run(&f, &g, &cm).distance;
         for alg in Algorithm::ALL {
             let got = alg.run(&f, &g, &cm).distance;
-            assert!((got - want).abs() < 1e-9, "{alg} seed {seed}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-9,
+                "{alg} seed {seed}: {got} vs {want}"
+            );
         }
     }
 }
@@ -86,14 +95,23 @@ fn agreement_under_label_dependent_costs() {
     let cm = FnCost {
         del: |l: &u32| 1.0 + (*l % 3) as f64,
         ins: |l: &u32| 2.0 + (*l % 2) as f64,
-        ren: |a: &u32, b: &u32| if a == b { 0.0 } else { 1.0 + ((a + b) % 2) as f64 },
+        ren: |a: &u32, b: &u32| {
+            if a == b {
+                0.0
+            } else {
+                1.0 + ((a + b) % 2) as f64
+            }
+        },
     };
     for seed in 0..25 {
         let (f, g) = random_pair(seed, 36);
         let want = Algorithm::ZhangL.run(&f, &g, &cm).distance;
         for alg in Algorithm::ALL {
             let got = alg.run(&f, &g, &cm).distance;
-            assert!((got - want).abs() < 1e-9, "{alg} seed {seed}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-9,
+                "{alg} seed {seed}: {got} vs {want}"
+            );
         }
     }
 }
@@ -129,7 +147,10 @@ fn heavy_path_strategies_on_deep_narrow_trees() {
     }
     // G-side heavy (forced swap on every pair).
     let mut exec = Executor::new(&f, &g, &UnitCost);
-    let got = exec.run(&PathChoice { side: Side::G, kind: PathKind::Heavy });
+    let got = exec.run(&PathChoice {
+        side: Side::G,
+        kind: PathKind::Heavy,
+    });
     assert_eq!(got, want);
 }
 

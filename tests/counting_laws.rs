@@ -2,14 +2,14 @@
 //! counts equal the Fig.-5 cost formula, Algorithm 2 equals the §6.1
 //! baseline, and RTED's count is minimal among all LRH competitors.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rted::core::baseline::baseline_optimal_cost;
 use rted::core::strategy::{compute_strategy, FixedChooser, PathChoice};
 use rted::core::{optimal_strategy, Algorithm, Executor, UnitCost};
 use rted::datasets::shapes::{random_tree, relabel_random};
 use rted::datasets::Shape;
 use rted::tree::Tree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn rnd(seed: u64, n: usize) -> Tree<u32> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -110,14 +110,22 @@ fn identical_tree_pairs_figure8_invariants() {
     let check = |shape: Shape, winners: &[Algorithm]| {
         let t = shape.generate(n, 3);
         let rted = Algorithm::Rted.predicted_subproblems(&t, &t);
-        let best_fixed = [Algorithm::ZhangL, Algorithm::ZhangR, Algorithm::KleinH, Algorithm::DemaineH]
-            .iter()
-            .map(|a| a.predicted_subproblems(&t, &t))
-            .min()
-            .unwrap();
+        let best_fixed = [
+            Algorithm::ZhangL,
+            Algorithm::ZhangR,
+            Algorithm::KleinH,
+            Algorithm::DemaineH,
+        ]
+        .iter()
+        .map(|a| a.predicted_subproblems(&t, &t))
+        .min()
+        .unwrap();
         for w in winners {
             let c = w.predicted_subproblems(&t, &t);
-            assert_eq!(c, best_fixed, "{shape}: {w} should be the best fixed strategy");
+            assert_eq!(
+                c, best_fixed,
+                "{shape}: {w} should be the best fixed strategy"
+            );
         }
         assert!(rted <= best_fixed, "{shape}");
     };
@@ -139,7 +147,16 @@ fn subproblem_scaling_exponents() {
     let zl = ratio(Algorithm::ZhangL);
     let zr = ratio(Algorithm::ZhangR);
     let dh = ratio(Algorithm::DemaineH);
-    assert!(zl > 3.0 && zl < 5.0, "Zhang-L on LB should be ~n²: ratio {zl}");
-    assert!(zr > 12.0 && zr < 20.0, "Zhang-R on LB should be ~n⁴: ratio {zr}");
-    assert!(dh > 6.0 && dh < 10.0, "Demaine-H on LB should be ~n³: ratio {dh}");
+    assert!(
+        zl > 3.0 && zl < 5.0,
+        "Zhang-L on LB should be ~n²: ratio {zl}"
+    );
+    assert!(
+        zr > 12.0 && zr < 20.0,
+        "Zhang-R on LB should be ~n⁴: ratio {zr}"
+    );
+    assert!(
+        dh > 6.0 && dh < 10.0,
+        "Demaine-H on LB should be ~n³: ratio {dh}"
+    );
 }

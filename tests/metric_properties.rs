@@ -1,12 +1,12 @@
 //! Metric and invariance properties of the unit-cost tree edit distance,
 //! checked through RTED on randomized inputs.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rted::core::{ted, Algorithm, UnitCost};
 use rted::datasets::shapes::{perturb_labels, random_tree, relabel_random, DEFAULT_ALPHABET};
 use rted::datasets::Shape;
 use rted::tree::Tree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn rnd(seed: u64, n: usize) -> Tree<u32> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -63,7 +63,11 @@ fn mirror_invariance() {
     for seed in 0..15 {
         let f = rnd(seed, 10 + (seed as usize * 11) % 40);
         let g = rnd(seed + 7, 10 + (seed as usize * 5) % 40);
-        assert_eq!(ted(&f, &g), ted(&f.mirrored(), &g.mirrored()), "seed {seed}");
+        assert_eq!(
+            ted(&f, &g),
+            ted(&f.mirrored(), &g.mirrored()),
+            "seed {seed}"
+        );
     }
 }
 
@@ -108,8 +112,7 @@ fn distance_zero_iff_equal_structure_and_labels() {
         let g = perturb_labels(&f, 1, 1000 + seed as u32, seed + 1);
         // The perturbation draws from a disjoint alphabet, so it must
         // change something.
-        let structurally_equal =
-            f.nodes().all(|v| f.label(v) == g.label(v));
+        let structurally_equal = f.nodes().all(|v| f.label(v) == g.label(v));
         let d = ted(&f, &g);
         assert_eq!(d == 0.0, structurally_equal, "seed {seed}");
     }

@@ -39,7 +39,12 @@ fn tree_from_choices(labels: &[u8], choices: &[u32]) -> Tree<u8> {
     let post_labels: Vec<u8> = order.iter().map(|&v| labels[v as usize]).collect();
     let post_children: Vec<Vec<u32>> = order
         .iter()
-        .map(|&v| children[v as usize].iter().map(|&c| post_of[c as usize]).collect())
+        .map(|&v| {
+            children[v as usize]
+                .iter()
+                .map(|&c| post_of[c as usize])
+                .collect()
+        })
         .collect();
     Tree::from_postorder(post_labels, post_children)
 }
