@@ -8,19 +8,31 @@
 //! rted join      <FILE> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]
 //! rted search    <FILE> <QUERY> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]
 //! rted topk      <FILE> <QUERY> [--k K] [--algorithm NAME] [--threads N] [--no-filter]
+//! rted index build   <INDEX> <FILE>
+//! rted index update  <INDEX> [--add FILE] [--remove IDS]... [--compact]
+//! rted index compact <INDEX>
+//! rted index info    <INDEX>
+//! rted index dump    <INDEX>
 //! ```
 //!
 //! Trees are given inline in bracket notation (`{a{b}{c}}`) or as file
 //! paths; `--xml` parses the inputs as XML documents instead. `<FILE>` for
 //! `join`, `search` and `topk` holds one bracket tree per line and is
-//! loaded into an in-memory [`rted_index::TreeIndex`]. `<SHAPE>` is one of
-//! `lb rb fb zz mx random`.
+//! loaded into an in-memory [`rted_index::TreeIndex`]; alternatively
+//! `--index <INDEX>` loads a persistent corpus built with `rted index
+//! build` (then `join` takes no positional argument and `search`/`topk`
+//! take only the query). `<SHAPE>` is one of `lb rb fb zz mx random`.
+//!
+//! Every failure — malformed trees, missing files, unknown or
+//! valueless flags, corrupt or version-mismatched index files — exits
+//! with code 1 and a one-line `error: ...` message on stderr; a missing
+//! or unknown *command* prints the usage text and exits with code 2.
 
 use rted_core::mapping::edit_mapping;
 use rted_core::{Algorithm, CostModel, PerLabelCost, UnitCost};
 use rted_datasets::xml::parse_xml;
 use rted_datasets::Shape;
-use rted_index::{SearchStats, TreeIndex};
+use rted_index::{CorpusFile, CorpusStore, SearchStats, TreeIndex};
 use rted_tree::{parse_bracket, to_bracket, Tree};
 use std::process::ExitCode;
 
@@ -33,14 +45,35 @@ fn usage() -> ExitCode {
          rted generate <SHAPE> <N> [--seed S]\n  \
          rted join     <FILE> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]\n  \
          rted search   <FILE> <QUERY> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]\n  \
-         rted topk     <FILE> <QUERY> [--k K] [--algorithm NAME] [--threads N] [--no-filter]\n\n\
+         rted topk     <FILE> <QUERY> [--k K] [--algorithm NAME] [--threads N] [--no-filter]\n  \
+         rted index build   <INDEX> <FILE>\n  \
+         rted index update  <INDEX> [--add FILE] [--remove IDS]... [--compact]\n  \
+         rted index compact <INDEX>\n  \
+         rted index info    <INDEX>\n  \
+         rted index dump    <INDEX>\n\n\
+         join/search/topk also accept --index <INDEX> in place of <FILE>.\n\
          NAME: rted (default) | zhang-l | zhang-r | klein-h | demaine-h\n\
          SHAPE: lb | rb | fb | zz | mx | random\n\
          TREE/QUERY: inline bracket notation or a file path\n\
-         FILE: one bracket tree per line (an indexed corpus)"
+         FILE: one bracket tree per line (an indexed corpus)\n\
+         INDEX: a persistent corpus file (`rted index build`)\n\
+         IDS: comma-separated tree ids, e.g. --remove 3,17"
     );
     ExitCode::from(2)
 }
+
+/// Flags that consume the following argument as their value.
+const VALUE_FLAGS: &[&str] = &[
+    "algorithm",
+    "costs",
+    "seed",
+    "tau",
+    "k",
+    "threads",
+    "index",
+    "add",
+    "remove",
+];
 
 struct Opts {
     positional: Vec<String>,
@@ -54,11 +87,7 @@ impl Opts {
         let mut i = 0;
         while i < args.len() {
             if let Some(name) = args[i].strip_prefix("--") {
-                let takes_value = matches!(
-                    name,
-                    "algorithm" | "costs" | "seed" | "tau" | "k" | "threads"
-                );
-                let value = if takes_value {
+                let value = if VALUE_FLAGS.contains(&name) {
                     args.get(i + 1).cloned()
                 } else {
                     None
@@ -75,11 +104,42 @@ impl Opts {
         Opts { positional, flags }
     }
 
+    /// Rejects flags `cmd` does not understand, value flags missing their
+    /// value, and duplicated non-repeatable flags — silent typos
+    /// (`--taau 3`) or a stale `--tau 2 --tau 9` must not silently change
+    /// query semantics. Only `--add`/`--remove` may repeat.
+    fn expect_flags(&self, cmd: &str, allowed: &[&str]) -> Result<(), String> {
+        const REPEATABLE: &[&str] = &["add", "remove"];
+        for (i, (name, value)) in self.flags.iter().enumerate() {
+            if !allowed.contains(&name.as_str()) {
+                return Err(format!("unknown flag --{name} for `{cmd}`"));
+            }
+            if VALUE_FLAGS.contains(&name.as_str()) && value.is_none() {
+                return Err(format!("flag --{name} needs a value"));
+            }
+            if !REPEATABLE.contains(&name.as_str())
+                && self.flags[..i].iter().any(|(n, _)| n == name)
+            {
+                return Err(format!("flag --{name} given more than once"));
+            }
+        }
+        Ok(())
+    }
+
     fn flag(&self, name: &str) -> Option<&str> {
         self.flags
             .iter()
             .find(|(n, _)| n == name)
             .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// All values of a repeatable flag, in order.
+    fn flag_values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
     }
 
     fn has(&self, name: &str) -> bool {
@@ -125,6 +185,18 @@ fn load_tree(arg: &str, xml: bool) -> Result<Tree<String>, String> {
     }
 }
 
+/// Loads a one-bracket-tree-per-line corpus file, reporting the offending
+/// line on parse errors.
+fn load_tree_file(path: &str) -> Result<Vec<Tree<String>>, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    content
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_bracket(l.trim()).map_err(|e| format!("{path}:{}: {e}", i + 1)))
+        .collect()
+}
+
 fn cost_model(opts: &Opts) -> Result<PerLabelCost, String> {
     match opts.flag("costs") {
         None => Ok(PerLabelCost::new(1.0, 1.0, 1.0)),
@@ -143,6 +215,7 @@ fn cost_model(opts: &Opts) -> Result<PerLabelCost, String> {
 }
 
 fn cmd_distance(opts: &Opts) -> Result<(), String> {
+    opts.expect_flags("distance", &["xml", "algorithm", "costs"])?;
     if opts.positional.len() != 2 {
         return Err("distance needs two trees".into());
     }
@@ -169,6 +242,7 @@ fn cmd_distance(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_compare(opts: &Opts) -> Result<(), String> {
+    opts.expect_flags("compare", &["xml"])?;
     if opts.positional.len() != 2 {
         return Err("compare needs two trees".into());
     }
@@ -193,6 +267,7 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_mapping(opts: &Opts) -> Result<(), String> {
+    opts.expect_flags("mapping", &["xml", "costs"])?;
     if opts.positional.len() != 2 {
         return Err("mapping needs two trees".into());
     }
@@ -220,6 +295,7 @@ fn cmd_mapping(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    opts.expect_flags("generate", &["seed"])?;
     if opts.positional.len() != 2 {
         return Err("generate needs SHAPE and N".into());
     }
@@ -228,17 +304,20 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let n: usize = opts.positional[1]
         .parse()
         .map_err(|_| format!("bad size {}", opts.positional[1]))?;
-    let seed: u64 = opts.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = parsed_flag(opts, "seed", 42)?;
     let t = shape.generate(n.max(1), seed);
     println!("{}", to_bracket(&t.map_labels(|l| l.to_string())));
     Ok(())
 }
 
+/// Shared flags of the three query commands. `--xml` is *not* here — it
+/// affects only the inline QUERY argument, so `join` (which has none)
+/// must reject it rather than accept it inertly.
+const QUERY_FLAGS: &[&str] = &["algorithm", "threads", "no-filter", "index"];
+
 fn cmd_join(opts: &Opts) -> Result<(), String> {
-    if opts.positional.len() != 1 {
-        return Err("join needs a file with one bracket tree per line".into());
-    }
-    let index = load_index(&opts.positional[0], opts)?;
+    opts.expect_flags("join", &[QUERY_FLAGS, &["tau"]].concat())?;
+    let index = load_query_index(opts, "join", 0)?;
     let tau: f64 = parsed_flag(opts, "tau", f64::INFINITY)?;
     let res = index.join(tau);
     for m in &res.matches {
@@ -248,20 +327,34 @@ fn cmd_join(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// Loads an indexed corpus from a one-bracket-tree-per-line file, honoring
-/// the shared `--algorithm`, `--threads` and `--no-filter` flags.
-fn load_index(path: &str, opts: &Opts) -> Result<TreeIndex<String>, String> {
-    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let trees: Vec<Tree<String>> = content
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| parse_bracket(l.trim()).map_err(|e| e.to_string()))
-        .collect::<Result<_, _>>()?;
+/// Loads the corpus for a query command — either the positional flat file
+/// or a persistent `--index` file — honoring the shared `--algorithm`,
+/// `--threads` and `--no-filter` flags. `extra` is how many positional
+/// arguments follow the corpus (the query, for search/topk).
+fn load_query_index(opts: &Opts, cmd: &str, extra: usize) -> Result<TreeIndex<String>, String> {
+    let corpus = match opts.flag("index") {
+        Some(path) => {
+            if opts.positional.len() != extra {
+                return Err(format!(
+                    "{cmd} with --index takes {extra} positional argument(s)"
+                ));
+            }
+            CorpusStore::open(path)
+                .map_err(|e| format!("index {path}: {e}"))?
+                .into_corpus()
+        }
+        None => {
+            if opts.positional.len() != extra + 1 {
+                return Err(format!("{cmd} needs a corpus FILE (or --index INDEX)"));
+            }
+            rted_index::TreeCorpus::build(load_tree_file(&opts.positional[0])?)
+        }
+    };
     let alg = match opts.flag("algorithm") {
         None => Algorithm::Rted,
         Some(name) => algorithm_by_name(name).ok_or(format!("unknown algorithm {name}"))?,
     };
-    let mut index = TreeIndex::build(trees).with_algorithm(alg);
+    let mut index = TreeIndex::from_corpus(corpus).with_algorithm(alg);
     if opts.has("no-filter") {
         index = index.unfiltered();
     }
@@ -302,11 +395,12 @@ fn report_stats(stats: &SearchStats, what: &str) {
 }
 
 fn cmd_search(opts: &Opts) -> Result<(), String> {
-    if opts.positional.len() != 2 {
-        return Err("search needs FILE and QUERY".into());
-    }
-    let index = load_index(&opts.positional[0], opts)?;
-    let query = load_tree(&opts.positional[1], opts.has("xml"))?;
+    opts.expect_flags("search", &[QUERY_FLAGS, &["tau", "xml"]].concat())?;
+    let index = load_query_index(opts, "search", 1)?;
+    let query = load_tree(
+        opts.positional.last().ok_or("search needs a QUERY")?,
+        opts.has("xml"),
+    )?;
     let tau: f64 = parsed_flag(opts, "tau", f64::INFINITY)?;
     let res = index.range(&query, tau);
     for n in &res.neighbors {
@@ -317,11 +411,12 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_topk(opts: &Opts) -> Result<(), String> {
-    if opts.positional.len() != 2 {
-        return Err("topk needs FILE and QUERY".into());
-    }
-    let index = load_index(&opts.positional[0], opts)?;
-    let query = load_tree(&opts.positional[1], opts.has("xml"))?;
+    opts.expect_flags("topk", &[QUERY_FLAGS, &["k", "xml"]].concat())?;
+    let index = load_query_index(opts, "topk", 1)?;
+    let query = load_tree(
+        opts.positional.last().ok_or("topk needs a QUERY")?,
+        opts.has("xml"),
+    )?;
     let k: usize = parsed_flag(opts, "k", 5)?;
     let res = index.top_k(&query, k);
     for n in &res.neighbors {
@@ -329,6 +424,139 @@ fn cmd_topk(opts: &Opts) -> Result<(), String> {
     }
     report_stats(&res.stats, "candidates");
     Ok(())
+}
+
+/// `rted index <build|update|compact|info|dump> ...` — management of
+/// persistent corpus files.
+fn cmd_index(opts: &Opts) -> Result<(), String> {
+    let sub = opts
+        .positional
+        .first()
+        .ok_or("index needs a subcommand: build | update | compact | info | dump")?;
+    let rest = &opts.positional[1..];
+    match sub.as_str() {
+        "build" => {
+            opts.expect_flags("index build", &[])?;
+            let [index_path, file] = rest else {
+                return Err("index build needs INDEX and FILE".into());
+            };
+            let trees = load_tree_file(file)?;
+            let store = CorpusStore::create(index_path, trees).map_err(|e| e.to_string())?;
+            eprintln!(
+                "built {index_path}: {} trees, {} bytes",
+                store.corpus().len(),
+                std::fs::metadata(index_path).map(|m| m.len()).unwrap_or(0)
+            );
+            Ok(())
+        }
+        "update" => {
+            opts.expect_flags("index update", &["add", "remove", "compact"])?;
+            let [index_path] = rest else {
+                return Err("index update needs INDEX".into());
+            };
+            let removals = parse_id_lists(&opts.flag_values("remove"))?;
+            // Parse every input — removals above, and every --add file —
+            // *before* the first store mutation: a malformed later file
+            // must not leave earlier batches durably applied (a retry of
+            // the fixed command would insert them twice).
+            let additions: Vec<(&str, Vec<Tree<String>>)> = opts
+                .flag_values("add")
+                .into_iter()
+                .map(|file| Ok((file, load_tree_file(file)?)))
+                .collect::<Result<_, String>>()?;
+            if additions.is_empty() && removals.is_empty() && !opts.has("compact") {
+                return Err("index update needs --add, --remove and/or --compact".into());
+            }
+            let mut store = CorpusStore::open(index_path).map_err(|e| e.to_string())?;
+            for (file, trees) in additions {
+                let ids = store.insert_all(trees).map_err(|e| e.to_string())?;
+                eprintln!("added {} trees from {file} (ids {:?})", ids.len(), ids);
+            }
+            if !removals.is_empty() {
+                let removed = store.remove_all(&removals).map_err(|e| e.to_string())?;
+                eprintln!("removed {removed} of {} requested ids", removals.len());
+            }
+            if opts.has("compact") {
+                store.compact().map_err(|e| e.to_string())?;
+                eprintln!("compacted");
+            }
+            eprintln!(
+                "{index_path}: {} live trees, {} segment(s)",
+                store.corpus().len(),
+                store.segment_count()
+            );
+            Ok(())
+        }
+        "compact" => {
+            opts.expect_flags("index compact", &[])?;
+            let [index_path] = rest else {
+                return Err("index compact needs INDEX".into());
+            };
+            let mut store = CorpusStore::open(index_path).map_err(|e| e.to_string())?;
+            store.compact().map_err(|e| e.to_string())?;
+            eprintln!(
+                "compacted {index_path}: {} live trees, {} bytes",
+                store.corpus().len(),
+                std::fs::metadata(index_path).map(|m| m.len()).unwrap_or(0)
+            );
+            Ok(())
+        }
+        "info" => {
+            opts.expect_flags("index info", &[])?;
+            let [index_path] = rest else {
+                return Err("index info needs INDEX".into());
+            };
+            let file = CorpusFile::read(index_path).map_err(|e| e.to_string())?;
+            let header = file.header();
+            // Full validation (checksums + structure), not just the header.
+            let corpus = file.corpus().map_err(|e| e.to_string())?;
+            println!("path            {index_path}");
+            println!("format version  {}", header.version);
+            println!("live trees      {}", corpus.len());
+            println!("next id         {}", header.next_id);
+            println!("segments        {}", file.segment_count());
+            println!("file bytes      {}", file.bytes().len());
+            let nodes: usize = corpus.iter().map(|(_, e)| e.tree().len()).sum();
+            println!("total nodes     {nodes}");
+            Ok(())
+        }
+        "dump" => {
+            opts.expect_flags("index dump", &[])?;
+            let [index_path] = rest else {
+                return Err("index dump needs INDEX".into());
+            };
+            let file = CorpusFile::read(index_path).map_err(|e| e.to_string())?;
+            // Zero-copy load: labels borrow from the file buffer.
+            let corpus = file.corpus().map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            for (id, entry) in corpus.iter() {
+                out.push_str(&format!("{id}\t{}\n", to_bracket(entry.tree())));
+            }
+            print!("{out}");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown index subcommand `{other}` (build | update | compact | info | dump)"
+        )),
+    }
+}
+
+/// Parses comma-separated id lists from repeated `--remove` flags.
+fn parse_id_lists(specs: &[&str]) -> Result<Vec<usize>, String> {
+    let mut ids = Vec::new();
+    for spec in specs {
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            ids.push(
+                part.parse::<usize>()
+                    .map_err(|_| format!("bad tree id `{part}` in --remove {spec}"))?,
+            );
+        }
+    }
+    Ok(ids)
 }
 
 fn main() -> ExitCode {
@@ -345,6 +573,7 @@ fn main() -> ExitCode {
         "join" => cmd_join(&opts),
         "search" => cmd_search(&opts),
         "topk" => cmd_topk(&opts),
+        "index" => cmd_index(&opts),
         _ => return usage(),
     };
     match result {

@@ -61,10 +61,45 @@ impl<L: Eq + std::hash::Hash + Clone> LabelHistogram<L> {
         }
     }
 
+    /// Rebuilds a histogram from stored `(label, count)` pairs, e.g. when
+    /// loading a serialized corpus. The tree size is derived from the
+    /// counts, so the histogram is consistent by construction; pairs with a
+    /// zero count are dropped (they must never influence the intersection).
+    ///
+    /// Additions saturate instead of overflowing: the pairs may come from
+    /// untrusted bytes, and a saturated total then fails the caller's
+    /// `size() == n` consistency check rather than panicking here.
+    pub fn from_counts(pairs: impl IntoIterator<Item = (L, u32)>) -> Self {
+        let mut counts: HashMap<L, u32> = HashMap::new();
+        let mut size = 0usize;
+        for (label, count) in pairs {
+            if count == 0 {
+                continue;
+            }
+            size = size.saturating_add(count as usize);
+            let slot = counts.entry(label).or_insert(0);
+            *slot = slot.saturating_add(count);
+        }
+        LabelHistogram { counts, size }
+    }
+
     /// Number of nodes in the underlying tree.
     #[inline]
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Number of distinct labels.
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The `(label, count)` pairs, in arbitrary order. Serializers must
+    /// impose their own canonical order (e.g. by interned label id) if they
+    /// need deterministic output.
+    pub fn counts(&self) -> impl Iterator<Item = (&L, u32)> {
+        self.counts.iter().map(|(l, &c)| (l, c))
     }
 
     /// Size of the multiset intersection with `other`.
@@ -127,6 +162,28 @@ impl<L: Eq + std::hash::Hash + Clone> TreeSketch<L> {
             leaves,
             internal: tree.len() - leaves,
             histogram: LabelHistogram::new(tree),
+        }
+    }
+
+    /// Reassembles a sketch from previously computed parts (a deserialized
+    /// corpus entry), skipping the O(n) tree analysis.
+    ///
+    /// `internal` is derived from `size − leaves` rather than stored, and
+    /// the histogram carries its own node count; callers loading untrusted
+    /// data should verify `histogram.size() == size` and `leaves <= size`
+    /// before trusting the bounds computed from the sketch.
+    pub fn from_parts(
+        size: usize,
+        max_depth: u32,
+        leaves: usize,
+        histogram: LabelHistogram<L>,
+    ) -> Self {
+        TreeSketch {
+            size,
+            max_depth,
+            leaves,
+            internal: size.saturating_sub(leaves),
+            histogram,
         }
     }
 }

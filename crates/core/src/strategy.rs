@@ -204,8 +204,10 @@ impl Chooser for SubsetChooser {
     fn pick(&self, _sf: u32, _sg: u32, costs: &[u64; 6]) -> u8 {
         let mut best: Option<u8> = None;
         for i in 0..6u8 {
+            // `map_or`, not `is_none_or`: the latter is stable only since
+            // 1.82, above the workspace MSRV.
             if self.allowed[i as usize]
-                && best.is_none_or(|b| costs[i as usize] < costs[b as usize])
+                && best.map_or(true, |b| costs[i as usize] < costs[b as usize])
             {
                 best = Some(i);
             }

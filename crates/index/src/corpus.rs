@@ -1,11 +1,24 @@
-//! The immutable, pre-analyzed tree corpus.
+//! The pre-analyzed tree corpus.
 //!
-//! Every tree is analyzed exactly once when the corpus is built: its
+//! Every tree is analyzed exactly once when it enters the corpus: its
 //! [`TreeSketch`] (size, depth, leaf/internal counts, label histogram) is
 //! computed at insert time, and the corpus keeps a size-sorted view so
 //! queries can restrict themselves to a contiguous size window instead of
-//! scanning all entries. After construction the corpus never changes —
-//! queries borrow it concurrently from many threads.
+//! scanning all entries.
+//!
+//! # Identity and mutation
+//!
+//! Entry ids are assigned sequentially at insert time and are **stable
+//! forever**: [`TreeCorpus::remove`] leaves a hole rather than renumbering,
+//! and ids are never reused — so query results, on-disk segments
+//! ([`crate::store`]) and application-side references all agree on what an
+//! id means across arbitrarily many updates and compactions. The only
+//! structure maintained under mutation is the size-sorted view, updated in
+//! place in O(log n) search + O(n) shift per operation — no re-analysis of
+//! any other tree.
+//!
+//! Queries borrow the corpus concurrently from many threads; mutation
+//! requires `&mut` (single-writer, as usual in Rust).
 
 use rted_core::bounds::TreeSketch;
 use rted_tree::Tree;
@@ -18,6 +31,22 @@ pub struct CorpusEntry<L> {
 }
 
 impl<L> CorpusEntry<L> {
+    /// Reassembles an entry from previously computed parts (used by the
+    /// persistence layer to skip re-analysis on load).
+    pub(crate) fn from_parts(tree: Tree<L>, sketch: TreeSketch<L>) -> Self {
+        CorpusEntry { tree, sketch }
+    }
+
+    /// Analyzes a tree into an entry (the insert-time analysis, runnable
+    /// before the entry has a corpus slot — see `CorpusStore::insert_all`).
+    pub(crate) fn analyze(tree: Tree<L>) -> Self
+    where
+        L: Eq + std::hash::Hash + Clone,
+    {
+        let sketch = TreeSketch::new(&tree);
+        CorpusEntry { tree, sketch }
+    }
+
     /// The stored tree.
     #[inline]
     pub fn tree(&self) -> &Tree<L> {
@@ -31,68 +60,157 @@ impl<L> CorpusEntry<L> {
     }
 }
 
-/// An immutable collection of pre-analyzed trees, ordered by insertion.
+/// A collection of pre-analyzed trees with stable ids.
 ///
-/// Entry ids are the 0-based insertion positions; all query results refer
-/// to trees by these ids.
+/// Ids are the 0-based insertion positions; removed ids stay reserved (see
+/// the module docs). All query results refer to trees by these ids.
 #[derive(Debug, Clone)]
 pub struct TreeCorpus<L> {
-    entries: Vec<CorpusEntry<L>>,
-    /// Entry ids sorted by (subtree size, id) — the size-window accelerator.
+    /// Slot per ever-assigned id; `None` marks a removed tree.
+    entries: Vec<Option<CorpusEntry<L>>>,
+    /// Number of live (non-removed) entries.
+    live: usize,
+    /// Live entry ids sorted by (subtree size, id) — the size-window
+    /// accelerator.
     by_size: Vec<u32>,
 }
 
 impl<L: Eq + std::hash::Hash + Clone> TreeCorpus<L> {
     /// Builds a corpus, analyzing every tree once.
     pub fn build(trees: impl IntoIterator<Item = Tree<L>>) -> Self {
-        let entries: Vec<CorpusEntry<L>> = trees
+        let entries: Vec<Option<CorpusEntry<L>>> = trees
             .into_iter()
             .map(|tree| {
                 let sketch = TreeSketch::new(&tree);
-                CorpusEntry { tree, sketch }
+                Some(CorpusEntry { tree, sketch })
             })
             .collect();
-        let mut by_size: Vec<u32> = (0..entries.len() as u32).collect();
-        by_size.sort_by_key(|&id| (entries[id as usize].sketch.size, id));
-        TreeCorpus { entries, by_size }
+        Self::from_raw_parts(entries)
     }
 
-    /// Number of trees.
+    /// Rebuilds a corpus from per-id slots (`None` = removed id), deriving
+    /// the live count and size-sorted view. Used by the persistence layer.
+    pub(crate) fn from_raw_parts(entries: Vec<Option<CorpusEntry<L>>>) -> Self {
+        let mut by_size: Vec<u32> = (0..entries.len() as u32)
+            .filter(|&id| entries[id as usize].is_some())
+            .collect();
+        let live = by_size.len();
+        by_size.sort_by_key(|&id| (Self::slot(&entries, id).sketch.size, id));
+        TreeCorpus {
+            entries,
+            live,
+            by_size,
+        }
+    }
+
+    /// Inserts a tree, analyzing it once; returns its newly assigned id.
+    ///
+    /// O(log n) to locate + O(n) to shift the size-sorted view; no other
+    /// entry is touched.
+    pub fn insert(&mut self, tree: Tree<L>) -> usize {
+        self.insert_entry(CorpusEntry::analyze(tree))
+    }
+
+    /// Inserts an already-analyzed entry (avoids re-analysis when the
+    /// caller had to build the entry up front, e.g. to serialize it before
+    /// committing the in-memory mutation).
+    pub(crate) fn insert_entry(&mut self, entry: CorpusEntry<L>) -> usize {
+        let id = self.entries.len();
+        assert!(id < u32::MAX as usize, "corpus id space exhausted");
+        let key = (entry.sketch.size, id as u32);
+        let pos = self
+            .by_size
+            .partition_point(|&e| (Self::slot(&self.entries, e).sketch.size, e) < key);
+        self.by_size.insert(pos, id as u32);
+        self.entries.push(Some(entry));
+        self.live += 1;
+        id
+    }
+
+    /// Removes the tree with id `id`, returning its entry, or `None` if the
+    /// id was never assigned or already removed. The id stays reserved.
+    pub fn remove(&mut self, id: usize) -> Option<CorpusEntry<L>> {
+        // Locate the id in the size-sorted view *before* vacating its slot:
+        // the binary search probes neighbouring ids through their (still
+        // live) entries, and may probe `id` itself.
+        let key = (self.entries.get(id)?.as_ref()?.sketch.size, id as u32);
+        let pos = self
+            .by_size
+            .partition_point(|&e| (Self::slot(&self.entries, e).sketch.size, e) < key);
+        debug_assert_eq!(self.by_size.get(pos), Some(&(id as u32)));
+        self.by_size.remove(pos);
+        self.live -= 1;
+        self.entries[id].take()
+    }
+}
+
+impl<L> TreeCorpus<L> {
+    #[inline]
+    fn slot(entries: &[Option<CorpusEntry<L>>], id: u32) -> &CorpusEntry<L> {
+        entries[id as usize]
+            .as_ref()
+            .expect("by_size holds only live ids")
+    }
+
+    /// Number of live trees.
     #[inline]
     pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` iff the corpus holds no live trees.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// One past the largest id ever assigned (the next id
+    /// [`insert`](Self::insert) will hand out). `len() < id_bound()`
+    /// whenever trees have been removed.
+    #[inline]
+    pub fn id_bound(&self) -> usize {
         self.entries.len()
     }
 
-    /// `true` iff the corpus holds no trees.
+    /// The entry with id `id`, or `None` if it was removed or never
+    /// assigned.
     #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+    pub fn get(&self, id: usize) -> Option<&CorpusEntry<L>> {
+        self.entries.get(id).and_then(|slot| slot.as_ref())
     }
 
     /// The entry with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a live tree.
     #[inline]
     pub fn entry(&self, id: usize) -> &CorpusEntry<L> {
-        &self.entries[id]
+        self.get(id)
+            .unwrap_or_else(|| panic!("no live corpus tree with id {id}"))
     }
 
-    /// The tree with id `id`.
+    /// The tree with id `id` (panics like [`entry`](Self::entry)).
     #[inline]
     pub fn tree(&self, id: usize) -> &Tree<L> {
-        &self.entries[id].tree
+        &self.entry(id).tree
     }
 
-    /// The sketch of tree `id`.
+    /// The sketch of tree `id` (panics like [`entry`](Self::entry)).
     #[inline]
     pub fn sketch(&self, id: usize) -> &TreeSketch<L> {
-        &self.entries[id].sketch
+        &self.entry(id).sketch
     }
 
-    /// All entries in insertion order.
-    pub fn iter(&self) -> impl ExactSizeIterator<Item = &CorpusEntry<L>> {
-        self.entries.iter()
+    /// All live `(id, entry)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &CorpusEntry<L>)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|e| (id, e)))
     }
 
-    /// Entry ids sorted by (size, id).
+    /// Live entry ids sorted by (size, id).
     #[inline]
     pub fn by_size(&self) -> &[u32] {
         &self.by_size
@@ -103,14 +221,83 @@ impl<L: Eq + std::hash::Hash + Clone> TreeCorpus<L> {
     /// bound of `tau` cannot prune. With `tau = ∞` this is every entry.
     pub fn size_window(&self, center: usize, tau: f64) -> &[u32] {
         let lo = self.by_size.partition_point(|&id| {
-            (self.entries[id as usize].sketch.size as f64) <= center as f64 - tau
+            (Self::slot(&self.entries, id).sketch.size as f64) <= center as f64 - tau
         });
         let hi = self.by_size.partition_point(|&id| {
-            (self.entries[id as usize].sketch.size as f64) < center as f64 + tau
+            (Self::slot(&self.entries, id).sketch.size as f64) < center as f64 + tau
         });
         // With tau <= 0 nothing can match and the two cuts cross (`lo`
         // skips past sizes == center, `hi` stops before them): clamp to
         // an empty window instead of slicing backwards.
         &self.by_size[lo..hi.max(lo)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rted_tree::parse_bracket;
+
+    fn t(s: &str) -> Tree<String> {
+        parse_bracket(s).unwrap()
+    }
+
+    fn sizes_in_view(c: &TreeCorpus<String>) -> Vec<(usize, u32)> {
+        c.by_size()
+            .iter()
+            .map(|&id| (c.sketch(id as usize).size, id))
+            .collect()
+    }
+
+    #[test]
+    fn insert_maintains_sorted_view() {
+        let mut c = TreeCorpus::build(vec![t("{a{b}{c}}"), t("{x}")]);
+        assert_eq!(c.len(), 2);
+        let id = c.insert(t("{p{q}}"));
+        assert_eq!(id, 2);
+        assert_eq!(c.len(), 3);
+        let sizes = sizes_in_view(&c);
+        let mut sorted = sizes.clone();
+        sorted.sort();
+        assert_eq!(sizes, sorted);
+        assert_eq!(sizes, vec![(1, 1), (2, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn remove_leaves_stable_ids() {
+        let mut c = TreeCorpus::build(vec![t("{a}"), t("{b{c}}"), t("{d{e}{f}}")]);
+        assert!(c.remove(1).is_some());
+        assert!(c.remove(1).is_none(), "double remove");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.id_bound(), 3);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.tree(2).len(), 3);
+        // Ids are never reused.
+        assert_eq!(c.insert(t("{z}")), 3);
+        assert_eq!(sizes_in_view(&c), vec![(1, 0), (1, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn iter_skips_holes() {
+        let mut c = TreeCorpus::build(vec![t("{a}"), t("{b}"), t("{c}")]);
+        c.remove(0);
+        let ids: Vec<usize> = c.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no live corpus tree with id 0")]
+    fn entry_panics_on_removed_id() {
+        let mut c = TreeCorpus::build(vec![t("{a}")]);
+        c.remove(0);
+        c.entry(0);
+    }
+
+    #[test]
+    fn size_window_ignores_removed() {
+        let mut c = TreeCorpus::build(vec![t("{a{b}{c}}"), t("{x{y}{z}}"), t("{q}")]);
+        c.remove(0);
+        let w: Vec<u32> = c.size_window(3, 1.0).to_vec();
+        assert_eq!(w, vec![1]);
     }
 }

@@ -60,11 +60,15 @@
 pub mod corpus;
 pub mod exec;
 pub mod filter;
+pub mod persist;
+pub mod store;
 pub mod verify;
 
 pub use corpus::{CorpusEntry, TreeCorpus};
 pub use exec::{map_chunks, ExecPolicy};
 pub use filter::{FilterPipeline, FilterStats, StagePrune};
+pub use persist::{encode_corpus, CorpusFile, PersistError};
+pub use store::CorpusStore;
 pub use verify::{AlgorithmVerifier, Verifier};
 
 use rted_core::bounds::TreeSketch;
@@ -183,12 +187,32 @@ where
     /// Builds an index with the standard filter pipeline, the RTED unit-
     /// cost verifier, and the default execution policy.
     pub fn build(trees: impl IntoIterator<Item = Tree<L>>) -> Self {
+        Self::from_corpus(TreeCorpus::build(trees))
+    }
+
+    /// Wraps an existing corpus — e.g. one loaded from disk via
+    /// [`CorpusStore`] or [`CorpusFile`] — without re-analyzing any tree.
+    pub fn from_corpus(corpus: TreeCorpus<L>) -> Self {
         TreeIndex {
-            corpus: TreeCorpus::build(trees),
+            corpus,
             pipeline: FilterPipeline::standard(),
             verifier: Box::new(AlgorithmVerifier::rted()),
             policy: ExecPolicy::default(),
         }
+    }
+
+    /// Inserts a tree into the corpus, returning its stable id. O(log n)
+    /// index maintenance plus one O(n)-in-tree-size analysis; concurrent
+    /// queries are excluded by the `&mut` borrow, nothing is rebuilt.
+    pub fn insert(&mut self, tree: Tree<L>) -> usize {
+        self.corpus.insert(tree)
+    }
+
+    /// Removes tree `id` from the corpus. Returns `false` if the id was
+    /// not live. The id is never reused; results of later queries simply
+    /// stop mentioning it.
+    pub fn remove(&mut self, id: usize) -> bool {
+        self.corpus.remove(id).is_some()
     }
 
     /// Replaces the filter pipeline.

@@ -1,0 +1,642 @@
+//! The versioned binary on-disk corpus format.
+//!
+//! A corpus file is a fixed header followed by a sequence of self-checking
+//! segments, replayed in order on load:
+//!
+//! ```text
+//! file    := header segment*
+//! header  := magic("RTEDIDX\0") version:u32 flags:u32
+//!            next_id:u64 live:u64 reserved:u64 checksum:u64
+//! segment := kind:u32 payload_len:u64 checksum:u64 payload
+//! ```
+//!
+//! All integers are little-endian. The header checksum is FNV-1a 64 over
+//! the 40 bytes preceding it; a segment checksum covers its kind, length
+//! and payload, so any single corrupted byte anywhere in the file is
+//! detected (each FNV-1a step `h ← (h ⊕ b)·p` is bijective in `h` and
+//! injective in `b`, so one flipped byte always changes the digest).
+//!
+//! Two segment kinds exist:
+//!
+//! * **trees** ([`SEG_TREES`]) — a shared string table (labels interned in
+//!   first-occurrence order) followed by tree records. Each record stores
+//!   the tree as flat postorder arrays — per-node label ids and degrees,
+//!   the RTED-native encoding (every decomposition strategy in the paper
+//!   operates on postorder/left-path arrays) — plus its precomputed
+//!   [`TreeSketch`] (max depth, leaf count, histogram as `(label_id,
+//!   count)` pairs sorted by id), so loading **skips the O(n) per-tree
+//!   analysis** entirely.
+//! * **tombstones** ([`SEG_TOMBSTONES`]) — ids removed since the previous
+//!   segment. Ids are stable across removals and compaction (see
+//!   [`crate::corpus`]), which is what lets updates be appended instead of
+//!   rewriting the file — see [`crate::store`].
+//!
+//! Encoding is canonical: for a given corpus state, [`encode_corpus`]
+//! always produces the same bytes (string table in first-occurrence order,
+//! trees in ascending id order, histograms sorted by label id), so
+//! save→load→save is byte-identical — a property the test-suite checks.
+//!
+//! # Zero-copy loads
+//!
+//! [`CorpusFile::corpus`] reconstructs a `TreeCorpus<&str>` whose labels
+//! **borrow** from the loaded byte buffer — no label bytes are copied or
+//! allocated. [`CorpusFile::corpus_owned`] produces the independent
+//! `TreeCorpus<String>` the long-lived [`crate::TreeIndex`] engine needs.
+//!
+//! # Trust model
+//!
+//! Checksums make accidental corruption (truncation, bit rot, concurrent
+//! writers) detectable, and every structural invariant is re-validated on
+//! load — malformed input yields a [`PersistError`], never a panic or a
+//! silently wrong corpus. The numeric *sketch* fields are trusted as
+//! written (verifying them would re-run the analysis the format exists to
+//! skip); a file from a buggy or hostile writer can thus carry sketches
+//! that make filters unsound, exactly as a hostile in-memory `TreeSketch`
+//! would.
+
+use crate::corpus::{CorpusEntry, TreeCorpus};
+use rted_core::bounds::{LabelHistogram, TreeSketch};
+use rted_tree::Tree;
+use std::collections::HashMap;
+
+/// First eight bytes of every corpus file.
+pub const MAGIC: [u8; 8] = *b"RTEDIDX\0";
+/// The (only) format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Size of the fixed file header in bytes.
+pub const HEADER_LEN: usize = 48;
+/// Size of a segment header (kind + payload length + checksum) in bytes.
+pub const SEGMENT_HEADER_LEN: usize = 20;
+
+/// Segment kind: tree records with a shared string table.
+pub const SEG_TREES: u32 = 1;
+/// Segment kind: removed tree ids.
+pub const SEG_TOMBSTONES: u32 = 2;
+
+/// FNV-1a 64-bit offset basis (the streaming digest's initial state).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Streaming FNV-1a 64 update: folds `bytes` into state `h`. Feeding two
+/// slices in sequence equals hashing their concatenation, so callers never
+/// need to copy bytes together just to checksum them.
+fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a 64-bit digest (the format's checksum function).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+/// Errors loading or validating a corpus file. Every variant is a rejected
+/// file — the loader never silently mis-reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Underlying I/O failure (message includes the path).
+    Io(String),
+    /// The file does not start with [`MAGIC`] — not a corpus file.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// A stored checksum does not match the recomputed digest.
+    ChecksumMismatch {
+        /// What the checksum covered (`"header"` or `"segment"`).
+        what: &'static str,
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed from the bytes.
+        computed: u64,
+    },
+    /// The file ends before a declared structure is complete.
+    Truncated {
+        /// The structure that was cut short.
+        context: &'static str,
+    },
+    /// A structural invariant is violated (duplicate id, dangling
+    /// tombstone, malformed tree, live-count mismatch, ...).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(msg) => write!(f, "{msg}"),
+            PersistError::BadMagic => write!(f, "not a corpus file (bad magic)"),
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported corpus format version {found} (this build reads version {supported})"
+            ),
+            PersistError::ChecksumMismatch {
+                what,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{what} checksum mismatch (stored {stored:#018x}, computed {computed:#018x}) — file is corrupt"
+            ),
+            PersistError::Truncated { context } => {
+                write!(f, "file truncated inside {context}")
+            }
+            PersistError::Corrupt(msg) => write!(f, "corrupt corpus file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn corrupt<T>(msg: impl Into<String>) -> Result<T, PersistError> {
+    Err(PersistError::Corrupt(msg.into()))
+}
+
+/// The decoded fixed file header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Format version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Reserved feature flags (0 in version 1).
+    pub flags: u32,
+    /// The id the next inserted tree will receive (ids are never reused).
+    pub next_id: u64,
+    /// Live tree count after replaying every segment.
+    pub live: u64,
+}
+
+impl Header {
+    /// Serializes the header, computing its checksum.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[..8].copy_from_slice(&MAGIC);
+        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.flags.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.next_id.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.live.to_le_bytes());
+        // bytes 32..40 reserved (zero)
+        let checksum = fnv1a(&buf[..40]);
+        buf[40..48].copy_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    /// Parses and validates the header at the start of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<Header, PersistError> {
+        if buf.len() < HEADER_LEN {
+            if buf.len() >= MAGIC.len() && buf[..MAGIC.len()] != MAGIC {
+                return Err(PersistError::BadMagic);
+            }
+            return Err(PersistError::Truncated { context: "header" });
+        }
+        if buf[..8] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let stored = u64::from_le_bytes(buf[40..48].try_into().unwrap());
+        let computed = fnv1a(&buf[..40]);
+        if stored != computed {
+            return Err(PersistError::ChecksumMismatch {
+                what: "header",
+                stored,
+                computed,
+            });
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        Ok(Header {
+            version,
+            flags: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            next_id: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+            live: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
+        })
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Name of the structure being read, for truncation errors.
+    context: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8], context: &'static str) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(PersistError::Truncated {
+                context: self.context,
+            }),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Unread bytes — the upper bound any declared element count can
+    /// honestly describe. Pre-allocations must be capped by this so a
+    /// crafted count cannot force a huge allocation before the bounds
+    /// checks reject it.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Wraps a payload in a segment header (kind, length, checksum over all
+/// three parts).
+pub(crate) fn segment_bytes(kind: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEGMENT_HEADER_LEN + payload.len());
+    put_u32(&mut out, kind);
+    put_u64(&mut out, payload.len() as u64);
+    let digest = fnv1a_update(fnv1a_update(FNV_OFFSET, &out[..12]), payload);
+    put_u64(&mut out, digest);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes a trees segment (string table + records) for `entries`, which
+/// must be in ascending id order for canonical output.
+pub(crate) fn trees_segment<'a>(entries: &[(u64, &'a CorpusEntry<String>)]) -> Vec<u8> {
+    // Intern labels in first-occurrence order (trees in id order, nodes in
+    // postorder) — deterministic for a given corpus state.
+    let mut table: Vec<&'a str> = Vec::new();
+    let mut label_ids: HashMap<&'a str, u32> = HashMap::new();
+    for (_, entry) in entries {
+        let tree = entry.tree();
+        for v in tree.nodes() {
+            let label = tree.label(v).as_str();
+            if !label_ids.contains_key(label) {
+                label_ids.insert(label, table.len() as u32);
+                table.push(label);
+            }
+        }
+    }
+
+    let mut payload = Vec::new();
+    put_u32(&mut payload, table.len() as u32);
+    for label in &table {
+        put_u32(&mut payload, label.len() as u32);
+        payload.extend_from_slice(label.as_bytes());
+    }
+
+    put_u32(&mut payload, entries.len() as u32);
+    for &(id, entry) in entries {
+        let tree = entry.tree();
+        let sketch = entry.sketch();
+        put_u64(&mut payload, id);
+        put_u32(&mut payload, tree.len() as u32);
+        for v in tree.nodes() {
+            put_u32(&mut payload, label_ids[tree.label(v).as_str()]);
+        }
+        for d in tree.postorder_degrees() {
+            put_u32(&mut payload, d);
+        }
+        put_u32(&mut payload, sketch.max_depth);
+        put_u32(&mut payload, sketch.leaves as u32);
+        // Histogram sorted by label id — the canonical order (HashMap
+        // iteration order would break byte-identical re-encoding).
+        let mut hist: Vec<(u32, u32)> = sketch
+            .histogram
+            .counts()
+            .map(|(label, count)| (label_ids[label.as_str()], count))
+            .collect();
+        hist.sort_unstable();
+        put_u32(&mut payload, hist.len() as u32);
+        for (label_id, count) in hist {
+            put_u32(&mut payload, label_id);
+            put_u32(&mut payload, count);
+        }
+    }
+    segment_bytes(SEG_TREES, &payload)
+}
+
+/// Encodes a tombstones segment for the given removed ids.
+pub(crate) fn tombstones_segment(ids: &[u64]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 + 8 * ids.len());
+    put_u32(&mut payload, ids.len() as u32);
+    for &id in ids {
+        put_u64(&mut payload, id);
+    }
+    segment_bytes(SEG_TOMBSTONES, &payload)
+}
+
+/// Serializes a corpus as a complete file image: header plus a single
+/// trees segment holding every live entry. This is the canonical (compact)
+/// encoding — re-encoding a loaded corpus reproduces it byte for byte.
+pub fn encode_corpus(corpus: &TreeCorpus<String>) -> Vec<u8> {
+    let header = Header {
+        version: FORMAT_VERSION,
+        flags: 0,
+        next_id: corpus.id_bound() as u64,
+        live: corpus.len() as u64,
+    };
+    let mut out = header.encode().to_vec();
+    if !corpus.is_empty() {
+        let entries: Vec<_> = corpus
+            .iter()
+            .map(|(id, entry)| (id as u64, entry))
+            .collect();
+        out.extend_from_slice(&trees_segment(&entries));
+    }
+    out
+}
+
+/// Decodes one trees-segment payload, materializing labels through `make`
+/// (identity for the zero-copy path, `to_string` for the owned path).
+fn decode_trees_payload<'a, L, F>(
+    payload: &'a [u8],
+    make: &F,
+    slots: &mut [Option<CorpusEntry<L>>],
+) -> Result<(), PersistError>
+where
+    L: Eq + std::hash::Hash + Clone,
+    F: Fn(&'a str) -> L,
+{
+    let mut r = Reader::new(payload, "trees segment");
+    let table_len = r.u32()? as usize;
+    // Each table entry occupies ≥ 4 payload bytes (its length prefix), so
+    // cap the pre-allocation by what the payload can actually hold — a
+    // crafted count must not force a many-GB allocation before the
+    // per-entry reads reject it.
+    let mut table: Vec<&'a str> = Vec::with_capacity(table_len.min(r.remaining() / 4));
+    for _ in 0..table_len {
+        let len = r.u32()? as usize;
+        let bytes = r.take(len)?;
+        let label = std::str::from_utf8(bytes)
+            .map_err(|_| PersistError::Corrupt("string table entry is not UTF-8".into()))?;
+        table.push(label);
+    }
+    let tree_count = r.u32()?;
+    for _ in 0..tree_count {
+        let id = r.u64()? as usize;
+        let n = r.u32()? as usize;
+        if n == 0 {
+            return corrupt(format!("tree {id} has zero nodes"));
+        }
+        // Each node occupies ≥ 8 payload bytes (label id + degree): a node
+        // count the remaining payload cannot hold is rejected before any
+        // n-sized allocation, so a crafted `n` cannot force an abort.
+        if n > r.remaining() / 8 {
+            return corrupt(format!(
+                "tree {id} claims {n} nodes but only {} payload bytes remain",
+                r.remaining()
+            ));
+        }
+        let mut labels: Vec<L> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let label_id = r.u32()? as usize;
+            let label = *table.get(label_id).ok_or_else(|| {
+                PersistError::Corrupt(format!(
+                    "tree {id} references label id {label_id} outside the string table"
+                ))
+            })?;
+            labels.push(make(label));
+        }
+        let mut degrees: Vec<u32> = Vec::with_capacity(n);
+        for _ in 0..n {
+            degrees.push(r.u32()?);
+        }
+        let tree = Tree::from_postorder_degrees(labels, &degrees)
+            .map_err(|e| PersistError::Corrupt(format!("tree {id}: {e}")))?;
+
+        let max_depth = r.u32()?;
+        let leaves = r.u32()? as usize;
+        if leaves > n {
+            return corrupt(format!(
+                "tree {id}: sketch claims {leaves} leaves in {n} nodes"
+            ));
+        }
+        let hist_len = r.u32()? as usize;
+        let mut pairs: Vec<(L, u32)> = Vec::with_capacity(hist_len.min(n));
+        for _ in 0..hist_len {
+            let label_id = r.u32()? as usize;
+            let count = r.u32()?;
+            let label = *table.get(label_id).ok_or_else(|| {
+                PersistError::Corrupt(format!(
+                    "tree {id} histogram references label id {label_id} outside the string table"
+                ))
+            })?;
+            pairs.push((make(label), count));
+        }
+        let histogram = LabelHistogram::from_counts(pairs);
+        if histogram.size() != n {
+            return corrupt(format!(
+                "tree {id}: histogram covers {} nodes, tree has {n}",
+                histogram.size()
+            ));
+        }
+        let sketch = TreeSketch::from_parts(n, max_depth, leaves, histogram);
+
+        let slot = slots
+            .get_mut(id)
+            .ok_or_else(|| PersistError::Corrupt(format!("tree id {id} exceeds header next_id")))?;
+        if slot.is_some() {
+            return corrupt(format!("duplicate tree id {id}"));
+        }
+        *slot = Some(CorpusEntry::from_parts(tree, sketch));
+    }
+    if !r.done() {
+        return corrupt("trailing bytes after the last tree record".to_string());
+    }
+    Ok(())
+}
+
+/// Decodes a tombstones-segment payload, vacating the named slots.
+fn decode_tombstones_payload<L>(
+    payload: &[u8],
+    slots: &mut [Option<CorpusEntry<L>>],
+) -> Result<(), PersistError> {
+    let mut r = Reader::new(payload, "tombstones segment");
+    let count = r.u32()?;
+    for _ in 0..count {
+        let id = r.u64()? as usize;
+        let slot = slots.get_mut(id).ok_or_else(|| {
+            PersistError::Corrupt(format!("tombstone id {id} exceeds header next_id"))
+        })?;
+        if slot.take().is_none() {
+            return corrupt(format!("tombstone for id {id}, which is not live"));
+        }
+    }
+    if !r.done() {
+        return corrupt("trailing bytes after the last tombstone".to_string());
+    }
+    Ok(())
+}
+
+/// Decodes a full file image into a corpus, materializing labels via
+/// `make`. Validates the header, every segment checksum, and every
+/// structural invariant; checks the replayed live count against the
+/// header.
+fn decode_corpus<'a, L, F>(buf: &'a [u8], make: F) -> Result<TreeCorpus<L>, PersistError>
+where
+    L: Eq + std::hash::Hash + Clone,
+    F: Fn(&'a str) -> L,
+{
+    let header = Header::decode(buf)?;
+    if header.next_id >= u32::MAX as u64 {
+        return corrupt(format!("next_id {} exceeds the id space", header.next_id));
+    }
+    // One slot per ever-assigned id is the corpus's own in-memory layout
+    // (removed ids stay reserved), so the allocation is legitimate for any
+    // honest file and cannot be bounded by the file size (compaction makes
+    // next_id independent of it). `try_reserve` converts direct allocation
+    // failure into an error instead of an abort; under an overcommitting
+    // allocator the OS may still kill the process when the slots are
+    // touched — exactly as it would for a legitimate corpus of that size.
+    let mut slots: Vec<Option<CorpusEntry<L>>> = Vec::new();
+    slots
+        .try_reserve_exact(header.next_id as usize)
+        .map_err(|_| {
+            PersistError::Corrupt(format!(
+                "cannot allocate id table for next_id {}",
+                header.next_id
+            ))
+        })?;
+    slots.resize_with(header.next_id as usize, || None);
+
+    let mut pos = HEADER_LEN;
+    while pos < buf.len() {
+        let rest = &buf[pos..];
+        if rest.len() < SEGMENT_HEADER_LEN {
+            return Err(PersistError::Truncated {
+                context: "segment header",
+            });
+        }
+        let kind = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        let payload_len = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+        let stored = u64::from_le_bytes(rest[12..20].try_into().unwrap());
+        let payload_len = usize::try_from(payload_len)
+            .ok()
+            .filter(|&l| l <= rest.len() - SEGMENT_HEADER_LEN)
+            .ok_or(PersistError::Truncated {
+                context: "segment payload",
+            })?;
+        let payload = &rest[SEGMENT_HEADER_LEN..SEGMENT_HEADER_LEN + payload_len];
+        let computed = fnv1a_update(fnv1a_update(FNV_OFFSET, &rest[..12]), payload);
+        if stored != computed {
+            return Err(PersistError::ChecksumMismatch {
+                what: "segment",
+                stored,
+                computed,
+            });
+        }
+        match kind {
+            SEG_TREES => decode_trees_payload(payload, &make, &mut slots)?,
+            SEG_TOMBSTONES => decode_tombstones_payload(payload, &mut slots)?,
+            other => return corrupt(format!("unknown segment kind {other}")),
+        }
+        pos += SEGMENT_HEADER_LEN + payload_len;
+    }
+
+    let live = slots.iter().filter(|s| s.is_some()).count();
+    if live as u64 != header.live {
+        return corrupt(format!(
+            "header records {} live trees but segments replay to {live} \
+             (file written by an interrupted or conflicting writer?)",
+            header.live
+        ));
+    }
+    Ok(TreeCorpus::from_raw_parts(slots))
+}
+
+/// A corpus file image loaded into memory, ready to be decoded.
+///
+/// Reading validates only the header; [`corpus`](Self::corpus) /
+/// [`corpus_owned`](Self::corpus_owned) perform the full checksum and
+/// structure validation as they decode.
+pub struct CorpusFile {
+    buf: Vec<u8>,
+}
+
+impl CorpusFile {
+    /// Reads a corpus file from disk and validates its header.
+    pub fn read(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
+        let path = path.as_ref();
+        let buf = std::fs::read(path)
+            .map_err(|e| PersistError::Io(format!("cannot read {}: {e}", path.display())))?;
+        Self::from_bytes(buf)
+    }
+
+    /// Wraps an in-memory file image, validating its header.
+    pub fn from_bytes(buf: Vec<u8>) -> Result<Self, PersistError> {
+        Header::decode(&buf)?;
+        Ok(CorpusFile { buf })
+    }
+
+    /// The validated file header.
+    pub fn header(&self) -> Header {
+        Header::decode(&self.buf).expect("header validated on construction")
+    }
+
+    /// The raw file image.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of segments in the file (walks segment headers; does not
+    /// validate payloads).
+    pub fn segment_count(&self) -> usize {
+        let mut count = 0;
+        let mut pos = HEADER_LEN;
+        while pos + SEGMENT_HEADER_LEN <= self.buf.len() {
+            let len = u64::from_le_bytes(self.buf[pos + 4..pos + 12].try_into().unwrap()) as usize;
+            pos = match pos.checked_add(SEGMENT_HEADER_LEN + len) {
+                Some(next) if next <= self.buf.len() => next,
+                _ => break,
+            };
+            count += 1;
+        }
+        count
+    }
+
+    /// Decodes the zero-copy corpus: labels are `&str` slices **borrowing
+    /// from this file's buffer** — no label bytes are copied.
+    pub fn corpus(&self) -> Result<TreeCorpus<&str>, PersistError> {
+        decode_corpus(&self.buf, |s| s)
+    }
+
+    /// Decodes an owned corpus (labels copied into `String`s), suitable
+    /// for handing to a long-lived [`crate::TreeIndex`].
+    pub fn corpus_owned(&self) -> Result<TreeCorpus<String>, PersistError> {
+        decode_corpus(&self.buf, |s| s.to_string())
+    }
+}

@@ -1,0 +1,317 @@
+//! The durable corpus store: an on-disk [`TreeCorpus`] with incremental
+//! updates.
+//!
+//! A [`CorpusStore`] pairs an in-memory corpus with its file image in the
+//! [`crate::persist`] format. Mutations are **append-only**: inserting
+//! trees appends one trees segment, removing trees appends one tombstones
+//! segment, and only the fixed-size header is rewritten in place (to bump
+//! the live count / next id) — the cost of an update is proportional to
+//! the update, not to the corpus. [`compact`](CorpusStore::compact)
+//! rewrites the file as a single canonical segment when the tombstone /
+//! segment backlog is worth reclaiming, preserving every live id.
+//!
+//! Durability model: segments are appended **before** the header is
+//! updated, so a crash between the two leaves a file whose header
+//! disagrees with its segments — which the loader rejects as corrupt
+//! rather than serving a half-applied update. Compaction goes through a
+//! temporary file and an atomic rename. The store assumes a single writer;
+//! concurrent writers can interleave appends and produce a file the loader
+//! rejects, but never a file it silently mis-reads.
+
+use crate::corpus::{CorpusEntry, TreeCorpus};
+use crate::persist::{
+    encode_corpus, tombstones_segment, trees_segment, CorpusFile, Header, PersistError,
+    FORMAT_VERSION,
+};
+use rted_tree::Tree;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A [`TreeCorpus`] backed by an on-disk segment file.
+pub struct CorpusStore {
+    path: PathBuf,
+    corpus: TreeCorpus<String>,
+    /// Segments in the backing file — tracked in memory (the store is the
+    /// file's single writer) so status queries never re-read the file.
+    segments: usize,
+}
+
+impl CorpusStore {
+    /// Builds a corpus from `trees` (analyzing each once) and writes it to
+    /// `path`, replacing any existing file.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        trees: impl IntoIterator<Item = Tree<String>>,
+    ) -> Result<Self, PersistError> {
+        Self::create_from(path, TreeCorpus::build(trees))
+    }
+
+    /// Writes an existing corpus to `path`, replacing any existing file.
+    pub fn create_from(
+        path: impl Into<PathBuf>,
+        corpus: TreeCorpus<String>,
+    ) -> Result<Self, PersistError> {
+        let path = path.into();
+        write_atomic(&path, &encode_corpus(&corpus))?;
+        let segments = usize::from(!corpus.is_empty());
+        Ok(CorpusStore {
+            path,
+            corpus,
+            segments,
+        })
+    }
+
+    /// Opens an existing corpus file, replaying its segments. No per-tree
+    /// analysis runs — sketches come from the file.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        let path = path.into();
+        let file = CorpusFile::read(&path)?;
+        let corpus = file.corpus_owned()?;
+        Ok(CorpusStore {
+            path,
+            corpus,
+            segments: file.segment_count(),
+        })
+    }
+
+    /// The live in-memory corpus (always consistent with the file).
+    pub fn corpus(&self) -> &TreeCorpus<String> {
+        &self.corpus
+    }
+
+    /// Consumes the store, yielding the corpus (e.g. to build a
+    /// [`crate::TreeIndex`]).
+    pub fn into_corpus(self) -> TreeCorpus<String> {
+        self.corpus
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Inserts trees, analyzing each once and appending a single trees
+    /// segment; returns the assigned ids (ascending).
+    ///
+    /// The segment is written (and fsynced) **before** the in-memory
+    /// corpus is touched, so an I/O failure leaves the store exactly as it
+    /// was — a retry re-assigns the same ids instead of silently diverging
+    /// from the file.
+    pub fn insert_all(
+        &mut self,
+        trees: impl IntoIterator<Item = Tree<String>>,
+    ) -> Result<Vec<usize>, PersistError> {
+        let new: Vec<CorpusEntry<String>> = trees.into_iter().map(CorpusEntry::analyze).collect();
+        if new.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base = self.corpus.id_bound();
+        let pairs: Vec<_> = new
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| ((base + i) as u64, entry))
+            .collect();
+        let segment = trees_segment(&pairs);
+        self.append(
+            &segment,
+            (base + new.len()) as u64,
+            self.corpus.len() + new.len(),
+        )?;
+        Ok(new
+            .into_iter()
+            .map(|entry| self.corpus.insert_entry(entry))
+            .collect())
+    }
+
+    /// Removes the given ids, appending a single tombstones segment.
+    /// Ids that are not live (never assigned, already removed, or repeated
+    /// in `ids`) are skipped; returns how many trees were actually
+    /// removed. Like [`insert_all`](Self::insert_all), the disk write
+    /// happens first — on error nothing was removed.
+    pub fn remove_all(&mut self, ids: &[usize]) -> Result<usize, PersistError> {
+        // Validate and dedup against the live set without mutating it yet:
+        // a duplicated id must not produce a double tombstone (the loader
+        // rejects tombstones for non-live ids).
+        let mut seen = std::collections::HashSet::new();
+        let removed: Vec<u64> = ids
+            .iter()
+            .filter(|&&id| self.corpus.get(id).is_some() && seen.insert(id))
+            .map(|&id| id as u64)
+            .collect();
+        if removed.is_empty() {
+            return Ok(0);
+        }
+        self.append(
+            &tombstones_segment(&removed),
+            self.corpus.id_bound() as u64,
+            self.corpus.len() - removed.len(),
+        )?;
+        for &id in &removed {
+            self.corpus.remove(id as usize);
+        }
+        Ok(removed.len())
+    }
+
+    /// Rewrites the file as a single canonical trees segment, dropping
+    /// tombstones and superseded records. Ids are preserved — compaction
+    /// is invisible to queries and to previously handed-out ids. Atomic:
+    /// goes through a temporary file and rename.
+    pub fn compact(&mut self) -> Result<(), PersistError> {
+        write_atomic(&self.path, &encode_corpus(&self.corpus))?;
+        self.segments = usize::from(!self.corpus.is_empty());
+        Ok(())
+    }
+
+    /// Number of segments currently in the backing file (tracked in
+    /// memory; no I/O).
+    pub fn segment_count(&self) -> usize {
+        self.segments
+    }
+
+    /// Appends one segment, then rewrites the header in place with the
+    /// post-mutation `next_id` / `live` counts. See the module docs for
+    /// the crash-consistency argument behind this order. On any failure
+    /// the file is rolled back — truncated to its previous length *and*
+    /// the pre-append header restored (a failed sync can leave the new
+    /// header in place even though the segment was dropped) — so a
+    /// retried update neither stacks a duplicate segment onto an orphan
+    /// nor strands a readable corpus behind a mismatched header.
+    fn append(&mut self, segment: &[u8], next_id: u64, live: usize) -> Result<(), PersistError> {
+        let io = |e: std::io::Error| {
+            PersistError::Io(format!("cannot update {}: {e}", self.path.display()))
+        };
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(io)?;
+        let old_len = file.seek(SeekFrom::End(0)).map_err(io)?;
+        let result = (|| {
+            file.write_all(segment)?;
+            let header = Header {
+                version: FORMAT_VERSION,
+                flags: 0,
+                next_id,
+                live: live as u64,
+            };
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header.encode())?;
+            file.sync_all()
+        })();
+        if result.is_err() {
+            // Best-effort rollback to the exact pre-append file image:
+            // drop the appended bytes and restore the old header (the
+            // corpus is not yet mutated, so its counts ARE the old
+            // header). If even this fails, the loader still rejects the
+            // inconsistent file, so nothing is silently wrong.
+            let old_header = Header {
+                version: FORMAT_VERSION,
+                flags: 0,
+                next_id: self.corpus.id_bound() as u64,
+                live: self.corpus.len() as u64,
+            };
+            let _ = file.set_len(old_len);
+            let _ = file
+                .seek(SeekFrom::Start(0))
+                .and_then(|_| file.write_all(&old_header.encode()));
+            let _ = file.sync_all();
+        } else {
+            self.segments += 1;
+        }
+        result.map_err(io)
+    }
+}
+
+/// Writes `bytes` to `path` via a sibling temporary file and an atomic
+/// rename, so readers never observe a half-written file. The temporary
+/// name extends the full file name (`corpus.idx` → `corpus.idx.tmp`), so
+/// stores on distinct files never collide on their temp file.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let io = |e: std::io::Error| PersistError::Io(format!("cannot write {}: {e}", path.display()));
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| PersistError::Io(format!("invalid corpus path {}", path.display())))?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(io)?;
+        file.write_all(bytes).map_err(io)?;
+        file.sync_all().map_err(io)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rted_tree::parse_bracket;
+
+    fn t(s: &str) -> Tree<String> {
+        parse_bracket(s).unwrap()
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rted-store-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let path = scratch("roundtrip.idx");
+        let store = CorpusStore::create(&path, vec![t("{a{b}{c}}"), t("{x{y}}")]).unwrap();
+        assert_eq!(store.corpus().len(), 2);
+        let reopened = CorpusStore::open(&path).unwrap();
+        assert_eq!(reopened.corpus().len(), 2);
+        assert_eq!(reopened.corpus().tree(0).len(), 3);
+        assert_eq!(rted_tree::to_bracket(reopened.corpus().tree(1)), "{x{y}}");
+    }
+
+    #[test]
+    fn updates_append_segments_and_survive_reopen() {
+        let path = scratch("updates.idx");
+        let mut store = CorpusStore::create(&path, vec![t("{a}"), t("{b{c}}")]).unwrap();
+        assert_eq!(store.segment_count(), 1);
+
+        let ids = store.insert_all(vec![t("{d{e}{f}}"), t("{g}")]).unwrap();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(store.segment_count(), 2);
+
+        assert_eq!(store.remove_all(&[1, 1, 99]).unwrap(), 1);
+        assert_eq!(store.segment_count(), 3);
+
+        let reopened = CorpusStore::open(&path).unwrap();
+        assert_eq!(reopened.corpus().len(), 3);
+        assert!(reopened.corpus().get(1).is_none());
+        assert_eq!(reopened.corpus().id_bound(), 4);
+
+        // No-op updates append nothing.
+        let mut store = reopened;
+        assert_eq!(store.insert_all(Vec::new()).unwrap(), Vec::<usize>::new());
+        assert_eq!(store.remove_all(&[1]).unwrap(), 0);
+        assert_eq!(store.segment_count(), 3);
+    }
+
+    #[test]
+    fn compaction_preserves_ids_and_shrinks() {
+        let path = scratch("compact.idx");
+        let mut store =
+            CorpusStore::create(&path, (0..8).map(|i| t(&format!("{{n{i}{{x}}}}")))).unwrap();
+        store.remove_all(&[0, 2, 4]).unwrap();
+        store.insert_all(vec![t("{fresh{leaf}}")]).unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+        let live_before: Vec<usize> = store.corpus().iter().map(|(id, _)| id).collect();
+
+        store.compact().unwrap();
+        assert_eq!(store.segment_count(), 1);
+        assert!(std::fs::metadata(&path).unwrap().len() < before);
+
+        let reopened = CorpusStore::open(&path).unwrap();
+        let live_after: Vec<usize> = reopened.corpus().iter().map(|(id, _)| id).collect();
+        assert_eq!(live_before, live_after);
+        // Ids keep advancing past the compacted holes.
+        let mut store = reopened;
+        assert_eq!(store.insert_all(vec![t("{later}")]).unwrap(), vec![9]);
+    }
+}

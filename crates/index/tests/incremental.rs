@@ -1,0 +1,113 @@
+//! Property tests for incremental corpus updates: a corpus mutated by any
+//! interleaving of `insert`/`remove` must answer every query exactly like
+//! a corpus freshly built from its final live trees — the size-sorted
+//! view maintained in place is indistinguishable from one rebuilt from
+//! scratch.
+//!
+//! Ids differ between the two (the mutated corpus has stable sparse ids,
+//! the fresh build dense ones), but the map between them is monotone
+//! (live-id rank), so ordered results and tie-breaks must correspond
+//! exactly under that map.
+
+use proptest::prelude::*;
+use rted_datasets::shapes::Shape;
+use rted_index::{TreeCorpus, TreeIndex};
+use rted_tree::{to_bracket, Tree};
+
+fn arb_shape_tree(max: usize) -> impl Strategy<Value = Tree<u32>> {
+    (0..Shape::ALL.len(), 1..=max, any::<u32>())
+        .prop_map(|(s, n, seed)| Shape::ALL[s].generate(n, seed as u64))
+}
+
+/// A corpus plus the insert/remove script applied to it.
+fn arb_mutated(max_trees: usize, max_nodes: usize) -> impl Strategy<Value = TreeCorpus<u32>> {
+    (
+        proptest::collection::vec(arb_shape_tree(max_nodes), 1..=max_trees),
+        proptest::collection::vec(
+            (any::<bool>(), any::<u32>(), arb_shape_tree(max_nodes)),
+            0..10,
+        ),
+    )
+        .prop_map(|(initial, ops)| {
+            let mut corpus = TreeCorpus::build(initial);
+            for (is_remove, pick, tree) in ops {
+                if is_remove && corpus.len() > 1 {
+                    let live: Vec<usize> = corpus.iter().map(|(id, _)| id).collect();
+                    corpus.remove(live[pick as usize % live.len()]);
+                } else {
+                    corpus.insert(tree);
+                }
+            }
+            corpus
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn mutated_equals_fresh_build(
+        corpus in arb_mutated(6, 16),
+        q in arb_shape_tree(16),
+        tau_int in 1..20usize,
+        k in 1..6usize,
+    ) {
+        let tau = tau_int as f64;
+        // live_ids[dense] = sparse: the monotone id map.
+        let live_ids: Vec<usize> = corpus.iter().map(|(id, _)| id).collect();
+        let fresh = TreeCorpus::build(corpus.iter().map(|(_, e)| e.tree().clone()));
+        let mutated = TreeIndex::from_corpus(corpus);
+        let fresh = TreeIndex::from_corpus(fresh);
+
+        let (rm, rf) = (mutated.range(&q, tau), fresh.range(&q, tau));
+        let rf_mapped: Vec<(usize, f64)> = rf
+            .neighbors
+            .iter()
+            .map(|n| (live_ids[n.id], n.distance))
+            .collect();
+        let rm_pairs: Vec<(usize, f64)> =
+            rm.neighbors.iter().map(|n| (n.id, n.distance)).collect();
+        prop_assert_eq!(rm_pairs, rf_mapped);
+        prop_assert_eq!(&rm.stats.filter, &rf.stats.filter);
+        prop_assert_eq!(rm.stats.verified, rf.stats.verified);
+
+        let (km, kf) = (mutated.top_k(&q, k), fresh.top_k(&q, k));
+        let kf_mapped: Vec<(usize, f64)> = kf
+            .neighbors
+            .iter()
+            .map(|n| (live_ids[n.id], n.distance))
+            .collect();
+        let km_pairs: Vec<(usize, f64)> =
+            km.neighbors.iter().map(|n| (n.id, n.distance)).collect();
+        prop_assert_eq!(km_pairs, kf_mapped);
+
+        let (jm, jf) = (mutated.join(tau), fresh.join(tau));
+        let jf_mapped: Vec<(usize, usize, f64)> = jf
+            .matches
+            .iter()
+            .map(|m| (live_ids[m.left], live_ids[m.right], m.distance))
+            .collect();
+        let jm_triples: Vec<(usize, usize, f64)> =
+            jm.matches.iter().map(|m| (m.left, m.right, m.distance)).collect();
+        prop_assert_eq!(jm_triples, jf_mapped);
+    }
+
+    /// Removing everything and re-inserting rebuilds a working corpus;
+    /// ids never recycle.
+    #[test]
+    fn drain_and_refill(trees in proptest::collection::vec(arb_shape_tree(12), 1..5)) {
+        let n = trees.len();
+        let mut corpus = TreeCorpus::build(trees.iter().cloned());
+        for id in 0..n {
+            prop_assert!(corpus.remove(id).is_some());
+        }
+        prop_assert!(corpus.is_empty());
+        prop_assert_eq!(corpus.by_size().len(), 0);
+        let new_ids: Vec<usize> = trees.iter().map(|t| corpus.insert(t.clone())).collect();
+        prop_assert_eq!(new_ids, (n..2 * n).collect::<Vec<_>>());
+        prop_assert_eq!(corpus.len(), n);
+        for (i, t) in trees.iter().enumerate() {
+            prop_assert_eq!(to_bracket(corpus.tree(n + i)), to_bracket(t));
+        }
+    }
+}

@@ -6,8 +6,90 @@
 //! then `sample_size` timed samples, and prints the mean/min/max per
 //! iteration. No statistics, plots, or baselines — just honest wall-clock
 //! numbers so `cargo bench` produces comparable output offline.
+//!
+//! Two environment variables drive CI integration:
+//!
+//! * `RTED_BENCH_QUICK` — any value but `0` caps every benchmark at 2
+//!   samples, turning `cargo bench` into a smoke test that still exercises
+//!   each measured code path.
+//! * `RTED_BENCH_JSON_DIR` — when set, results are additionally written to
+//!   `<dir>/BENCH_<binary>.json` (one JSON array per bench binary, rewritten
+//!   after every benchmark so a crash mid-run still leaves the completed
+//!   records), letting CI upload machine-readable perf artifacts per PR.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark measurement (for the JSON report).
+struct Record {
+    group: String,
+    bench: String,
+    mean_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
+/// Records completed so far by this bench binary.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+fn quick_mode() -> bool {
+    std::env::var("RTED_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// `BENCH_<name>.json` target for this process, derived from the bench
+/// binary's name with cargo's trailing `-<hash>` stripped.
+fn json_path() -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("RTED_BENCH_JSON_DIR")?;
+    let exe = std::env::current_exe().ok()?;
+    let stem = exe.file_stem()?.to_string_lossy().into_owned();
+    let name = match stem.rsplit_once('-') {
+        Some((head, tail)) if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            head.to_string()
+        }
+        _ => stem,
+    };
+    Some(std::path::Path::new(&dir).join(format!("BENCH_{name}.json")))
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Rewrites the full JSON report (if configured) with every record so far.
+fn write_json_report() {
+    let Some(path) = json_path() else { return };
+    let records = RECORDS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{}\n",
+            json_escape(&r.group),
+            json_escape(&r.bench),
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
+    }
+}
 
 /// The benchmark driver handed to `criterion_group!` targets.
 #[derive(Debug, Default)]
@@ -21,6 +103,7 @@ impl Criterion {
         println!("\n== group: {name} ==");
         BenchmarkGroup {
             _crit: self,
+            name: name.to_string(),
             sample_size: 20,
         }
     }
@@ -29,14 +112,23 @@ impl Criterion {
 /// A group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'c> {
     _crit: &'c mut Criterion,
+    name: String,
     sample_size: usize,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Number of timed samples per benchmark.
+    /// Number of timed samples per benchmark (capped at 2 in quick mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
         self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if quick_mode() {
+            self.sample_size.min(2)
+        } else {
+            self.sample_size
+        }
     }
 
     /// Runs one benchmark identified by `id` with a borrowed `input`.
@@ -46,10 +138,10 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher {
             samples: Vec::new(),
-            sample_size: self.sample_size,
+            sample_size: self.effective_samples(),
         };
         f(&mut b, input);
-        b.report(&id.label);
+        b.report(&self.name, &id.label);
         self
     }
 
@@ -61,10 +153,10 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher {
             samples: Vec::new(),
-            sample_size: self.sample_size,
+            sample_size: self.effective_samples(),
         };
         f(&mut b);
-        b.report(&id.label);
+        b.report(&self.name, &id.label);
         self
     }
 
@@ -119,7 +211,7 @@ impl Bencher {
         }
     }
 
-    fn report(&self, label: &str) {
+    fn report(&self, group: &str, label: &str) {
         if self.samples.is_empty() {
             println!("{label:<40} (no samples)");
             return;
@@ -132,6 +224,15 @@ impl Bencher {
             "{label:<40} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
             self.samples.len()
         );
+        RECORDS.lock().unwrap().push(Record {
+            group: group.to_string(),
+            bench: label.to_string(),
+            mean_ns: mean.as_nanos(),
+            min_ns: min.as_nanos(),
+            max_ns: max.as_nanos(),
+            samples: self.samples.len(),
+        });
+        write_json_report();
     }
 }
 

@@ -34,7 +34,7 @@ mod tree;
 pub use build::TreeBuilder;
 pub use parse::{parse_bracket, to_bracket, ParseError};
 pub use paths::PathKind;
-pub use tree::{NodeId, Tree};
+pub use tree::{FlatTreeError, NodeId, Tree};
 
 /// Sentinel used in parent/heavy-child arrays for "no node".
 pub(crate) const NONE: u32 = u32::MAX;

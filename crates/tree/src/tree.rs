@@ -23,6 +23,25 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// Error produced when flat postorder arrays do not describe a tree.
+///
+/// Unlike [`Tree::from_postorder`], which panics (its inputs are produced
+/// by in-process builders), the flat-array constructors return this error
+/// so corrupt serialized data can be rejected instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatTreeError {
+    /// Human-readable description of the structural violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for FlatTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid flat postorder arrays: {}", self.message)
+    }
+}
+
+impl std::error::Error for FlatTreeError {}
+
 /// An ordered labeled tree.
 ///
 /// All per-node arrays are indexed by postorder id ([`NodeId`]). The tree is
@@ -123,6 +142,69 @@ impl<L> Tree<L> {
         };
         t.compute_derived();
         t
+    }
+
+    /// Builds a tree from the flattest possible postorder encoding: one
+    /// label and one child count (degree) per node, in postorder.
+    ///
+    /// This is the inverse of [`postorder_degrees`](Self::postorder_degrees)
+    /// and the canonical wire format for serialized trees: a node's children
+    /// are the `degree` most recent complete subtrees, so the structure is
+    /// recovered with a single stack pass. Unlike
+    /// [`from_postorder`](Self::from_postorder) this rejects malformed input
+    /// with an error instead of panicking, making it safe to feed with
+    /// untrusted bytes.
+    pub fn from_postorder_degrees(
+        post_labels: Vec<L>,
+        degrees: &[u32],
+    ) -> Result<Self, FlatTreeError> {
+        let n = post_labels.len();
+        if n == 0 {
+            return Err(FlatTreeError {
+                message: "tree must have at least one node".into(),
+            });
+        }
+        if degrees.len() != n {
+            return Err(FlatTreeError {
+                message: format!("{n} labels but {} degrees", degrees.len()),
+            });
+        }
+        // Stack of completed subtree roots, left-to-right: node `i`'s
+        // children are exactly the top `degrees[i]` entries, in order.
+        let mut stack: Vec<u32> = Vec::new();
+        let mut children: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for (i, &d) in degrees.iter().enumerate() {
+            let d = d as usize;
+            if stack.len() < d {
+                return Err(FlatTreeError {
+                    message: format!(
+                        "node {i} claims {d} children but only {} subtrees precede it",
+                        stack.len()
+                    ),
+                });
+            }
+            children.push(stack.split_off(stack.len() - d));
+            stack.push(i as u32);
+        }
+        if stack.len() != 1 {
+            return Err(FlatTreeError {
+                message: format!("input is a forest of {} trees, not one tree", stack.len()),
+            });
+        }
+        // The stack discipline guarantees every `from_postorder` invariant
+        // (children precede parents, single root, contiguous subtree
+        // ranges), so the panicking constructor cannot fire here.
+        Ok(Tree::from_postorder(post_labels, children))
+    }
+
+    /// The degree (child count) of every node, in postorder.
+    ///
+    /// Together with the postorder label sequence this fully determines the
+    /// tree shape — see [`from_postorder_degrees`](Self::from_postorder_degrees).
+    pub fn postorder_degrees(&self) -> Vec<u32> {
+        (0..self.len())
+            .map(|v| self.children_off[v + 1] - self.children_off[v])
+            .collect()
     }
 
     fn compute_derived(&mut self) {
@@ -489,5 +571,28 @@ mod tests {
     fn rejects_forest() {
         // Two roots: node 1 is not connected.
         Tree::from_postorder(vec!["a", "b", "c"], vec![vec![], vec![], vec![0]]);
+    }
+
+    #[test]
+    fn degree_roundtrip() {
+        for s in ["{a}", "{a{b}{c}}", "{a{b{d}{e}}{c}}", "{a{b}{d{c}}{e}}"] {
+            let t = t(s);
+            let labels: Vec<String> = t.nodes().map(|v| t.label(v).clone()).collect();
+            let degrees = t.postorder_degrees();
+            let back = Tree::from_postorder_degrees(labels, &degrees).unwrap();
+            assert_eq!(crate::parse::to_bracket(&back), s);
+        }
+    }
+
+    #[test]
+    fn degree_decode_rejects_malformed() {
+        // Empty input.
+        assert!(Tree::<u8>::from_postorder_degrees(vec![], &[]).is_err());
+        // Length mismatch.
+        assert!(Tree::from_postorder_degrees(vec![1u8, 2], &[0]).is_err());
+        // Node 0 cannot have a child (nothing precedes it).
+        assert!(Tree::from_postorder_degrees(vec![1u8, 2], &[1, 1]).is_err());
+        // Forest: two completed subtrees left on the stack.
+        assert!(Tree::from_postorder_degrees(vec![1u8, 2], &[0, 0]).is_err());
     }
 }

@@ -1,0 +1,67 @@
+//! Persistent corpus walkthrough: build a corpus on disk, reload it
+//! without re-analysis, update it incrementally, and query through a
+//! `TreeIndex` — the restart-survival story of the serving roadmap.
+//!
+//! Run with: `cargo run --release --example persistent_index`
+
+use rted::index::{CorpusFile, CorpusStore, TreeIndex};
+use rted::parse_bracket;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("rted-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("corpus.idx");
+
+    // --- Session 1: build and save -------------------------------------
+    let trees: Vec<_> = [
+        "{article{title}{authors{a}{a}}{body{sec}{sec}}}",
+        "{article{title}{authors{a}}{body{sec}{sec}{sec}}}",
+        "{book{title}{chapters{ch{sec}}{ch{sec}{sec}}}}",
+        "{note{title}{body}}",
+    ]
+    .iter()
+    .map(|s| parse_bracket(s).unwrap())
+    .collect();
+    let store = CorpusStore::create(&path, trees).expect("save corpus");
+    println!(
+        "saved {} trees to {} ({} bytes)",
+        store.corpus().len(),
+        path.display(),
+        std::fs::metadata(&path).unwrap().len()
+    );
+    drop(store); // process "restart"
+
+    // --- Session 2: reload (no re-analysis) and update incrementally ---
+    let mut store = CorpusStore::open(&path).expect("reload corpus");
+    println!("reloaded {} trees, sketches included", store.corpus().len());
+
+    let ids = store
+        .insert_all(vec![parse_bracket(
+            "{article{title}{authors{a}{a}}{body{sec}}}",
+        )
+        .unwrap()])
+        .expect("append insert segment");
+    store.remove_all(&[3]).expect("append tombstone segment");
+    println!(
+        "inserted ids {ids:?}, removed id 3 — {} segments on disk",
+        store.segment_count()
+    );
+
+    // Queries see the updated corpus; ids are stable across updates.
+    let index = TreeIndex::from_corpus(store.into_corpus());
+    let query = parse_bracket("{article{title}{authors{a}{a}}{body{sec}{sec}}}").unwrap();
+    for n in &index.range(&query, 4.0).neighbors {
+        println!("  range hit: id {} at distance {}", n.id, n.distance);
+    }
+
+    // --- Zero-copy inspection: labels borrow from the file buffer ------
+    let file = CorpusFile::read(&path).expect("read file");
+    let borrowed = file.corpus().expect("zero-copy decode");
+    println!(
+        "zero-copy view: {} live trees, header live count {}",
+        borrowed.len(),
+        file.header().live
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# End-to-end check of the persistent corpus pipeline through the CLI:
+# build an index from generated trees, update it incrementally (inserts,
+# removals, compaction), reload it, and require bit-identical search /
+# topk / join output versus the in-memory path over the same live trees.
+#
+# The on-disk corpus keeps stable sparse ids (removals leave holes) while
+# an in-memory corpus built from a flat file has dense ids; `index dump`
+# emits `id<TAB>bracket` for every live tree in id order, so dense rank r
+# maps to sparse id = line r of the dump — a monotone map, which makes
+# ordered output and tie-breaks directly comparable after translation.
+#
+# Usage: scripts/index_roundtrip.sh [path-to-rted-binary]
+set -euo pipefail
+
+RTED=${1:-target/release/rted}
+if [[ ! -x "$RTED" ]]; then
+    echo "rted binary not found at $RTED (build with: cargo build --release)" >&2
+    exit 1
+fi
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "index-roundtrip FAILED: $*" >&2; exit 1; }
+
+# Translate dense in-memory ids to sparse on-disk ids via the dump.
+# map_ids <dump.tsv> <n-id-columns> < results
+map_ids() {
+    awk -v idcols="$2" 'NR==FNR { map[FNR-1] = $1; next }
+        { out = ""
+          for (i = 1; i <= NF; i++) {
+              v = (i <= idcols) ? map[$i] : $i
+              out = out (i > 1 ? "\t" : "") v
+          }
+          print out }' "$1" -
+}
+
+shapes=(lb rb fb zz mx random)
+
+# --- 1. Build an index from a generated corpus --------------------------
+for i in $(seq 0 29); do
+    "$RTED" generate "${shapes[$((i % 6))]}" $((8 + i % 17)) --seed "$i"
+done > "$WORK/a.trees"
+QUERY=$("$RTED" generate mx 14 --seed 99)
+
+"$RTED" index build "$WORK/corpus.idx" "$WORK/a.trees" 2>/dev/null
+
+# Pristine corpus: ids align 1:1, so outputs must match verbatim.
+for tau in 4 9; do
+    "$RTED" search "$WORK/a.trees" "$QUERY" --tau "$tau" 2>/dev/null > "$WORK/mem.out"
+    "$RTED" search --index "$WORK/corpus.idx" "$QUERY" --tau "$tau" 2>/dev/null > "$WORK/idx.out"
+    diff "$WORK/mem.out" "$WORK/idx.out" || fail "search tau=$tau on pristine corpus"
+done
+
+# --- 2. Incremental updates: add a batch, remove ids, compact -----------
+for i in $(seq 30 39); do
+    "$RTED" generate random $((10 + i % 9)) --seed "$i"
+done > "$WORK/b.trees"
+"$RTED" index update "$WORK/corpus.idx" --add "$WORK/b.trees" --remove 3,17 --remove 35 2>/dev/null
+"$RTED" index compact "$WORK/corpus.idx" 2>/dev/null
+"$RTED" index info "$WORK/corpus.idx" > /dev/null
+
+# --- 3. Reload and diff against the in-memory path ----------------------
+"$RTED" index dump "$WORK/corpus.idx" > "$WORK/dump.tsv"
+[[ $(wc -l < "$WORK/dump.tsv") -eq 37 ]] || fail "expected 37 live trees after update"
+cut -f2- "$WORK/dump.tsv" > "$WORK/live.trees"
+
+for q in "$QUERY" "{a{b}{c}}"; do
+    for tau in 5 10; do
+        "$RTED" search "$WORK/live.trees" "$q" --tau "$tau" 2>/dev/null \
+            | map_ids "$WORK/dump.tsv" 1 > "$WORK/mem.out"
+        "$RTED" search --index "$WORK/corpus.idx" "$q" --tau "$tau" 2>/dev/null > "$WORK/idx.out"
+        diff "$WORK/mem.out" "$WORK/idx.out" || fail "search q=$q tau=$tau after update"
+    done
+    "$RTED" topk "$WORK/live.trees" "$q" --k 7 2>/dev/null \
+        | map_ids "$WORK/dump.tsv" 1 > "$WORK/mem.out"
+    "$RTED" topk --index "$WORK/corpus.idx" "$q" --k 7 2>/dev/null > "$WORK/idx.out"
+    diff "$WORK/mem.out" "$WORK/idx.out" || fail "topk q=$q after update"
+done
+
+"$RTED" join "$WORK/live.trees" --tau 8 2>/dev/null \
+    | map_ids "$WORK/dump.tsv" 2 > "$WORK/mem.out"
+"$RTED" join --index "$WORK/corpus.idx" --tau 8 2>/dev/null > "$WORK/idx.out"
+diff "$WORK/mem.out" "$WORK/idx.out" || fail "join after update"
+[[ -s "$WORK/idx.out" ]] || fail "join produced no matches — test corpus too sparse to be meaningful"
+
+# --- 4. Damaged files must be rejected with a clear error ---------------
+head -c 100 "$WORK/corpus.idx" > "$WORK/truncated.idx"
+if "$RTED" search --index "$WORK/truncated.idx" "$QUERY" --tau 2 2> "$WORK/err.txt"; then
+    fail "truncated index accepted"
+fi
+grep -qiE "truncat|checksum|corrupt" "$WORK/err.txt" || fail "unclear truncation error: $(cat "$WORK/err.txt")"
+
+cp "$WORK/corpus.idx" "$WORK/flipped.idx"
+# Overwrite byte 200 with its complement — guaranteed to differ.
+orig=$(od -An -tu1 -j200 -N1 "$WORK/flipped.idx" | tr -d ' ')
+printf "$(printf '\\x%02x' $((orig ^ 0xff)))" \
+    | dd of="$WORK/flipped.idx" bs=1 seek=200 count=1 conv=notrunc 2>/dev/null
+if "$RTED" search --index "$WORK/flipped.idx" "$QUERY" --tau 2 2> "$WORK/err.txt"; then
+    fail "corrupted index accepted"
+fi
+grep -qiE "checksum|corrupt" "$WORK/err.txt" || fail "unclear corruption error: $(cat "$WORK/err.txt")"
+
+echo "index-roundtrip OK: persistent and in-memory paths agree (search/topk/join), damage rejected"
