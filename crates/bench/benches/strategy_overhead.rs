@@ -3,7 +3,9 @@
 //! counterpart of Fig. 10).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rted_core::{optimal_strategy, Algorithm, UnitCost};
+use rted_core::{
+    compute_strategy_in, optimal_strategy, Algorithm, OptimalChooser, UnitCost, Workspace,
+};
 use rted_datasets::Shape;
 use std::hint::black_box;
 
@@ -15,6 +17,17 @@ fn strategy_overhead(c: &mut Criterion) {
         let g = Shape::Random.generate(n, 22);
         group.bench_with_input(BenchmarkId::new("strategy_only", n), &n, |b, _| {
             b.iter(|| black_box(optimal_strategy(&f, &g).cost));
+        });
+        // Row-recycled Algorithm 2 on a warm workspace: the O(n) live
+        // rows and the recycled choice matrix, zero allocations.
+        let mut ws = Workspace::new();
+        group.bench_with_input(BenchmarkId::new("strategy_ws", n), &n, |b, _| {
+            b.iter(|| {
+                let s = compute_strategy_in(&f, &g, &OptimalChooser, &mut ws);
+                let cost = black_box(s.cost);
+                ws.recycle(s);
+                cost
+            });
         });
         group.bench_with_input(BenchmarkId::new("rted_total", n), &n, |b, _| {
             b.iter(|| black_box(Algorithm::Rted.run(&f, &g, &UnitCost).distance));

@@ -3,7 +3,7 @@
 //! for the full-size sweeps).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rted_core::{Algorithm, UnitCost};
+use rted_core::{Algorithm, UnitCost, Workspace};
 use rted_datasets::Shape;
 use std::hint::black_box;
 
@@ -28,6 +28,19 @@ fn ted_runtime(c: &mut Criterion) {
                     },
                 );
             }
+            // The amortized path: one warm workspace serves every
+            // iteration, so this measures the pure DP with zero
+            // allocations per distance.
+            let mut ws = Workspace::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/RTED+ws", shape.name()), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(Algorithm::Rted.run_in(&f, &g, &UnitCost, &mut ws).distance)
+                    });
+                },
+            );
         }
     }
     group.finish();

@@ -1,0 +1,196 @@
+//! `bench_diff` — compares two directories of `BENCH_*.json` files (as
+//! written by the criterion shim via `RTED_BENCH_JSON_DIR`) and flags
+//! relative regressions, turning CI's per-run bench artifacts into a trend
+//! gate instead of an archive.
+//!
+//! ```text
+//! bench_diff <BASELINE_DIR> <CURRENT_DIR> [--threshold R] [--metric min|mean]
+//! ```
+//!
+//! Every benchmark present in both sets is compared by the chosen metric
+//! (default `min`, the steadier estimator on noisy shared runners): a
+//! current value above `baseline × R` (default 2.0) is a regression.
+//! Benchmarks present on only one side are listed but never fail the run.
+//! Exit code: 0 = no regressions, 1 = regressions found, 2 = usage or I/O
+//! error.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// One parsed benchmark record.
+#[derive(Debug, Clone)]
+struct Record {
+    mean_ns: u128,
+    min_ns: u128,
+}
+
+/// Extracts `"key": "value"` from one JSON object line of the shim's
+/// fixed-format report.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    // The shim escapes embedded quotes, so scan for the first unescaped one.
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts `"key": 123` from one JSON object line.
+fn field_num(line: &str, key: &str) -> Option<u128> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Loads every `BENCH_*.json` in `dir` into `(file/group/bench) → Record`.
+fn load_dir(dir: &Path) -> Result<BTreeMap<String, Record>, String> {
+    let mut out = BTreeMap::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path())
+            .map_err(|e| format!("cannot read {name}: {e}"))?;
+        for line in text.lines() {
+            let (Some(group), Some(bench)) = (field_str(line, "group"), field_str(line, "bench"))
+            else {
+                continue;
+            };
+            let (Some(mean_ns), Some(min_ns)) =
+                (field_num(line, "mean_ns"), field_num(line, "min_ns"))
+            else {
+                continue;
+            };
+            out.insert(
+                format!("{name}::{group}/{bench}"),
+                Record { mean_ns, min_ns },
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn human(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs: Vec<String> = Vec::new();
+    let mut threshold = 2.0f64;
+    let mut metric = "min".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .ok_or("--threshold needs a value")?
+                    .parse()
+                    .map_err(|_| "--threshold must be a number".to_string())?;
+                if threshold < 1.0 {
+                    return Err("--threshold must be ≥ 1.0 (a slowdown ratio)".into());
+                }
+            }
+            "--metric" => {
+                i += 1;
+                metric = args.get(i).ok_or("--metric needs a value")?.clone();
+                if metric != "min" && metric != "mean" {
+                    return Err(format!("unknown metric {metric} (use min or mean)"));
+                }
+            }
+            a if a.starts_with("--") => return Err(format!("unknown flag {a}")),
+            a => dirs.push(a.to_string()),
+        }
+        i += 1;
+    }
+    if dirs.len() != 2 {
+        return Err(
+            "usage: bench_diff <BASELINE_DIR> <CURRENT_DIR> [--threshold R] [--metric min|mean]"
+                .into(),
+        );
+    }
+
+    let base = load_dir(Path::new(&dirs[0]))?;
+    let cur = load_dir(Path::new(&dirs[1]))?;
+    let pick = |r: &Record| if metric == "min" { r.min_ns } else { r.mean_ns };
+
+    let mut regressions = 0usize;
+    let mut improved = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:<58} {:>10} {:>10} {:>8}",
+        "benchmark", "baseline", "current", "ratio"
+    );
+    for (key, c) in &cur {
+        let Some(b) = base.get(key) else {
+            println!("{key:<58} {:>10} {:>10} {:>8}", "-", human(pick(c)), "new");
+            continue;
+        };
+        compared += 1;
+        let (old, new) = (pick(b).max(1) as f64, pick(c).max(1) as f64);
+        let ratio = new / old;
+        let verdict = if ratio > threshold {
+            regressions += 1;
+            "REGRESS"
+        } else if ratio < 1.0 / threshold {
+            improved += 1;
+            "faster"
+        } else {
+            ""
+        };
+        println!(
+            "{key:<58} {:>10} {:>10} {:>7.2}x {verdict}",
+            human(pick(b)),
+            human(pick(c)),
+            ratio
+        );
+    }
+    for key in base.keys() {
+        if !cur.contains_key(key) {
+            println!("{key:<58} (dropped from current run)");
+        }
+    }
+    println!(
+        "\n{compared} compared ({metric}): {regressions} regressions over {threshold}x, {improved} improved beyond {:.2}x",
+        1.0 / threshold
+    );
+    Ok(regressions == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -29,7 +29,7 @@
 //! or unknown *command* prints the usage text and exits with code 2.
 
 use rted_core::mapping::edit_mapping;
-use rted_core::{Algorithm, CostModel, PerLabelCost, UnitCost};
+use rted_core::{Algorithm, CostModel, PerLabelCost, UnitCost, Workspace};
 use rted_datasets::xml::parse_xml;
 use rted_datasets::Shape;
 use rted_index::{CorpusFile, CorpusStore, SearchStats, TreeIndex};
@@ -227,7 +227,7 @@ fn cmd_distance(opts: &Opts) -> Result<(), String> {
         Some(name) => algorithm_by_name(name).ok_or(format!("unknown algorithm {name}"))?,
     };
     let cm = cost_model(opts)?;
-    let run = alg.run(&f, &g, &cm);
+    let run = alg.run_in(&f, &g, &cm, &mut Workspace::new());
     println!("{}", run.distance);
     eprintln!(
         "algorithm {} | {} + {} nodes | {} subproblems | strategy {:?} | distance {:?}",
@@ -253,8 +253,11 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         "{:<10} {:>14} {:>12} {:>14}",
         "algorithm", "subproblems", "time", "distance"
     );
+    // One workspace serves all five algorithms: after the first run the
+    // remaining four verify allocation-free on the warm buffers.
+    let mut ws = Workspace::new();
     for alg in Algorithm::ALL {
-        let run = alg.run(&f, &g, &UnitCost);
+        let run = alg.run_in(&f, &g, &UnitCost, &mut ws);
         println!(
             "{:<10} {:>14} {:>12?} {:>14}",
             alg.name(),

@@ -135,7 +135,7 @@ where
 /// Per-node cost tables for one tree under a cost model, plus subtree
 /// aggregates, snapshotted once so the DP hot loops never call back into the
 /// model for delete/insert costs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct CostTables {
     /// Delete cost per node.
     pub del: Vec<f64>,
@@ -149,31 +149,35 @@ pub(crate) struct CostTables {
 
 impl CostTables {
     pub(crate) fn new<L, C: CostModel<L>>(tree: &Tree<L>, cm: &C) -> Self {
+        let mut tables = CostTables::default();
+        tables.rebuild(tree, cm);
+        tables
+    }
+
+    /// Recomputes the tables for `tree` in place, reusing capacity (no
+    /// allocation once the arrays are large enough).
+    pub(crate) fn rebuild<L, C: CostModel<L>>(&mut self, tree: &Tree<L>, cm: &C) {
         let n = tree.len();
-        let mut del = Vec::with_capacity(n);
-        let mut ins = Vec::with_capacity(n);
-        let mut sub_del = vec![0.0f64; n];
-        let mut sub_ins = vec![0.0f64; n];
+        self.del.clear();
+        self.ins.clear();
+        self.sub_del.clear();
+        self.sub_del.resize(n, 0.0);
+        self.sub_ins.clear();
+        self.sub_ins.resize(n, 0.0);
         for v in tree.nodes() {
             let d = cm.delete(tree.label(v));
             let i = cm.insert(tree.label(v));
             assert!(d >= 0.0 && i >= 0.0, "edit costs must be non-negative");
-            del.push(d);
-            ins.push(i);
+            self.del.push(d);
+            self.ins.push(i);
             let mut sd = d;
             let mut si = i;
             for c in tree.children(v) {
-                sd += sub_del[c.idx()];
-                si += sub_ins[c.idx()];
+                sd += self.sub_del[c.idx()];
+                si += self.sub_ins[c.idx()];
             }
-            sub_del[v.idx()] = sd;
-            sub_ins[v.idx()] = si;
-        }
-        CostTables {
-            del,
-            ins,
-            sub_del,
-            sub_ins,
+            self.sub_del[v.idx()] = sd;
+            self.sub_ins[v.idx()] = si;
         }
     }
 }

@@ -13,8 +13,9 @@
 
 use crate::cost::{CostModel, CostTables};
 use crate::strategy::{PathChoice, Side, StrategyProvider};
+use crate::workspace::Workspace;
 use crate::{spf_i, spf_lr};
-use rted_tree::paths::{relevant_subtrees, root_leaf_path};
+use rted_tree::paths::{relevant_subtrees_into, root_leaf_path_into};
 use rted_tree::{NodeId, PathKind, Tree};
 
 /// Instrumentation counters for one GTED run.
@@ -31,8 +32,13 @@ pub struct ExecStats {
     pub spf_i_calls: u64,
 }
 
-/// A GTED execution over one pair of trees: owns the distance matrix and
-/// the per-tree cost tables.
+/// Work-stack codes: `EXPAND` marks a pair awaiting strategy expansion;
+/// any other value is the [`PathChoice`] code of a pending single-path
+/// function. Encoded so the driver stack is a flat reusable buffer.
+const EXPAND: u8 = u8::MAX;
+
+/// A GTED execution over one pair of trees: owns (or borrows from a
+/// [`Workspace`]) the distance matrix and the per-tree cost tables.
 pub struct Executor<'a, L, C> {
     pub(crate) f: &'a Tree<L>,
     pub(crate) g: &'a Tree<L>,
@@ -41,12 +47,21 @@ pub struct Executor<'a, L, C> {
     pub(crate) gtab: CostTables,
     /// Subtree distance matrix, row-major `[v_F][w_G]`.
     d: Vec<f64>,
+    /// Scratch source for the single-path functions; `Some` when borrowed
+    /// from a caller's workspace (matrix and tables are then returned to
+    /// it on drop), `None` when self-contained.
+    ws: Option<&'a mut Workspace>,
+    /// Owned scratch for the self-contained mode.
+    ws_owned: Workspace,
     /// Execution counters.
     pub stats: ExecStats,
 }
 
 impl<'a, L, C: CostModel<L>> Executor<'a, L, C> {
-    /// Prepares an execution for the pair `(f, g)` under cost model `cm`.
+    /// Prepares a self-contained execution for the pair `(f, g)` under
+    /// cost model `cm`. All buffers are freshly allocated and dropped with
+    /// the executor; use [`Executor::with_workspace`] to amortize them
+    /// across many pairs.
     pub fn new(f: &'a Tree<L>, g: &'a Tree<L>, cm: &'a C) -> Self {
         let ftab = CostTables::new(f, cm);
         let gtab = CostTables::new(g, cm);
@@ -58,41 +73,87 @@ impl<'a, L, C: CostModel<L>> Executor<'a, L, C> {
             ftab,
             gtab,
             d,
+            ws: None,
+            ws_owned: Workspace::new(),
             stats: ExecStats::default(),
+        }
+    }
+
+    /// Prepares an execution whose distance matrix, cost tables and all
+    /// single-path-function scratch come from `ws`. Buffers are length-
+    /// reset, never freed, and handed back when the executor drops — so a
+    /// workspace that has already served a pair of these sizes makes the
+    /// whole execution allocation-free.
+    pub fn with_workspace(
+        f: &'a Tree<L>,
+        g: &'a Tree<L>,
+        cm: &'a C,
+        ws: &'a mut Workspace,
+    ) -> Self {
+        let mut ftab = std::mem::take(&mut ws.ftab);
+        let mut gtab = std::mem::take(&mut ws.gtab);
+        let mut d = std::mem::take(&mut ws.d);
+        ftab.rebuild(f, cm);
+        gtab.rebuild(g, cm);
+        d.clear();
+        d.resize(f.len() * g.len(), f64::NAN);
+        Executor {
+            f,
+            g,
+            cm,
+            ftab,
+            gtab,
+            d,
+            ws: Some(ws),
+            ws_owned: Workspace::new(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The scratch workspace serving the single-path functions.
+    #[inline]
+    pub(crate) fn scratch(&mut self) -> &mut Workspace {
+        match self.ws {
+            Some(ref mut ws) => ws,
+            None => &mut self.ws_owned,
         }
     }
 
     /// Runs GTED under `strategy` and returns the tree edit distance.
     pub fn run<S: StrategyProvider<L>>(&mut self, strategy: &S) -> f64 {
-        enum Work {
-            Expand(NodeId, NodeId),
-            Spf(NodeId, NodeId, PathChoice),
-        }
         // Iterative driver (strategy recursions can nest O(n) deep on
         // degenerate shapes). Children are expanded before the parent
-        // pair's single-path function runs.
-        let mut stack = vec![Work::Expand(self.f.root(), self.g.root())];
-        while let Some(work) = stack.pop() {
-            match work {
-                Work::Expand(v, w) => {
-                    let choice = strategy.choose(self.f, self.g, v, w);
-                    stack.push(Work::Spf(v, w, choice));
-                    match choice.side {
-                        Side::F => {
-                            for s in relevant_subtrees(self.f, v, choice.kind) {
-                                stack.push(Work::Expand(s, w));
-                            }
+        // pair's single-path function runs. The stack and the relevant-
+        // subtree scratch live in the workspace.
+        let mut stack = std::mem::take(&mut self.scratch().stack);
+        let mut subs = std::mem::take(&mut self.scratch().subs);
+        stack.clear();
+        stack.push((self.f.root().0, self.g.root().0, EXPAND));
+        while let Some((v, w, code)) = stack.pop() {
+            let (v, w) = (NodeId(v), NodeId(w));
+            if code == EXPAND {
+                let choice = strategy.choose(self.f, self.g, v, w);
+                stack.push((v.0, w.0, choice.code()));
+                match choice.side {
+                    Side::F => {
+                        relevant_subtrees_into(self.f, v, choice.kind, &mut subs);
+                        for &s in &subs {
+                            stack.push((s.0, w.0, EXPAND));
                         }
-                        Side::G => {
-                            for s in relevant_subtrees(self.g, w, choice.kind) {
-                                stack.push(Work::Expand(v, s));
-                            }
+                    }
+                    Side::G => {
+                        relevant_subtrees_into(self.g, w, choice.kind, &mut subs);
+                        for &s in &subs {
+                            stack.push((v.0, s.0, EXPAND));
                         }
                     }
                 }
-                Work::Spf(v, w, choice) => self.run_spf(v, w, choice),
+            } else {
+                self.run_spf(v, w, PathChoice::from_code(code));
             }
         }
+        self.scratch().stack = stack;
+        self.scratch().subs = subs;
         self.distance()
     }
 
@@ -108,8 +169,10 @@ impl<'a, L, C: CostModel<L>> Executor<'a, L, C> {
             }
             (Side::F, PathKind::Heavy) => {
                 self.stats.spf_i_calls += 1;
-                let path = root_leaf_path(self.f, v, PathKind::Heavy);
+                let mut path = std::mem::take(&mut self.scratch().path);
+                root_leaf_path_into(self.f, v, PathKind::Heavy, &mut path);
                 spf_i::run(self, v, w, &path, false);
+                self.scratch().path = path;
             }
             (Side::G, PathKind::Left) => {
                 self.stats.spf_l_calls += 1;
@@ -121,8 +184,10 @@ impl<'a, L, C: CostModel<L>> Executor<'a, L, C> {
             }
             (Side::G, PathKind::Heavy) => {
                 self.stats.spf_i_calls += 1;
-                let path = root_leaf_path(self.g, w, PathKind::Heavy);
+                let mut path = std::mem::take(&mut self.scratch().path);
+                root_leaf_path_into(self.g, w, PathKind::Heavy, &mut path);
                 spf_i::run(self, w, v, &path, true);
+                self.scratch().path = path;
             }
         }
     }
@@ -238,6 +303,18 @@ impl<'a, L, C: CostModel<L>> Executor<'a, L, C> {
             a.idx() * self.g.len() + b.idx()
         };
         self.d[idx] = val;
+    }
+}
+
+impl<L, C> Drop for Executor<'_, L, C> {
+    fn drop(&mut self) {
+        // Hand the matrix and cost tables back to the borrowed workspace
+        // so the next executor built on it reuses their capacity.
+        if let Some(ws) = self.ws.take() {
+            ws.d = std::mem::take(&mut self.d);
+            ws.ftab = std::mem::take(&mut self.ftab);
+            ws.gtab = std::mem::take(&mut self.gtab);
+        }
     }
 }
 

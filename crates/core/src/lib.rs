@@ -50,6 +50,7 @@ pub mod reference;
 pub mod rted;
 pub mod strategy;
 mod view;
+pub mod workspace;
 pub mod zs;
 
 mod spf_i;
@@ -61,6 +62,7 @@ pub use gted::{ExecStats, Executor};
 pub use mapping::{edit_mapping, EditMapping, EditOp};
 pub use rted::{ted, ted_with, Algorithm, Rted, RunStats};
 pub use strategy::{
-    optimal_strategy, strategy_cost, Chooser, DemaineChooser, FixedChooser, OptimalChooser,
-    PathChoice, Side, Strategy, StrategyProvider, SubsetChooser,
+    compute_strategy_in, optimal_strategy, strategy_cost, Chooser, DemaineChooser, FixedChooser,
+    OptimalChooser, PathChoice, Side, Strategy, StrategyProvider, SubsetChooser,
 };
+pub use workspace::Workspace;

@@ -9,10 +9,11 @@
 use crate::cost::CostModel;
 use crate::gted::{ExecStats, Executor};
 use crate::strategy::{
-    compute_strategy, optimal_strategy, DemaineChooser, DemaineHeavy, FixedChooser, PathChoice,
+    compute_strategy_in, DemaineChooser, DemaineHeavy, FixedChooser, OptimalChooser, PathChoice,
     Side,
 };
-use crate::zs::zhang_shasha;
+use crate::workspace::Workspace;
+use crate::zs::zhang_shasha_in;
 use rted_tree::{PathKind, Tree};
 use std::time::{Duration, Instant};
 
@@ -70,20 +71,41 @@ impl Algorithm {
     }
 
     /// Runs the algorithm on `(f, g)` under `cm`, with timing and counters.
+    ///
+    /// Self-contained (all scratch is freshly allocated and freed); batch
+    /// callers should use [`Algorithm::run_in`] with a reused
+    /// [`Workspace`] instead.
     pub fn run<L, C: CostModel<L>>(self, f: &Tree<L>, g: &Tree<L>, cm: &C) -> RunStats {
+        self.run_in(f, g, cm, &mut Workspace::new())
+    }
+
+    /// [`Algorithm::run`] drawing every buffer — distance matrix, cost
+    /// tables, strategy rows and single-path-function scratch — from `ws`.
+    ///
+    /// Results are bit-identical to [`Algorithm::run`]. Once the
+    /// workspace has served a pair of these (or larger) sizes, the whole
+    /// computation performs **zero** heap allocations.
+    pub fn run_in<L, C: CostModel<L>>(
+        self,
+        f: &Tree<L>,
+        g: &Tree<L>,
+        cm: &C,
+        ws: &mut Workspace,
+    ) -> RunStats {
         match self {
             Algorithm::ZhangL | Algorithm::ZhangR => {
                 let start = Instant::now();
-                let res = zhang_shasha(f, g, cm, self == Algorithm::ZhangR);
+                let (distance, subproblems) =
+                    zhang_shasha_in(f, g, cm, self == Algorithm::ZhangR, ws);
                 RunStats {
-                    distance: res.distance,
-                    subproblems: res.subproblems,
+                    distance,
+                    subproblems,
                     strategy_time: Duration::ZERO,
                     distance_time: start.elapsed(),
                     exec: ExecStats::default(),
                 }
             }
-            Algorithm::KleinH => run_gted(
+            Algorithm::KleinH => run_gted_in(
                 f,
                 g,
                 cm,
@@ -91,14 +113,17 @@ impl Algorithm {
                     side: Side::F,
                     kind: PathKind::Heavy,
                 },
+                ws,
             ),
-            Algorithm::DemaineH => run_gted(f, g, cm, &DemaineHeavy),
+            Algorithm::DemaineH => run_gted_in(f, g, cm, &DemaineHeavy, ws),
             Algorithm::Rted => {
                 let t0 = Instant::now();
-                let strategy = optimal_strategy(f, g);
+                let strategy = compute_strategy_in(f, g, &OptimalChooser, ws);
                 let strategy_time = t0.elapsed();
-                let mut stats = run_gted(f, g, cm, &strategy);
+                let mut stats = run_gted_in(f, g, cm, &strategy, ws);
                 stats.strategy_time = strategy_time;
+                // Hand the choice matrix back so the next run reuses it.
+                ws.recycle(strategy);
                 stats
             }
         }
@@ -107,43 +132,46 @@ impl Algorithm {
     /// The exact number of relevant subproblems this algorithm computes on
     /// `(f, g)`, via the Fig.-5 cost formula (no distance computation).
     pub fn predicted_subproblems<L>(self, f: &Tree<L>, g: &Tree<L>) -> u64 {
-        match self {
-            Algorithm::ZhangL => {
-                compute_strategy(
-                    f,
-                    g,
-                    &FixedChooser(PathChoice {
-                        side: Side::F,
-                        kind: PathKind::Left,
-                    }),
-                )
-                .cost
-            }
-            Algorithm::ZhangR => {
-                compute_strategy(
-                    f,
-                    g,
-                    &FixedChooser(PathChoice {
-                        side: Side::F,
-                        kind: PathKind::Right,
-                    }),
-                )
-                .cost
-            }
-            Algorithm::KleinH => {
-                compute_strategy(
-                    f,
-                    g,
-                    &FixedChooser(PathChoice {
-                        side: Side::F,
-                        kind: PathKind::Heavy,
-                    }),
-                )
-                .cost
-            }
-            Algorithm::DemaineH => compute_strategy(f, g, &DemaineChooser).cost,
-            Algorithm::Rted => optimal_strategy(f, g).cost,
-        }
+        self.predicted_subproblems_in(f, g, &mut Workspace::new())
+    }
+
+    /// [`Algorithm::predicted_subproblems`] drawing scratch from `ws`, for
+    /// batch callers evaluating the cost formula over many pairs.
+    pub fn predicted_subproblems_in<L>(self, f: &Tree<L>, g: &Tree<L>, ws: &mut Workspace) -> u64 {
+        let strategy = match self {
+            Algorithm::ZhangL => compute_strategy_in(
+                f,
+                g,
+                &FixedChooser(PathChoice {
+                    side: Side::F,
+                    kind: PathKind::Left,
+                }),
+                ws,
+            ),
+            Algorithm::ZhangR => compute_strategy_in(
+                f,
+                g,
+                &FixedChooser(PathChoice {
+                    side: Side::F,
+                    kind: PathKind::Right,
+                }),
+                ws,
+            ),
+            Algorithm::KleinH => compute_strategy_in(
+                f,
+                g,
+                &FixedChooser(PathChoice {
+                    side: Side::F,
+                    kind: PathKind::Heavy,
+                }),
+                ws,
+            ),
+            Algorithm::DemaineH => compute_strategy_in(f, g, &DemaineChooser, ws),
+            Algorithm::Rted => compute_strategy_in(f, g, &OptimalChooser, ws),
+        };
+        let cost = strategy.cost;
+        ws.recycle(strategy);
+        cost
     }
 }
 
@@ -153,14 +181,15 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
-fn run_gted<L, C: CostModel<L>, S: crate::strategy::StrategyProvider<L>>(
+fn run_gted_in<L, C: CostModel<L>, S: crate::strategy::StrategyProvider<L>>(
     f: &Tree<L>,
     g: &Tree<L>,
     cm: &C,
     strategy: &S,
+    ws: &mut Workspace,
 ) -> RunStats {
     let start = Instant::now();
-    let mut exec = Executor::new(f, g, cm);
+    let mut exec = Executor::with_workspace(f, g, cm, ws);
     let distance = exec.run(strategy);
     RunStats {
         distance,

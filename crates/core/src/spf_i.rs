@@ -32,6 +32,14 @@
 //! side table (δ(row forest, children-forest(x)) for every `x ∈ G`). This
 //! is what bounds memory by O(|F|·|G| + |A(G)|) while still computing each
 //! relevant subproblem exactly once.
+//!
+//! # Memory discipline
+//!
+//! Every buffer — the B-side tables, the two DP row slots, and the stage
+//! scratch — lives in the executor's [`Workspace`](crate::Workspace) and is
+//! only ever length-reset: rows rotate between the `current` and `spare`
+//! slots by `mem::swap`, so a whole `∆I` invocation allocates nothing once
+//! the workspace is warm.
 
 #![allow(clippy::needless_range_loop, clippy::needless_late_init)]
 // The DP kernels below are written as explicit index loops over
@@ -40,10 +48,15 @@
 
 use crate::cost::CostModel;
 use crate::gted::Executor;
+use crate::workspace::{RlScratch, Row};
 use rted_tree::{NodeId, Tree};
 
 /// Precomputed B-side (the non-decomposed tree) canonical-forest tables.
-struct BSide {
+///
+/// One instance lives in the [`Workspace`](crate::Workspace) and is rebuilt
+/// in place per `∆I` invocation.
+#[derive(Debug, Default)]
+pub(crate) struct BSide {
     m: usize,
     /// Global node id by local lpost rank (index 1..=m).
     node_l: Vec<u32>,
@@ -75,100 +88,99 @@ struct BSide {
 }
 
 impl BSide {
-    fn build<L, C: CostModel<L>>(
+    /// Rebuilds the tables for the B-side subtree at `b_root`, reusing all
+    /// capacity.
+    fn rebuild<L, C: CostModel<L>>(
+        &mut self,
         exec: &Executor<'_, L, C>,
         b_root: NodeId,
         swapped: bool,
-    ) -> BSide {
+    ) {
         let tb: &Tree<L> = exec.tree_b(swapped);
         let m = tb.size(b_root) as usize;
+        self.m = m;
         let first_l = tb.subtree_first(b_root).0;
         let first_r = tb.rpost(b_root) + 1 - m as u32;
 
-        let mut node_l = vec![0u32; m + 1];
-        let mut node_r = vec![0u32; m + 1];
-        let mut rb = vec![0u32; m + 1];
-        let mut lb = vec![0u32; m + 1];
-        let mut sz_l = vec![0u32; m + 1];
-        let mut sz_r = vec![0u32; m + 1];
-        let mut ins_l = vec![0.0f64; m + 1];
-        let mut ins_r = vec![0.0f64; m + 1];
-        let mut sub_ins_l = vec![0.0f64; m + 1];
+        self.node_l.clear();
+        self.node_l.resize(m + 1, 0);
+        self.node_r.clear();
+        self.node_r.resize(m + 1, 0);
+        self.rb.clear();
+        self.rb.resize(m + 1, 0);
+        self.lb.clear();
+        self.lb.resize(m + 1, 0);
+        self.sz_l.clear();
+        self.sz_l.resize(m + 1, 0);
+        self.sz_r.clear();
+        self.sz_r.resize(m + 1, 0);
+        self.ins_l.clear();
+        self.ins_l.resize(m + 1, 0.0);
+        self.ins_r.clear();
+        self.ins_r.resize(m + 1, 0.0);
+        self.sub_ins_l.clear();
+        self.sub_ins_l.resize(m + 1, 0.0);
         for a in 1..=m as u32 {
             let v = NodeId(first_l + a - 1);
             let b = tb.rpost(v) - first_r + 1;
-            node_l[a as usize] = v.0;
-            rb[a as usize] = b;
-            node_r[b as usize] = v.0;
-            lb[b as usize] = a;
-            sz_l[a as usize] = tb.size(v);
-            sz_r[b as usize] = tb.size(v);
-            ins_l[a as usize] = exec.ins_b(v, swapped);
-            ins_r[b as usize] = exec.ins_b(v, swapped);
-            sub_ins_l[a as usize] = exec.sub_ins_b(v, swapped);
+            self.node_l[a as usize] = v.0;
+            self.rb[a as usize] = b;
+            self.node_r[b as usize] = v.0;
+            self.lb[b as usize] = a;
+            self.sz_l[a as usize] = tb.size(v);
+            self.sz_r[b as usize] = tb.size(v);
+            self.ins_l[a as usize] = exec.ins_b(v, swapped);
+            self.ins_r[b as usize] = exec.ins_b(v, swapped);
+            self.sub_ins_l[a as usize] = exec.sub_ins_b(v, swapped);
         }
 
         // Membership counts.
         let stride = m + 1;
-        let mut cnt = vec![0u32; stride * stride];
+        self.cnt.clear();
+        self.cnt.resize(stride * stride, 0);
         for a in 1..=m {
-            let r = rb[a] as usize;
+            let r = self.rb[a] as usize;
             for b in 0..=m {
-                cnt[a * stride + b] = cnt[(a - 1) * stride + b] + u32::from(r <= b);
+                self.cnt[a * stride + b] = self.cnt[(a - 1) * stride + b] + u32::from(r <= b);
             }
         }
 
         // Canonical member lists and family offsets.
-        let mut mem_a = Vec::new();
-        let mut mem_a_off = vec![0usize; m + 2];
-        let mut start_b = vec![0usize; m + 2];
+        self.mem_a.clear();
+        self.mem_a_off.clear();
+        self.mem_a_off.resize(m + 2, 0);
+        self.start_b.clear();
+        self.start_b.resize(m + 2, 0);
         for b in 1..=m {
-            mem_a_off[b] = mem_a.len();
-            start_b[b] = start_b[b - 1]
+            self.mem_a_off[b] = self.mem_a.len();
+            self.start_b[b] = self.start_b[b - 1]
                 + if b >= 2 {
-                    cnt[m * stride + b - 1] as usize - sz_r[b - 1] as usize + 1
+                    self.cnt[m * stride + b - 1] as usize - self.sz_r[b - 1] as usize + 1
                 } else {
                     0
                 };
-            for a in lb[b] as usize..=m {
-                if rb[a] as usize <= b {
-                    mem_a.push(a as u32);
+            for a in self.lb[b] as usize..=m {
+                if self.rb[a] as usize <= b {
+                    self.mem_a.push(a as u32);
                 }
             }
         }
-        mem_a_off[m + 1] = mem_a.len();
-        start_b[m + 1] = start_b[m] + cnt[m * stride + m] as usize - sz_r[m] as usize + 1;
+        self.mem_a_off[m + 1] = self.mem_a.len();
+        self.start_b[m + 1] =
+            self.start_b[m] + self.cnt[m * stride + m] as usize - self.sz_r[m] as usize + 1;
 
-        let mut mem_b = Vec::new();
-        let mut mem_b_off = vec![0usize; m + 2];
+        self.mem_b.clear();
+        self.mem_b_off.clear();
+        self.mem_b_off.resize(m + 2, 0);
         for a in 1..=m {
-            mem_b_off[a] = mem_b.len();
-            for b in rb[a] as usize..=m {
-                if lb[b] as usize <= a {
-                    mem_b.push(b as u32);
+            self.mem_b_off[a] = self.mem_b.len();
+            for b in self.rb[a] as usize..=m {
+                if self.lb[b] as usize <= a {
+                    self.mem_b.push(b as u32);
                 }
             }
         }
-        mem_b_off[m + 1] = mem_b.len();
-
-        BSide {
-            m,
-            node_l,
-            node_r,
-            rb,
-            lb,
-            sz_l,
-            sz_r,
-            cnt,
-            mem_a,
-            mem_a_off,
-            mem_b,
-            mem_b_off,
-            start_b,
-            ins_l,
-            ins_r,
-            sub_ins_l,
-        }
+        self.mem_b_off[m + 1] = self.mem_b.len();
     }
 
     #[inline]
@@ -206,17 +218,6 @@ impl BSide {
     }
 }
 
-/// One row of the DP: δ(fixed A-forest, ·) over all canonical B-forests.
-struct Row {
-    /// Values per canonical pair, family-`b` layout (see [`BSide::pos`]).
-    vals: Vec<f64>,
-    /// `kids[a]` = δ(row forest, children-forest of node with local lpost
-    /// `a`); meaningful for non-leaf nodes only.
-    kids: Vec<f64>,
-    /// δ(row forest, empty forest).
-    col0: f64,
-}
-
 impl Row {
     #[inline]
     fn get(&self, bs: &BSide, a: u32, b: u32) -> f64 {
@@ -246,10 +247,12 @@ fn note_kid(bs: &BSide, kids: &mut [f64], a: u32, b: u32, val: f64) {
     }
 }
 
-/// δ(∅, ·) row: pure insertion costs.
-fn empty_a_row(bs: &BSide) -> Row {
-    let mut vals = Vec::with_capacity(bs.total());
-    let mut kids = vec![0.0f64; bs.m + 1];
+/// δ(∅, ·) row: pure insertion costs, written into `out`.
+fn empty_a_row_into(bs: &BSide, out: &mut Row) {
+    out.vals.clear();
+    out.kids.clear();
+    out.kids.resize(bs.m + 1, 0.0);
+    out.col0 = 0.0;
     for b in 1..=bs.m as u32 {
         let mut sum = 0.0f64;
         for (i, &a) in bs.fam_a(b).iter().enumerate() {
@@ -258,36 +261,35 @@ fn empty_a_row(bs: &BSide) -> Row {
             } else {
                 sum += bs.ins_l[a as usize];
             }
-            vals.push(sum);
-            note_kid(bs, &mut kids, a, b, sum);
+            out.vals.push(sum);
+            note_kid(bs, &mut out.kids, a, b, sum);
         }
     }
     // Children-forest insert sums are also directly available.
     for a in 1..=bs.m {
         if bs.sz_l[a] > 1 {
-            kids[a] = bs.sub_ins_l[a] - bs.ins_l[a];
+            out.kids[a] = bs.sub_ins_l[a] - bs.ins_l[a];
         }
-    }
-    Row {
-        vals,
-        kids,
-        col0: 0.0,
     }
 }
 
 /// Stage T: from δ(children-forest(p), ·) compute δ(subtree(p), ·), writing
-/// the new tree-tree distances δ(subtree(p), subtree(w)) into `D`.
-fn stage_t<L, C: CostModel<L>>(
+/// the new tree-tree distances δ(subtree(p), subtree(w)) into `D` and the
+/// resulting row into `out`.
+fn stage_t_into<L, C: CostModel<L>>(
     exec: &mut Executor<'_, L, C>,
     bs: &BSide,
     p: NodeId,
     top_prev: &Row,
+    out: &mut Row,
     swapped: bool,
-) -> Row {
+) {
     let del_p = exec.del_a(p, swapped);
-    let mut vals = Vec::with_capacity(bs.total());
-    let mut kids = vec![0.0f64; bs.m + 1];
-    let col0 = exec.sub_del_a(p, swapped);
+    out.vals.clear();
+    out.kids.clear();
+    out.kids.resize(bs.m + 1, 0.0);
+    out.col0 = exec.sub_del_a(p, swapped);
+    let col0 = out.col0;
     let mut cells = 0u64;
     for b in 1..=bs.m as u32 {
         let mut sum_ins = 0.0f64;
@@ -302,7 +304,7 @@ fn stage_t<L, C: CostModel<L>>(
                 let s_minus_w = if bs.sz_l[a as usize] == 1 {
                     col0
                 } else {
-                    kids[a as usize]
+                    out.kids[a as usize]
                 };
                 val = (top_prev.get(bs, a, b) + del_p)
                     .min(s_minus_w + bs.ins_l[a as usize])
@@ -311,19 +313,18 @@ fn stage_t<L, C: CostModel<L>>(
             } else {
                 // S has ≥ 2 roots; direction right, w = rightmost root = x.
                 sum_ins += bs.ins_l[a as usize];
-                let prev_col = vals[vals.len() - 1]; // set (a−1, b)
-                let subtree_x = vals[bs.pos(a, bs.rb[a as usize])];
+                let prev_col = out.vals[out.vals.len() - 1]; // set (a−1, b)
+                let subtree_x = out.vals[bs.pos(a, bs.rb[a as usize])];
                 val = (top_prev.get(bs, a, b) + del_p)
                     .min(prev_col + bs.ins_l[a as usize])
                     .min(subtree_x + (sum_ins - bs.sub_ins_l[a as usize]));
             }
-            vals.push(val);
-            note_kid(bs, &mut kids, a, b, val);
+            out.vals.push(val);
+            note_kid(bs, &mut out.kids, a, b, val);
             cells += 1;
         }
     }
     exec.stats.subproblems += cells;
-    Row { vals, kids, col0 }
 }
 
 /// Stage R (`left == false`): re-add the right siblings of the path child
@@ -331,37 +332,54 @@ fn stage_t<L, C: CostModel<L>>(
 /// re-add the left siblings (direction left). `add` lists the nodes in
 /// re-addition order: ascending postorder for stage R, ascending mirror
 /// postorder for stage L — each added node becomes the new extreme root.
-fn stage_rl<L, C: CostModel<L>>(
+/// The resulting top row is written into `out`.
+#[allow(clippy::too_many_arguments)]
+fn stage_rl_into<L, C: CostModel<L>>(
     exec: &mut Executor<'_, L, C>,
     bs: &BSide,
     base: &Row,
     add: &[NodeId],
     swapped: bool,
     left: bool,
-) -> Row {
+    scratch: &mut RlScratch,
+    out: &mut Row,
+) {
     let ta = exec.tree_a(swapped);
     let r_rows = add.len();
     let m = bs.m;
 
     // δ(F-row, ∅) per row.
-    let mut col0 = Vec::with_capacity(r_rows + 1);
+    let col0 = &mut scratch.col0;
+    col0.clear();
     col0.push(base.col0);
     for (j, &v) in add.iter().enumerate() {
-        col0.push(col0[j] + exec.del_a(v, swapped));
+        let next = col0[j] + exec.del_a(v, swapped);
+        col0.push(next);
     }
     // Per-row children-forest values; row 0 comes from the base row.
     let kstride = m + 1;
-    let mut kids = vec![0.0f64; (r_rows + 1) * kstride];
+    let kids = &mut scratch.kids;
+    kids.clear();
+    kids.resize((r_rows + 1) * kstride, 0.0);
     kids[..kstride].copy_from_slice(&base.kids);
 
-    let sz_v: Vec<u32> = add.iter().map(|&v| ta.size(v)).collect();
-    let del_v: Vec<f64> = add.iter().map(|&v| exec.del_a(v, swapped)).collect();
+    scratch.sz_v.clear();
+    scratch.sz_v.extend(add.iter().map(|&v| ta.size(v)));
+    scratch.del_v.clear();
+    for &v in add {
+        let d = exec.del_a(v, swapped);
+        scratch.del_v.push(d);
+    }
+    let sz_v = &scratch.sz_v;
+    let del_v = &scratch.del_v;
 
-    let mut out_vals = if left {
-        vec![0.0f64; bs.total()]
-    } else {
-        Vec::with_capacity(bs.total())
-    };
+    // Stage L writes output positions out of order and needs the full row
+    // pre-sized; stage R appends families contiguously (family order is
+    // position order), skipping the zero prefill.
+    out.vals.clear();
+    if left {
+        out.vals.resize(bs.total(), 0.0);
+    }
     // Stage buffer: (r_rows + 1) × (max family width).
     let mut wmax = 0usize;
     for fam_idx in 1..=m as u32 {
@@ -372,7 +390,9 @@ fn stage_rl<L, C: CostModel<L>>(
         };
         wmax = wmax.max(w);
     }
-    let mut stage = vec![0.0f64; (r_rows + 1) * wmax];
+    let stage = &mut scratch.stage;
+    stage.clear();
+    stage.resize((r_rows + 1) * wmax, 0.0);
     let mut cells = 0u64;
 
     for fam_idx in 1..=m as u32 {
@@ -459,20 +479,17 @@ fn stage_rl<L, C: CostModel<L>>(
         let top = r_rows * wmax;
         if left {
             for (ci, &mb) in fam.iter().enumerate() {
-                out_vals[bs.pos(fam_idx, mb)] = stage[top + ci];
+                out.vals[bs.pos(fam_idx, mb)] = stage[top + ci];
             }
         } else {
-            out_vals.extend_from_slice(&stage[top..top + width]);
+            out.vals.extend_from_slice(&stage[top..top + width]);
         }
     }
     exec.stats.subproblems += cells;
 
-    let out_kids = kids[r_rows * kstride..].to_vec();
-    Row {
-        vals: out_vals,
-        kids: out_kids,
-        col0: col0[r_rows],
-    }
+    out.kids.clear();
+    out.kids.extend_from_slice(&kids[r_rows * kstride..]);
+    out.col0 = col0[r_rows];
 }
 
 /// Runs `∆I` for the A-side subtree at `a_root` decomposed along `path`
@@ -489,28 +506,45 @@ pub(crate) fn run<L, C: CostModel<L>>(
         Some(&a_root),
         "path must start at the subtree root"
     );
-    let bs = BSide::build(exec, b_root, swapped);
+    // Take all scratch from the workspace up front; the two row slots
+    // rotate by swap so no stage ever allocates.
+    let (mut bs, mut cur, mut spare, mut scratch, mut children, mut add_r, mut add_l) = {
+        let ws = exec.scratch();
+        (
+            std::mem::take(&mut ws.bside),
+            std::mem::take(&mut ws.row_cur),
+            std::mem::take(&mut ws.row_spare),
+            std::mem::take(&mut ws.rl),
+            std::mem::take(&mut ws.children),
+            std::mem::take(&mut ws.add_r),
+            std::mem::take(&mut ws.add_l),
+        )
+    };
+    bs.rebuild(exec, b_root, swapped);
     let ta = exec.tree_a(swapped);
 
-    let mut top_prev = empty_a_row(&bs);
+    // `cur` plays the role of δ(previous top row, ·), starting at δ(∅, ·).
+    empty_a_row_into(&bs, &mut cur);
     for i in (0..path.len()).rev() {
         let p = path[i];
-        let tree_row = stage_t(exec, &bs, p, &top_prev, swapped);
+        stage_t_into(exec, &bs, p, &cur, &mut spare, swapped);
+        std::mem::swap(&mut cur, &mut spare);
         if i == 0 {
-            return;
+            break;
         }
         let parent = path[i - 1];
-        let children: Vec<NodeId> = ta.children(parent).collect();
+        children.clear();
+        children.extend(ta.children(parent));
         let t = children.iter().position(|&c| c == p).expect("path child");
 
         // Right siblings' nodes in ascending postorder (stage R re-adds the
         // rightmost-removed nodes in reverse removal order).
-        let mut add_r: Vec<NodeId> = Vec::new();
+        add_r.clear();
         for &c in &children[t + 1..] {
             add_r.extend(ta.subtree_nodes(c));
         }
         // Left siblings' nodes in ascending mirror postorder.
-        let mut add_l: Vec<NodeId> = Vec::new();
+        add_l.clear();
         for &c in children[..t].iter().rev() {
             let first_r = ta.rpost(c) + 1 - ta.size(c);
             for r in first_r..=ta.rpost(c) {
@@ -518,18 +552,42 @@ pub(crate) fn run<L, C: CostModel<L>>(
             }
         }
 
-        let mid = if add_r.is_empty() {
-            tree_row
-        } else {
-            stage_rl(exec, &bs, &tree_row, &add_r, swapped, false)
-        };
-        let top = if add_l.is_empty() {
-            mid
-        } else {
-            stage_rl(exec, &bs, &mid, &add_l, swapped, true)
-        };
-        top_prev = top;
+        if !add_r.is_empty() {
+            stage_rl_into(
+                exec,
+                &bs,
+                &cur,
+                &add_r,
+                swapped,
+                false,
+                &mut scratch,
+                &mut spare,
+            );
+            std::mem::swap(&mut cur, &mut spare);
+        }
+        if !add_l.is_empty() {
+            stage_rl_into(
+                exec,
+                &bs,
+                &cur,
+                &add_l,
+                swapped,
+                true,
+                &mut scratch,
+                &mut spare,
+            );
+            std::mem::swap(&mut cur, &mut spare);
+        }
     }
+
+    let ws = exec.scratch();
+    ws.bside = bs;
+    ws.row_cur = cur;
+    ws.row_spare = spare;
+    ws.rl = scratch;
+    ws.children = children;
+    ws.add_r = add_r;
+    ws.add_l = add_l;
 }
 
 #[cfg(test)]
@@ -539,15 +597,16 @@ mod tests {
     use rted_tree::counts::DecompCounts;
     use rted_tree::parse_bracket;
 
+    /// Builds the B-side tables for `s` without leaking: the throwaway
+    /// executor only borrows the locals for the duration of the build
+    /// (`BSide` owns all its arrays).
     fn bside_for(s: &str) -> (BSide, rted_tree::Tree<String>) {
         let g = parse_bracket(s).unwrap();
         let f = parse_bracket("{x}").unwrap();
-        // Build through a throwaway executor (BSide only reads cost tables).
-        let t = Box::leak(Box::new(g.clone()));
-        let fl = Box::leak(Box::new(f));
-        let cm = Box::leak(Box::new(UnitCost));
-        let exec = Executor::new(fl, t, cm);
-        let bs = BSide::build(&exec, t.root(), false);
+        let mut bs = BSide::default();
+        let exec = Executor::new(&f, &g, &UnitCost);
+        bs.rebuild(&exec, g.root(), false);
+        drop(exec);
         (bs, g)
     }
 
@@ -608,7 +667,8 @@ mod tests {
     #[test]
     fn empty_row_is_insert_costs() {
         let (bs, g) = bside_for("{a{b}{c{d}}}");
-        let row = empty_a_row(&bs);
+        let mut row = Row::default();
+        empty_a_row_into(&bs, &mut row);
         assert_eq!(row.col0, 0.0);
         // Full-tree pair: inserting everything costs n under unit costs.
         let a = bs.m as u32;
@@ -616,5 +676,28 @@ mod tests {
         assert_eq!(row.get(&bs, a, b), g.len() as f64);
         // Children forest of the root costs n - 1.
         assert_eq!(row.kid(&bs, a), (g.len() - 1) as f64);
+    }
+
+    #[test]
+    fn rebuild_reuses_capacity_across_sizes() {
+        // A big build followed by a small one must leave consistent small
+        // tables (stale tails from the big build are invisible).
+        let g_big = parse_bracket("{A{C}{B{G}{E{F}}{D}}}").unwrap();
+        let g_small = parse_bracket("{a{b}}").unwrap();
+        let f = parse_bracket("{x}").unwrap();
+        let mut bs = BSide::default();
+        let exec = Executor::new(&f, &g_big, &UnitCost);
+        bs.rebuild(&exec, g_big.root(), false);
+        drop(exec);
+        let big_total = bs.total();
+        let exec = Executor::new(&f, &g_small, &UnitCost);
+        bs.rebuild(&exec, g_small.root(), false);
+        drop(exec);
+        assert_eq!(bs.m, 2);
+        assert_eq!(
+            bs.total() as u64,
+            DecompCounts::new(&g_small).full_of(g_small.root())
+        );
+        assert!(bs.total() < big_total);
     }
 }

@@ -34,33 +34,51 @@ pub(crate) fn run<L, C: CostModel<L>>(
     let nb = vb.n;
     let stride = (nb + 1) as usize;
 
-    // Per-rank data. Rank 0 entries are padding.
-    let a_lml: Vec<u32> = std::iter::once(0)
-        .chain((1..=na).map(|r| va.lml(r)))
-        .collect();
-    let b_lml: Vec<u32> = std::iter::once(0)
-        .chain((1..=nb).map(|r| vb.lml(r)))
-        .collect();
-    let a_node: Vec<NodeId> = std::iter::once(NodeId(0))
-        .chain((1..=na).map(|r| va.node(r)))
-        .collect();
-    let b_node: Vec<NodeId> = std::iter::once(NodeId(0))
-        .chain((1..=nb).map(|r| vb.node(r)))
-        .collect();
-    let a_del: Vec<f64> = std::iter::once(0.0)
-        .chain((1..=na).map(|r| exec.del_a(a_node[r as usize], swapped)))
-        .collect();
-    let b_ins: Vec<f64> = std::iter::once(0.0)
-        .chain((1..=nb).map(|r| exec.ins_b(b_node[r as usize], swapped)))
-        .collect();
+    // Scratch comes from the workspace; every buffer is length-reset and
+    // handed back below, so repeat executions allocate nothing.
+    let (mut a_lml, mut b_lml, mut a_node, mut b_node, mut a_del, mut b_ins, mut fd, mut krb) = {
+        let ws = exec.scratch();
+        (
+            std::mem::take(&mut ws.a_lml),
+            std::mem::take(&mut ws.b_lml),
+            std::mem::take(&mut ws.a_node),
+            std::mem::take(&mut ws.b_node),
+            std::mem::take(&mut ws.a_del),
+            std::mem::take(&mut ws.b_ins),
+            std::mem::take(&mut ws.fd),
+            std::mem::take(&mut ws.keyroots_b),
+        )
+    };
 
-    let mut fd = vec![0.0f64; (na as usize + 1) * stride];
+    // Per-rank data. Rank 0 entries are padding.
+    a_lml.clear();
+    a_lml.extend(std::iter::once(0).chain((1..=na).map(|r| va.lml(r))));
+    b_lml.clear();
+    b_lml.extend(std::iter::once(0).chain((1..=nb).map(|r| vb.lml(r))));
+    a_node.clear();
+    a_node.extend(std::iter::once(NodeId(0)).chain((1..=na).map(|r| va.node(r))));
+    b_node.clear();
+    b_node.extend(std::iter::once(NodeId(0)).chain((1..=nb).map(|r| vb.node(r))));
+    a_del.clear();
+    a_del.push(0.0);
+    for r in 1..=na {
+        a_del.push(exec.del_a(a_node[r as usize], swapped));
+    }
+    b_ins.clear();
+    b_ins.push(0.0);
+    for r in 1..=nb {
+        b_ins.push(exec.ins_b(b_node[r as usize], swapped));
+    }
+
+    fd.clear();
+    fd.resize((na as usize + 1) * stride, 0.0);
     let at = |x: u32, y: u32| (x as usize) * stride + y as usize;
 
     // The A side always spans the whole subtree (its "keyroot" is the root,
     // whose view-leftmost leaf is rank 1). Spine nodes are the ranks whose
     // lml is 1 — exactly the nodes on the left (resp. right) path.
-    for j in vb.keyroots() {
+    vb.keyroots_into(&mut krb);
+    for &j in &krb {
         let lj = b_lml[j as usize];
         exec.stats.subproblems += na as u64 * (j - lj + 1) as u64;
         fd[at(0, lj - 1)] = 0.0;
@@ -96,4 +114,14 @@ pub(crate) fn run<L, C: CostModel<L>>(
             }
         }
     }
+
+    let ws = exec.scratch();
+    ws.a_lml = a_lml;
+    ws.b_lml = b_lml;
+    ws.a_node = a_node;
+    ws.b_node = b_node;
+    ws.a_del = a_del;
+    ws.b_ins = b_ins;
+    ws.fd = fd;
+    ws.keyroots_b = krb;
 }

@@ -11,7 +11,7 @@
 //! subproblem counts of Zhang-L/R, Klein-H and Demaine-H (Fig. 8,
 //! Tables 1–2 of the paper).
 
-use rted_tree::counts::DecompCounts;
+use crate::workspace::{Workspace, NO_ROW};
 use rted_tree::{NodeId, PathKind, Tree};
 
 /// Which input tree a chosen root-leaf path lies in.
@@ -233,6 +233,12 @@ impl Strategy {
     pub fn choice(&self, v: NodeId, w: NodeId) -> PathChoice {
         PathChoice::from_code(self.choices[v.idx() * self.ng + w.idx()])
     }
+
+    /// Surrenders the choice matrix so a [`Workspace`] can reuse its
+    /// allocation (see [`Workspace::recycle`]).
+    pub(crate) fn into_choices(self) -> Vec<u8> {
+        self.choices
+    }
 }
 
 /// Supplies GTED's per-pair decision. Implemented by precomputed
@@ -279,43 +285,239 @@ impl<L> StrategyProvider<L> for DemaineHeavy {
     }
 }
 
+/// Child-role flags (is this node the leftmost / rightmost / heavy child
+/// of its parent?), so the accumulator update is branch-cheap.
+fn child_roles_into<L>(t: &Tree<L>, roles: &mut Vec<u8>) {
+    roles.clear();
+    roles.resize(t.len(), 0);
+    for p in t.nodes() {
+        let deg = t.degree(p);
+        for (i, c) in t.children(p).enumerate() {
+            let mut r = 0u8;
+            if i == 0 {
+                r |= 1; // leftmost
+            }
+            if i == deg - 1 {
+                r |= 2; // rightmost
+            }
+            roles[c.idx()] = r;
+        }
+        if let Some(h) = t.heavy_child(p) {
+            roles[h.idx()] |= 4;
+        }
+    }
+}
+
+/// Takes a zeroed interleaved row of `len` words from the pool.
+fn acquire_row(rows: &mut Vec<Vec<u64>>, free: &mut Vec<u32>, len: usize) -> u32 {
+    match free.pop() {
+        Some(slot) => {
+            let row = &mut rows[slot as usize];
+            row.clear();
+            row.resize(len, 0);
+            slot
+        }
+        None => {
+            rows.push(vec![0u64; len]);
+            (rows.len() - 1) as u32
+        }
+    }
+}
+
 /// Algorithm 2 (`OptStrategy`), generalized: evaluates the Fig.-5 cost
 /// recursion bottom-up for every pair of subtrees, letting `chooser` pick
 /// the option at each pair, and records the chosen paths.
 ///
 /// With [`OptimalChooser`] this is exactly the paper's Algorithm 2 and runs
-/// in O(|F|·|G|) time and space; with a fixed chooser it returns the exact
+/// in O(|F|·|G|) time; with a fixed chooser it returns the exact
 /// subproblem count of that fixed strategy.
+///
+/// Auxiliary memory is the O(|F|·|G|) choice **bytes** plus O(|F|)
+/// recycled cost rows (see [`compute_strategy_in`]); the three dense u64
+/// cost matrices of the textbook formulation are never materialized.
 pub fn compute_strategy<L, Ch: Chooser>(f: &Tree<L>, g: &Tree<L>, chooser: &Ch) -> Strategy {
+    compute_strategy_in(f, g, chooser, &mut Workspace::new())
+}
+
+/// [`compute_strategy`] drawing all scratch memory from a [`Workspace`]
+/// (allocation-free after warm-up except for the returned choice matrix,
+/// whose storage the caller can hand back via [`Workspace::recycle`]).
+///
+/// The Fig.-5 recursion reads a pair's running cost sums (`Lv`/`Rv`/`Hv`)
+/// exactly twice: once when the pair itself is evaluated, and once more —
+/// in the same evaluation — when the F-node is the leftmost / rightmost /
+/// heavy child of its parent and the sums carry over instead of the
+/// minimum. Rows are therefore recycled: a node's row is acquired when its
+/// first child accumulates into it and released as soon as the node's own
+/// pairs are evaluated, bounding live rows by the number of F-nodes with a
+/// completed child below the current one (≤ depth + 1, worst case |F|)
+/// instead of the dense 3·|F| rows. Rows interleave the `[L, R, H]` sums
+/// per G-node, so each pair touches one cache line instead of three
+/// matrices.
+pub fn compute_strategy_in<L, Ch: Chooser>(
+    f: &Tree<L>,
+    g: &Tree<L>,
+    chooser: &Ch,
+    ws: &mut Workspace,
+) -> Strategy {
     let nf = f.len();
     let ng = g.len();
-    let cf = DecompCounts::new(f);
-    let cg = DecompCounts::new(g);
+    ws.counts_f.rebuild(f);
+    ws.counts_g.rebuild(g);
+    child_roles_into(f, &mut ws.froles);
+    child_roles_into(g, &mut ws.groles);
 
-    // Child-role flags (is this node the leftmost / rightmost / heavy child
-    // of its parent?), so the accumulator update is branch-cheap.
-    let child_roles = |t: &Tree<L>| -> Vec<u8> {
-        let mut roles = vec![0u8; t.len()];
-        for p in t.nodes() {
-            let deg = t.degree(p);
-            for (i, c) in t.children(p).enumerate() {
-                let mut r = 0u8;
-                if i == 0 {
-                    r |= 1; // leftmost
+    let mut choices = std::mem::take(&mut ws.choices);
+    choices.clear();
+    choices.resize(nf * ng, 0);
+
+    // Interleaved row stride: [L, R, H] per G-node.
+    let rw3 = 3 * ng;
+    // Disjoint field borrows: the pool, the zero stand-in row and the
+    // G-side accumulators are used side by side below.
+    let Workspace {
+        counts_f: cf,
+        counts_g: cg,
+        froles,
+        groles,
+        lw,
+        rw,
+        hw,
+        rows,
+        row_free,
+        row_of,
+        zero_row,
+        ..
+    } = ws;
+    lw.clear();
+    lw.resize(ng, 0);
+    rw.clear();
+    rw.resize(ng, 0);
+    hw.clear();
+    hw.resize(ng, 0);
+    row_of.clear();
+    row_of.resize(nf, NO_ROW);
+    row_free.clear();
+    row_free.extend(0..rows.len() as u32);
+    zero_row.clear();
+    zero_row.resize(rw3, 0);
+
+    let mut root_cost = 0u64;
+
+    // Explicit index loop: `v` is simultaneously a postorder id and the
+    // row offset into `choices`/`froles`.
+    #[allow(clippy::needless_range_loop)]
+    for v in 0..nf {
+        lw.iter_mut().for_each(|x| *x = 0);
+        rw.iter_mut().for_each(|x| *x = 0);
+        hw.iter_mut().for_each(|x| *x = 0);
+        let vid = NodeId(v as u32);
+        let size_f = f.size(vid);
+        let szf = size_f as u64;
+        let af = cf.full[v];
+        let flf = cf.left[v];
+        let frf = cf.right[v];
+        let fparent = f.parent(vid);
+        let roles = froles[v];
+
+        // The node's own accumulator row; leaves never accumulated
+        // anything and read the shared all-zeros row instead.
+        let vslot = row_of[v];
+        // Taking the row out of the pool (`Vec::new` never allocates)
+        // sidesteps aliasing with the parent-row borrow below.
+        let vrow_owned: Vec<u64> = if vslot != NO_ROW {
+            std::mem::take(&mut rows[vslot as usize])
+        } else {
+            Vec::new()
+        };
+        let vrow: &[u64] = if vslot != NO_ROW {
+            &vrow_owned
+        } else {
+            &zero_row[..]
+        };
+
+        // The parent's accumulator row, acquired on first touch. The root
+        // gets a throwaway row so the inner loop stays branch-free.
+        let pslot = match fparent {
+            Some(p) => {
+                let pi = p.idx();
+                if row_of[pi] == NO_ROW {
+                    row_of[pi] = acquire_row(rows, row_free, rw3);
                 }
-                if i == deg - 1 {
-                    r |= 2; // rightmost
-                }
-                roles[c.idx()] = r;
+                row_of[pi]
             }
-            if let Some(h) = t.heavy_child(p) {
-                roles[h.idx()] |= 4;
+            None => acquire_row(rows, row_free, rw3),
+        };
+        let prow: &mut [u64] = &mut rows[pslot as usize];
+
+        for w in 0..ng {
+            let wid = NodeId(w as u32);
+            let size_g = g.size(wid);
+            let szg = size_g as u64;
+            let o = 3 * w;
+            let costs: [u64; 6] = [
+                szf * cg.left[w] + vrow[o],      // F, Left
+                szg * flf + lw[w],               // G, Left
+                szf * cg.right[w] + vrow[o + 1], // F, Right
+                szg * frf + rw[w],               // G, Right
+                szf * cg.full[w] + vrow[o + 2],  // F, Heavy
+                szg * af + hw[w],                // G, Heavy
+            ];
+            let pick = chooser.pick(size_f, size_g, &costs);
+            let cmin = costs[pick as usize];
+            choices[v * ng + w] = pick;
+
+            prow[o] += if roles & 1 != 0 { vrow[o] } else { cmin };
+            prow[o + 1] += if roles & 2 != 0 { vrow[o + 1] } else { cmin };
+            prow[o + 2] += if roles & 4 != 0 { vrow[o + 2] } else { cmin };
+
+            if let Some(p) = g.parent(wid) {
+                let pw = p.idx();
+                let groles_w = groles[w];
+                lw[pw] += if groles_w & 1 != 0 { lw[w] } else { cmin };
+                rw[pw] += if groles_w & 2 != 0 { rw[w] } else { cmin };
+                hw[pw] += if groles_w & 4 != 0 { hw[w] } else { cmin };
+            }
+            if v == nf - 1 && w == ng - 1 {
+                root_cost = cmin;
             }
         }
-        roles
-    };
-    let froles = child_roles(f);
-    let groles = child_roles(g);
+
+        // This node's pairs are done: its row is dead, recycle it.
+        if vslot != NO_ROW {
+            rows[vslot as usize] = vrow_owned;
+            row_free.push(vslot);
+        }
+        if fparent.is_none() {
+            row_free.push(pslot);
+        }
+    }
+
+    Strategy {
+        ng,
+        choices,
+        cost: root_cost,
+    }
+}
+
+/// The original dense formulation of Algorithm 2 — three full `nf × ng`
+/// u64 cost matrices — kept verbatim as the equivalence oracle for the
+/// row-recycled [`compute_strategy_in`].
+#[cfg(test)]
+pub(crate) fn compute_strategy_dense<L, Ch: Chooser>(
+    f: &Tree<L>,
+    g: &Tree<L>,
+    chooser: &Ch,
+) -> Strategy {
+    let nf = f.len();
+    let ng = g.len();
+    let cf = rted_tree::counts::DecompCounts::new(f);
+    let cg = rted_tree::counts::DecompCounts::new(g);
+
+    let mut froles = Vec::new();
+    let mut groles = Vec::new();
+    child_roles_into(f, &mut froles);
+    child_roles_into(g, &mut groles);
 
     // Cost-sum arrays over pairs (Lv/Rv/Hv) and per-G-node (Lw/Rw/Hw,
     // reset for every v).
@@ -328,8 +530,6 @@ pub fn compute_strategy<L, Ch: Chooser>(f: &Tree<L>, g: &Tree<L>, chooser: &Ch) 
     let mut choices = vec![0u8; nf * ng];
     let mut root_cost = 0u64;
 
-    // Explicit index loop: `v` is simultaneously a postorder id and the
-    // row offset into `choices`/`froles`.
     #[allow(clippy::needless_range_loop)]
     for v in 0..nf {
         lw.iter_mut().for_each(|x| *x = 0);
@@ -489,5 +689,159 @@ mod tests {
                 let _ = s.choice(v, w); // must not panic
             }
         }
+    }
+
+    /// Asserts the recycled strategy equals the dense oracle bit for bit:
+    /// same cost and the same choice at every pair, for every chooser.
+    fn assert_matches_dense(f: &Tree<String>, g: &Tree<String>, ctx: &str) {
+        fn check<Ch: Chooser>(f: &Tree<String>, g: &Tree<String>, ch: &Ch, ctx: &str, ci: u32) {
+            let dense = compute_strategy_dense(f, g, ch);
+            let recycled = compute_strategy(f, g, ch);
+            assert_eq!(recycled.cost, dense.cost, "{ctx}: cost, chooser {ci}");
+            for v in f.nodes() {
+                for w in g.nodes() {
+                    assert_eq!(
+                        recycled.choice(v, w),
+                        dense.choice(v, w),
+                        "{ctx}: choice ({v},{w}), chooser {ci}"
+                    );
+                }
+            }
+        }
+        check(f, g, &OptimalChooser, ctx, 0);
+        check(f, g, &DemaineChooser, ctx, 1);
+        check(f, g, &SubsetChooser::lr_only(), ctx, 2);
+        check(f, g, &FixedChooser(PathChoice::ALL[4]), ctx, 3);
+    }
+
+    #[test]
+    fn recycled_matches_dense_on_fixed_cases() {
+        let cases = [
+            ("{a}", "{b}"),
+            ("{a{b{c}{d}}{e}}", "{x{y}{z{w{q}}}}"),
+            ("{A{C}{B{G}{E{F}}{D}}}", "{A{B{D}{E{F}}}{C{G}}}"),
+            ("{a{b{c{d{e{f}}}}}}", "{a{b}{c}{d}{e}{f}}"),
+            ("{a{a}{a}{a}}", "{a{a{a}}}"),
+        ];
+        for (a, b) in cases {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            assert_matches_dense(&f, &g, &format!("{a} vs {b}"));
+        }
+    }
+
+    /// Random ordered tree over a 3-letter alphabet: node `i ≥ 1` becomes
+    /// the next child of a uniformly chosen earlier node.
+    fn random_tree(rng: &mut impl rand::RngExt, n: usize) -> Tree<String> {
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 1..n {
+            let p = rng.random_range(0..i);
+            children[p].push(i as u32);
+        }
+        // Convert insertion ids to postorder ids.
+        let mut post_of = vec![u32::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < children[v as usize].len() {
+                let c = children[v as usize][*i];
+                *i += 1;
+                stack.push((c, 0));
+            } else {
+                post_of[v as usize] = order.len() as u32;
+                order.push(v);
+                stack.pop();
+            }
+        }
+        let labels: Vec<String> = order
+            .iter()
+            .map(|&v| format!("{}", (v * 7 + 3) % 3))
+            .collect();
+        let post_children: Vec<Vec<u32>> = order
+            .iter()
+            .map(|&v| {
+                children[v as usize]
+                    .iter()
+                    .map(|&c| post_of[c as usize])
+                    .collect()
+            })
+            .collect();
+        Tree::from_postorder(labels, post_children)
+    }
+
+    #[test]
+    fn recycled_matches_dense_on_random_trees() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5712_ec0d);
+        for case in 0..60 {
+            let nf = rng.random_range(1..18);
+            let ng = rng.random_range(1..18);
+            let f = random_tree(&mut rng, nf);
+            let g = random_tree(&mut rng, ng);
+            assert_matches_dense(&f, &g, &format!("random case {case}"));
+        }
+    }
+
+    #[test]
+    fn recycled_strategy_reuses_one_workspace() {
+        // One workspace across differently-sized pairs must keep matching
+        // the dense oracle (stale state from a bigger pair is invisible).
+        let mut ws = Workspace::new();
+        let cases = [
+            ("{A{C}{B{G}{E{F}}{D}}}", "{a{b{c{d{e{f}}}}}}"),
+            ("{a}", "{b{c}}"),
+            ("{a{b}{c}{d}{e}}", "{x{y{z}}}"),
+        ];
+        for (a, b) in cases {
+            let f = parse_bracket(a).unwrap();
+            let g = parse_bracket(b).unwrap();
+            let dense = compute_strategy_dense(&f, &g, &OptimalChooser);
+            let recycled = compute_strategy_in(&f, &g, &OptimalChooser, &mut ws);
+            assert_eq!(recycled.cost, dense.cost, "{a} vs {b}");
+            for v in f.nodes() {
+                for w in g.nodes() {
+                    assert_eq!(recycled.choice(v, w), dense.choice(v, w), "{a} vs {b}");
+                }
+            }
+            ws.recycle(recycled);
+        }
+    }
+
+    #[test]
+    fn live_rows_stay_far_below_dense() {
+        // A chain keeps ≤ 2 live rows; a full binary tree ≤ depth + 1. The
+        // dense formulation would keep 3·|F| rows (here |F| = 31 / 63).
+        let chain = {
+            let mut s = String::from("{a");
+            for _ in 0..62 {
+                s.push_str("{a");
+            }
+            s.push_str(&"}".repeat(63));
+            parse_bracket(&s).unwrap()
+        };
+        let g = parse_bracket("{x{y}{z}}").unwrap();
+        let mut ws = Workspace::new();
+        compute_strategy_in(&chain, &g, &OptimalChooser, &mut ws);
+        assert!(
+            ws.strategy_rows_peak() <= 3,
+            "chain peaked at {} live rows",
+            ws.strategy_rows_peak()
+        );
+
+        fn full_binary(depth: u32) -> String {
+            if depth == 0 {
+                "{l}".to_string()
+            } else {
+                format!("{{i{}{}}}", full_binary(depth - 1), full_binary(depth - 1))
+            }
+        }
+        let fb = parse_bracket(&full_binary(4)).unwrap(); // 31 nodes
+        let mut ws = Workspace::new();
+        compute_strategy_in(&fb, &g, &OptimalChooser, &mut ws);
+        assert!(
+            ws.strategy_rows_peak() <= 6, // depth + root throwaway
+            "full binary peaked at {} live rows",
+            ws.strategy_rows_peak()
+        );
     }
 }

@@ -89,8 +89,17 @@ impl<'a, L> SubtreeView<'a, L> {
     /// These are exactly the roots of `T(F, Γ)` for the recursive
     /// left-path (resp. right-path) decomposition, so
     /// `Σ_{k ∈ keyroots} size(k) = |F(F, Γ_L)|` (resp. `Γ_R`).
+    #[cfg(test)]
     pub fn keyroots(&self) -> Vec<u32> {
         let mut kr = Vec::new();
+        self.keyroots_into(&mut kr);
+        kr
+    }
+
+    /// [`keyroots`](Self::keyroots) writing into a caller-owned buffer
+    /// (cleared first), so hot loops can reuse one allocation.
+    pub fn keyroots_into(&self, kr: &mut Vec<u32>) {
+        kr.clear();
         for r in 1..=self.n {
             if r == self.n {
                 kr.push(r);
@@ -117,7 +126,6 @@ impl<'a, L> SubtreeView<'a, L> {
                 kr.push(r);
             }
         }
-        kr
     }
 }
 

@@ -9,8 +9,9 @@
 //! implementation in the test suite (validated against the recursive
 //! reference, then used to validate GTED on larger inputs).
 
-use crate::cost::{CostModel, CostTables};
+use crate::cost::CostModel;
 use crate::view::SubtreeView;
+use crate::workspace::Workspace;
 use rted_tree::Tree;
 
 /// Result of a Zhang–Shasha run.
@@ -37,38 +38,63 @@ impl ZsResult {
 /// Runs Zhang–Shasha with left paths (`right = false`, the classic
 /// algorithm) or right paths (`right = true`, its mirror).
 pub fn zhang_shasha<L, C: CostModel<L>>(f: &Tree<L>, g: &Tree<L>, cm: &C, right: bool) -> ZsResult {
+    let mut ws = Workspace::new();
+    let (distance, subproblems) = zhang_shasha_in(f, g, cm, right, &mut ws);
+    ZsResult {
+        distance,
+        subproblems,
+        td: std::mem::take(&mut ws.d),
+    }
+}
+
+/// The Zhang–Shasha kernel drawing all buffers from `ws` (allocation-free
+/// once the workspace is warm). The subtree-distance matrix is left in
+/// `ws.d` in the `(n_F + 1) × (n_G + 1)` view-local layout of [`ZsResult`].
+pub(crate) fn zhang_shasha_in<L, C: CostModel<L>>(
+    f: &Tree<L>,
+    g: &Tree<L>,
+    cm: &C,
+    right: bool,
+    ws: &mut Workspace,
+) -> (f64, u64) {
     let fv = SubtreeView::new(f, f.root(), right);
     let gv = SubtreeView::new(g, g.root(), right);
-    let ftab = CostTables::new(f, cm);
-    let gtab = CostTables::new(g, cm);
+    ws.ftab.rebuild(f, cm);
+    ws.gtab.rebuild(g, cm);
 
     let nf = fv.n;
     let ng = gv.n;
     let stride = (ng + 1) as usize;
-    let mut td = vec![0.0f64; (nf as usize + 1) * stride];
-    let mut fd = vec![0.0f64; (nf as usize + 1) * stride];
+    let td = &mut ws.d;
+    td.clear();
+    td.resize((nf as usize + 1) * stride, 0.0);
+    let fd = &mut ws.fd;
+    fd.clear();
+    fd.resize((nf as usize + 1) * stride, 0.0);
     let mut subproblems = 0u64;
 
     // Precompute per-rank data to keep the inner loop tight.
-    let f_lml: Vec<u32> = std::iter::once(0)
-        .chain((1..=nf).map(|r| fv.lml(r)))
-        .collect();
-    let g_lml: Vec<u32> = std::iter::once(0)
-        .chain((1..=ng).map(|r| gv.lml(r)))
-        .collect();
-    let f_del: Vec<f64> = std::iter::once(0.0)
-        .chain((1..=nf).map(|r| ftab.del[fv.node(r).idx()]))
-        .collect();
-    let g_ins: Vec<f64> = std::iter::once(0.0)
-        .chain((1..=ng).map(|r| gtab.ins[gv.node(r).idx()]))
-        .collect();
+    let f_lml = &mut ws.a_lml;
+    f_lml.clear();
+    f_lml.extend(std::iter::once(0).chain((1..=nf).map(|r| fv.lml(r))));
+    let g_lml = &mut ws.b_lml;
+    g_lml.clear();
+    g_lml.extend(std::iter::once(0).chain((1..=ng).map(|r| gv.lml(r))));
+    let f_del = &mut ws.a_del;
+    f_del.clear();
+    f_del.extend(std::iter::once(0.0).chain((1..=nf).map(|r| ws.ftab.del[fv.node(r).idx()])));
+    let g_ins = &mut ws.b_ins;
+    g_ins.clear();
+    g_ins.extend(std::iter::once(0.0).chain((1..=ng).map(|r| ws.gtab.ins[gv.node(r).idx()])));
 
-    let f_kr = fv.keyroots();
-    let g_kr = gv.keyroots();
+    let f_kr = &mut ws.keyroots_a;
+    fv.keyroots_into(f_kr);
+    let g_kr = &mut ws.keyroots_b;
+    gv.keyroots_into(g_kr);
 
-    for &i in &f_kr {
+    for &i in f_kr.iter() {
         let li = f_lml[i as usize];
-        for &j in &g_kr {
+        for &j in g_kr.iter() {
             let lj = g_lml[j as usize];
             subproblems += (i - li + 1) as u64 * (j - lj + 1) as u64;
             // Forest distances over prefixes [li..x] × [lj..y].
@@ -104,11 +130,7 @@ pub fn zhang_shasha<L, C: CostModel<L>>(f: &Tree<L>, g: &Tree<L>, cm: &C, right:
         }
     }
 
-    ZsResult {
-        distance: td[(nf as usize) * stride + ng as usize],
-        subproblems,
-        td,
-    }
+    (td[(nf as usize) * stride + ng as usize], subproblems)
 }
 
 /// Convenience wrapper: the Zhang–Shasha (left) distance.

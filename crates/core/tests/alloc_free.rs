@@ -1,0 +1,152 @@
+//! Proof of the workspace contract: the **second** computation of a pair
+//! through a reused [`Workspace`] performs zero heap allocations.
+//!
+//! A counting global allocator tallies every `alloc`/`realloc`; the test
+//! warms a workspace with one run per (algorithm, pair), snapshots the
+//! counter, repeats the exact run, and demands the counter did not move.
+//! Kept in its own integration-test binary so the allocator sees only this
+//! test's traffic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOC_CALLS.load(Ordering::SeqCst)
+}
+
+use rted_core::{Algorithm, PerLabelCost, UnitCost, Workspace};
+use rted_tree::{parse_bracket, Tree};
+
+/// Deterministic mixed-shape tree of roughly `n` nodes: chains, fans and
+/// bushy sections so every single-path function (∆L, ∆R, ∆I) runs.
+fn mixed_tree(n: usize, salt: u64) -> Tree<String> {
+    let mut s = String::from("{r");
+    let mut state = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut open = 0usize;
+    let mut emitted = 1usize;
+    while emitted < n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let roll = (state >> 59) as usize;
+        if roll < 5 && open > 0 {
+            s.push('}');
+            open -= 1;
+        } else {
+            s.push_str(&format!("{{l{}", roll % 3));
+            open += 1;
+            emitted += 1;
+        }
+    }
+    for _ in 0..open {
+        s.push('}');
+    }
+    s.push('}');
+    parse_bracket(&s).unwrap()
+}
+
+#[test]
+fn second_run_through_workspace_is_allocation_free() {
+    let pairs = [
+        (mixed_tree(60, 1), mixed_tree(55, 2)),
+        (mixed_tree(25, 3), mixed_tree(70, 4)),
+    ];
+    let asym = PerLabelCost::new(1.5, 2.0, 0.75);
+
+    let mut ws = Workspace::new();
+    for (pi, (f, g)) in pairs.iter().enumerate() {
+        for alg in Algorithm::ALL {
+            // Warm-up run: buffers grow to this pair's sizes.
+            let warm = alg.run_in(f, g, &UnitCost, &mut ws);
+
+            let before = allocations();
+            let again = alg.run_in(f, g, &UnitCost, &mut ws);
+            let delta = allocations() - before;
+            assert_eq!(
+                delta, 0,
+                "{alg} pair {pi}: second run performed {delta} allocations"
+            );
+            assert_eq!(again.distance, warm.distance, "{alg} pair {pi}");
+            assert_eq!(again.subproblems, warm.subproblems, "{alg} pair {pi}");
+
+            // Also under an asymmetric cost model (different cost tables,
+            // same buffers).
+            alg.run_in(f, g, &asym, &mut ws);
+            let before = allocations();
+            alg.run_in(f, g, &asym, &mut ws);
+            assert_eq!(
+                allocations() - before,
+                0,
+                "{alg} pair {pi}: asymmetric second run allocated"
+            );
+        }
+    }
+}
+
+#[test]
+fn strategy_computation_is_allocation_free_when_warm() {
+    use rted_core::{compute_strategy_in, OptimalChooser};
+    let f = mixed_tree(80, 7);
+    let g = mixed_tree(64, 8);
+    let mut ws = Workspace::new();
+    let s = compute_strategy_in(&f, &g, &OptimalChooser, &mut ws);
+    let warm_cost = s.cost;
+    ws.recycle(s);
+
+    let before = allocations();
+    let s = compute_strategy_in(&f, &g, &OptimalChooser, &mut ws);
+    let cost = s.cost;
+    ws.recycle(s);
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "warm strategy run performed {delta} allocations");
+    assert_eq!(cost, warm_cost);
+}
+
+#[test]
+fn workspace_survives_shrinking_and_growing_pairs() {
+    // Alternate small and large pairs; once the workspace has seen both,
+    // repeats of either are allocation-free.
+    let small = (mixed_tree(12, 11), mixed_tree(9, 12));
+    let large = (mixed_tree(90, 13), mixed_tree(85, 14));
+    let mut ws = Workspace::new();
+    for _ in 0..2 {
+        Algorithm::Rted.run_in(&small.0, &small.1, &UnitCost, &mut ws);
+        Algorithm::Rted.run_in(&large.0, &large.1, &UnitCost, &mut ws);
+    }
+    let before = allocations();
+    Algorithm::Rted.run_in(&small.0, &small.1, &UnitCost, &mut ws);
+    Algorithm::Rted.run_in(&large.0, &large.1, &UnitCost, &mut ws);
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "warm alternating runs performed {delta} allocations"
+    );
+}

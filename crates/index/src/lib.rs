@@ -65,7 +65,7 @@ pub mod store;
 pub mod verify;
 
 pub use corpus::{CorpusEntry, TreeCorpus};
-pub use exec::{map_chunks, ExecPolicy};
+pub use exec::{map_chunks, map_chunks_with, ExecPolicy, PooledWorkspace, WorkspacePool};
 pub use filter::{FilterPipeline, FilterStats, StagePrune};
 pub use persist::{encode_corpus, CorpusFile, PersistError};
 pub use store::CorpusStore;
@@ -159,6 +159,10 @@ pub struct TreeIndex<L> {
     pipeline: FilterPipeline<L>,
     verifier: Box<dyn Verifier<L>>,
     policy: ExecPolicy,
+    /// Recycled verification scratch, shared by all queries: one
+    /// [`Workspace`](rted_core::Workspace) per concurrent worker, warm
+    /// after the first query, so verification stops heap-allocating.
+    scratch: WorkspacePool,
 }
 
 /// Per-chunk accumulator for the worker threads.
@@ -198,6 +202,7 @@ where
             pipeline: FilterPipeline::standard(),
             verifier: Box::new(AlgorithmVerifier::rted()),
             policy: ExecPolicy::default(),
+            scratch: WorkspacePool::new(),
         }
     }
 
@@ -305,28 +310,35 @@ where
         // With `tau = ∞` no finite bound can reach the threshold: skip the
         // per-candidate stage evaluation entirely.
         let filters_active = tau != f64::INFINITY;
-        let chunks = map_chunks(window, &self.policy, |_, chunk| {
-            let mut out: ChunkOut<Neighbor> = ChunkOut::new(&self.pipeline);
-            for &id in chunk {
-                let entry = self.corpus.entry(id as usize);
-                if filters_active {
-                    if let Some(stage) = self.pipeline.prune_stage(&qsketch, entry.sketch(), tau) {
-                        out.filter.record(stage, 1);
-                        continue;
+        let chunks = map_chunks_with(
+            window,
+            &self.policy,
+            || self.scratch.take(),
+            |ws, _, chunk| {
+                let mut out: ChunkOut<Neighbor> = ChunkOut::new(&self.pipeline);
+                for &id in chunk {
+                    let entry = self.corpus.entry(id as usize);
+                    if filters_active {
+                        if let Some(stage) =
+                            self.pipeline.prune_stage(&qsketch, entry.sketch(), tau)
+                        {
+                            out.filter.record(stage, 1);
+                            continue;
+                        }
+                    }
+                    let run = verifier.verify_in(query, entry.tree(), ws.get());
+                    out.verified += 1;
+                    out.subproblems += run.subproblems;
+                    if run.distance < tau {
+                        out.found.push(Neighbor {
+                            id: id as usize,
+                            distance: run.distance,
+                        });
                     }
                 }
-                let run = verifier.verify(query, entry.tree());
-                out.verified += 1;
-                out.subproblems += run.subproblems;
-                if run.distance < tau {
-                    out.found.push(Neighbor {
-                        id: id as usize,
-                        distance: run.distance,
-                    });
-                }
-            }
-            out
-        });
+                out
+            },
+        );
 
         let mut neighbors = Vec::new();
         for out in chunks {
@@ -430,15 +442,21 @@ where
 
             // Verify the survivors in parallel, then fold them into the
             // best-k heap in deterministic (batch) order.
-            let runs = map_chunks(&survivors, &self.policy, |_, chunk| {
-                chunk
-                    .iter()
-                    .map(|&id| {
-                        let run = verifier.verify(query, self.corpus.tree(id as usize));
-                        (id as usize, run.distance, run.subproblems)
-                    })
-                    .collect::<Vec<_>>()
-            });
+            let runs = map_chunks_with(
+                &survivors,
+                &self.policy,
+                || self.scratch.take(),
+                |ws, _, chunk| {
+                    chunk
+                        .iter()
+                        .map(|&id| {
+                            let run =
+                                verifier.verify_in(query, self.corpus.tree(id as usize), ws.get());
+                            (id as usize, run.distance, run.subproblems)
+                        })
+                        .collect::<Vec<_>>()
+                },
+            );
             for (id, distance, subproblems) in runs.into_iter().flatten() {
                 stats.verified += 1;
                 stats.subproblems += subproblems;
@@ -484,47 +502,56 @@ where
         // per-pair stage evaluation entirely.
         let filters_active = tau != f64::INFINITY;
 
-        let chunks = map_chunks(by_size, &self.policy, |chunk_start, chunk| {
-            let mut out: ChunkOut<JoinPair> = ChunkOut::new(&self.pipeline);
-            for (off, &i) in chunk.iter().enumerate() {
-                let p = chunk_start + off;
-                let si = self.corpus.sketch(i as usize);
-                for (q, &j) in by_size.iter().enumerate().skip(p + 1) {
-                    let sj = self.corpus.sketch(j as usize);
-                    if let Some(idx) = size_stage {
-                        // Sizes ascend along `by_size`: once the size bound
-                        // prunes, it prunes the rest of the inner loop.
-                        if (sj.size as f64 - si.size as f64) >= tau {
-                            out.filter.record(idx, (n - q) as u64);
-                            break;
+        let chunks = map_chunks_with(
+            by_size,
+            &self.policy,
+            || self.scratch.take(),
+            |ws, chunk_start, chunk| {
+                let mut out: ChunkOut<JoinPair> = ChunkOut::new(&self.pipeline);
+                for (off, &i) in chunk.iter().enumerate() {
+                    let p = chunk_start + off;
+                    let si = self.corpus.sketch(i as usize);
+                    for (q, &j) in by_size.iter().enumerate().skip(p + 1) {
+                        let sj = self.corpus.sketch(j as usize);
+                        if let Some(idx) = size_stage {
+                            // Sizes ascend along `by_size`: once the size bound
+                            // prunes, it prunes the rest of the inner loop.
+                            if (sj.size as f64 - si.size as f64) >= tau {
+                                out.filter.record(idx, (n - q) as u64);
+                                break;
+                            }
                         }
-                    }
-                    if filters_active {
-                        if let Some(stage) = self.pipeline.prune_stage(si, sj, tau) {
-                            out.filter.record(stage, 1);
-                            continue;
+                        if filters_active {
+                            if let Some(stage) = self.pipeline.prune_stage(si, sj, tau) {
+                                out.filter.record(stage, 1);
+                                continue;
+                            }
                         }
-                    }
-                    // Verify in original-id order: asymmetric verifiers
-                    // (e.g. Klein-H) count subproblems differently per
-                    // operand order, and the historical join ran (i, j)
-                    // with i < j.
-                    let (left, right) =
-                        ((i as usize).min(j as usize), (i as usize).max(j as usize));
-                    let run = verifier.verify(self.corpus.tree(left), self.corpus.tree(right));
-                    out.verified += 1;
-                    out.subproblems += run.subproblems;
-                    if run.distance < tau {
-                        out.found.push(JoinPair {
-                            left,
-                            right,
-                            distance: run.distance,
-                        });
+                        // Verify in original-id order: asymmetric verifiers
+                        // (e.g. Klein-H) count subproblems differently per
+                        // operand order, and the historical join ran (i, j)
+                        // with i < j.
+                        let (left, right) =
+                            ((i as usize).min(j as usize), (i as usize).max(j as usize));
+                        let run = verifier.verify_in(
+                            self.corpus.tree(left),
+                            self.corpus.tree(right),
+                            ws.get(),
+                        );
+                        out.verified += 1;
+                        out.subproblems += run.subproblems;
+                        if run.distance < tau {
+                            out.found.push(JoinPair {
+                                left,
+                                right,
+                                distance: run.distance,
+                            });
+                        }
                     }
                 }
-            }
-            out
-        });
+                out
+            },
+        );
 
         let mut matches = Vec::new();
         for out in chunks {

@@ -6,16 +6,27 @@
 //! [`CostModel`] plug in — including borrowed cost models, since
 //! `CostModel` is implemented for references.
 
-use rted_core::{Algorithm, CostModel, RunStats, UnitCost};
+use rted_core::{Algorithm, CostModel, RunStats, UnitCost, Workspace};
 use rted_tree::Tree;
 
 /// Computes exact tree edit distances for candidate pairs.
 ///
 /// Implementations must be thread-safe: the parallel executor calls
-/// `verify` concurrently from worker threads.
+/// `verify` concurrently from worker threads (each worker passes its own
+/// [`Workspace`] to [`Verifier::verify_in`]).
 pub trait Verifier<L>: Send + Sync {
     /// The exact distance computation for one pair, with run statistics.
     fn verify(&self, f: &Tree<L>, g: &Tree<L>) -> RunStats;
+
+    /// [`Verifier::verify`] drawing scratch memory from a caller-provided
+    /// [`Workspace`] so batch verification stops allocating once the
+    /// workspace is warm. The default implementation ignores the
+    /// workspace and delegates to `verify`, so existing custom verifiers
+    /// keep working unchanged; results must be identical either way.
+    fn verify_in(&self, f: &Tree<L>, g: &Tree<L>, ws: &mut Workspace) -> RunStats {
+        let _ = ws;
+        self.verify(f, g)
+    }
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str {
@@ -61,6 +72,10 @@ impl Default for AlgorithmVerifier<UnitCost> {
 impl<L, C: CostModel<L> + Send + Sync> Verifier<L> for AlgorithmVerifier<C> {
     fn verify(&self, f: &Tree<L>, g: &Tree<L>) -> RunStats {
         self.algorithm.run(f, g, &self.cost_model)
+    }
+
+    fn verify_in(&self, f: &Tree<L>, g: &Tree<L>, ws: &mut Workspace) -> RunStats {
+        self.algorithm.run_in(f, g, &self.cost_model, ws)
     }
 
     fn name(&self) -> &'static str {

@@ -130,10 +130,13 @@ where
 /// Fig.-5 cost formula; no distances computed). This is the analytic
 /// counterpart of [`JoinResult::subproblems`].
 pub fn predicted_join_subproblems<L>(trees: &[Tree<L>], algorithm: Algorithm) -> u64 {
+    // One workspace serves every pair: after the first strategy run the
+    // whole sweep is allocation-free.
+    let mut ws = rted_core::Workspace::new();
     let mut total = 0u64;
     for i in 0..trees.len() {
         for j in i + 1..trees.len() {
-            total += algorithm.predicted_subproblems(&trees[i], &trees[j]);
+            total += algorithm.predicted_subproblems_in(&trees[i], &trees[j], &mut ws);
         }
     }
     total

@@ -16,7 +16,7 @@
 use crate::{NodeId, Tree};
 
 /// Per-subtree decomposition counts for one tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DecompCounts {
     /// `Σ_{x ∈ F_v} |F_x|` for each `v`.
     pub sum_sizes: Vec<u64>,
@@ -31,47 +31,51 @@ pub struct DecompCounts {
 impl DecompCounts {
     /// Computes all counts for `tree` in O(n).
     pub fn new<L>(tree: &Tree<L>) -> Self {
+        let mut counts = DecompCounts::default();
+        counts.rebuild(tree);
+        counts
+    }
+
+    /// Recomputes all counts for `tree` in place, reusing the arrays'
+    /// capacity (no allocation once the arrays are large enough).
+    pub fn rebuild<L>(&mut self, tree: &Tree<L>) {
         let n = tree.len();
-        let mut sum_sizes = vec![0u64; n];
-        // g_l[v] = Σ over nodes x in F_v that are NOT leftmost children
-        // (x ≠ v) of |F_x|; symmetric for g_r.
-        let mut g_l = vec![0u64; n];
-        let mut g_r = vec![0u64; n];
-        let mut full = vec![0u64; n];
-        let mut left = vec![0u64; n];
-        let mut right = vec![0u64; n];
+        self.sum_sizes.clear();
+        self.sum_sizes.resize(n, 0);
+        self.full.clear();
+        self.full.resize(n, 0);
+        self.left.clear();
+        self.left.resize(n, 0);
+        self.right.clear();
+        self.right.resize(n, 0);
 
         for v in 0..n {
             let vid = NodeId(v as u32);
             let sz = tree.size(vid) as u64;
             let mut ss = sz;
+            // gl = Σ over nodes x in F_v (x ≠ v) that are NOT leftmost
+            // children of |F_x|; symmetric for gr. A child's own sum is
+            // recovered as left[c] − size(c), so no extra arrays are kept.
             let mut gl = 0u64;
             let mut gr = 0u64;
             let degree = tree.degree(vid);
             for (i, c) in tree.children(vid).enumerate() {
                 let ci = c.idx();
-                ss += sum_sizes[ci];
-                gl += g_l[ci];
-                gr += g_r[ci];
+                let csz = tree.size(c) as u64;
+                ss += self.sum_sizes[ci];
+                gl += self.left[ci] - csz;
+                gr += self.right[ci] - csz;
                 if i != 0 {
-                    gl += tree.size(c) as u64;
+                    gl += csz;
                 }
                 if i != degree - 1 {
-                    gr += tree.size(c) as u64;
+                    gr += csz;
                 }
             }
-            sum_sizes[v] = ss;
-            g_l[v] = gl;
-            g_r[v] = gr;
-            full[v] = sz * (sz + 3) / 2 - ss;
-            left[v] = sz + gl;
-            right[v] = sz + gr;
-        }
-        DecompCounts {
-            sum_sizes,
-            full,
-            left,
-            right,
+            self.sum_sizes[v] = ss;
+            self.full[v] = sz * (sz + 3) / 2 - ss;
+            self.left[v] = sz + gl;
+            self.right[v] = sz + gr;
         }
     }
 

@@ -41,12 +41,20 @@ pub fn path_step<L>(tree: &Tree<L>, v: NodeId, kind: PathKind) -> Option<NodeId>
 /// The root-leaf path of `kind` starting at `v`: `v` first, leaf last.
 pub fn root_leaf_path<L>(tree: &Tree<L>, v: NodeId, kind: PathKind) -> Vec<NodeId> {
     let mut path = Vec::new();
+    root_leaf_path_into(tree, v, kind, &mut path);
+    path
+}
+
+/// [`root_leaf_path`] writing into a caller-owned buffer (cleared first),
+/// so hot loops can reuse one allocation across calls.
+pub fn root_leaf_path_into<L>(tree: &Tree<L>, v: NodeId, kind: PathKind, out: &mut Vec<NodeId>) {
+    out.clear();
     let mut cur = v;
     loop {
-        path.push(cur);
+        out.push(cur);
         match path_step(tree, cur, kind) {
             Some(next) => cur = next,
-            None => return path,
+            None => return,
         }
     }
 }
@@ -59,6 +67,14 @@ pub fn root_leaf_path<L>(tree: &Tree<L>, v: NodeId, kind: PathKind) -> Vec<NodeI
 /// left-to-right within each parent — the order is irrelevant to callers.
 pub fn relevant_subtrees<L>(tree: &Tree<L>, v: NodeId, kind: PathKind) -> Vec<NodeId> {
     let mut out = Vec::new();
+    relevant_subtrees_into(tree, v, kind, &mut out);
+    out
+}
+
+/// [`relevant_subtrees`] writing into a caller-owned buffer (cleared
+/// first), so hot loops can reuse one allocation across calls.
+pub fn relevant_subtrees_into<L>(tree: &Tree<L>, v: NodeId, kind: PathKind, out: &mut Vec<NodeId>) {
+    out.clear();
     let mut cur = v;
     loop {
         match path_step(tree, cur, kind) {
@@ -70,7 +86,7 @@ pub fn relevant_subtrees<L>(tree: &Tree<L>, v: NodeId, kind: PathKind) -> Vec<No
                 }
                 cur = next;
             }
-            None => return out,
+            None => return,
         }
     }
 }
