@@ -11,8 +11,12 @@
 //! rted index build   <INDEX> <FILE>
 //! rted index update  <INDEX> [--add FILE] [--remove IDS]... [--compact]
 //! rted index compact <INDEX>
+//! rted index repair  <INDEX>
 //! rted index info    <INDEX>
 //! rted index dump    <INDEX>
+//! rted serve   [--index INDEX | FILE] [--socket PATH] [--workers N]
+//!              [--threads N] [--compact-frac F] [--strict]
+//! rted query   --socket PATH
 //! ```
 //!
 //! Trees are given inline in bracket notation (`{a{b}{c}}`) or as file
@@ -22,6 +26,16 @@
 //! `--index <INDEX>` loads a persistent corpus built with `rted index
 //! build` (then `join` takes no positional argument and `search`/`topk`
 //! take only the query). `<SHAPE>` is one of `lb rb fb zz mx random`.
+//!
+//! `rted serve` runs the long-lived query service (`rted-serve`): one
+//! newline-delimited JSON request per line over stdin/stdout, or — with
+//! `--socket` — over a Unix socket serving many concurrent client
+//! connections (`rted query` is the matching line-pipe client). With
+//! `--index` the service is durable and **recovers the corpus on
+//! startup**, repairing a file torn by a crash mid-update (tail-scan
+//! salvage) unless `--strict` demands a fully consistent file; what was
+//! recovered is reported on stderr. `rted index repair` performs the
+//! same salvage as a one-shot offline command.
 //!
 //! Every failure — malformed trees, missing files, unknown or
 //! valueless flags, corrupt or version-mismatched index files — exits
@@ -49,9 +63,15 @@ fn usage() -> ExitCode {
          rted index build   <INDEX> <FILE>\n  \
          rted index update  <INDEX> [--add FILE] [--remove IDS]... [--compact]\n  \
          rted index compact <INDEX>\n  \
+         rted index repair  <INDEX>\n  \
          rted index info    <INDEX>\n  \
-         rted index dump    <INDEX>\n\n\
+         rted index dump    <INDEX>\n  \
+         rted serve    [--index INDEX | FILE] [--socket PATH] [--workers N] [--threads N]\n  \
+         \x20             [--compact-frac F] [--strict]\n  \
+         rted query    --socket PATH\n\n\
          join/search/topk also accept --index <INDEX> in place of <FILE>.\n\
+         serve speaks one JSON request per line (see README); --index recovers\n\
+         (and repairs) the corpus on startup, a FILE serves from memory only.\n\
          NAME: rted (default) | zhang-l | zhang-r | klein-h | demaine-h\n\
          SHAPE: lb | rb | fb | zz | mx | random\n\
          TREE/QUERY: inline bracket notation or a file path\n\
@@ -73,6 +93,9 @@ const VALUE_FLAGS: &[&str] = &[
     "index",
     "add",
     "remove",
+    "socket",
+    "workers",
+    "compact-frac",
 ];
 
 struct Opts {
@@ -435,7 +458,7 @@ fn cmd_index(opts: &Opts) -> Result<(), String> {
     let sub = opts
         .positional
         .first()
-        .ok_or("index needs a subcommand: build | update | compact | info | dump")?;
+        .ok_or("index needs a subcommand: build | update | compact | repair | info | dump")?;
     let rest = &opts.positional[1..];
     match sub.as_str() {
         "build" => {
@@ -504,6 +527,22 @@ fn cmd_index(opts: &Opts) -> Result<(), String> {
             );
             Ok(())
         }
+        "repair" => {
+            opts.expect_flags("index repair", &[])?;
+            let [index_path] = rest else {
+                return Err("index repair needs INDEX".into());
+            };
+            let (_, report) = CorpusStore::open_repair(index_path).map_err(|e| e.to_string())?;
+            if report.bytes_dropped == 0 && !report.header_rewritten {
+                eprintln!(
+                    "{index_path}: already clean — {} segment(s), {} live trees",
+                    report.segments_recovered, report.live
+                );
+            } else {
+                eprintln!("repaired {index_path}: {}", repair_summary(&report));
+            }
+            Ok(())
+        }
         "info" => {
             opts.expect_flags("index info", &[])?;
             let [index_path] = rest else {
@@ -539,9 +578,236 @@ fn cmd_index(opts: &Opts) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown index subcommand `{other}` (build | update | compact | info | dump)"
+            "unknown index subcommand `{other}` (build | update | compact | repair | info | dump)"
         )),
     }
+}
+
+/// `rted serve` — the long-lived query service over stdin/stdout or a
+/// Unix socket. See the crate docs of `rted-serve` for the protocol.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    opts.expect_flags(
+        "serve",
+        &[
+            "index",
+            "socket",
+            "workers",
+            "threads",
+            "compact-frac",
+            "strict",
+        ],
+    )?;
+    let mut config = rted_serve::ServerConfig::default();
+    if let Some(w) = opts.flag("workers") {
+        config.workers = w
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or(format!("bad --workers {w}"))?;
+    }
+    config.query_threads = parsed_flag(opts, "threads", 1)?;
+    let frac: f64 = parsed_flag(opts, "compact-frac", 0.25)?;
+    // A non-positive fraction disables background compaction.
+    config.compact_fraction = (frac > 0.0).then_some(frac);
+
+    let server = match opts.flag("index") {
+        Some(index_path) => {
+            if !opts.positional.is_empty() {
+                return Err("serve with --index takes no positional argument".into());
+            }
+            if !std::path::Path::new(index_path).exists() {
+                // A fresh service: start from an empty durable corpus.
+                CorpusStore::create(index_path, Vec::<Tree<String>>::new())
+                    .map_err(|e| e.to_string())?;
+                eprintln!("rted serve: created empty index {index_path}");
+            }
+            let recovery = if opts.has("strict") {
+                rted_serve::Recovery::Strict
+            } else {
+                rted_serve::Recovery::Repair
+            };
+            let (server, report) = rted_serve::Server::open(index_path, recovery, config)
+                .map_err(|e| format!("index {index_path}: {e}"))?;
+            if report.bytes_dropped > 0 || report.header_rewritten {
+                eprintln!(
+                    "rted serve: repaired {index_path} — {}",
+                    repair_summary(&report)
+                );
+            } else {
+                eprintln!(
+                    "rted serve: opened {index_path} — {} live trees, {} segment(s)",
+                    report.live, report.segments_recovered
+                );
+            }
+            server
+        }
+        None => {
+            let [file] = &opts.positional[..] else {
+                return Err("serve needs --index INDEX or a corpus FILE".into());
+            };
+            let trees = load_tree_file(file)?;
+            eprintln!(
+                "rted serve: serving {} trees from {file} (in-memory, no durability)",
+                trees.len()
+            );
+            rted_serve::Server::in_memory(trees, config)
+        }
+    };
+
+    let result = match opts.flag("socket") {
+        Some(path) => serve_socket(&server, path),
+        None => serve_stdio(&server),
+    };
+    // Graceful either way: drain whatever the front-end accepted.
+    server.shutdown();
+    result
+}
+
+/// Stdio front-end: one request line in, one response line out, until
+/// EOF or a `shutdown` request.
+fn serve_stdio(server: &rted_serve::Server) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut client = server.client();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, is_shutdown) = respond(&mut client, &line);
+        writeln!(out, "{response}")
+            .and_then(|_| out.flush())
+            .map_err(|e| format!("stdout: {e}"))?;
+        if is_shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Parses and executes one request line; returns the rendered response
+/// and whether it was a shutdown request (handled at the transport
+/// level: acknowledged with `bye`, then the front-end stops).
+fn respond(client: &mut rted_serve::Client, line: &str) -> (String, bool) {
+    use rted_serve::{parse_request, render_response, Request, Response};
+    match parse_request(line) {
+        Err(e) => (render_response(&Response::Error(e)), false),
+        Ok(Request::Shutdown) => (render_response(&Response::Bye), true),
+        Ok(request) => (render_response(&client.call(request)), false),
+    }
+}
+
+/// Unix-socket front-end: every connection is an independent client of
+/// the shared service; a `shutdown` request from any connection stops
+/// the listener (after answering `bye`) and drains the rest.
+#[cfg(unix)]
+fn serve_socket(server: &rted_serve::Server, path: &str) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let _ = std::fs::remove_file(path); // stale socket from a previous run
+    let listener = UnixListener::bind(path).map_err(|e| format!("cannot bind {path}: {e}"))?;
+    eprintln!("rted serve: listening on {path}");
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let stop = &stop;
+            scope.spawn(move || {
+                let Ok(read_half) = stream.try_clone() else {
+                    return;
+                };
+                let mut client = server.client();
+                let mut writer = stream;
+                for line in BufReader::new(read_half).lines() {
+                    let Ok(line) = line else { break };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let (response, is_shutdown) = respond(&mut client, &line);
+                    if writeln!(writer, "{response}")
+                        .and_then(|_| writer.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                    if is_shutdown {
+                        stop.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop so it observes `stop`.
+                        let _ = UnixStream::connect(path);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_server: &rted_serve::Server, _path: &str) -> Result<(), String> {
+    Err("--socket requires a Unix platform; use the stdin/stdout mode".into())
+}
+
+/// `rted query` — the line-pipe client for a `rted serve --socket`
+/// service: forwards each stdin line as a request, prints each response.
+#[cfg(unix)]
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    opts.expect_flags("query", &["socket"])?;
+    if !opts.positional.is_empty() {
+        return Err("query takes no positional arguments".into());
+    }
+    let path = opts.flag("socket").ok_or("query needs --socket PATH")?;
+    let stream = UnixStream::connect(path).map_err(|e| format!("cannot connect to {path}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut responses = BufReader::new(stream).lines();
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{line}")
+            .and_then(|_| writer.flush())
+            .map_err(|e| format!("socket write: {e}"))?;
+        let response = responses
+            .next()
+            .ok_or("server closed the connection")?
+            .map_err(|e| format!("socket read: {e}"))?;
+        println!("{response}");
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_query(_opts: &Opts) -> Result<(), String> {
+    Err("query requires a Unix platform".into())
+}
+
+/// Operator-facing one-liner for a repair outcome — shared by `rted
+/// index repair` and the `rted serve` startup report (the serve
+/// roundtrip CI script greps this wording, so it must not fork).
+fn repair_summary(report: &rted_index::RepairReport) -> String {
+    format!(
+        "recovered {} segment(s) ({} live trees), dropped {} byte(s) of torn tail{}",
+        report.segments_recovered,
+        report.live,
+        report.bytes_dropped,
+        if report.header_rewritten {
+            ", header recomputed"
+        } else {
+            ""
+        }
+    )
 }
 
 /// Parses comma-separated id lists from repeated `--remove` flags.
@@ -577,6 +843,8 @@ fn main() -> ExitCode {
         "search" => cmd_search(&opts),
         "topk" => cmd_topk(&opts),
         "index" => cmd_index(&opts),
+        "serve" => cmd_serve(&opts),
+        "query" => cmd_query(&opts),
         _ => return usage(),
     };
     match result {

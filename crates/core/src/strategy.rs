@@ -308,8 +308,11 @@ fn child_roles_into<L>(t: &Tree<L>, roles: &mut Vec<u8>) {
     }
 }
 
-/// Takes a zeroed interleaved row of `len` words from the pool.
-fn acquire_row(rows: &mut Vec<Vec<u64>>, free: &mut Vec<u32>, len: usize) -> u32 {
+/// Takes a zeroed interleaved row of `len` words from the pool. `width`
+/// is the workspace's high-water row width: recycled rows were pre-grown
+/// to it (see `compute_strategy_in`), and new rows are born with it, so
+/// a warm pool never reallocates here regardless of which slot surfaces.
+fn acquire_row(rows: &mut Vec<Vec<u64>>, free: &mut Vec<u32>, len: usize, width: usize) -> u32 {
     match free.pop() {
         Some(slot) => {
             let row = &mut rows[slot as usize];
@@ -318,7 +321,9 @@ fn acquire_row(rows: &mut Vec<Vec<u64>>, free: &mut Vec<u32>, len: usize) -> u32
             slot
         }
         None => {
-            rows.push(vec![0u64; len]);
+            let mut row = Vec::with_capacity(width);
+            row.resize(len, 0);
+            rows.push(row);
             (rows.len() - 1) as u32
         }
     }
@@ -386,9 +391,21 @@ pub fn compute_strategy_in<L, Ch: Chooser>(
         rows,
         row_free,
         row_of,
+        row_width,
         zero_row,
         ..
     } = ws;
+    // Keep every pooled row grown to the high-water width: after this,
+    // `acquire_row` never reallocates no matter which slot the free list
+    // pops, so a reused workspace reaches its allocation fixed point the
+    // first time it sees each problem size — not after some
+    // acquisition-order-dependent number of passes.
+    *row_width = (*row_width).max(rw3);
+    let row_width = *row_width;
+    for row in rows.iter_mut() {
+        let need = row_width.saturating_sub(row.len());
+        row.reserve(need);
+    }
     lw.clear();
     lw.resize(ng, 0);
     rw.clear();
@@ -442,11 +459,11 @@ pub fn compute_strategy_in<L, Ch: Chooser>(
             Some(p) => {
                 let pi = p.idx();
                 if row_of[pi] == NO_ROW {
-                    row_of[pi] = acquire_row(rows, row_free, rw3);
+                    row_of[pi] = acquire_row(rows, row_free, rw3, row_width);
                 }
                 row_of[pi]
             }
-            None => acquire_row(rows, row_free, rw3),
+            None => acquire_row(rows, row_free, rw3, row_width),
         };
         let prow: &mut [u64] = &mut rows[pslot as usize];
 

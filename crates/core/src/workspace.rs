@@ -127,6 +127,15 @@ pub struct Workspace {
     pub(crate) row_free: Vec<u32>,
     /// F-node → `rows` slot (`NO_ROW` when the node has no live row).
     pub(crate) row_of: Vec<u32>,
+    /// High-water row width (`3 · |G|` over all runs): every pooled row
+    /// is kept grown to this capacity, and new rows are born with it, so
+    /// the pool's warm state is independent of the order pairs were
+    /// served in. Without it, which under-sized recycled row a node pops
+    /// depends on acquisition history, and a long-lived workspace serving
+    /// mixed tree sizes keeps re-growing rows long after every size has
+    /// been seen once — stray allocations a serving layer's zero-alloc
+    /// contract trips over.
+    pub(crate) row_width: usize,
     /// All-zeros stand-in row for leaves (which never accumulate).
     pub(crate) zero_row: Vec<u64>,
     /// Recyclable storage for [`Strategy::choices`]; taken by

@@ -150,3 +150,31 @@ fn workspace_survives_shrinking_and_growing_pairs() {
         "warm alternating runs performed {delta} allocations"
     );
 }
+
+#[test]
+fn one_pass_over_a_mixed_workload_reaches_the_allocation_fixed_point() {
+    // The serving-layer contract: a worker's workspace sees a mixed bag
+    // of pairs once, and every later request — in any order — allocates
+    // nothing. This is strictly stronger than repeating one pair: the
+    // strategy row pool recycles rows across pairs of different widths,
+    // and before rows were kept grown to the high-water width, which
+    // under-sized row a node popped depended on acquisition order, so
+    // stray reallocations kept firing long after warm-up.
+    let trees: Vec<Tree<String>> = (0..8).map(|i| mixed_tree(30 + 5 * i, i as u64)).collect();
+    let pairs = [(0usize, 1usize), (2, 5), (6, 3), (7, 4)];
+    let mut ws = Workspace::new();
+    for &(l, r) in &pairs {
+        Algorithm::Rted.run_in(&trees[l], &trees[r], &UnitCost, &mut ws);
+    }
+    let before = allocations();
+    // Several orders, including reversed and interleaved revisits.
+    for &(l, r) in pairs.iter().chain(pairs.iter().rev()) {
+        Algorithm::Rted.run_in(&trees[l], &trees[r], &UnitCost, &mut ws);
+        Algorithm::Rted.run_in(&trees[0], &trees[1], &UnitCost, &mut ws);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "warm mixed-workload runs performed {delta} allocations"
+    );
+}

@@ -37,9 +37,13 @@ impl<L> CorpusEntry<L> {
         CorpusEntry { tree, sketch }
     }
 
-    /// Analyzes a tree into an entry (the insert-time analysis, runnable
-    /// before the entry has a corpus slot — see `CorpusStore::insert_all`).
-    pub(crate) fn analyze(tree: Tree<L>) -> Self
+    /// Analyzes a tree into an entry — the insert-time analysis, runnable
+    /// before the entry has a corpus slot. Callers that must serialize or
+    /// hand off an entry *before* committing the in-memory insert (the
+    /// durable store, the serving layer's insert path) build entries here
+    /// and pass them to [`TreeCorpus::insert_entry`], so each tree is
+    /// analyzed exactly once.
+    pub fn analyze(tree: Tree<L>) -> Self
     where
         L: Eq + std::hash::Hash + Clone,
     {
@@ -114,7 +118,7 @@ impl<L: Eq + std::hash::Hash + Clone> TreeCorpus<L> {
     /// Inserts an already-analyzed entry (avoids re-analysis when the
     /// caller had to build the entry up front, e.g. to serialize it before
     /// committing the in-memory mutation).
-    pub(crate) fn insert_entry(&mut self, entry: CorpusEntry<L>) -> usize {
+    pub fn insert_entry(&mut self, entry: CorpusEntry<L>) -> usize {
         let id = self.entries.len();
         assert!(id < u32::MAX as usize, "corpus id space exhausted");
         let key = (entry.sketch.size, id as u32);
@@ -170,6 +174,18 @@ impl<L> TreeCorpus<L> {
     #[inline]
     pub fn id_bound(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Number of reserved-but-vacant ids (`id_bound() − len()`). Note for
+    /// compaction triggers: holes are *permanent* — ids are never reused,
+    /// so this count survives [`crate::CorpusStore::compact`] — whereas
+    /// the file's reclaimable tombstone backlog
+    /// ([`crate::CorpusStore::file_tombstones`]) resets to zero. Keying a
+    /// compaction threshold off `holes()` would re-fire forever on an
+    /// already-compact store; key it off the file backlog instead.
+    #[inline]
+    pub fn holes(&self) -> usize {
+        self.entries.len() - self.live
     }
 
     /// The entry with id `id`, or `None` if it was removed or never

@@ -67,8 +67,8 @@ pub mod verify;
 pub use corpus::{CorpusEntry, TreeCorpus};
 pub use exec::{map_chunks, map_chunks_with, ExecPolicy, PooledWorkspace, WorkspacePool};
 pub use filter::{FilterPipeline, FilterStats, StagePrune};
-pub use persist::{encode_corpus, CorpusFile, PersistError};
-pub use store::CorpusStore;
+pub use persist::{encode_corpus, salvage_corpus, CorpusFile, PersistError, RepairReport, Salvage};
+pub use store::{CorpusLog, CorpusStore, LogCounts, Recovery};
 pub use verify::{AlgorithmVerifier, Verifier};
 
 use rted_core::bounds::TreeSketch;
@@ -218,6 +218,27 @@ where
     /// stop mentioning it.
     pub fn remove(&mut self, id: usize) -> bool {
         self.corpus.remove(id).is_some()
+    }
+
+    /// Inserts an already-analyzed entry, returning its stable id — the
+    /// path for callers that had to build the entry before committing the
+    /// in-memory mutation (a durable log appends the analyzed entry
+    /// first, so tree and sketch are computed exactly once).
+    pub fn insert_entry(&mut self, entry: CorpusEntry<L>) -> usize {
+        self.corpus.insert_entry(entry)
+    }
+
+    /// Exact distance between two trees under this index's verifier,
+    /// drawing scratch from `ws` — the serving layer's per-worker
+    /// allocation-free distance path (neither tree needs to be in the
+    /// corpus).
+    pub fn distance_in(
+        &self,
+        f: &Tree<L>,
+        g: &Tree<L>,
+        ws: &mut rted_core::Workspace,
+    ) -> rted_core::RunStats {
+        self.verifier.verify_in(f, g, ws)
     }
 
     /// Replaces the filter pipeline.
@@ -388,13 +409,18 @@ where
         let size_stage = self.leading_size_stage();
 
         // Max-heap on (distance, id): the top is the worst of the best k.
-        let mut heap: BinaryHeap<(OrdF64, usize)> = BinaryHeap::with_capacity(k + 1);
+        // Capacity (and the batch schedule below) is sized from the
+        // *effective* k — the heap can never hold more than the corpus —
+        // so an absurd requested k (e.g. from an untrusted service
+        // request) cannot force a huge up-front allocation or abort.
+        let k_eff = k.min(order.len());
+        let mut heap: BinaryHeap<(OrdF64, usize)> = BinaryHeap::with_capacity(k_eff + 1);
         // Batches grow geometrically: a small first batch establishes a
         // finite radius quickly (so later batches can prune), while later
         // batches amortize dispatch. Sizes depend only on `k` and the
         // chunk setting — never on the thread count — so prune counters
         // (not just results) are reproducible across policies.
-        let mut batch = (2 * k).max(16);
+        let mut batch = (2 * k_eff).max(16);
         let batch_cap = (self.policy.chunk.max(1) * 4).max(batch);
         let mut pos = 0;
         while pos < order.len() {

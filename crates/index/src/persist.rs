@@ -380,12 +380,77 @@ pub fn encode_corpus(corpus: &TreeCorpus<String>) -> Vec<u8> {
     out
 }
 
+/// Per-id slot table the segment decoders replay into.
+///
+/// In strict mode every id must fall below the header's `next_id`; in grow
+/// mode (tail salvage, see [`salvage_corpus`]) the table expands to hold
+/// ids a *stale* header does not cover yet — the signature state of a
+/// crash between a segment append and its header rewrite.
+struct SlotTable<L> {
+    slots: Vec<Option<CorpusEntry<L>>>,
+    grow: bool,
+}
+
+impl<L> SlotTable<L> {
+    fn new(reserved: usize, grow: bool) -> Result<Self, PersistError> {
+        // One slot per ever-assigned id is the corpus's own in-memory
+        // layout (removed ids stay reserved), so the allocation is
+        // legitimate for any honest file and cannot be bounded by the file
+        // size (compaction makes next_id independent of it). `try_reserve`
+        // converts direct allocation failure into an error instead of an
+        // abort.
+        let mut slots: Vec<Option<CorpusEntry<L>>> = Vec::new();
+        slots.try_reserve_exact(reserved).map_err(|_| {
+            PersistError::Corrupt(format!("cannot allocate id table for next_id {reserved}"))
+        })?;
+        slots.resize_with(reserved, || None);
+        Ok(SlotTable { slots, grow })
+    }
+
+    fn is_live(&self, id: usize) -> bool {
+        self.slots.get(id).is_some_and(|s| s.is_some())
+    }
+
+    /// Validates that a tree record may claim `id` (called during the
+    /// parse phase, before anything is committed).
+    fn check_tree_id(&self, id: usize) -> Result<(), PersistError> {
+        if id >= self.slots.len() && !self.grow {
+            return corrupt(format!("tree id {id} exceeds header next_id"));
+        }
+        if id >= u32::MAX as usize {
+            return corrupt(format!("tree id {id} exceeds the id space"));
+        }
+        Ok(())
+    }
+
+    /// Grows the table to cover `max_id` (grow mode only; a no-op when it
+    /// already does). Runs **before** any record of a segment is
+    /// committed, so allocation failure leaves the table untouched.
+    fn reserve_through(&mut self, max_id: usize) -> Result<(), PersistError> {
+        if max_id < self.slots.len() {
+            return Ok(());
+        }
+        debug_assert!(self.grow, "check_tree_id bounds ids in strict mode");
+        let extra = max_id + 1 - self.slots.len();
+        self.slots.try_reserve(extra).map_err(|_| {
+            PersistError::Corrupt(format!("cannot allocate id table through id {max_id}"))
+        })?;
+        self.slots.resize_with(max_id + 1, || None);
+        Ok(())
+    }
+}
+
 /// Decodes one trees-segment payload, materializing labels through `make`
 /// (identity for the zero-copy path, `to_string` for the owned path).
+///
+/// Application is **atomic**: the whole payload is parsed and validated
+/// before the first slot is written, so a payload that fails mid-way
+/// leaves `slots` exactly as it was — which is what lets the salvage path
+/// keep the state of the last good segment when a later one is torn.
 fn decode_trees_payload<'a, L, F>(
     payload: &'a [u8],
     make: &F,
-    slots: &mut [Option<CorpusEntry<L>>],
+    slots: &mut SlotTable<L>,
 ) -> Result<(), PersistError>
 where
     L: Eq + std::hash::Hash + Clone,
@@ -406,6 +471,12 @@ where
         table.push(label);
     }
     let tree_count = r.u32()?;
+    let mut batch: Vec<(usize, CorpusEntry<L>)> = Vec::new();
+    // O(1) in-batch duplicate detection: slot occupancy only covers ids
+    // from *earlier* segments (this batch commits after the full parse),
+    // and a linear rescan of the batch would make loading a compacted
+    // million-tree segment quadratic.
+    let mut batch_ids: std::collections::HashSet<usize> = std::collections::HashSet::new();
     for _ in 0..tree_count {
         let id = r.u64()? as usize;
         let n = r.u32()? as usize;
@@ -466,47 +537,132 @@ where
         }
         let sketch = TreeSketch::from_parts(n, max_depth, leaves, histogram);
 
-        let slot = slots
-            .get_mut(id)
-            .ok_or_else(|| PersistError::Corrupt(format!("tree id {id} exceeds header next_id")))?;
-        if slot.is_some() {
+        slots.check_tree_id(id)?;
+        if slots.is_live(id) || !batch_ids.insert(id) {
             return corrupt(format!("duplicate tree id {id}"));
         }
-        *slot = Some(CorpusEntry::from_parts(tree, sketch));
+        batch.push((id, CorpusEntry::from_parts(tree, sketch)));
     }
     if !r.done() {
         return corrupt("trailing bytes after the last tree record".to_string());
     }
+    // Commit phase: every record validated, grow once, then write slots.
+    if let Some(max_id) = batch.iter().map(|&(id, _)| id).max() {
+        slots.reserve_through(max_id)?;
+    }
+    for (id, entry) in batch {
+        slots.slots[id] = Some(entry);
+    }
     Ok(())
 }
 
-/// Decodes a tombstones-segment payload, vacating the named slots.
+/// Decodes a tombstones-segment payload, vacating the named slots and
+/// returning how many. Like [`decode_trees_payload`], application is
+/// atomic: ids are parsed and validated first, vacated only once the
+/// whole payload checks out.
 fn decode_tombstones_payload<L>(
     payload: &[u8],
-    slots: &mut [Option<CorpusEntry<L>>],
-) -> Result<(), PersistError> {
+    slots: &mut SlotTable<L>,
+) -> Result<usize, PersistError> {
     let mut r = Reader::new(payload, "tombstones segment");
     let count = r.u32()?;
+    let mut batch: Vec<usize> = Vec::with_capacity((count as usize).min(r.remaining() / 8));
+    let mut batch_ids: std::collections::HashSet<usize> = std::collections::HashSet::new();
     for _ in 0..count {
         let id = r.u64()? as usize;
-        let slot = slots.get_mut(id).ok_or_else(|| {
-            PersistError::Corrupt(format!("tombstone id {id} exceeds header next_id"))
-        })?;
-        if slot.take().is_none() {
+        if id >= slots.slots.len() {
+            return corrupt(format!("tombstone id {id} exceeds header next_id"));
+        }
+        if !slots.is_live(id) || !batch_ids.insert(id) {
             return corrupt(format!("tombstone for id {id}, which is not live"));
         }
+        batch.push(id);
     }
     if !r.done() {
         return corrupt("trailing bytes after the last tombstone".to_string());
     }
-    Ok(())
+    let count = batch.len();
+    for id in batch {
+        slots.slots[id] = None;
+    }
+    Ok(count)
+}
+
+/// One decoded-and-applied segment: where the next one starts, and how
+/// many tombstone records this one carried.
+struct SegmentInfo {
+    end: usize,
+    tombstones: usize,
+}
+
+/// Validates and applies the segment starting at `pos`: bounds, checksum,
+/// then the kind-specific payload decoder. Thanks to the decoders'
+/// parse-then-commit discipline, an `Err` leaves `slots` untouched.
+fn decode_segment<'a, L, F>(
+    buf: &'a [u8],
+    pos: usize,
+    make: &F,
+    slots: &mut SlotTable<L>,
+) -> Result<SegmentInfo, PersistError>
+where
+    L: Eq + std::hash::Hash + Clone,
+    F: Fn(&'a str) -> L,
+{
+    let rest = &buf[pos..];
+    if rest.len() < SEGMENT_HEADER_LEN {
+        return Err(PersistError::Truncated {
+            context: "segment header",
+        });
+    }
+    let kind = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+    let stored = u64::from_le_bytes(rest[12..20].try_into().unwrap());
+    let payload_len = usize::try_from(payload_len)
+        .ok()
+        .filter(|&l| l <= rest.len() - SEGMENT_HEADER_LEN)
+        .ok_or(PersistError::Truncated {
+            context: "segment payload",
+        })?;
+    let payload = &rest[SEGMENT_HEADER_LEN..SEGMENT_HEADER_LEN + payload_len];
+    let computed = fnv1a_update(fnv1a_update(FNV_OFFSET, &rest[..12]), payload);
+    if stored != computed {
+        return Err(PersistError::ChecksumMismatch {
+            what: "segment",
+            stored,
+            computed,
+        });
+    }
+    let tombstones = match kind {
+        SEG_TREES => {
+            decode_trees_payload(payload, make, slots)?;
+            0
+        }
+        SEG_TOMBSTONES => decode_tombstones_payload(payload, slots)?,
+        other => return corrupt(format!("unknown segment kind {other}")),
+    };
+    Ok(SegmentInfo {
+        end: pos + SEGMENT_HEADER_LEN + payload_len,
+        tombstones,
+    })
+}
+
+/// Counts of what a full strict decode replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStats {
+    /// Segments in the file.
+    pub segments: usize,
+    /// Tombstone records across all segments (the compaction backlog).
+    pub tombstones: usize,
 }
 
 /// Decodes a full file image into a corpus, materializing labels via
 /// `make`. Validates the header, every segment checksum, and every
 /// structural invariant; checks the replayed live count against the
 /// header.
-fn decode_corpus<'a, L, F>(buf: &'a [u8], make: F) -> Result<TreeCorpus<L>, PersistError>
+fn decode_corpus_full<'a, L, F>(
+    buf: &'a [u8],
+    make: F,
+) -> Result<(TreeCorpus<L>, FileStats), PersistError>
 where
     L: Eq + std::hash::Hash + Clone,
     F: Fn(&'a str) -> L,
@@ -515,59 +671,20 @@ where
     if header.next_id >= u32::MAX as u64 {
         return corrupt(format!("next_id {} exceeds the id space", header.next_id));
     }
-    // One slot per ever-assigned id is the corpus's own in-memory layout
-    // (removed ids stay reserved), so the allocation is legitimate for any
-    // honest file and cannot be bounded by the file size (compaction makes
-    // next_id independent of it). `try_reserve` converts direct allocation
-    // failure into an error instead of an abort; under an overcommitting
-    // allocator the OS may still kill the process when the slots are
-    // touched — exactly as it would for a legitimate corpus of that size.
-    let mut slots: Vec<Option<CorpusEntry<L>>> = Vec::new();
-    slots
-        .try_reserve_exact(header.next_id as usize)
-        .map_err(|_| {
-            PersistError::Corrupt(format!(
-                "cannot allocate id table for next_id {}",
-                header.next_id
-            ))
-        })?;
-    slots.resize_with(header.next_id as usize, || None);
-
+    let mut slots = SlotTable::new(header.next_id as usize, false)?;
+    let mut stats = FileStats {
+        segments: 0,
+        tombstones: 0,
+    };
     let mut pos = HEADER_LEN;
     while pos < buf.len() {
-        let rest = &buf[pos..];
-        if rest.len() < SEGMENT_HEADER_LEN {
-            return Err(PersistError::Truncated {
-                context: "segment header",
-            });
-        }
-        let kind = u32::from_le_bytes(rest[0..4].try_into().unwrap());
-        let payload_len = u64::from_le_bytes(rest[4..12].try_into().unwrap());
-        let stored = u64::from_le_bytes(rest[12..20].try_into().unwrap());
-        let payload_len = usize::try_from(payload_len)
-            .ok()
-            .filter(|&l| l <= rest.len() - SEGMENT_HEADER_LEN)
-            .ok_or(PersistError::Truncated {
-                context: "segment payload",
-            })?;
-        let payload = &rest[SEGMENT_HEADER_LEN..SEGMENT_HEADER_LEN + payload_len];
-        let computed = fnv1a_update(fnv1a_update(FNV_OFFSET, &rest[..12]), payload);
-        if stored != computed {
-            return Err(PersistError::ChecksumMismatch {
-                what: "segment",
-                stored,
-                computed,
-            });
-        }
-        match kind {
-            SEG_TREES => decode_trees_payload(payload, &make, &mut slots)?,
-            SEG_TOMBSTONES => decode_tombstones_payload(payload, &mut slots)?,
-            other => return corrupt(format!("unknown segment kind {other}")),
-        }
-        pos += SEGMENT_HEADER_LEN + payload_len;
+        let info = decode_segment(buf, pos, &make, &mut slots)?;
+        stats.segments += 1;
+        stats.tombstones += info.tombstones;
+        pos = info.end;
     }
 
-    let live = slots.iter().filter(|s| s.is_some()).count();
+    let live = slots.slots.iter().filter(|s| s.is_some()).count();
     if live as u64 != header.live {
         return corrupt(format!(
             "header records {} live trees but segments replay to {live} \
@@ -575,7 +692,106 @@ where
             header.live
         ));
     }
-    Ok(TreeCorpus::from_raw_parts(slots))
+    Ok((TreeCorpus::from_raw_parts(slots.slots), stats))
+}
+
+/// What a tail-scan salvage pass recovered from a (possibly torn) corpus
+/// file. All-zero `bytes_dropped` with `header_rewritten == false` means
+/// the file was already clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Complete, valid segments recovered (replayed into the corpus).
+    pub segments_recovered: usize,
+    /// Bytes dropped from the torn tail (0 for a clean file).
+    pub bytes_dropped: u64,
+    /// Whether the stored header disagreed with the replayed segments —
+    /// the stale-header signature of an interrupted update — and had to
+    /// be recomputed from the recovered segments.
+    pub header_rewritten: bool,
+    /// Live trees after recovery.
+    pub live: u64,
+    /// Recovered id bound (never below the stored header's `next_id`, so
+    /// ids that may exist in application references are never reissued).
+    pub next_id: u64,
+}
+
+/// The outcome of [`salvage_corpus`]: the recovered corpus plus what a
+/// repairer must write back to make the file clean again.
+pub struct Salvage {
+    /// The corpus replayed from the recovered segment prefix.
+    pub corpus: TreeCorpus<String>,
+    /// Length of the valid prefix (header + recovered segments); a
+    /// repairer truncates the file to this length.
+    pub keep_len: usize,
+    /// Header consistent with the recovered segments; a repairer writes
+    /// this over the stored one when `report.header_rewritten`.
+    pub header: Header,
+    /// Tombstone records within the recovered segments.
+    pub tombstones: usize,
+    /// What happened, for operator-facing reporting.
+    pub report: RepairReport,
+}
+
+/// Tail-scans a corpus file image, salvaging the longest prefix of
+/// complete, valid segments and dropping the torn tail — the recovery
+/// mode for files left behind by a crash mid-append.
+///
+/// Unlike the strict loader this accepts ids beyond the stored header's
+/// `next_id` (a crash *between* segment append and header rewrite leaves
+/// a complete, durable segment the stale header does not acknowledge; its
+/// data is valid and is kept) and recomputes the live count from the
+/// replayed segments instead of trusting the header.
+///
+/// Errors only when the header itself is unusable (torn below
+/// [`HEADER_LEN`], bad magic, checksum-corrupt, wrong version) — there is
+/// no data to salvage without a header. Corruption *behind* a valid
+/// prefix (e.g. a bit flip in an early segment) truncates from that point:
+/// salvage is a prefix operation, never a skip-over-holes one, because
+/// tombstones and superseding inserts only make sense replayed in order.
+pub fn salvage_corpus(buf: &[u8]) -> Result<Salvage, PersistError> {
+    let header = Header::decode(buf)?;
+    if header.next_id >= u32::MAX as u64 {
+        return corrupt(format!("next_id {} exceeds the id space", header.next_id));
+    }
+    let make = |s: &str| s.to_string();
+    let mut slots = SlotTable::new(header.next_id as usize, true)?;
+    let mut keep_len = HEADER_LEN;
+    let mut segments = 0;
+    let mut tombstones = 0;
+    while keep_len < buf.len() {
+        match decode_segment(buf, keep_len, &make, &mut slots) {
+            Ok(info) => {
+                segments += 1;
+                tombstones += info.tombstones;
+                keep_len = info.end;
+            }
+            // The torn tail: everything from here on is dropped. The
+            // failed decode did not touch `slots` (parse-then-commit).
+            Err(_) => break,
+        }
+    }
+    let live = slots.slots.iter().filter(|s| s.is_some()).count() as u64;
+    let next_id = slots.slots.len() as u64;
+    let recovered = Header {
+        version: FORMAT_VERSION,
+        flags: 0,
+        next_id,
+        live,
+    };
+    let report = RepairReport {
+        segments_recovered: segments,
+        bytes_dropped: (buf.len() - keep_len) as u64,
+        header_rewritten: recovered != header,
+        live,
+        next_id,
+    };
+    Ok(Salvage {
+        corpus: TreeCorpus::from_raw_parts(slots.slots),
+        keep_len,
+        header: recovered,
+        tombstones,
+        report,
+    })
 }
 
 /// A corpus file image loaded into memory, ready to be decoded.
@@ -631,12 +847,24 @@ impl CorpusFile {
     /// Decodes the zero-copy corpus: labels are `&str` slices **borrowing
     /// from this file's buffer** — no label bytes are copied.
     pub fn corpus(&self) -> Result<TreeCorpus<&str>, PersistError> {
-        decode_corpus(&self.buf, |s| s)
+        decode_corpus_full(&self.buf, |s| s).map(|(c, _)| c)
     }
 
     /// Decodes an owned corpus (labels copied into `String`s), suitable
     /// for handing to a long-lived [`crate::TreeIndex`].
     pub fn corpus_owned(&self) -> Result<TreeCorpus<String>, PersistError> {
-        decode_corpus(&self.buf, |s| s.to_string())
+        decode_corpus_full(&self.buf, |s| s.to_string()).map(|(c, _)| c)
+    }
+
+    /// [`corpus_owned`](Self::corpus_owned) plus replay counters
+    /// (segments, tombstone backlog) — what a store or serving layer
+    /// needs to decide when compaction is worth it.
+    pub fn corpus_owned_with_stats(&self) -> Result<(TreeCorpus<String>, FileStats), PersistError> {
+        decode_corpus_full(&self.buf, |s| s.to_string())
+    }
+
+    /// Tail-scan salvage of this file image — see [`salvage_corpus`].
+    pub fn salvage(&self) -> Result<Salvage, PersistError> {
+        salvage_corpus(&self.buf)
     }
 }

@@ -1,39 +1,246 @@
 //! The durable corpus store: an on-disk [`TreeCorpus`] with incremental
 //! updates.
 //!
-//! A [`CorpusStore`] pairs an in-memory corpus with its file image in the
-//! [`crate::persist`] format. Mutations are **append-only**: inserting
-//! trees appends one trees segment, removing trees appends one tombstones
-//! segment, and only the fixed-size header is rewritten in place (to bump
-//! the live count / next id) — the cost of an update is proportional to
-//! the update, not to the corpus. [`compact`](CorpusStore::compact)
-//! rewrites the file as a single canonical segment when the tombstone /
-//! segment backlog is worth reclaiming, preserving every live id.
+//! Two layers live here:
 //!
-//! Durability model: segments are appended **before** the header is
-//! updated, so a crash between the two leaves a file whose header
-//! disagrees with its segments — which the loader rejects as corrupt
-//! rather than serving a half-applied update. Compaction goes through a
-//! temporary file and an atomic rename. The store assumes a single writer;
-//! concurrent writers can interleave appends and produce a file the loader
-//! rejects, but never a file it silently mis-reads.
+//! * [`CorpusLog`] — the file half alone: it tracks the backing file and
+//!   appends segments / rewrites it, but does **not** own a corpus. A
+//!   long-lived service that already owns the corpus (inside its query
+//!   index) uses the log directly, so the trees exist in memory exactly
+//!   once — see the `rted-serve` crate.
+//! * [`CorpusStore`] — the convenient pairing of a log with its own
+//!   in-memory corpus, for batch tools (the `rted index` CLI) and tests.
+//!
+//! Mutations are **append-only**: inserting trees appends one trees
+//! segment, removing trees appends one tombstones segment, and only the
+//! fixed-size header is rewritten in place (to bump the live count / next
+//! id) — the cost of an update is proportional to the update, not to the
+//! corpus. [`compact`](CorpusStore::compact) rewrites the file as a single
+//! canonical segment when the tombstone / segment backlog is worth
+//! reclaiming, preserving every live id.
+//!
+//! # Durability model
+//!
+//! Appends are ordered *segment bytes → fsync → header → fsync*: the
+//! segment must be durable **before** the header acknowledges it,
+//! otherwise a reordered write-back could persist a header whose counts
+//! point past data that never hit the disk. With that ordering a crash
+//! leaves one of exactly three states: the old file (append not started /
+//! segment not yet durable — the torn segment bytes, if any, fail their
+//! checksum), the old header with a complete durable segment behind it,
+//! or the fully committed update. The first is clean after tail
+//! truncation; the second is recovered *with* the update by
+//! [`CorpusStore::open_repair`]; the strict [`CorpusStore::open`] rejects
+//! both rather than serve a half-applied update silently. Compaction and
+//! creation go through a temporary file, an atomic rename, and a
+//! directory fsync (so the rename itself is durable). The store assumes a
+//! single writer; concurrent writers can interleave appends and produce a
+//! file the loader rejects, but never a file it silently mis-reads.
 
 use crate::corpus::{CorpusEntry, TreeCorpus};
 use crate::persist::{
-    encode_corpus, tombstones_segment, trees_segment, CorpusFile, Header, PersistError,
-    FORMAT_VERSION,
+    encode_corpus, salvage_corpus, tombstones_segment, trees_segment, CorpusFile, Header,
+    PersistError, RepairReport, FORMAT_VERSION, HEADER_LEN,
 };
 use rted_tree::Tree;
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// A [`TreeCorpus`] backed by an on-disk segment file.
-pub struct CorpusStore {
+/// How [`CorpusStore::open_with`] treats a file that strict validation
+/// rejects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Reject anything but a fully consistent file (the historical
+    /// behavior — right for tools that must never mask corruption).
+    Strict,
+    /// Tail-scan salvage: recover the longest prefix of complete, valid
+    /// segments, truncate the torn tail, and rewrite the header to match
+    /// — the right mode for a service that must come back up after a
+    /// crash mid-update instead of abandoning the whole corpus.
+    Repair,
+}
+
+/// The `(next_id, live)` pair a corpus file header records. Appends carry
+/// the pre- and post-mutation counts so the log can both commit the new
+/// header and roll back to the old one on failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogCounts {
+    /// The id the next inserted tree will receive.
+    pub next_id: u64,
+    /// Live tree count.
+    pub live: u64,
+}
+
+impl LogCounts {
+    /// The counts describing `corpus` right now.
+    pub fn of<L>(corpus: &TreeCorpus<L>) -> Self {
+        LogCounts {
+            next_id: corpus.id_bound() as u64,
+            live: corpus.len() as u64,
+        }
+    }
+
+    fn header(self) -> Header {
+        Header {
+            version: FORMAT_VERSION,
+            flags: 0,
+            next_id: self.next_id,
+            live: self.live,
+        }
+    }
+}
+
+/// The file half of a durable corpus: append-only segment writes and
+/// atomic rewrites against one backing path, with no corpus of its own.
+///
+/// The caller owns the corpus and keeps it consistent with the log by
+/// appending **before** applying the same mutation in memory (so an I/O
+/// failure leaves both sides on the old state). [`CorpusStore`] packages
+/// that discipline; `rted-serve` drives the log directly under its index
+/// lock.
+#[derive(Debug)]
+pub struct CorpusLog {
     path: PathBuf,
-    corpus: TreeCorpus<String>,
-    /// Segments in the backing file — tracked in memory (the store is the
+    /// Segments in the backing file — tracked in memory (the log is the
     /// file's single writer) so status queries never re-read the file.
     segments: usize,
+    /// Tombstone records in the backing file: the compaction backlog.
+    /// Unlike the corpus's *hole* count (which survives compaction — ids
+    /// are never reused), this resets to zero on rewrite, so it is the
+    /// correct trigger for threshold-driven compaction.
+    tombstones: usize,
+}
+
+impl CorpusLog {
+    /// Writes `corpus` to `path` (replacing any existing file) and returns
+    /// the log for it.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        corpus: &TreeCorpus<String>,
+    ) -> Result<Self, PersistError> {
+        let path = path.into();
+        write_atomic(&path, &encode_corpus(corpus))?;
+        Ok(CorpusLog {
+            path,
+            segments: usize::from(!corpus.is_empty()),
+            tombstones: 0,
+        })
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of segments currently in the backing file (no I/O).
+    pub fn segment_count(&self) -> usize {
+        self.segments
+    }
+
+    /// Tombstone records currently in the backing file (no I/O). This is
+    /// the backlog [`rewrite`](Self::rewrite) reclaims — the quantity a
+    /// threshold-driven compactor should compare against the live count.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Appends one trees segment for `entries` (which carry their assigned
+    /// ids), committing the `new` counts. On failure the file is rolled
+    /// back to `old` and nothing is durable.
+    pub fn append_trees(
+        &mut self,
+        entries: &[(u64, &CorpusEntry<String>)],
+        old: LogCounts,
+        new: LogCounts,
+    ) -> Result<(), PersistError> {
+        self.append(&trees_segment(entries), old, new)
+    }
+
+    /// Appends one tombstones segment for `ids` (which must all be live),
+    /// committing the `new` counts. On failure the file is rolled back to
+    /// `old` and nothing is durable.
+    pub fn append_tombstones(
+        &mut self,
+        ids: &[u64],
+        old: LogCounts,
+        new: LogCounts,
+    ) -> Result<(), PersistError> {
+        self.append(&tombstones_segment(ids), old, new)?;
+        self.tombstones += ids.len();
+        Ok(())
+    }
+
+    /// Rewrites the file as a single canonical trees segment for `corpus`,
+    /// dropping tombstones and superseded records — compaction. Ids are
+    /// preserved. Atomic: goes through a temporary file and rename.
+    pub fn rewrite(&mut self, corpus: &TreeCorpus<String>) -> Result<(), PersistError> {
+        write_atomic(&self.path, &encode_corpus(corpus))?;
+        self.segments = usize::from(!corpus.is_empty());
+        self.tombstones = 0;
+        Ok(())
+    }
+
+    /// Appends one segment, then rewrites the header in place with the
+    /// post-mutation counts. See the module docs for the crash-consistency
+    /// argument behind the write/fsync order. On any failure the file is
+    /// rolled back — truncated to its previous length *and* the
+    /// pre-append header restored (a failed sync can leave the new header
+    /// in place even though the segment was dropped) — so a retried
+    /// update neither stacks a duplicate segment onto an orphan nor
+    /// strands a readable corpus behind a mismatched header.
+    fn append(
+        &mut self,
+        segment: &[u8],
+        old: LogCounts,
+        new: LogCounts,
+    ) -> Result<(), PersistError> {
+        let io = |e: std::io::Error| {
+            PersistError::Io(format!("cannot update {}: {e}", self.path.display()))
+        };
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(io)?;
+        let old_len = file.seek(SeekFrom::End(0)).map_err(io)?;
+        let result = (|| {
+            file.write_all(segment)?;
+            // Write-ordering barrier: the segment must be durable BEFORE
+            // the header acknowledges it. Without this intermediate fsync
+            // the kernel may write back the (small, page-0) header update
+            // first; a crash in that window persists a header whose
+            // counts point past data that never reached the disk — a file
+            // even tail-repair can only recover by dropping the update.
+            // With it, a crash leaves either the old header (torn or
+            // complete segment behind it — both repairable) or the fully
+            // committed update.
+            file.sync_all()?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&new.header().encode())?;
+            file.sync_all()
+        })();
+        if result.is_err() {
+            // Best-effort rollback to the exact pre-append file image:
+            // drop the appended bytes and restore the old header. If even
+            // this fails, the strict loader still rejects the
+            // inconsistent file (and repair-open recovers it), so nothing
+            // is silently wrong.
+            let _ = file.set_len(old_len);
+            let _ = file
+                .seek(SeekFrom::Start(0))
+                .and_then(|_| file.write_all(&old.header().encode()));
+            let _ = file.sync_all();
+        } else {
+            self.segments += 1;
+        }
+        result.map_err(io)
+    }
+}
+
+/// A [`TreeCorpus`] backed by an on-disk segment file.
+pub struct CorpusStore {
+    log: CorpusLog,
+    corpus: TreeCorpus<String>,
 }
 
 impl CorpusStore {
@@ -51,27 +258,75 @@ impl CorpusStore {
         path: impl Into<PathBuf>,
         corpus: TreeCorpus<String>,
     ) -> Result<Self, PersistError> {
-        let path = path.into();
-        write_atomic(&path, &encode_corpus(&corpus))?;
-        let segments = usize::from(!corpus.is_empty());
-        Ok(CorpusStore {
-            path,
-            corpus,
-            segments,
-        })
+        let log = CorpusLog::create(path, &corpus)?;
+        Ok(CorpusStore { log, corpus })
     }
 
-    /// Opens an existing corpus file, replaying its segments. No per-tree
-    /// analysis runs — sketches come from the file.
+    /// Opens an existing corpus file, replaying its segments (strict
+    /// validation — see [`Recovery::Strict`]). No per-tree analysis runs —
+    /// sketches come from the file.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        Self::open_with(path, Recovery::Strict).map(|(store, _)| store)
+    }
+
+    /// [`open`](Self::open) with tail-scan salvage: a file torn by a crash
+    /// mid-update reopens with every complete segment intact instead of
+    /// being rejected wholesale. Returns the repair report alongside the
+    /// store; `report.bytes_dropped == 0 && !report.header_rewritten`
+    /// means the file was already clean.
+    pub fn open_repair(path: impl Into<PathBuf>) -> Result<(Self, RepairReport), PersistError> {
+        Self::open_with(path, Recovery::Repair)
+    }
+
+    /// Opens an existing corpus file under the given [`Recovery`] mode.
+    /// In `Strict` mode the report is the trivial clean report.
+    pub fn open_with(
+        path: impl Into<PathBuf>,
+        recovery: Recovery,
+    ) -> Result<(Self, RepairReport), PersistError> {
         let path = path.into();
         let file = CorpusFile::read(&path)?;
-        let corpus = file.corpus_owned()?;
-        Ok(CorpusStore {
-            path,
-            corpus,
-            segments: file.segment_count(),
-        })
+        match file.corpus_owned_with_stats() {
+            Ok((corpus, stats)) => {
+                let report = RepairReport {
+                    segments_recovered: stats.segments,
+                    bytes_dropped: 0,
+                    header_rewritten: false,
+                    live: corpus.len() as u64,
+                    next_id: corpus.id_bound() as u64,
+                };
+                Ok((
+                    CorpusStore {
+                        log: CorpusLog {
+                            path,
+                            segments: stats.segments,
+                            tombstones: stats.tombstones,
+                        },
+                        corpus,
+                    },
+                    report,
+                ))
+            }
+            Err(err) if recovery == Recovery::Strict => Err(err),
+            Err(_) => {
+                let salvage = salvage_corpus(file.bytes())?;
+                // Make the recovery durable: truncate the torn tail and
+                // stamp the recomputed header, so the next strict open
+                // (and every subsequent append) starts from a clean file.
+                repair_file(&path, salvage.keep_len, &salvage.header)?;
+                Ok((
+                    CorpusStore {
+                        log: CorpusLog {
+                            path,
+                            segments: salvage.report.segments_recovered,
+                            tombstones: salvage.tombstones,
+                        },
+                        corpus: salvage.corpus,
+                    },
+                    salvage.report,
+                ))
+            }
+        }
     }
 
     /// The live in-memory corpus (always consistent with the file).
@@ -85,9 +340,17 @@ impl CorpusStore {
         self.corpus
     }
 
+    /// Consumes the store, yielding the corpus and the file log
+    /// separately — for a service that hands the corpus to its query
+    /// index and keeps only the log for durability (one corpus in memory,
+    /// not two).
+    pub fn into_parts(self) -> (TreeCorpus<String>, CorpusLog) {
+        (self.corpus, self.log)
+    }
+
     /// The backing file path.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.log.path()
     }
 
     /// Inserts trees, analyzing each once and appending a single trees
@@ -111,11 +374,14 @@ impl CorpusStore {
             .enumerate()
             .map(|(i, entry)| ((base + i) as u64, entry))
             .collect();
-        let segment = trees_segment(&pairs);
-        self.append(
-            &segment,
-            (base + new.len()) as u64,
-            self.corpus.len() + new.len(),
+        let old = LogCounts::of(&self.corpus);
+        self.log.append_trees(
+            &pairs,
+            old,
+            LogCounts {
+                next_id: (base + new.len()) as u64,
+                live: old.live + new.len() as u64,
+            },
         )?;
         Ok(new
             .into_iter()
@@ -141,10 +407,14 @@ impl CorpusStore {
         if removed.is_empty() {
             return Ok(0);
         }
-        self.append(
-            &tombstones_segment(&removed),
-            self.corpus.id_bound() as u64,
-            self.corpus.len() - removed.len(),
+        let old = LogCounts::of(&self.corpus);
+        self.log.append_tombstones(
+            &removed,
+            old,
+            LogCounts {
+                next_id: old.next_id,
+                live: old.live - removed.len() as u64,
+            },
         )?;
         for &id in &removed {
             self.corpus.remove(id as usize);
@@ -157,75 +427,45 @@ impl CorpusStore {
     /// is invisible to queries and to previously handed-out ids. Atomic:
     /// goes through a temporary file and rename.
     pub fn compact(&mut self) -> Result<(), PersistError> {
-        write_atomic(&self.path, &encode_corpus(&self.corpus))?;
-        self.segments = usize::from(!self.corpus.is_empty());
-        Ok(())
+        self.log.rewrite(&self.corpus)
     }
 
     /// Number of segments currently in the backing file (tracked in
     /// memory; no I/O).
     pub fn segment_count(&self) -> usize {
-        self.segments
+        self.log.segment_count()
     }
 
-    /// Appends one segment, then rewrites the header in place with the
-    /// post-mutation `next_id` / `live` counts. See the module docs for
-    /// the crash-consistency argument behind this order. On any failure
-    /// the file is rolled back — truncated to its previous length *and*
-    /// the pre-append header restored (a failed sync can leave the new
-    /// header in place even though the segment was dropped) — so a
-    /// retried update neither stacks a duplicate segment onto an orphan
-    /// nor strands a readable corpus behind a mismatched header.
-    fn append(&mut self, segment: &[u8], next_id: u64, live: usize) -> Result<(), PersistError> {
-        let io = |e: std::io::Error| {
-            PersistError::Io(format!("cannot update {}: {e}", self.path.display()))
-        };
-        let mut file = std::fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&self.path)
-            .map_err(io)?;
-        let old_len = file.seek(SeekFrom::End(0)).map_err(io)?;
-        let result = (|| {
-            file.write_all(segment)?;
-            let header = Header {
-                version: FORMAT_VERSION,
-                flags: 0,
-                next_id,
-                live: live as u64,
-            };
-            file.seek(SeekFrom::Start(0))?;
-            file.write_all(&header.encode())?;
-            file.sync_all()
-        })();
-        if result.is_err() {
-            // Best-effort rollback to the exact pre-append file image:
-            // drop the appended bytes and restore the old header (the
-            // corpus is not yet mutated, so its counts ARE the old
-            // header). If even this fails, the loader still rejects the
-            // inconsistent file, so nothing is silently wrong.
-            let old_header = Header {
-                version: FORMAT_VERSION,
-                flags: 0,
-                next_id: self.corpus.id_bound() as u64,
-                live: self.corpus.len() as u64,
-            };
-            let _ = file.set_len(old_len);
-            let _ = file
-                .seek(SeekFrom::Start(0))
-                .and_then(|_| file.write_all(&old_header.encode()));
-            let _ = file.sync_all();
-        } else {
-            self.segments += 1;
-        }
-        result.map_err(io)
+    /// Tombstone records currently in the backing file — the compaction
+    /// backlog (resets on [`compact`](Self::compact); contrast with
+    /// [`TreeCorpus::holes`], which never shrinks).
+    pub fn file_tombstones(&self) -> usize {
+        self.log.tombstone_count()
     }
 }
 
+/// Truncates `path` to `keep_len` and stamps `header` — the durable half
+/// of a tail salvage.
+fn repair_file(path: &Path, keep_len: usize, header: &Header) -> Result<(), PersistError> {
+    let io = |e: std::io::Error| PersistError::Io(format!("cannot repair {}: {e}", path.display()));
+    debug_assert!(keep_len >= HEADER_LEN);
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .map_err(io)?;
+    file.set_len(keep_len as u64).map_err(io)?;
+    file.seek(SeekFrom::Start(0)).map_err(io)?;
+    file.write_all(&header.encode()).map_err(io)?;
+    file.sync_all().map_err(io)
+}
+
 /// Writes `bytes` to `path` via a sibling temporary file and an atomic
-/// rename, so readers never observe a half-written file. The temporary
-/// name extends the full file name (`corpus.idx` → `corpus.idx.tmp`), so
-/// stores on distinct files never collide on their temp file.
+/// rename, so readers never observe a half-written file; the containing
+/// directory is then fsynced so the rename itself survives a crash. The
+/// temporary name extends the full file name (`corpus.idx` →
+/// `corpus.idx.tmp`), so stores on distinct files never collide on their
+/// temp file.
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     let io = |e: std::io::Error| PersistError::Io(format!("cannot write {}: {e}", path.display()));
     let mut tmp_name = path
@@ -239,7 +479,25 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
         file.write_all(bytes).map_err(io)?;
         file.sync_all().map_err(io)?;
     }
-    std::fs::rename(&tmp, path).map_err(io)
+    std::fs::rename(&tmp, path).map_err(io)?;
+    sync_parent_dir(path).map_err(io)
+}
+
+/// Fsyncs the directory containing `path` (the rename's durability). On
+/// non-Unix platforms directory handles cannot be fsynced; the rename is
+/// still atomic, just not crash-durable, matching platform convention.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -280,11 +538,14 @@ mod tests {
 
         assert_eq!(store.remove_all(&[1, 1, 99]).unwrap(), 1);
         assert_eq!(store.segment_count(), 3);
+        assert_eq!(store.file_tombstones(), 1);
 
         let reopened = CorpusStore::open(&path).unwrap();
         assert_eq!(reopened.corpus().len(), 3);
         assert!(reopened.corpus().get(1).is_none());
         assert_eq!(reopened.corpus().id_bound(), 4);
+        // Reopen recovers the tombstone backlog from the file.
+        assert_eq!(reopened.file_tombstones(), 1);
 
         // No-op updates append nothing.
         let mut store = reopened;
@@ -302,9 +563,13 @@ mod tests {
         store.insert_all(vec![t("{fresh{leaf}}")]).unwrap();
         let before = std::fs::metadata(&path).unwrap().len();
         let live_before: Vec<usize> = store.corpus().iter().map(|(id, _)| id).collect();
+        assert_eq!(store.file_tombstones(), 3);
 
         store.compact().unwrap();
         assert_eq!(store.segment_count(), 1);
+        // The backlog is reclaimed; the corpus's id holes remain.
+        assert_eq!(store.file_tombstones(), 0);
+        assert_eq!(store.corpus().holes(), 3);
         assert!(std::fs::metadata(&path).unwrap().len() < before);
 
         let reopened = CorpusStore::open(&path).unwrap();
@@ -313,5 +578,71 @@ mod tests {
         // Ids keep advancing past the compacted holes.
         let mut store = reopened;
         assert_eq!(store.insert_all(vec![t("{later}")]).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn torn_tail_reopens_via_repair() {
+        let path = scratch("torn.idx");
+        let mut store = CorpusStore::create(&path, vec![t("{a{b}}"), t("{c}")]).unwrap();
+        store.insert_all(vec![t("{d{e}{f}}")]).unwrap();
+        let committed = std::fs::read(&path).unwrap();
+
+        // Crash mid-append: a partial segment beyond the committed image.
+        let mut torn = committed.clone();
+        torn.extend_from_slice(&committed[HEADER_LEN..HEADER_LEN + 11]);
+        std::fs::write(&path, &torn).unwrap();
+
+        // Strict open rejects; repair recovers every committed segment.
+        assert!(CorpusStore::open(&path).is_err());
+        let (store, report) = CorpusStore::open_repair(&path).unwrap();
+        assert_eq!(report.segments_recovered, 2);
+        assert_eq!(report.bytes_dropped, 11);
+        assert_eq!(store.corpus().len(), 3);
+        // The repair is durable: the next strict open succeeds.
+        let clean = CorpusStore::open(&path).unwrap();
+        assert_eq!(clean.corpus().len(), 3);
+        assert_eq!(std::fs::read(&path).unwrap(), committed);
+    }
+
+    #[test]
+    fn stale_header_with_complete_segment_recovers_the_update() {
+        let path = scratch("stale-header.idx");
+        let mut store = CorpusStore::create(&path, vec![t("{a{b}}")]).unwrap();
+        let old_image = std::fs::read(&path).unwrap();
+        store.insert_all(vec![t("{x{y}{z}}")]).unwrap();
+        let new_image = std::fs::read(&path).unwrap();
+
+        // Crash between the segment fsync and the header write: the new
+        // segment is fully durable but the header still carries the old
+        // counts.
+        let mut torn = new_image.clone();
+        torn[..HEADER_LEN].copy_from_slice(&old_image[..HEADER_LEN]);
+        std::fs::write(&path, &torn).unwrap();
+
+        assert!(CorpusStore::open(&path).is_err());
+        let (store, report) = CorpusStore::open_repair(&path).unwrap();
+        // The complete segment is salvaged — the update survives even
+        // though the header never acknowledged it.
+        assert_eq!(report.segments_recovered, 2);
+        assert_eq!(report.bytes_dropped, 0);
+        assert!(report.header_rewritten);
+        assert_eq!(store.corpus().len(), 2);
+        assert_eq!(rted_tree::to_bracket(store.corpus().tree(1)), "{x{y}{z}}");
+        assert_eq!(std::fs::read(&path).unwrap(), new_image);
+    }
+
+    #[test]
+    fn repair_on_clean_file_is_a_no_op() {
+        let path = scratch("clean.idx");
+        let mut store = CorpusStore::create(&path, vec![t("{a}"), t("{b{c}}")]).unwrap();
+        store.remove_all(&[0]).unwrap();
+        let image = std::fs::read(&path).unwrap();
+        let (store, report) = CorpusStore::open_repair(&path).unwrap();
+        assert_eq!(report.bytes_dropped, 0);
+        assert!(!report.header_rewritten);
+        assert_eq!(report.segments_recovered, 2);
+        assert_eq!(store.corpus().len(), 1);
+        assert_eq!(store.file_tombstones(), 1);
+        assert_eq!(std::fs::read(&path).unwrap(), image);
     }
 }

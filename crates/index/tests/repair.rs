@@ -1,0 +1,205 @@
+//! Crash-injection coverage for torn-tail repair: a store file truncated
+//! at **every** byte boundary must reopen (via salvage) with exactly the
+//! longest valid segment prefix — never a corrupt tree, never data from
+//! the torn tail, never a rejected file when the header is intact.
+//!
+//! The file under test is built through the real [`CorpusStore`] API
+//! (create + insert batch + removals + insert batch = four segments), and
+//! the expected recovered state for each truncation point comes from an
+//! independent model: the per-segment snapshots of live `(id, bracket)`
+//! pairs recorded during construction.
+
+use rted_index::persist::HEADER_LEN;
+use rted_index::{salvage_corpus, CorpusStore, PersistError};
+use rted_tree::{parse_bracket, to_bracket, Tree};
+use std::path::PathBuf;
+
+fn t(s: &str) -> Tree<String> {
+    parse_bracket(s).unwrap()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rted-repair-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Live `(id, bracket)` pairs of a corpus, ascending by id.
+fn live_view(corpus: &rted_index::TreeCorpus<String>) -> Vec<(usize, String)> {
+    corpus
+        .iter()
+        .map(|(id, e)| (id, to_bracket(e.tree())))
+        .collect()
+}
+
+/// Segment end offsets (exclusive), derived by walking the segment
+/// headers: `bounds[k]` is the file length that holds exactly `k`
+/// complete segments.
+fn segment_bounds(buf: &[u8]) -> Vec<usize> {
+    let mut bounds = vec![HEADER_LEN];
+    let mut pos = HEADER_LEN;
+    while pos + 20 <= buf.len() {
+        let len = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        pos += 20 + len;
+        assert!(pos <= buf.len(), "segment walk overran the file");
+        bounds.push(pos);
+    }
+    assert_eq!(*bounds.last().unwrap(), buf.len());
+    bounds
+}
+
+/// Builds the four-segment store file and the model snapshot after each
+/// segment: `snapshots[k]` is the live view once `k` segments replayed.
+fn build_fixture(path: &PathBuf) -> (Vec<u8>, Vec<Vec<(usize, String)>>) {
+    let initial: Vec<String> = (0..6)
+        .map(|i| format!("{{root{i}{{a{i}}}{{b{{c{i}}}}}}}"))
+        .collect();
+    let batch1: Vec<String> = (0..4).map(|i| format!("{{x{i}{{y{i}{{z}}}}}}")).collect();
+    let removed = [1usize, 3, 8];
+    let batch2: Vec<String> = (0..3).map(|i| format!("{{w{i}}}")).collect();
+
+    let mut snapshots: Vec<Vec<(usize, String)>> = vec![Vec::new()];
+    let mut model: Vec<Option<String>> = Vec::new();
+    let snap = |model: &Vec<Option<String>>| -> Vec<(usize, String)> {
+        model
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| s.as_ref().map(|s| (id, s.clone())))
+            .collect()
+    };
+
+    let mut store = CorpusStore::create(path, initial.iter().map(|s| t(s))).unwrap();
+    model.extend(initial.iter().cloned().map(Some));
+    snapshots.push(snap(&model));
+
+    store.insert_all(batch1.iter().map(|s| t(s))).unwrap();
+    model.extend(batch1.iter().cloned().map(Some));
+    snapshots.push(snap(&model));
+
+    store.remove_all(&removed).unwrap();
+    for &id in &removed {
+        model[id] = None;
+    }
+    snapshots.push(snap(&model));
+
+    store.insert_all(batch2.iter().map(|s| t(s))).unwrap();
+    model.extend(batch2.iter().cloned().map(Some));
+    snapshots.push(snap(&model));
+
+    (std::fs::read(path).unwrap(), snapshots)
+}
+
+#[test]
+fn every_truncation_point_recovers_the_longest_valid_prefix() {
+    let path = scratch("every-cut.idx");
+    let (bytes, snapshots) = build_fixture(&path);
+    let bounds = segment_bounds(&bytes);
+    assert_eq!(bounds.len() - 1, 4, "fixture should have four segments");
+    let final_next_id = 13; // 6 initial + 4 batch1 + 3 batch2
+
+    for cut in 0..=bytes.len() {
+        let torn = &bytes[..cut];
+        if cut < HEADER_LEN {
+            // No usable header — nothing to salvage; must error, not panic.
+            assert!(
+                salvage_corpus(torn).is_err(),
+                "cut {cut}: headerless file accepted"
+            );
+            continue;
+        }
+        let salvage = salvage_corpus(torn)
+            .unwrap_or_else(|e| panic!("cut {cut}: salvage failed on intact header: {e}"));
+        // Longest valid prefix: the last segment boundary at or below the cut.
+        let k = bounds.iter().rposition(|&b| b <= cut).unwrap();
+        assert_eq!(
+            salvage.keep_len, bounds[k],
+            "cut {cut}: keep_len is not the segment boundary"
+        );
+        assert_eq!(salvage.report.segments_recovered, k, "cut {cut}");
+        assert_eq!(
+            salvage.report.bytes_dropped,
+            (cut - bounds[k]) as u64,
+            "cut {cut}"
+        );
+        assert_eq!(
+            live_view(&salvage.corpus),
+            snapshots[k],
+            "cut {cut}: recovered corpus is not the {k}-segment snapshot"
+        );
+        // The stored header's next_id (the final one) is always honored,
+        // so recovered stores never reissue ids the torn tail assigned.
+        assert_eq!(salvage.corpus.id_bound(), final_next_id, "cut {cut}");
+        // Every recovered tree is structurally sound (re-parses to itself).
+        for (_, bracket) in live_view(&salvage.corpus) {
+            assert_eq!(to_bracket(&t(&bracket)), bracket);
+        }
+    }
+}
+
+#[test]
+fn truncated_store_reopens_and_stays_usable() {
+    let base = scratch("reopen-src.idx");
+    let (bytes, snapshots) = build_fixture(&base);
+    let bounds = segment_bounds(&bytes);
+
+    // A representative cut inside each segment (and one mid-segment-header).
+    let cuts: Vec<usize> = (0..bounds.len() - 1)
+        .map(|k| (bounds[k] + bounds[k + 1]) / 2)
+        .chain(std::iter::once(bytes.len() - 1))
+        .collect();
+    for (case, cut) in cuts.into_iter().enumerate() {
+        let path = scratch(&format!("reopen-{case}.idx"));
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        // Strict open must reject the torn file...
+        match CorpusStore::open(&path).err() {
+            Some(
+                PersistError::Truncated { .. }
+                | PersistError::ChecksumMismatch { .. }
+                | PersistError::Corrupt(_),
+            ) => {}
+            other => panic!("cut {cut}: strict open returned {other:?}"),
+        }
+        // ...repair open recovers the prefix and makes it durable.
+        let (mut store, report) = CorpusStore::open_repair(&path).unwrap();
+        let k = bounds.iter().rposition(|&b| b <= cut).unwrap();
+        assert_eq!(report.segments_recovered, k);
+        assert_eq!(live_view(store.corpus()), snapshots[k]);
+
+        // The repaired store accepts updates and strict-reopens cleanly.
+        let new_ids = store.insert_all(vec![t("{post{repair}}")]).unwrap();
+        assert_eq!(new_ids, vec![store.corpus().id_bound() - 1]);
+        let reopened = CorpusStore::open(&path).unwrap();
+        assert_eq!(live_view(reopened.corpus()), live_view(store.corpus()));
+    }
+}
+
+#[test]
+fn byte_flips_truncate_at_the_damaged_segment() {
+    let path = scratch("flips.idx");
+    let (bytes, snapshots) = build_fixture(&path);
+    let bounds = segment_bounds(&bytes);
+
+    // Sample positions across the whole file (step 3 keeps the test fast
+    // while hitting every segment's header, payload and checksum region).
+    for pos in (0..bytes.len()).step_by(3) {
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 0xff;
+        if pos < HEADER_LEN {
+            assert!(
+                salvage_corpus(&flipped).is_err(),
+                "pos {pos}: corrupt header accepted"
+            );
+            continue;
+        }
+        let salvage = salvage_corpus(&flipped).unwrap();
+        // Salvage keeps exactly the segments before the damaged one: it
+        // is a prefix operation, never a skip-over-corruption one.
+        let k = bounds.iter().rposition(|&b| b <= pos).unwrap();
+        assert_eq!(
+            salvage.report.segments_recovered, k,
+            "pos {pos}: flip inside segment {k} not detected there"
+        );
+        assert_eq!(live_view(&salvage.corpus), snapshots[k], "pos {pos}");
+    }
+}

@@ -1,0 +1,63 @@
+//! `rted-serve` — a crash-safe, long-lived TED query service.
+//!
+//! The RTED paper's robustness argument is about worst-case *memory and
+//! time*; a service built on it must extend that robustness to *state*:
+//! stay up across client churn, survive its own crashes without losing
+//! the corpus, and keep the hot path allocation-free. This crate ties
+//! the previous layers together into that service:
+//!
+//! * [`rted_index::TreeIndex`] answers `range` / `top_k` / `distance`
+//!   queries behind the staged filter pipeline;
+//! * [`rted_index::CorpusLog`] makes `insert` / `remove` durable
+//!   (fsynced segment appends *before* the in-memory mutation);
+//! * on startup the corpus is **recovered from disk** — including
+//!   tail-scan repair of a file torn by a crash mid-update
+//!   ([`rted_index::Recovery::Repair`]) — instead of rebuilt;
+//! * a fixed worker pool drains a request queue, each worker owning one
+//!   [`rted_core::Workspace`] for its lifetime, so the id-to-id
+//!   `distance` path is zero-allocation per request once warm;
+//! * a background maintenance task compacts the store off the query
+//!   path when the tombstone backlog crosses a configurable fraction of
+//!   the live count.
+//!
+//! Two surfaces expose it: the typed library API ([`Server::start`],
+//! [`Client::call`], graceful [`Server::shutdown`] draining in-flight
+//! requests) and — via the `rted serve` CLI — a newline-delimited JSON
+//! protocol ([`proto`]) over stdin/stdout or a Unix socket, so many
+//! client processes can share one resident corpus.
+//!
+//! # Example
+//!
+//! ```
+//! use rted_serve::{Request, Response, Server, ServerConfig};
+//! use rted_tree::parse_bracket;
+//!
+//! let server = Server::in_memory(
+//!     vec![
+//!         parse_bracket("{a{b}{c}}").unwrap(),
+//!         parse_bracket("{a{b}{d}}").unwrap(),
+//!     ],
+//!     ServerConfig::default(),
+//! );
+//! let mut client = server.client();
+//! let query = parse_bracket("{a{b}{c}}").unwrap();
+//! match client.call(Request::Range { tree: query, tau: 2.0 }) {
+//!     Response::Neighbors { neighbors, .. } => {
+//!         assert_eq!(neighbors.len(), 2);
+//!         assert_eq!(neighbors[0].distance, 0.0);
+//!     }
+//!     other => panic!("{other:?}"),
+//! }
+//! server.shutdown(); // drains in-flight requests, joins all threads
+//! ```
+
+pub mod json;
+pub mod proto;
+mod server;
+
+pub use proto::{parse_request, render_response, Request, Response, StatusReport, TreeRef};
+pub use server::{Client, Server, ServerConfig};
+
+// Re-exported so front-ends can name recovery modes and reports without
+// depending on rted-index directly.
+pub use rted_index::{PersistError, Recovery, RepairReport};

@@ -1,0 +1,477 @@
+//! The typed request/response protocol and its newline-delimited JSON
+//! encoding.
+//!
+//! One request per line, one response per line, in order. Trees travel in
+//! bracket notation (`{a{b}{c}}`) — the repo's lingua franca — inside
+//! JSON strings. Parsing is strict: unknown `op`s, unknown keys, and
+//! malformed trees are rejected with a one-line error response rather
+//! than guessed at, mirroring the CLI's unknown-flag policy.
+//!
+//! | op         | fields                               | response                         |
+//! |------------|--------------------------------------|----------------------------------|
+//! | `range`    | `tree`, `tau` (omit = unbounded)     | `neighbors` + counters           |
+//! | `topk`     | `tree`, `k` (default 5)              | `neighbors` + counters           |
+//! | `distance` | `left`, `right` (id or tree string)  | `distance`                       |
+//! | `insert`   | `trees` (array of tree strings)      | `ids` (assigned, ascending)      |
+//! | `remove`   | `ids` (array of ids)                 | `removed` (count actually live)  |
+//! | `status`   | —                                    | `status` object                  |
+//! | `compact`  | —                                    | `compacted`                      |
+//! | `shutdown` | —                                    | `bye` (then the stream ends)     |
+
+use crate::json::{self, write_escaped, write_number, Value};
+use rted_index::Neighbor;
+use rted_tree::{parse_bracket, Tree};
+
+/// One operand of a `distance` request: a corpus tree by id, or an
+/// inline tree.
+///
+/// The inline variant dominates the enum's size; that is deliberate —
+/// boxing it would shrink the by-id variant a few words at the cost of
+/// an extra allocation whenever a tree *is* inlined, and the id-only
+/// fast path must construct with zero allocations either way.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum TreeRef {
+    /// A live corpus id.
+    Id(usize),
+    /// An inline tree (parsed from bracket notation on the wire).
+    Inline(Tree<String>),
+}
+
+/// A query or mutation the service executes.
+///
+/// Tree-carrying variants dominate the size (several `Vec` headers);
+/// kept inline rather than boxed so building an id-to-id `Distance`
+/// request — the allocation-free hot path — costs nothing, and queue
+/// slots are pre-reserved anyway.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// All corpus trees with `TED < tau` of `tree`.
+    Range {
+        /// The query tree.
+        tree: Tree<String>,
+        /// Strict threshold (`f64::INFINITY` = unbounded).
+        tau: f64,
+    },
+    /// The `k` nearest corpus trees to `tree`.
+    TopK {
+        /// The query tree.
+        tree: Tree<String>,
+        /// Neighbour count.
+        k: usize,
+    },
+    /// Exact distance between two operands. With both operands given as
+    /// ids this is the service's allocation-free fast path.
+    Distance {
+        /// Left operand.
+        left: TreeRef,
+        /// Right operand.
+        right: TreeRef,
+    },
+    /// Insert trees; responds with their assigned ids.
+    Insert {
+        /// Trees to add.
+        trees: Vec<Tree<String>>,
+    },
+    /// Remove ids (non-live ids are skipped, as in the store API).
+    Remove {
+        /// Ids to remove.
+        ids: Vec<usize>,
+    },
+    /// Service counters and corpus/store state.
+    Status,
+    /// Force a compaction now (persistent services only).
+    Compact,
+    /// Transport-level: drain and stop. The I/O front-end intercepts
+    /// this; submitting it to a worker queue answers with an error.
+    Shutdown,
+}
+
+/// Corpus, store and service counters for a `status` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusReport {
+    /// Live trees in the corpus.
+    pub live: usize,
+    /// One past the largest id ever assigned.
+    pub id_bound: usize,
+    /// Reserved-but-vacant ids (never shrinks; ids are not reused).
+    pub holes: usize,
+    /// Whether a durable store backs the service.
+    pub persistent: bool,
+    /// Segments in the backing file (0 when in-memory).
+    pub segments: usize,
+    /// Tombstone records in the backing file — the compaction backlog
+    /// (0 when in-memory).
+    pub file_tombstones: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Requests served since start.
+    pub requests: u64,
+    /// Compactions performed since start (threshold-driven + explicit).
+    pub compactions: u64,
+}
+
+/// The service's answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Matches for `range`/`topk`, plus that query's filter counters.
+    Neighbors {
+        /// The matched trees.
+        neighbors: Vec<Neighbor>,
+        /// Candidates considered.
+        candidates: usize,
+        /// Exact verifications performed.
+        verified: usize,
+    },
+    /// Exact distance for `distance`.
+    Distance(f64),
+    /// Assigned ids for `insert`.
+    Inserted(Vec<usize>),
+    /// Count of trees actually removed for `remove`.
+    Removed(usize),
+    /// Answer to `status`.
+    Status(StatusReport),
+    /// Answer to `compact` (`false` when there was nothing to reclaim).
+    Compacted(bool),
+    /// Acknowledgement of `shutdown`, sent by the I/O front-end.
+    Bye,
+    /// Any failure. The service stays up; only this request failed.
+    Error(String),
+}
+
+fn field_err(op: &str, msg: impl std::fmt::Display) -> String {
+    format!("{op}: {msg}")
+}
+
+fn tree_field(v: &Value, op: &str, key: &str) -> Result<Tree<String>, String> {
+    let text = v
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| field_err(op, format_args!("needs a \"{key}\" tree string")))?;
+    parse_bracket(text).map_err(|e| field_err(op, format_args!("bad tree in \"{key}\": {e}")))
+}
+
+fn tree_ref_field(v: &Value, op: &str, key: &str) -> Result<TreeRef, String> {
+    match v.get(key) {
+        Some(Value::Str(text)) => {
+            Ok(TreeRef::Inline(parse_bracket(text).map_err(|e| {
+                field_err(op, format_args!("bad tree in \"{key}\": {e}"))
+            })?))
+        }
+        Some(n @ Value::Num(_)) => n.as_usize().map(TreeRef::Id).ok_or_else(|| {
+            field_err(
+                op,
+                format_args!("\"{key}\" id must be a non-negative integer"),
+            )
+        }),
+        _ => Err(field_err(
+            op,
+            format_args!("needs \"{key}\" as an id (number) or a tree (string)"),
+        )),
+    }
+}
+
+/// Rejects keys the operation does not understand — a typoed `"taau"`
+/// must not silently run an unbounded query.
+fn expect_keys(v: &Value, op: &str, allowed: &[&str]) -> Result<(), String> {
+    for key in v.keys().into_iter().flatten() {
+        if key != "op" && !allowed.contains(&key) {
+            return Err(field_err(op, format_args!("unknown key \"{key}\"")));
+        }
+    }
+    Ok(())
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line)?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("request needs an \"op\" field")?;
+    match op {
+        "range" => {
+            expect_keys(&v, op, &["tree", "tau"])?;
+            let tau = match v.get("tau") {
+                None => f64::INFINITY,
+                Some(t) => t
+                    .as_f64()
+                    .filter(|t| !t.is_nan())
+                    .ok_or_else(|| field_err(op, "\"tau\" must be a number"))?,
+            };
+            Ok(Request::Range {
+                tree: tree_field(&v, op, "tree")?,
+                tau,
+            })
+        }
+        "topk" => {
+            expect_keys(&v, op, &["tree", "k"])?;
+            let k = match v.get("k") {
+                None => 5,
+                Some(k) => k
+                    .as_usize()
+                    .ok_or_else(|| field_err(op, "\"k\" must be a non-negative integer"))?,
+            };
+            Ok(Request::TopK {
+                tree: tree_field(&v, op, "tree")?,
+                k,
+            })
+        }
+        "distance" => {
+            expect_keys(&v, op, &["left", "right"])?;
+            Ok(Request::Distance {
+                left: tree_ref_field(&v, op, "left")?,
+                right: tree_ref_field(&v, op, "right")?,
+            })
+        }
+        "insert" => {
+            expect_keys(&v, op, &["trees"])?;
+            let items = v
+                .get("trees")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| field_err(op, "needs a \"trees\" array of tree strings"))?;
+            let trees = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let text = item
+                        .as_str()
+                        .ok_or_else(|| field_err(op, format_args!("\"trees\"[{i}] is not a string")))?;
+                    parse_bracket(text)
+                        .map_err(|e| field_err(op, format_args!("\"trees\"[{i}]: {e}")))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Insert { trees })
+        }
+        "remove" => {
+            expect_keys(&v, op, &["ids"])?;
+            let items = v
+                .get("ids")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| field_err(op, "needs an \"ids\" array"))?;
+            let ids = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    item.as_usize()
+                        .ok_or_else(|| field_err(op, format_args!("\"ids\"[{i}] is not an id")))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Remove { ids })
+        }
+        "status" => {
+            expect_keys(&v, op, &[])?;
+            Ok(Request::Status)
+        }
+        "compact" => {
+            expect_keys(&v, op, &[])?;
+            Ok(Request::Compact)
+        }
+        "shutdown" => {
+            expect_keys(&v, op, &[])?;
+            Ok(Request::Shutdown)
+        }
+        other => Err(format!(
+            "unknown op \"{other}\" (range | topk | distance | insert | remove | status | compact | shutdown)"
+        )),
+    }
+}
+
+/// Renders one response as a single JSON line (no trailing newline).
+pub fn render_response(response: &Response) -> String {
+    let mut out = String::new();
+    match response {
+        Response::Neighbors {
+            neighbors,
+            candidates,
+            verified,
+        } => {
+            out.push_str("{\"ok\":true,\"neighbors\":[");
+            for (i, n) in neighbors.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"id\":");
+                write_number(n.id as f64, &mut out);
+                out.push_str(",\"distance\":");
+                write_number(n.distance, &mut out);
+                out.push('}');
+            }
+            out.push_str("],\"candidates\":");
+            write_number(*candidates as f64, &mut out);
+            out.push_str(",\"verified\":");
+            write_number(*verified as f64, &mut out);
+            out.push('}');
+        }
+        Response::Distance(d) => {
+            out.push_str("{\"ok\":true,\"distance\":");
+            write_number(*d, &mut out);
+            out.push('}');
+        }
+        Response::Inserted(ids) => {
+            out.push_str("{\"ok\":true,\"ids\":[");
+            for (i, id) in ids.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_number(*id as f64, &mut out);
+            }
+            out.push_str("]}");
+        }
+        Response::Removed(n) => {
+            out.push_str("{\"ok\":true,\"removed\":");
+            write_number(*n as f64, &mut out);
+            out.push('}');
+        }
+        Response::Status(s) => {
+            out.push_str("{\"ok\":true,\"status\":{");
+            let fields: [(&str, f64); 8] = [
+                ("live", s.live as f64),
+                ("id_bound", s.id_bound as f64),
+                ("holes", s.holes as f64),
+                ("segments", s.segments as f64),
+                ("file_tombstones", s.file_tombstones as f64),
+                ("workers", s.workers as f64),
+                ("requests", s.requests as f64),
+                ("compactions", s.compactions as f64),
+            ];
+            for (key, value) in fields {
+                out.push('"');
+                out.push_str(key);
+                out.push_str("\":");
+                write_number(value, &mut out);
+                out.push(',');
+            }
+            out.push_str("\"persistent\":");
+            out.push_str(if s.persistent { "true" } else { "false" });
+            out.push_str("}}");
+        }
+        Response::Compacted(reclaimed) => {
+            out.push_str("{\"ok\":true,\"compacted\":");
+            out.push_str(if *reclaimed { "true" } else { "false" });
+            out.push('}');
+        }
+        Response::Bye => out.push_str("{\"ok\":true,\"bye\":true}"),
+        Response::Error(msg) => {
+            out.push_str("{\"ok\":false,\"error\":");
+            write_escaped(msg, &mut out);
+            out.push('}');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rted_tree::to_bracket;
+
+    #[test]
+    fn requests_parse() {
+        match parse_request(r#"{"op":"range","tree":"{a{b}}","tau":2}"#).unwrap() {
+            Request::Range { tree, tau } => {
+                assert_eq!(to_bracket(&tree), "{a{b}}");
+                assert_eq!(tau, 2.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // tau omitted = unbounded.
+        match parse_request(r#"{"op":"range","tree":"{a}"}"#).unwrap() {
+            Request::Range { tau, .. } => assert_eq!(tau, f64::INFINITY),
+            other => panic!("{other:?}"),
+        }
+        match parse_request(r#"{"op":"distance","left":3,"right":"{x{y}}"}"#).unwrap() {
+            Request::Distance {
+                left: TreeRef::Id(3),
+                right: TreeRef::Inline(t),
+            } => assert_eq!(to_bracket(&t), "{x{y}}"),
+            other => panic!("{other:?}"),
+        }
+        match parse_request(r#"{"op":"insert","trees":["{a}","{b{c}}"]}"#).unwrap() {
+            Request::Insert { trees } => assert_eq!(trees.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        match parse_request(r#"{"op":"remove","ids":[4,0]}"#).unwrap() {
+            Request::Remove { ids } => assert_eq!(ids, vec![4, 0]),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"op":"status"}"#).unwrap(),
+            Request::Status
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            r#"{"tree":"{a}"}"#,                       // no op
+            r#"{"op":"fly"}"#,                         // unknown op
+            r#"{"op":"range","tree":"{a}","taau":2}"#, // typoed key
+            r#"{"op":"range","tree":"{a"}"#,           // malformed tree
+            r#"{"op":"range"}"#,                       // missing tree
+            r#"{"op":"topk","tree":"{a}","k":-1}"#,    // negative k
+            r#"{"op":"distance","left":true,"right":0}"#,
+            r#"{"op":"insert","trees":"{a}"}"#, // not an array
+            r#"{"op":"remove","ids":[1.5]}"#,
+            r#"{"op":"status","x":1}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn responses_render_as_json_lines() {
+        let line = render_response(&Response::Neighbors {
+            neighbors: vec![
+                Neighbor {
+                    id: 0,
+                    distance: 0.0,
+                },
+                Neighbor {
+                    id: 7,
+                    distance: 2.5,
+                },
+            ],
+            candidates: 10,
+            verified: 3,
+        });
+        assert_eq!(
+            line,
+            r#"{"ok":true,"neighbors":[{"id":0,"distance":0},{"id":7,"distance":2.5}],"candidates":10,"verified":3}"#
+        );
+        assert_eq!(
+            render_response(&Response::Error("bad \"op\"".into())),
+            r#"{"ok":false,"error":"bad \"op\""}"#
+        );
+        // Every shape is valid JSON on one line.
+        for resp in [
+            Response::Distance(3.0),
+            Response::Inserted(vec![5, 6]),
+            Response::Removed(2),
+            Response::Compacted(true),
+            Response::Bye,
+            Response::Status(StatusReport {
+                live: 3,
+                id_bound: 5,
+                holes: 2,
+                persistent: true,
+                segments: 2,
+                file_tombstones: 1,
+                workers: 4,
+                requests: 99,
+                compactions: 1,
+            }),
+        ] {
+            let line = render_response(&resp);
+            assert!(!line.contains('\n'));
+            crate::json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! The long-lived query service: request queue, fixed worker pool,
+//! durable mutations, and threshold-driven background compaction.
+//!
+//! # Architecture
+//!
+//! ```text
+//! Client::call ──▶ queue (Mutex<VecDeque> + Condvar) ──▶ worker 0..N
+//!                                                          │ owns one Workspace
+//!                                                          ▼ for its lifetime
+//!                              RwLock<TreeIndex> ◀── read: range/topk/distance
+//!                                   │                write: insert/remove
+//!                                   ▼ (always index, then log)
+//!                              Mutex<Option<CorpusLog>>  ◀── maintenance thread
+//! ```
+//!
+//! * **Queries** (`range`, `topk`, `distance`) take the index read lock
+//!   and run concurrently across workers. Each worker borrows one
+//!   [`Workspace`] from the shared [`WorkspacePool`] for its whole
+//!   lifetime, so the id-to-id `distance` path performs **zero heap
+//!   allocations** per request once warm (enforced by a
+//!   counting-allocator test); `range`/`topk` allocate only for their
+//!   result sets — the TED kernel underneath runs on warm pooled
+//!   buffers.
+//! * **Mutations** take the write lock, append to the [`CorpusLog`]
+//!   **first** (fsynced segment, then header — see the store's
+//!   durability model), and only then mutate the in-memory corpus: an
+//!   I/O failure answers that one request with an error and leaves
+//!   memory and disk consistent on the old state.
+//! * **Compaction** runs on a dedicated maintenance thread, woken by
+//!   mutations and a timer: when the file's tombstone backlog exceeds
+//!   `compact_fraction × live` it rewrites the file while holding the
+//!   index *read* lock — queries keep flowing; only mutations wait. The
+//!   trigger is multiplicative (no division), keyed off the reclaimable
+//!   file backlog rather than the corpus's permanent id holes, so it can
+//!   neither fire on an empty store nor re-fire forever after a compact.
+//! * **Shutdown** ([`Server::shutdown`], also on drop) closes the queue,
+//!   lets the workers drain every already-accepted request, then joins
+//!   all threads. Requests submitted after close get an error response
+//!   immediately instead of hanging.
+//!
+//! Lock order is **index, then log** everywhere — the one rule that
+//! keeps the three thread groups deadlock-free.
+
+use crate::proto::{Request, Response, StatusReport, TreeRef};
+use rted_core::Workspace;
+use rted_index::{
+    CorpusEntry, CorpusLog, CorpusStore, LogCounts, PersistError, Recovery, RepairReport,
+    TreeIndex, WorkspacePool,
+};
+use rted_tree::Tree;
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Recovers the guard from a poisoned lock. The service treats poisoning
+/// as survivable: a panicking request handler is answered with an error
+/// response (see `worker_loop`) and the shared structures it held are
+/// structurally valid Rust values — refusing to ever lock them again
+/// would escalate one failed request into a dead service.
+fn relock<T>(result: Result<T, PoisonError<T>>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads executing requests (each owns a workspace).
+    pub workers: usize,
+    /// Pre-reserved request-queue slots: submissions beyond this still
+    /// succeed but may grow the queue (one allocation).
+    pub queue_capacity: usize,
+    /// Threads *within* one query (`TreeIndex` execution policy). The
+    /// default of 1 is right for a server: concurrency comes from the
+    /// worker pool, not from splitting individual queries.
+    pub query_threads: usize,
+    /// Compact when `file_tombstones > compact_fraction × max(live, 1)`;
+    /// `None` disables background compaction.
+    pub compact_fraction: Option<f64>,
+    /// How often the maintenance thread re-checks the trigger even
+    /// without a mutation wake-up.
+    pub maintenance_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(4),
+            queue_capacity: 1024,
+            query_threads: 1,
+            compact_fraction: Some(0.25),
+            maintenance_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A completion slot: the worker publishes the response here and wakes
+/// the submitting client.
+#[derive(Default)]
+struct Gate {
+    slot: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+struct Job {
+    request: Request,
+    gate: Arc<Gate>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    index: RwLock<TreeIndex<String>>,
+    /// `None` = in-memory service (no durability). Always locked *after*
+    /// the index lock.
+    log: Mutex<Option<CorpusLog>>,
+    queue: Mutex<QueueState>,
+    have_jobs: Condvar,
+    /// Mutation wake-up flag for the maintenance thread.
+    maint_pending: Mutex<bool>,
+    maint_wake: Condvar,
+    /// One workspace per worker, borrowed for the worker's lifetime.
+    pool: WorkspacePool,
+    workers: usize,
+    requests: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl Shared {
+    fn wake_maintenance(&self) {
+        *relock(self.maint_pending.lock()) = true;
+        self.maint_wake.notify_all();
+    }
+}
+
+/// A handle for submitting requests. Each client owns one completion
+/// slot, reused across calls — so a warm client issuing id-to-id
+/// `distance` requests allocates nothing at all.
+pub struct Client {
+    shared: Arc<Shared>,
+    gate: Arc<Gate>,
+}
+
+impl Client {
+    /// Submits `request` and blocks for its response. Returns an error
+    /// response (without blocking) if the server is shutting down.
+    pub fn call(&mut self, request: Request) -> Response {
+        *relock(self.gate.slot.lock()) = None;
+        {
+            let mut q = relock(self.shared.queue.lock());
+            if q.closed {
+                return Response::Error("server is shutting down".into());
+            }
+            q.jobs.push_back(Job {
+                request,
+                gate: Arc::clone(&self.gate),
+            });
+        }
+        self.shared.have_jobs.notify_one();
+        let mut slot = relock(self.gate.slot.lock());
+        while slot.is_none() {
+            slot = relock(self.gate.ready.wait(slot));
+        }
+        slot.take().expect("loop exits only on Some")
+    }
+}
+
+/// The running service: worker pool + maintenance thread over one
+/// shared index and (optionally) its durable log.
+pub struct Server {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    maintenance: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the service over a pre-built index. Pass the log half of a
+    /// [`CorpusStore`] (see [`CorpusStore::into_parts`]) to make
+    /// mutations durable; `None` serves purely from memory. The index is
+    /// used as configured — set its verifier/pipeline/threads first.
+    pub fn start(index: TreeIndex<String>, log: Option<CorpusLog>, cfg: ServerConfig) -> Server {
+        let workers = cfg.workers.max(1);
+        let persistent = log.is_some();
+        let shared = Arc::new(Shared {
+            index: RwLock::new(index),
+            log: Mutex::new(log),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(cfg.queue_capacity),
+                closed: false,
+            }),
+            have_jobs: Condvar::new(),
+            maint_pending: Mutex::new(false),
+            maint_wake: Condvar::new(),
+            pool: WorkspacePool::new(),
+            workers,
+            requests: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        });
+        let threads = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let maintenance = match cfg.compact_fraction {
+            Some(fraction) if persistent => {
+                let shared = Arc::clone(&shared);
+                let interval = cfg.maintenance_interval;
+                Some(std::thread::spawn(move || {
+                    maintenance_loop(&shared, fraction, interval)
+                }))
+            }
+            _ => None,
+        };
+        Server {
+            shared,
+            threads,
+            maintenance,
+        }
+    }
+
+    /// Opens (and if torn, recovers) the corpus file at `path` and starts
+    /// a durable service over it. With [`Recovery::Repair`] a file torn
+    /// by a crash mid-update comes back with every complete segment
+    /// intact — the report says what was recovered; with
+    /// [`Recovery::Strict`] such a file is an error.
+    pub fn open(
+        path: impl AsRef<Path>,
+        recovery: Recovery,
+        cfg: ServerConfig,
+    ) -> Result<(Server, RepairReport), PersistError> {
+        let (store, report) = CorpusStore::open_with(path.as_ref(), recovery)?;
+        let (corpus, log) = store.into_parts();
+        let index = TreeIndex::from_corpus(corpus).with_threads(cfg.query_threads.max(1));
+        Ok((Server::start(index, Some(log), cfg), report))
+    }
+
+    /// Starts a non-durable service over trees held only in memory
+    /// (useful for tests and ephemeral corpora).
+    pub fn in_memory(trees: impl IntoIterator<Item = Tree<String>>, cfg: ServerConfig) -> Server {
+        let index = TreeIndex::build(trees).with_threads(cfg.query_threads.max(1));
+        Server::start(index, None, cfg)
+    }
+
+    /// A new client handle (its completion slot is the one allocation;
+    /// reuse the client to amortize it away).
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+            gate: Arc::new(Gate::default()),
+        }
+    }
+
+    /// One-shot convenience: submit through a fresh client.
+    pub fn call(&self, request: Request) -> Response {
+        self.client().call(request)
+    }
+
+    /// Graceful shutdown: stops accepting, drains every already-queued
+    /// request (their clients still get responses), then joins all
+    /// threads. Dropping the server does the same.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut q = relock(self.shared.queue.lock());
+            q.closed = true;
+        }
+        self.shared.have_jobs.notify_all();
+        // Through the pending flag, not a bare notify: if the
+        // maintenance thread is mid-compaction rather than parked, a
+        // notify alone would be missed and shutdown would stall a full
+        // maintenance interval.
+        self.shared.wake_maintenance();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(m) = self.maintenance.take() {
+            let _ = m.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // This worker's scratch for its whole lifetime: every request it
+    // serves reuses the same warm buffers.
+    let mut ws = shared.pool.take();
+    loop {
+        let job = {
+            let mut q = relock(shared.queue.lock());
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.closed {
+                    break None;
+                }
+                q = relock(shared.have_jobs.wait(q));
+            }
+        };
+        let Some(job) = job else { break };
+        // A panicking handler must not strand its client (the gate would
+        // never fill and `Client::call` would block forever) nor kill
+        // this worker: catch the unwind and answer with an error. Locks
+        // the handler poisoned on the way out are recovered by `relock`.
+        let request = job.request;
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle(shared, ws.get(), request)
+        }))
+        .unwrap_or_else(|_| Response::Error("internal error: request handler panicked".into()));
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        *relock(job.gate.slot.lock()) = Some(response);
+        job.gate.ready.notify_one();
+    }
+}
+
+fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
+    match request {
+        Request::Range { tree, tau } => {
+            let index = relock(shared.index.read());
+            let res = index.range(&tree, tau);
+            Response::Neighbors {
+                neighbors: res.neighbors,
+                candidates: res.stats.candidates,
+                verified: res.stats.verified,
+            }
+        }
+        Request::TopK { tree, k } => {
+            let index = relock(shared.index.read());
+            let res = index.top_k(&tree, k);
+            Response::Neighbors {
+                neighbors: res.neighbors,
+                candidates: res.stats.candidates,
+                verified: res.stats.verified,
+            }
+        }
+        Request::Distance { left, right } => {
+            let index = relock(shared.index.read());
+            let corpus = index.corpus();
+            let left_tree: &Tree<String> = match &left {
+                TreeRef::Inline(t) => t,
+                TreeRef::Id(id) => match corpus.get(*id) {
+                    Some(entry) => entry.tree(),
+                    None => return Response::Error(format!("no live tree with id {id}")),
+                },
+            };
+            let right_tree: &Tree<String> = match &right {
+                TreeRef::Inline(t) => t,
+                TreeRef::Id(id) => match corpus.get(*id) {
+                    Some(entry) => entry.tree(),
+                    None => return Response::Error(format!("no live tree with id {id}")),
+                },
+            };
+            let run = index.distance_in(left_tree, right_tree, ws);
+            Response::Distance(run.distance)
+        }
+        Request::Insert { trees } => {
+            if trees.is_empty() {
+                return Response::Inserted(Vec::new());
+            }
+            // Analyze outside every lock — the expensive part.
+            let entries: Vec<CorpusEntry<String>> =
+                trees.into_iter().map(CorpusEntry::analyze).collect();
+            let mut index = relock(shared.index.write());
+            let base = index.corpus().id_bound();
+            {
+                let mut log = relock(shared.log.lock());
+                if let Some(log) = log.as_mut() {
+                    let pairs: Vec<(u64, &CorpusEntry<String>)> = entries
+                        .iter()
+                        .enumerate()
+                        .map(|(i, entry)| ((base + i) as u64, entry))
+                        .collect();
+                    let old = LogCounts::of(index.corpus());
+                    let new = LogCounts {
+                        next_id: (base + entries.len()) as u64,
+                        live: old.live + entries.len() as u64,
+                    };
+                    // Durable append FIRST: on failure the in-memory
+                    // corpus is untouched, memory and disk still agree.
+                    if let Err(e) = log.append_trees(&pairs, old, new) {
+                        return Response::Error(format!(
+                            "insert not applied (durable append failed): {e}"
+                        ));
+                    }
+                }
+            }
+            let ids: Vec<usize> = entries
+                .into_iter()
+                .map(|entry| index.insert_entry(entry))
+                .collect();
+            drop(index);
+            shared.wake_maintenance();
+            Response::Inserted(ids)
+        }
+        Request::Remove { ids } => {
+            let mut index = relock(shared.index.write());
+            // Dedup against the live set, as the store does: a repeated
+            // or dead id is skipped, not an error.
+            let mut seen = std::collections::HashSet::new();
+            let removable: Vec<u64> = ids
+                .iter()
+                .filter(|&&id| index.corpus().get(id).is_some() && seen.insert(id))
+                .map(|&id| id as u64)
+                .collect();
+            if removable.is_empty() {
+                return Response::Removed(0);
+            }
+            {
+                let mut log = relock(shared.log.lock());
+                if let Some(log) = log.as_mut() {
+                    let old = LogCounts::of(index.corpus());
+                    let new = LogCounts {
+                        next_id: old.next_id,
+                        live: old.live - removable.len() as u64,
+                    };
+                    if let Err(e) = log.append_tombstones(&removable, old, new) {
+                        return Response::Error(format!(
+                            "remove not applied (durable append failed): {e}"
+                        ));
+                    }
+                }
+            }
+            for &id in &removable {
+                index.remove(id as usize);
+            }
+            drop(index);
+            shared.wake_maintenance();
+            Response::Removed(removable.len())
+        }
+        Request::Status => {
+            let index = relock(shared.index.read());
+            let log = relock(shared.log.lock());
+            let corpus = index.corpus();
+            Response::Status(StatusReport {
+                live: corpus.len(),
+                id_bound: corpus.id_bound(),
+                holes: corpus.holes(),
+                persistent: log.is_some(),
+                segments: log.as_ref().map_or(0, CorpusLog::segment_count),
+                file_tombstones: log.as_ref().map_or(0, CorpusLog::tombstone_count),
+                workers: shared.workers,
+                requests: shared.requests.load(Ordering::Relaxed),
+                compactions: shared.compactions.load(Ordering::Relaxed),
+            })
+        }
+        Request::Compact => {
+            let index = relock(shared.index.read());
+            let mut log = relock(shared.log.lock());
+            match log.as_mut() {
+                None => Response::Error("service is not persistent (nothing to compact)".into()),
+                Some(log) => {
+                    let reclaimable = log.tombstone_count() > 0 || log.segment_count() > 1;
+                    match log.rewrite(index.corpus()) {
+                        Ok(()) => {
+                            shared.compactions.fetch_add(1, Ordering::Relaxed);
+                            Response::Compacted(reclaimable)
+                        }
+                        Err(e) => Response::Error(format!("compaction failed: {e}")),
+                    }
+                }
+            }
+        }
+        Request::Shutdown => {
+            Response::Error("shutdown is handled by the connection front-end".into())
+        }
+    }
+}
+
+fn maintenance_loop(shared: &Shared, fraction: f64, interval: Duration) {
+    loop {
+        {
+            // Consume the pending flag *before* deciding to park: a
+            // wake-up that arrived while the last compaction pass (or
+            // shutdown) was in flight is acted on immediately instead of
+            // being lost to a missed notify and costing a full interval.
+            let mut pending = relock(shared.maint_pending.lock());
+            if !*pending {
+                pending = relock(shared.maint_wake.wait_timeout(pending, interval)).0;
+            }
+            *pending = false;
+        }
+        if relock(shared.queue.lock()).closed {
+            break;
+        }
+        maybe_compact(shared, fraction);
+    }
+}
+
+/// The threshold-driven compaction pass. Holds the index **read** lock
+/// for the rewrite, so queries keep running; only mutations wait. The
+/// trigger compares the file's reclaimable tombstone backlog (which
+/// resets on compact) against the live count in multiplicative form —
+/// no division, no firing on an empty store, no perpetual re-firing on
+/// the corpus's permanent id holes.
+fn maybe_compact(shared: &Shared, fraction: f64) {
+    let index = relock(shared.index.read());
+    let mut log_guard = relock(shared.log.lock());
+    let Some(log) = log_guard.as_mut() else {
+        return;
+    };
+    let backlog = log.tombstone_count();
+    if backlog == 0 || (backlog as f64) <= fraction * (index.corpus().len().max(1) as f64) {
+        return;
+    }
+    if log.rewrite(index.corpus()).is_ok() {
+        shared.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+    // On rewrite failure: leave the backlog as is; the next pass retries.
+    // Queries and updates are unaffected (the old file is still intact —
+    // rewrite goes through a temp file + rename).
+}

@@ -1,0 +1,360 @@
+//! End-to-end service tests: concurrent clients against a durable
+//! corpus, a kill mid-update-batch with restart-and-recover, graceful
+//! shutdown draining, and threshold-driven background compaction.
+
+use rted_core::{Algorithm, UnitCost, Workspace};
+use rted_datasets::Shape;
+use rted_index::{CorpusStore, Recovery};
+use rted_serve::{Request, Response, Server, ServerConfig, TreeRef};
+use rted_tree::{parse_bracket, to_bracket, Tree};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rted-serve-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn gen_trees(count: usize, seed0: u64) -> Vec<Tree<String>> {
+    (0..count)
+        .map(|i| {
+            let shape = Shape::ALL[i % Shape::ALL.len()];
+            shape
+                .generate(6 + i % 13, seed0 + i as u64)
+                .map_labels(|l| l.to_string())
+        })
+        .collect()
+}
+
+fn cfg(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        compact_fraction: None,
+        ..ServerConfig::default()
+    }
+}
+
+/// The reference answer: brute-force RTED range query over the live
+/// `(id, tree)` pairs of a freshly loaded corpus — what a restarted
+/// service must agree with.
+fn brute_range(
+    live: &[(usize, Tree<String>)],
+    query: &Tree<String>,
+    tau: f64,
+) -> Vec<(usize, f64)> {
+    let mut ws = Workspace::new();
+    live.iter()
+        .map(|(id, tree)| {
+            let run = Algorithm::Rted.run_in(query, tree, &UnitCost, &mut ws);
+            (*id, run.distance)
+        })
+        .filter(|&(_, d)| d < tau)
+        .collect()
+}
+
+fn live_pairs(path: &PathBuf) -> Vec<(usize, Tree<String>)> {
+    CorpusStore::open(path)
+        .unwrap()
+        .corpus()
+        .iter()
+        .map(|(id, e)| (id, e.tree().clone()))
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_agree_with_brute_force() {
+    let path = scratch("concurrent.idx");
+    let trees = gen_trees(24, 100);
+    CorpusStore::create(&path, trees.clone()).unwrap();
+    let (server, report) = Server::open(&path, Recovery::Strict, cfg(4)).unwrap();
+    assert_eq!(report.bytes_dropped, 0);
+
+    let live: Vec<(usize, Tree<String>)> = trees.iter().cloned().enumerate().collect();
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let server = &server;
+            let live = &live;
+            scope.spawn(move || {
+                let mut client = server.client();
+                for q in 0..6 {
+                    let query = Shape::ALL[(t + q) % 6]
+                        .generate(8 + q, (t * 31 + q) as u64)
+                        .map_labels(|l| l.to_string());
+                    let tau = 4.0 + q as f64;
+                    let expected = brute_range(live, &query, tau);
+                    match client.call(Request::Range { tree: query, tau }) {
+                        Response::Neighbors { neighbors, .. } => {
+                            let got: Vec<(usize, f64)> =
+                                neighbors.iter().map(|n| (n.id, n.distance)).collect();
+                            assert_eq!(got, expected, "client {t} query {q}");
+                        }
+                        other => panic!("client {t}: {other:?}"),
+                    }
+                }
+                // Distance fast path agrees with a direct kernel run.
+                let mut ws = Workspace::new();
+                let expect = Algorithm::Rted
+                    .run_in(&live[t].1, &live[t + 5].1, &UnitCost, &mut ws)
+                    .distance;
+                match client.call(Request::Distance {
+                    left: TreeRef::Id(t),
+                    right: TreeRef::Id(t + 5),
+                }) {
+                    Response::Distance(d) => assert_eq!(d, expect),
+                    other => panic!("{other:?}"),
+                }
+            });
+        }
+    });
+    server.shutdown();
+}
+
+#[test]
+fn mutations_are_durable_and_queryable() {
+    let path = scratch("durable.idx");
+    CorpusStore::create(&path, gen_trees(8, 300)).unwrap();
+    let (server, _) = Server::open(&path, Recovery::Strict, cfg(2)).unwrap();
+    let mut client = server.client();
+
+    let added = gen_trees(5, 400);
+    let ids = match client.call(Request::Insert {
+        trees: added.clone(),
+    }) {
+        Response::Inserted(ids) => ids,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(ids, vec![8, 9, 10, 11, 12]);
+    match client.call(Request::Remove {
+        ids: vec![1, 3, 3, 77],
+    }) {
+        Response::Removed(n) => assert_eq!(n, 2),
+        other => panic!("{other:?}"),
+    }
+    // Unknown ids in distance answer with an error, not a crash.
+    match client.call(Request::Distance {
+        left: TreeRef::Id(1),
+        right: TreeRef::Id(0),
+    }) {
+        Response::Error(msg) => assert!(msg.contains("id 1"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+    match client.call(Request::Status) {
+        Response::Status(s) => {
+            assert_eq!(s.live, 11);
+            assert_eq!(s.id_bound, 13);
+            assert_eq!(s.holes, 2);
+            assert!(s.persistent);
+            assert_eq!(s.segments, 3);
+            assert_eq!(s.file_tombstones, 2);
+            assert_eq!(s.workers, 2);
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+
+    // Every mutation survived the restart (strict open: the file is clean).
+    let reopened = live_pairs(&path);
+    let ids: Vec<usize> = reopened.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, vec![0, 2, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+    assert_eq!(to_bracket(&reopened[6].1), to_bracket(&added[0]));
+}
+
+/// The acceptance scenario: the service dies mid-update-batch (simulated
+/// by tearing the file exactly as an interrupted append would), restarts
+/// in repair mode, and answers queries identically to a brute-force pass
+/// over an independently loaded corpus.
+#[test]
+fn kill_mid_update_restart_recovers_and_answers_identically() {
+    let path = scratch("kill-restart.idx");
+    CorpusStore::create(&path, gen_trees(12, 500)).unwrap();
+
+    // A served update batch that fully commits...
+    let (server, _) = Server::open(&path, Recovery::Strict, cfg(2)).unwrap();
+    let mut client = server.client();
+    match client.call(Request::Insert {
+        trees: gen_trees(4, 600),
+    }) {
+        Response::Inserted(ids) => assert_eq!(ids.len(), 4),
+        other => panic!("{other:?}"),
+    }
+    match client.call(Request::Remove { ids: vec![2, 9] }) {
+        Response::Removed(n) => assert_eq!(n, 2),
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+    let committed = std::fs::read(&path).unwrap();
+
+    // ...then the crash: the next batch's segment is half-written (tail
+    // torn mid-append, header still the committed one).
+    let mut torn = committed.clone();
+    torn.extend_from_slice(&committed[48..48 + 57]);
+    std::fs::write(&path, &torn).unwrap();
+
+    // Strict startup refuses; repair startup recovers the committed state.
+    assert!(Server::open(&path, Recovery::Strict, cfg(2)).is_err());
+    let (server, report) = Server::open(&path, Recovery::Repair, cfg(3)).unwrap();
+    assert_eq!(report.bytes_dropped, 57);
+    assert_eq!(report.segments_recovered, 3);
+
+    // The recovered service answers exactly like a brute-force pass over
+    // the independently (strictly) re-loaded corpus — repair made the
+    // file clean again, so `live_pairs` is itself the fresh rebuild.
+    let live = live_pairs(&path);
+    assert_eq!(live.len(), 14); // 12 + 4 inserted − 2 removed
+    let mut client = server.client();
+    for (qi, seed) in [(0usize, 700u64), (1, 701), (2, 702)] {
+        let query = Shape::ALL[qi]
+            .generate(9 + qi, seed)
+            .map_labels(|l| l.to_string());
+        for tau in [3.0, 6.0, f64::INFINITY] {
+            let expected = brute_range(&live, &query, tau);
+            match client.call(Request::Range {
+                tree: query.clone(),
+                tau,
+            }) {
+                Response::Neighbors { neighbors, .. } => {
+                    let got: Vec<(usize, f64)> =
+                        neighbors.iter().map(|n| (n.id, n.distance)).collect();
+                    assert_eq!(got, expected, "query {qi} tau {tau}");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+    // And the recovered service keeps accepting durable updates.
+    match client.call(Request::Insert {
+        trees: vec![parse_bracket("{after{recovery}}").unwrap()],
+    }) {
+        Response::Inserted(ids) => assert_eq!(ids, vec![16]),
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+    assert_eq!(live_pairs(&path).len(), 15);
+}
+
+#[test]
+fn absurd_top_k_returns_everything_instead_of_aborting() {
+    // One hostile request line must not be able to kill the service: a k
+    // near 2^53 passes protocol validation, and the index must clamp its
+    // allocations to the corpus size rather than aborting on a
+    // petabyte-sized heap reservation.
+    let server = Server::in_memory(gen_trees(9, 1200), cfg(1));
+    let mut client = server.client();
+    match client.call(Request::TopK {
+        tree: parse_bracket("{a{b}}").unwrap(),
+        k: (1u64 << 53) as usize - 1,
+    }) {
+        Response::Neighbors { neighbors, .. } => assert_eq!(neighbors.len(), 9),
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_requests() {
+    // One worker, several queued queries: closing the queue must not
+    // drop them — every already-submitted client gets a real response.
+    let server = Server::in_memory(gen_trees(16, 800), cfg(1));
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let mut client = server.client();
+            std::thread::spawn(move || {
+                let query = Shape::ALL[i % 6]
+                    .generate(10, 900 + i as u64)
+                    .map_labels(|l| l.to_string());
+                client.call(Request::Range {
+                    tree: query,
+                    tau: 8.0,
+                })
+            })
+        })
+        .collect();
+    // Let the submissions land in the queue, then shut down.
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown();
+    for h in handles {
+        match h.join().unwrap() {
+            Response::Neighbors { .. } => {}
+            Response::Error(msg) => assert_eq!(msg, "server is shutting down"),
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn background_compaction_fires_on_tombstone_backlog() {
+    let path = scratch("autocompact.idx");
+    CorpusStore::create(&path, gen_trees(10, 1000)).unwrap();
+    let config = ServerConfig {
+        workers: 2,
+        compact_fraction: Some(0.25),
+        maintenance_interval: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    let (server, _) = Server::open(&path, Recovery::Strict, config).unwrap();
+    let mut client = server.client();
+    // 4 tombstones over 6 live = 0.67 > 0.25: the trigger must fire.
+    match client.call(Request::Remove {
+        ids: vec![0, 1, 2, 3],
+    }) {
+        Response::Removed(n) => assert_eq!(n, 4),
+        other => panic!("{other:?}"),
+    }
+    let mut compacted = false;
+    for _ in 0..400 {
+        match client.call(Request::Status) {
+            Response::Status(s) => {
+                if s.compactions >= 1 {
+                    assert_eq!(s.file_tombstones, 0, "compaction must clear the backlog");
+                    assert_eq!(s.segments, 1);
+                    assert_eq!(s.live, 6);
+                    // The id holes survive — they are not the trigger.
+                    assert_eq!(s.holes, 4);
+                    compacted = true;
+                    break;
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(compacted, "background compaction never fired");
+    server.shutdown();
+
+    // The compacted file strict-opens with all ids preserved.
+    let live = live_pairs(&path);
+    let ids: Vec<usize> = live.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, vec![4, 5, 6, 7, 8, 9]);
+}
+
+#[test]
+fn empty_store_never_triggers_compaction_or_divides_by_zero() {
+    let path = scratch("empty.idx");
+    CorpusStore::create(&path, Vec::<Tree<String>>::new()).unwrap();
+    let config = ServerConfig {
+        workers: 1,
+        compact_fraction: Some(0.01),
+        maintenance_interval: Duration::from_millis(2),
+        ..ServerConfig::default()
+    };
+    let (server, _) = Server::open(&path, Recovery::Strict, config).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    let mut client = server.client();
+    match client.call(Request::Status) {
+        Response::Status(s) => {
+            assert_eq!(s.live, 0);
+            assert_eq!(s.compactions, 0, "empty store must not compact");
+        }
+        other => panic!("{other:?}"),
+    }
+    // Queries on the empty corpus are well-defined.
+    match client.call(Request::Range {
+        tree: parse_bracket("{a}").unwrap(),
+        tau: 5.0,
+    }) {
+        Response::Neighbors { neighbors, .. } => assert!(neighbors.is_empty()),
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}

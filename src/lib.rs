@@ -16,7 +16,10 @@
 //! * [`join`] — TED similarity joins ([`rted_join`]);
 //! * [`index`] — the indexed, parallel similarity-search engine over tree
 //!   corpora: threshold (`range`), k-nearest-neighbour (`top_k`) and
-//!   self-join queries behind staged lower-bound filters ([`rted_index`]).
+//!   self-join queries behind staged lower-bound filters ([`rted_index`]);
+//! * [`serve`] — the crash-safe, long-lived query service over a
+//!   persistent corpus: request queue + worker pool, torn-tail recovery
+//!   on startup, background compaction ([`rted_serve`]).
 //!
 //! # Quick start
 //!
@@ -57,6 +60,7 @@ pub use rted_core as core;
 pub use rted_datasets as datasets;
 pub use rted_index as index;
 pub use rted_join as join;
+pub use rted_serve as serve;
 pub use rted_tree as tree;
 
 pub use rted_core::{
