@@ -6,16 +6,19 @@
 //! rted mapping   <TREE1> <TREE2> [--xml] [--costs D,I,R]
 //! rted generate  <SHAPE> <N> [--seed S]
 //! rted join      <FILE> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]
+//!                [--pq P,Q] [--no-metric-tree]
 //! rted search    <FILE> <QUERY> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]
+//!                [--pq P,Q] [--no-metric-tree]
 //! rted topk      <FILE> <QUERY> [--k K] [--algorithm NAME] [--threads N] [--no-filter]
-//! rted index build   <INDEX> <FILE>
+//!                [--pq P,Q] [--no-metric-tree]
+//! rted index build   <INDEX> <FILE> [--format-version 1|2]
 //! rted index update  <INDEX> [--add FILE] [--remove IDS]... [--compact]
 //! rted index compact <INDEX>
 //! rted index repair  <INDEX>
 //! rted index info    <INDEX>
 //! rted index dump    <INDEX>
 //! rted serve   [--index INDEX | FILE] [--socket PATH] [--workers N]
-//!              [--threads N] [--compact-frac F] [--strict]
+//!              [--threads N] [--compact-frac F] [--strict] [--metric-tree]
 //! rted query   --socket PATH
 //! ```
 //!
@@ -60,16 +63,18 @@ fn usage() -> ExitCode {
          rted join     <FILE> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]\n  \
          rted search   <FILE> <QUERY> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]\n  \
          rted topk     <FILE> <QUERY> [--k K] [--algorithm NAME] [--threads N] [--no-filter]\n  \
-         rted index build   <INDEX> <FILE>\n  \
+         rted index build   <INDEX> <FILE> [--format-version 1|2]\n  \
          rted index update  <INDEX> [--add FILE] [--remove IDS]... [--compact]\n  \
          rted index compact <INDEX>\n  \
          rted index repair  <INDEX>\n  \
          rted index info    <INDEX>\n  \
          rted index dump    <INDEX>\n  \
          rted serve    [--index INDEX | FILE] [--socket PATH] [--workers N] [--threads N]\n  \
-         \x20             [--compact-frac F] [--strict]\n  \
+         \x20             [--compact-frac F] [--strict] [--metric-tree]\n  \
          rted query    --socket PATH\n\n\
-         join/search/topk also accept --index <INDEX> in place of <FILE>.\n\
+         join/search/topk also accept --index <INDEX> in place of <FILE>, plus\n\
+         --pq P,Q (re-profile with those gram lengths) and --no-metric-tree\n\
+         (linear size-window scan instead of the vantage-point tree).\n\
          serve speaks one JSON request per line (see README); --index recovers\n\
          (and repairs) the corpus on startup, a FILE serves from memory only.\n\
          NAME: rted (default) | zhang-l | zhang-r | klein-h | demaine-h\n\
@@ -96,6 +101,8 @@ const VALUE_FLAGS: &[&str] = &[
     "socket",
     "workers",
     "compact-frac",
+    "pq",
+    "format-version",
 ];
 
 struct Opts {
@@ -339,7 +346,14 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
 /// Shared flags of the three query commands. `--xml` is *not* here — it
 /// affects only the inline QUERY argument, so `join` (which has none)
 /// must reject it rather than accept it inertly.
-const QUERY_FLAGS: &[&str] = &["algorithm", "threads", "no-filter", "index"];
+const QUERY_FLAGS: &[&str] = &[
+    "algorithm",
+    "threads",
+    "no-filter",
+    "index",
+    "pq",
+    "no-metric-tree",
+];
 
 fn cmd_join(opts: &Opts) -> Result<(), String> {
     opts.expect_flags("join", &[QUERY_FLAGS, &["tau"]].concat())?;
@@ -353,21 +367,42 @@ fn cmd_join(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--pq P,Q` gram-length override.
+fn parse_pq(spec: &str) -> Result<rted_core::PqParams, String> {
+    let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+    let [p, q] = parts.as_slice() else {
+        return Err(format!("--pq needs P,Q — got {spec}"));
+    };
+    let parse = |s: &str| {
+        s.parse::<u32>()
+            .ok()
+            .filter(|&v| (1..=16).contains(&v))
+            .ok_or_else(|| format!("bad --pq {spec}: gram lengths must be 1..=16"))
+    };
+    Ok(rted_core::PqParams::new(parse(p)?, parse(q)?))
+}
+
 /// Loads the corpus for a query command — either the positional flat file
-/// or a persistent `--index` file — honoring the shared `--algorithm`,
-/// `--threads` and `--no-filter` flags. `extra` is how many positional
-/// arguments follow the corpus (the query, for search/topk).
+/// or a persistent `--index` file (read-only, via [`CorpusFile`], so a
+/// query never touches the file) — honoring the shared `--algorithm`,
+/// `--threads`, `--no-filter`, `--pq` and `--no-metric-tree` flags.
+/// `extra` is how many positional arguments follow the corpus (the
+/// query, for search/topk).
+///
+/// Metric-tree candidate generation is **on** by default for the query
+/// commands (results are identical to the linear scan; stderr counters
+/// show the difference) and disabled by `--no-metric-tree`.
 fn load_query_index(opts: &Opts, cmd: &str, extra: usize) -> Result<TreeIndex<String>, String> {
-    let corpus = match opts.flag("index") {
+    let mut corpus = match opts.flag("index") {
         Some(path) => {
             if opts.positional.len() != extra {
                 return Err(format!(
                     "{cmd} with --index takes {extra} positional argument(s)"
                 ));
             }
-            CorpusStore::open(path)
+            CorpusFile::read(path)
+                .and_then(|f| f.corpus_owned())
                 .map_err(|e| format!("index {path}: {e}"))?
-                .into_corpus()
         }
         None => {
             if opts.positional.len() != extra + 1 {
@@ -376,11 +411,18 @@ fn load_query_index(opts: &Opts, cmd: &str, extra: usize) -> Result<TreeIndex<St
             rted_index::TreeCorpus::build(load_tree_file(&opts.positional[0])?)
         }
     };
+    if let Some(spec) = opts.flag("pq") {
+        // Stored profiles are fixed at build time; an override re-profiles
+        // the loaded corpus in memory (the index file is not rewritten).
+        corpus.recompute_profiles(parse_pq(spec)?);
+    }
     let alg = match opts.flag("algorithm") {
         None => Algorithm::Rted,
         Some(name) => algorithm_by_name(name).ok_or(format!("unknown algorithm {name}"))?,
     };
-    let mut index = TreeIndex::from_corpus(corpus).with_algorithm(alg);
+    let mut index = TreeIndex::from_corpus(corpus)
+        .with_algorithm(alg)
+        .with_metric_tree(!opts.has("no-metric-tree"));
     if opts.has("no-filter") {
         index = index.unfiltered();
     }
@@ -400,7 +442,8 @@ fn parsed_flag<T: std::str::FromStr>(opts: &Opts, name: &str, default: T) -> Res
     }
 }
 
-/// Prints query statistics, including per-filter-stage prune counters.
+/// Prints query statistics, including per-filter-stage prune counters and
+/// (when the metric tree ran) the traversal counters.
 fn report_stats(stats: &SearchStats, what: &str) {
     let pruned: Vec<String> = stats
         .filter
@@ -414,8 +457,17 @@ fn report_stats(stats: &SearchStats, what: &str) {
     } else {
         pruned.join(", ")
     };
+    let m = &stats.metric;
+    let metric = if *m == rted_index::MetricStats::default() {
+        String::new()
+    } else {
+        format!(
+            " | metric: {} visited, {} routed, {} bound-skipped, {} overflow",
+            m.nodes_visited, m.routing_ted, m.routing_skipped, m.pending_scanned
+        )
+    };
     eprintln!(
-        "{} {what} | {} verified exactly | pruned: {pruned} | {} subproblems | {:?}",
+        "{} {what} | {} verified exactly | pruned: {pruned} | {} subproblems{metric} | {:?}",
         stats.candidates, stats.verified, stats.subproblems, stats.time
     );
 }
@@ -462,15 +514,38 @@ fn cmd_index(opts: &Opts) -> Result<(), String> {
     let rest = &opts.positional[1..];
     match sub.as_str() {
         "build" => {
-            opts.expect_flags("index build", &[])?;
+            opts.expect_flags("index build", &["format-version"])?;
             let [index_path, file] = rest else {
                 return Err("index build needs INDEX and FILE".into());
             };
+            let version: u32 = parsed_flag(opts, "format-version", 2)?;
             let trees = load_tree_file(file)?;
-            let store = CorpusStore::create(index_path, trees).map_err(|e| e.to_string())?;
+            let live = match version {
+                2 => {
+                    let store =
+                        CorpusStore::create(index_path, trees).map_err(|e| e.to_string())?;
+                    store.corpus().len()
+                }
+                1 => {
+                    // The legacy writer: a PR 2-era file (no stored
+                    // pq-gram profiles), kept so compatibility fixtures
+                    // can be fabricated forever. Opening it with any
+                    // mutating tool upgrades it to the current version.
+                    let corpus = rted_index::TreeCorpus::build(trees);
+                    let bytes = rted_index::persist::encode_corpus_v1(&corpus);
+                    std::fs::write(index_path, bytes)
+                        .map_err(|e| format!("cannot write {index_path}: {e}"))?;
+                    corpus.len()
+                }
+                other => {
+                    return Err(format!(
+                        "--format-version {other} is not writable (1 = legacy, 2 = current)"
+                    ))
+                }
+            };
             eprintln!(
-                "built {index_path}: {} trees, {} bytes",
-                store.corpus().len(),
+                "built {index_path}: {} trees, {} bytes (format version {version})",
+                live,
                 std::fs::metadata(index_path).map(|m| m.len()).unwrap_or(0)
             );
             Ok(())
@@ -554,6 +629,20 @@ fn cmd_index(opts: &Opts) -> Result<(), String> {
             let corpus = file.corpus().map_err(|e| e.to_string())?;
             println!("path            {index_path}");
             println!("format version  {}", header.version);
+            println!("feature flags   {:#010x}", header.flags);
+            match rted_index::candidates::pqgram::profile_params(&corpus) {
+                None => println!("pq profile      none (empty corpus)"),
+                Some(params) => println!(
+                    "pq profile      p={} q={} ({})",
+                    params.p,
+                    params.q,
+                    if header.has_pq_profiles() {
+                        "stored"
+                    } else {
+                        "recomputed on load"
+                    }
+                ),
+            }
             println!("live trees      {}", corpus.len());
             println!("next id         {}", header.next_id);
             println!("segments        {}", file.segment_count());
@@ -595,6 +684,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             "threads",
             "compact-frac",
             "strict",
+            "metric-tree",
         ],
     )?;
     let mut config = rted_serve::ServerConfig::default();
@@ -609,6 +699,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let frac: f64 = parsed_flag(opts, "compact-frac", 0.25)?;
     // A non-positive fraction disables background compaction.
     config.compact_fraction = (frac > 0.0).then_some(frac);
+    config.metric_tree = opts.has("metric-tree");
 
     let server = match opts.flag("index") {
         Some(index_path) => {
@@ -689,13 +780,17 @@ fn serve_stdio(server: &rted_serve::Server) -> Result<(), String> {
 
 /// Parses and executes one request line; returns the rendered response
 /// and whether it was a shutdown request (handled at the transport
-/// level: acknowledged with `bye`, then the front-end stops).
+/// level: acknowledged with `bye`, then the front-end stops). A request
+/// `id`, when present, is echoed in the response — pipelined clients can
+/// keep many requests in flight and correlate answers.
 fn respond(client: &mut rted_serve::Client, line: &str) -> (String, bool) {
-    use rted_serve::{parse_request, render_response, Request, Response};
-    match parse_request(line) {
-        Err(e) => (render_response(&Response::Error(e)), false),
-        Ok(Request::Shutdown) => (render_response(&Response::Bye), true),
-        Ok(request) => (render_response(&client.call(request)), false),
+    use rted_serve::{parse_request_line, render_response_with, Request, Response};
+    let (id, parsed) = parse_request_line(line);
+    let id = id.as_ref();
+    match parsed {
+        Err(e) => (render_response_with(&Response::Error(e), id), false),
+        Ok(Request::Shutdown) => (render_response_with(&Response::Bye, id), true),
+        Ok(request) => (render_response_with(&client.call(request), id), false),
     }
 }
 

@@ -25,13 +25,20 @@
 //!   rename-free, the cost is at least `‖F‖ + ‖G‖ − m − |hist ∩|` ≥
 //!   `max(‖F‖, ‖G‖) − |hist ∩|`.
 //!
+//! * **pq-gram bound** — `max(⌈Δ_pre/2p⌉, ⌈Δ_post/2q⌉) ≤ TED(F, G)` over
+//!   the serialized pq-gram profiles of [`crate::pqgram`]: each tree edit
+//!   is one string edit on either traversal, and one string edit perturbs
+//!   at most `w` length-`w` grams — the only stage sensitive to label
+//!   *arrangement*, not just label counts and shape statistics.
+//!
 //! All bounds are valid for any cost model whose deletes/inserts cost ≥ 1;
-//! the histogram bound additionally needs renames of distinct labels to
-//! cost ≥ 1 (both hold for [`crate::UnitCost`]).
+//! the histogram and pq-gram bounds additionally need renames of distinct
+//! labels to cost ≥ 1 (both hold for [`crate::UnitCost`]).
 //!
 //! Every stage reads precomputed per-tree data from a [`TreeSketch`], so a
 //! corpus can be analyzed once at build time and probed millions of times.
 
+use crate::pqgram::{PqGramProfile, PqParams, PqScratch};
 use rted_tree::Tree;
 use std::collections::HashMap;
 
@@ -133,6 +140,7 @@ pub fn lower_bound<L: Eq + std::hash::Hash + Clone>(f: &Tree<L>, g: &Tree<L>) ->
         .max(LowerBound::<L>::bound(&LeafBound, &sf, &sg))
         .max(LowerBound::<L>::bound(&DegreeBound, &sf, &sg))
         .max(HistogramBound.bound(&sf, &sg))
+        .max(LowerBound::<L>::bound(&PqGramBound, &sf, &sg))
 }
 
 /// Per-tree summary computed once in O(n), consumed by every
@@ -150,11 +158,20 @@ pub struct TreeSketch<L> {
     pub internal: usize,
     /// Label multiset.
     pub histogram: LabelHistogram<L>,
+    /// Serialized pq-gram profile (see [`crate::pqgram`]).
+    pub pq: PqGramProfile,
 }
 
 impl<L: Eq + std::hash::Hash + Clone> TreeSketch<L> {
-    /// Analyzes `tree` once.
+    /// Analyzes `tree` once, under the default pq-gram params.
     pub fn new(tree: &Tree<L>) -> Self {
+        Self::with_pq(tree, PqParams::default(), &mut PqScratch::default())
+    }
+
+    /// [`new`](Self::new) with explicit pq-gram params, drawing profile
+    /// scratch from `scratch` — the bulk path for corpus builds, which
+    /// analyze thousands of trees through one reusable arena.
+    pub fn with_pq(tree: &Tree<L>, params: PqParams, scratch: &mut PqScratch) -> Self {
         let leaves = tree.leaf_count();
         TreeSketch {
             size: tree.len(),
@@ -162,6 +179,7 @@ impl<L: Eq + std::hash::Hash + Clone> TreeSketch<L> {
             leaves,
             internal: tree.len() - leaves,
             histogram: LabelHistogram::new(tree),
+            pq: PqGramProfile::compute_in(tree, params, scratch),
         }
     }
 
@@ -177,6 +195,7 @@ impl<L: Eq + std::hash::Hash + Clone> TreeSketch<L> {
         max_depth: u32,
         leaves: usize,
         histogram: LabelHistogram<L>,
+        pq: PqGramProfile,
     ) -> Self {
         TreeSketch {
             size,
@@ -184,6 +203,7 @@ impl<L: Eq + std::hash::Hash + Clone> TreeSketch<L> {
             leaves,
             internal: size.saturating_sub(leaves),
             histogram,
+            pq,
         }
     }
 }
@@ -266,8 +286,25 @@ impl<L: Eq + std::hash::Hash + Clone> LowerBound<L> for HistogramBound {
     }
 }
 
+/// `max(⌈Δ_pre/2p⌉, ⌈Δ_post/2q⌉)` over the serialized pq-gram profiles —
+/// see module docs and [`crate::pqgram`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PqGramBound;
+
+impl<L> LowerBound<L> for PqGramBound {
+    fn name(&self) -> &'static str {
+        "pqgram"
+    }
+    fn bound(&self, f: &TreeSketch<L>, g: &TreeSketch<L>) -> f64 {
+        f.pq.lower_bound(&g.pq)
+    }
+}
+
 /// The standard filter staging: every bound, cheapest first. The histogram
-/// bound goes last — it is the only stage that is not O(1) per pair.
+/// and pq-gram bounds go last — they are the stages that are not O(1) per
+/// pair (the pq-gram merge is O(n) over sorted arrays, cache-friendlier
+/// than the histogram's hash probes but sensitive to more structure, so it
+/// runs after the histogram has had its chance).
 pub fn standard_bounds<L: Eq + std::hash::Hash + Clone>(
 ) -> Vec<Box<dyn LowerBound<L> + Send + Sync>> {
     vec![
@@ -276,6 +313,7 @@ pub fn standard_bounds<L: Eq + std::hash::Hash + Clone>(
         Box::new(LeafBound),
         Box::new(DegreeBound),
         Box::new(HistogramBound),
+        Box::new(PqGramBound),
     ]
 }
 

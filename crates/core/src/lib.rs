@@ -46,6 +46,7 @@ pub mod bounds;
 pub mod cost;
 pub mod gted;
 pub mod mapping;
+pub mod pqgram;
 pub mod reference;
 pub mod rted;
 pub mod strategy;
@@ -60,6 +61,7 @@ pub use bounds::{LowerBound, TreeSketch};
 pub use cost::{CostModel, PerLabelCost, UnitCost};
 pub use gted::{ExecStats, Executor};
 pub use mapping::{edit_mapping, EditMapping, EditOp};
+pub use pqgram::{PqGramProfile, PqParams, PqScratch};
 pub use rted::{ted, ted_with, Algorithm, Rted, RunStats};
 pub use strategy::{
     compute_strategy_in, optimal_strategy, strategy_cost, Chooser, DemaineChooser, FixedChooser,

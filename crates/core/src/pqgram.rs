@@ -1,0 +1,387 @@
+//! Serialized pq-gram profiles: a structure-sensitive lower bound on the
+//! tree edit distance.
+//!
+//! §7 of the paper points at gram-based filters (pq-grams, binary
+//! branches) as the strong structure-sensitive bounds for similarity
+//! joins. The classic pq-gram profile of Augsten et al. — label tuples of
+//! `p` ancestors and `q` consecutive children — yields an excellent
+//! *approximate* distance, but a single delete of a high-fanout node can
+//! perturb arbitrarily many of those grams, so no constant-factor lower
+//! bound on unit-cost TED exists for it. This module therefore implements
+//! the **serialized** variant, which does carry a soundness proof:
+//!
+//! * every tree edit operation (delete / insert / rename of one node)
+//!   changes the tree's **preorder** label sequence by exactly one string
+//!   edit of the same kind, and likewise its **postorder** sequence — a
+//!   deleted node's children splice in place, preserving the relative
+//!   order of every other node — so the unit string edit distance of
+//!   either serialization lower-bounds TED;
+//! * one string edit changes at most `w` of a sequence's length-`w` grams
+//!   (the grams overlapping the edited position), so the multiset
+//!   symmetric difference `Δ` of two gram profiles satisfies
+//!   `Δ ≤ 2·w·SED`, i.e. `SED ≥ ⌈Δ / 2w⌉`.
+//!
+//! Chaining the two: with grams of length `p` over the preorder
+//! serialization and length `q` over the postorder serialization,
+//!
+//! ```text
+//! TED(F, G)  ≥  max( ⌈Δ_pre / 2p⌉ , ⌈Δ_post / 2q⌉ )
+//! ```
+//!
+//! for every cost model charging ≥ 1 per delete/insert and ≥ 1 per rename
+//! of distinct labels. The two serializations are complementary: preorder
+//! grams capture ancestor-before-descendant context, postorder grams
+//! capture descendant-before-ancestor context, so trees that agree on one
+//! traversal but differ structurally rarely agree on both.
+//!
+//! A profile is a pair of **hashed gram multisets** kept sorted, built in
+//! a single postorder pass (the tree's precomputed preorder ranks place
+//! each label hash into the preorder sequence on the fly) with all
+//! intermediate storage drawn from a reusable [`PqScratch`] arena, so
+//! corpus builds allocate per profile only the two gram vectors that the
+//! sketch must own anyway. Sequences are padded with `w − 1` sentinel
+//! hashes on each side (the `#` padding of string q-grams), which keeps
+//! the per-edit gram bound exact at the sequence ends. Hash collisions can
+//! only merge distinct grams — shrinking the symmetric difference — so
+//! they weaken the bound but can never make it unsound.
+
+use rted_tree::Tree;
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Padding hash standing in for the `#` sentinel outside the sequence.
+/// Not derived from any label's bytes; a colliding label would only
+/// weaken the bound (see the module docs), never break soundness.
+const SENTINEL: u64 = 0x5155_4147_4d41_5250; // "QUAGMARP"
+
+/// A streaming FNV-1a 64 [`Hasher`], used so label hashing is
+/// deterministic and stable (the std `DefaultHasher` is free to change
+/// across releases, which would silently invalidate persisted profiles).
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// The hash of one label. `&str`, `String` and every integer type hash
+/// identically to themselves across the owned and borrowed corpus paths.
+fn label_hash<L: Hash + ?Sized>(label: &L) -> u64 {
+    let mut h = Fnv1a(FNV_OFFSET);
+    label.hash(&mut h);
+    h.finish()
+}
+
+/// Order-sensitive combination of a window of label hashes into one gram
+/// hash (an FNV-style fold over the 64-bit words).
+fn gram_hash(window: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &x in window {
+        h = (h ^ x).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The gram lengths of a profile: `p` for the preorder serialization,
+/// `q` for the postorder serialization. Both are clamped to ≥ 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PqParams {
+    /// Gram length over the preorder label sequence.
+    pub p: u32,
+    /// Gram length over the postorder label sequence.
+    pub q: u32,
+}
+
+impl Default for PqParams {
+    /// The conventional pq-gram default `(2, 3)`.
+    fn default() -> Self {
+        PqParams { p: 2, q: 3 }
+    }
+}
+
+impl PqParams {
+    /// Params with both lengths clamped to ≥ 1.
+    pub fn new(p: u32, q: u32) -> Self {
+        PqParams {
+            p: p.max(1),
+            q: q.max(1),
+        }
+    }
+}
+
+/// Reusable scratch for profile construction: per-node label hashes and
+/// the padded serialization buffer. One scratch serves arbitrarily many
+/// trees (corpus builds reuse a single instance across all inserts).
+#[derive(Debug, Default)]
+pub struct PqScratch {
+    /// Label hash per node, indexed by postorder id.
+    hashes: Vec<u64>,
+    /// Label hashes permuted into preorder.
+    pre_hashes: Vec<u64>,
+    /// The padded serialization currently being grammed.
+    seq: Vec<u64>,
+}
+
+/// A tree's serialized pq-gram profile: two sorted multisets of hashed
+/// grams (preorder grams of length `p`, postorder grams of length `q`).
+///
+/// Stored inside [`TreeSketch`](crate::bounds::TreeSketch), persisted by
+/// the corpus format (version 2), and compared pairwise by
+/// [`lower_bound`](Self::lower_bound) in O(n) via a sorted merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PqGramProfile {
+    params: PqParams,
+    /// Sorted gram hashes of the padded preorder sequence (`n + p − 1`).
+    pre: Vec<u64>,
+    /// Sorted gram hashes of the padded postorder sequence (`n + q − 1`).
+    post: Vec<u64>,
+}
+
+impl PqGramProfile {
+    /// The profile of `tree` under the default [`PqParams`].
+    pub fn new<L: Hash>(tree: &Tree<L>) -> Self {
+        Self::with_params(tree, PqParams::default())
+    }
+
+    /// The profile of `tree` under explicit params.
+    pub fn with_params<L: Hash>(tree: &Tree<L>, params: PqParams) -> Self {
+        Self::compute_in(tree, params, &mut PqScratch::default())
+    }
+
+    /// [`with_params`](Self::with_params) drawing intermediate storage
+    /// from `scratch` — a single postorder pass hashes every label once,
+    /// placing it into both serializations via the tree's precomputed
+    /// preorder ranks; only the two gram vectors the profile owns are
+    /// allocated.
+    pub fn compute_in<L: Hash>(tree: &Tree<L>, params: PqParams, scratch: &mut PqScratch) -> Self {
+        let n = tree.len();
+        scratch.hashes.clear();
+        scratch.hashes.resize(n, 0);
+        scratch.pre_hashes.clear();
+        scratch.pre_hashes.resize(n, 0);
+        // One pass: hash each label once, placing it into the postorder
+        // sequence directly and into the preorder sequence through the
+        // tree's precomputed preorder rank.
+        for v in tree.nodes() {
+            let h = label_hash(tree.label(v));
+            scratch.hashes[v.idx()] = h;
+            scratch.pre_hashes[tree.preorder(v) as usize] = h;
+        }
+        let post = grams_of(&scratch.hashes, params.q, &mut scratch.seq);
+        let pre = grams_of(&scratch.pre_hashes, params.p, &mut scratch.seq);
+        PqGramProfile { params, pre, post }
+    }
+
+    /// Reassembles a profile from previously computed parts (the corpus
+    /// persistence layer). The gram vectors must be sorted — stored
+    /// profiles are trusted like every other sketch field (see the
+    /// persistence trust model); an unsorted forgery degrades the bound's
+    /// value, which the loader guards by re-sorting.
+    pub fn from_parts(params: PqParams, mut pre: Vec<u64>, mut post: Vec<u64>) -> Self {
+        // Sorting a sorted vec is O(n): cheap insurance that the merge in
+        // `symmetric_difference` always sees its precondition.
+        if !is_sorted(&pre) {
+            pre.sort_unstable();
+        }
+        if !is_sorted(&post) {
+            post.sort_unstable();
+        }
+        PqGramProfile { params, pre, post }
+    }
+
+    /// The gram lengths this profile was built with.
+    #[inline]
+    pub fn params(&self) -> PqParams {
+        self.params
+    }
+
+    /// The sorted preorder gram hashes (`n + p − 1` entries).
+    #[inline]
+    pub fn pre_grams(&self) -> &[u64] {
+        &self.pre
+    }
+
+    /// The sorted postorder gram hashes (`n + q − 1` entries).
+    #[inline]
+    pub fn post_grams(&self) -> &[u64] {
+        &self.post
+    }
+
+    /// Multiset symmetric-difference sizes `(Δ_pre, Δ_post)` against
+    /// `other`, by sorted merge in O(n).
+    pub fn symmetric_difference(&self, other: &PqGramProfile) -> (usize, usize) {
+        (
+            symdiff(&self.pre, &other.pre),
+            symdiff(&self.post, &other.post),
+        )
+    }
+
+    /// The sound lower bound `max(⌈Δ_pre/2p⌉, ⌈Δ_post/2q⌉)` on the edit
+    /// distance between the profiled trees — see the module docs for the
+    /// proof. Profiles built under different params are incomparable and
+    /// bound nothing (returns 0).
+    pub fn lower_bound(&self, other: &PqGramProfile) -> f64 {
+        if self.params != other.params {
+            return 0.0;
+        }
+        let (dp, dq) = self.symmetric_difference(other);
+        let pre = (dp as f64 / (2.0 * self.params.p as f64)).ceil();
+        let post = (dq as f64 / (2.0 * self.params.q as f64)).ceil();
+        pre.max(post)
+    }
+}
+
+fn is_sorted(xs: &[u64]) -> bool {
+    xs.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Sorted gram hashes of `hashes` padded with `w − 1` sentinels on each
+/// side, using `seq` as the reusable padding buffer.
+fn grams_of(hashes: &[u64], w: u32, seq: &mut Vec<u64>) -> Vec<u64> {
+    let w = w.max(1) as usize;
+    let pad = w - 1;
+    seq.clear();
+    seq.resize(hashes.len() + 2 * pad, SENTINEL);
+    seq[pad..pad + hashes.len()].copy_from_slice(hashes);
+    let mut grams: Vec<u64> = seq.windows(w).map(gram_hash).collect();
+    grams.sort_unstable();
+    grams
+}
+
+/// Size of the multiset symmetric difference of two sorted slices.
+fn symdiff(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut diff) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                i += 1;
+                diff += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                j += 1;
+                diff += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    diff + (a.len() - i) + (b.len() - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rted::ted;
+    use rted_tree::parse_bracket;
+
+    fn t(s: &str) -> Tree<String> {
+        parse_bracket(s).unwrap()
+    }
+
+    #[test]
+    fn profile_sizes_match_the_serializations() {
+        let tree = t("{a{b}{c{d}}}");
+        for (p, q) in [(1, 1), (2, 3), (3, 2), (4, 4)] {
+            let prof = PqGramProfile::with_params(&tree, PqParams::new(p, q));
+            assert_eq!(prof.pre_grams().len(), tree.len() + p as usize - 1);
+            assert_eq!(prof.post_grams().len(), tree.len() + q as usize - 1);
+            assert!(is_sorted(prof.pre_grams()));
+            assert!(is_sorted(prof.post_grams()));
+        }
+    }
+
+    #[test]
+    fn identical_trees_have_zero_difference() {
+        let a = t("{a{b{c}{d}}{e}}");
+        let b = t("{a{b{c}{d}}{e}}");
+        let (pa, pb) = (PqGramProfile::new(&a), PqGramProfile::new(&b));
+        assert_eq!(pa.symmetric_difference(&pb), (0, 0));
+        assert_eq!(pa.lower_bound(&pb), 0.0);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn profiles_are_deterministic_and_scratch_independent() {
+        let tree = t("{r{a{b}}{c}{a{b}}}");
+        let fresh = PqGramProfile::new(&tree);
+        let mut scratch = PqScratch::default();
+        // A dirty scratch from another tree must not leak into the result.
+        let _ = PqGramProfile::compute_in(&t("{x{y{z}}}"), PqParams::default(), &mut scratch);
+        let reused = PqGramProfile::compute_in(&tree, PqParams::default(), &mut scratch);
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn mismatched_params_bound_nothing() {
+        let tree = t("{a{b}{c}}");
+        let a = PqGramProfile::with_params(&tree, PqParams::new(2, 3));
+        let b = PqGramProfile::with_params(&t("{x{y{z{w}}}}"), PqParams::new(3, 2));
+        assert_eq!(a.lower_bound(&b), 0.0);
+    }
+
+    #[test]
+    fn bound_is_sound_on_samples() {
+        let cases = [
+            ("{a}", "{a}"),
+            ("{a{b}{c}}", "{x{y}{z}}"),
+            ("{a{b{c{d}}}}", "{a{b}{c}{d}}"),
+            ("{a{a}{a}{a}{a}}", "{a{a{a{a{a}}}}}"),
+            ("{a{b}}", "{c{d{e}{f}}{g}}"),
+            ("{a{b{c}{d}}{e}}", "{a{e}{b{c}{d}}}"),
+        ];
+        for (x, y) in cases {
+            let (f, g) = (t(x), t(y));
+            let d = ted(&f, &g);
+            for params in [
+                PqParams::new(1, 1),
+                PqParams::new(2, 3),
+                PqParams::new(3, 3),
+            ] {
+                let lb = PqGramProfile::with_params(&f, params)
+                    .lower_bound(&PqGramProfile::with_params(&g, params));
+                assert!(lb <= d, "{x} vs {y} ({params:?}): lb {lb} > ted {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_sees_structure_the_histogram_misses() {
+        // Same label multiset, same size/depth/leaf profile family —
+        // only the arrangement differs. The serialized grams pick up the
+        // reordering.
+        let f = t("{r{a{b}}{c{d}}}");
+        let g = t("{r{a{d}}{c{b}}}");
+        let (pf, pg) = (PqGramProfile::new(&f), PqGramProfile::new(&g));
+        let lb = pf.lower_bound(&pg);
+        assert!(lb >= 1.0, "expected a positive bound, got {lb}");
+        assert!(lb <= ted(&f, &g));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_repairs_order() {
+        let prof = PqGramProfile::new(&t("{a{b}{c{d}}}"));
+        let rebuilt = PqGramProfile::from_parts(
+            prof.params(),
+            prof.pre_grams().to_vec(),
+            prof.post_grams().to_vec(),
+        );
+        assert_eq!(prof, rebuilt);
+        // Reversed input is re-sorted, keeping the merge precondition.
+        let mut rev = prof.pre_grams().to_vec();
+        rev.reverse();
+        let repaired = PqGramProfile::from_parts(prof.params(), rev, prof.post_grams().to_vec());
+        assert_eq!(prof, repaired);
+    }
+}

@@ -1,0 +1,129 @@
+//! Index-side face of the serialized pq-gram profiles.
+//!
+//! The profile machinery itself lives in `rted_core::pqgram` (the sketch
+//! must carry it, and the soundness proof belongs next to the other
+//! bounds). This module holds what only the *index* layer needs:
+//!
+//! * corpus-wide parameter introspection ([`profile_params`]) — the CLI's
+//!   `index info` and the serve layer's `status` report which gram
+//!   lengths a corpus was profiled with;
+//! * the re-profiling entry point is
+//!   [`TreeCorpus::recompute_profiles`](crate::TreeCorpus::recompute_profiles):
+//!   persistent corpora store profiles at build time, so a caller wanting
+//!   different gram lengths (the CLI's `--pq P,Q`) re-profiles the loaded
+//!   corpus in memory — the file is untouched.
+//!
+//! Every profile in a corpus must share one parameter pair: the bound
+//! treats mixed-parameter pairs as incomparable (zero bound — sound but
+//! useless), so partial re-profiling would silently cost filter power.
+//! `recompute_profiles` therefore always sweeps the whole corpus.
+
+use crate::corpus::TreeCorpus;
+pub use rted_core::pqgram::{PqGramProfile, PqParams, PqScratch};
+
+/// The pq-gram params shared by `corpus`'s profiles (`None` when the
+/// corpus is empty). Corpora built by this crate are always uniformly
+/// profiled; the first live entry is authoritative.
+pub fn profile_params<L>(corpus: &TreeCorpus<L>) -> Option<PqParams> {
+    corpus.iter().next().map(|(_, e)| e.sketch().pq.params())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FilterPipeline, TreeIndex};
+    use rted_tree::parse_bracket;
+
+    fn corpus() -> TreeCorpus<String> {
+        TreeCorpus::build(
+            ["{a{b}{c}}", "{a{c}{b}}", "{x{y{z{w{v}}}}}"]
+                .iter()
+                .map(|s| parse_bracket(s).unwrap()),
+        )
+    }
+
+    #[test]
+    fn corpora_carry_default_params() {
+        let c = corpus();
+        assert_eq!(profile_params(&c), Some(PqParams::default()));
+        assert_eq!(
+            profile_params::<String>(&TreeCorpus::build(Vec::new())),
+            None
+        );
+    }
+
+    #[test]
+    fn recompute_changes_params_corpus_wide() {
+        let mut c = corpus();
+        c.recompute_profiles(PqParams::new(3, 2));
+        for (_, e) in c.iter() {
+            assert_eq!(e.sketch().pq.params(), PqParams::new(3, 2));
+        }
+        assert_eq!(profile_params(&c), Some(PqParams::new(3, 2)));
+    }
+
+    #[test]
+    fn pqgram_stage_is_wired_into_the_standard_pipeline() {
+        let pipeline = FilterPipeline::<String>::standard();
+        assert_eq!(pipeline.stage_index("pqgram"), Some(5));
+        // The stage actually prunes: two same-size same-histogram-family
+        // trees with different arrangements, queried under a tight tau.
+        let index = TreeIndex::from_corpus(corpus());
+        let q = parse_bracket("{x{y{z{w{v}}}}}").unwrap();
+        let res = index.range(&q, 2.0);
+        assert_eq!(res.neighbors.len(), 1);
+        assert_eq!(res.neighbors[0].distance, 0.0);
+    }
+
+    #[test]
+    fn inserts_into_a_reprofiled_corpus_stay_uniform() {
+        let mut c = corpus();
+        c.recompute_profiles(PqParams::new(3, 2));
+        // `insert` analyzes with the default params; the corpus must
+        // re-profile the entry to keep the uniformity invariant.
+        let id = c.insert(parse_bracket("{p{q}{r}}").unwrap());
+        assert_eq!(c.sketch(id).pq.params(), PqParams::new(3, 2));
+        assert_eq!(profile_params(&c), Some(PqParams::new(3, 2)));
+    }
+
+    #[test]
+    fn queries_are_profiled_with_the_corpus_params() {
+        // Same size, depth, leaves, degrees and label multiset — only the
+        // arrangement differs, so the pqgram stage is the only one that
+        // can prune. If the query sketch were profiled with the default
+        // params against a re-profiled corpus, the bound would be 0 and
+        // the pair would reach exact verification.
+        let mut c = TreeCorpus::build(vec![parse_bracket("{r{a{d}}{c{b}}}").unwrap()]);
+        c.recompute_profiles(PqParams::new(3, 2));
+        let index = TreeIndex::from_corpus(c);
+        let q = parse_bracket("{r{a{b}}{c{d}}}").unwrap();
+        let res = index.range(&q, 1.0);
+        assert!(res.neighbors.is_empty());
+        assert_eq!(res.stats.verified, 0, "pqgram stage failed to engage");
+        let pq = res
+            .stats
+            .filter
+            .stages
+            .iter()
+            .find(|s| s.stage == "pqgram")
+            .unwrap();
+        assert_eq!(pq.pruned, 1);
+    }
+
+    #[test]
+    fn reprofiled_corpus_answers_queries_identically() {
+        // Gram lengths change how much is pruned, never what matches.
+        let base = TreeIndex::from_corpus(corpus());
+        let mut re = corpus();
+        re.recompute_profiles(PqParams::new(1, 1));
+        let re = TreeIndex::from_corpus(re);
+        let q = parse_bracket("{a{b}{c}}").unwrap();
+        for tau in [1.0, 2.0, 5.0] {
+            assert_eq!(
+                base.range(&q, tau).neighbors,
+                re.range(&q, tau).neighbors,
+                "tau {tau}"
+            );
+        }
+    }
+}

@@ -21,6 +21,7 @@
 //! requires `&mut` (single-writer, as usual in Rust).
 
 use rted_core::bounds::TreeSketch;
+use rted_core::pqgram::{PqGramProfile, PqParams, PqScratch};
 use rted_tree::Tree;
 
 /// One corpus entry: the tree plus its insert-time analysis.
@@ -80,16 +81,31 @@ pub struct TreeCorpus<L> {
 }
 
 impl<L: Eq + std::hash::Hash + Clone> TreeCorpus<L> {
-    /// Builds a corpus, analyzing every tree once.
+    /// Builds a corpus, analyzing every tree once (profile scratch is
+    /// shared across the whole build — one arena, not one per tree).
     pub fn build(trees: impl IntoIterator<Item = Tree<L>>) -> Self {
+        let mut scratch = PqScratch::default();
         let entries: Vec<Option<CorpusEntry<L>>> = trees
             .into_iter()
             .map(|tree| {
-                let sketch = TreeSketch::new(&tree);
+                let sketch = TreeSketch::with_pq(&tree, PqParams::default(), &mut scratch);
                 Some(CorpusEntry { tree, sketch })
             })
             .collect();
         Self::from_raw_parts(entries)
+    }
+
+    /// Recomputes every live entry's pq-gram profile under `params` (one
+    /// shared scratch arena). The profiles stored in a persistent corpus
+    /// are fixed at build time; callers that want different gram lengths —
+    /// e.g. the CLI's `--pq P,Q` — re-profile the loaded corpus in memory.
+    /// All profiles in a corpus must share params, or the pq-gram stage
+    /// degrades to a zero bound on mixed pairs.
+    pub fn recompute_profiles(&mut self, params: PqParams) {
+        let mut scratch = PqScratch::default();
+        for slot in self.entries.iter_mut().flatten() {
+            slot.sketch.pq = PqGramProfile::compute_in(&slot.tree, params, &mut scratch);
+        }
     }
 
     /// Rebuilds a corpus from per-id slots (`None` = removed id), deriving
@@ -118,7 +134,21 @@ impl<L: Eq + std::hash::Hash + Clone> TreeCorpus<L> {
     /// Inserts an already-analyzed entry (avoids re-analysis when the
     /// caller had to build the entry up front, e.g. to serialize it before
     /// committing the in-memory mutation).
-    pub fn insert_entry(&mut self, entry: CorpusEntry<L>) -> usize {
+    ///
+    /// Profiles under different gram lengths are incomparable (zero
+    /// bound), so if the corpus was re-profiled
+    /// ([`recompute_profiles`](Self::recompute_profiles)) and the entry
+    /// arrives with other params — `CorpusEntry::analyze` uses the
+    /// defaults — its profile is recomputed to match before insertion,
+    /// keeping the corpus-wide uniformity invariant.
+    pub fn insert_entry(&mut self, mut entry: CorpusEntry<L>) -> usize {
+        if let Some((_, first)) = self.iter().next() {
+            let params = first.sketch.pq.params();
+            if entry.sketch.pq.params() != params {
+                entry.sketch.pq =
+                    PqGramProfile::compute_in(&entry.tree, params, &mut PqScratch::default());
+            }
+        }
         let id = self.entries.len();
         assert!(id < u32::MAX as usize, "corpus id space exhausted");
         let key = (entry.sketch.size, id as u32);

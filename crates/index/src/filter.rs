@@ -11,33 +11,52 @@ use rted_core::bounds::{standard_bounds, LowerBound, SizeBound, TreeSketch};
 /// An ordered list of lower-bound stages.
 pub struct FilterPipeline<L> {
     stages: Vec<Box<dyn LowerBound<L> + Send + Sync>>,
+    /// Index of the `size` stage when (and only when) it runs first —
+    /// resolved once at construction. Queries consult this on every
+    /// candidate batch to decide whether the sorted-size window may stand
+    /// in for the stage, and a per-query linear name scan
+    /// ([`stage_index`](Self::stage_index)) was measurable overhead.
+    leading_size: Option<usize>,
 }
 
 impl<L: Eq + std::hash::Hash + Clone> FilterPipeline<L> {
-    /// The standard staging: size → depth → leaf → degree → histogram.
+    /// The standard staging:
+    /// size → depth → leaf → degree → histogram → pqgram.
     pub fn standard() -> Self {
-        FilterPipeline {
-            stages: standard_bounds::<L>(),
-        }
+        Self::from_stages(standard_bounds::<L>())
     }
 
     /// Only the O(1) size stage (the seed join's `size_prune` mode).
     pub fn size_only() -> Self {
-        FilterPipeline {
-            stages: vec![Box::new(SizeBound)],
-        }
+        Self::from_stages(vec![Box::new(SizeBound)])
     }
 }
 
 impl<L> FilterPipeline<L> {
     /// No filtering: every pair goes straight to exact verification.
     pub fn none() -> Self {
-        FilterPipeline { stages: Vec::new() }
+        Self::from_stages(Vec::new())
     }
 
     /// A pipeline from custom stages.
     pub fn from_stages(stages: Vec<Box<dyn LowerBound<L> + Send + Sync>>) -> Self {
-        FilterPipeline { stages }
+        let leading_size = stages
+            .first()
+            .filter(|s| s.name() == "size")
+            .map(|_| 0usize);
+        FilterPipeline {
+            stages,
+            leading_size,
+        }
+    }
+
+    /// The `size` stage's index when it is the pipeline's *first* stage —
+    /// the only position where the sorted-size window / early-break can
+    /// faithfully replace the per-candidate check under the documented
+    /// "first stage that reaches the threshold prunes" counter semantics.
+    #[inline]
+    pub fn leading_size_stage(&self) -> Option<usize> {
+        self.leading_size
     }
 
     /// The stages, in evaluation order.

@@ -57,6 +57,7 @@
 //! assert_eq!(knn.neighbors[0].distance, 0.0);
 //! ```
 
+pub mod candidates;
 pub mod corpus;
 pub mod exec;
 pub mod filter;
@@ -64,6 +65,7 @@ pub mod persist;
 pub mod store;
 pub mod verify;
 
+pub use candidates::{MetricConfig, MetricSnapshot, MetricStats, VpTree};
 pub use corpus::{CorpusEntry, TreeCorpus};
 pub use exec::{map_chunks, map_chunks_with, ExecPolicy, PooledWorkspace, WorkspacePool};
 pub use filter::{FilterPipeline, FilterStats, StagePrune};
@@ -75,11 +77,12 @@ use rted_core::bounds::TreeSketch;
 use rted_core::Algorithm;
 use rted_tree::Tree;
 use std::collections::BinaryHeap;
+use std::sync::{PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// Total-order wrapper for (never-NaN) distances.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF64(f64);
+pub(crate) struct OrdF64(pub(crate) f64);
 
 impl Eq for OrdF64 {}
 
@@ -123,10 +126,13 @@ pub struct SearchStats {
     pub candidates: usize,
     /// Per-stage prune counters.
     pub filter: FilterStats,
-    /// Exact distance computations performed.
+    /// Exact distance computations performed (on the metric-tree path
+    /// this includes routing distances to vantage points).
     pub verified: usize,
     /// Relevant subproblems computed by the verifier, summed.
     pub subproblems: u64,
+    /// Metric-tree traversal counters (all zero on the linear path).
+    pub metric: MetricStats,
     /// Wall-clock time of the whole query.
     pub time: Duration,
 }
@@ -163,6 +169,21 @@ pub struct TreeIndex<L> {
     /// [`Workspace`](rted_core::Workspace) per concurrent worker, warm
     /// after the first query, so verification stops heap-allocating.
     scratch: WorkspacePool,
+    /// Whether `range`/`top_k`/`join` route through the metric tree.
+    metric_enabled: bool,
+    metric_config: MetricConfig,
+    /// The lazily built vantage-point tree (`None` = not built yet, or
+    /// dropped by the churn threshold). Behind an `RwLock` so concurrent
+    /// queries share a built tree; only the build takes the write lock.
+    metric: RwLock<Option<VpTree<L>>>,
+}
+
+/// Recovers the guard from a poisoned lock: a panicking query left the
+/// tree structurally intact (it only ever mutates under `&mut self` or
+/// during the one-shot build), and refusing to read it again would
+/// escalate one failed query into a dead index.
+fn relock<T>(result: Result<T, PoisonError<T>>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Per-chunk accumulator for the worker threads.
@@ -203,21 +224,39 @@ where
             verifier: Box::new(AlgorithmVerifier::rted()),
             policy: ExecPolicy::default(),
             scratch: WorkspacePool::new(),
+            metric_enabled: false,
+            metric_config: MetricConfig::default(),
+            metric: RwLock::new(None),
         }
     }
 
     /// Inserts a tree into the corpus, returning its stable id. O(log n)
     /// index maintenance plus one O(n)-in-tree-size analysis; concurrent
-    /// queries are excluded by the `&mut` borrow, nothing is rebuilt.
+    /// queries are excluded by the `&mut` borrow, nothing is rebuilt
+    /// (a built metric tree absorbs the insert into its linear overflow).
     pub fn insert(&mut self, tree: Tree<L>) -> usize {
-        self.corpus.insert(tree)
+        self.insert_entry(CorpusEntry::analyze(tree))
     }
 
     /// Removes tree `id` from the corpus. Returns `false` if the id was
     /// not live. The id is never reused; results of later queries simply
-    /// stop mentioning it.
+    /// stop mentioning it. A built metric tree tombstones the id, keeping
+    /// the removed entry as a routing corpse until the churn threshold
+    /// triggers a rebuild.
     pub fn remove(&mut self, id: usize) -> bool {
-        self.corpus.remove(id).is_some()
+        match self.corpus.remove(id) {
+            None => false,
+            Some(entry) => {
+                let slot = relock(self.metric.get_mut());
+                if let Some(tree) = slot.as_mut() {
+                    tree.note_remove(id, entry);
+                    if tree.should_rebuild(self.metric_config.rebuild_fraction) {
+                        *slot = None;
+                    }
+                }
+                true
+            }
+        }
     }
 
     /// Inserts an already-analyzed entry, returning its stable id — the
@@ -225,7 +264,15 @@ where
     /// in-memory mutation (a durable log appends the analyzed entry
     /// first, so tree and sketch are computed exactly once).
     pub fn insert_entry(&mut self, entry: CorpusEntry<L>) -> usize {
-        self.corpus.insert_entry(entry)
+        let id = self.corpus.insert_entry(entry);
+        let slot = relock(self.metric.get_mut());
+        if let Some(tree) = slot.as_mut() {
+            tree.note_insert(id);
+            if tree.should_rebuild(self.metric_config.rebuild_fraction) {
+                *slot = None;
+            }
+        }
+        id
     }
 
     /// Exact distance between two trees under this index's verifier,
@@ -264,12 +311,61 @@ where
     /// are sound for that model.
     pub fn with_verifier(mut self, verifier: Box<dyn Verifier<L>>) -> Self {
         self.verifier = verifier;
+        // Metric routing compares fresh distances against the mu radii
+        // recorded at build time; a tree built under a different verifier
+        // would prune with stale geometry. Drop it for a lazy rebuild.
+        *relock(self.metric.get_mut()) = None;
         self
     }
 
     /// Verifies with `algorithm` under unit costs.
     pub fn with_algorithm(self, algorithm: Algorithm) -> Self {
         self.with_verifier(Box::new(AlgorithmVerifier::unit(algorithm)))
+    }
+
+    /// Enables (or disables) metric-tree candidate generation:
+    /// `range`/`top_k`/`join` with a finite threshold route through a
+    /// vantage-point tree over the corpus (built lazily by the first
+    /// eligible query, maintained incrementally under mutation) instead
+    /// of the linear size-window scan. Results are **identical** either
+    /// way; only the number of candidates examined changes — see
+    /// [`candidates::metric`].
+    ///
+    /// Requires the index's verifier to compute a *metric* (true for the
+    /// default unit-cost verifiers). The `*_with` explicit-verifier query
+    /// variants always use the linear path: routing distances must come
+    /// from the same metric that verification uses. Metric traversal runs
+    /// on one workspace (sequential) — [`with_threads`](Self::with_threads)
+    /// parallelism currently applies to the linear path only.
+    pub fn with_metric_tree(mut self, enabled: bool) -> Self {
+        self.metric_enabled = enabled;
+        self
+    }
+
+    /// Replaces the metric-tree tuning (leaf size, churn threshold).
+    pub fn with_metric_config(mut self, config: MetricConfig) -> Self {
+        self.metric_config = config;
+        *relock(self.metric.get_mut()) = None;
+        self
+    }
+
+    /// A point-in-time view of the metric-tree state (never triggers a
+    /// build).
+    pub fn metric_snapshot(&self) -> MetricSnapshot {
+        let guard = relock(self.metric.read());
+        match guard.as_ref() {
+            None => MetricSnapshot {
+                enabled: self.metric_enabled,
+                ..MetricSnapshot::default()
+            },
+            Some(tree) => MetricSnapshot {
+                enabled: self.metric_enabled,
+                built: tree.built_len(),
+                pending: tree.pending_len(),
+                tombstones: tree.tombstones(),
+                build_ted: tree.build_ted(),
+            },
+        }
     }
 
     /// Sets the number of worker threads (1 = serial).
@@ -300,14 +396,37 @@ where
     }
 
     /// All corpus trees with `TED(query, tree) < tau`, sorted by id.
+    ///
+    /// With [`with_metric_tree`](Self::with_metric_tree) enabled and a
+    /// finite positive `tau`, candidates come from the vantage-point tree
+    /// instead of the linear size window — identical results, fewer
+    /// candidates examined.
     pub fn range(&self, query: &Tree<L>, tau: f64) -> QueryResult {
+        if self.metric_enabled && tau.is_finite() && tau > 0.0 && !self.corpus.is_empty() {
+            return self.range_metric(query, tau);
+        }
         self.range_with(query, tau, self.verifier.as_ref())
+    }
+
+    /// The query's sketch, profiled with the **corpus's** pq-gram params:
+    /// profiles under different gram lengths are incomparable (zero
+    /// bound), so a re-profiled corpus — `recompute_profiles`, the CLI's
+    /// `--pq` — must have its queries profiled to match or the pqgram
+    /// stage would silently stop pruning.
+    fn query_sketch(&self, query: &Tree<L>) -> TreeSketch<L> {
+        let params = self
+            .corpus
+            .iter()
+            .next()
+            .map(|(_, e)| e.sketch().pq.params())
+            .unwrap_or_default();
+        TreeSketch::with_pq(query, params, &mut rted_core::PqScratch::default())
     }
 
     /// [`range`](Self::range) with an explicit (possibly borrowed) verifier.
     pub fn range_with(&self, query: &Tree<L>, tau: f64, verifier: &dyn Verifier<L>) -> QueryResult {
         let start = Instant::now();
-        let qsketch = TreeSketch::new(query);
+        let qsketch = self.query_sketch(query);
         let mut stats = SearchStats {
             candidates: self.corpus.len(),
             filter: FilterStats::for_pipeline(&self.pipeline),
@@ -383,13 +502,16 @@ where
     /// identical for every thread count; with filters disabled every
     /// candidate is verified.
     pub fn top_k(&self, query: &Tree<L>, k: usize) -> QueryResult {
+        if self.metric_enabled && k > 0 && !self.corpus.is_empty() {
+            return self.top_k_metric(query, k);
+        }
         self.top_k_with(query, k, self.verifier.as_ref())
     }
 
     /// [`top_k`](Self::top_k) with an explicit (possibly borrowed) verifier.
     pub fn top_k_with(&self, query: &Tree<L>, k: usize, verifier: &dyn Verifier<L>) -> QueryResult {
         let start = Instant::now();
-        let qsketch = TreeSketch::new(query);
+        let qsketch = self.query_sketch(query);
         let mut stats = SearchStats {
             candidates: self.corpus.len(),
             filter: FilterStats::for_pipeline(&self.pipeline),
@@ -510,6 +632,9 @@ where
     /// verification run per surviving pair, parallelized over chunks of
     /// outer positions.
     pub fn join(&self, tau: f64) -> JoinOutcome {
+        if self.metric_enabled && tau.is_finite() && tau > 0.0 && self.corpus.len() > 1 {
+            return self.join_metric(tau);
+        }
         self.join_with(tau, self.verifier.as_ref())
     }
 
@@ -596,9 +721,136 @@ where
     /// only faithful to the documented "first stage that reaches the
     /// threshold prunes" counter semantics when no other stage precedes
     /// it. Custom pipelines with `size` elsewhere fall back to evaluating
-    /// every stage per candidate, in order.
+    /// every stage per candidate, in order. Resolved once at pipeline
+    /// construction, not per query.
     fn leading_size_stage(&self) -> Option<usize> {
-        self.pipeline.stage_index("size").filter(|&idx| idx == 0)
+        self.pipeline.leading_size_stage()
+    }
+
+    /// Runs `f` against the metric tree, building it first if needed (the
+    /// build draws a workspace from the shared pool and uses the index's
+    /// own verifier, so routing and verification distances agree).
+    fn with_metric<R>(&self, f: impl FnOnce(&VpTree<L>) -> R) -> R {
+        {
+            let guard = relock(self.metric.read());
+            if let Some(tree) = guard.as_ref() {
+                return f(tree);
+            }
+        }
+        {
+            let mut guard = relock(self.metric.write());
+            if guard.is_none() {
+                let mut ws = self.scratch.take();
+                *guard = Some(VpTree::build(
+                    &self.corpus,
+                    self.verifier.as_ref(),
+                    ws.get(),
+                    &self.metric_config,
+                ));
+            }
+        }
+        // Between the write guard dropping and this read, no one can take
+        // the tree away: drops happen only under `&mut self`.
+        let guard = relock(self.metric.read());
+        f(guard.as_ref().expect("tree built above"))
+    }
+
+    /// [`range`](Self::range) through the vantage-point tree.
+    fn range_metric(&self, query: &Tree<L>, tau: f64) -> QueryResult {
+        let start = Instant::now();
+        let qsketch = self.query_sketch(query);
+        let mut stats = SearchStats {
+            candidates: self.corpus.len(),
+            filter: FilterStats::for_pipeline(&self.pipeline),
+            ..SearchStats::default()
+        };
+        let mut neighbors = Vec::new();
+        self.with_metric(|vp| {
+            let mut ws = self.scratch.take();
+            vp.range(
+                &self.corpus,
+                query,
+                &qsketch,
+                tau,
+                None,
+                &self.pipeline,
+                self.verifier.as_ref(),
+                ws.get(),
+                &mut neighbors,
+                &mut stats,
+            );
+        });
+        neighbors.sort_by_key(|n| n.id);
+        stats.time = start.elapsed();
+        QueryResult { neighbors, stats }
+    }
+
+    /// [`top_k`](Self::top_k) through the vantage-point tree.
+    fn top_k_metric(&self, query: &Tree<L>, k: usize) -> QueryResult {
+        let start = Instant::now();
+        let qsketch = self.query_sketch(query);
+        let mut stats = SearchStats {
+            candidates: self.corpus.len(),
+            filter: FilterStats::for_pipeline(&self.pipeline),
+            ..SearchStats::default()
+        };
+        let neighbors = self.with_metric(|vp| {
+            let mut ws = self.scratch.take();
+            vp.top_k(
+                &self.corpus,
+                query,
+                &qsketch,
+                k,
+                &self.pipeline,
+                self.verifier.as_ref(),
+                ws.get(),
+                &mut stats,
+            )
+        });
+        stats.time = start.elapsed();
+        QueryResult { neighbors, stats }
+    }
+
+    /// [`join`](Self::join) through the vantage-point tree: one metric
+    /// range query per corpus tree, reporting only partners with a larger
+    /// id so each unordered pair is verified exactly once (in the same
+    /// `(left, right)` operand order as the linear join).
+    fn join_metric(&self, tau: f64) -> JoinOutcome {
+        let start = Instant::now();
+        let n = self.corpus.len();
+        let mut stats = SearchStats {
+            candidates: n.saturating_sub(1) * n / 2,
+            filter: FilterStats::for_pipeline(&self.pipeline),
+            ..SearchStats::default()
+        };
+        let mut matches = Vec::new();
+        self.with_metric(|vp| {
+            let mut ws = self.scratch.take();
+            let mut found = Vec::new();
+            for (i, entry) in self.corpus.iter() {
+                found.clear();
+                vp.range(
+                    &self.corpus,
+                    entry.tree(),
+                    entry.sketch(),
+                    tau,
+                    Some(i),
+                    &self.pipeline,
+                    self.verifier.as_ref(),
+                    ws.get(),
+                    &mut found,
+                    &mut stats,
+                );
+                matches.extend(found.iter().map(|nb| JoinPair {
+                    left: i,
+                    right: nb.id,
+                    distance: nb.distance,
+                }));
+            }
+        });
+        matches.sort_by_key(|m| (m.left, m.right));
+        stats.time = start.elapsed();
+        JoinOutcome { matches, stats }
     }
 
     /// Corpus ids ordered by `(|size − center|, side, id)` — the best-first

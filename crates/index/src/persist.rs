@@ -24,12 +24,25 @@
 //!   the RTED-native encoding (every decomposition strategy in the paper
 //!   operates on postorder/left-path arrays) — plus its precomputed
 //!   [`TreeSketch`] (max depth, leaf count, histogram as `(label_id,
-//!   count)` pairs sorted by id), so loading **skips the O(n) per-tree
-//!   analysis** entirely.
+//!   count)` pairs sorted by id, and — when the header's
+//!   [`FLAG_PQ_PROFILES`] bit is set — the serialized pq-gram profile:
+//!   `p`, `q`, then the two sorted gram-hash arrays), so loading **skips
+//!   the O(n) per-tree analysis** entirely.
 //! * **tombstones** ([`SEG_TOMBSTONES`]) — ids removed since the previous
 //!   segment. Ids are stable across removals and compaction (see
 //!   [`crate::corpus`]), which is what lets updates be appended instead of
 //!   rewriting the file — see [`crate::store`].
+//!
+//! # Versions and feature flags
+//!
+//! This build writes format version 2 and still reads version 1 (the
+//! PR 2-era layout): v1 records carry no pq-gram data, so their profiles
+//! are recomputed during decode and the corpus opens at full filter
+//! strength. The header's `flags` word is a **feature-flags** field:
+//! each bit declares a record-layout extension (bit 0 =
+//! [`FLAG_PQ_PROFILES`]), so future sketch additions claim a fresh bit
+//! instead of a version bump, and a reader that meets an unknown bit
+//! rejects the file with a clear error instead of mis-framing records.
 //!
 //! Encoding is canonical: for a given corpus state, [`encode_corpus`]
 //! always produces the same bytes (string table in first-occurrence order,
@@ -56,13 +69,27 @@
 
 use crate::corpus::{CorpusEntry, TreeCorpus};
 use rted_core::bounds::{LabelHistogram, TreeSketch};
+use rted_core::pqgram::{PqGramProfile, PqParams, PqScratch};
 use rted_tree::Tree;
 use std::collections::HashMap;
 
 /// First eight bytes of every corpus file.
 pub const MAGIC: [u8; 8] = *b"RTEDIDX\0";
-/// The (only) format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this build writes. Version 2 added the feature-flags
+/// discipline and per-tree pq-gram profiles (gated by
+/// [`FLAG_PQ_PROFILES`]); version-1 files are still read, with profiles
+/// recomputed on load — see [`MIN_FORMAT_VERSION`].
+pub const FORMAT_VERSION: u32 = 2;
+/// The oldest format version this build still reads.
+pub const MIN_FORMAT_VERSION: u32 = 1;
+/// Header feature flag: tree records carry serialized pq-gram profiles
+/// (p, q, and the two sorted gram-hash arrays) after their histogram.
+/// Feature bits describe *record layout extensions*, so future sketch
+/// additions claim a new bit instead of a new version; readers reject
+/// unknown bits rather than mis-framing records.
+pub const FLAG_PQ_PROFILES: u32 = 1 << 0;
+/// Every feature flag this build understands.
+pub const KNOWN_FLAGS: u32 = FLAG_PQ_PROFILES;
 /// Size of the fixed file header in bytes.
 pub const HEADER_LEN: usize = 48;
 /// Size of a segment header (kind + payload length + checksum) in bytes.
@@ -133,7 +160,8 @@ impl std::fmt::Display for PersistError {
             PersistError::BadMagic => write!(f, "not a corpus file (bad magic)"),
             PersistError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "unsupported corpus format version {found} (this build reads version {supported})"
+                "unsupported corpus format version {found} (this build reads versions \
+                 {MIN_FORMAT_VERSION}..={supported})"
             ),
             PersistError::ChecksumMismatch {
                 what,
@@ -160,9 +188,9 @@ fn corrupt<T>(msg: impl Into<String>) -> Result<T, PersistError> {
 /// The decoded fixed file header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Header {
-    /// Format version ([`FORMAT_VERSION`]).
+    /// Format version ([`MIN_FORMAT_VERSION`]..=[`FORMAT_VERSION`]).
     pub version: u32,
-    /// Reserved feature flags (0 in version 1).
+    /// Feature flags (always 0 in version 1; see [`FLAG_PQ_PROFILES`]).
     pub flags: u32,
     /// The id the next inserted tree will receive (ids are never reused).
     pub next_id: u64,
@@ -206,18 +234,36 @@ impl Header {
             });
         }
         let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
             });
         }
+        let flags = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+        // Unknown feature bits mean the record layout has extensions this
+        // build cannot frame: reject explicitly instead of mis-reading.
+        // Version-1 writers always stamped 0, so any v1 flag is corruption.
+        let known = if version == 1 { 0 } else { KNOWN_FLAGS };
+        if flags & !known != 0 {
+            return corrupt(format!(
+                "unknown feature flag bits {:#010x} for format version {version} \
+                 (file written by a newer build?)",
+                flags & !known
+            ));
+        }
         Ok(Header {
             version,
-            flags: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            flags,
             next_id: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
             live: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
         })
+    }
+
+    /// Whether tree records in this file carry serialized pq-gram
+    /// profiles ([`FLAG_PQ_PROFILES`]).
+    pub fn has_pq_profiles(&self) -> bool {
+        self.flags & FLAG_PQ_PROFILES != 0
     }
 }
 
@@ -293,9 +339,20 @@ pub(crate) fn segment_bytes(kind: u32, payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Encodes a version-2 trees segment (records carry pq-gram profiles) —
+/// see [`trees_segment_with`].
+pub(crate) fn trees_segment(entries: &[(u64, &CorpusEntry<String>)]) -> Vec<u8> {
+    trees_segment_with(entries, true)
+}
+
 /// Encodes a trees segment (string table + records) for `entries`, which
-/// must be in ascending id order for canonical output.
-pub(crate) fn trees_segment<'a>(entries: &[(u64, &'a CorpusEntry<String>)]) -> Vec<u8> {
+/// must be in ascending id order for canonical output. With `profiles`
+/// false the record layout is the version-1 one (no pq-gram data) — the
+/// legacy writer kept for fixtures and compatibility tests.
+pub(crate) fn trees_segment_with<'a>(
+    entries: &[(u64, &'a CorpusEntry<String>)],
+    profiles: bool,
+) -> Vec<u8> {
     // Intern labels in first-occurrence order (trees in id order, nodes in
     // postorder) — deterministic for a given corpus state.
     let mut table: Vec<&'a str> = Vec::new();
@@ -345,6 +402,20 @@ pub(crate) fn trees_segment<'a>(entries: &[(u64, &'a CorpusEntry<String>)]) -> V
             put_u32(&mut payload, label_id);
             put_u32(&mut payload, count);
         }
+        if profiles {
+            // pq-gram profile: params, then the two sorted gram arrays.
+            // Lengths are not stored — they are determined by the node
+            // count and the params (n + p − 1 / n + q − 1).
+            let pq = &sketch.pq;
+            put_u32(&mut payload, pq.params().p);
+            put_u32(&mut payload, pq.params().q);
+            for &g in pq.pre_grams() {
+                put_u64(&mut payload, g);
+            }
+            for &g in pq.post_grams() {
+                put_u64(&mut payload, g);
+            }
+        }
     }
     segment_bytes(SEG_TREES, &payload)
 }
@@ -362,10 +433,24 @@ pub(crate) fn tombstones_segment(ids: &[u64]) -> Vec<u8> {
 /// Serializes a corpus as a complete file image: header plus a single
 /// trees segment holding every live entry. This is the canonical (compact)
 /// encoding — re-encoding a loaded corpus reproduces it byte for byte.
+/// Writes the current [`FORMAT_VERSION`] with [`FLAG_PQ_PROFILES`] set.
 pub fn encode_corpus(corpus: &TreeCorpus<String>) -> Vec<u8> {
+    encode_corpus_with(corpus, FORMAT_VERSION)
+}
+
+/// [`encode_corpus`] in the legacy version-1 layout (no feature flags, no
+/// stored pq-gram profiles — loaders recompute them). Kept so tests and
+/// the roundtrip CI script can fabricate PR 2-era files and prove the
+/// v1 → v2 upgrade path forever.
+pub fn encode_corpus_v1(corpus: &TreeCorpus<String>) -> Vec<u8> {
+    encode_corpus_with(corpus, 1)
+}
+
+fn encode_corpus_with(corpus: &TreeCorpus<String>, version: u32) -> Vec<u8> {
+    let profiles = version >= 2;
     let header = Header {
-        version: FORMAT_VERSION,
-        flags: 0,
+        version,
+        flags: if profiles { FLAG_PQ_PROFILES } else { 0 },
         next_id: corpus.id_bound() as u64,
         live: corpus.len() as u64,
     };
@@ -375,7 +460,7 @@ pub fn encode_corpus(corpus: &TreeCorpus<String>) -> Vec<u8> {
             .iter()
             .map(|(id, entry)| (id as u64, entry))
             .collect();
-        out.extend_from_slice(&trees_segment(&entries));
+        out.extend_from_slice(&trees_segment_with(&entries, profiles));
     }
     out
 }
@@ -451,11 +536,15 @@ fn decode_trees_payload<'a, L, F>(
     payload: &'a [u8],
     make: &F,
     slots: &mut SlotTable<L>,
+    profiles: bool,
 ) -> Result<(), PersistError>
 where
     L: Eq + std::hash::Hash + Clone,
     F: Fn(&'a str) -> L,
 {
+    // Scratch for recomputing pq-gram profiles of version-1 records (one
+    // arena reused across every tree of the segment).
+    let mut pq_scratch = PqScratch::default();
     let mut r = Reader::new(payload, "trees segment");
     let table_len = r.u32()? as usize;
     // Each table entry occupies ≥ 4 payload bytes (its length prefix), so
@@ -535,7 +624,41 @@ where
                 histogram.size()
             ));
         }
-        let sketch = TreeSketch::from_parts(n, max_depth, leaves, histogram);
+        let pq = if profiles {
+            let p = r.u32()?;
+            let q = r.u32()?;
+            if p == 0 || q == 0 {
+                return corrupt(format!(
+                    "tree {id}: pq-gram params must be >= 1, got ({p},{q})"
+                ));
+            }
+            let pre_len = n + p as usize - 1;
+            let post_len = n + q as usize - 1;
+            // Each gram occupies 8 payload bytes: reject counts the
+            // remaining payload cannot hold before any allocation, so a
+            // crafted p/q cannot force an abort.
+            if pre_len.saturating_add(post_len) > r.remaining() / 8 {
+                return corrupt(format!(
+                    "tree {id} claims {} pq-grams but only {} payload bytes remain",
+                    pre_len + post_len,
+                    r.remaining()
+                ));
+            }
+            let mut pre: Vec<u64> = Vec::with_capacity(pre_len);
+            for _ in 0..pre_len {
+                pre.push(r.u64()?);
+            }
+            let mut post: Vec<u64> = Vec::with_capacity(post_len);
+            for _ in 0..post_len {
+                post.push(r.u64()?);
+            }
+            PqGramProfile::from_parts(PqParams::new(p, q), pre, post)
+        } else {
+            // Version-1 record: no stored profile — recompute it, so every
+            // existing corpus file opens with full filter power.
+            PqGramProfile::compute_in(&tree, PqParams::default(), &mut pq_scratch)
+        };
+        let sketch = TreeSketch::from_parts(n, max_depth, leaves, histogram, pq);
 
         slots.check_tree_id(id)?;
         if slots.is_live(id) || !batch_ids.insert(id) {
@@ -603,6 +726,7 @@ fn decode_segment<'a, L, F>(
     pos: usize,
     make: &F,
     slots: &mut SlotTable<L>,
+    profiles: bool,
 ) -> Result<SegmentInfo, PersistError>
 where
     L: Eq + std::hash::Hash + Clone,
@@ -634,7 +758,7 @@ where
     }
     let tombstones = match kind {
         SEG_TREES => {
-            decode_trees_payload(payload, make, slots)?;
+            decode_trees_payload(payload, make, slots, profiles)?;
             0
         }
         SEG_TOMBSTONES => decode_tombstones_payload(payload, slots)?,
@@ -678,7 +802,7 @@ where
     };
     let mut pos = HEADER_LEN;
     while pos < buf.len() {
-        let info = decode_segment(buf, pos, &make, &mut slots)?;
+        let info = decode_segment(buf, pos, &make, &mut slots, header.has_pq_profiles())?;
         stats.segments += 1;
         stats.tombstones += info.tombstones;
         pos = info.end;
@@ -713,6 +837,11 @@ pub struct RepairReport {
     /// Recovered id bound (never below the stored header's `next_id`, so
     /// ids that may exist in application references are never reissued).
     pub next_id: u64,
+    /// When the store transparently rewrote an old-format file in the
+    /// current [`FORMAT_VERSION`] on open, the version it came from.
+    /// `None` for files that were already current (or for pure salvage,
+    /// which never changes a file's format).
+    pub upgraded_from: Option<u32>,
 }
 
 /// The outcome of [`salvage_corpus`]: the recovered corpus plus what a
@@ -759,7 +888,7 @@ pub fn salvage_corpus(buf: &[u8]) -> Result<Salvage, PersistError> {
     let mut segments = 0;
     let mut tombstones = 0;
     while keep_len < buf.len() {
-        match decode_segment(buf, keep_len, &make, &mut slots) {
+        match decode_segment(buf, keep_len, &make, &mut slots, header.has_pq_profiles()) {
             Ok(info) => {
                 segments += 1;
                 tombstones += info.tombstones;
@@ -772,9 +901,13 @@ pub fn salvage_corpus(buf: &[u8]) -> Result<Salvage, PersistError> {
     }
     let live = slots.slots.iter().filter(|s| s.is_some()).count() as u64;
     let next_id = slots.slots.len() as u64;
+    // The recovered header keeps the file's own version and flags: the
+    // surviving segments are still laid out in that version's record
+    // format, and stamping a newer version over them would mis-frame
+    // every record on the next load.
     let recovered = Header {
-        version: FORMAT_VERSION,
-        flags: 0,
+        version: header.version,
+        flags: header.flags,
         next_id,
         live,
     };
@@ -784,6 +917,7 @@ pub fn salvage_corpus(buf: &[u8]) -> Result<Salvage, PersistError> {
         header_rewritten: recovered != header,
         live,
         next_id,
+        upgraded_from: None,
     };
     Ok(Salvage {
         corpus: TreeCorpus::from_raw_parts(slots.slots),

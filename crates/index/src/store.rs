@@ -40,7 +40,7 @@
 use crate::corpus::{CorpusEntry, TreeCorpus};
 use crate::persist::{
     encode_corpus, salvage_corpus, tombstones_segment, trees_segment, CorpusFile, Header,
-    PersistError, RepairReport, FORMAT_VERSION, HEADER_LEN,
+    PersistError, RepairReport, FLAG_PQ_PROFILES, FORMAT_VERSION, HEADER_LEN,
 };
 use rted_tree::Tree;
 use std::io::{Seek, SeekFrom, Write};
@@ -81,9 +81,12 @@ impl LogCounts {
     }
 
     fn header(self) -> Header {
+        // Appends always run against a current-version file (old formats
+        // are upgraded when the store opens), whose records carry pq-gram
+        // profiles.
         Header {
             version: FORMAT_VERSION,
-            flags: 0,
+            flags: FLAG_PQ_PROFILES,
             next_id: self.next_id,
             live: self.live,
         }
@@ -280,13 +283,23 @@ impl CorpusStore {
 
     /// Opens an existing corpus file under the given [`Recovery`] mode.
     /// In `Strict` mode the report is the trivial clean report.
+    ///
+    /// A readable file in an older format version is **upgraded in
+    /// place**: the store rewrites it atomically in the current
+    /// [`FORMAT_VERSION`] (recomputed pq-gram profiles included) before
+    /// returning, because appends always write current-version segments
+    /// and mixing record layouts within one file would be unreadable.
+    /// `report.upgraded_from` records the original version. Read-only
+    /// consumers that must not touch the file (`rted index info`/`dump`,
+    /// CLI queries) load through [`CorpusFile`] instead.
     pub fn open_with(
         path: impl Into<PathBuf>,
         recovery: Recovery,
     ) -> Result<(Self, RepairReport), PersistError> {
         let path = path.into();
         let file = CorpusFile::read(&path)?;
-        match file.corpus_owned_with_stats() {
+        let stored_version = file.header().version;
+        let mut opened = match file.corpus_owned_with_stats() {
             Ok((corpus, stats)) => {
                 let report = RepairReport {
                     segments_recovered: stats.segments,
@@ -294,8 +307,9 @@ impl CorpusStore {
                     header_rewritten: false,
                     live: corpus.len() as u64,
                     next_id: corpus.id_bound() as u64,
+                    upgraded_from: None,
                 };
-                Ok((
+                (
                     CorpusStore {
                         log: CorpusLog {
                             path,
@@ -305,16 +319,16 @@ impl CorpusStore {
                         corpus,
                     },
                     report,
-                ))
+                )
             }
-            Err(err) if recovery == Recovery::Strict => Err(err),
+            Err(err) if recovery == Recovery::Strict => return Err(err),
             Err(_) => {
                 let salvage = salvage_corpus(file.bytes())?;
                 // Make the recovery durable: truncate the torn tail and
                 // stamp the recomputed header, so the next strict open
                 // (and every subsequent append) starts from a clean file.
                 repair_file(&path, salvage.keep_len, &salvage.header)?;
-                Ok((
+                (
                     CorpusStore {
                         log: CorpusLog {
                             path,
@@ -324,9 +338,18 @@ impl CorpusStore {
                         corpus: salvage.corpus,
                     },
                     salvage.report,
-                ))
+                )
             }
+        };
+        if stored_version < FORMAT_VERSION {
+            // The atomic rewrite doubles as a compaction; failure leaves
+            // the old file intact and fails the open — a store must never
+            // proceed to append current-version segments onto an
+            // old-format file.
+            opened.0.log.rewrite(&opened.0.corpus)?;
+            opened.1.upgraded_from = Some(stored_version);
         }
+        Ok(opened)
     }
 
     /// The live in-memory corpus (always consistent with the file).
@@ -629,6 +652,56 @@ mod tests {
         assert_eq!(store.corpus().len(), 2);
         assert_eq!(rted_tree::to_bracket(store.corpus().tree(1)), "{x{y}{z}}");
         assert_eq!(std::fs::read(&path).unwrap(), new_image);
+    }
+
+    #[test]
+    fn v1_file_upgrades_on_open_and_keeps_appending() {
+        let path = scratch("upgrade.idx");
+        let trees = vec![t("{a{b}{c}}"), t("{x{y}}"), t("{z}")];
+        let mut corpus = TreeCorpus::build(trees);
+        corpus.remove(1);
+        std::fs::write(&path, crate::persist::encode_corpus_v1(&corpus)).unwrap();
+
+        let (mut store, report) = CorpusStore::open_with(&path, Recovery::Strict).unwrap();
+        assert_eq!(report.upgraded_from, Some(1));
+        assert_eq!(store.corpus().len(), 2);
+        assert_eq!(store.corpus().id_bound(), 3);
+        // The file on disk is now canonical v2: strict reopen, current
+        // version, profile flag set, byte-identical to a fresh encode.
+        let file = CorpusFile::read(&path).unwrap();
+        assert_eq!(file.header().version, FORMAT_VERSION);
+        assert!(file.header().has_pq_profiles());
+        assert_eq!(file.bytes(), encode_corpus(store.corpus()).as_slice());
+
+        // Appends land on the upgraded file and reopen cleanly.
+        assert_eq!(store.insert_all(vec![t("{w{v}}")]).unwrap(), vec![3]);
+        let (reopened, report) = CorpusStore::open_with(&path, Recovery::Strict).unwrap();
+        assert_eq!(report.upgraded_from, None);
+        assert_eq!(reopened.corpus().len(), 3);
+        assert_eq!(rted_tree::to_bracket(reopened.corpus().tree(3)), "{w{v}}");
+    }
+
+    #[test]
+    fn torn_v1_file_repairs_in_v1_then_upgrades() {
+        let path = scratch("upgrade-torn.idx");
+        let corpus = TreeCorpus::build(vec![t("{a{b}}"), t("{c{d}{e}}")]);
+        let mut image = crate::persist::encode_corpus_v1(&corpus);
+        let tail: Vec<u8> = image[HEADER_LEN..HEADER_LEN + 9].to_vec();
+        image.extend_from_slice(&tail); // torn partial segment
+        std::fs::write(&path, &image).unwrap();
+
+        assert!(CorpusStore::open(&path).is_err());
+        let (store, report) = CorpusStore::open_repair(&path).unwrap();
+        assert_eq!(report.bytes_dropped, 9);
+        assert_eq!(report.upgraded_from, Some(1));
+        assert_eq!(store.corpus().len(), 2);
+        // Salvage + upgrade are both durable: strict open sees clean v2.
+        let clean = CorpusStore::open(&path).unwrap();
+        assert_eq!(clean.corpus().len(), 2);
+        assert_eq!(
+            CorpusFile::read(&path).unwrap().header().version,
+            FORMAT_VERSION
+        );
     }
 
     #[test]

@@ -159,7 +159,10 @@ fn stage_counters_name_the_stages() {
     let index = TreeIndex::build(corpus.iter().cloned());
     let res = index.join(5.0);
     let names: Vec<&str> = res.stats.filter.stages.iter().map(|s| s.stage).collect();
-    assert_eq!(names, ["size", "depth", "leaf", "degree", "histogram"]);
+    assert_eq!(
+        names,
+        ["size", "depth", "leaf", "degree", "histogram", "pqgram"]
+    );
     // The size stage dominates on a size-mixed corpus.
     assert!(res.stats.filter.stages[0].pruned > 0);
 }

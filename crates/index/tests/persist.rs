@@ -67,6 +67,11 @@ fn assert_corpus_eq(a: &TreeCorpus<String>, b: &TreeCorpus<String>) {
             0.0,
             "histograms of tree {id} differ"
         );
+        assert_eq!(
+            ea.sketch().pq,
+            eb.sketch().pq,
+            "pq-gram profiles of tree {id} differ"
+        );
     }
 }
 
@@ -153,6 +158,39 @@ proptest! {
         prop_assert!(result.is_err(), "accepted a {cut}-byte prefix of {} bytes", bytes.len());
     }
 
+    /// A version-1 image (the PR 2-era layout, no stored profiles) decodes
+    /// to the same corpus — profiles recomputed on load — and re-encoding
+    /// it produces exactly the canonical version-2 bytes of the original.
+    /// v1 → v2 is a lossless upgrade, byte-for-byte.
+    #[test]
+    fn v1_files_open_and_upgrade_byte_identically(corpus in arb_mutated_corpus(6, 16)) {
+        let v1 = rted_index::persist::encode_corpus_v1(&corpus);
+        let v2 = encode_corpus(&corpus);
+        prop_assert_ne!(&v1, &v2, "v1 and v2 encodings must differ");
+        let file = CorpusFile::from_bytes(v1).expect("v1 header");
+        prop_assert_eq!(file.header().version, 1);
+        prop_assert!(!file.header().has_pq_profiles());
+        let loaded = file.corpus_owned().expect("v1 decode");
+        assert_corpus_eq(&corpus, &loaded);
+        prop_assert_eq!(encode_corpus(&loaded), v2);
+    }
+
+    /// v1 truncation/corruption rejection: the legacy read path is held to
+    /// the same no-silent-misread bar as the current one.
+    #[test]
+    fn damaged_v1_files_are_rejected(
+        corpus in arb_mutated_corpus(4, 10),
+        pos_seed in any::<u32>(),
+        delta in 1..255u8,
+    ) {
+        let mut bytes = rted_index::persist::encode_corpus_v1(&corpus);
+        let pos = pos_seed as usize % bytes.len();
+        bytes[pos] ^= delta;
+        let result = CorpusFile::from_bytes(bytes)
+            .and_then(|f| f.corpus_owned().map(|c| c.len()));
+        prop_assert!(result.is_err(), "accepted a v1 flip of byte {pos}");
+    }
+
     /// Every single-byte corruption is rejected: each FNV-1a step is
     /// bijective, so one flipped byte always changes a digest, and every
     /// byte of the file is covered by the header or a segment checksum.
@@ -226,15 +264,43 @@ fn future_version_is_rejected_with_version_error() {
         .unwrap()
         .map_labels(|l| l.to_string())]);
     let mut bytes = encode_corpus(&corpus);
-    // Bump the version field and fix up the header checksum.
-    bytes[8] = 2;
+    // Bump the version field past this build and fix up the checksum.
+    bytes[8] = 3;
     let checksum = rted_index::persist::fnv1a(&bytes[..40]);
     bytes[40..48].copy_from_slice(&checksum.to_le_bytes());
     match CorpusFile::from_bytes(bytes).err() {
         Some(rted_index::PersistError::UnsupportedVersion { found, supported }) => {
-            assert_eq!(found, 2);
-            assert_eq!(supported, 1);
+            assert_eq!(found, 3);
+            assert_eq!(supported, 2);
         }
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
+}
+
+/// Unknown feature-flag bits are rejected with a clear error — a file
+/// whose records carry layout extensions this build cannot frame must
+/// never be guessed at.
+#[test]
+fn unknown_flag_bits_are_rejected() {
+    let corpus: TreeCorpus<String> = TreeCorpus::build(vec![rted_tree::parse_bracket("{a{b}}")
+        .unwrap()
+        .map_labels(|l| l.to_string())]);
+    let mut bytes = encode_corpus(&corpus);
+    // Set an undefined flag bit (flags live at header bytes 12..16) and
+    // re-stamp the checksum so only the flag validation can reject it.
+    bytes[12] |= 0x04;
+    let checksum = rted_index::persist::fnv1a(&bytes[..40]);
+    bytes[40..48].copy_from_slice(&checksum.to_le_bytes());
+    match CorpusFile::from_bytes(bytes).err() {
+        Some(rted_index::PersistError::Corrupt(msg)) => {
+            assert!(msg.contains("feature flag"), "unexpected message: {msg}")
+        }
+        other => panic!("expected Corrupt (unknown flags), got {other:?}"),
+    }
+    // A version-1 file may carry no flags at all.
+    let mut v1 = rted_index::persist::encode_corpus_v1(&corpus);
+    v1[12] |= 0x01;
+    let checksum = rted_index::persist::fnv1a(&v1[..40]);
+    v1[40..48].copy_from_slice(&checksum.to_le_bytes());
+    assert!(CorpusFile::from_bytes(v1).is_err());
 }

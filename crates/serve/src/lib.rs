@@ -55,7 +55,10 @@ pub mod json;
 pub mod proto;
 mod server;
 
-pub use proto::{parse_request, render_response, Request, Response, StatusReport, TreeRef};
+pub use proto::{
+    parse_request, parse_request_line, render_response, render_response_with, Request, RequestId,
+    Response, StatusReport, TreeRef,
+};
 pub use server::{Client, Server, ServerConfig};
 
 // Re-exported so front-ends can name recovery modes and reports without

@@ -17,6 +17,20 @@
 //! | `status`   | —                                    | `status` object                  |
 //! | `compact`  | —                                    | `compacted`                      |
 //! | `shutdown` | —                                    | `bye` (then the stream ends)     |
+//!
+//! # Pipelining
+//!
+//! Every request additionally accepts an optional `id` member (a JSON
+//! number or string), echoed verbatim as the first member of the
+//! response — including error responses, whenever the line was
+//! well-formed enough to recover it. Responses stay in request order per
+//! connection, but with ids a client can keep many requests in flight
+//! and match answers without counting lines:
+//!
+//! ```text
+//! {"op":"distance","left":0,"right":1,"id":7}  → {"id":7,"ok":true,"distance":3}
+//! {"op":"status","id":"s1"}                    → {"id":"s1","ok":true,"status":{...}}
+//! ```
 
 use crate::json::{self, write_escaped, write_number, Value};
 use rted_index::Neighbor;
@@ -88,6 +102,26 @@ pub enum Request {
     Shutdown,
 }
 
+/// A client-chosen request correlator: any JSON number or string, echoed
+/// verbatim as the response's first member. Transport-level — the typed
+/// [`Request`]/[`Response`] API never sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestId {
+    /// A JSON number.
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+}
+
+impl RequestId {
+    fn render(&self, out: &mut String) {
+        match self {
+            RequestId::Num(n) => write_number(*n, out),
+            RequestId::Str(s) => write_escaped(s, out),
+        }
+    }
+}
+
 /// Corpus, store and service counters for a `status` request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatusReport {
@@ -110,6 +144,14 @@ pub struct StatusReport {
     pub requests: u64,
     /// Compactions performed since start (threshold-driven + explicit).
     pub compactions: u64,
+    /// Whether metric-tree candidate generation is enabled.
+    pub metric_tree: bool,
+    /// Ids the current vantage-point tree was built over (0 = not built).
+    pub metric_built: usize,
+    /// Post-build inserts in the metric tree's linear overflow.
+    pub metric_pending: usize,
+    /// Built ids tombstoned in the metric tree since its build.
+    pub metric_tombstones: usize,
 }
 
 /// The service's answer to one [`Request`].
@@ -173,26 +215,49 @@ fn tree_ref_field(v: &Value, op: &str, key: &str) -> Result<TreeRef, String> {
 }
 
 /// Rejects keys the operation does not understand — a typoed `"taau"`
-/// must not silently run an unbounded query.
+/// must not silently run an unbounded query. `op` and the transport-level
+/// `id` are accepted everywhere.
 fn expect_keys(v: &Value, op: &str, allowed: &[&str]) -> Result<(), String> {
     for key in v.keys().into_iter().flatten() {
-        if key != "op" && !allowed.contains(&key) {
+        if key != "op" && key != "id" && !allowed.contains(&key) {
             return Err(field_err(op, format_args!("unknown key \"{key}\"")));
         }
     }
     Ok(())
 }
 
-/// Parses one request line.
+/// Parses one request line, separating the optional transport-level `id`
+/// from the operation. The id comes back even when the operation itself
+/// is malformed — as long as the line was valid JSON with a well-typed
+/// `id` — so error responses stay correlatable for pipelined clients.
+pub fn parse_request_line(line: &str) -> (Option<RequestId>, Result<Request, String>) {
+    let v = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (None, Err(e)),
+    };
+    let id = match v.get("id") {
+        None => None,
+        Some(Value::Num(n)) => Some(RequestId::Num(*n)),
+        Some(Value::Str(s)) => Some(RequestId::Str(s.clone())),
+        Some(_) => return (None, Err("\"id\" must be a number or a string".to_string())),
+    };
+    (id, parse_request_value(&v))
+}
+
+/// Parses one request line, ignoring any `id` member (the id-aware entry
+/// point is [`parse_request_line`]).
 pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = json::parse(line)?;
+    parse_request_line(line).1
+}
+
+fn parse_request_value(v: &Value) -> Result<Request, String> {
     let op = v
         .get("op")
         .and_then(Value::as_str)
         .ok_or("request needs an \"op\" field")?;
     match op {
         "range" => {
-            expect_keys(&v, op, &["tree", "tau"])?;
+            expect_keys(v, op, &["tree", "tau"])?;
             let tau = match v.get("tau") {
                 None => f64::INFINITY,
                 Some(t) => t
@@ -201,12 +266,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .ok_or_else(|| field_err(op, "\"tau\" must be a number"))?,
             };
             Ok(Request::Range {
-                tree: tree_field(&v, op, "tree")?,
+                tree: tree_field(v, op, "tree")?,
                 tau,
             })
         }
         "topk" => {
-            expect_keys(&v, op, &["tree", "k"])?;
+            expect_keys(v, op, &["tree", "k"])?;
             let k = match v.get("k") {
                 None => 5,
                 Some(k) => k
@@ -214,19 +279,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .ok_or_else(|| field_err(op, "\"k\" must be a non-negative integer"))?,
             };
             Ok(Request::TopK {
-                tree: tree_field(&v, op, "tree")?,
+                tree: tree_field(v, op, "tree")?,
                 k,
             })
         }
         "distance" => {
-            expect_keys(&v, op, &["left", "right"])?;
+            expect_keys(v, op, &["left", "right"])?;
             Ok(Request::Distance {
-                left: tree_ref_field(&v, op, "left")?,
-                right: tree_ref_field(&v, op, "right")?,
+                left: tree_ref_field(v, op, "left")?,
+                right: tree_ref_field(v, op, "right")?,
             })
         }
         "insert" => {
-            expect_keys(&v, op, &["trees"])?;
+            expect_keys(v, op, &["trees"])?;
             let items = v
                 .get("trees")
                 .and_then(Value::as_arr)
@@ -245,7 +310,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Insert { trees })
         }
         "remove" => {
-            expect_keys(&v, op, &["ids"])?;
+            expect_keys(v, op, &["ids"])?;
             let items = v
                 .get("ids")
                 .and_then(Value::as_arr)
@@ -261,15 +326,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Remove { ids })
         }
         "status" => {
-            expect_keys(&v, op, &[])?;
+            expect_keys(v, op, &[])?;
             Ok(Request::Status)
         }
         "compact" => {
-            expect_keys(&v, op, &[])?;
+            expect_keys(v, op, &[])?;
             Ok(Request::Compact)
         }
         "shutdown" => {
-            expect_keys(&v, op, &[])?;
+            expect_keys(v, op, &[])?;
             Ok(Request::Shutdown)
         }
         other => Err(format!(
@@ -278,16 +343,29 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
-/// Renders one response as a single JSON line (no trailing newline).
+/// Renders one response as a single JSON line (no trailing newline),
+/// without a request id — see [`render_response_with`].
 pub fn render_response(response: &Response) -> String {
+    render_response_with(response, None)
+}
+
+/// Renders one response as a single JSON line, echoing `id` (when given)
+/// as the first member so pipelined clients can correlate answers.
+pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> String {
     let mut out = String::new();
+    out.push('{');
+    if let Some(id) = id {
+        out.push_str("\"id\":");
+        id.render(&mut out);
+        out.push(',');
+    }
     match response {
         Response::Neighbors {
             neighbors,
             candidates,
             verified,
         } => {
-            out.push_str("{\"ok\":true,\"neighbors\":[");
+            out.push_str("\"ok\":true,\"neighbors\":[");
             for (i, n) in neighbors.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -305,12 +383,12 @@ pub fn render_response(response: &Response) -> String {
             out.push('}');
         }
         Response::Distance(d) => {
-            out.push_str("{\"ok\":true,\"distance\":");
+            out.push_str("\"ok\":true,\"distance\":");
             write_number(*d, &mut out);
             out.push('}');
         }
         Response::Inserted(ids) => {
-            out.push_str("{\"ok\":true,\"ids\":[");
+            out.push_str("\"ok\":true,\"ids\":[");
             for (i, id) in ids.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -320,13 +398,13 @@ pub fn render_response(response: &Response) -> String {
             out.push_str("]}");
         }
         Response::Removed(n) => {
-            out.push_str("{\"ok\":true,\"removed\":");
+            out.push_str("\"ok\":true,\"removed\":");
             write_number(*n as f64, &mut out);
             out.push('}');
         }
         Response::Status(s) => {
-            out.push_str("{\"ok\":true,\"status\":{");
-            let fields: [(&str, f64); 8] = [
+            out.push_str("\"ok\":true,\"status\":{");
+            let fields: [(&str, f64); 11] = [
                 ("live", s.live as f64),
                 ("id_bound", s.id_bound as f64),
                 ("holes", s.holes as f64),
@@ -335,6 +413,9 @@ pub fn render_response(response: &Response) -> String {
                 ("workers", s.workers as f64),
                 ("requests", s.requests as f64),
                 ("compactions", s.compactions as f64),
+                ("metric_built", s.metric_built as f64),
+                ("metric_pending", s.metric_pending as f64),
+                ("metric_tombstones", s.metric_tombstones as f64),
             ];
             for (key, value) in fields {
                 out.push('"');
@@ -343,18 +424,20 @@ pub fn render_response(response: &Response) -> String {
                 write_number(value, &mut out);
                 out.push(',');
             }
-            out.push_str("\"persistent\":");
+            out.push_str("\"metric_tree\":");
+            out.push_str(if s.metric_tree { "true" } else { "false" });
+            out.push_str(",\"persistent\":");
             out.push_str(if s.persistent { "true" } else { "false" });
             out.push_str("}}");
         }
         Response::Compacted(reclaimed) => {
-            out.push_str("{\"ok\":true,\"compacted\":");
+            out.push_str("\"ok\":true,\"compacted\":");
             out.push_str(if *reclaimed { "true" } else { "false" });
             out.push('}');
         }
-        Response::Bye => out.push_str("{\"ok\":true,\"bye\":true}"),
+        Response::Bye => out.push_str("\"ok\":true,\"bye\":true}"),
         Response::Error(msg) => {
-            out.push_str("{\"ok\":false,\"error\":");
+            out.push_str("\"ok\":false,\"error\":");
             write_escaped(msg, &mut out);
             out.push('}');
         }
@@ -404,6 +487,48 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         ));
+    }
+
+    #[test]
+    fn request_ids_parse_and_echo() {
+        // Every op accepts an optional id (number or string).
+        let (id, req) = parse_request_line(r#"{"op":"status","id":7}"#);
+        assert_eq!(id, Some(RequestId::Num(7.0)));
+        assert!(matches!(req, Ok(Request::Status)));
+        let (id, req) = parse_request_line(r#"{"id":"q-1","op":"range","tree":"{a}","tau":2}"#);
+        assert_eq!(id, Some(RequestId::Str("q-1".into())));
+        assert!(req.is_ok());
+        // No id: nothing echoed.
+        let (id, req) = parse_request_line(r#"{"op":"compact"}"#);
+        assert_eq!(id, None);
+        assert!(req.is_ok());
+        // The id survives an op-level error, so pipelined clients can
+        // correlate failures.
+        let (id, req) = parse_request_line(r#"{"op":"fly","id":3}"#);
+        assert_eq!(id, Some(RequestId::Num(3.0)));
+        assert!(req.is_err());
+        // A mistyped id is itself an error (and cannot be echoed).
+        let (id, req) = parse_request_line(r#"{"op":"status","id":[1]}"#);
+        assert_eq!(id, None);
+        assert!(req.is_err());
+
+        // Echo: first member, verbatim, on success and on error.
+        assert_eq!(
+            render_response_with(&Response::Distance(3.0), Some(&RequestId::Num(7.0))),
+            r#"{"id":7,"ok":true,"distance":3}"#
+        );
+        assert_eq!(
+            render_response_with(
+                &Response::Error("bad".into()),
+                Some(&RequestId::Str("q \"1\"".into()))
+            ),
+            r#"{"id":"q \"1\"","ok":false,"error":"bad"}"#
+        );
+        // Id-less rendering is unchanged.
+        assert_eq!(
+            render_response_with(&Response::Bye, None),
+            render_response(&Response::Bye)
+        );
     }
 
     #[test]
@@ -467,6 +592,10 @@ mod tests {
                 workers: 4,
                 requests: 99,
                 compactions: 1,
+                metric_tree: true,
+                metric_built: 3,
+                metric_pending: 1,
+                metric_tombstones: 0,
             }),
         ] {
             let line = render_response(&resp);

@@ -82,6 +82,13 @@ pub struct ServerConfig {
     /// How often the maintenance thread re-checks the trigger even
     /// without a mutation wake-up.
     pub maintenance_interval: Duration,
+    /// Route `range`/`topk` queries through the index's vantage-point
+    /// tree (built lazily by the first eligible query, maintained
+    /// incrementally across inserts/removes). Results are identical to
+    /// the linear scan; only the work per query changes. Off by default —
+    /// the build spends O(n log n) exact distances, which only pays off
+    /// for query-heavy, selective workloads.
+    pub metric_tree: bool,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +102,7 @@ impl Default for ServerConfig {
             query_threads: 1,
             compact_fraction: Some(0.25),
             maintenance_interval: Duration::from_millis(100),
+            metric_tree: false,
         }
     }
 }
@@ -239,14 +247,18 @@ impl Server {
     ) -> Result<(Server, RepairReport), PersistError> {
         let (store, report) = CorpusStore::open_with(path.as_ref(), recovery)?;
         let (corpus, log) = store.into_parts();
-        let index = TreeIndex::from_corpus(corpus).with_threads(cfg.query_threads.max(1));
+        let index = TreeIndex::from_corpus(corpus)
+            .with_threads(cfg.query_threads.max(1))
+            .with_metric_tree(cfg.metric_tree);
         Ok((Server::start(index, Some(log), cfg), report))
     }
 
     /// Starts a non-durable service over trees held only in memory
     /// (useful for tests and ephemeral corpora).
     pub fn in_memory(trees: impl IntoIterator<Item = Tree<String>>, cfg: ServerConfig) -> Server {
-        let index = TreeIndex::build(trees).with_threads(cfg.query_threads.max(1));
+        let index = TreeIndex::build(trees)
+            .with_threads(cfg.query_threads.max(1))
+            .with_metric_tree(cfg.metric_tree);
         Server::start(index, None, cfg)
     }
 
@@ -448,6 +460,7 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
             let index = relock(shared.index.read());
             let log = relock(shared.log.lock());
             let corpus = index.corpus();
+            let metric = index.metric_snapshot();
             Response::Status(StatusReport {
                 live: corpus.len(),
                 id_bound: corpus.id_bound(),
@@ -458,6 +471,10 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
                 workers: shared.workers,
                 requests: shared.requests.load(Ordering::Relaxed),
                 compactions: shared.compactions.load(Ordering::Relaxed),
+                metric_tree: metric.enabled,
+                metric_built: metric.built,
+                metric_pending: metric.pending,
+                metric_tombstones: metric.tombstones,
             })
         }
         Request::Compact => {

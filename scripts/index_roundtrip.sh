@@ -60,6 +60,22 @@ done > "$WORK/b.trees"
 "$RTED" index compact "$WORK/corpus.idx" 2>/dev/null
 "$RTED" index info "$WORK/corpus.idx" > /dev/null
 
+# --- 2b. Metric-tree candidate generation must be invisible in results --
+"$RTED" search --index "$WORK/corpus.idx" "$QUERY" --tau 9 2>/dev/null > "$WORK/metric.out"
+"$RTED" search --index "$WORK/corpus.idx" "$QUERY" --tau 9 --no-metric-tree 2>/dev/null > "$WORK/linear.out"
+diff "$WORK/metric.out" "$WORK/linear.out" || fail "metric vs linear search"
+"$RTED" topk --index "$WORK/corpus.idx" "$QUERY" --k 5 2>/dev/null > "$WORK/metric.out"
+"$RTED" topk --index "$WORK/corpus.idx" "$QUERY" --k 5 --no-metric-tree 2>/dev/null > "$WORK/linear.out"
+diff "$WORK/metric.out" "$WORK/linear.out" || fail "metric vs linear topk"
+"$RTED" join --index "$WORK/corpus.idx" --tau 7 2>/dev/null > "$WORK/metric.out"
+"$RTED" join --index "$WORK/corpus.idx" --tau 7 --no-metric-tree 2>/dev/null > "$WORK/linear.out"
+diff "$WORK/metric.out" "$WORK/linear.out" || fail "metric vs linear join"
+# A --pq override re-profiles in memory; results must not change.
+"$RTED" search --index "$WORK/corpus.idx" "$QUERY" --tau 9 --pq 3,2 --no-metric-tree 2>/dev/null \
+    > "$WORK/pq.out"
+"$RTED" search --index "$WORK/corpus.idx" "$QUERY" --tau 9 --no-metric-tree 2>/dev/null \
+    | diff - "$WORK/pq.out" || fail "--pq override changed search results"
+
 # --- 3. Reload and diff against the in-memory path ----------------------
 "$RTED" index dump "$WORK/corpus.idx" > "$WORK/dump.tsv"
 [[ $(wc -l < "$WORK/dump.tsv") -eq 37 ]] || fail "expected 37 live trees after update"
@@ -101,4 +117,33 @@ if "$RTED" search --index "$WORK/flipped.idx" "$QUERY" --tau 2 2> "$WORK/err.txt
 fi
 grep -qiE "checksum|corrupt" "$WORK/err.txt" || fail "unclear corruption error: $(cat "$WORK/err.txt")"
 
-echo "index-roundtrip OK: persistent and in-memory paths agree (search/topk/join), damage rejected"
+# --- 5. Legacy v1 format: opens read-only, upgrades on first mutation ----
+"$RTED" index build "$WORK/v1.idx" "$WORK/live.trees" --format-version 1 2>/dev/null
+"$RTED" index build "$WORK/v2.idx" "$WORK/live.trees" 2>/dev/null
+"$RTED" index info "$WORK/v1.idx" > "$WORK/v1.info"
+grep -q "format version  1" "$WORK/v1.info" || fail "v1 fixture not reported as version 1"
+grep -q "recomputed on load" "$WORK/v1.info" || fail "v1 info must say profiles are recomputed"
+# (info output goes through a file: `grep -q` would close the pipe early
+# and kill the CLI with SIGPIPE on larger outputs)
+"$RTED" index info "$WORK/v2.idx" > "$WORK/v2.info"
+grep -q "format version  2" "$WORK/v2.info" || fail "v2 build not version 2"
+
+# Same trees, both versions: identical answers (v1 profiles recomputed).
+for tau in 5 9; do
+    "$RTED" search --index "$WORK/v1.idx" "$QUERY" --tau "$tau" 2>/dev/null > "$WORK/v1.out"
+    "$RTED" search --index "$WORK/v2.idx" "$QUERY" --tau "$tau" 2>/dev/null > "$WORK/v2.out"
+    diff "$WORK/v1.out" "$WORK/v2.out" || fail "v1 vs v2 search tau=$tau"
+done
+# Queries are read-only: the legacy file is untouched, still version 1.
+"$RTED" index info "$WORK/v1.idx" > "$WORK/v1.again"
+grep -q "format version  1" "$WORK/v1.again" || fail "query modified the v1 file"
+
+# The first mutating open upgrades the file in place to version 2 with
+# stored profiles; the data survives and strict tools accept it.
+"$RTED" index update "$WORK/v1.idx" --remove 0 2>/dev/null
+"$RTED" index info "$WORK/v1.idx" > "$WORK/v1up.info"
+grep -q "format version  2" "$WORK/v1up.info" || fail "v1 file not upgraded by update"
+grep -q "(stored)" "$WORK/v1up.info" || fail "upgraded file must store profiles"
+[[ $(("$("$RTED" index dump "$WORK/v1.idx" | wc -l)")) -eq 36 ]] || fail "upgrade lost trees"
+
+echo "index-roundtrip OK: persistent and in-memory paths agree (search/topk/join, metric and linear), damage rejected, v1 opens and upgrades"

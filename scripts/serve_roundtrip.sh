@@ -10,7 +10,10 @@
 #      and check that `--strict` startup refuses the file;
 #   5. restart in the default repair mode, require the recovery report,
 #      and require byte-identical answers to the pre-crash references;
-#   6. check threshold-driven background compaction clears the backlog.
+#   6. restart with --metric-tree: identical answers through the
+#      vantage-point candidate generator, request ids echoed (pipelined
+#      clients), metric state reported by status;
+#   7. check threshold-driven background compaction clears the backlog.
 #
 # Usage: scripts/serve_roundtrip.sh [path-to-rted-binary]
 set -euo pipefail
@@ -129,7 +132,29 @@ stop_server
 "$RTED" index repair "$WORK/corpus.idx" 2> "$WORK/repair.err"
 grep -q "already clean" "$WORK/repair.err" || fail "repair not idempotent: $(cat "$WORK/repair.err")"
 
-# --- 6. Background compaction clears the tombstone backlog --------------
+# --- 6. Metric-tree serving answers identically; ids are echoed ---------
+start_server --workers 2 --metric-tree
+# Per-query counters legitimately differ between candidate generators;
+# the answers must not.
+strip_counters() { sed 's/,"candidates":[0-9]*,"verified":[0-9]*//'; }
+"$RTED" query --socket "$SOCK" < "$WORK/queries.ndjson" | strip_counters > "$WORK/metric.out"
+strip_counters < "$WORK/ref.out" > "$WORK/ref.stripped"
+diff "$WORK/ref.stripped" "$WORK/metric.out" || fail "metric-tree service answers differ"
+status=$(echo '{"op":"status","id":"m-7"}' | "$RTED" query --socket "$SOCK")
+echo "$status" | grep -q '^{"id":"m-7",' || fail "request id not echoed first: $status"
+echo "$status" | grep -q '"metric_tree":true' || fail "status must report the metric tree: $status"
+echo "$status" | grep -q '"metric_built":[1-9]' || fail "metric tree not built after queries: $status"
+# Pipelined client: several in-flight requests, answers correlatable.
+{
+    echo '{"op":"distance","left":0,"right":1,"id":1}'
+    echo '{"op":"distance","left":1,"right":2,"id":2}'
+    echo '{"op":"fly","id":3}'
+} | "$RTED" query --socket "$SOCK" > "$WORK/pipe.out"
+[[ $(grep -c '"id":' "$WORK/pipe.out") -eq 3 ]] || fail "pipelined ids missing: $(cat "$WORK/pipe.out")"
+grep -q '"id":3,"ok":false' "$WORK/pipe.out" || fail "error response must keep its id: $(cat "$WORK/pipe.out")"
+stop_server
+
+# --- 7. Background compaction clears the tombstone backlog --------------
 start_server --workers 2 --compact-frac 0.05
 {
     echo '{"op":"remove","ids":[8,9,10,11]}'
@@ -152,4 +177,4 @@ done
 [[ -n "$compacted" ]] || fail "background compaction never settled: $status"
 stop_server
 
-echo "serve-roundtrip OK: concurrent clients served, torn tail repaired on restart (answers identical), strict mode refuses damage, background compaction reclaims"
+echo "serve-roundtrip OK: concurrent clients served, torn tail repaired on restart (answers identical), strict mode refuses damage, metric-tree serving identical with ids echoed, background compaction reclaims"

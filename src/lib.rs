@@ -16,7 +16,9 @@
 //! * [`join`] — TED similarity joins ([`rted_join`]);
 //! * [`index`] — the indexed, parallel similarity-search engine over tree
 //!   corpora: threshold (`range`), k-nearest-neighbour (`top_k`) and
-//!   self-join queries behind staged lower-bound filters ([`rted_index`]);
+//!   self-join queries behind staged lower-bound filters (including the
+//!   serialized pq-gram stage), with optional metric-tree (vantage-point)
+//!   candidate generation ([`rted_index`]);
 //! * [`serve`] — the crash-safe, long-lived query service over a
 //!   persistent corpus: request queue + worker pool, torn-tail recovery
 //!   on startup, background compaction ([`rted_serve`]).
