@@ -41,6 +41,30 @@ fn ted_runtime(c: &mut Criterion) {
                     });
                 },
             );
+            // The same amortized path with serve-style instrumentation
+            // around every run: a latency record (3 relaxed RMWs) plus a
+            // subproblem counter. `bench_diff --suffix-gate "+obs"`
+            // compares this against `RTED+ws` and fails CI if the
+            // overhead exceeds the observability budget.
+            let mut ws = Workspace::new();
+            let latency = rted_obs::Histogram::new();
+            let subproblems = rted_obs::Counter::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/RTED+ws+obs", shape.name()), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let started = std::time::Instant::now();
+                        let run = Algorithm::Rted.run_in(&f, &g, &UnitCost, &mut ws);
+                        subproblems.add(run.subproblems);
+                        latency.record(
+                            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                        black_box(run.distance)
+                    });
+                },
+            );
+            black_box((latency.count(), subproblems.get()));
         }
     }
     group.finish();

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! bench_diff <BASELINE_DIR> <CURRENT_DIR> [--threshold R] [--metric min|mean]
+//! bench_diff --suffix-gate SUF <DIR> [--threshold R] [--metric min|mean]
 //! ```
 //!
 //! Every benchmark present in both sets is compared by the chosen metric
@@ -13,6 +14,12 @@
 //! Benchmarks present on only one side are listed but never fail the run.
 //! Exit code: 0 = no regressions, 1 = regressions found, 2 = usage or I/O
 //! error.
+//!
+//! `--suffix-gate` compares *within one run* instead of across two: every
+//! benchmark whose name contains `SUF` (e.g. `+obs`) is paired with the
+//! same name minus the suffix, and fails the gate if it is more than
+//! `threshold ×` slower — the CI check that instrumentation overhead
+//! stays inside its budget.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -99,14 +106,78 @@ fn human(ns: u128) -> String {
     }
 }
 
+/// The within-run overhead gate: every benchmark whose key contains
+/// `suffix` is compared against the same key with the suffix removed,
+/// and the run fails if the **geometric mean** of the ratios exceeds
+/// `threshold`. Per-pair ratios are printed for diagnostics but do not
+/// fail the gate individually — single-pair minima scatter by a few
+/// percent on shared runners, while a systematic overhead shifts every
+/// pair and therefore the mean. A suffixed benchmark without its base
+/// partner is an error — a renamed base must not silently disable the
+/// gate.
+fn suffix_gate_run(dir: &Path, suffix: &str, threshold: f64, metric: &str) -> Result<bool, String> {
+    let records = load_dir(dir)?;
+    let pick = |r: &Record| if metric == "min" { r.min_ns } else { r.mean_ns };
+    let mut compared = 0usize;
+    let mut log_sum = 0.0f64;
+    println!(
+        "{:<58} {:>10} {:>10} {:>8}",
+        format!("benchmark (vs -{suffix})"),
+        "base",
+        "instr",
+        "ratio"
+    );
+    for (key, instrumented) in &records {
+        if !key.contains(suffix) {
+            continue;
+        }
+        let base_key = key.replacen(suffix, "", 1);
+        let Some(base) = records.get(&base_key) else {
+            return Err(format!("{key}: no base benchmark {base_key} in this run"));
+        };
+        compared += 1;
+        let (old, new) = (pick(base).max(1) as f64, pick(instrumented).max(1) as f64);
+        let ratio = new / old;
+        log_sum += ratio.ln();
+        println!(
+            "{key:<58} {:>10} {:>10} {:>7.3}x",
+            human(pick(base)),
+            human(pick(instrumented)),
+            ratio
+        );
+    }
+    if compared == 0 {
+        return Err(format!(
+            "no benchmarks containing `{suffix}` in {}",
+            dir.display()
+        ));
+    }
+    let geomean = (log_sum / compared as f64).exp();
+    let ok = geomean <= threshold;
+    println!(
+        "\n{compared} pairs compared ({metric}): geometric-mean overhead {geomean:.4}x, budget {threshold}x — {}",
+        if ok { "within budget" } else { "OVER BUDGET" }
+    );
+    Ok(ok)
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dirs: Vec<String> = Vec::new();
     let mut threshold = 2.0f64;
     let mut metric = "min".to_string();
+    let mut suffix_gate: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--suffix-gate" => {
+                i += 1;
+                let suf = args.get(i).ok_or("--suffix-gate needs a value")?.clone();
+                if suf.is_empty() {
+                    return Err("--suffix-gate must not be empty".into());
+                }
+                suffix_gate = Some(suf);
+            }
             "--threshold" => {
                 i += 1;
                 threshold = args
@@ -129,6 +200,15 @@ fn run() -> Result<bool, String> {
             a => dirs.push(a.to_string()),
         }
         i += 1;
+    }
+    if let Some(suffix) = suffix_gate {
+        let [dir] = dirs.as_slice() else {
+            return Err(
+                "usage: bench_diff --suffix-gate SUF <DIR> [--threshold R] [--metric min|mean]"
+                    .into(),
+            );
+        };
+        return suffix_gate_run(Path::new(dir), &suffix, threshold, &metric);
     }
     if dirs.len() != 2 {
         return Err(

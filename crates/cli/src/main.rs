@@ -19,7 +19,9 @@
 //! rted index dump    <INDEX>
 //! rted serve   [--index INDEX | FILE] [--socket PATH] [--workers N]
 //!              [--threads N] [--compact-frac F] [--strict] [--metric-tree]
+//!              [--slow-ms MS]
 //! rted query   --socket PATH
+//! rted metrics --socket PATH [--json]
 //! ```
 //!
 //! Trees are given inline in bracket notation (`{a{b}{c}}`) or as file
@@ -39,6 +41,12 @@
 //! salvage) unless `--strict` demands a fully consistent file; what was
 //! recovered is reported on stderr. `rted index repair` performs the
 //! same salvage as a one-shot offline command.
+//!
+//! `rted metrics` scrapes a running service's telemetry (`metrics`
+//! request): Prometheus text exposition by default, the raw JSON
+//! response line with `--json`. With `--slow-ms` the serve front-end
+//! logs every request whose wall time (queue wait included) crosses the
+//! threshold to stderr, carrying the request's `id` when one was given.
 //!
 //! Every failure — malformed trees, missing files, unknown or
 //! valueless flags, corrupt or version-mismatched index files — exits
@@ -67,16 +75,21 @@ fn usage() -> ExitCode {
          rted index update  <INDEX> [--add FILE] [--remove IDS]... [--compact]\n  \
          rted index compact <INDEX>\n  \
          rted index repair  <INDEX>\n  \
-         rted index info    <INDEX>\n  \
+         rted index info    <INDEX> [--stats]\n  \
          rted index dump    <INDEX>\n  \
          rted serve    [--index INDEX | FILE] [--socket PATH] [--workers N] [--threads N]\n  \
-         \x20             [--compact-frac F] [--strict] [--metric-tree]\n  \
-         rted query    --socket PATH\n\n\
+         \x20             [--compact-frac F] [--strict] [--metric-tree] [--slow-ms MS]\n  \
+         rted query    --socket PATH\n  \
+         rted metrics  --socket PATH [--json]\n\n\
          join/search/topk also accept --index <INDEX> in place of <FILE>, plus\n\
          --pq P,Q (re-profile with those gram lengths) and --no-metric-tree\n\
          (linear size-window scan instead of the vantage-point tree).\n\
          serve speaks one JSON request per line (see README); --index recovers\n\
          (and repairs) the corpus on startup, a FILE serves from memory only.\n\
+         serve --slow-ms logs slow requests to stderr; metrics scrapes the\n\
+         service's telemetry (Prometheus text, or the raw line with --json).\n\
+         index info --stats probes the filter pipeline and prints per-stage\n\
+         prune counts and hit rates.\n\
          NAME: rted (default) | zhang-l | zhang-r | klein-h | demaine-h\n\
          SHAPE: lb | rb | fb | zz | mx | random\n\
          TREE/QUERY: inline bracket notation or a file path\n\
@@ -103,6 +116,7 @@ const VALUE_FLAGS: &[&str] = &[
     "compact-frac",
     "pq",
     "format-version",
+    "slow-ms",
 ];
 
 struct Opts {
@@ -472,6 +486,52 @@ fn report_stats(stats: &SearchStats, what: &str) {
     );
 }
 
+/// `rted index info --stats`: probes the filter pipeline with a
+/// deterministic workload (up to 16 live trees, each queried at a tight
+/// and a loose threshold) and prints the cumulative per-stage prune
+/// counters the index keeps for its lifetime — stage order, prune
+/// counts, and each stage's hit rate over the candidates that actually
+/// reached it.
+fn print_pipeline_stats(corpus: rted_index::TreeCorpus<String>) {
+    let index = TreeIndex::from_corpus(corpus);
+    let queries: Vec<Tree<String>> = index
+        .corpus()
+        .iter()
+        .take(16)
+        .map(|(_, e)| e.tree().clone())
+        .collect();
+    for query in &queries {
+        for tau in [2.0, 8.0] {
+            index.range(query, tau);
+        }
+    }
+    let totals = index.totals();
+    println!(
+        "\npipeline probe  {} range queries, {} candidate pairs",
+        totals.range_queries, totals.candidates
+    );
+    if totals.candidates == 0 {
+        println!("filter stages   (empty corpus — nothing to probe)");
+        return;
+    }
+    let mut entering = totals.candidates;
+    for stage in &totals.stages {
+        let rate = stage.pruned as f64 * 100.0 / entering.max(1) as f64;
+        println!(
+            "  {:<14} pruned {:>8} of {:>8} entering  ({rate:>5.1}% hit rate)",
+            stage.stage, stage.pruned, entering
+        );
+        entering = entering.saturating_sub(stage.pruned);
+    }
+    println!(
+        "  {:<14} {:>15} verified exactly ({} subproblems, {:.3} ms exact-TED)",
+        "exact-ted",
+        totals.verified,
+        totals.subproblems,
+        totals.ted_ns as f64 / 1e6
+    );
+}
+
 fn cmd_search(opts: &Opts) -> Result<(), String> {
     opts.expect_flags("search", &[QUERY_FLAGS, &["tau", "xml"]].concat())?;
     let index = load_query_index(opts, "search", 1)?;
@@ -619,7 +679,7 @@ fn cmd_index(opts: &Opts) -> Result<(), String> {
             Ok(())
         }
         "info" => {
-            opts.expect_flags("index info", &[])?;
+            opts.expect_flags("index info", &["stats"])?;
             let [index_path] = rest else {
                 return Err("index info needs INDEX".into());
             };
@@ -649,6 +709,10 @@ fn cmd_index(opts: &Opts) -> Result<(), String> {
             println!("file bytes      {}", file.bytes().len());
             let nodes: usize = corpus.iter().map(|(_, e)| e.tree().len()).sum();
             println!("total nodes     {nodes}");
+            if opts.has("stats") {
+                let owned = file.corpus_owned().map_err(|e| e.to_string())?;
+                print_pipeline_stats(owned);
+            }
             Ok(())
         }
         "dump" => {
@@ -685,6 +749,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             "compact-frac",
             "strict",
             "metric-tree",
+            "slow-ms",
         ],
     )?;
     let mut config = rted_serve::ServerConfig::default();
@@ -700,6 +765,18 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     // A non-positive fraction disables background compaction.
     config.compact_fraction = (frac > 0.0).then_some(frac);
     config.metric_tree = opts.has("metric-tree");
+    // Slow-query threshold: off unless asked for. Measured at the
+    // front-end around the whole call, so queue wait counts — that is
+    // what the client experienced.
+    let slow = match opts.flag("slow-ms") {
+        None => None,
+        Some(ms) => Some(std::time::Duration::from_millis(
+            ms.parse::<u64>()
+                .ok()
+                .filter(|&ms| ms >= 1)
+                .ok_or(format!("bad --slow-ms {ms}"))?,
+        )),
+    };
 
     let server = match opts.flag("index") {
         Some(index_path) => {
@@ -746,8 +823,8 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     };
 
     let result = match opts.flag("socket") {
-        Some(path) => serve_socket(&server, path),
-        None => serve_stdio(&server),
+        Some(path) => serve_socket(&server, path, slow),
+        None => serve_stdio(&server, slow),
     };
     // Graceful either way: drain whatever the front-end accepted.
     server.shutdown();
@@ -755,11 +832,15 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
 }
 
 /// Stdio front-end: one request line in, one response line out, until
-/// EOF or a `shutdown` request.
-fn serve_stdio(server: &rted_serve::Server) -> Result<(), String> {
+/// EOF or a `shutdown` request. Counts as one connection.
+fn serve_stdio(
+    server: &rted_serve::Server,
+    slow: Option<std::time::Duration>,
+) -> Result<(), String> {
     use std::io::{BufRead, Write};
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    server.note_connection_opened();
     let mut client = server.client();
     let mut out = stdout.lock();
     for line in stdin.lock().lines() {
@@ -767,7 +848,7 @@ fn serve_stdio(server: &rted_serve::Server) -> Result<(), String> {
         if line.trim().is_empty() {
             continue;
         }
-        let (response, is_shutdown) = respond(&mut client, &line);
+        let (response, is_shutdown) = respond(server, &mut client, slow, &line);
         writeln!(out, "{response}")
             .and_then(|_| out.flush())
             .map_err(|e| format!("stdout: {e}"))?;
@@ -775,7 +856,24 @@ fn serve_stdio(server: &rted_serve::Server) -> Result<(), String> {
             break;
         }
     }
+    server.note_connection_closed();
     Ok(())
+}
+
+/// The wire name of a request, for the slow-query log.
+fn request_op_name(request: &rted_serve::Request) -> &'static str {
+    use rted_serve::Request;
+    match request {
+        Request::Range { .. } => "range",
+        Request::TopK { .. } => "topk",
+        Request::Distance { .. } => "distance",
+        Request::Insert { .. } => "insert",
+        Request::Remove { .. } => "remove",
+        Request::Status => "status",
+        Request::Compact => "compact",
+        Request::Metrics { .. } => "metrics",
+        Request::Shutdown => "shutdown",
+    }
 }
 
 /// Parses and executes one request line; returns the rendered response
@@ -783,14 +881,43 @@ fn serve_stdio(server: &rted_serve::Server) -> Result<(), String> {
 /// level: acknowledged with `bye`, then the front-end stops). A request
 /// `id`, when present, is echoed in the response — pipelined clients can
 /// keep many requests in flight and correlate answers.
-fn respond(client: &mut rted_serve::Client, line: &str) -> (String, bool) {
-    use rted_serve::{parse_request_line, render_response_with, Request, Response};
+///
+/// With a slow threshold, a request whose wall time (queue wait
+/// included) crosses it is logged to stderr — op name and `id`, so the
+/// offending query can be found in the client's pipeline — and counted
+/// in `serve_slow_queries_total`.
+fn respond(
+    server: &rted_serve::Server,
+    client: &mut rted_serve::Client,
+    slow: Option<std::time::Duration>,
+    line: &str,
+) -> (String, bool) {
+    use rted_serve::{parse_request_line, render_response_with, Request, RequestId, Response};
     let (id, parsed) = parse_request_line(line);
     let id = id.as_ref();
     match parsed {
         Err(e) => (render_response_with(&Response::Error(e), id), false),
         Ok(Request::Shutdown) => (render_response_with(&Response::Bye, id), true),
-        Ok(request) => (render_response_with(&client.call(request), id), false),
+        Ok(request) => {
+            let op = request_op_name(&request);
+            let started = std::time::Instant::now();
+            let response = client.call(request);
+            if let Some(threshold) = slow {
+                let took = started.elapsed();
+                if took >= threshold {
+                    server.note_slow_query();
+                    let id_part = match id {
+                        None => String::new(),
+                        Some(RequestId::Num(n)) => format!(" id={n}"),
+                        Some(RequestId::Str(s)) => format!(" id=\"{s}\""),
+                    };
+                    eprintln!(
+                        "rted serve: slow {op} request{id_part}: {took:?} (threshold {threshold:?})"
+                    );
+                }
+            }
+            (render_response_with(&response, id), false)
+        }
     }
 }
 
@@ -798,7 +925,11 @@ fn respond(client: &mut rted_serve::Client, line: &str) -> (String, bool) {
 /// the shared service; a `shutdown` request from any connection stops
 /// the listener (after answering `bye`) and drains the rest.
 #[cfg(unix)]
-fn serve_socket(server: &rted_serve::Server, path: &str) -> Result<(), String> {
+fn serve_socket(
+    server: &rted_serve::Server,
+    path: &str,
+    slow: Option<std::time::Duration>,
+) -> Result<(), String> {
     use std::io::{BufRead, BufReader, Write};
     use std::os::unix::net::{UnixListener, UnixStream};
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -818,6 +949,7 @@ fn serve_socket(server: &rted_serve::Server, path: &str) -> Result<(), String> {
                 let Ok(read_half) = stream.try_clone() else {
                     return;
                 };
+                server.note_connection_opened();
                 let mut client = server.client();
                 let mut writer = stream;
                 for line in BufReader::new(read_half).lines() {
@@ -825,7 +957,7 @@ fn serve_socket(server: &rted_serve::Server, path: &str) -> Result<(), String> {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    let (response, is_shutdown) = respond(&mut client, &line);
+                    let (response, is_shutdown) = respond(server, &mut client, slow, &line);
                     if writeln!(writer, "{response}")
                         .and_then(|_| writer.flush())
                         .is_err()
@@ -839,6 +971,7 @@ fn serve_socket(server: &rted_serve::Server, path: &str) -> Result<(), String> {
                         break;
                     }
                 }
+                server.note_connection_closed();
             });
         }
     });
@@ -847,7 +980,11 @@ fn serve_socket(server: &rted_serve::Server, path: &str) -> Result<(), String> {
 }
 
 #[cfg(not(unix))]
-fn serve_socket(_server: &rted_serve::Server, _path: &str) -> Result<(), String> {
+fn serve_socket(
+    _server: &rted_serve::Server,
+    _path: &str,
+    _slow: Option<std::time::Duration>,
+) -> Result<(), String> {
     Err("--socket requires a Unix platform; use the stdin/stdout mode".into())
 }
 
@@ -886,6 +1023,56 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
 #[cfg(not(unix))]
 fn cmd_query(_opts: &Opts) -> Result<(), String> {
     Err("query requires a Unix platform".into())
+}
+
+/// `rted metrics` — scrapes a running `rted serve --socket` service.
+/// Default output is the Prometheus text exposition (ready for a scrape
+/// pipeline or a human eyeball); `--json` prints the raw NDJSON
+/// response line with structured values instead.
+#[cfg(unix)]
+fn cmd_metrics(opts: &Opts) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    opts.expect_flags("metrics", &["socket", "json"])?;
+    if !opts.positional.is_empty() {
+        return Err("metrics takes no positional arguments".into());
+    }
+    let path = opts.flag("socket").ok_or("metrics needs --socket PATH")?;
+    let stream = UnixStream::connect(path).map_err(|e| format!("cannot connect to {path}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let json = opts.has("json");
+    let request = if json {
+        r#"{"op":"metrics","format":"json"}"#
+    } else {
+        r#"{"op":"metrics","format":"prometheus"}"#
+    };
+    writeln!(writer, "{request}")
+        .and_then(|_| writer.flush())
+        .map_err(|e| format!("socket write: {e}"))?;
+    let line = BufReader::new(stream)
+        .lines()
+        .next()
+        .ok_or("server closed the connection")?
+        .map_err(|e| format!("socket read: {e}"))?;
+    if json {
+        println!("{line}");
+        return Ok(());
+    }
+    // Unwrap the exposition string so the output is scrape-ready text.
+    let value = rted_serve::json::parse(&line).map_err(|e| format!("bad response: {e}"))?;
+    match value
+        .get("exposition")
+        .and_then(rted_serve::json::Value::as_str)
+    {
+        Some(text) => print!("{text}"),
+        None => return Err(format!("unexpected response: {line}")),
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_metrics(_opts: &Opts) -> Result<(), String> {
+    Err("metrics requires a Unix platform".into())
 }
 
 /// Operator-facing one-liner for a repair outcome — shared by `rted
@@ -940,6 +1127,7 @@ fn main() -> ExitCode {
         "index" => cmd_index(&opts),
         "serve" => cmd_serve(&opts),
         "query" => cmd_query(&opts),
+        "metrics" => cmd_metrics(&opts),
         _ => return usage(),
     };
     match result {

@@ -67,4 +67,4 @@ pub use strategy::{
     compute_strategy_in, optimal_strategy, strategy_cost, Chooser, DemaineChooser, FixedChooser,
     OptimalChooser, PathChoice, Side, Strategy, StrategyProvider, SubsetChooser,
 };
-pub use workspace::Workspace;
+pub use workspace::{Workspace, WorkspaceStats};

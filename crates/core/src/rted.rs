@@ -92,7 +92,7 @@ impl Algorithm {
         cm: &C,
         ws: &mut Workspace,
     ) -> RunStats {
-        match self {
+        let stats = match self {
             Algorithm::ZhangL | Algorithm::ZhangR => {
                 let start = Instant::now();
                 let (distance, subproblems) =
@@ -126,7 +126,9 @@ impl Algorithm {
                 ws.recycle(strategy);
                 stats
             }
-        }
+        };
+        ws.note_run(stats.subproblems);
+        stats
     }
 
     /// The exact number of relevant subproblems this algorithm computes on

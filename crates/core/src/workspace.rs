@@ -141,6 +141,35 @@ pub struct Workspace {
     /// Recyclable storage for [`Strategy::choices`]; taken by
     /// `compute_strategy_in`, returned via [`Workspace::recycle`].
     pub(crate) choices: Vec<u8>,
+
+    // ---- lifetime counters (observability).
+    /// TED computations served by this workspace over its lifetime.
+    pub(crate) ted_runs: u64,
+    /// Relevant subproblems computed across all runs.
+    pub(crate) subproblems_total: u64,
+}
+
+/// Lifetime counters of one [`Workspace`], for observability.
+///
+/// Plain values read with `&self` — the workspace is single-threaded by
+/// construction (every entry point takes `&mut Workspace`), so these are
+/// ordinary integers, not atomics. A serving layer that pools workspaces
+/// across workers reads each worker's counters and *feeds the deltas
+/// upward* into its shared metrics after each request, instead of core
+/// publishing through process-global state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceStats {
+    /// TED computations served by this workspace ([`Algorithm::run_in`]
+    /// calls, including strategy-only reruns). Growth beyond the first
+    /// run measures workspace *reuse* — runs answered from warm buffers.
+    ///
+    /// [`Algorithm::run_in`]: crate::rted::Algorithm::run_in
+    pub ted_runs: u64,
+    /// Relevant subproblems (DP cells) computed across all runs.
+    pub subproblems: u64,
+    /// Peak number of live strategy rows ever pooled (see
+    /// [`Workspace::strategy_rows_peak`]).
+    pub strategy_rows_peak: usize,
 }
 
 impl Workspace {
@@ -162,5 +191,23 @@ impl Workspace {
     /// instead of the dense `n_F` rows. Exposed for tests and diagnostics.
     pub fn strategy_rows_peak(&self) -> usize {
         self.rows.len()
+    }
+
+    /// This workspace's lifetime counters (see [`WorkspaceStats`]).
+    pub fn lifetime_stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            ted_runs: self.ted_runs,
+            subproblems: self.subproblems_total,
+            strategy_rows_peak: self.rows.len(),
+        }
+    }
+
+    /// Folds one completed run into the lifetime counters. Called by
+    /// [`Algorithm::run_in`](crate::rted::Algorithm::run_in); plain
+    /// integer adds, so the zero-allocation contract is untouched.
+    #[inline]
+    pub(crate) fn note_run(&mut self, subproblems: u64) {
+        self.ted_runs += 1;
+        self.subproblems_total += subproblems;
     }
 }

@@ -327,6 +327,7 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
                         let run = verifier.verify_in(query, corpus.tree(id as usize), ws);
                         stats.verified += 1;
                         stats.subproblems += run.subproblems;
+                        stats.ted_time += run.strategy_time + run.distance_time;
                         if run.distance < tau {
                             out.push(Neighbor {
                                 id: id as usize,
@@ -362,6 +363,7 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
                     metric.routing_ted += 1;
                     stats.verified += 1;
                     stats.subproblems += run.subproblems;
+                    stats.ted_time += run.strategy_time + run.distance_time;
                     let d = run.distance;
                     if d < tau && self.alive(id) && reportable(id) {
                         out.push(Neighbor {
@@ -393,6 +395,7 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
             let run = verifier.verify_in(query, corpus.tree(id as usize), ws);
             stats.verified += 1;
             stats.subproblems += run.subproblems;
+            stats.ted_time += run.strategy_time + run.distance_time;
             if run.distance < tau {
                 out.push(Neighbor {
                     id: id as usize,
@@ -439,6 +442,7 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
             let run = verifier.verify_in(query, corpus.tree(id as usize), ws);
             stats.verified += 1;
             stats.subproblems += run.subproblems;
+            stats.ted_time += run.strategy_time + run.distance_time;
             Self::admit(&mut heap, k_eff, run.distance, id as usize);
         }
 
@@ -474,6 +478,7 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
                         let run = verifier.verify_in(query, corpus.tree(id as usize), ws);
                         stats.verified += 1;
                         stats.subproblems += run.subproblems;
+                        stats.ted_time += run.strategy_time + run.distance_time;
                         Self::admit(&mut heap, k_eff, run.distance, id as usize);
                     }
                 }
@@ -504,6 +509,7 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
                     metric.routing_ted += 1;
                     stats.verified += 1;
                     stats.subproblems += run.subproblems;
+                    stats.ted_time += run.strategy_time + run.distance_time;
                     let d = run.distance;
                     if self.alive(id) {
                         Self::admit(&mut heap, k_eff, d, id as usize);

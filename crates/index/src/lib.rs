@@ -63,6 +63,7 @@ pub mod exec;
 pub mod filter;
 pub mod persist;
 pub mod store;
+pub mod totals;
 pub mod verify;
 
 pub use candidates::{MetricConfig, MetricSnapshot, MetricStats, VpTree};
@@ -70,7 +71,8 @@ pub use corpus::{CorpusEntry, TreeCorpus};
 pub use exec::{map_chunks, map_chunks_with, ExecPolicy, PooledWorkspace, WorkspacePool};
 pub use filter::{FilterPipeline, FilterStats, StagePrune};
 pub use persist::{encode_corpus, salvage_corpus, CorpusFile, PersistError, RepairReport, Salvage};
-pub use store::{CorpusLog, CorpusStore, LogCounts, Recovery};
+pub use store::{CorpusLog, CorpusStore, LogCounts, Recovery, WalObs};
+pub use totals::{IndexTotals, QueryKind, TotalsSnapshot};
 pub use verify::{AlgorithmVerifier, Verifier};
 
 use rted_core::bounds::TreeSketch;
@@ -119,6 +121,36 @@ pub struct JoinPair {
 }
 
 /// Counters for one query run.
+///
+/// # Exact counter semantics per query type
+///
+/// * **`range`, linear path** — `candidates` is the corpus size, and the
+///   counters partition it: every live tree is either pruned by exactly
+///   one stage or verified, so
+///   `filter.total_pruned() + verified == candidates`.
+/// * **`top_k`, linear path** — same partition as `range` (`candidates`
+///   is the corpus size; the sorted-size early-break books the whole
+///   skipped tail on the size stage, so nothing goes uncounted).
+/// * **`join`, linear path** — `candidates` is the number of unordered
+///   pairs, `n·(n−1)/2`, and the partition holds pair-wise:
+///   `filter.total_pruned() + verified == candidates` (the per-row size
+///   early-break books the remainder of each inner loop).
+/// * **metric-tree paths** — `candidates` keeps the meaning above, but
+///   pruned/verified count **work done, not a partition**: routing
+///   distances to vantage points are included in `verified` (see
+///   [`MetricStats::routing_ted`]), bound-settled vantages are counted
+///   in neither, and regions proven out by the triangle inequality
+///   vanish without touching any counter — so pruned + verified may be
+///   far *below* `candidates`. The metric **join** additionally runs one
+///   metric range query per corpus tree, and only *reporting* is
+///   restricted to higher ids: an unordered pair can be examined (and
+///   pruned or verified) from **both** sides, so pruned + verified may
+///   also *exceed* `candidates`. Matches are still reported exactly
+///   once; only the work counters double-book relative to `range`
+///   semantics.
+///
+/// The linear-path partition invariants are asserted in the
+/// `stats_semantics` integration test.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchStats {
     /// Candidates considered: corpus size for `range`/`top_k`, number of
@@ -133,6 +165,9 @@ pub struct SearchStats {
     pub subproblems: u64,
     /// Metric-tree traversal counters (all zero on the linear path).
     pub metric: MetricStats,
+    /// Time spent inside exact TED computations (strategy + distance
+    /// phases, summed over all verifications of the query).
+    pub ted_time: Duration,
     /// Wall-clock time of the whole query.
     pub time: Duration,
 }
@@ -176,6 +211,8 @@ pub struct TreeIndex<L> {
     /// dropped by the churn threshold). Behind an `RwLock` so concurrent
     /// queries share a built tree; only the build takes the write lock.
     metric: RwLock<Option<VpTree<L>>>,
+    /// Lifetime query totals (lock-free; recorded by every query).
+    totals: IndexTotals,
 }
 
 /// Recovers the guard from a poisoned lock: a panicking query left the
@@ -191,6 +228,7 @@ struct ChunkOut<T> {
     filter: FilterStats,
     verified: usize,
     subproblems: u64,
+    ted_time: Duration,
     found: Vec<T>,
 }
 
@@ -200,6 +238,7 @@ impl<T> ChunkOut<T> {
             filter: FilterStats::for_pipeline(pipeline),
             verified: 0,
             subproblems: 0,
+            ted_time: Duration::ZERO,
             found: Vec::new(),
         }
     }
@@ -218,15 +257,18 @@ where
     /// Wraps an existing corpus — e.g. one loaded from disk via
     /// [`CorpusStore`] or [`CorpusFile`] — without re-analyzing any tree.
     pub fn from_corpus(corpus: TreeCorpus<L>) -> Self {
+        let pipeline = FilterPipeline::standard();
+        let totals = IndexTotals::for_pipeline(&pipeline);
         TreeIndex {
             corpus,
-            pipeline: FilterPipeline::standard(),
+            pipeline,
             verifier: Box::new(AlgorithmVerifier::rted()),
             policy: ExecPolicy::default(),
             scratch: WorkspacePool::new(),
             metric_enabled: false,
             metric_config: MetricConfig::default(),
             metric: RwLock::new(None),
+            totals,
         }
     }
 
@@ -285,19 +327,32 @@ where
         g: &Tree<L>,
         ws: &mut rted_core::Workspace,
     ) -> rted_core::RunStats {
-        self.verifier.verify_in(f, g, ws)
+        let run = self.verifier.verify_in(f, g, ws);
+        // Lock-free, allocation-free recording: this is the serving
+        // layer's zero-allocation hot path.
+        self.totals
+            .record_distance(run.subproblems, run.strategy_time + run.distance_time);
+        run
     }
 
-    /// Replaces the filter pipeline.
+    /// Cumulative counters over every query this index has answered —
+    /// the signals `rted serve`'s `metrics` surface and `rted index info
+    /// --stats` report (see [`totals::IndexTotals`]).
+    pub fn totals(&self) -> TotalsSnapshot {
+        self.totals.snapshot()
+    }
+
+    /// Replaces the filter pipeline. Lifetime per-stage totals are reset
+    /// to match the new stage order.
     pub fn with_pipeline(mut self, pipeline: FilterPipeline<L>) -> Self {
+        self.totals = IndexTotals::for_pipeline(&pipeline);
         self.pipeline = pipeline;
         self
     }
 
     /// Disables all filtering (every candidate is verified exactly).
-    pub fn unfiltered(mut self) -> Self {
-        self.pipeline = FilterPipeline::none();
-        self
+    pub fn unfiltered(self) -> Self {
+        self.with_pipeline(FilterPipeline::none())
     }
 
     /// Replaces the verifier.
@@ -469,6 +524,7 @@ where
                     let run = verifier.verify_in(query, entry.tree(), ws.get());
                     out.verified += 1;
                     out.subproblems += run.subproblems;
+                    out.ted_time += run.strategy_time + run.distance_time;
                     if run.distance < tau {
                         out.found.push(Neighbor {
                             id: id as usize,
@@ -485,10 +541,12 @@ where
             stats.filter.merge(&out.filter);
             stats.verified += out.verified;
             stats.subproblems += out.subproblems;
+            stats.ted_time += out.ted_time;
             neighbors.extend(out.found);
         }
         neighbors.sort_by_key(|n| n.id);
         stats.time = start.elapsed();
+        self.totals.record_query(QueryKind::Range, &stats);
         QueryResult { neighbors, stats }
     }
 
@@ -519,6 +577,7 @@ where
         };
         if k == 0 || self.corpus.is_empty() {
             stats.time = start.elapsed();
+            self.totals.record_query(QueryKind::TopK, &stats);
             return QueryResult {
                 neighbors: Vec::new(),
                 stats,
@@ -600,14 +659,20 @@ where
                         .map(|&id| {
                             let run =
                                 verifier.verify_in(query, self.corpus.tree(id as usize), ws.get());
-                            (id as usize, run.distance, run.subproblems)
+                            (
+                                id as usize,
+                                run.distance,
+                                run.subproblems,
+                                run.strategy_time + run.distance_time,
+                            )
                         })
                         .collect::<Vec<_>>()
                 },
             );
-            for (id, distance, subproblems) in runs.into_iter().flatten() {
+            for (id, distance, subproblems, ted_time) in runs.into_iter().flatten() {
                 stats.verified += 1;
                 stats.subproblems += subproblems;
+                stats.ted_time += ted_time;
                 heap.push((OrdF64(distance), id));
                 if heap.len() > k {
                     heap.pop();
@@ -621,6 +686,7 @@ where
             .map(|(OrdF64(distance), id)| Neighbor { id, distance })
             .collect();
         stats.time = start.elapsed();
+        self.totals.record_query(QueryKind::TopK, &stats);
         QueryResult { neighbors, stats }
     }
 
@@ -691,6 +757,7 @@ where
                         );
                         out.verified += 1;
                         out.subproblems += run.subproblems;
+                        out.ted_time += run.strategy_time + run.distance_time;
                         if run.distance < tau {
                             out.found.push(JoinPair {
                                 left,
@@ -709,10 +776,12 @@ where
             stats.filter.merge(&out.filter);
             stats.verified += out.verified;
             stats.subproblems += out.subproblems;
+            stats.ted_time += out.ted_time;
             matches.extend(out.found);
         }
         matches.sort_by_key(|m| (m.left, m.right));
         stats.time = start.elapsed();
+        self.totals.record_query(QueryKind::Join, &stats);
         JoinOutcome { matches, stats }
     }
 
@@ -782,6 +851,7 @@ where
         });
         neighbors.sort_by_key(|n| n.id);
         stats.time = start.elapsed();
+        self.totals.record_query(QueryKind::Range, &stats);
         QueryResult { neighbors, stats }
     }
 
@@ -808,6 +878,7 @@ where
             )
         });
         stats.time = start.elapsed();
+        self.totals.record_query(QueryKind::TopK, &stats);
         QueryResult { neighbors, stats }
     }
 
@@ -850,6 +921,7 @@ where
         });
         matches.sort_by_key(|m| (m.left, m.right));
         stats.time = start.elapsed();
+        self.totals.record_query(QueryKind::Join, &stats);
         JoinOutcome { matches, stats }
     }
 

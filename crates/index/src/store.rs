@@ -45,6 +45,32 @@ use crate::persist::{
 use rted_tree::Tree;
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Observability hooks for the log's write path, installed by a serving
+/// layer via [`CorpusLog::set_obs`]. All handles are pre-registered
+/// lock-free metrics ([`rted_obs`]); recording adds a few relaxed atomic
+/// RMWs to each (already fsync-dominated) durable write and never
+/// allocates.
+#[derive(Debug, Clone)]
+pub struct WalObs {
+    /// Latency of whole committed appends (segment write + both fsyncs +
+    /// header rewrite), in nanoseconds.
+    pub append: Arc<rted_obs::Histogram>,
+    /// Latency of each individual `fsync` (`File::sync_all`), in
+    /// nanoseconds — two per append.
+    pub fsync: Arc<rted_obs::Histogram>,
+    /// Bytes reclaimed by compaction rewrites (old file length minus
+    /// rewritten length, when positive).
+    pub bytes_reclaimed: Arc<rted_obs::Counter>,
+}
+
+/// Saturating nanoseconds since `start`.
+#[inline]
+fn ns_since(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// How [`CorpusStore::open_with`] treats a file that strict validation
 /// rejects.
@@ -112,6 +138,9 @@ pub struct CorpusLog {
     /// are never reused), this resets to zero on rewrite, so it is the
     /// correct trigger for threshold-driven compaction.
     tombstones: usize,
+    /// Optional write-path metrics (`None` = unobserved, the batch-tool
+    /// default).
+    obs: Option<WalObs>,
 }
 
 impl CorpusLog {
@@ -127,7 +156,13 @@ impl CorpusLog {
             path,
             segments: usize::from(!corpus.is_empty()),
             tombstones: 0,
+            obs: None,
         })
+    }
+
+    /// Installs write-path metrics hooks (see [`WalObs`]).
+    pub fn set_obs(&mut self, obs: WalObs) {
+        self.obs = Some(obs);
     }
 
     /// The backing file path.
@@ -177,7 +212,17 @@ impl CorpusLog {
     /// dropping tombstones and superseded records — compaction. Ids are
     /// preserved. Atomic: goes through a temporary file and rename.
     pub fn rewrite(&mut self, corpus: &TreeCorpus<String>) -> Result<(), PersistError> {
-        write_atomic(&self.path, &encode_corpus(corpus))?;
+        let bytes = encode_corpus(corpus);
+        let old_len = self
+            .obs
+            .as_ref()
+            .and_then(|_| std::fs::metadata(&self.path).ok())
+            .map(|m| m.len());
+        write_atomic(&self.path, &bytes)?;
+        if let (Some(obs), Some(old_len)) = (&self.obs, old_len) {
+            obs.bytes_reclaimed
+                .add(old_len.saturating_sub(bytes.len() as u64));
+        }
         self.segments = usize::from(!corpus.is_empty());
         self.tombstones = 0;
         Ok(())
@@ -200,6 +245,16 @@ impl CorpusLog {
         let io = |e: std::io::Error| {
             PersistError::Io(format!("cannot update {}: {e}", self.path.display()))
         };
+        let started = Instant::now();
+        let obs = self.obs.as_ref();
+        let timed_sync = |file: &std::fs::File| {
+            let t0 = Instant::now();
+            let result = file.sync_all();
+            if let Some(obs) = obs {
+                obs.fsync.record(ns_since(t0));
+            }
+            result
+        };
         let mut file = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
@@ -217,10 +272,10 @@ impl CorpusLog {
             // With it, a crash leaves either the old header (torn or
             // complete segment behind it — both repairable) or the fully
             // committed update.
-            file.sync_all()?;
+            timed_sync(&file)?;
             file.seek(SeekFrom::Start(0))?;
             file.write_all(&new.header().encode())?;
-            file.sync_all()
+            timed_sync(&file)
         })();
         if result.is_err() {
             // Best-effort rollback to the exact pre-append file image:
@@ -235,6 +290,9 @@ impl CorpusLog {
             let _ = file.sync_all();
         } else {
             self.segments += 1;
+            if let Some(obs) = obs {
+                obs.append.record(ns_since(started));
+            }
         }
         result.map_err(io)
     }
@@ -315,6 +373,7 @@ impl CorpusStore {
                             path,
                             segments: stats.segments,
                             tombstones: stats.tombstones,
+                            obs: None,
                         },
                         corpus,
                     },
@@ -334,6 +393,7 @@ impl CorpusStore {
                             path,
                             segments: salvage.report.segments_recovered,
                             tombstones: salvage.tombstones,
+                            obs: None,
                         },
                         corpus: salvage.corpus,
                     },

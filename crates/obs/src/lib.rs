@@ -1,0 +1,507 @@
+//! Lock-free metrics for the RTED service stack.
+//!
+//! The serving layer's contract is that warm `distance` requests perform
+//! **zero heap allocations** end to end, and instrumentation must not
+//! break that: every metric here is pre-registered at startup, and the
+//! record-time operations — [`Counter::add`], [`Gauge::set`],
+//! [`Histogram::record`] — are a handful of `Relaxed` atomic RMWs on
+//! pre-allocated state. No locks, no formatting, no allocation, no
+//! syscalls on the hot path; all cost is paid at registration and
+//! snapshot time.
+//!
+//! * [`Counter`] — monotone `u64` (`fetch_add`).
+//! * [`Gauge`] — instantaneous `i64` level (`store`/`fetch_add`), e.g.
+//!   queue depth or open connections.
+//! * [`Histogram`] — log₂-bucketed distribution of `u64` samples
+//!   (typically nanoseconds). A record touches exactly three atomics:
+//!   bucket count, total sum, and a `fetch_max` for the exact maximum.
+//!   Snapshots derive `count`/`sum`/`p50`/`p95`/`p99`/`max`; quantiles
+//!   are bucket upper bounds, so they carry at most 2× relative error —
+//!   plenty for tail-latency monitoring, and the price of a fixed-size
+//!   allocation-free layout.
+//! * [`Registry`] — owns the name → metric table and produces
+//!   [`Snapshot`]s that render either as structured values (the caller
+//!   serializes them; this crate is serialization-agnostic) or as
+//!   Prometheus-style text exposition via [`Snapshot::render_prometheus`].
+//!
+//! Concurrency model: recording is wait-free and safe from any number of
+//! threads. A snapshot taken *during* concurrent recording is a relaxed
+//! read of each atomic — it never blocks recorders, never panics, and
+//! every observed value is monotone w.r.t. earlier snapshots, but a
+//! histogram's `sum` may momentarily run ahead of its bucket counts (a
+//! recorder between its two `fetch_add`s). Totals are exact once
+//! recorders quiesce; the concurrent proptest in `tests/` pins both
+//! properties down.
+//!
+//! Hand-rolled, dependency-free, MSRV 1.78.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log₂ buckets: bucket `b` holds samples with exactly `b`
+/// significant bits, so `[0]`, `[1,1]`, `[2,3]`, `[4,7]`, … and bucket 64
+/// holds samples with the top bit set. Covers the whole `u64` range.
+const BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+///
+/// Record-time cost: one `Relaxed` `fetch_add`.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, open connections, …).
+///
+/// Record-time cost: one `Relaxed` atomic op.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the level to `v` if it is below (`fetch_max`); for
+    /// high-water marks published from several threads.
+    #[inline]
+    pub fn raise_to(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Record-time cost: three `Relaxed` RMWs (bucket `fetch_add`, sum
+/// `fetch_add`, max `fetch_max`) on a fixed-size array — no allocation
+/// ever, no locks ever.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index of a sample: its number of significant bits.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The largest value a bucket can hold (its reported quantile bound).
+#[inline]
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time summary. Safe during concurrent recording (see the
+    /// crate docs for the consistency model).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the sample that answers the quantile (1-based,
+            // clamped into range so q=1.0 lands on the last sample).
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (b, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(b);
+                }
+            }
+            bucket_upper(BUCKETS - 1)
+        };
+        let max = self.max.load(Ordering::Relaxed);
+        let p50 = quantile(0.50).min(max);
+        let p95 = quantile(0.95).min(max);
+        let p99 = quantile(0.99).min(max);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            p50,
+            p95,
+            p99,
+            max,
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+///
+/// Quantiles are log₂-bucket upper bounds clamped to the exact observed
+/// `max`, so `p50 ≤ p95 ≤ p99 ≤ max` always holds and each quantile
+/// overestimates its true sample by less than 2×.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+}
+
+/// One named metric in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter total.
+    Counter(u64),
+    /// Instantaneous level.
+    Gauge(i64),
+    /// Distribution summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of every metric: `(name, value)` pairs in
+/// registration order (registry metrics first, then any pushed extras).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// The metrics, in a stable order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// An empty snapshot (for callers that assemble one by hand).
+    pub fn new() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Appends a metric produced outside the registry (e.g. totals folded
+    /// from another subsystem).
+    pub fn push(&mut self, name: impl Into<String>, value: MetricValue) {
+        self.metrics.push((name.into(), value));
+    }
+
+    /// Looks a metric up by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Renders Prometheus-style text exposition.
+    ///
+    /// Counters and gauges become single samples with a `# TYPE` line;
+    /// histograms are exported in summary form: `<name>{quantile="0.5"}`
+    /// etc., plus `<name>_sum`, `<name>_count`, and `<name>_max`. Values
+    /// keep the unit the metric was recorded in (this stack records
+    /// nanoseconds and says so in metric names).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "# TYPE {name} summary\n\
+                         {name}{{quantile=\"0.5\"}} {}\n\
+                         {name}{{quantile=\"0.95\"}} {}\n\
+                         {name}{{quantile=\"0.99\"}} {}\n\
+                         {name}_max {}\n\
+                         {name}_sum {}\n\
+                         {name}_count {}\n",
+                        h.p50, h.p95, h.p99, h.max, h.sum, h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Which kind a registered metric is (internal tag).
+#[derive(Debug)]
+enum Registered {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Owns the name → metric table.
+///
+/// All registration happens at startup (registration allocates); the
+/// returned `Arc` handles are what hot paths record through. Snapshots
+/// iterate the table in registration order.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Vec<(&'static str, Registered)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn check_name(&self, name: &'static str) {
+        debug_assert!(
+            !self.metrics.iter().any(|(n, _)| *n == name),
+            "metric {name:?} registered twice"
+        );
+    }
+
+    /// Registers a counter and returns its recording handle.
+    pub fn counter(&mut self, name: &'static str) -> Arc<Counter> {
+        self.check_name(name);
+        let c = Arc::new(Counter::new());
+        self.metrics.push((name, Registered::Counter(c.clone())));
+        c
+    }
+
+    /// Registers a gauge and returns its recording handle.
+    pub fn gauge(&mut self, name: &'static str) -> Arc<Gauge> {
+        self.check_name(name);
+        let g = Arc::new(Gauge::new());
+        self.metrics.push((name, Registered::Gauge(g.clone())));
+        g
+    }
+
+    /// Registers a histogram and returns its recording handle.
+    pub fn histogram(&mut self, name: &'static str) -> Arc<Histogram> {
+        self.check_name(name);
+        let h = Arc::new(Histogram::new());
+        self.metrics.push((name, Registered::Histogram(h.clone())));
+        h
+    }
+
+    /// Snapshots every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        for (name, metric) in &self.metrics {
+            let value = match metric {
+                Registered::Counter(c) => MetricValue::Counter(c.get()),
+                Registered::Gauge(g) => MetricValue::Gauge(g.get()),
+                Registered::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+            };
+            snap.push(*name, value);
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value lands in a bucket whose upper bound is >= it and
+        // within 2x of it.
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            let up = bucket_upper(bucket_of(v));
+            assert!(up >= v);
+            assert!(up / 2 < v.max(1));
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        g.raise_to(2);
+        assert_eq!(g.get(), 4);
+        g.raise_to(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.max, 1000);
+        // Median sample is 3 -> bucket [2,3] -> upper bound 3.
+        assert_eq!(s.p50, 3);
+        // p95/p99 land on the largest sample's bucket, clamped to max.
+        assert_eq!(s.p95, 1000);
+        assert_eq!(s.p99, 1000);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        assert_eq!(Histogram::new().snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn quantiles_overestimate_by_less_than_2x() {
+        let h = Histogram::new();
+        let mut samples: Vec<u64> = (0..1000).map(|i| (i * i) % 50_000).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let s = h.snapshot();
+        for (q, got) in [(0.50, s.p50), (0.95, s.p95), (0.99, s.p99)] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            assert!(got >= exact, "q{q}: {got} < exact {exact}");
+            assert!(
+                got <= exact.saturating_mul(2).max(1),
+                "q{q}: {got} > 2x {exact}"
+            );
+        }
+        assert_eq!(s.max, *samples.last().unwrap());
+    }
+
+    #[test]
+    fn registry_snapshot_and_exposition() {
+        let mut reg = Registry::new();
+        let c = reg.counter("rted_requests_total");
+        let g = reg.gauge("rted_queue_depth");
+        let h = reg.histogram("rted_latency_ns");
+        c.add(3);
+        g.set(2);
+        h.record(1500);
+        let mut snap = reg.snapshot();
+        snap.push("extra_total", MetricValue::Counter(9));
+        assert_eq!(
+            snap.get("rted_requests_total"),
+            Some(&MetricValue::Counter(3))
+        );
+        assert_eq!(snap.get("rted_queue_depth"), Some(&MetricValue::Gauge(2)));
+        let Some(MetricValue::Histogram(hs)) = snap.get("rted_latency_ns") else {
+            panic!("histogram missing");
+        };
+        assert_eq!(hs.count, 1);
+        assert_eq!(hs.sum, 1500);
+        assert_eq!(hs.max, 1500);
+
+        let text = snap.render_prometheus();
+        assert!(text.contains("# TYPE rted_requests_total counter\nrted_requests_total 3\n"));
+        assert!(text.contains("# TYPE rted_queue_depth gauge\nrted_queue_depth 2\n"));
+        assert!(text.contains("# TYPE rted_latency_ns summary\n"));
+        assert!(text.contains("rted_latency_ns{quantile=\"0.5\"} "));
+        assert!(text.contains("rted_latency_ns_sum 1500\n"));
+        assert!(text.contains("rted_latency_ns_count 1\n"));
+        assert!(text.contains("rted_latency_ns_max 1500\n"));
+        assert!(text.contains("extra_total 9\n"));
+    }
+
+    #[test]
+    fn snapshot_order_is_registration_order() {
+        let mut reg = Registry::new();
+        reg.counter("b");
+        reg.counter("a");
+        reg.histogram("c");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["b", "a", "c"]);
+    }
+}

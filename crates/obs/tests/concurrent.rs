@@ -1,0 +1,132 @@
+//! The concurrency contract of the metrics layer, as properties: any
+//! number of threads hammering one shared histogram + counter set must
+//! (a) leave totals exactly equal to the sum of what each thread
+//! recorded, and (b) never make a snapshot taken *during* recording
+//! panic or tear (quantiles stay ordered, observed counts stay within
+//! the number of records issued).
+
+use proptest::prelude::*;
+use rted_obs::{Counter, Gauge, Histogram, MetricValue, Registry};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Per-thread work item: `threads` × `per_thread` samples, derived
+/// deterministically from a seed so each thread knows its own total.
+fn samples_for(seed: u64, thread: usize, per_thread: usize) -> Vec<u64> {
+    let mut state = seed ^ ((thread as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    (0..per_thread)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Spread across many buckets: shift by a pseudo-random 0..48.
+            (state >> 16) >> (state % 48)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Totals after a concurrent hammering equal the sum of per-thread
+    /// contributions exactly — no lost updates.
+    #[test]
+    fn concurrent_totals_are_exact(seed in any::<u64>(), threads in 2usize..6, per_thread in 1usize..400) {
+        let hist = Histogram::new();
+        let counter = Counter::new();
+        let gauge = Gauge::new();
+        let plans: Vec<Vec<u64>> = (0..threads)
+            .map(|t| samples_for(seed, t, per_thread))
+            .collect();
+        let (hist_ref, counter_ref, gauge_ref) = (&hist, &counter, &gauge);
+        std::thread::scope(|scope| {
+            for plan in &plans {
+                scope.spawn(move || {
+                    for &v in plan {
+                        hist_ref.record(v);
+                        counter_ref.add(v % 7 + 1);
+                        gauge_ref.add(1);
+                        gauge_ref.add(-1);
+                    }
+                });
+            }
+        });
+        let expected_count = (threads * per_thread) as u64;
+        let expected_sum: u64 = plans.iter().flatten().sum();
+        let expected_counter: u64 = plans.iter().flatten().map(|v| v % 7 + 1).sum();
+        let expected_max: u64 = plans.iter().flatten().copied().max().unwrap_or(0);
+        let s = hist.snapshot();
+        prop_assert_eq!(s.count, expected_count);
+        prop_assert_eq!(s.sum, expected_sum);
+        prop_assert_eq!(s.max, expected_max);
+        prop_assert_eq!(hist.count(), expected_count);
+        prop_assert_eq!(counter.get(), expected_counter);
+        prop_assert_eq!(gauge.get(), 0);
+    }
+
+    /// Snapshots taken while recorders are mid-flight never panic and
+    /// never produce torn nonsense: counts/sums are bounded by what has
+    /// been issued, quantiles stay ordered, and successive snapshots of
+    /// a monotone metric never go backwards.
+    #[test]
+    fn snapshot_during_record_never_tears(seed in any::<u64>(), threads in 2usize..5) {
+        let mut reg = Registry::new();
+        let hist = reg.histogram("t_ns");
+        let counter = reg.counter("t_total");
+        let per_thread = 600usize;
+        let plans: Vec<Vec<u64>> = (0..threads)
+            .map(|t| samples_for(seed, t, per_thread))
+            .collect();
+        let total_sum: u64 = plans.iter().flatten().sum();
+        let total_count = (threads * per_thread) as u64;
+        let done = AtomicBool::new(false);
+
+        let (hist_ref, counter_ref) = (&hist, &counter);
+        std::thread::scope(|scope| {
+            for plan in &plans {
+                scope.spawn(move || {
+                    for &v in plan {
+                        hist_ref.record(v);
+                        counter_ref.inc();
+                    }
+                });
+            }
+            // The snapshotting thread races the recorders on purpose.
+            let reg = &reg;
+            let done = &done;
+            scope.spawn(move || {
+                let mut last_count = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = reg.snapshot();
+                    let Some(MetricValue::Histogram(h)) = snap.get("t_ns") else {
+                        panic!("histogram vanished from snapshot");
+                    };
+                    let Some(&MetricValue::Counter(c)) = snap.get("t_total") else {
+                        panic!("counter vanished from snapshot");
+                    };
+                    assert!(h.count <= total_count, "count tore: {} > {total_count}", h.count);
+                    assert!(c <= total_count);
+                    assert!(h.sum <= total_sum, "sum tore: {} > {total_sum}", h.sum);
+                    assert!(h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max);
+                    assert!(h.count >= last_count, "count went backwards");
+                    last_count = h.count;
+                    // Exercise the text path under racing too.
+                    let text = snap.render_prometheus();
+                    assert!(text.contains("t_ns_count"));
+                }
+            });
+            // Scoped recorders finish, then release the snapshotter. The
+            // flag is set by the scope's main thread after recorder joins
+            // happen implicitly at scope end -- so instead join manually:
+            // recorders are the first `threads` spawns; simplest correct
+            // form is to wait for the counter to reach the total.
+            while counter.get() < total_count {
+                std::hint::spin_loop();
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+
+        let s = hist.snapshot();
+        prop_assert_eq!(s.count, total_count);
+        prop_assert_eq!(s.sum, total_sum);
+    }
+}

@@ -52,12 +52,13 @@
 //! ```
 
 pub mod json;
+mod metrics;
 pub mod proto;
 mod server;
 
 pub use proto::{
-    parse_request, parse_request_line, render_response, render_response_with, Request, RequestId,
-    Response, StatusReport, TreeRef,
+    parse_request, parse_request_line, render_response, render_response_with, MetricsFormat,
+    Request, RequestId, Response, StatusReport, TreeRef, REQUEST_TYPE_NAMES,
 };
 pub use server::{Client, Server, ServerConfig};
 

@@ -1,0 +1,194 @@
+//! The service's pre-registered metric handles.
+//!
+//! Everything the server records at request time lives here as typed
+//! [`Arc`] handles into one [`rted_obs::Registry`], created once at
+//! startup. Recording is a handful of relaxed atomic operations — no
+//! locks, no allocation — so the instrumented id-to-id `distance` path
+//! stays zero-allocation per request (the alloc test asserts this with
+//! metrics *on*).
+//!
+//! Latency histograms double as per-request-type counters: a
+//! histogram's `count` is exactly the number of requests of that type
+//! served, so `status` derives its per-type breakdown from the same
+//! atoms the latency summaries use.
+
+use rted_obs::{Counter, Gauge, Histogram, Registry, Snapshot};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The request kinds the server tracks individually. `shutdown` is
+/// transport-level and never reaches a worker successfully, so it has
+/// no slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    Range,
+    TopK,
+    Distance,
+    Insert,
+    Remove,
+    Status,
+    Compact,
+    Metrics,
+}
+
+impl OpKind {
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Nanoseconds since `started`, saturating into a `u64`.
+pub(crate) fn ns_since(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// All service metric handles, pre-registered so request-time recording
+/// never touches the registry.
+#[derive(Debug)]
+pub(crate) struct ServeMetrics {
+    registry: Registry,
+    started: Instant,
+    /// Wall-clock handler latency per request type (queue wait excluded).
+    pub latency: [Arc<Histogram>; 8],
+    /// Time requests spent queued before a worker picked them up.
+    pub queue_wait_ns: Arc<Histogram>,
+    /// Requests currently queued (not yet picked up).
+    pub queue_depth: Arc<Gauge>,
+    /// Cumulative time workers spent inside handlers.
+    pub worker_busy_ns: Arc<Counter>,
+    /// WAL segment-append latency (lock-to-durable, fsyncs included).
+    pub wal_append_ns: Arc<Histogram>,
+    /// Individual WAL fsync latency (two per durable append).
+    pub wal_fsync_ns: Arc<Histogram>,
+    /// Bytes reclaimed by store rewrites (compactions).
+    pub wal_bytes_reclaimed: Arc<Counter>,
+    /// Compactions performed (threshold-driven + explicit).
+    pub compactions: Arc<Counter>,
+    /// Connections currently open on the socket front-end.
+    pub connections_open: Arc<Gauge>,
+    /// Connections accepted since start.
+    pub connections_total: Arc<Counter>,
+    /// Requests whose wall time crossed the front-end's `--slow-ms`.
+    pub slow_queries: Arc<Counter>,
+    /// Requests answered with an error response.
+    pub errors: Arc<Counter>,
+    /// Exact TED runs executed by worker workspaces.
+    pub core_ted_runs: Arc<Counter>,
+    /// Single-tree subproblems summed over those runs.
+    pub core_subproblems: Arc<Counter>,
+    /// High-water strategy-row pool size across all worker workspaces.
+    pub core_rows_peak: Arc<Gauge>,
+    /// Seconds since the server started (set at snapshot time).
+    uptime_secs: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    pub(crate) fn new() -> Self {
+        let mut r = Registry::new();
+        let latency = [
+            r.histogram("serve_latency_range_ns"),
+            r.histogram("serve_latency_topk_ns"),
+            r.histogram("serve_latency_distance_ns"),
+            r.histogram("serve_latency_insert_ns"),
+            r.histogram("serve_latency_remove_ns"),
+            r.histogram("serve_latency_status_ns"),
+            r.histogram("serve_latency_compact_ns"),
+            r.histogram("serve_latency_metrics_ns"),
+        ];
+        ServeMetrics {
+            latency,
+            queue_wait_ns: r.histogram("serve_queue_wait_ns"),
+            queue_depth: r.gauge("serve_queue_depth"),
+            worker_busy_ns: r.counter("serve_worker_busy_ns_total"),
+            wal_append_ns: r.histogram("wal_append_ns"),
+            wal_fsync_ns: r.histogram("wal_fsync_ns"),
+            wal_bytes_reclaimed: r.counter("wal_bytes_reclaimed_total"),
+            compactions: r.counter("serve_compactions_total"),
+            connections_open: r.gauge("serve_connections_open"),
+            connections_total: r.counter("serve_connections_total"),
+            slow_queries: r.counter("serve_slow_queries_total"),
+            errors: r.counter("serve_errors_total"),
+            core_ted_runs: r.counter("core_ted_runs_total"),
+            core_subproblems: r.counter("core_subproblems_total"),
+            core_rows_peak: r.gauge("core_strategy_rows_peak"),
+            uptime_secs: r.gauge("serve_uptime_secs"),
+            registry: r,
+            started: Instant::now(),
+        }
+    }
+
+    /// The latency histogram for one request kind.
+    pub(crate) fn latency_of(&self, kind: OpKind) -> &Histogram {
+        &self.latency[kind.index()]
+    }
+
+    /// Seconds since the server started.
+    pub(crate) fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Per-type request counts, in [`crate::proto::REQUEST_TYPE_NAMES`]
+    /// order (which is [`OpKind`] discriminant order).
+    pub(crate) fn per_type_counts(&self) -> [u64; 8] {
+        let mut out = [0u64; 8];
+        for (slot, h) in out.iter_mut().zip(self.latency.iter()) {
+            *slot = h.count();
+        }
+        out
+    }
+
+    /// The WAL observation handles, for [`rted_index::CorpusLog::set_obs`].
+    pub(crate) fn wal_obs(&self) -> rted_index::WalObs {
+        rted_index::WalObs {
+            append: Arc::clone(&self.wal_append_ns),
+            fsync: Arc::clone(&self.wal_fsync_ns),
+            bytes_reclaimed: Arc::clone(&self.wal_bytes_reclaimed),
+        }
+    }
+
+    /// Freezes every metric, stamping the uptime gauge first.
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let uptime = i64::try_from(self.uptime_secs()).unwrap_or(i64::MAX);
+        self.uptime_secs.set(uptime);
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_type_counts_follow_latency_histograms() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.per_type_counts(), [0; 8]);
+        m.latency_of(OpKind::Distance).record(100);
+        m.latency_of(OpKind::Distance).record(200);
+        m.latency_of(OpKind::Status).record(50);
+        let counts = m.per_type_counts();
+        assert_eq!(counts[OpKind::Distance as usize], 2);
+        assert_eq!(counts[OpKind::Status as usize], 1);
+        assert_eq!(counts[OpKind::Range as usize], 0);
+        // The wire names and the histogram slots stay aligned.
+        assert_eq!(
+            crate::proto::REQUEST_TYPE_NAMES[OpKind::Distance as usize],
+            "distance"
+        );
+        assert_eq!(crate::proto::REQUEST_TYPE_NAMES.len(), m.latency.len());
+    }
+
+    #[test]
+    fn snapshot_carries_registered_names() {
+        let m = ServeMetrics::new();
+        m.latency_of(OpKind::Range).record(10);
+        m.errors.inc();
+        let snap = m.snapshot();
+        assert!(snap.get("serve_latency_range_ns").is_some());
+        assert!(snap.get("serve_errors_total").is_some());
+        assert!(snap.get("serve_uptime_secs").is_some());
+        // Prometheus rendering of the full registry round-trips.
+        assert!(snap
+            .render_prometheus()
+            .contains("serve_latency_range_ns_count 1"));
+    }
+}

@@ -16,6 +16,7 @@
 //! | `remove`   | `ids` (array of ids)                 | `removed` (count actually live)  |
 //! | `status`   | —                                    | `status` object                  |
 //! | `compact`  | —                                    | `compacted`                      |
+//! | `metrics`  | `format` (`"json"` \| `"prometheus"`)| `metrics` object / `exposition`  |
 //! | `shutdown` | —                                    | `bye` (then the stream ends)     |
 //!
 //! # Pipelining
@@ -97,9 +98,26 @@ pub enum Request {
     Status,
     /// Force a compaction now (persistent services only).
     Compact,
+    /// The full telemetry snapshot: counters, gauges, and latency
+    /// histogram summaries across serve, WAL, index, and core layers.
+    Metrics {
+        /// Rendering requested by the client.
+        format: MetricsFormat,
+    },
     /// Transport-level: drain and stop. The I/O front-end intercepts
     /// this; submitting it to a worker queue answers with an error.
     Shutdown,
+}
+
+/// How a `metrics` response is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Structured values: `{"metrics":{name: value | summary, ...}}`.
+    #[default]
+    Json,
+    /// Prometheus text exposition, carried as one JSON string member
+    /// (`exposition`) so the NDJSON framing is preserved.
+    Prometheus,
 }
 
 /// A client-chosen request correlator: any JSON number or string, echoed
@@ -152,7 +170,17 @@ pub struct StatusReport {
     pub metric_pending: usize,
     /// Built ids tombstoned in the metric tree since its build.
     pub metric_tombstones: usize,
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
+    /// Requests served per type, in [`REQUEST_TYPE_NAMES`] order.
+    pub requests_by_type: [u64; 8],
 }
+
+/// The request-type order of [`StatusReport::requests_by_type`] and of
+/// the `requests_by_type` object in a rendered `status` response.
+pub const REQUEST_TYPE_NAMES: [&str; 8] = [
+    "range", "topk", "distance", "insert", "remove", "status", "compact", "metrics",
+];
 
 /// The service's answer to one [`Request`].
 #[derive(Debug, Clone, PartialEq)]
@@ -176,6 +204,12 @@ pub enum Response {
     Status(StatusReport),
     /// Answer to `compact` (`false` when there was nothing to reclaim).
     Compacted(bool),
+    /// Answer to `metrics` with `format: "json"`: every registered
+    /// metric as a structured value.
+    Metrics(rted_obs::Snapshot),
+    /// Answer to `metrics` with `format: "prometheus"`: the text
+    /// exposition, shipped as a single JSON string member.
+    MetricsText(String),
     /// Acknowledgement of `shutdown`, sent by the I/O front-end.
     Bye,
     /// Any failure. The service stays up; only this request failed.
@@ -333,12 +367,29 @@ fn parse_request_value(v: &Value) -> Result<Request, String> {
             expect_keys(v, op, &[])?;
             Ok(Request::Compact)
         }
+        "metrics" => {
+            expect_keys(v, op, &["format"])?;
+            let format = match v.get("format") {
+                None => MetricsFormat::Json,
+                Some(f) => match f.as_str() {
+                    Some("json") => MetricsFormat::Json,
+                    Some("prometheus") => MetricsFormat::Prometheus,
+                    _ => {
+                        return Err(field_err(
+                            op,
+                            "\"format\" must be \"json\" or \"prometheus\"",
+                        ))
+                    }
+                },
+            };
+            Ok(Request::Metrics { format })
+        }
         "shutdown" => {
             expect_keys(v, op, &[])?;
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown op \"{other}\" (range | topk | distance | insert | remove | status | compact | shutdown)"
+            "unknown op \"{other}\" (range | topk | distance | insert | remove | status | compact | metrics | shutdown)"
         )),
     }
 }
@@ -404,7 +455,8 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
         }
         Response::Status(s) => {
             out.push_str("\"ok\":true,\"status\":{");
-            let fields: [(&str, f64); 11] = [
+            let fields: [(&str, f64); 12] = [
+                ("uptime_secs", s.uptime_secs as f64),
                 ("live", s.live as f64),
                 ("id_bound", s.id_bound as f64),
                 ("holes", s.holes as f64),
@@ -424,7 +476,21 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
                 write_number(value, &mut out);
                 out.push(',');
             }
-            out.push_str("\"metric_tree\":");
+            out.push_str("\"requests_by_type\":{");
+            for (i, (name, count)) in REQUEST_TYPE_NAMES
+                .iter()
+                .zip(s.requests_by_type.iter())
+                .enumerate()
+            {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(name);
+                out.push_str("\":");
+                write_number(*count as f64, &mut out);
+            }
+            out.push_str("},\"metric_tree\":");
             out.push_str(if s.metric_tree { "true" } else { "false" });
             out.push_str(",\"persistent\":");
             out.push_str(if s.persistent { "true" } else { "false" });
@@ -433,6 +499,47 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
         Response::Compacted(reclaimed) => {
             out.push_str("\"ok\":true,\"compacted\":");
             out.push_str(if *reclaimed { "true" } else { "false" });
+            out.push('}');
+        }
+        Response::Metrics(snap) => {
+            out.push_str("\"ok\":true,\"metrics\":{");
+            for (i, (name, value)) in snap.metrics.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(name, &mut out);
+                out.push(':');
+                match value {
+                    rted_obs::MetricValue::Counter(v) => write_number(*v as f64, &mut out),
+                    rted_obs::MetricValue::Gauge(v) => write_number(*v as f64, &mut out),
+                    rted_obs::MetricValue::Histogram(h) => {
+                        let fields: [(&str, u64); 6] = [
+                            ("count", h.count),
+                            ("sum", h.sum),
+                            ("p50", h.p50),
+                            ("p95", h.p95),
+                            ("p99", h.p99),
+                            ("max", h.max),
+                        ];
+                        out.push('{');
+                        for (j, (key, v)) in fields.iter().enumerate() {
+                            if j > 0 {
+                                out.push(',');
+                            }
+                            out.push('"');
+                            out.push_str(key);
+                            out.push_str("\":");
+                            write_number(*v as f64, &mut out);
+                        }
+                        out.push('}');
+                    }
+                }
+            }
+            out.push_str("}}");
+        }
+        Response::MetricsText(text) => {
+            out.push_str("\"ok\":true,\"exposition\":");
+            write_escaped(text, &mut out);
             out.push('}');
         }
         Response::Bye => out.push_str("\"ok\":true,\"bye\":true}"),
@@ -486,6 +593,19 @@ mod tests {
         assert!(matches!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
+        ));
+        // metrics: format defaults to json.
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Json
+            }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics","format":"prometheus"}"#).unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Prometheus
+            }
         ));
     }
 
@@ -546,6 +666,8 @@ mod tests {
             r#"{"op":"insert","trees":"{a}"}"#, // not an array
             r#"{"op":"remove","ids":[1.5]}"#,
             r#"{"op":"status","x":1}"#,
+            r#"{"op":"metrics","format":"xml"}"#, // unsupported format
+            r#"{"op":"metrics","fmt":"json"}"#,   // typoed key
         ] {
             assert!(parse_request(bad).is_err(), "accepted: {bad}");
         }
@@ -596,11 +718,66 @@ mod tests {
                 metric_built: 3,
                 metric_pending: 1,
                 metric_tombstones: 0,
+                uptime_secs: 12,
+                requests_by_type: [40, 5, 50, 1, 1, 1, 1, 0],
             }),
         ] {
             let line = render_response(&resp);
             assert!(!line.contains('\n'));
             crate::json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
+    }
+
+    #[test]
+    fn status_renders_uptime_and_per_type_counts() {
+        let line = render_response(&Response::Status(StatusReport {
+            live: 3,
+            id_bound: 5,
+            holes: 2,
+            persistent: false,
+            segments: 0,
+            file_tombstones: 0,
+            workers: 1,
+            requests: 46,
+            compactions: 0,
+            metric_tree: false,
+            metric_built: 0,
+            metric_pending: 0,
+            metric_tombstones: 0,
+            uptime_secs: 7,
+            requests_by_type: [40, 5, 0, 0, 0, 1, 0, 0],
+        }));
+        assert!(line.contains(r#""uptime_secs":7"#), "{line}");
+        assert!(
+            line.contains(r#""requests_by_type":{"range":40,"topk":5,"distance":0,"insert":0,"remove":0,"status":1,"compact":0,"metrics":0}"#),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn metrics_responses_render_as_json_lines() {
+        let mut snap = rted_obs::Snapshot::default();
+        snap.push("serve_errors_total", rted_obs::MetricValue::Counter(2));
+        snap.push("serve_queue_depth", rted_obs::MetricValue::Gauge(-1));
+        snap.push(
+            "serve_latency_distance_ns",
+            rted_obs::MetricValue::Histogram(rted_obs::HistogramSnapshot {
+                count: 3,
+                sum: 600,
+                p50: 255,
+                p95: 255,
+                p99: 255,
+                max: 250,
+            }),
+        );
+        let line = render_response(&Response::Metrics(snap));
+        assert_eq!(
+            line,
+            r#"{"ok":true,"metrics":{"serve_errors_total":2,"serve_queue_depth":-1,"serve_latency_distance_ns":{"count":3,"sum":600,"p50":255,"p95":255,"p99":255,"max":250}}}"#
+        );
+        let text = render_response(&Response::MetricsText("a 1\nb 2\n".into()));
+        assert_eq!(text, r#"{"ok":true,"exposition":"a 1\nb 2\n"}"#);
+        assert!(!text.contains('\n'));
+        crate::json::parse(&text).unwrap();
     }
 }

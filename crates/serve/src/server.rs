@@ -41,8 +41,9 @@
 //! Lock order is **index, then log** everywhere — the one rule that
 //! keeps the three thread groups deadlock-free.
 
-use crate::proto::{Request, Response, StatusReport, TreeRef};
-use rted_core::Workspace;
+use crate::metrics::{ns_since, OpKind, ServeMetrics};
+use crate::proto::{MetricsFormat, Request, Response, StatusReport, TreeRef};
+use rted_core::{Workspace, WorkspaceStats};
 use rted_index::{
     CorpusEntry, CorpusLog, CorpusStore, LogCounts, PersistError, Recovery, RepairReport,
     TreeIndex, WorkspacePool,
@@ -53,7 +54,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Recovers the guard from a poisoned lock. The service treats poisoning
 /// as survivable: a panicking request handler is answered with an error
@@ -118,6 +119,9 @@ struct Gate {
 struct Job {
     request: Request,
     gate: Arc<Gate>,
+    /// When the job entered the queue — the worker that pops it records
+    /// the queue wait into the telemetry histogram.
+    enqueued_at: Instant,
 }
 
 struct QueueState {
@@ -139,7 +143,9 @@ struct Shared {
     pool: WorkspacePool,
     workers: usize,
     requests: AtomicU64,
-    compactions: AtomicU64,
+    /// Pre-registered telemetry handles; every record is a few relaxed
+    /// atomic ops, so instrumenting the hot path costs no allocation.
+    metrics: ServeMetrics,
 }
 
 impl Shared {
@@ -170,8 +176,10 @@ impl Client {
             q.jobs.push_back(Job {
                 request,
                 gate: Arc::clone(&self.gate),
+                enqueued_at: Instant::now(),
             });
         }
+        self.shared.metrics.queue_depth.add(1);
         self.shared.have_jobs.notify_one();
         let mut slot = relock(self.gate.slot.lock());
         while slot.is_none() {
@@ -197,6 +205,13 @@ impl Server {
     pub fn start(index: TreeIndex<String>, log: Option<CorpusLog>, cfg: ServerConfig) -> Server {
         let workers = cfg.workers.max(1);
         let persistent = log.is_some();
+        let metrics = ServeMetrics::new();
+        // Hand the WAL its latency/reclaim handles before it goes behind
+        // the lock, so every durable append is timed from the start.
+        let log = log.map(|mut log| {
+            log.set_obs(metrics.wal_obs());
+            log
+        });
         let shared = Arc::new(Shared {
             index: RwLock::new(index),
             log: Mutex::new(log),
@@ -210,7 +225,7 @@ impl Server {
             pool: WorkspacePool::new(),
             workers,
             requests: AtomicU64::new(0),
-            compactions: AtomicU64::new(0),
+            metrics,
         });
         let threads = (0..workers)
             .map(|_| {
@@ -276,6 +291,24 @@ impl Server {
         self.client().call(request)
     }
 
+    /// Front-end hook: a request's wall time crossed the configured
+    /// slow-query threshold (bumps `serve_slow_queries_total`).
+    pub fn note_slow_query(&self) {
+        self.shared.metrics.slow_queries.inc();
+    }
+
+    /// Front-end hook: a connection was accepted (bumps
+    /// `serve_connections_total` and the open-connections gauge).
+    pub fn note_connection_opened(&self) {
+        self.shared.metrics.connections_total.inc();
+        self.shared.metrics.connections_open.add(1);
+    }
+
+    /// Front-end hook: a connection ended.
+    pub fn note_connection_closed(&self) {
+        self.shared.metrics.connections_open.add(-1);
+    }
+
     /// Graceful shutdown: stops accepting, drains every already-queued
     /// request (their clients still get responses), then joins all
     /// threads. Dropping the server does the same.
@@ -309,10 +342,30 @@ impl Drop for Server {
     }
 }
 
+/// The telemetry slot for one request, or `None` for the transport-level
+/// `shutdown` (which only reaches a worker by mistake).
+fn op_kind(request: &Request) -> Option<OpKind> {
+    match request {
+        Request::Range { .. } => Some(OpKind::Range),
+        Request::TopK { .. } => Some(OpKind::TopK),
+        Request::Distance { .. } => Some(OpKind::Distance),
+        Request::Insert { .. } => Some(OpKind::Insert),
+        Request::Remove { .. } => Some(OpKind::Remove),
+        Request::Status => Some(OpKind::Status),
+        Request::Compact => Some(OpKind::Compact),
+        Request::Metrics { .. } => Some(OpKind::Metrics),
+        Request::Shutdown => None,
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     // This worker's scratch for its whole lifetime: every request it
     // serves reuses the same warm buffers.
     let mut ws = shared.pool.take();
+    // Workspace lifetime counters published so far — the core layer
+    // stays free of atomics; this worker folds the deltas upward after
+    // each request.
+    let mut published = WorkspaceStats::default();
     loop {
         let job = {
             let mut q = relock(shared.queue.lock());
@@ -327,15 +380,44 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(job) = job else { break };
+        shared.metrics.queue_depth.add(-1);
+        shared
+            .metrics
+            .queue_wait_ns
+            .record(ns_since(job.enqueued_at));
+        let kind = op_kind(&job.request);
         // A panicking handler must not strand its client (the gate would
         // never fill and `Client::call` would block forever) nor kill
         // this worker: catch the unwind and answer with an error. Locks
         // the handler poisoned on the way out are recovered by `relock`.
         let request = job.request;
+        let started = Instant::now();
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             handle(shared, ws.get(), request)
         }))
         .unwrap_or_else(|_| Response::Error("internal error: request handler panicked".into()));
+        let elapsed = ns_since(started);
+        if let Some(kind) = kind {
+            shared.metrics.latency_of(kind).record(elapsed);
+        }
+        shared.metrics.worker_busy_ns.add(elapsed);
+        if matches!(response, Response::Error(_)) {
+            shared.metrics.errors.inc();
+        }
+        let stats = ws.get().lifetime_stats();
+        shared
+            .metrics
+            .core_ted_runs
+            .add(stats.ted_runs - published.ted_runs);
+        shared
+            .metrics
+            .core_subproblems
+            .add(stats.subproblems - published.subproblems);
+        shared
+            .metrics
+            .core_rows_peak
+            .raise_to(i64::try_from(stats.strategy_rows_peak).unwrap_or(i64::MAX));
+        published = stats;
         shared.requests.fetch_add(1, Ordering::Relaxed);
         *relock(job.gate.slot.lock()) = Some(response);
         job.gate.ready.notify_one();
@@ -470,11 +552,13 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
                 file_tombstones: log.as_ref().map_or(0, CorpusLog::tombstone_count),
                 workers: shared.workers,
                 requests: shared.requests.load(Ordering::Relaxed),
-                compactions: shared.compactions.load(Ordering::Relaxed),
+                compactions: shared.metrics.compactions.get(),
                 metric_tree: metric.enabled,
                 metric_built: metric.built,
                 metric_pending: metric.pending,
                 metric_tombstones: metric.tombstones,
+                uptime_secs: shared.metrics.uptime_secs(),
+                requests_by_type: shared.metrics.per_type_counts(),
             })
         }
         Request::Compact => {
@@ -486,12 +570,30 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
                     let reclaimable = log.tombstone_count() > 0 || log.segment_count() > 1;
                     match log.rewrite(index.corpus()) {
                         Ok(()) => {
-                            shared.compactions.fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.compactions.inc();
                             Response::Compacted(reclaimable)
                         }
                         Err(e) => Response::Error(format!("compaction failed: {e}")),
                     }
                 }
+            }
+        }
+        Request::Metrics { format } => {
+            // The service registry plus the index's lifetime totals,
+            // frozen together under one read lock.
+            let mut snap = {
+                let index = relock(shared.index.read());
+                let mut snap = shared.metrics.snapshot();
+                index.totals().push_metrics(&mut snap);
+                snap
+            };
+            snap.push(
+                "serve_requests_total",
+                rted_obs::MetricValue::Counter(shared.requests.load(Ordering::Relaxed)),
+            );
+            match format {
+                MetricsFormat::Json => Response::Metrics(snap),
+                MetricsFormat::Prometheus => Response::MetricsText(snap.render_prometheus()),
             }
         }
         Request::Shutdown => {
@@ -537,7 +639,7 @@ fn maybe_compact(shared: &Shared, fraction: f64) {
         return;
     }
     if log.rewrite(index.corpus()).is_ok() {
-        shared.compactions.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.compactions.inc();
     }
     // On rewrite failure: leave the backlog as is; the next pass retries.
     // Queries and updates are unaffected (the old file is still intact —

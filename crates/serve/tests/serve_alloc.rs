@@ -143,5 +143,21 @@ fn warm_distance_requests_allocate_nothing() {
         Response::Status(s) => assert_eq!(s.live, 8),
         other => panic!("{other:?}"),
     }
+
+    // The zero-allocation batch ran with instrumentation ON, not
+    // disabled: the distance latency histogram must have recorded every
+    // one of those requests (warm-up + 100 measured).
+    match client.call(Request::Metrics {
+        format: rted_serve::MetricsFormat::Json,
+    }) {
+        Response::Metrics(snap) => match snap.get("serve_latency_distance_ns") {
+            Some(rted_obs::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 104, "metrics were not recording during the batch");
+                assert!(h.sum > 0);
+            }
+            other => panic!("serve_latency_distance_ns: {other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
     server.shutdown();
 }

@@ -358,3 +358,116 @@ fn empty_store_never_triggers_compaction_or_divides_by_zero() {
     }
     server.shutdown();
 }
+
+#[test]
+fn metrics_surface_reflects_served_traffic() {
+    use rted_serve::{MetricsFormat, REQUEST_TYPE_NAMES};
+
+    let path = scratch("metrics.idx");
+    CorpusStore::create(&path, gen_trees(8, 50)).unwrap();
+    let (server, _) = Server::open(&path, Recovery::Strict, cfg(2)).unwrap();
+    let mut client = server.client();
+
+    let query = gen_trees(1, 99).pop().unwrap();
+    // One unbounded tau guarantees the filters pass candidates through
+    // to exact verification, so verified-work counters move.
+    for tau in [4.0, 4.0, f64::INFINITY] {
+        match client.call(Request::Range {
+            tree: query.clone(),
+            tau,
+        }) {
+            Response::Neighbors { .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+    match client.call(Request::Distance {
+        left: TreeRef::Id(0),
+        right: TreeRef::Id(1),
+    }) {
+        Response::Distance(_) => {}
+        other => panic!("{other:?}"),
+    }
+    match client.call(Request::Insert {
+        trees: gen_trees(2, 500),
+    }) {
+        Response::Inserted(ids) => assert_eq!(ids.len(), 2),
+        other => panic!("{other:?}"),
+    }
+    // One deliberate failure for the error counter.
+    match client.call(Request::Distance {
+        left: TreeRef::Id(9999),
+        right: TreeRef::Id(0),
+    }) {
+        Response::Error(_) => {}
+        other => panic!("{other:?}"),
+    }
+
+    // Status: per-type counts derive from the same histograms as the
+    // latency summaries; `requests` covers everything handled so far.
+    match client.call(Request::Status) {
+        Response::Status(s) => {
+            let by = |name: &str| {
+                s.requests_by_type[REQUEST_TYPE_NAMES.iter().position(|n| *n == name).unwrap()]
+            };
+            assert_eq!(by("range"), 3);
+            assert_eq!(by("distance"), 2);
+            assert_eq!(by("insert"), 1);
+            assert_eq!(by("status"), 0, "status sees the count before itself");
+            assert_eq!(s.requests, 6);
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // The structured snapshot: serve latency histograms, WAL append and
+    // fsync timings (the insert was durable), index totals, core
+    // counters fed up from the worker workspaces.
+    let snap = match client.call(Request::Metrics {
+        format: MetricsFormat::Json,
+    }) {
+        Response::Metrics(snap) => snap,
+        other => panic!("{other:?}"),
+    };
+    let hist = |name: &str| match snap.get(name) {
+        Some(rted_obs::MetricValue::Histogram(h)) => *h,
+        other => panic!("{name}: {other:?}"),
+    };
+    let counter = |name: &str| match snap.get(name) {
+        Some(rted_obs::MetricValue::Counter(v)) => *v,
+        other => panic!("{name}: {other:?}"),
+    };
+    let range = hist("serve_latency_range_ns");
+    assert_eq!(range.count, 3);
+    assert!(range.sum > 0 && range.max >= range.p50);
+    assert_eq!(hist("serve_latency_distance_ns").count, 2);
+    assert_eq!(hist("serve_queue_wait_ns").count, 8);
+    assert_eq!(hist("wal_append_ns").count, 1);
+    assert!(hist("wal_fsync_ns").count >= 2, "two fsyncs per append");
+    assert_eq!(counter("serve_errors_total"), 1);
+    assert!(counter("serve_worker_busy_ns_total") > 0);
+    assert!(
+        counter("core_ted_runs_total") >= 1,
+        "distance ran on a worker workspace"
+    );
+    assert_eq!(counter("index_range_queries_total"), 3);
+    assert_eq!(counter("index_distance_calls_total"), 1);
+    assert!(counter("index_verified_total") > 0);
+    // 7 = 3 range + 2 distance + 1 insert + 1 status; the in-flight
+    // metrics request counts only after its own handler returns.
+    assert_eq!(counter("serve_requests_total"), 7);
+
+    // The Prometheus rendering of the same state is exposed verbatim.
+    match client.call(Request::Metrics {
+        format: MetricsFormat::Prometheus,
+    }) {
+        Response::MetricsText(text) => {
+            assert!(
+                text.contains("# TYPE serve_latency_range_ns summary"),
+                "{text}"
+            );
+            assert!(text.contains("serve_latency_range_ns_count 3"), "{text}");
+            assert!(text.contains("index_range_queries_total 3"), "{text}");
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}

@@ -7,7 +7,7 @@
 //! iteration. No statistics, plots, or baselines — just honest wall-clock
 //! numbers so `cargo bench` produces comparable output offline.
 //!
-//! Two environment variables drive CI integration:
+//! Three environment variables drive CI integration:
 //!
 //! * `RTED_BENCH_QUICK` — any value but `0` caps every benchmark at 2
 //!   samples, turning `cargo bench` into a smoke test that still exercises
@@ -16,6 +16,10 @@
 //!   `<dir>/BENCH_<binary>.json` (one JSON array per bench binary, rewritten
 //!   after every benchmark so a crash mid-run still leaves the completed
 //!   records), letting CI upload machine-readable perf artifacts per PR.
+//! * `RTED_BENCH_FILTER` — when set, only benchmarks whose
+//!   `group/function/parameter` label contains the substring run (the
+//!   rest are skipped silently), so a tight-threshold gate can afford
+//!   full sample counts on just the benchmarks it compares.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -37,6 +41,15 @@ fn quick_mode() -> bool {
     std::env::var("RTED_BENCH_QUICK")
         .map(|v| v != "0")
         .unwrap_or(false)
+}
+
+/// Whether `RTED_BENCH_FILTER` (a substring of `group/label`) excludes
+/// this benchmark. No filter = everything runs.
+fn filtered_out(group: &str, label: &str) -> bool {
+    match std::env::var("RTED_BENCH_FILTER") {
+        Ok(filter) if !filter.is_empty() => !format!("{group}/{label}").contains(&filter),
+        _ => false,
+    }
 }
 
 /// `BENCH_<name>.json` target for this process, derived from the bench
@@ -136,6 +149,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
+        if filtered_out(&self.name, &id.label) {
+            return self;
+        }
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.effective_samples(),
@@ -151,6 +167,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        if filtered_out(&self.name, &id.label) {
+            return self;
+        }
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.effective_samples(),

@@ -15,6 +15,13 @@
 #      clients), metric state reported by status;
 #   7. check threshold-driven background compaction clears the backlog.
 #
+# Along the way the telemetry surface is exercised for real: after the
+# concurrent-client stage the `metrics` response must show the exact
+# request counts served, `rted metrics` must emit a Prometheus
+# exposition with the same numbers, and a repair-mode restart must come
+# up with all counters at zero (metrics are process state, not corpus
+# state).
+#
 # Usage: scripts/serve_roundtrip.sh [path-to-rted-binary]
 set -euo pipefail
 
@@ -86,6 +93,23 @@ for c in 1 2 3; do
     grep -q '"neighbors":\[{' "$WORK/client$c.out" || fail "client $c: no non-empty result (corpus too sparse?)"
 done
 
+# --- 2b. Telemetry reflects the traffic just served ----------------------
+# 3 clients x 3 rounds = 9 of each query op; the counts must match exactly.
+metrics=$(echo '{"op":"metrics","format":"json"}' | "$RTED" query --socket "$SOCK")
+echo "$metrics" | grep -q '"ok":true' || fail "metrics request errored: $metrics"
+for op in range topk distance; do
+    echo "$metrics" | grep -q "\"serve_latency_${op}_ns\":{\"count\":9," \
+        || fail "metrics: expected 9 $op requests: $metrics"
+done
+echo "$metrics" | grep -q '"serve_requests_total":27' || fail "metrics: expected 27 requests total: $metrics"
+echo "$metrics" | grep -q '"serve_queue_wait_ns":{"count":2[0-9]' || fail "metrics: queue wait not recorded: $metrics"
+echo "$metrics" | grep -q '"index_range_queries_total":9' || fail "metrics: index stage counters missing: $metrics"
+# The CLI scraper renders the same numbers as a Prometheus exposition.
+"$RTED" metrics --socket "$SOCK" > "$WORK/metrics.prom"
+grep -q '^# TYPE serve_latency_range_ns summary' "$WORK/metrics.prom" || fail "no TYPE line in exposition: $(head -5 "$WORK/metrics.prom")"
+grep -q '^serve_latency_range_ns_count 9$' "$WORK/metrics.prom" || fail "exposition range count wrong: $(grep range "$WORK/metrics.prom")"
+grep -q '^serve_worker_busy_ns_total [1-9]' "$WORK/metrics.prom" || fail "no worker busy time in exposition"
+
 # --- 3. Durable updates + reference answers -----------------------------
 NEW1=$("$RTED" generate random 12 --seed 201)
 NEW2=$("$RTED" generate fb 15 --seed 202)
@@ -123,6 +147,12 @@ grep -qiE "truncat|checksum|corrupt" "$WORK/strict.err" || fail "unclear strict 
 start_server --workers 2
 grep -q "repaired" "$WORK/serve.log" || fail "no repair report in: $(tail -3 "$WORK/serve.log")"
 grep -q "dropped 13 byte" "$WORK/serve.log" || fail "unexpected repair report: $(grep repaired "$WORK/serve.log")"
+# Metrics are process state, not corpus state: the restarted service
+# starts from zero (only the metrics request's own queue wait is ahead
+# of its snapshot).
+metrics=$(echo '{"op":"metrics","format":"json"}' | "$RTED" query --socket "$SOCK")
+echo "$metrics" | grep -q '"serve_requests_total":0' || fail "restart did not reset request counter: $metrics"
+echo "$metrics" | grep -q '"serve_latency_range_ns":{"count":0,' || fail "restart did not reset latency histograms: $metrics"
 "$RTED" query --socket "$SOCK" < "$WORK/queries.ndjson" > "$WORK/post.out"
 diff "$WORK/ref.out" "$WORK/post.out" || fail "recovered service answers differ from pre-crash references"
 stop_server
@@ -177,4 +207,4 @@ done
 [[ -n "$compacted" ]] || fail "background compaction never settled: $status"
 stop_server
 
-echo "serve-roundtrip OK: concurrent clients served, torn tail repaired on restart (answers identical), strict mode refuses damage, metric-tree serving identical with ids echoed, background compaction reclaims"
+echo "serve-roundtrip OK: concurrent clients served, telemetry counts match traffic (and reset on restart), torn tail repaired on restart (answers identical), strict mode refuses damage, metric-tree serving identical with ids echoed, background compaction reclaims"

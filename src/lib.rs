@@ -19,9 +19,13 @@
 //!   self-join queries behind staged lower-bound filters (including the
 //!   serialized pq-gram stage), with optional metric-tree (vantage-point)
 //!   candidate generation ([`rted_index`]);
+//! * [`obs`] — lock-free, allocation-free-at-record-time metrics:
+//!   counters, gauges, log₂ latency histograms, Prometheus-style text
+//!   exposition ([`rted_obs`]);
 //! * [`serve`] — the crash-safe, long-lived query service over a
 //!   persistent corpus: request queue + worker pool, torn-tail recovery
-//!   on startup, background compaction ([`rted_serve`]).
+//!   on startup, background compaction, scrape-able telemetry
+//!   ([`rted_serve`]).
 //!
 //! # Quick start
 //!
@@ -62,6 +66,7 @@ pub use rted_core as core;
 pub use rted_datasets as datasets;
 pub use rted_index as index;
 pub use rted_join as join;
+pub use rted_obs as obs;
 pub use rted_serve as serve;
 pub use rted_tree as tree;
 
