@@ -3,7 +3,8 @@
 //! ```text
 //! rted distance  <TREE1> <TREE2> [--xml] [--algorithm NAME] [--costs D,I,R]
 //! rted compare   <TREE1> <TREE2> [--xml]
-//! rted mapping   <TREE1> <TREE2> [--xml] [--costs D,I,R]
+//! rted diff      <TREE1> <TREE2> [--xml] [--costs D,I,R] [--format text|json]
+//! rted diff      --index INDEX <ID1> <ID2> [--format text|json]
 //! rted generate  <SHAPE> <N> [--seed S]
 //! rted join      <FILE> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]
 //!                [--pq P,Q] [--no-metric-tree]
@@ -25,7 +26,14 @@
 //! ```
 //!
 //! Trees are given inline in bracket notation (`{a{b}{c}}`) or as file
-//! paths; `--xml` parses the inputs as XML documents instead. `<FILE>` for
+//! paths; `--xml` parses the inputs as XML documents instead.
+//!
+//! `rted diff` prints the optimal edit script turning TREE1 into TREE2:
+//! one `delete`/`insert`/`rename`/`keep` line per node (`--format json`
+//! emits the serve protocol's `diff` response line instead — same bytes
+//! a `{"op":"diff"}` request gets). With `--index` the operands are two
+//! corpus tree ids of a persistent index and the script is unit-cost
+//! (`mapping` is the legacy alias for `diff`). `<FILE>` for
 //! `join`, `search` and `topk` holds one bracket tree per line and is
 //! loaded into an in-memory [`rted_index::TreeIndex`]; alternatively
 //! `--index <INDEX>` loads a persistent corpus built with `rted index
@@ -54,7 +62,7 @@
 //! or unknown *command* prints the usage text and exits with code 2.
 
 use rted_core::mapping::edit_mapping;
-use rted_core::{Algorithm, CostModel, PerLabelCost, UnitCost, Workspace};
+use rted_core::{Algorithm, PerLabelCost, UnitCost, Workspace};
 use rted_datasets::xml::parse_xml;
 use rted_datasets::Shape;
 use rted_index::{CorpusFile, CorpusStore, SearchStats, TreeIndex};
@@ -66,7 +74,8 @@ fn usage() -> ExitCode {
         "usage:\n  \
          rted distance <TREE1> <TREE2> [--xml] [--algorithm NAME] [--costs D,I,R]\n  \
          rted compare  <TREE1> <TREE2> [--xml]\n  \
-         rted mapping  <TREE1> <TREE2> [--xml] [--costs D,I,R]\n  \
+         rted diff     <TREE1> <TREE2> [--xml] [--costs D,I,R] [--format text|json]\n  \
+         rted diff     --index INDEX <ID1> <ID2> [--format text|json]\n  \
          rted generate <SHAPE> <N> [--seed S]\n  \
          rted join     <FILE> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]\n  \
          rted search   <FILE> <QUERY> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]\n  \
@@ -84,7 +93,9 @@ fn usage() -> ExitCode {
          join/search/topk also accept --index <INDEX> in place of <FILE>, plus\n\
          --pq P,Q (re-profile with those gram lengths) and --no-metric-tree\n\
          (linear size-window scan instead of the vantage-point tree).\n\
-         serve speaks one JSON request per line (see README); --index recovers\n\
+         serve/query speak one JSON request per line (see README); ops: range |\n\
+         topk | distance | diff | insert | remove | status | compact | metrics |\n\
+         shutdown. serve --index recovers\n\
          (and repairs) the corpus on startup, a FILE serves from memory only.\n\
          serve --slow-ms logs slow requests to stderr; metrics scrapes the\n\
          service's telemetry (Prometheus text, or the raw line with --json).\n\
@@ -117,6 +128,7 @@ const VALUE_FLAGS: &[&str] = &[
     "pq",
     "format-version",
     "slow-ms",
+    "format",
 ];
 
 struct Opts {
@@ -313,30 +325,58 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mapping(opts: &Opts) -> Result<(), String> {
-    opts.expect_flags("mapping", &["xml", "costs"])?;
-    if opts.positional.len() != 2 {
-        return Err("mapping needs two trees".into());
-    }
-    let xml = opts.has("xml");
-    let f = load_tree(&opts.positional[0], xml)?;
-    let g = load_tree(&opts.positional[1], xml)?;
-    let cm = cost_model(opts)?;
-    let m = edit_mapping(&f, &g, &cm);
-    println!("distance {}", m.cost);
-    for op in &m.ops {
-        match op {
-            rted_core::EditOp::Delete(v) => println!("delete {}", f.label(*v)),
-            rted_core::EditOp::Insert(w) => println!("insert {}", g.label(*w)),
-            rted_core::EditOp::Map(v, w) => {
-                let (a, b) = (f.label(*v), g.label(*w));
-                if CostModel::<String>::rename(&cm, a, b) > 0.0 {
-                    println!("rename {a} -> {b}");
-                } else {
-                    println!("keep   {a}");
-                }
-            }
+/// `rted diff` (and its legacy alias `mapping`): the optimal edit script
+/// between two inline/file trees, or — with `--index` — between two
+/// corpus trees of a persistent index (unit costs, through the index's
+/// pooled workspaces).
+fn cmd_diff(opts: &Opts, cmd: &str) -> Result<(), String> {
+    let script = if opts.has("index") {
+        opts.expect_flags(cmd, &["index", "format"])?;
+        let path = opts.flag("index").unwrap();
+        if opts.positional.len() != 2 {
+            return Err(format!("{cmd} --index needs two tree ids"));
         }
+        let id = |i: usize| {
+            opts.positional[i]
+                .parse::<usize>()
+                .map_err(|_| format!("bad tree id {}", opts.positional[i]))
+        };
+        let (left, right) = (id(0)?, id(1)?);
+        let corpus = CorpusFile::read(path)
+            .and_then(|f| f.corpus_owned())
+            .map_err(|e| format!("index {path}: {e}"))?;
+        let index = TreeIndex::from_corpus(corpus);
+        index
+            .diff(left, right)
+            .ok_or_else(|| format!("index {path}: no live tree with id {left} or {right}"))?
+    } else {
+        opts.expect_flags(cmd, &["xml", "costs", "format"])?;
+        if opts.positional.len() != 2 {
+            return Err(format!(
+                "{cmd} needs two trees (or --index INDEX and two ids)"
+            ));
+        }
+        let xml = opts.has("xml");
+        let f = load_tree(&opts.positional[0], xml)?;
+        let g = load_tree(&opts.positional[1], xml)?;
+        let cm = cost_model(opts)?;
+        let m = edit_mapping(&f, &g, &cm);
+        m.script(&f, &g)
+    };
+    match opts.flag("format") {
+        None | Some("text") => {
+            println!("distance {}", script.cost);
+            print!("{}", script.render_text());
+            eprintln!("{}", script.summary());
+        }
+        Some("json") => {
+            // The exact line a serve `{"op":"diff"}` request would get.
+            println!(
+                "{}",
+                rted_serve::render_response(&rted_serve::Response::Diff(script))
+            );
+        }
+        Some(other) => return Err(format!("--format must be text or json — got {other}")),
     }
     Ok(())
 }
@@ -867,6 +907,7 @@ fn request_op_name(request: &rted_serve::Request) -> &'static str {
         Request::Range { .. } => "range",
         Request::TopK { .. } => "topk",
         Request::Distance { .. } => "distance",
+        Request::Diff { .. } => "diff",
         Request::Insert { .. } => "insert",
         Request::Remove { .. } => "remove",
         Request::Status => "status",
@@ -990,6 +1031,10 @@ fn serve_socket(
 
 /// `rted query` — the line-pipe client for a `rted serve --socket`
 /// service: forwards each stdin line as a request, prints each response.
+/// Requests are one JSON object per line with an `op` of `range`,
+/// `topk`, `distance`, `diff`, `insert`, `remove`, `status`, `compact`,
+/// `metrics`, or `shutdown` (a `status` response lists the same set
+/// under `ops` for feature detection).
 #[cfg(unix)]
 fn cmd_query(opts: &Opts) -> Result<(), String> {
     use std::io::{BufRead, BufReader, Write};
@@ -1119,7 +1164,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "distance" => cmd_distance(&opts),
         "compare" => cmd_compare(&opts),
-        "mapping" => cmd_mapping(&opts),
+        "diff" | "mapping" => cmd_diff(&opts, cmd),
         "generate" => cmd_generate(&opts),
         "join" => cmd_join(&opts),
         "search" => cmd_search(&opts),

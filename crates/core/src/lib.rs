@@ -60,7 +60,7 @@ mod spf_lr;
 pub use bounds::{LowerBound, TreeSketch};
 pub use cost::{CostModel, PerLabelCost, UnitCost};
 pub use gted::{ExecStats, Executor};
-pub use mapping::{edit_mapping, EditMapping, EditOp};
+pub use mapping::{edit_mapping, edit_mapping_in, EditMapping, EditOp, EditScript, ScriptOp};
 pub use pqgram::{PqGramProfile, PqParams, PqScratch};
 pub use rted::{ted, ted_with, Algorithm, Rted, RunStats};
 pub use strategy::{

@@ -1,4 +1,4 @@
-//! Optimal edit mapping recovery.
+//! Optimal edit mapping recovery and edit scripts.
 //!
 //! The distance algorithms report only the cost; applications (XML diff,
 //! change detection — the paper's §1 motivation) need the *edit script*:
@@ -6,7 +6,22 @@
 //! module recovers an optimal mapping by re-running the Zhang–Shasha
 //! forest DP along the optimal trace: the full keyroot DP gives all
 //! subtree distances, then a backtrace walks each forest DP from the top
-//! cell, recursing into matched subtree pairs.
+//! cell, descending into matched subtree pairs.
+//!
+//! Two entry points produce an [`EditMapping`]:
+//!
+//! * [`edit_mapping`] — self-contained, allocates its own scratch;
+//! * [`edit_mapping_in`] — draws every buffer (keyroot DP tables,
+//!   forest-DP sheets, the backtrace frame stack) from a reused
+//!   [`Workspace`], so a **warm call allocates only the returned script**
+//!   (one `Vec` for the ops — enforced by a counting-allocator test).
+//!   This is the serving layer's `diff` path.
+//!
+//! [`EditMapping::script`] resolves the mapping against the two trees
+//! into an [`EditScript`]: ordered, label-resolved operations
+//! (delete / insert / rename / keep) plus summary counts — the
+//! self-contained product the CLI, the serve protocol, and the examples
+//! present to users.
 //!
 //! A valid edit mapping `M` is a set of node pairs that is one-to-one and
 //! preserves both postorder (left-to-right) order and the ancestor
@@ -14,9 +29,9 @@
 //! unmapped `w ∈ G` + `Σ cr(v, w)` over pairs — the tree edit distance is
 //! the minimum over all valid mappings (Tai 1979).
 
-use crate::cost::{CostModel, CostTables};
-use crate::view::SubtreeView;
-use crate::zs::zhang_shasha;
+use crate::cost::CostModel;
+use crate::workspace::Workspace;
+use crate::zs::zhang_shasha_in;
 use rted_tree::{NodeId, Tree};
 
 /// One edit operation of a script.
@@ -77,6 +92,56 @@ impl EditMapping {
             .sum()
     }
 
+    /// Resolves this mapping against the two trees into a label-carrying
+    /// [`EditScript`]. A mapped pair becomes a `Rename` when the labels
+    /// differ and a `Keep` otherwise — label equality, not the cost
+    /// model, decides, so the classification is stable across models.
+    pub fn script<L: PartialEq + std::fmt::Display>(&self, f: &Tree<L>, g: &Tree<L>) -> EditScript {
+        let mut script = EditScript {
+            ops: Vec::with_capacity(self.ops.len()),
+            cost: self.cost,
+            ..EditScript::default()
+        };
+        for op in &self.ops {
+            script.ops.push(match op {
+                EditOp::Delete(v) => {
+                    script.deletes += 1;
+                    ScriptOp::Delete {
+                        node: v.idx(),
+                        label: f.label(*v).to_string(),
+                    }
+                }
+                EditOp::Insert(w) => {
+                    script.inserts += 1;
+                    ScriptOp::Insert {
+                        node: w.idx(),
+                        label: g.label(*w).to_string(),
+                    }
+                }
+                EditOp::Map(v, w) => {
+                    let (a, b) = (f.label(*v), g.label(*w));
+                    if a == b {
+                        script.keeps += 1;
+                        ScriptOp::Keep {
+                            from: v.idx(),
+                            to: w.idx(),
+                            label: a.to_string(),
+                        }
+                    } else {
+                        script.renames += 1;
+                        ScriptOp::Rename {
+                            from: v.idx(),
+                            to: w.idx(),
+                            old: a.to_string(),
+                            new: b.to_string(),
+                        }
+                    }
+                }
+            });
+        }
+        script
+    }
+
     /// Checks the Tai mapping conditions: one-to-one, order-preserving,
     /// ancestor-preserving, and that every node appears exactly once.
     /// O(k²) — intended for tests and debugging.
@@ -124,6 +189,101 @@ impl EditMapping {
     }
 }
 
+/// One resolved operation of an [`EditScript`]. Node ids are postorder
+/// positions in the respective tree (`from`/`node` in the first tree,
+/// `to`/`node` in the second).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptOp {
+    /// Remove a node of the first tree (children are promoted).
+    Delete {
+        /// Postorder id in the first tree.
+        node: usize,
+        /// The removed node's label.
+        label: String,
+    },
+    /// Add a node of the second tree.
+    Insert {
+        /// Postorder id in the second tree.
+        node: usize,
+        /// The added node's label.
+        label: String,
+    },
+    /// A mapped pair whose labels differ: relabel `old` to `new`.
+    Rename {
+        /// Postorder id in the first tree.
+        from: usize,
+        /// Postorder id in the second tree.
+        to: usize,
+        /// Label before.
+        old: String,
+        /// Label after.
+        new: String,
+    },
+    /// A mapped pair with equal labels: the node survives unchanged.
+    Keep {
+        /// Postorder id in the first tree.
+        from: usize,
+        /// Postorder id in the second tree.
+        to: usize,
+        /// The shared label.
+        label: String,
+    },
+}
+
+/// A resolved edit script: ordered label-carrying operations plus summary
+/// counts — the product of [`EditMapping::script`]. Self-contained (owns
+/// its labels), so it can outlive the trees it was derived from; this is
+/// what the serve protocol ships and the CLI prints.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EditScript {
+    /// All operations, left-to-right; every node of both trees appears
+    /// exactly once.
+    pub ops: Vec<ScriptOp>,
+    /// The mapping's cost under the model it was extracted with (equals
+    /// the tree edit distance).
+    pub cost: f64,
+    /// Number of `Delete` ops.
+    pub deletes: usize,
+    /// Number of `Insert` ops.
+    pub inserts: usize,
+    /// Number of `Rename` ops.
+    pub renames: usize,
+    /// Number of `Keep` ops.
+    pub keeps: usize,
+}
+
+impl EditScript {
+    /// Operations that actually change the tree (everything but `Keep`).
+    pub fn changes(&self) -> usize {
+        self.deletes + self.inserts + self.renames
+    }
+
+    /// One-line summary, e.g. `2 delete, 1 insert, 0 rename, 5 keep`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} delete, {} insert, {} rename, {} keep",
+            self.deletes, self.inserts, self.renames, self.keeps
+        )
+    }
+
+    /// Human-readable script, one operation per line (the `rted diff`
+    /// text format).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            match op {
+                ScriptOp::Delete { label, .. } => out.push_str(&format!("delete {label}\n")),
+                ScriptOp::Insert { label, .. } => out.push_str(&format!("insert {label}\n")),
+                ScriptOp::Rename { old, new, .. } => {
+                    out.push_str(&format!("rename {old} -> {new}\n"))
+                }
+                ScriptOp::Keep { label, .. } => out.push_str(&format!("keep   {label}\n")),
+            }
+        }
+        out
+    }
+}
+
 /// Float comparison for backtrace decisions: exact for integer-valued cost
 /// models, tolerant for general `f64` costs.
 #[inline]
@@ -131,21 +291,39 @@ fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
 }
 
-struct Tracer<'a, L, C> {
+/// One frame of the iterative backtrace: a subtree pair `(x, y)` whose
+/// forest DP has been materialized in the workspace sheet at this frame's
+/// depth, currently backtraced at `(a, b)`. Lives in the
+/// [`Workspace`] so the stack is reused across calls.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TraceFrame {
+    /// Subtree roots (view-local ranks = postorder + 1).
+    x: u32,
+    y: u32,
+    /// Leftmost leaves of the two subtrees.
+    lx: u32,
+    ly: u32,
+    /// Current backtrace position.
+    a: u32,
+    b: u32,
+}
+
+/// The read-only DP inputs of the backtrace, all left in the workspace by
+/// [`zhang_shasha_in`]: the subtree-distance matrix, per-rank leftmost
+/// leaves, and per-rank delete/insert costs (index 0 unused).
+struct TraceCtx<'a, L, C> {
     f: &'a Tree<L>,
     g: &'a Tree<L>,
     cm: &'a C,
-    ftab: CostTables,
-    gtab: CostTables,
-    /// Zhang–Shasha subtree-distance matrix, local ranks (= postorder+1).
-    td: Vec<f64>,
+    td: &'a [f64],
+    f_lml: &'a [u32],
+    g_lml: &'a [u32],
+    f_del: &'a [f64],
+    g_ins: &'a [f64],
     ng: u32,
-    ops: Vec<EditOp>,
-    f_lml: Vec<u32>,
-    g_lml: Vec<u32>,
 }
 
-impl<L, C: CostModel<L>> Tracer<'_, L, C> {
+impl<L, C: CostModel<L>> TraceCtx<'_, L, C> {
     #[inline]
     fn td_at(&self, x: u32, y: u32) -> f64 {
         self.td[(x * (self.ng + 1) + y) as usize]
@@ -153,12 +331,12 @@ impl<L, C: CostModel<L>> Tracer<'_, L, C> {
 
     #[inline]
     fn del(&self, x: u32) -> f64 {
-        self.ftab.del[x as usize - 1]
+        self.f_del[x as usize]
     }
 
     #[inline]
     fn ins(&self, y: u32) -> f64 {
-        self.gtab.ins[y as usize - 1]
+        self.g_ins[y as usize]
     }
 
     #[inline]
@@ -166,91 +344,174 @@ impl<L, C: CostModel<L>> Tracer<'_, L, C> {
         self.cm
             .rename(self.f.label(NodeId(x - 1)), self.g.label(NodeId(y - 1)))
     }
+}
 
-    /// Emits deletes for the whole subtree forest `[lx..=x]`.
-    fn delete_range(&mut self, lx: u32, x: u32) {
-        for i in lx..=x {
-            self.ops.push(EditOp::Delete(NodeId(i - 1)));
-        }
+/// Re-runs the forest DP for the subtree pair `(x, y)` into the pooled
+/// sheet at depth `frames.len()` and pushes the frame, positioned at its
+/// top cell. Returns the number of DP cells computed.
+fn push_frame<L, C: CostModel<L>>(
+    cx: &TraceCtx<'_, L, C>,
+    sheets: &mut Vec<Vec<f64>>,
+    frames: &mut Vec<TraceFrame>,
+    x: u32,
+    y: u32,
+) -> u64 {
+    let lx = cx.f_lml[x as usize];
+    let ly = cx.g_lml[y as usize];
+    let w = (y - ly + 2) as usize; // columns ly-1..=y
+    let h = (x - lx + 2) as usize; // rows lx-1..=x
+    let depth = frames.len();
+    if sheets.len() == depth {
+        sheets.push(Vec::new());
     }
-
-    fn insert_range(&mut self, ly: u32, y: u32) {
-        for j in ly..=y {
-            self.ops.push(EditOp::Insert(NodeId(j - 1)));
-        }
+    let fd = &mut sheets[depth];
+    fd.clear();
+    fd.resize(h * w, 0.0);
+    let at = |a: u32, b: u32| ((a + 1 - lx) as usize) * w + (b + 1 - ly) as usize;
+    for a in lx..=x {
+        fd[at(a, ly - 1)] = fd[at(a - 1, ly - 1)] + cx.del(a);
     }
-
-    /// Re-runs the forest DP for the subtree pair `(x, y)` and backtraces
-    /// it, emitting operations for every node of both subtrees.
-    fn trace_tree(&mut self, x: u32, y: u32) {
-        let lx = self.f_lml[x as usize];
-        let ly = self.g_lml[y as usize];
-        let w = (y - ly + 2) as usize; // columns ly-1..=y
-        let h = (x - lx + 2) as usize; // rows lx-1..=x
-        let at = |a: u32, b: u32| ((a + 1 - lx) as usize) * w + (b + 1 - ly) as usize;
-        let mut fd = vec![0.0f64; h * w];
-        for a in lx..=x {
-            fd[at(a, ly - 1)] = fd[at(a - 1, ly - 1)] + self.del(a);
-        }
+    for b in ly..=y {
+        fd[at(lx - 1, b)] = fd[at(lx - 1, b - 1)] + cx.ins(b);
+    }
+    for a in lx..=x {
+        let la = cx.f_lml[a as usize];
         for b in ly..=y {
-            fd[at(lx - 1, b)] = fd[at(lx - 1, b - 1)] + self.ins(b);
+            let lb = cx.g_lml[b as usize];
+            let del = fd[at(a - 1, b)] + cx.del(a);
+            let ins = fd[at(a, b - 1)] + cx.ins(b);
+            let v = if la == lx && lb == ly {
+                del.min(ins).min(fd[at(a - 1, b - 1)] + cx.ren(a, b))
+            } else {
+                del.min(ins).min(fd[at(la - 1, lb - 1)] + cx.td_at(a, b))
+            };
+            fd[at(a, b)] = v;
         }
-        for a in lx..=x {
-            let la = self.f_lml[a as usize];
-            for b in ly..=y {
-                let lb = self.g_lml[b as usize];
-                let del = fd[at(a - 1, b)] + self.del(a);
-                let ins = fd[at(a, b - 1)] + self.ins(b);
-                let v = if la == lx && lb == ly {
-                    del.min(ins).min(fd[at(a - 1, b - 1)] + self.ren(a, b))
-                } else {
-                    del.min(ins).min(fd[at(la - 1, lb - 1)] + self.td_at(a, b))
-                };
-                fd[at(a, b)] = v;
-            }
-        }
-        debug_assert!(close(fd[at(x, y)], self.td_at(x, y)), "trace DP mismatch");
+    }
+    debug_assert!(close(fd[at(x, y)], cx.td_at(x, y)), "trace DP mismatch");
+    frames.push(TraceFrame {
+        x,
+        y,
+        lx,
+        ly,
+        a: x,
+        b: y,
+    });
+    (x - lx + 1) as u64 * (y - ly + 1) as u64
+}
 
-        // Backtrace from (x, y) to (lx-1, ly-1).
-        let (mut a, mut b) = (x, y);
-        while a >= lx || b >= ly {
+/// The backtrace driver: walks the frame stack, emitting one operation
+/// per step (in right-to-left order — the caller reverses). A
+/// subtree-match transition suspends the current frame at its resume
+/// position and descends into a child frame; the parent's sheet stays
+/// live in its pool slot until the child (and its descendants) finish.
+fn backtrace<L, C: CostModel<L>>(
+    cx: &TraceCtx<'_, L, C>,
+    sheets: &mut Vec<Vec<f64>>,
+    frames: &mut Vec<TraceFrame>,
+    ops: &mut Vec<EditOp>,
+) -> u64 {
+    frames.clear();
+    let mut cells = push_frame(cx, sheets, frames, cx.f.len() as u32, cx.ng);
+    'frames: while let Some(fi) = frames.len().checked_sub(1) {
+        let TraceFrame {
+            x,
+            y,
+            lx,
+            ly,
+            mut a,
+            mut b,
+        } = frames[fi];
+        loop {
+            if a < lx && b < ly {
+                frames.pop();
+                continue 'frames;
+            }
             if a < lx {
-                self.insert_range(ly, b);
-                break;
+                for j in ly..=b {
+                    ops.push(EditOp::Insert(NodeId(j - 1)));
+                }
+                frames.pop();
+                continue 'frames;
             }
             if b < ly {
-                self.delete_range(lx, a);
-                break;
-            }
-            let cur = fd[at(a, b)];
-            if close(cur, fd[at(a - 1, b)] + self.del(a)) {
-                self.ops.push(EditOp::Delete(NodeId(a - 1)));
-                a -= 1;
-                continue;
-            }
-            if close(cur, fd[at(a, b - 1)] + self.ins(b)) {
-                self.ops.push(EditOp::Insert(NodeId(b - 1)));
-                b -= 1;
-                continue;
-            }
-            let la = self.f_lml[a as usize];
-            let lb = self.g_lml[b as usize];
-            if la == lx && lb == ly {
-                debug_assert!(close(cur, fd[at(a - 1, b - 1)] + self.ren(a, b)));
-                self.ops.push(EditOp::Map(NodeId(a - 1), NodeId(b - 1)));
-                a -= 1;
-                b -= 1;
-            } else {
-                debug_assert!(close(cur, fd[at(la - 1, lb - 1)] + self.td_at(a, b)));
-                if a == x && b == y {
-                    // Cannot happen: (x, y) has la == lx && lb == ly.
-                    unreachable!("subtree-match transition at the DP origin");
+                for i in lx..=a {
+                    ops.push(EditOp::Delete(NodeId(i - 1)));
                 }
-                self.trace_tree(a, b);
-                a = la - 1;
-                b = lb - 1;
+                frames.pop();
+                continue 'frames;
             }
+            let sheet = &sheets[fi];
+            let w = (y - ly + 2) as usize;
+            let at = |a: u32, b: u32| ((a + 1 - lx) as usize) * w + (b + 1 - ly) as usize;
+            let cur = sheet[at(a, b)];
+            if close(cur, sheet[at(a - 1, b)] + cx.del(a)) {
+                ops.push(EditOp::Delete(NodeId(a - 1)));
+                a -= 1;
+                continue;
+            }
+            if close(cur, sheet[at(a, b - 1)] + cx.ins(b)) {
+                ops.push(EditOp::Insert(NodeId(b - 1)));
+                b -= 1;
+                continue;
+            }
+            let la = cx.f_lml[a as usize];
+            let lb = cx.g_lml[b as usize];
+            if la == lx && lb == ly {
+                debug_assert!(close(cur, sheet[at(a - 1, b - 1)] + cx.ren(a, b)));
+                ops.push(EditOp::Map(NodeId(a - 1), NodeId(b - 1)));
+                a -= 1;
+                b -= 1;
+                continue;
+            }
+            debug_assert!(close(cur, sheet[at(la - 1, lb - 1)] + cx.td_at(a, b)));
+            // Cannot be the frame's own root: there la == lx && lb == ly.
+            debug_assert!(!(a == x && b == y), "subtree match at the DP origin");
+            // Suspend this frame at its resume position, descend into the
+            // matched subtree pair.
+            frames[fi].a = la - 1;
+            frames[fi].b = lb - 1;
+            cells += push_frame(cx, sheets, frames, a, b);
+            continue 'frames;
         }
+    }
+    cells
+}
+
+/// Computes an optimal edit mapping, drawing **all** scratch — the
+/// Zhang–Shasha keyroot DP, the backtrace's forest-DP sheets, and the
+/// frame stack — from `ws`. A warm call (same or smaller pair through the
+/// same workspace) allocates only the returned script's ops vector; this
+/// is the serving layer's `diff` hot path. Results are identical to
+/// [`edit_mapping`].
+pub fn edit_mapping_in<L, C: CostModel<L>>(
+    f: &Tree<L>,
+    g: &Tree<L>,
+    cm: &C,
+    ws: &mut Workspace,
+) -> EditMapping {
+    let (distance, dp_cells) = zhang_shasha_in(f, g, cm, false, ws);
+    let mut ops = Vec::with_capacity(f.len() + g.len());
+    // Disjoint field borrows: the DP products `zhang_shasha_in` left in
+    // the workspace are read-only inputs; the sheets and frames are the
+    // only mutable scratch.
+    let cx = TraceCtx {
+        f,
+        g,
+        cm,
+        td: &ws.d,
+        f_lml: &ws.a_lml,
+        g_lml: &ws.b_lml,
+        f_del: &ws.a_del,
+        g_ins: &ws.b_ins,
+        ng: g.len() as u32,
+    };
+    let trace_cells = backtrace(&cx, &mut ws.trace_sheets, &mut ws.trace_frames, &mut ops);
+    ops.reverse(); // backtrace emits from the right; present left-to-right
+    ws.note_run(dp_cells + trace_cells);
+    EditMapping {
+        ops,
+        cost: distance,
     }
 }
 
@@ -259,6 +520,10 @@ impl<L, C: CostModel<L>> Tracer<'_, L, C> {
 /// Runs Zhang–Shasha once for the subtree distances, then backtraces. For
 /// integer-valued cost models (including [`crate::UnitCost`]) the result is
 /// exact; for general `f64` costs the backtrace uses a small tolerance.
+///
+/// This is a thin wrapper over [`edit_mapping_in`] with a throwaway
+/// [`Workspace`]; callers extracting many mappings should hold a
+/// workspace and call the `_in` variant.
 ///
 /// ```
 /// use rted_core::mapping::{edit_mapping, EditOp};
@@ -272,34 +537,7 @@ impl<L, C: CostModel<L>> Tracer<'_, L, C> {
 /// assert_eq!(m.pairs().count(), 2); // a→a, c→c
 /// ```
 pub fn edit_mapping<L, C: CostModel<L>>(f: &Tree<L>, g: &Tree<L>, cm: &C) -> EditMapping {
-    let zs = zhang_shasha(f, g, cm, false);
-    let fv = SubtreeView::new(f, f.root(), false);
-    let gv = SubtreeView::new(g, g.root(), false);
-    let f_lml: Vec<u32> = std::iter::once(0)
-        .chain((1..=fv.n).map(|r| fv.lml(r)))
-        .collect();
-    let g_lml: Vec<u32> = std::iter::once(0)
-        .chain((1..=gv.n).map(|r| gv.lml(r)))
-        .collect();
-    let mut tracer = Tracer {
-        f,
-        g,
-        cm,
-        ftab: CostTables::new(f, cm),
-        gtab: CostTables::new(g, cm),
-        td: zs.td,
-        ng: g.len() as u32,
-        ops: Vec::with_capacity(f.len() + g.len()),
-        f_lml,
-        g_lml,
-    };
-    tracer.trace_tree(f.len() as u32, g.len() as u32);
-    let mut ops = tracer.ops;
-    ops.reverse(); // backtrace emits from the right; present left-to-right
-    EditMapping {
-        ops,
-        cost: zs.distance,
-    }
+    edit_mapping_in(f, g, cm, &mut Workspace::new())
 }
 
 #[cfg(test)]
@@ -429,5 +667,91 @@ mod tests {
         let mapped = m.pairs().count();
         assert_eq!(total, f.len() + g.len() - mapped);
         m.validate(&f, &g).unwrap();
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_per_pair() {
+        // One workspace threaded through pairs of very different sizes
+        // and both cost models must reproduce the self-contained result
+        // exactly — ops and cost.
+        let pairs = [
+            ("{a{b}{c{d}}}", "{a{b{d}}{c}}"),
+            ("{a}", "{x{y}{z{w{q}}}}"),
+            ("{a{b{c}{d}}{e}}", "{x{y}{z{q{r}}}}"),
+            ("{r{a{x}}{b}}", "{r{a}{b{x}}}"),
+        ];
+        let asym = PerLabelCost::new(1.5, 2.0, 0.75);
+        let mut ws = Workspace::new();
+        for (a, b) in pairs {
+            let f: Tree<String> = parse_bracket(a).unwrap();
+            let g: Tree<String> = parse_bracket(b).unwrap();
+            let fresh = edit_mapping(&f, &g, &UnitCost);
+            let reused = edit_mapping_in(&f, &g, &UnitCost, &mut ws);
+            assert_eq!(reused, fresh, "{a} vs {b}");
+            let fresh = edit_mapping(&f, &g, &asym);
+            let reused = edit_mapping_in(&f, &g, &asym, &mut ws);
+            assert_eq!(reused, fresh, "{a} vs {b} (asym)");
+            reused.validate(&f, &g).unwrap();
+            assert!(close(reused.cost_under(&f, &g, &asym), reused.cost));
+        }
+    }
+
+    #[test]
+    fn deep_nesting_reuses_pooled_sheets() {
+        // A pair whose backtrace descends through nested subtree matches
+        // (several live frames at once), run twice through one workspace:
+        // the sheet pool must hold one sheet per live depth and the
+        // second run must agree with the first.
+        let f: Tree<String> =
+            parse_bracket("{r{s{a{b}{c}}{d}}{t{a{b}{c}}{e}}{u{a{b}{c}}}}").unwrap();
+        let g: Tree<String> =
+            parse_bracket("{r{s{a{b}{c}}}{t{a{b}{x}}{e}}{v{a{b}{c}}{q}}}").unwrap();
+        let mut ws = Workspace::new();
+        let first = edit_mapping_in(&f, &g, &UnitCost, &mut ws);
+        first.validate(&f, &g).unwrap();
+        assert_eq!(first.cost, crate::zs::zs_distance(&f, &g, &UnitCost));
+        let second = edit_mapping_in(&f, &g, &UnitCost, &mut ws);
+        assert_eq!(second, first);
+    }
+
+    #[test]
+    fn script_resolves_labels_and_counts() {
+        let (m, f, g) = mapping("{a{b}{c}}", "{a{b}{x}{d}}");
+        let s = m.script(&f, &g);
+        assert_eq!(s.cost, m.cost);
+        assert_eq!(s.deletes + s.inserts + s.renames + s.keeps, s.ops.len());
+        assert_eq!(s.ops.len(), f.len() + g.len() - m.pairs().count());
+        // b and a survive; c→x renames or c deletes + x inserts — either
+        // way d is inserted and the counts foot with the cost.
+        assert!(s
+            .ops
+            .iter()
+            .any(|op| matches!(op, ScriptOp::Insert { label, .. } if label == "d")));
+        assert_eq!(
+            s.deletes as f64 + s.inserts as f64 + s.renames as f64,
+            s.cost
+        );
+        assert_eq!(s.changes(), s.deletes + s.inserts + s.renames);
+        // Text rendering mentions every op on its own line.
+        let text = s.render_text();
+        assert_eq!(text.lines().count(), s.ops.len());
+        assert!(text.contains("keep   a"));
+        assert!(text.contains("insert d"));
+        assert_eq!(
+            s.summary(),
+            format!(
+                "{} delete, {} insert, {} rename, {} keep",
+                s.deletes, s.inserts, s.renames, s.keeps
+            )
+        );
+    }
+
+    #[test]
+    fn identity_script_is_all_keeps() {
+        let (m, f, g) = mapping("{a{b}{c{d}}}", "{a{b}{c{d}}}");
+        let s = m.script(&f, &g);
+        assert_eq!(s.keeps, 4);
+        assert_eq!(s.changes(), 0);
+        assert_eq!(s.render_text(), "keep   b\nkeep   d\nkeep   c\nkeep   a\n");
     }
 }

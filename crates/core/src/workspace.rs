@@ -142,6 +142,19 @@ pub struct Workspace {
     /// `compute_strategy_in`, returned via [`Workspace::recycle`].
     pub(crate) choices: Vec<u8>,
 
+    // ---- edit-mapping backtrace scratch (see `mapping::edit_mapping_in`).
+    /// Forest-DP sheet pool for the mapping backtrace: sheet `i` belongs
+    /// to the frame at nesting depth `i` of the subtree-match recursion
+    /// (a parent's sheet stays live while its children are traced, so one
+    /// shared sheet is not enough). Slots are never freed; each is
+    /// length-reset per use, so slot capacity is monotone and a repeated
+    /// pair meets sheets that are already big enough — the same
+    /// order-independence discipline as the strategy row pool above.
+    pub(crate) trace_sheets: Vec<Vec<f64>>,
+    /// Explicit frame stack of the backtrace (replaces recursion, so the
+    /// per-level state lives here instead of on the call stack).
+    pub(crate) trace_frames: Vec<crate::mapping::TraceFrame>,
+
     // ---- lifetime counters (observability).
     /// TED computations served by this workspace over its lifetime.
     pub(crate) ted_runs: u64,

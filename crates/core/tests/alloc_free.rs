@@ -112,6 +112,49 @@ fn second_run_through_workspace_is_allocation_free() {
 }
 
 #[test]
+fn warm_diff_allocates_only_the_output_script() {
+    // The diff-pipeline contract: a warm `edit_mapping_in` routes every
+    // scratch buffer — keyroot DP tables, per-depth forest-DP sheets,
+    // backtrace frame stack — through the workspace, so the only heap
+    // allocation left is the returned op vector itself (reserved once at
+    // its final capacity, never regrown).
+    use rted_core::edit_mapping_in;
+    let pairs = [
+        (mixed_tree(60, 21), mixed_tree(55, 22)),
+        (mixed_tree(25, 23), mixed_tree(70, 24)),
+    ];
+    let asym = PerLabelCost::new(1.5, 2.0, 0.75);
+
+    let mut ws = Workspace::new();
+    for (pi, (f, g)) in pairs.iter().enumerate() {
+        let warm = edit_mapping_in(f, g, &UnitCost, &mut ws);
+
+        let before = allocations();
+        let again = edit_mapping_in(f, g, &UnitCost, &mut ws);
+        let delta = allocations() - before;
+        assert!(
+            delta <= 1,
+            "pair {pi}: warm diff performed {delta} allocations (only the \
+             output vector is allowed)"
+        );
+        assert_eq!(again, warm, "pair {pi}: warm diff changed the mapping");
+        drop(again);
+
+        // Same bound under an asymmetric model: different cost tables,
+        // same buffers.
+        edit_mapping_in(f, g, &asym, &mut ws);
+        let before = allocations();
+        let m = edit_mapping_in(f, g, &asym, &mut ws);
+        let delta = allocations() - before;
+        assert!(
+            delta <= 1,
+            "pair {pi}: asymmetric warm diff performed {delta} allocations"
+        );
+        drop(m);
+    }
+}
+
+#[test]
 fn strategy_computation_is_allocation_free_when_warm() {
     use rted_core::{compute_strategy_in, OptimalChooser};
     let f = mixed_tree(80, 7);

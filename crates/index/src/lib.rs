@@ -335,6 +335,40 @@ where
         run
     }
 
+    /// Optimal edit mapping between two trees under **unit costs**,
+    /// drawing scratch from `ws` — the serving layer's per-worker `diff`
+    /// path (neither tree needs to be in the corpus). Under unit costs
+    /// the mapping's cost equals the distance this index's default
+    /// verifier reports for the same pair, so a served edit script is
+    /// always consistent with a served `distance`.
+    pub fn diff_in(
+        &self,
+        f: &Tree<L>,
+        g: &Tree<L>,
+        ws: &mut rted_core::Workspace,
+    ) -> rted_core::EditMapping {
+        let before = ws.lifetime_stats().subproblems;
+        let started = Instant::now();
+        let mapping = rted_core::edit_mapping_in(f, g, &rted_core::UnitCost, ws);
+        let cells = ws.lifetime_stats().subproblems - before;
+        self.totals.record_diff(cells, started.elapsed());
+        mapping
+    }
+
+    /// Edit script turning corpus tree `left` into corpus tree `right`
+    /// (unit costs), through a pooled workspace. `None` when either id is
+    /// not live.
+    pub fn diff(&self, left: usize, right: usize) -> Option<rted_core::EditScript>
+    where
+        L: std::fmt::Display,
+    {
+        let f = self.corpus.get(left)?.tree();
+        let g = self.corpus.get(right)?.tree();
+        let mut ws = self.scratch.take();
+        let mapping = self.diff_in(f, g, ws.get());
+        Some(mapping.script(f, g))
+    }
+
     /// Cumulative counters over every query this index has answered —
     /// the signals `rted serve`'s `metrics` surface and `rted index info
     /// --stats` report (see [`totals::IndexTotals`]).

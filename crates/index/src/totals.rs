@@ -41,6 +41,9 @@ pub struct IndexTotals {
     /// Point-to-point `distance_in` calls (the serving layer's `distance`
     /// request path), not part of any query's `verified` count.
     distance_calls: Counter,
+    /// Point-to-point `diff_in` calls (the serving layer's `diff` request
+    /// path); their DP cells land in `subproblems` like distance calls.
+    diff_calls: Counter,
     /// Wall-clock time of whole queries, summed (ns).
     query_ns: Counter,
     /// Candidates considered, summed (corpus size per `range`/`top_k`
@@ -71,6 +74,7 @@ impl IndexTotals {
             topk_queries: Counter::new(),
             join_queries: Counter::new(),
             distance_calls: Counter::new(),
+            diff_calls: Counter::new(),
             query_ns: Counter::new(),
             candidates: Counter::new(),
             stage_prunes: stage_names.iter().map(|_| Counter::new()).collect(),
@@ -113,6 +117,17 @@ impl IndexTotals {
         self.ted_ns.add(duration_ns(ted_time));
     }
 
+    /// Folds one edit-script extraction in (the serving layer's `diff`
+    /// request). `subproblems` counts the Zhang–Shasha DP plus the
+    /// backtrace's re-run forest sheets; `ted_time` is wall time inside
+    /// the extraction.
+    #[inline]
+    pub fn record_diff(&self, subproblems: u64, ted_time: Duration) {
+        self.diff_calls.inc();
+        self.subproblems.add(subproblems);
+        self.ted_ns.add(duration_ns(ted_time));
+    }
+
     /// A point-in-time copy of every total.
     pub fn snapshot(&self) -> TotalsSnapshot {
         TotalsSnapshot {
@@ -120,6 +135,7 @@ impl IndexTotals {
             topk_queries: self.topk_queries.get(),
             join_queries: self.join_queries.get(),
             distance_calls: self.distance_calls.get(),
+            diff_calls: self.diff_calls.get(),
             query_ns: self.query_ns.get(),
             candidates: self.candidates.get(),
             stages: self
@@ -157,6 +173,8 @@ pub struct TotalsSnapshot {
     pub join_queries: u64,
     /// Point-to-point `distance_in` calls.
     pub distance_calls: u64,
+    /// Point-to-point `diff_in` (edit-script) calls.
+    pub diff_calls: u64,
     /// Total query wall-clock time (ns).
     pub query_ns: u64,
     /// Candidates considered, summed over queries.
@@ -185,6 +203,7 @@ impl TotalsSnapshot {
         snap.push("index_topk_queries_total", C(self.topk_queries));
         snap.push("index_join_queries_total", C(self.join_queries));
         snap.push("index_distance_calls_total", C(self.distance_calls));
+        snap.push("index_diff_calls_total", C(self.diff_calls));
         snap.push("index_query_ns_total", C(self.query_ns));
         snap.push("index_candidates_total", C(self.candidates));
         for stage in &self.stages {

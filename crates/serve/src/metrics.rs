@@ -29,6 +29,7 @@ pub(crate) enum OpKind {
     Status,
     Compact,
     Metrics,
+    Diff,
 }
 
 impl OpKind {
@@ -49,7 +50,7 @@ pub(crate) struct ServeMetrics {
     registry: Registry,
     started: Instant,
     /// Wall-clock handler latency per request type (queue wait excluded).
-    pub latency: [Arc<Histogram>; 8],
+    pub latency: [Arc<Histogram>; 9],
     /// Time requests spent queued before a worker picked them up.
     pub queue_wait_ns: Arc<Histogram>,
     /// Requests currently queued (not yet picked up).
@@ -94,6 +95,7 @@ impl ServeMetrics {
             r.histogram("serve_latency_status_ns"),
             r.histogram("serve_latency_compact_ns"),
             r.histogram("serve_latency_metrics_ns"),
+            r.histogram("serve_latency_diff_ns"),
         ];
         ServeMetrics {
             latency,
@@ -129,8 +131,8 @@ impl ServeMetrics {
 
     /// Per-type request counts, in [`crate::proto::REQUEST_TYPE_NAMES`]
     /// order (which is [`OpKind`] discriminant order).
-    pub(crate) fn per_type_counts(&self) -> [u64; 8] {
-        let mut out = [0u64; 8];
+    pub(crate) fn per_type_counts(&self) -> [u64; 9] {
+        let mut out = [0u64; 9];
         for (slot, h) in out.iter_mut().zip(self.latency.iter()) {
             *slot = h.count();
         }
@@ -161,7 +163,7 @@ mod tests {
     #[test]
     fn per_type_counts_follow_latency_histograms() {
         let m = ServeMetrics::new();
-        assert_eq!(m.per_type_counts(), [0; 8]);
+        assert_eq!(m.per_type_counts(), [0; 9]);
         m.latency_of(OpKind::Distance).record(100);
         m.latency_of(OpKind::Distance).record(200);
         m.latency_of(OpKind::Status).record(50);

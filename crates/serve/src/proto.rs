@@ -7,17 +7,26 @@
 //! malformed trees are rejected with a one-line error response rather
 //! than guessed at, mirroring the CLI's unknown-flag policy.
 //!
-//! | op         | fields                               | response                         |
-//! |------------|--------------------------------------|----------------------------------|
-//! | `range`    | `tree`, `tau` (omit = unbounded)     | `neighbors` + counters           |
-//! | `topk`     | `tree`, `k` (default 5)              | `neighbors` + counters           |
-//! | `distance` | `left`, `right` (id or tree string)  | `distance`                       |
-//! | `insert`   | `trees` (array of tree strings)      | `ids` (assigned, ascending)      |
-//! | `remove`   | `ids` (array of ids)                 | `removed` (count actually live)  |
-//! | `status`   | —                                    | `status` object                  |
-//! | `compact`  | —                                    | `compacted`                      |
-//! | `metrics`  | `format` (`"json"` \| `"prometheus"`)| `metrics` object / `exposition`  |
-//! | `shutdown` | —                                    | `bye` (then the stream ends)     |
+//! The full surface, one row per op — request fields on the left,
+//! response members (beyond the leading `"ok":true`) on the right. This
+//! table is the protocol reference; the enum variants below carry only
+//! type-level notes.
+//!
+//! | op         | request fields                           | response members                                                             |
+//! |------------|------------------------------------------|------------------------------------------------------------------------------|
+//! | `range`    | `tree` (string), `tau` (number, omit = unbounded) | `neighbors` (array of `{id, distance}`), `candidates`, `verified`    |
+//! | `topk`     | `tree` (string), `k` (number, default 5) | `neighbors` (array of `{id, distance}`), `candidates`, `verified`            |
+//! | `distance` | `left`, `right` (each: id number or tree string) | `distance` (number)                                                  |
+//! | `diff`     | `left`, `right` (each: id number or tree string) | `distance`, `ops` (array of script steps: `{"op":"delete","node",` `"label"}`, `{"op":"insert","node","label"}`, `{"op":"rename","from","to","old","new"}`, `{"op":"keep","from","to","label"}`), `summary` (`{deletes, inserts, renames, keeps}`) |
+//! | `insert`   | `trees` (array of tree strings)          | `ids` (assigned ids, ascending)                                              |
+//! | `remove`   | `ids` (array of id numbers)              | `removed` (count actually live)                                              |
+//! | `status`   | —                                        | `status` object: `uptime_secs`, `live`, `id_bound`, `holes`, `segments`, `file_tombstones`, `workers`, `requests`, `compactions`, `metric_built`, `metric_pending`, `metric_tombstones`, `requests_by_type` (per-op counts), `ops` (supported op names, for feature detection), `metric_tree`, `persistent` |
+//! | `compact`  | —                                        | `compacted` (bool: anything reclaimed)                                       |
+//! | `metrics`  | `format` (`"json"` \| `"prometheus"`)    | `metrics` object (name → value or histogram summary) / `exposition` (string) |
+//! | `shutdown` | —                                        | `bye` (then the stream ends)                                                 |
+//!
+//! Error responses are `{"ok":false,"error":"<op>: <message>"}` for every
+//! op; the connection stays usable.
 //!
 //! # Pipelining
 //!
@@ -82,6 +91,16 @@ pub enum Request {
         /// Left operand.
         left: TreeRef,
         /// Right operand.
+        right: TreeRef,
+    },
+    /// Optimal edit script between two operands (unit costs); the
+    /// response's `distance` equals what `distance` reports for the same
+    /// pair. Runs on the same worker path as `distance`; warm workspaces
+    /// allocate only the returned script.
+    Diff {
+        /// Left operand (the "before" tree).
+        left: TreeRef,
+        /// Right operand (the "after" tree).
         right: TreeRef,
     },
     /// Insert trees; responds with their assigned ids.
@@ -173,13 +192,17 @@ pub struct StatusReport {
     /// Seconds since the server started.
     pub uptime_secs: u64,
     /// Requests served per type, in [`REQUEST_TYPE_NAMES`] order.
-    pub requests_by_type: [u64; 8],
+    pub requests_by_type: [u64; 9],
 }
 
-/// The request-type order of [`StatusReport::requests_by_type`] and of
-/// the `requests_by_type` object in a rendered `status` response.
-pub const REQUEST_TYPE_NAMES: [&str; 8] = [
-    "range", "topk", "distance", "insert", "remove", "status", "compact", "metrics",
+/// The single source of truth for worker-served op names: the order of
+/// [`StatusReport::requests_by_type`], of the `requests_by_type` object
+/// and `ops` list in a rendered `status` response, and of the server's
+/// per-op latency histograms. `shutdown` is transport-level and is not
+/// listed. New ops are appended so existing indices (and metric names
+/// derived from them) never shift.
+pub const REQUEST_TYPE_NAMES: [&str; 9] = [
+    "range", "topk", "distance", "insert", "remove", "status", "compact", "metrics", "diff",
 ];
 
 /// The service's answer to one [`Request`].
@@ -196,6 +219,8 @@ pub enum Response {
     },
     /// Exact distance for `distance`.
     Distance(f64),
+    /// Edit script for `diff` (its `cost` is rendered as `distance`).
+    Diff(rted_core::EditScript),
     /// Assigned ids for `insert`.
     Inserted(Vec<usize>),
     /// Count of trees actually removed for `remove`.
@@ -324,6 +349,13 @@ fn parse_request_value(v: &Value) -> Result<Request, String> {
                 right: tree_ref_field(v, op, "right")?,
             })
         }
+        "diff" => {
+            expect_keys(v, op, &["left", "right"])?;
+            Ok(Request::Diff {
+                left: tree_ref_field(v, op, "left")?,
+                right: tree_ref_field(v, op, "right")?,
+            })
+        }
         "insert" => {
             expect_keys(v, op, &["trees"])?;
             let items = v
@@ -334,9 +366,9 @@ fn parse_request_value(v: &Value) -> Result<Request, String> {
                 .iter()
                 .enumerate()
                 .map(|(i, item)| {
-                    let text = item
-                        .as_str()
-                        .ok_or_else(|| field_err(op, format_args!("\"trees\"[{i}] is not a string")))?;
+                    let text = item.as_str().ok_or_else(|| {
+                        field_err(op, format_args!("\"trees\"[{i}] is not a string"))
+                    })?;
                     parse_bracket(text)
                         .map_err(|e| field_err(op, format_args!("\"trees\"[{i}]: {e}")))
                 })
@@ -389,7 +421,8 @@ fn parse_request_value(v: &Value) -> Result<Request, String> {
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown op \"{other}\" (range | topk | distance | insert | remove | status | compact | metrics | shutdown)"
+            "unknown op \"{other}\" ({} | shutdown)",
+            REQUEST_TYPE_NAMES.join(" | ")
         )),
     }
 }
@@ -437,6 +470,62 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
             out.push_str("\"ok\":true,\"distance\":");
             write_number(*d, &mut out);
             out.push('}');
+        }
+        Response::Diff(script) => {
+            use rted_core::ScriptOp;
+            out.push_str("\"ok\":true,\"distance\":");
+            write_number(script.cost, &mut out);
+            out.push_str(",\"ops\":[");
+            for (i, op) in script.ops.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match op {
+                    ScriptOp::Delete { node, label } => {
+                        out.push_str("{\"op\":\"delete\",\"node\":");
+                        write_number(*node as f64, &mut out);
+                        out.push_str(",\"label\":");
+                        write_escaped(label, &mut out);
+                        out.push('}');
+                    }
+                    ScriptOp::Insert { node, label } => {
+                        out.push_str("{\"op\":\"insert\",\"node\":");
+                        write_number(*node as f64, &mut out);
+                        out.push_str(",\"label\":");
+                        write_escaped(label, &mut out);
+                        out.push('}');
+                    }
+                    ScriptOp::Rename { from, to, old, new } => {
+                        out.push_str("{\"op\":\"rename\",\"from\":");
+                        write_number(*from as f64, &mut out);
+                        out.push_str(",\"to\":");
+                        write_number(*to as f64, &mut out);
+                        out.push_str(",\"old\":");
+                        write_escaped(old, &mut out);
+                        out.push_str(",\"new\":");
+                        write_escaped(new, &mut out);
+                        out.push('}');
+                    }
+                    ScriptOp::Keep { from, to, label } => {
+                        out.push_str("{\"op\":\"keep\",\"from\":");
+                        write_number(*from as f64, &mut out);
+                        out.push_str(",\"to\":");
+                        write_number(*to as f64, &mut out);
+                        out.push_str(",\"label\":");
+                        write_escaped(label, &mut out);
+                        out.push('}');
+                    }
+                }
+            }
+            out.push_str("],\"summary\":{\"deletes\":");
+            write_number(script.deletes as f64, &mut out);
+            out.push_str(",\"inserts\":");
+            write_number(script.inserts as f64, &mut out);
+            out.push_str(",\"renames\":");
+            write_number(script.renames as f64, &mut out);
+            out.push_str(",\"keeps\":");
+            write_number(script.keeps as f64, &mut out);
+            out.push_str("}}");
         }
         Response::Inserted(ids) => {
             out.push_str("\"ok\":true,\"ids\":[");
@@ -490,7 +579,23 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
                 out.push_str("\":");
                 write_number(*count as f64, &mut out);
             }
-            out.push_str("},\"metric_tree\":");
+            // The supported-op list, so clients can feature-detect new
+            // ops (`shutdown` included: it is accepted on the wire even
+            // though the transport answers it itself).
+            out.push_str("},\"ops\":[");
+            for (i, name) in REQUEST_TYPE_NAMES
+                .iter()
+                .chain(["shutdown"].iter())
+                .enumerate()
+            {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(name);
+                out.push('"');
+            }
+            out.push_str("],\"metric_tree\":");
             out.push_str(if s.metric_tree { "true" } else { "false" });
             out.push_str(",\"persistent\":");
             out.push_str(if s.persistent { "true" } else { "false" });
@@ -578,6 +683,13 @@ mod tests {
             } => assert_eq!(to_bracket(&t), "{x{y}}"),
             other => panic!("{other:?}"),
         }
+        match parse_request(r#"{"op":"diff","left":"{a{b}}","right":2}"#).unwrap() {
+            Request::Diff {
+                left: TreeRef::Inline(t),
+                right: TreeRef::Id(2),
+            } => assert_eq!(to_bracket(&t), "{a{b}}"),
+            other => panic!("{other:?}"),
+        }
         match parse_request(r#"{"op":"insert","trees":["{a}","{b{c}}"]}"#).unwrap() {
             Request::Insert { trees } => assert_eq!(trees.len(), 2),
             other => panic!("{other:?}"),
@@ -663,6 +775,8 @@ mod tests {
             r#"{"op":"range"}"#,                       // missing tree
             r#"{"op":"topk","tree":"{a}","k":-1}"#,    // negative k
             r#"{"op":"distance","left":true,"right":0}"#,
+            r#"{"op":"diff","left":0}"#, // missing right
+            r#"{"op":"diff","left":0,"right":1,"costs":"1,1,1"}"#, // unknown key
             r#"{"op":"insert","trees":"{a}"}"#, // not an array
             r#"{"op":"remove","ids":[1.5]}"#,
             r#"{"op":"status","x":1}"#,
@@ -719,7 +833,7 @@ mod tests {
                 metric_pending: 1,
                 metric_tombstones: 0,
                 uptime_secs: 12,
-                requests_by_type: [40, 5, 50, 1, 1, 1, 1, 0],
+                requests_by_type: [40, 5, 50, 1, 1, 1, 1, 0, 2],
             }),
         ] {
             let line = render_response(&resp);
@@ -745,13 +859,33 @@ mod tests {
             metric_pending: 0,
             metric_tombstones: 0,
             uptime_secs: 7,
-            requests_by_type: [40, 5, 0, 0, 0, 1, 0, 0],
+            requests_by_type: [40, 5, 0, 0, 0, 1, 0, 0, 3],
         }));
         assert!(line.contains(r#""uptime_secs":7"#), "{line}");
         assert!(
-            line.contains(r#""requests_by_type":{"range":40,"topk":5,"distance":0,"insert":0,"remove":0,"status":1,"compact":0,"metrics":0}"#),
+            line.contains(r#""requests_by_type":{"range":40,"topk":5,"distance":0,"insert":0,"remove":0,"status":1,"compact":0,"metrics":0,"diff":3}"#),
             "{line}"
         );
+        // Feature detection: the supported-op list is rendered verbatim
+        // from REQUEST_TYPE_NAMES plus the transport-level shutdown.
+        assert!(
+            line.contains(r#""ops":["range","topk","distance","insert","remove","status","compact","metrics","diff","shutdown"]"#),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn diff_responses_render_scripts() {
+        use rted_core::{edit_mapping, UnitCost};
+        let f = parse_bracket("{a{b}{c}}").unwrap();
+        let g = parse_bracket("{a{b}{x}}").unwrap();
+        let script = edit_mapping(&f, &g, &UnitCost).script(&f, &g);
+        let line = render_response(&Response::Diff(script));
+        assert_eq!(
+            line,
+            r#"{"ok":true,"distance":1,"ops":[{"op":"keep","from":0,"to":0,"label":"b"},{"op":"rename","from":1,"to":1,"old":"c","new":"x"},{"op":"keep","from":2,"to":2,"label":"a"}],"summary":{"deletes":0,"inserts":0,"renames":1,"keeps":2}}"#
+        );
+        crate::json::parse(&line).unwrap();
     }
 
     #[test]

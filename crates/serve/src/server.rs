@@ -349,6 +349,7 @@ fn op_kind(request: &Request) -> Option<OpKind> {
         Request::Range { .. } => Some(OpKind::Range),
         Request::TopK { .. } => Some(OpKind::TopK),
         Request::Distance { .. } => Some(OpKind::Distance),
+        Request::Diff { .. } => Some(OpKind::Diff),
         Request::Insert { .. } => Some(OpKind::Insert),
         Request::Remove { .. } => Some(OpKind::Remove),
         Request::Status => Some(OpKind::Status),
@@ -463,6 +464,26 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
             };
             let run = index.distance_in(left_tree, right_tree, ws);
             Response::Distance(run.distance)
+        }
+        Request::Diff { left, right } => {
+            let index = relock(shared.index.read());
+            let corpus = index.corpus();
+            let left_tree: &Tree<String> = match &left {
+                TreeRef::Inline(t) => t,
+                TreeRef::Id(id) => match corpus.get(*id) {
+                    Some(entry) => entry.tree(),
+                    None => return Response::Error(format!("no live tree with id {id}")),
+                },
+            };
+            let right_tree: &Tree<String> = match &right {
+                TreeRef::Inline(t) => t,
+                TreeRef::Id(id) => match corpus.get(*id) {
+                    Some(entry) => entry.tree(),
+                    None => return Response::Error(format!("no live tree with id {id}")),
+                },
+            };
+            let mapping = index.diff_in(left_tree, right_tree, ws);
+            Response::Diff(mapping.script(left_tree, right_tree))
         }
         Request::Insert { trees } => {
             if trees.is_empty() {

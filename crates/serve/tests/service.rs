@@ -471,3 +471,98 @@ fn metrics_surface_reflects_served_traffic() {
     }
     server.shutdown();
 }
+
+#[test]
+fn diff_scripts_are_served_and_agree_with_distance() {
+    use rted_serve::{MetricsFormat, REQUEST_TYPE_NAMES};
+
+    let server = Server::in_memory(gen_trees(12, 4200), cfg(2));
+    let mut client = server.client();
+
+    // Every corpus pair in a small sample: the served script's cost must
+    // equal the served distance for the same operands — the edit script
+    // is a witness for the number, not a second opinion.
+    for (left, right) in [(0usize, 1usize), (2, 3), (4, 4), (5, 9)] {
+        let d = match client.call(Request::Distance {
+            left: TreeRef::Id(left),
+            right: TreeRef::Id(right),
+        }) {
+            Response::Distance(d) => d,
+            other => panic!("{other:?}"),
+        };
+        match client.call(Request::Diff {
+            left: TreeRef::Id(left),
+            right: TreeRef::Id(right),
+        }) {
+            Response::Diff(script) => {
+                assert_eq!(script.cost, d, "pair ({left},{right})");
+                // Unit costs: every non-keep op contributes exactly 1.
+                assert_eq!(script.changes() as f64, d, "pair ({left},{right})");
+                assert_eq!(
+                    script.deletes + script.inserts + script.renames + script.keeps,
+                    script.ops.len()
+                );
+                if left == right {
+                    assert_eq!(script.changes(), 0, "self-diff must be all keeps");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    // Mixed operands: one corpus id, one inline tree.
+    match client.call(Request::Diff {
+        left: TreeRef::Inline(parse_bracket("{a{b}{c}}").unwrap()),
+        right: TreeRef::Inline(parse_bracket("{a{b}{x}}").unwrap()),
+    }) {
+        Response::Diff(script) => {
+            assert_eq!(script.cost, 1.0);
+            assert_eq!(script.renames, 1);
+            assert_eq!(script.keeps, 2);
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // Dead ids fail like distance does, without killing the service.
+    match client.call(Request::Diff {
+        left: TreeRef::Id(9999),
+        right: TreeRef::Id(0),
+    }) {
+        Response::Error(msg) => assert!(msg.contains("9999"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+
+    // The new op is visible on every telemetry surface: status per-type
+    // counts and the latency histogram / index counter pair.
+    match client.call(Request::Status) {
+        Response::Status(s) => {
+            let diff_slot = REQUEST_TYPE_NAMES
+                .iter()
+                .position(|n| *n == "diff")
+                .unwrap();
+            assert_eq!(
+                s.requests_by_type[diff_slot], 6,
+                "4 id pairs + inline + dead-id"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    match client.call(Request::Metrics {
+        format: MetricsFormat::Json,
+    }) {
+        Response::Metrics(snap) => {
+            match snap.get("serve_latency_diff_ns") {
+                Some(rted_obs::MetricValue::Histogram(h)) => assert_eq!(h.count, 6),
+                other => panic!("{other:?}"),
+            }
+            match snap.get("index_diff_calls_total") {
+                Some(rted_obs::MetricValue::Counter(v)) => {
+                    assert_eq!(*v, 5, "dead-id never reached the index")
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}

@@ -1,15 +1,22 @@
-//! XML difference: the paper's motivating application. Parses two XML
-//! documents (inline samples or files given as arguments), converts them to
-//! label trees, and reports how different they are under several cost
-//! models.
+//! XML revision diff: the paper's motivating application, end to end.
+//! Parses two XML documents (inline samples or files given as
+//! arguments), converts them to label trees, and prints the **optimal
+//! edit script** turning the old revision into the new one — which
+//! elements were deleted, inserted, renamed, or kept — plus the distance
+//! summaries under several cost models.
+//!
+//! The script comes from the workspace-reused diff pipeline
+//! ([`rted::diff::edit_mapping_in`]): the second extraction below runs
+//! through the same warm [`Workspace`] and allocates only its output.
 //!
 //! ```text
 //! cargo run --release --example xml_diff
 //! cargo run --release --example xml_diff -- old.xml new.xml
 //! ```
 
-use rted::core::{ted_with, PerLabelCost, UnitCost};
+use rted::core::{ted_with, PerLabelCost, UnitCost, Workspace};
 use rted::datasets::xml::parse_xml;
+use rted::diff::{edit_mapping_in, EditScript};
 
 const OLD: &str = r#"
 <catalog>
@@ -38,19 +45,40 @@ fn main() {
 
     let f = parse_xml(&old).expect("parse first document");
     let g = parse_xml(&new).expect("parse second document");
-    println!("document 1: {} nodes, depth {}", f.len(), f.max_depth());
-    println!("document 2: {} nodes, depth {}", g.len(), g.max_depth());
+    println!("old revision: {} nodes, depth {}", f.len(), f.max_depth());
+    println!("new revision: {} nodes, depth {}", g.len(), g.max_depth());
 
-    // Unit costs: every node edit counts 1.
+    // The revision diff proper: one workspace serves both extractions —
+    // the unit-cost script and the content-weighted one — warm after the
+    // first call.
+    let mut ws = Workspace::new();
+    let unit_script: EditScript = {
+        let m = edit_mapping_in(&f, &g, &UnitCost, &mut ws);
+        m.script(&f, &g)
+    };
+    println!("\n== edit script (unit costs) ==");
+    println!("distance {}", unit_script.cost);
+    // Keeps are the unchanged bulk of a revision; show only the changes
+    // and a tally, the way a reviewer reads a diff.
+    for line in unit_script.render_text().lines() {
+        if !line.starts_with("keep") {
+            println!("{line}");
+        }
+    }
+    println!("({})", unit_script.summary());
+
+    // Content-weighted: renames (text edits) cheap, structural
+    // insert/delete expensive — the mapping shifts toward relabeling.
+    let weighted = edit_mapping_in(&f, &g, &PerLabelCost::new(2.0, 2.0, 0.5), &mut ws);
+    let weighted_script = weighted.script(&f, &g);
+    println!("\n== edit script (structure-weighted: delete/insert 2, rename 0.5) ==");
+    println!("distance {}", weighted_script.cost);
+    println!("({})", weighted_script.summary());
+
+    // The script is a witness for the distance: its cost is the TED.
     let unit = ted_with(&f, &g, &UnitCost);
-    println!("\nunit-cost edit distance          = {unit}");
-
-    // Structure-weighted: renames (content changes) are cheap, structural
-    // insertions/deletions expensive.
-    let structural = ted_with(&f, &g, &PerLabelCost::new(2.0, 2.0, 0.5));
-    println!("structure-weighted edit distance = {structural}");
-
-    // Normalized similarity in [0, 1] (1 = identical).
+    assert_eq!(unit_script.cost, unit, "script cost equals the distance");
     let max = (f.len() + g.len()) as f64;
+    println!("\nunit-cost edit distance          = {unit}");
     println!("normalized similarity            = {:.3}", 1.0 - unit / max);
 }

@@ -100,6 +100,26 @@ done
 diff "$WORK/mem.out" "$WORK/idx.out" || fail "join after update"
 [[ -s "$WORK/idx.out" ]] || fail "join produced no matches — test corpus too sparse to be meaningful"
 
+# --- 3b. Structural diff through the stored corpus ----------------------
+# `rted diff --index` between two stored ids must print the same script
+# as the flat-tree path over the dumped brackets, its distance line must
+# agree with `rted distance`, and a self-diff is all keeps.
+id_a=$(sed -n 1p "$WORK/dump.tsv" | cut -f1); tree_a=$(sed -n 1p "$WORK/dump.tsv" | cut -f2-)
+id_b=$(sed -n 5p "$WORK/dump.tsv" | cut -f1); tree_b=$(sed -n 5p "$WORK/dump.tsv" | cut -f2-)
+"$RTED" diff --index "$WORK/corpus.idx" "$id_a" "$id_b" 2>/dev/null > "$WORK/idx.diff"
+"$RTED" diff "$tree_a" "$tree_b" 2>/dev/null > "$WORK/mem.diff"
+diff "$WORK/idx.diff" "$WORK/mem.diff" || fail "diff --index differs from flat-tree diff"
+d=$("$RTED" distance "$tree_a" "$tree_b" 2>/dev/null)
+[[ "$(head -1 "$WORK/idx.diff")" == "distance $d" ]] || fail "diff distance $(head -1 "$WORK/idx.diff") != rted distance $d"
+"$RTED" diff --index "$WORK/corpus.idx" "$id_a" "$id_a" 2>/dev/null > "$WORK/self.diff"
+[[ "$(head -1 "$WORK/self.diff")" == "distance 0" ]] || fail "self-diff distance nonzero: $(head -1 "$WORK/self.diff")"
+grep -vq '^keep\|^distance' "$WORK/self.diff" && fail "self-diff must be all keeps: $(cat "$WORK/self.diff")"
+# Removed ids error out instead of resurrecting tombstones.
+if "$RTED" diff --index "$WORK/corpus.idx" 3 "$id_b" 2> "$WORK/err.txt"; then
+    fail "diff on a removed id succeeded"
+fi
+grep -q "no live tree" "$WORK/err.txt" || fail "unclear dead-id diff error: $(cat "$WORK/err.txt")"
+
 # --- 4. Damaged files must be rejected with a clear error ---------------
 head -c 100 "$WORK/corpus.idx" > "$WORK/truncated.idx"
 if "$RTED" search --index "$WORK/truncated.idx" "$QUERY" --tau 2 2> "$WORK/err.txt"; then

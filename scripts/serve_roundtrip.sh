@@ -110,6 +110,29 @@ grep -q '^# TYPE serve_latency_range_ns summary' "$WORK/metrics.prom" || fail "n
 grep -q '^serve_latency_range_ns_count 9$' "$WORK/metrics.prom" || fail "exposition range count wrong: $(grep range "$WORK/metrics.prom")"
 grep -q '^serve_worker_busy_ns_total [1-9]' "$WORK/metrics.prom" || fail "no worker busy time in exposition"
 
+# --- 2c. Structural diff: exact script bytes + telemetry -----------------
+# The script for a known pair is deterministic down to the byte; an
+# id-to-id diff must report the same distance the distance op does; a
+# dead id errors with its request id echoed; and the diff traffic shows
+# up in the per-type latency histogram and the index totals.
+{
+    echo '{"op":"diff","left":"{a{b}{c}}","right":"{a{b}{x}}","id":"d1"}'
+    echo '{"op":"distance","left":0,"right":11,"id":"d2"}'
+    echo '{"op":"diff","left":0,"right":11,"id":"d3"}'
+    echo '{"op":"diff","left":0,"right":9999,"id":"d4"}'
+} | "$RTED" query --socket "$SOCK" > "$WORK/diff.out"
+expected='{"id":"d1","ok":true,"distance":1,"ops":[{"op":"keep","from":0,"to":0,"label":"b"},{"op":"rename","from":1,"to":1,"old":"c","new":"x"},{"op":"keep","from":2,"to":2,"label":"a"}],"summary":{"deletes":0,"inserts":0,"renames":1,"keeps":2}}'
+[[ "$(sed -n 1p "$WORK/diff.out")" == "$expected" ]] || fail "diff script bytes wrong: $(sed -n 1p "$WORK/diff.out")"
+dist=$(sed -n 2p "$WORK/diff.out" | sed 's/.*"distance"://; s/[,}].*//')
+sed -n 3p "$WORK/diff.out" | grep -q "\"distance\":$dist," || fail "diff distance disagrees with distance op: $(sed -n 2,3p "$WORK/diff.out")"
+sed -n 4p "$WORK/diff.out" | grep -q '"id":"d4","ok":false' || fail "dead-id diff must error with id echoed: $(sed -n 4p "$WORK/diff.out")"
+metrics=$(echo '{"op":"metrics","format":"json"}' | "$RTED" query --socket "$SOCK")
+echo "$metrics" | grep -q '"serve_latency_diff_ns":{"count":3,' || fail "metrics: expected 3 diff requests: $metrics"
+echo "$metrics" | grep -q '"index_diff_calls_total":2' || fail "metrics: expected 2 index diff calls (dead id never reaches it): $metrics"
+# status advertises the op set, diff included, for feature detection.
+echo '{"op":"status"}' | "$RTED" query --socket "$SOCK" | grep -q '"ops":\["range","topk","distance","insert","remove","status","compact","metrics","diff","shutdown"\]' \
+    || fail "status must list supported ops incl. diff"
+
 # --- 3. Durable updates + reference answers -----------------------------
 NEW1=$("$RTED" generate random 12 --seed 201)
 NEW2=$("$RTED" generate fb 15 --seed 202)

@@ -76,3 +76,28 @@ pub use rted_core::{
 };
 pub use rted_index::TreeIndex;
 pub use rted_tree::{parse_bracket, to_bracket, NodeId, PathKind, Tree, TreeBuilder};
+
+/// Structural diffing: optimal edit mappings and resolved edit scripts.
+///
+/// One coherent import for the diff surface — the same types the CLI's
+/// `rted diff`, the serve protocol's `{"op":"diff"}`, and
+/// [`TreeIndex::diff`] traffic in:
+///
+/// ```
+/// use rted::diff::{edit_mapping, EditScript};
+/// use rted::{parse_bracket, UnitCost};
+///
+/// let old = parse_bracket("{a{b}{c}}").unwrap();
+/// let new = parse_bracket("{a{b}{x}}").unwrap();
+/// let script: EditScript = edit_mapping(&old, &new, &UnitCost).script(&old, &new);
+/// assert_eq!(script.cost, 1.0);
+/// assert_eq!(script.renames, 1);
+/// ```
+///
+/// [`edit_mapping`](rted_core::edit_mapping) is a thin wrapper over
+/// [`edit_mapping_in`](rted_core::edit_mapping_in) with a throwaway
+/// workspace; hold a [`rted_core::Workspace`] and call the `_in` variant
+/// to extract many scripts allocation-free.
+pub mod diff {
+    pub use rted_core::{edit_mapping, edit_mapping_in, EditMapping, EditOp, EditScript, ScriptOp};
+}
