@@ -73,6 +73,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          rted distance <TREE1> <TREE2> [--xml] [--algorithm NAME] [--costs D,I,R]\n  \
+         \x20             [--at-most T]\n  \
          rted compare  <TREE1> <TREE2> [--xml]\n  \
          rted diff     <TREE1> <TREE2> [--xml] [--costs D,I,R] [--format text|json]\n  \
          rted diff     --index INDEX <ID1> <ID2> [--format text|json]\n  \
@@ -101,6 +102,9 @@ fn usage() -> ExitCode {
          service's telemetry (Prometheus text, or the raw line with --json).\n\
          index info --stats probes the filter pipeline and prints per-stage\n\
          prune counts and hit rates.\n\
+         distance --at-most T runs the band-limited kernel: prints the\n\
+         exact distance when it is <= T, else `exceeds B` with a certified\n\
+         lower bound B, usually long before the full computation.\n\
          NAME: rted (default) | zhang-l | zhang-r | klein-h | demaine-h\n\
          SHAPE: lb | rb | fb | zz | mx | random\n\
          TREE/QUERY: inline bracket notation or a file path\n\
@@ -129,6 +133,7 @@ const VALUE_FLAGS: &[&str] = &[
     "format-version",
     "slow-ms",
     "format",
+    "at-most",
 ];
 
 struct Opts {
@@ -271,7 +276,7 @@ fn cost_model(opts: &Opts) -> Result<PerLabelCost, String> {
 }
 
 fn cmd_distance(opts: &Opts) -> Result<(), String> {
-    opts.expect_flags("distance", &["xml", "algorithm", "costs"])?;
+    opts.expect_flags("distance", &["xml", "algorithm", "costs", "at-most"])?;
     if opts.positional.len() != 2 {
         return Err("distance needs two trees".into());
     }
@@ -283,6 +288,31 @@ fn cmd_distance(opts: &Opts) -> Result<(), String> {
         Some(name) => algorithm_by_name(name).ok_or(format!("unknown algorithm {name}"))?,
     };
     let cm = cost_model(opts)?;
+    if let Some(spec) = opts.flag("at-most") {
+        // The budget path answers "is d <= T?" with the band-limited
+        // kernel; the strategy choice does not apply there.
+        if opts.has("algorithm") {
+            return Err("--at-most uses the band-limited kernel; drop --algorithm".into());
+        }
+        let tau: f64 = spec
+            .parse::<f64>()
+            .ok()
+            .filter(|t| !t.is_nan())
+            .ok_or(format!("bad --at-most {spec}"))?;
+        let run = rted_core::ted_at_most_run(&f, &g, &cm, tau, &mut Workspace::new());
+        match run.result {
+            rted_core::BoundedResult::Exact(d) => println!("{d}"),
+            rted_core::BoundedResult::Exceeds(lb) => println!("exceeds {lb}"),
+        }
+        eprintln!(
+            "bounded at {tau} | {} + {} nodes | {} subproblems | early exit: {}",
+            f.len(),
+            g.len(),
+            run.subproblems,
+            run.early_exit
+        );
+        return Ok(());
+    }
     let run = alg.run_in(&f, &g, &cm, &mut Workspace::new());
     println!("{}", run.distance);
     eprintln!(
@@ -569,6 +599,12 @@ fn print_pipeline_stats(corpus: rted_index::TreeCorpus<String>) {
         totals.verified,
         totals.subproblems,
         totals.ted_ns as f64 / 1e6
+    );
+    println!(
+        "  {:<14} {:>15} early exits      ({:.3} ms in bounded kernel)",
+        "bounded-ted",
+        totals.verify_early_exits,
+        totals.verify_bounded_ns as f64 / 1e6
     );
 }
 

@@ -1,0 +1,472 @@
+//! Bounded tree edit distance: decide `ted(F, G) ≤ τ` without paying for
+//! the full DP when the answer is "no".
+//!
+//! Index queries always verify candidates against a known budget (τ for
+//! range/join, the current radius for top-k), so the verifier can stop the
+//! moment the budget is provably blown. Following the bounded-TED
+//! literature (Jin 2021; Nogler–Saha–Xu 2024), [`ted_at_most`] runs a
+//! Zhang–Shasha-shaped keyroot DP with three budget devices stacked on the
+//! exact recurrence:
+//!
+//! 1. **Size pre-bound.** `|n_F − n_G|` surplus nodes must be deleted (or
+//!    inserted), each costing at least the cheapest per-node delete
+//!    (insert) cost, so pairs whose size gap alone exceeds τ are rejected
+//!    in O(n) without touching the DP.
+//! 2. **Banding.** In sheet-local coordinates `x' = x − l_i + 1`,
+//!    `y' = y − l_j + 1`, the exact forest distance of the prefix pair
+//!    `(x', y')` is at least `(x' − y')⁺ · min_del` and
+//!    `(y' − x')⁺ · min_ins`: the surplus prefix nodes have no possible
+//!    partners. Cells outside the band `x' − y' ≤ ⌊τ/min_del⌋ ∧
+//!    y' − x' ≤ ⌊τ/min_ins⌋` therefore exceed τ and are never computed —
+//!    they read as `+∞`, which keeps every computed cell an
+//!    *over*-approximation that is **exact whenever the true value is
+//!    ≤ τ** (an optimal derivation of a ≤ τ cell only passes through ≤ τ,
+//!    hence in-band, cells, because every DP addition is non-negative).
+//! 3. **Frontier abandonment.** In the final sheet (the root keyroot
+//!    pair — the lone full `n_F × n_G` sheet, and the only one whose
+//!    subtree-distance writes nobody reads later), each row's cells are
+//!    augmented with a completion lower bound
+//!    `comp(x, y) = ((n_F−x) − (n_G−y))⁺·min_del + ((n_G−y) −
+//!    (n_F−x))⁺·min_ins`. If an optimal mapping of cost `d ≤ τ` exists,
+//!    its restriction to the postorder prefixes `F[1..x]` and `G[1..c]`
+//!    (with `c` the largest partner rank used by `F[1..x]`) is a valid
+//!    prefix alignment, so **every** row `x` contains a cell with
+//!    `fd(x, c) + comp(x, c) ≤ d` — order preservation forces the
+//!    remaining nodes to map among themselves, which is what `comp`
+//!    undercounts. A row whose minimum augmented entry exceeds τ therefore
+//!    certifies `ted > τ`, and the kernel abandons the pair. (The check is
+//!    deliberately *not* applied to earlier sheets: abandoning one midway
+//!    would leave subtree distances unwritten that later sheets still
+//!    read.)
+//!
+//! The result is [`BoundedResult::Exact`] — bit-identical to the exact
+//! algorithms — whenever the distance is within budget, and
+//! [`BoundedResult::Exceeds`] with a certified lower bound otherwise. All
+//! scratch comes from the [`Workspace`] (the same pooled buffers as the
+//! Zhang–Shasha kernel), so warm calls stay allocation-free.
+
+use crate::cost::CostModel;
+use crate::view::SubtreeView;
+use crate::workspace::Workspace;
+use crate::zs::zhang_shasha_in;
+use rted_tree::Tree;
+
+/// Outcome of a budgeted distance computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundedResult {
+    /// The distance is within budget; the payload is the exact distance
+    /// (identical to what the exact algorithms compute).
+    Exact(f64),
+    /// The distance exceeds the budget; the payload is a certified lower
+    /// bound on the true distance (at least the budget itself whenever the
+    /// DP ran, possibly larger when the size pre-bound already decides).
+    Exceeds(f64),
+}
+
+impl BoundedResult {
+    /// `true` for [`BoundedResult::Exact`].
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        matches!(self, BoundedResult::Exact(_))
+    }
+
+    /// The payload: the exact distance or the lower bound.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        match *self {
+            BoundedResult::Exact(d) => d,
+            BoundedResult::Exceeds(b) => b,
+        }
+    }
+}
+
+/// A bounded run with its work counters (see [`ted_at_most_run`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedRun {
+    /// The budgeted outcome.
+    pub result: BoundedResult,
+    /// In-band DP cells actually computed (the analogue of the exact
+    /// algorithms' relevant-subproblem count).
+    pub subproblems: u64,
+    /// `true` when the kernel exited before running the DP to completion:
+    /// the size pre-bound rejected the pair outright, or a final-sheet
+    /// frontier certified `ted > τ` mid-DP. A completed DP whose corner
+    /// merely lands above τ is not an early exit.
+    pub early_exit: bool,
+}
+
+/// Decides whether `ted(f, g) ≤ tau` under cost model `cm`, drawing all
+/// scratch from `ws` (allocation-free once the workspace is warm).
+///
+/// Returns [`BoundedResult::Exact`] with the true distance when it is
+/// ≤ `tau`, and [`BoundedResult::Exceeds`] with a lower bound `b ≤
+/// ted(f, g)` otherwise. A non-finite `tau` (`+∞`) degenerates to the
+/// exact Zhang–Shasha kernel. `tau` must not be NaN.
+pub fn ted_at_most<L, C: CostModel<L>>(
+    f: &Tree<L>,
+    g: &Tree<L>,
+    cm: &C,
+    tau: f64,
+    ws: &mut Workspace,
+) -> BoundedResult {
+    ted_at_most_run(f, g, cm, tau, ws).result
+}
+
+/// [`ted_at_most`] with work counters, for verifiers and benchmarks.
+pub fn ted_at_most_run<L, C: CostModel<L>>(
+    f: &Tree<L>,
+    g: &Tree<L>,
+    cm: &C,
+    tau: f64,
+    ws: &mut Workspace,
+) -> BoundedRun {
+    assert!(!tau.is_nan(), "distance budget must not be NaN");
+    if tau == f64::INFINITY {
+        // No budget: the exact kernel, verbatim.
+        let (d, subproblems) = zhang_shasha_in(f, g, cm, false, ws);
+        ws.note_run(subproblems);
+        return BoundedRun {
+            result: BoundedResult::Exact(d),
+            subproblems,
+            early_exit: false,
+        };
+    }
+    if tau < 0.0 {
+        // Distances are non-negative, so nothing fits a negative budget.
+        ws.note_run(0);
+        return BoundedRun {
+            result: BoundedResult::Exceeds(0.0),
+            subproblems: 0,
+            early_exit: true,
+        };
+    }
+
+    let fv = SubtreeView::new(f, f.root(), false);
+    let gv = SubtreeView::new(g, g.root(), false);
+    ws.ftab.rebuild(f, cm);
+    ws.gtab.rebuild(g, cm);
+
+    let nf = fv.n;
+    let ng = gv.n;
+
+    // Cheapest single delete / insert: the weights behind the size
+    // pre-bound, the band widths, and the completion bounds.
+    let min_del = ws.ftab.del.iter().copied().fold(f64::INFINITY, f64::min);
+    let min_ins = ws.gtab.ins.iter().copied().fold(f64::INFINITY, f64::min);
+
+    // Size pre-bound: the surplus nodes of the larger tree have no
+    // partners, so each costs at least one cheapest delete (insert).
+    let lb_size = if nf >= ng {
+        (nf - ng) as f64 * min_del
+    } else {
+        (ng - nf) as f64 * min_ins
+    };
+    if lb_size > tau {
+        ws.note_run(0);
+        return BoundedRun {
+            result: BoundedResult::Exceeds(lb_size),
+            subproblems: 0,
+            early_exit: true,
+        };
+    }
+
+    // Band half-widths in sheet-local coordinates: a prefix pair carrying
+    // more than ⌊τ/min_del⌋ surplus F-nodes (⌊τ/min_ins⌋ surplus G-nodes)
+    // already costs more than τ. A zero min cost makes the band infinite —
+    // the kernel degrades to a plain (still exact) full-sheet DP.
+    const WIDE: i64 = i64::MAX / 4;
+    let half_width = |unit: f64| -> i64 {
+        if unit > 0.0 {
+            let b = (tau / unit).floor();
+            if b >= WIDE as f64 {
+                WIDE
+            } else {
+                b as i64
+            }
+        } else {
+            WIDE
+        }
+    };
+    let bd = half_width(min_del);
+    let bi = half_width(min_ins);
+
+    let stride = (ng + 1) as usize;
+    let td = &mut ws.d;
+    td.clear();
+    // +∞, not 0: banded-out subtree pairs must read as "too expensive",
+    // and every cell is written at most once (by its own keyroot sheet).
+    td.resize((nf as usize + 1) * stride, f64::INFINITY);
+    let fd = &mut ws.fd;
+    fd.clear();
+    fd.resize((nf as usize + 1) * stride, f64::INFINITY);
+
+    let f_lml = &mut ws.a_lml;
+    f_lml.clear();
+    f_lml.extend(std::iter::once(0).chain((1..=nf).map(|r| fv.lml(r))));
+    let g_lml = &mut ws.b_lml;
+    g_lml.clear();
+    g_lml.extend(std::iter::once(0).chain((1..=ng).map(|r| gv.lml(r))));
+    let f_del = &mut ws.a_del;
+    f_del.clear();
+    f_del.extend(std::iter::once(0.0).chain((1..=nf).map(|r| ws.ftab.del[fv.node(r).idx()])));
+    let g_ins = &mut ws.b_ins;
+    g_ins.clear();
+    g_ins.extend(std::iter::once(0.0).chain((1..=ng).map(|r| ws.gtab.ins[gv.node(r).idx()])));
+
+    let f_kr = &mut ws.keyroots_a;
+    fv.keyroots_into(f_kr);
+    let g_kr = &mut ws.keyroots_b;
+    gv.keyroots_into(g_kr);
+
+    let mut subproblems = 0u64;
+    let mut abandoned = false;
+    // Keyroots are ascending with the subtree root last, so the root pair
+    // (the lone full sheet, `l_i = l_j = 1`) is processed last — the only
+    // sheet whose td writes nobody reads, hence the only one that may be
+    // abandoned midway.
+    let last_i = *f_kr.last().expect("trees are non-empty");
+    let last_j = *g_kr.last().expect("trees are non-empty");
+
+    'sheets: for &i in f_kr.iter() {
+        let li = f_lml[i as usize];
+        for &j in g_kr.iter() {
+            let lj = g_lml[j as usize];
+            let final_sheet = i == last_i && j == last_j;
+            let cols = (j - lj + 1) as i64;
+            let at = |x: u32, y: u32| (x as usize) * stride + y as usize;
+
+            fd[at(li - 1, lj - 1)] = 0.0;
+            // Top row (empty F-prefix): in-band up to y' = bi, then one
+            // +∞ sentinel so the next row's delete read stays fenced.
+            let hi0 = cols.min(bi);
+            for yp in 1..=hi0 {
+                let y = lj - 1 + yp as u32;
+                fd[at(li - 1, y)] = fd[at(li - 1, y - 1)] + g_ins[y as usize];
+            }
+            if hi0 < cols {
+                fd[at(li - 1, lj + hi0 as u32)] = f64::INFINITY;
+            }
+
+            for x in li..=i {
+                let xp = (x - li + 1) as i64;
+                let lo = (xp - bd).max(0);
+                if lo > cols {
+                    // This row (and every later one: `lo` is monotone) is
+                    // entirely out of band; the sheet corner stays +∞.
+                    break;
+                }
+                let hi = (xp + bi).min(cols);
+                let lx = f_lml[x as usize];
+                let dx = f_del[x as usize];
+                // The row's augmented minimum (final sheet only): a lower
+                // bound on any full distance routed through this row.
+                let mut row_pot = f64::INFINITY;
+                if lo == 0 {
+                    // Left column (empty G-prefix) is still in band.
+                    let v = fd[at(x - 1, lj - 1)] + dx;
+                    fd[at(x, lj - 1)] = v;
+                    if final_sheet {
+                        row_pot = v + completion(nf - x, ng, min_del, min_ins);
+                    }
+                } else {
+                    // +∞ sentinel just left of the band: the first in-band
+                    // cell's insert read must not see a stale value.
+                    fd[at(x, lj - 1 + lo as u32 - 1)] = f64::INFINITY;
+                }
+                let y0 = lo.max(1);
+                for yp in y0..=hi {
+                    let y = lj - 1 + yp as u32;
+                    let ly = g_lml[y as usize];
+                    let del = fd[at(x - 1, y)] + dx;
+                    let ins = fd[at(x, y - 1)] + g_ins[y as usize];
+                    let v = if lx == li && ly == lj {
+                        // Both prefixes are complete subtrees: rename case.
+                        let ren = fd[at(x - 1, y - 1)]
+                            + cm.rename(f.label(fv.node(x)), g.label(gv.node(y)));
+                        let best = del.min(ins).min(ren);
+                        td[at(x, y)] = best;
+                        best
+                    } else {
+                        // Match the complete subtrees at x and y. The jump
+                        // source can sit far outside the band — fence it
+                        // explicitly instead of reading a stale cell.
+                        let jx = (lx - li) as i64;
+                        let jy = (ly - lj) as i64;
+                        let m = if jx - jy <= bd && jy - jx <= bi {
+                            fd[at(lx - 1, ly - 1)] + td[at(x, y)]
+                        } else {
+                            f64::INFINITY
+                        };
+                        del.min(ins).min(m)
+                    };
+                    fd[at(x, y)] = v;
+                    subproblems += 1;
+                    if final_sheet {
+                        let c = completion(nf - x, ng - y, min_del, min_ins);
+                        row_pot = row_pot.min(v + c);
+                    }
+                }
+                if hi < cols {
+                    // +∞ sentinel just right of the band, for the next
+                    // row's delete read.
+                    fd[at(x, lj + hi as u32)] = f64::INFINITY;
+                }
+                if final_sheet && row_pot > tau {
+                    // Every way of completing a ≤ τ mapping leaves a cell
+                    // with `fd + comp ≤ τ` in every row; this row has none,
+                    // so the distance exceeds the budget — abandon.
+                    abandoned = true;
+                    break 'sheets;
+                }
+            }
+        }
+    }
+
+    let corner = td[(nf as usize) * stride + ng as usize];
+    ws.note_run(subproblems);
+    let result = if !abandoned && corner <= tau {
+        // In-budget cells are exact (see the module docs).
+        BoundedResult::Exact(corner)
+    } else {
+        BoundedResult::Exceeds(lb_size.max(tau))
+    };
+    BoundedRun {
+        result,
+        subproblems,
+        early_exit: abandoned,
+    }
+}
+
+/// Cheapest possible cost of aligning `rem_f` remaining F-nodes with
+/// `rem_g` remaining G-nodes: the surplus side has no partners.
+#[inline]
+fn completion(rem_f: u32, rem_g: u32, min_del: f64, min_ins: f64) -> f64 {
+    if rem_f >= rem_g {
+        (rem_f - rem_g) as f64 * min_del
+    } else {
+        (rem_g - rem_f) as f64 * min_ins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{PerLabelCost, UnitCost};
+    use crate::zs::zs_distance;
+    use rted_tree::parse_bracket;
+
+    fn check_both_sides<C: CostModel<String>>(a: &str, b: &str, cm: &C) {
+        let f = parse_bracket(a).unwrap();
+        let g = parse_bracket(b).unwrap();
+        let d = zs_distance(&f, &g, cm);
+        let mut ws = Workspace::new();
+        for tau in [
+            0.0,
+            d * 0.5,
+            (d - 0.25).max(0.0),
+            d,
+            d + 0.25,
+            d * 2.0 + 1.0,
+            f64::INFINITY,
+        ] {
+            match ted_at_most(&f, &g, cm, tau, &mut ws) {
+                BoundedResult::Exact(got) => {
+                    assert!(d <= tau, "{a} vs {b}: Exact below budget {tau} but d={d}");
+                    assert_eq!(got, d, "{a} vs {b} at tau={tau}");
+                }
+                BoundedResult::Exceeds(lb) => {
+                    assert!(d > tau, "{a} vs {b}: Exceeds at tau={tau} but d={d}");
+                    assert!(lb <= d, "{a} vs {b}: bound {lb} above true distance {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_exact_on_fixed_cases() {
+        let cases = [
+            ("{a}", "{a}"),
+            ("{a}", "{b}"),
+            ("{a{b}{c}}", "{a{b}}"),
+            ("{a{b{c}{d}}}", "{a{c}{d}}"),
+            ("{r{a}{b}}", "{r{b}{a}}"),
+            ("{a{b}{c{d}}}", "{a{b{d}}{c}}"),
+            ("{a{b{c}{d}}{e}}", "{x{y}{z{w{q}}}}"),
+            ("{A{C}{B{G}{E{F}}{D}}}", "{A{B{D}{E{F}}}{C{G}}}"),
+            ("{a{a}{a}{a}}", "{a{a{a}}}"),
+            ("{a{b{c{d{e}}}}}", "{a{b}{c}{d}{e}}"),
+        ];
+        for (a, b) in cases {
+            check_both_sides(a, b, &UnitCost);
+            check_both_sides(a, b, &PerLabelCost::new(1.5, 2.0, 0.75));
+        }
+    }
+
+    #[test]
+    fn size_gap_rejects_without_dp() {
+        let f = parse_bracket("{a{b}{c}{d}{e}{f}{g}{h}}").unwrap();
+        let g = parse_bracket("{a}").unwrap();
+        let mut ws = Workspace::new();
+        let run = ted_at_most_run(&f, &g, &UnitCost, 3.0, &mut ws);
+        assert_eq!(run.result, BoundedResult::Exceeds(7.0));
+        assert_eq!(run.subproblems, 0);
+        assert!(run.early_exit);
+    }
+
+    #[test]
+    fn negative_budget_always_exceeds() {
+        let f = parse_bracket("{a}").unwrap();
+        let run = ted_at_most_run(&f, &f, &UnitCost, -1.0, &mut Workspace::new());
+        assert_eq!(run.result, BoundedResult::Exceeds(0.0));
+        assert!(run.early_exit);
+    }
+
+    #[test]
+    fn infinite_budget_is_exact() {
+        let f = parse_bracket("{a{b{c}{d}}{e}}").unwrap();
+        let g = parse_bracket("{x{y}{z{w{q}}}}").unwrap();
+        let d = zs_distance(&f, &g, &UnitCost);
+        let run = ted_at_most_run(&f, &g, &UnitCost, f64::INFINITY, &mut Workspace::new());
+        assert_eq!(run.result, BoundedResult::Exact(d));
+        assert!(!run.early_exit);
+    }
+
+    #[test]
+    fn tight_budget_at_exact_distance_is_exact() {
+        let f = parse_bracket("{a{b}{c{d}}}").unwrap();
+        let g = parse_bracket("{a{b{d}}{c}}").unwrap();
+        let d = zs_distance(&f, &g, &UnitCost);
+        let res = ted_at_most(&f, &g, &UnitCost, d, &mut Workspace::new());
+        assert_eq!(res, BoundedResult::Exact(d));
+    }
+
+    #[test]
+    fn equal_size_distant_pair_abandons_early() {
+        // Same sizes (no size pre-bound), totally different labels: the
+        // final-sheet frontier should fire well before the corner.
+        let f = parse_bracket("{a{a{a}{a}}{a{a}{a}}{a{a}{a}}}").unwrap();
+        let g = parse_bracket("{z{z{z}{z}}{z{z}{z}}{z{z}{z}}}").unwrap();
+        let d = zs_distance(&f, &g, &UnitCost);
+        let mut ws = Workspace::new();
+        let run = ted_at_most_run(&f, &g, &UnitCost, 1.0, &mut ws);
+        match run.result {
+            BoundedResult::Exceeds(lb) => assert!(lb <= d),
+            other => panic!("expected Exceeds, got {other:?}"),
+        }
+        assert!(run.early_exit, "frontier should abandon this pair");
+        let full = ted_at_most_run(&f, &g, &UnitCost, f64::INFINITY, &mut ws);
+        assert!(
+            run.subproblems < full.subproblems,
+            "abandoned run must do less work ({} vs {})",
+            run.subproblems,
+            full.subproblems
+        );
+    }
+
+    #[test]
+    fn zero_rename_cost_keeps_band_sound() {
+        // Free renames: distances can be far below the unit band's guess.
+        let cm = PerLabelCost::new(1.0, 1.0, 0.0);
+        check_both_sides("{a{b}{c{d}}}", "{x{y{z}}{w}}", &cm);
+    }
+}

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod baseline;
+pub mod bounded;
 pub mod bounds;
 pub mod cost;
 pub mod gted;
@@ -57,6 +58,7 @@ pub mod zs;
 mod spf_i;
 mod spf_lr;
 
+pub use bounded::{ted_at_most, ted_at_most_run, BoundedResult, BoundedRun};
 pub use bounds::{LowerBound, TreeSketch};
 pub use cost::{CostModel, PerLabelCost, UnitCost};
 pub use gted::{ExecStats, Executor};

@@ -412,68 +412,102 @@ fn stage_rl_into<L, C: CostModel<L>>(
         } else {
             bs.sz_r[fam_idx as usize]
         };
-        // Row 0 = base row restricted to this family.
+        // Row 0 = base row restricted to this family, and the per-member
+        // tables: every `if left` selection below depends only on the
+        // member, not the row, so it is resolved once per family instead
+        // of once per cell.
+        let m_wnode = &mut scratch.m_wnode;
+        let m_insw = &mut scratch.m_insw;
+        let m_jump = &mut scratch.m_jump;
+        let m_kid = &mut scratch.m_kid;
+        m_wnode.clear();
+        m_insw.clear();
+        m_jump.clear();
+        m_kid.clear();
+        // ci == 0 anchors the family: its `S − w` term reads the
+        // children-forest slot (or the empty column when w is a leaf).
+        let mut szw0 = 0u32;
+        let mut kidx0 = 0usize;
         for (ci, &mb) in fam.iter().enumerate() {
             let (a, b) = if left { (fam_idx, mb) } else { (mb, fam_idx) };
             stage[ci] = base.get(bs, a, b);
+            // w = extreme root of S on the removal side.
+            let (w_node, szw) = if left {
+                (bs.node_r[b as usize], bs.sz_r[b as usize])
+            } else {
+                (bs.node_l[a as usize], bs.sz_l[a as usize])
+            };
+            m_wnode.push(w_node);
+            m_insw.push(if left {
+                bs.ins_r[b as usize]
+            } else {
+                bs.ins_l[a as usize]
+            });
+            if ci == 0 {
+                szw0 = szw;
+                kidx0 = if left {
+                    a as usize
+                } else {
+                    bs.lb[b as usize] as usize
+                };
+                m_jump.push(0);
+            } else {
+                let jump_rank = if left {
+                    bs.cnt_at(a, b - szw)
+                } else {
+                    bs.cnt_at(a - szw, b)
+                };
+                debug_assert!(jump_rank >= fam_low);
+                m_jump.push(jump_rank - fam_low);
+            }
+            let pa = a as usize + 1;
+            m_kid.push(if pa <= bs.m && bs.rb[pa] == b + 1 {
+                pa as u32
+            } else {
+                u32::MAX
+            });
         }
+        let cand = &mut scratch.cand;
+        cand.clear();
+        cand.resize(width, 0.0);
         for j in 1..=r_rows {
             let v = add[j - 1];
             let szv = sz_v[j - 1] as usize;
             let dv = del_v[j - 1];
             let jrow = j * wmax;
             let prow = (j - 1) * wmax;
-            for (ci, &mb) in fam.iter().enumerate() {
-                let (a, b) = if left { (fam_idx, mb) } else { (mb, fam_idx) };
-                // w = extreme root of S on the removal side.
-                let (w_node, szw) = if left {
-                    (NodeId(bs.node_r[b as usize]), bs.sz_r[b as usize])
-                } else {
-                    (NodeId(bs.node_l[a as usize]), bs.sz_l[a as usize])
-                };
-                let val;
-                if ci == 0 {
-                    // S is the single subtree anchoring this family.
-                    let s_minus_w = if szw == 1 {
-                        col0[j]
-                    } else {
-                        kids[j * kstride
-                            + if left {
-                                a as usize
-                            } else {
-                                bs.lb[b as usize] as usize
-                            }]
-                    };
-                    let ins_w = if left {
-                        bs.ins_r[b as usize]
-                    } else {
-                        bs.ins_l[a as usize]
-                    };
-                    val = (stage[prow + ci] + dv)
-                        .min(s_minus_w + ins_w)
-                        .min(exec.d_get(v, w_node, swapped) + col0[j - szv]);
-                } else {
-                    // S has ≥ 2 roots: remove from this stage's direction.
-                    let jump_rank = if left {
-                        bs.cnt_at(a, b - szw)
-                    } else {
-                        bs.cnt_at(a - szw, b)
-                    };
-                    debug_assert!(jump_rank >= fam_low);
-                    let jump = stage[(j - szv) * wmax + (jump_rank - fam_low) as usize];
-                    let ins_w = if left {
-                        bs.ins_r[b as usize]
-                    } else {
-                        bs.ins_l[a as usize]
-                    };
-                    val = (stage[prow + ci] + dv)
-                        .min(stage[jrow + ci - 1] + ins_w)
-                        .min(exec.d_get(v, w_node, swapped) + jump);
-                }
-                stage[jrow + ci] = val;
-                note_kid(bs, &mut kids[j * kstride..(j + 1) * kstride], a, b, val);
-                cells += 1;
+            // Bulk delete stream: a pure min/add pass over the contiguous
+            // previous stage row, hoisted out of the sequential loop.
+            for (ci, c) in cand.iter_mut().enumerate() {
+                *c = stage[prow + ci] + dv;
             }
+            // ci == 0: S is the single subtree anchoring this family.
+            {
+                let s_minus_w = if szw0 == 1 {
+                    col0[j]
+                } else {
+                    kids[j * kstride + kidx0]
+                };
+                let val = cand[0]
+                    .min(s_minus_w + m_insw[0])
+                    .min(exec.d_get(v, NodeId(m_wnode[0]), swapped) + col0[j - szv]);
+                stage[jrow] = val;
+                if m_kid[0] != u32::MAX {
+                    kids[j * kstride + m_kid[0] as usize] = val;
+                }
+            }
+            for ci in 1..width {
+                // S has ≥ 2 roots: remove from this stage's direction.
+                let jump = stage[(j - szv) * wmax + m_jump[ci] as usize];
+                let val = cand[ci]
+                    .min(stage[jrow + ci - 1] + m_insw[ci])
+                    .min(exec.d_get(v, NodeId(m_wnode[ci]), swapped) + jump);
+                stage[jrow + ci] = val;
+                if m_kid[ci] != u32::MAX {
+                    kids[j * kstride + m_kid[ci] as usize] = val;
+                }
+            }
+            cells += width as u64;
         }
         // Capture the stage's top row into the output row.
         let top = r_rows * wmax;

@@ -36,7 +36,17 @@ pub(crate) fn run<L, C: CostModel<L>>(
 
     // Scratch comes from the workspace; every buffer is length-reset and
     // handed back below, so repeat executions allocate nothing.
-    let (mut a_lml, mut b_lml, mut a_node, mut b_node, mut a_del, mut b_ins, mut fd, mut krb) = {
+    let (
+        mut a_lml,
+        mut b_lml,
+        mut a_node,
+        mut b_node,
+        mut a_del,
+        mut b_ins,
+        mut fd,
+        mut cand,
+        mut krb,
+    ) = {
         let ws = exec.scratch();
         (
             std::mem::take(&mut ws.a_lml),
@@ -46,6 +56,7 @@ pub(crate) fn run<L, C: CostModel<L>>(
             std::mem::take(&mut ws.a_del),
             std::mem::take(&mut ws.b_ins),
             std::mem::take(&mut ws.fd),
+            std::mem::take(&mut ws.cand),
             std::mem::take(&mut ws.keyroots_b),
         )
     };
@@ -72,6 +83,8 @@ pub(crate) fn run<L, C: CostModel<L>>(
 
     fd.clear();
     fd.resize((na as usize + 1) * stride, 0.0);
+    cand.clear();
+    cand.resize(stride, 0.0);
     let at = |x: u32, y: u32| (x as usize) * stride + y as usize;
 
     // The A side always spans the whole subtree (its "keyroot" is the root,
@@ -90,27 +103,60 @@ pub(crate) fn run<L, C: CostModel<L>>(
         }
         for x in 1..=na {
             let lx = a_lml[x as usize];
-            for y in lj..=j {
-                let ly = b_lml[y as usize];
-                let del = fd[at(x - 1, y)] + a_del[x as usize];
-                let ins = fd[at(x, y - 1)] + b_ins[y as usize];
-                let v = if lx == 1 && ly == lj {
-                    // Both prefixes are complete subtrees rooted at path
-                    // nodes: rename case; this is a new tree-tree distance.
-                    let ren = fd[at(x - 1, y - 1)]
-                        + exec.ren_ab(a_node[x as usize], b_node[y as usize], swapped);
-                    let best = del.min(ins).min(ren);
-                    exec.d_set(a_node[x as usize], b_node[y as usize], swapped, best);
-                    best
-                } else {
-                    // Match complete subtrees at x and y; their tree-tree
-                    // distance is in D (hanging subtree of A × anything, or
-                    // A-path node × earlier keyroot region of B).
-                    let m = fd[at(lx - 1, ly - 1)]
+            let dx = a_del[x as usize];
+            let xi = (x as usize) * stride;
+            // Two-pass row, as in the Zhang–Shasha kernel: pass 1 streams
+            // the delete/rename/jump candidates (all reads from rows `< x`
+            // or from D) into `cand`; pass 2 runs the sequential insert
+            // chain. The min is associative, so values are bit-identical
+            // to the fused loop's.
+            let (before, cur) = fd.split_at_mut(xi);
+            let cur = &mut cur[..stride];
+            let prev = &before[xi - stride..];
+            if lx == 1 {
+                // Spine row: rename where the B-prefix is a complete
+                // subtree, jump elsewhere.
+                for y in lj..=j {
+                    let ly = b_lml[y as usize];
+                    let t = if ly == lj {
+                        prev[y as usize - 1]
+                            + exec.ren_ab(a_node[x as usize], b_node[y as usize], swapped)
+                    } else {
+                        before[(lx as usize - 1) * stride + ly as usize - 1]
+                            + exec.d_get(a_node[x as usize], b_node[y as usize], swapped)
+                    };
+                    cand[y as usize] = (prev[y as usize] + dx).min(t);
+                }
+            } else {
+                // Match complete subtrees at x and y; their tree-tree
+                // distance is in D (hanging subtree of A × anything, or
+                // A-path node × earlier keyroot region of B).
+                for y in lj..=j {
+                    let ly = b_lml[y as usize];
+                    let m = before[(lx as usize - 1) * stride + ly as usize - 1]
                         + exec.d_get(a_node[x as usize], b_node[y as usize], swapped);
-                    del.min(ins).min(m)
-                };
-                fd[at(x, y)] = v;
+                    cand[y as usize] = (prev[y as usize] + dx).min(m);
+                }
+            }
+            let mut run = cur[lj as usize - 1];
+            for y in lj..=j {
+                let v = cand[y as usize].min(run + b_ins[y as usize]);
+                cur[y as usize] = v;
+                run = v;
+            }
+            if lx == 1 {
+                // Both prefixes were complete subtrees rooted at path
+                // nodes: record the new tree-tree distances.
+                for y in lj..=j {
+                    if b_lml[y as usize] == lj {
+                        exec.d_set(
+                            a_node[x as usize],
+                            b_node[y as usize],
+                            swapped,
+                            cur[y as usize],
+                        );
+                    }
+                }
             }
         }
     }
@@ -123,5 +169,6 @@ pub(crate) fn run<L, C: CostModel<L>>(
     ws.a_del = a_del;
     ws.b_ins = b_ins;
     ws.fd = fd;
+    ws.cand = cand;
     ws.keyroots_b = krb;
 }

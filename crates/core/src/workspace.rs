@@ -47,6 +47,17 @@ pub(crate) struct RlScratch {
     pub del_v: Vec<f64>,
     /// The family-sliced DP sheet, `(rows + 1) × wmax`.
     pub stage: Vec<f64>,
+    /// Per-family member tables, invariant across the re-addition rows:
+    /// extreme-root node id, insert cost, jump column, and children-forest
+    /// slot (`u32::MAX` when the member feeds no slot). Hoisted out of the
+    /// row loop so the per-cell work is branch-free table reads.
+    pub m_wnode: Vec<u32>,
+    pub m_insw: Vec<f64>,
+    pub m_jump: Vec<u32>,
+    pub m_kid: Vec<u32>,
+    /// Delete-stream row: `stage[prev row] + del(v)` bulk-computed per row
+    /// as a pure min/add stream before the sequential pass.
+    pub cand: Vec<f64>,
 }
 
 /// One DP row of `∆I`: δ(fixed A-forest, ·) over all canonical B-forests.
@@ -94,6 +105,11 @@ pub struct Workspace {
     pub(crate) b_ins: Vec<f64>,
     /// Forest-distance sheet.
     pub(crate) fd: Vec<f64>,
+    /// Row of per-cell candidate minima for the blocked keyroot DP: the
+    /// order-independent (delete/rename/jump) terms are streamed into this
+    /// row first, so the sequential insert chain is the only loop-carried
+    /// dependence left in the second pass.
+    pub(crate) cand: Vec<f64>,
     pub(crate) keyroots_a: Vec<u32>,
     pub(crate) keyroots_b: Vec<u32>,
 

@@ -71,6 +71,9 @@ pub(crate) fn zhang_shasha_in<L, C: CostModel<L>>(
     let fd = &mut ws.fd;
     fd.clear();
     fd.resize((nf as usize + 1) * stride, 0.0);
+    let cand = &mut ws.cand;
+    cand.clear();
+    cand.resize(stride, 0.0);
     let mut subproblems = 0u64;
 
     // Precompute per-rank data to keep the inner loop tight.
@@ -108,23 +111,54 @@ pub(crate) fn zhang_shasha_in<L, C: CostModel<L>>(
             }
             for x in li..=i {
                 let lx = f_lml[x as usize];
+                let dx = f_del[x as usize];
+                let xi = (x as usize) * stride;
+                // Two-pass row: all delete/rename/jump candidates read rows
+                // `< x` only, so pass 1 streams them into `cand` as pure
+                // min/add work over the contiguous previous row; pass 2 is
+                // the one loop-carried dependence — the insert chain. The
+                // min is associative, so cell values are bit-identical to
+                // the fused loop's.
+                let (before, cur) = fd.split_at_mut(xi);
+                let cur = &mut cur[..stride];
+                let prev = &before[xi - stride..];
+                if lx == li {
+                    // Keyroot-eligible row: rename where the G-prefix is a
+                    // complete subtree, jump elsewhere.
+                    for y in lj..=j {
+                        let ly = g_lml[y as usize];
+                        let t = if ly == lj {
+                            prev[y as usize - 1]
+                                + cm.rename(f.label(fv.node(x)), g.label(gv.node(y)))
+                        } else {
+                            before[(lx as usize - 1) * stride + ly as usize - 1]
+                                + td[xi + y as usize]
+                        };
+                        cand[y as usize] = (prev[y as usize] + dx).min(t);
+                    }
+                } else {
+                    // Match the complete subtrees at x and y.
+                    for y in lj..=j {
+                        let ly = g_lml[y as usize];
+                        let m = before[(lx as usize - 1) * stride + ly as usize - 1]
+                            + td[xi + y as usize];
+                        cand[y as usize] = (prev[y as usize] + dx).min(m);
+                    }
+                }
+                let mut run = cur[lj as usize - 1];
                 for y in lj..=j {
-                    let ly = g_lml[y as usize];
-                    let del = fd[at(x - 1, y)] + f_del[x as usize];
-                    let ins = fd[at(x, y - 1)] + g_ins[y as usize];
-                    let v = if lx == li && ly == lj {
-                        // Both prefixes are complete subtrees: rename case.
-                        let ren = fd[at(x - 1, y - 1)]
-                            + cm.rename(f.label(fv.node(x)), g.label(gv.node(y)));
-                        let best = del.min(ins).min(ren);
-                        td[at(x, y)] = best;
-                        best
-                    } else {
-                        // Match the complete subtrees at x and y.
-                        let m = fd[at(lx - 1, ly - 1)] + td[at(x, y)];
-                        del.min(ins).min(m)
-                    };
-                    fd[at(x, y)] = v;
+                    let v = cand[y as usize].min(run + g_ins[y as usize]);
+                    cur[y as usize] = v;
+                    run = v;
+                }
+                if lx == li {
+                    // Both prefixes were complete subtrees: record the
+                    // subtree distances.
+                    for y in lj..=j {
+                        if g_lml[y as usize] == lj {
+                            td[xi + y as usize] = cur[y as usize];
+                        }
+                    }
                 }
             }
         }

@@ -112,6 +112,48 @@ fn second_run_through_workspace_is_allocation_free() {
 }
 
 #[test]
+fn warm_bounded_verify_is_allocation_free() {
+    // The budgeted kernel draws every buffer from the same pooled
+    // workspace, so warm `ted_at_most` calls allocate nothing — in the
+    // exact regime, the exceeds regime (frontier abandonment), and the
+    // size-reject fast path alike, under both cost models.
+    use rted_core::{ted_at_most, BoundedResult};
+    let pairs = [
+        (mixed_tree(60, 31), mixed_tree(55, 32)),
+        (mixed_tree(25, 33), mixed_tree(70, 34)),
+    ];
+    let asym = PerLabelCost::new(1.5, 2.0, 0.75);
+
+    let mut ws = Workspace::new();
+    for (pi, (f, g)) in pairs.iter().enumerate() {
+        // Budgets on both sides of the threshold: ∞ (exact), generous,
+        // and tight enough to reject.
+        let d = match ted_at_most(f, g, &UnitCost, f64::INFINITY, &mut ws) {
+            BoundedResult::Exact(d) => d,
+            BoundedResult::Exceeds(_) => unreachable!("infinite budget"),
+        };
+        let budgets = [f64::INFINITY, d + 1.0, d / 2.0, 0.5];
+        for &tau in &budgets {
+            ted_at_most(f, g, &UnitCost, tau, &mut ws);
+            ted_at_most(f, g, &asym, tau, &mut ws);
+        }
+        let before = allocations();
+        for &tau in &budgets {
+            let unit = ted_at_most(f, g, &UnitCost, tau, &mut ws);
+            if tau >= d {
+                assert_eq!(unit, BoundedResult::Exact(d), "pair {pi} tau={tau}");
+            }
+            ted_at_most(f, g, &asym, tau, &mut ws);
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "pair {pi}: warm bounded verify performed {delta} allocations"
+        );
+    }
+}
+
+#[test]
 fn warm_diff_allocates_only_the_output_script() {
     // The diff-pipeline contract: a warm `edit_mapping_in` routes every
     // scratch buffer — keyroot DP tables, per-depth forest-DP sheets,

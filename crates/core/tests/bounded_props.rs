@@ -1,0 +1,126 @@
+//! Property tests for the bounded kernel: on both sides of the threshold
+//! `ted_at_most` must agree with exact RTED — `Exact(d)` with `d` equal to
+//! the true distance whenever `d ≤ τ`, and `Exceeds(b)` with a lower bound
+//! `b ≤ d` whenever `d > τ` — under the unit model and an asymmetric
+//! per-label model, in both operand orders, through one shared workspace
+//! (so the warm-buffer path is what gets exercised).
+
+use proptest::prelude::*;
+use rted_core::{
+    ted_at_most_run, Algorithm, BoundedResult, CostModel, PerLabelCost, UnitCost, Workspace,
+};
+use rted_tree::Tree;
+
+/// Builds a tree from random-attachment choices: node `i` (insertion
+/// order, `i ≥ 1`) becomes the next child of node `choices[i-1] % i`.
+fn tree_from_choices(labels: &[u8], choices: &[u32]) -> Tree<u8> {
+    let n = labels.len();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 1..n {
+        let p = choices[i - 1] % i as u32;
+        children[p as usize].push(i as u32);
+    }
+    let mut post_of = vec![u32::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+    while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+        if *i < children[v as usize].len() {
+            let c = children[v as usize][*i];
+            *i += 1;
+            stack.push((c, 0));
+        } else {
+            post_of[v as usize] = order.len() as u32;
+            order.push(v);
+            stack.pop();
+        }
+    }
+    let post_labels: Vec<u8> = order.iter().map(|&v| labels[v as usize]).collect();
+    let post_children: Vec<Vec<u32>> = order
+        .iter()
+        .map(|&v| {
+            children[v as usize]
+                .iter()
+                .map(|&c| post_of[c as usize])
+                .collect()
+        })
+        .collect();
+    Tree::from_postorder(post_labels, post_children)
+}
+
+fn arb_tree(max: usize) -> impl Strategy<Value = Tree<u8>> {
+    (1..=max).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(any::<u32>(), n.max(2) - 1),
+            proptest::collection::vec(0u8..3, n),
+        )
+            .prop_map(move |(choices, labels)| tree_from_choices(&labels, &choices))
+    })
+}
+
+/// Budgets straddling the true distance `d`, plus absolute edge cases.
+fn budgets(d: f64) -> [f64; 8] {
+    [
+        0.0,
+        d * 0.25,
+        (d - 1.0).max(0.0),
+        (d - 0.5).max(0.0),
+        d,
+        d + 0.5,
+        d * 2.0 + 1.0,
+        f64::INFINITY,
+    ]
+}
+
+fn check_pair<C: CostModel<u8>>(f: &Tree<u8>, g: &Tree<u8>, cm: &C, ws: &mut Workspace) {
+    let d = Algorithm::Rted.run(f, g, cm).distance;
+    for tau in budgets(d) {
+        let run = ted_at_most_run(f, g, cm, tau, ws);
+        match run.result {
+            BoundedResult::Exact(got) => {
+                assert!(d <= tau, "Exact below budget tau={tau} but d={d}");
+                assert_eq!(got, d, "exact value must match RTED at tau={tau}");
+                assert!(!run.early_exit, "Exact results cannot be early exits");
+            }
+            BoundedResult::Exceeds(lb) => {
+                assert!(d > tau, "Exceeds at tau={tau} but d={d}");
+                assert!(lb <= d, "bound {lb} above true distance {d} at tau={tau}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bounded_agrees_with_rted_on_both_threshold_sides(
+        f in arb_tree(14),
+        g in arb_tree(14),
+    ) {
+        let mut ws = Workspace::new();
+        let asym = PerLabelCost::new(1.5, 2.0, 0.75);
+        // Both cost models, both operand orders, one shared workspace.
+        for (a, b) in [(&f, &g), (&g, &f)] {
+            check_pair(a, b, &UnitCost, &mut ws);
+            check_pair(a, b, &asym, &mut ws);
+        }
+    }
+
+    #[test]
+    fn abandoned_runs_never_outwork_the_full_kernel(
+        f in arb_tree(14),
+        g in arb_tree(14),
+    ) {
+        let mut ws = Workspace::new();
+        let full = ted_at_most_run(&f, &g, &UnitCost, f64::INFINITY, &mut ws);
+        for tau in [0.0, 1.0, 3.0] {
+            let run = ted_at_most_run(&f, &g, &UnitCost, tau, &mut ws);
+            prop_assert!(
+                run.subproblems <= full.subproblems,
+                "bounded run did more work ({}) than the exact kernel ({})",
+                run.subproblems,
+                full.subproblems
+            );
+        }
+    }
+}

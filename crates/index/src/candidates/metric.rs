@@ -57,12 +57,50 @@ use crate::filter::FilterPipeline;
 use crate::verify::Verifier;
 use crate::{candidates::MetricStats, Neighbor, OrdF64, SearchStats};
 use rted_core::bounds::TreeSketch;
-use rted_core::Workspace;
+use rted_core::{BoundedResult, Workspace};
 use rted_tree::Tree;
 use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
 
 /// Absent child sentinel.
 const NONE_IDX: u32 = u32::MAX;
+
+/// One budget-aware verification of a leaf-bucket or overflow candidate,
+/// with counters folded into `stats`. Returns the exact distance iff it
+/// is ≤ `tau`; `None` means the budget is provably blown. Routing
+/// distances to vantage points must NOT go through this — the traversal
+/// needs the true distance to the vantage to bound both branches — so
+/// they stay on the exact [`Verifier::verify_in`] path.
+fn verify_bounded_into<L>(
+    verifier: &dyn Verifier<L>,
+    f: &Tree<L>,
+    g: &Tree<L>,
+    tau: f64,
+    ws: &mut Workspace,
+    stats: &mut SearchStats,
+) -> Option<f64> {
+    if tau == f64::INFINITY {
+        let run = verifier.verify_in(f, g, ws);
+        stats.verified += 1;
+        stats.subproblems += run.subproblems;
+        stats.ted_time += run.strategy_time + run.distance_time;
+        return Some(run.distance);
+    }
+    let started = Instant::now();
+    let bv = verifier.verify_within(f, g, tau, ws);
+    let spent = started.elapsed();
+    stats.verified += 1;
+    stats.subproblems += bv.subproblems;
+    stats.ted_time += spent;
+    stats.bounded_time += spent;
+    if bv.early_exit {
+        stats.early_exits += 1;
+    }
+    match bv.result {
+        BoundedResult::Exact(d) => Some(d),
+        BoundedResult::Exceeds(_) => None,
+    }
+}
 
 /// Tuning of the metric candidate generator.
 #[derive(Debug, Clone, Copy)]
@@ -324,15 +362,20 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
                             stats.filter.record(stage, 1);
                             continue;
                         }
-                        let run = verifier.verify_in(query, corpus.tree(id as usize), ws);
-                        stats.verified += 1;
-                        stats.subproblems += run.subproblems;
-                        stats.ted_time += run.strategy_time + run.distance_time;
-                        if run.distance < tau {
-                            out.push(Neighbor {
-                                id: id as usize,
-                                distance: run.distance,
-                            });
+                        if let Some(d) = verify_bounded_into(
+                            verifier,
+                            query,
+                            corpus.tree(id as usize),
+                            tau,
+                            ws,
+                            stats,
+                        ) {
+                            if d < tau {
+                                out.push(Neighbor {
+                                    id: id as usize,
+                                    distance: d,
+                                });
+                            }
                         }
                     }
                 }
@@ -392,15 +435,15 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
                 stats.filter.record(stage, 1);
                 continue;
             }
-            let run = verifier.verify_in(query, corpus.tree(id as usize), ws);
-            stats.verified += 1;
-            stats.subproblems += run.subproblems;
-            stats.ted_time += run.strategy_time + run.distance_time;
-            if run.distance < tau {
-                out.push(Neighbor {
-                    id: id as usize,
-                    distance: run.distance,
-                });
+            if let Some(d) =
+                verify_bounded_into(verifier, query, corpus.tree(id as usize), tau, ws, stats)
+            {
+                if d < tau {
+                    out.push(Neighbor {
+                        id: id as usize,
+                        distance: d,
+                    });
+                }
             }
         }
         stats.metric.merge(&metric);
@@ -439,11 +482,16 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
                     continue;
                 }
             }
-            let run = verifier.verify_in(query, corpus.tree(id as usize), ws);
-            stats.verified += 1;
-            stats.subproblems += run.subproblems;
-            stats.ted_time += run.strategy_time + run.distance_time;
-            Self::admit(&mut heap, k_eff, run.distance, id as usize);
+            // The current radius is the budget: a candidate proven beyond
+            // the k-th distance would be popped right back out, so it is
+            // simply not admitted (ties at the radius come back `Exact`
+            // and still win the id tie-break) — the heap evolves exactly
+            // as on the unbudgeted path.
+            if let Some(d) =
+                verify_bounded_into(verifier, query, corpus.tree(id as usize), r, ws, stats)
+            {
+                Self::admit(&mut heap, k_eff, d, id as usize);
+            }
         }
 
         let mut stack: Vec<(u32, f64)> = Vec::new();
@@ -475,11 +523,16 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
                                 continue;
                             }
                         }
-                        let run = verifier.verify_in(query, corpus.tree(id as usize), ws);
-                        stats.verified += 1;
-                        stats.subproblems += run.subproblems;
-                        stats.ted_time += run.strategy_time + run.distance_time;
-                        Self::admit(&mut heap, k_eff, run.distance, id as usize);
+                        if let Some(d) = verify_bounded_into(
+                            verifier,
+                            query,
+                            corpus.tree(id as usize),
+                            r,
+                            ws,
+                            stats,
+                        ) {
+                            Self::admit(&mut heap, k_eff, d, id as usize);
+                        }
                     }
                 }
                 VpNode::Inner {

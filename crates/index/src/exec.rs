@@ -12,6 +12,11 @@
 //! [`WorkspacePool`] recycles [`Workspace`]s across those workers — and
 //! across queries — so candidate verification stops allocating once the
 //! pool is warm.
+//!
+//! The executor itself is threshold-agnostic: the verification budget a
+//! query carries (range/join `tau`, the top-k batch radius) is threaded
+//! through the per-chunk closures in `lib.rs`, which hand it to the
+//! verifier's `verify_within` alongside a pooled workspace.
 
 use rted_core::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};

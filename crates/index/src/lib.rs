@@ -12,9 +12,15 @@
 //! * a staged [`FilterPipeline`] of sound [`rted_core::bounds::LowerBound`]
 //!   stages (size → depth → leaf → degree → histogram) prunes candidate
 //!   pairs before any exact computation, recording per-stage counters;
-//! * surviving candidates go to a pluggable [`Verifier`] — RTED under unit
-//!   costs by default, any [`rted_core::Algorithm`] and cost model on
-//!   request;
+//! * surviving candidates go to a pluggable [`Verifier`] — the
+//!   budget-aware [`BoundedVerifier`] (exact RTED under unit costs behind
+//!   a band-limited early-exit kernel) by default, any
+//!   [`rted_core::Algorithm`] and cost model on request. Queries hand the
+//!   verifier their threshold (`tau` for `range`/`join`, the current
+//!   radius for `top_k`) through [`Verifier::verify_within`], so the
+//!   verifier may abandon a pair the moment the budget is provably blown
+//!   — results are byte-identical to exact verification, only "no"
+//!   answers get cheaper;
 //! * a chunked executor ([`exec::map_chunks`]) spreads verification over
 //!   scoped threads; results are bit-identical for any thread count.
 //!
@@ -73,10 +79,10 @@ pub use filter::{FilterPipeline, FilterStats, StagePrune};
 pub use persist::{encode_corpus, salvage_corpus, CorpusFile, PersistError, RepairReport, Salvage};
 pub use store::{CorpusLog, CorpusStore, LogCounts, Recovery, WalObs};
 pub use totals::{IndexTotals, QueryKind, TotalsSnapshot};
-pub use verify::{AlgorithmVerifier, Verifier};
+pub use verify::{AlgorithmVerifier, BoundedVerifier, BoundedVerify, Verifier};
 
 use rted_core::bounds::TreeSketch;
-use rted_core::Algorithm;
+use rted_core::{Algorithm, BoundedResult, Workspace};
 use rted_tree::Tree;
 use std::collections::BinaryHeap;
 use std::sync::{PoisonError, RwLock};
@@ -166,8 +172,16 @@ pub struct SearchStats {
     /// Metric-tree traversal counters (all zero on the linear path).
     pub metric: MetricStats,
     /// Time spent inside exact TED computations (strategy + distance
-    /// phases, summed over all verifications of the query).
+    /// phases, summed over all verifications of the query; budget-aware
+    /// verifications contribute their wall time).
     pub ted_time: Duration,
+    /// Budget-aware verifications that stopped before completing because
+    /// the budget was provably blown (a subset of `verified`: an
+    /// early-exited verification still counts as one verification).
+    pub early_exits: usize,
+    /// Wall time inside budget-aware ([`Verifier::verify_within`])
+    /// verifications — a subset of `ted_time`.
+    pub bounded_time: Duration,
     /// Wall-clock time of the whole query.
     pub time: Duration,
 }
@@ -229,6 +243,8 @@ struct ChunkOut<T> {
     verified: usize,
     subproblems: u64,
     ted_time: Duration,
+    early_exits: usize,
+    bounded_time: Duration,
     found: Vec<T>,
 }
 
@@ -239,8 +255,46 @@ impl<T> ChunkOut<T> {
             verified: 0,
             subproblems: 0,
             ted_time: Duration::ZERO,
+            early_exits: 0,
+            bounded_time: Duration::ZERO,
             found: Vec::new(),
         }
+    }
+}
+
+/// One budget-aware verification through `verifier`, with counters folded
+/// into `out`. Returns `Some(d)` — the exact distance — iff `d ≤ tau`;
+/// `None` means the pair provably exceeds the budget (and, since matching
+/// is strict, can never match). An infinite `tau` takes the plain exact
+/// path so unbudgeted queries are bit-for-bit unchanged.
+fn verify_bounded<L, T>(
+    verifier: &dyn Verifier<L>,
+    f: &Tree<L>,
+    g: &Tree<L>,
+    tau: f64,
+    ws: &mut Workspace,
+    out: &mut ChunkOut<T>,
+) -> Option<f64> {
+    if tau == f64::INFINITY {
+        let run = verifier.verify_in(f, g, ws);
+        out.verified += 1;
+        out.subproblems += run.subproblems;
+        out.ted_time += run.strategy_time + run.distance_time;
+        return Some(run.distance);
+    }
+    let started = Instant::now();
+    let bv = verifier.verify_within(f, g, tau, ws);
+    let spent = started.elapsed();
+    out.verified += 1;
+    out.subproblems += bv.subproblems;
+    out.ted_time += spent;
+    out.bounded_time += spent;
+    if bv.early_exit {
+        out.early_exits += 1;
+    }
+    match bv.result {
+        BoundedResult::Exact(d) => Some(d),
+        BoundedResult::Exceeds(_) => None,
     }
 }
 
@@ -248,8 +302,9 @@ impl<L> TreeIndex<L>
 where
     L: Eq + std::hash::Hash + Clone + Send + Sync + 'static,
 {
-    /// Builds an index with the standard filter pipeline, the RTED unit-
-    /// cost verifier, and the default execution policy.
+    /// Builds an index with the standard filter pipeline, the budget-aware
+    /// RTED unit-cost verifier ([`BoundedVerifier`]), and the default
+    /// execution policy.
     pub fn build(trees: impl IntoIterator<Item = Tree<L>>) -> Self {
         Self::from_corpus(TreeCorpus::build(trees))
     }
@@ -262,7 +317,7 @@ where
         TreeIndex {
             corpus,
             pipeline,
-            verifier: Box::new(AlgorithmVerifier::rted()),
+            verifier: Box::new(BoundedVerifier::rted()),
             policy: ExecPolicy::default(),
             scratch: WorkspacePool::new(),
             metric_enabled: false,
@@ -333,6 +388,26 @@ where
         self.totals
             .record_distance(run.subproblems, run.strategy_time + run.distance_time);
         run
+    }
+
+    /// Budget-aware distance between two trees under this index's
+    /// verifier: the exact distance when it is ≤ `tau`, or a certified
+    /// lower bound the moment the budget is provably blown — the serving
+    /// layer's `distance … at_most` path. Shares `distance_in`'s
+    /// allocation-free recording; early exits land in the
+    /// `index_verify_early_exit_total` metric.
+    pub fn distance_within(
+        &self,
+        f: &Tree<L>,
+        g: &Tree<L>,
+        tau: f64,
+        ws: &mut rted_core::Workspace,
+    ) -> BoundedVerify {
+        let started = Instant::now();
+        let bv = self.verifier.verify_within(f, g, tau, ws);
+        self.totals
+            .record_bounded_distance(bv.subproblems, started.elapsed(), bv.early_exit);
+        bv
     }
 
     /// Optimal edit mapping between two trees under **unit costs**,
@@ -555,15 +630,19 @@ where
                             continue;
                         }
                     }
-                    let run = verifier.verify_in(query, entry.tree(), ws.get());
-                    out.verified += 1;
-                    out.subproblems += run.subproblems;
-                    out.ted_time += run.strategy_time + run.distance_time;
-                    if run.distance < tau {
-                        out.found.push(Neighbor {
-                            id: id as usize,
-                            distance: run.distance,
-                        });
+                    // The verifier gets the query threshold: a pair whose
+                    // distance provably exceeds `tau` cannot match, so the
+                    // bounded kernel may stop early. Matching stays strict
+                    // (`d < tau`); `Some(d)` guarantees `d ≤ tau` exactly.
+                    if let Some(d) =
+                        verify_bounded(verifier, query, entry.tree(), tau, ws.get(), &mut out)
+                    {
+                        if d < tau {
+                            out.found.push(Neighbor {
+                                id: id as usize,
+                                distance: d,
+                            });
+                        }
                     }
                 }
                 out
@@ -576,6 +655,8 @@ where
             stats.verified += out.verified;
             stats.subproblems += out.subproblems;
             stats.ted_time += out.ted_time;
+            stats.early_exits += out.early_exits;
+            stats.bounded_time += out.bounded_time;
             neighbors.extend(out.found);
         }
         neighbors.sort_by_key(|n| n.id);
@@ -682,34 +763,47 @@ where
             }
 
             // Verify the survivors in parallel, then fold them into the
-            // best-k heap in deterministic (batch) order.
-            let runs = map_chunks_with(
+            // best-k heap in deterministic (batch) order. The batch-start
+            // radius is the verification budget: once the heap is full, a
+            // candidate that provably exceeds the current k-th distance
+            // would be popped right back out, so `Exceeds` survivors are
+            // simply not folded — the heap evolves identically to the
+            // exact path (a tie at the radius is still returned `Exact`
+            // and can win the id tie-break). The budget is fixed per batch
+            // — never the mid-batch shrinking radius — so counters and
+            // results are reproducible across thread counts.
+            let chunk_outs = map_chunks_with(
                 &survivors,
                 &self.policy,
                 || self.scratch.take(),
                 |ws, _, chunk| {
-                    chunk
-                        .iter()
-                        .map(|&id| {
-                            let run =
-                                verifier.verify_in(query, self.corpus.tree(id as usize), ws.get());
-                            (
-                                id as usize,
-                                run.distance,
-                                run.subproblems,
-                                run.strategy_time + run.distance_time,
-                            )
-                        })
-                        .collect::<Vec<_>>()
+                    let mut out: ChunkOut<(usize, f64)> = ChunkOut::new(&self.pipeline);
+                    for &id in chunk {
+                        if let Some(d) = verify_bounded(
+                            verifier,
+                            query,
+                            self.corpus.tree(id as usize),
+                            radius,
+                            ws.get(),
+                            &mut out,
+                        ) {
+                            out.found.push((id as usize, d));
+                        }
+                    }
+                    out
                 },
             );
-            for (id, distance, subproblems, ted_time) in runs.into_iter().flatten() {
-                stats.verified += 1;
-                stats.subproblems += subproblems;
-                stats.ted_time += ted_time;
-                heap.push((OrdF64(distance), id));
-                if heap.len() > k {
-                    heap.pop();
+            for out in chunk_outs {
+                stats.verified += out.verified;
+                stats.subproblems += out.subproblems;
+                stats.ted_time += out.ted_time;
+                stats.early_exits += out.early_exits;
+                stats.bounded_time += out.bounded_time;
+                for (id, distance) in out.found {
+                    heap.push((OrdF64(distance), id));
+                    if heap.len() > k {
+                        heap.pop();
+                    }
                 }
             }
         }
@@ -784,20 +878,21 @@ where
                         // with i < j.
                         let (left, right) =
                             ((i as usize).min(j as usize), (i as usize).max(j as usize));
-                        let run = verifier.verify_in(
+                        if let Some(d) = verify_bounded(
+                            verifier,
                             self.corpus.tree(left),
                             self.corpus.tree(right),
+                            tau,
                             ws.get(),
-                        );
-                        out.verified += 1;
-                        out.subproblems += run.subproblems;
-                        out.ted_time += run.strategy_time + run.distance_time;
-                        if run.distance < tau {
-                            out.found.push(JoinPair {
-                                left,
-                                right,
-                                distance: run.distance,
-                            });
+                            &mut out,
+                        ) {
+                            if d < tau {
+                                out.found.push(JoinPair {
+                                    left,
+                                    right,
+                                    distance: d,
+                                });
+                            }
                         }
                     }
                 }
@@ -811,6 +906,8 @@ where
             stats.verified += out.verified;
             stats.subproblems += out.subproblems;
             stats.ted_time += out.ted_time;
+            stats.early_exits += out.early_exits;
+            stats.bounded_time += out.bounded_time;
             matches.extend(out.found);
         }
         matches.sort_by_key(|m| (m.left, m.right));

@@ -58,6 +58,12 @@ pub struct IndexTotals {
     subproblems: Counter,
     /// Time inside exact TED (strategy + distance phases), summed (ns).
     ted_ns: Counter,
+    /// Budget-aware verifications that stopped early because the budget
+    /// was provably blown (a subset of `verified` + `distance_calls`).
+    verify_early_exits: Counter,
+    /// Wall time inside budget-aware verifications, summed (ns) — a
+    /// subset of `ted_ns`.
+    verify_bounded_ns: Counter,
     /// Metric-tree nodes visited, summed.
     metric_nodes_visited: Counter,
     /// Metric-tree routing TED computations, summed (included in
@@ -82,6 +88,8 @@ impl IndexTotals {
             verified: Counter::new(),
             subproblems: Counter::new(),
             ted_ns: Counter::new(),
+            verify_early_exits: Counter::new(),
+            verify_bounded_ns: Counter::new(),
             metric_nodes_visited: Counter::new(),
             metric_routing_ted: Counter::new(),
         }
@@ -102,6 +110,8 @@ impl IndexTotals {
         self.verified.add(stats.verified as u64);
         self.subproblems.add(stats.subproblems);
         self.ted_ns.add(duration_ns(stats.ted_time));
+        self.verify_early_exits.add(stats.early_exits as u64);
+        self.verify_bounded_ns.add(duration_ns(stats.bounded_time));
         self.metric_nodes_visited
             .add(stats.metric.nodes_visited as u64);
         self.metric_routing_ted.add(stats.metric.routing_ted as u64);
@@ -128,6 +138,22 @@ impl IndexTotals {
         self.ted_ns.add(duration_ns(ted_time));
     }
 
+    /// Folds one budget-aware point-to-point distance computation in (the
+    /// serving layer's `distance … at_most` request). `spent` is wall
+    /// time inside the verification; it counts toward both `ted_ns` and
+    /// `bounded_ns`.
+    #[inline]
+    pub fn record_bounded_distance(&self, subproblems: u64, spent: Duration, early_exit: bool) {
+        self.distance_calls.inc();
+        self.subproblems.add(subproblems);
+        let ns = duration_ns(spent);
+        self.ted_ns.add(ns);
+        self.verify_bounded_ns.add(ns);
+        if early_exit {
+            self.verify_early_exits.inc();
+        }
+    }
+
     /// A point-in-time copy of every total.
     pub fn snapshot(&self) -> TotalsSnapshot {
         TotalsSnapshot {
@@ -150,6 +176,8 @@ impl IndexTotals {
             verified: self.verified.get(),
             subproblems: self.subproblems.get(),
             ted_ns: self.ted_ns.get(),
+            verify_early_exits: self.verify_early_exits.get(),
+            verify_bounded_ns: self.verify_bounded_ns.get(),
             metric_nodes_visited: self.metric_nodes_visited.get(),
             metric_routing_ted: self.metric_routing_ted.get(),
         }
@@ -187,6 +215,12 @@ pub struct TotalsSnapshot {
     pub subproblems: u64,
     /// Time inside exact TED (ns), over queries *and* distance calls.
     pub ted_ns: u64,
+    /// Budget-aware verifications that stopped early (budget provably
+    /// blown), over queries *and* `distance … at_most` calls.
+    pub verify_early_exits: u64,
+    /// Wall time inside budget-aware verifications (ns) — a subset of
+    /// `ted_ns`.
+    pub verify_bounded_ns: u64,
     /// Metric-tree nodes visited, summed.
     pub metric_nodes_visited: u64,
     /// Metric-tree routing TED computations, summed.
@@ -215,6 +249,8 @@ impl TotalsSnapshot {
         snap.push("index_verified_total", C(self.verified));
         snap.push("index_subproblems_total", C(self.subproblems));
         snap.push("index_ted_ns_total", C(self.ted_ns));
+        snap.push("index_verify_early_exit_total", C(self.verify_early_exits));
+        snap.push("index_verify_bounded_ns", C(self.verify_bounded_ns));
         snap.push(
             "index_metric_nodes_visited_total",
             C(self.metric_nodes_visited),

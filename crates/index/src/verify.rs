@@ -6,8 +6,22 @@
 //! [`CostModel`] plug in — including borrowed cost models, since
 //! `CostModel` is implemented for references.
 
-use rted_core::{Algorithm, CostModel, RunStats, UnitCost, Workspace};
+use rted_core::{
+    ted_at_most_run, Algorithm, BoundedResult, CostModel, RunStats, UnitCost, Workspace,
+};
 use rted_tree::Tree;
+
+/// Outcome of a budget-aware verification (see [`Verifier::verify_within`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedVerify {
+    /// Exact distance (when within budget) or a certified lower bound.
+    pub result: BoundedResult,
+    /// DP cells computed by this verification.
+    pub subproblems: u64,
+    /// `true` when the verifier stopped before completing the computation
+    /// because the budget was provably blown.
+    pub early_exit: bool,
+}
 
 /// Computes exact tree edit distances for candidate pairs.
 ///
@@ -26,6 +40,38 @@ pub trait Verifier<L>: Send + Sync {
     fn verify_in(&self, f: &Tree<L>, g: &Tree<L>, ws: &mut Workspace) -> RunStats {
         let _ = ws;
         self.verify(f, g)
+    }
+
+    /// Budget-aware verification: the query only needs to know whether the
+    /// pair is within distance `tau` (and the exact distance when it is),
+    /// so the verifier may stop the moment the budget is provably blown.
+    ///
+    /// The default implementation runs the exact [`Verifier::verify_in`]
+    /// and classifies its distance, so custom verifiers keep working
+    /// unchanged; implementations that exit early must return
+    /// [`BoundedResult::Exact`] values identical to the exact path
+    /// whenever the distance is ≤ `tau` — query results must not depend
+    /// on which path ran. A non-finite `tau` must behave exactly like
+    /// [`Verifier::verify_in`].
+    fn verify_within(
+        &self,
+        f: &Tree<L>,
+        g: &Tree<L>,
+        tau: f64,
+        ws: &mut Workspace,
+    ) -> BoundedVerify {
+        let run = self.verify_in(f, g, ws);
+        let result = if run.distance <= tau {
+            BoundedResult::Exact(run.distance)
+        } else {
+            // The exact distance is the tightest possible lower bound.
+            BoundedResult::Exceeds(run.distance)
+        };
+        BoundedVerify {
+            result,
+            subproblems: run.subproblems,
+            early_exit: false,
+        }
     }
 
     /// Human-readable name for reports.
@@ -80,5 +126,72 @@ impl<L, C: CostModel<L> + Send + Sync> Verifier<L> for AlgorithmVerifier<C> {
 
     fn name(&self) -> &'static str {
         self.algorithm.name()
+    }
+}
+
+/// The default budget-aware verifier: exact RTED when no budget applies
+/// (unbudgeted `verify`/`verify_in` calls, metric-tree routing, the
+/// τ = ∞ path), and the bounded early-exit kernel
+/// [`ted_at_most`](rted_core::ted_at_most) when a query supplies a finite
+/// budget. Within-budget distances are identical to the exact path, so
+/// query results do not depend on which kernel ran — the bounded kernel
+/// only makes "no" answers cheaper.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedVerifier<C = UnitCost> {
+    /// The exact verifier behind the unbudgeted paths.
+    pub exact: AlgorithmVerifier<C>,
+}
+
+impl BoundedVerifier<UnitCost> {
+    /// Bounded verification over exact RTED under unit costs — the
+    /// index default.
+    pub fn rted() -> Self {
+        BoundedVerifier {
+            exact: AlgorithmVerifier::rted(),
+        }
+    }
+}
+
+impl Default for BoundedVerifier<UnitCost> {
+    fn default() -> Self {
+        Self::rted()
+    }
+}
+
+impl<L, C: CostModel<L> + Send + Sync> Verifier<L> for BoundedVerifier<C> {
+    fn verify(&self, f: &Tree<L>, g: &Tree<L>) -> RunStats {
+        self.exact.verify(f, g)
+    }
+
+    fn verify_in(&self, f: &Tree<L>, g: &Tree<L>, ws: &mut Workspace) -> RunStats {
+        self.exact.verify_in(f, g, ws)
+    }
+
+    fn verify_within(
+        &self,
+        f: &Tree<L>,
+        g: &Tree<L>,
+        tau: f64,
+        ws: &mut Workspace,
+    ) -> BoundedVerify {
+        if tau == f64::INFINITY {
+            // No budget to exploit: the exact kernel, verbatim.
+            let run = self.verify_in(f, g, ws);
+            return BoundedVerify {
+                result: BoundedResult::Exact(run.distance),
+                subproblems: run.subproblems,
+                early_exit: false,
+            };
+        }
+        let run = ted_at_most_run(f, g, &self.exact.cost_model, tau, ws);
+        BoundedVerify {
+            result: run.result,
+            subproblems: run.subproblems,
+            early_exit: run.early_exit,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded"
     }
 }

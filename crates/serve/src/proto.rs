@@ -16,7 +16,7 @@
 //! |------------|------------------------------------------|------------------------------------------------------------------------------|
 //! | `range`    | `tree` (string), `tau` (number, omit = unbounded) | `neighbors` (array of `{id, distance}`), `candidates`, `verified`    |
 //! | `topk`     | `tree` (string), `k` (number, default 5) | `neighbors` (array of `{id, distance}`), `candidates`, `verified`            |
-//! | `distance` | `left`, `right` (each: id number or tree string) | `distance` (number)                                                  |
+//! | `distance` | `left`, `right` (each: id number or tree string), `at_most` (number, omit = exact) | `distance` (number); with a finite `at_most` budget the answer may instead be `exceeds` (`true`) + `lower_bound` (number) when the distance provably exceeds the budget — the bounded kernel stops early instead of finishing the computation |
 //! | `diff`     | `left`, `right` (each: id number or tree string) | `distance`, `ops` (array of script steps: `{"op":"delete","node",` `"label"}`, `{"op":"insert","node","label"}`, `{"op":"rename","from","to","old","new"}`, `{"op":"keep","from","to","label"}`), `summary` (`{deletes, inserts, renames, keeps}`) |
 //! | `insert`   | `trees` (array of tree strings)          | `ids` (assigned ids, ascending)                                              |
 //! | `remove`   | `ids` (array of id numbers)              | `removed` (count actually live)                                              |
@@ -85,13 +85,18 @@ pub enum Request {
         /// Neighbour count.
         k: usize,
     },
-    /// Exact distance between two operands. With both operands given as
-    /// ids this is the service's allocation-free fast path.
+    /// Distance between two operands. With both operands given as ids
+    /// this is the service's allocation-free fast path. A finite
+    /// `at_most` budget routes through the bounded early-exit kernel:
+    /// the exact distance comes back whenever it is ≤ the budget, a
+    /// certified lower bound otherwise.
     Distance {
         /// Left operand.
         left: TreeRef,
         /// Right operand.
         right: TreeRef,
+        /// Verification budget (`f64::INFINITY` = exact, the default).
+        at_most: f64,
     },
     /// Optimal edit script between two operands (unit costs); the
     /// response's `distance` equals what `distance` reports for the same
@@ -217,8 +222,12 @@ pub enum Response {
         /// Exact verifications performed.
         verified: usize,
     },
-    /// Exact distance for `distance`.
+    /// Exact distance for `distance` (within any requested budget).
     Distance(f64),
+    /// Budget-exceeded answer for `distance` with a finite `at_most`:
+    /// the payload is a certified lower bound on the true distance
+    /// (always ≥ the budget; the exact distance is strictly above it).
+    DistanceExceeds(f64),
     /// Edit script for `diff` (its `cost` is rendered as `distance`).
     Diff(rted_core::EditScript),
     /// Assigned ids for `insert`.
@@ -343,10 +352,18 @@ fn parse_request_value(v: &Value) -> Result<Request, String> {
             })
         }
         "distance" => {
-            expect_keys(v, op, &["left", "right"])?;
+            expect_keys(v, op, &["left", "right", "at_most"])?;
+            let at_most = match v.get("at_most") {
+                None => f64::INFINITY,
+                Some(t) => t
+                    .as_f64()
+                    .filter(|t| !t.is_nan())
+                    .ok_or_else(|| field_err(op, "\"at_most\" must be a number"))?,
+            };
             Ok(Request::Distance {
                 left: tree_ref_field(v, op, "left")?,
                 right: tree_ref_field(v, op, "right")?,
+                at_most,
             })
         }
         "diff" => {
@@ -469,6 +486,11 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
         Response::Distance(d) => {
             out.push_str("\"ok\":true,\"distance\":");
             write_number(*d, &mut out);
+            out.push('}');
+        }
+        Response::DistanceExceeds(lb) => {
+            out.push_str("\"ok\":true,\"exceeds\":true,\"lower_bound\":");
+            write_number(*lb, &mut out);
             out.push('}');
         }
         Response::Diff(script) => {
@@ -680,7 +702,16 @@ mod tests {
             Request::Distance {
                 left: TreeRef::Id(3),
                 right: TreeRef::Inline(t),
-            } => assert_eq!(to_bracket(&t), "{x{y}}"),
+                at_most,
+            } => {
+                assert_eq!(to_bracket(&t), "{x{y}}");
+                // at_most omitted = exact.
+                assert_eq!(at_most, f64::INFINITY);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_request(r#"{"op":"distance","left":0,"right":1,"at_most":2.5}"#).unwrap() {
+            Request::Distance { at_most, .. } => assert_eq!(at_most, 2.5),
             other => panic!("{other:?}"),
         }
         match parse_request(r#"{"op":"diff","left":"{a{b}}","right":2}"#).unwrap() {
@@ -775,9 +806,11 @@ mod tests {
             r#"{"op":"range"}"#,                       // missing tree
             r#"{"op":"topk","tree":"{a}","k":-1}"#,    // negative k
             r#"{"op":"distance","left":true,"right":0}"#,
-            r#"{"op":"diff","left":0}"#, // missing right
-            r#"{"op":"diff","left":0,"right":1,"costs":"1,1,1"}"#, // unknown key
-            r#"{"op":"insert","trees":"{a}"}"#, // not an array
+            r#"{"op":"distance","left":0,"right":1,"at_most":"2"}"#, // non-numeric budget
+            r#"{"op":"distance","left":0,"right":1,"atmost":2}"#,    // typoed key
+            r#"{"op":"diff","left":0}"#,                             // missing right
+            r#"{"op":"diff","left":0,"right":1,"costs":"1,1,1"}"#,   // unknown key
+            r#"{"op":"insert","trees":"{a}"}"#,                      // not an array
             r#"{"op":"remove","ids":[1.5]}"#,
             r#"{"op":"status","x":1}"#,
             r#"{"op":"metrics","format":"xml"}"#, // unsupported format
@@ -811,9 +844,15 @@ mod tests {
             render_response(&Response::Error("bad \"op\"".into())),
             r#"{"ok":false,"error":"bad \"op\""}"#
         );
+        // The budget-exceeded answer renders byte-stably (0.0 as "0").
+        assert_eq!(
+            render_response(&Response::DistanceExceeds(3.0)),
+            r#"{"ok":true,"exceeds":true,"lower_bound":3}"#
+        );
         // Every shape is valid JSON on one line.
         for resp in [
             Response::Distance(3.0),
+            Response::DistanceExceeds(2.5),
             Response::Inserted(vec![5, 6]),
             Response::Removed(2),
             Response::Compacted(true),

@@ -445,7 +445,11 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
                 verified: res.stats.verified,
             }
         }
-        Request::Distance { left, right } => {
+        Request::Distance {
+            left,
+            right,
+            at_most,
+        } => {
             let index = relock(shared.index.read());
             let corpus = index.corpus();
             let left_tree: &Tree<String> = match &left {
@@ -462,8 +466,19 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
                     None => return Response::Error(format!("no live tree with id {id}")),
                 },
             };
-            let run = index.distance_in(left_tree, right_tree, ws);
-            Response::Distance(run.distance)
+            if at_most == f64::INFINITY {
+                let run = index.distance_in(left_tree, right_tree, ws);
+                Response::Distance(run.distance)
+            } else {
+                // Budgeted path: the bounded kernel may stop the moment
+                // the budget is provably blown, answering with a
+                // certified lower bound instead of the exact distance.
+                let bv = index.distance_within(left_tree, right_tree, at_most, ws);
+                match bv.result {
+                    rted_core::BoundedResult::Exact(d) => Response::Distance(d),
+                    rted_core::BoundedResult::Exceeds(lb) => Response::DistanceExceeds(lb),
+                }
+            }
         }
         Request::Diff { left, right } => {
             let index = relock(shared.index.read());

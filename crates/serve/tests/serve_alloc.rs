@@ -111,6 +111,7 @@ fn warm_distance_requests_allocate_nothing() {
         match client.call(Request::Distance {
             left: TreeRef::Id(l),
             right: TreeRef::Id(r),
+            at_most: f64::INFINITY,
         }) {
             Response::Distance(d) => expected.push(d),
             other => panic!("{other:?}"),
@@ -124,6 +125,7 @@ fn warm_distance_requests_allocate_nothing() {
             match client.call(Request::Distance {
                 left: TreeRef::Id(l),
                 right: TreeRef::Id(r),
+                at_most: f64::INFINITY,
             }) {
                 Response::Distance(d) => assert_eq!(d, expected[i], "round {round}"),
                 other => panic!("{other:?}"),

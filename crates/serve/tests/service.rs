@@ -100,6 +100,7 @@ fn concurrent_clients_agree_with_brute_force() {
                 match client.call(Request::Distance {
                     left: TreeRef::Id(t),
                     right: TreeRef::Id(t + 5),
+                    at_most: f64::INFINITY,
                 }) {
                     Response::Distance(d) => assert_eq!(d, expect),
                     other => panic!("{other:?}"),
@@ -135,6 +136,7 @@ fn mutations_are_durable_and_queryable() {
     match client.call(Request::Distance {
         left: TreeRef::Id(1),
         right: TreeRef::Id(0),
+        at_most: f64::INFINITY,
     }) {
         Response::Error(msg) => assert!(msg.contains("id 1"), "{msg}"),
         other => panic!("{other:?}"),
@@ -383,6 +385,7 @@ fn metrics_surface_reflects_served_traffic() {
     match client.call(Request::Distance {
         left: TreeRef::Id(0),
         right: TreeRef::Id(1),
+        at_most: f64::INFINITY,
     }) {
         Response::Distance(_) => {}
         other => panic!("{other:?}"),
@@ -397,6 +400,7 @@ fn metrics_surface_reflects_served_traffic() {
     match client.call(Request::Distance {
         left: TreeRef::Id(9999),
         right: TreeRef::Id(0),
+        at_most: f64::INFINITY,
     }) {
         Response::Error(_) => {}
         other => panic!("{other:?}"),
@@ -486,6 +490,7 @@ fn diff_scripts_are_served_and_agree_with_distance() {
         let d = match client.call(Request::Distance {
             left: TreeRef::Id(left),
             right: TreeRef::Id(right),
+            at_most: f64::INFINITY,
         }) {
             Response::Distance(d) => d,
             other => panic!("{other:?}"),
@@ -559,6 +564,89 @@ fn diff_scripts_are_served_and_agree_with_distance() {
                 Some(rted_obs::MetricValue::Counter(v)) => {
                     assert_eq!(*v, 5, "dead-id never reached the index")
                 }
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bounded_distance_answers_exact_or_certified_exceeds() {
+    use rted_serve::MetricsFormat;
+    // Tree 0 and 1 are near-identical; tree 2 is a deep chain far from
+    // both — tight budgets must reject it with a certified lower bound.
+    let trees: Vec<Tree<String>> = ["{a{b}{c}}", "{a{b}{d}}", "{x{y{z{w{v{u}}}}}}"]
+        .iter()
+        .map(|t| parse_bracket(t).unwrap())
+        .collect();
+    let server = Server::in_memory(trees.clone(), cfg(1));
+    let mut client = server.client();
+
+    // Exact reference distances.
+    let mut ws = Workspace::new();
+    let d01 = Algorithm::Rted
+        .run_in(&trees[0], &trees[1], &UnitCost, &mut ws)
+        .distance;
+    let d02 = Algorithm::Rted
+        .run_in(&trees[0], &trees[2], &UnitCost, &mut ws)
+        .distance;
+
+    // Generous budget: the exact distance comes back, bit-identical.
+    match client.call(Request::Distance {
+        left: TreeRef::Id(0),
+        right: TreeRef::Id(1),
+        at_most: d01 + 1.0,
+    }) {
+        Response::Distance(d) => assert_eq!(d, d01),
+        other => panic!("{other:?}"),
+    }
+    // A budget exactly at the distance is still within it.
+    match client.call(Request::Distance {
+        left: TreeRef::Id(0),
+        right: TreeRef::Id(1),
+        at_most: d01,
+    }) {
+        Response::Distance(d) => assert_eq!(d, d01),
+        other => panic!("{other:?}"),
+    }
+    // Blown budget: a certified lower bound, never above the true
+    // distance, at least the budget.
+    match client.call(Request::Distance {
+        left: TreeRef::Id(0),
+        right: TreeRef::Id(2),
+        at_most: 1.0,
+    }) {
+        Response::DistanceExceeds(lb) => {
+            assert!(lb >= 1.0, "lower bound {lb} below budget");
+            assert!(lb <= d02, "lower bound {lb} above exact distance {d02}");
+        }
+        other => panic!("{other:?}"),
+    }
+    // Inline trees work on the budgeted path too.
+    match client.call(Request::Distance {
+        left: TreeRef::Inline(parse_bracket("{a}").unwrap()),
+        right: TreeRef::Inline(parse_bracket("{a{b{c{d}}}}").unwrap()),
+        at_most: 0.5,
+    }) {
+        Response::DistanceExceeds(lb) => assert!(lb >= 0.5),
+        other => panic!("{other:?}"),
+    }
+
+    // The early-exit and bounded-time counters surface in metrics.
+    match client.call(Request::Metrics {
+        format: MetricsFormat::Json,
+    }) {
+        Response::Metrics(snap) => {
+            match snap.get("index_verify_early_exit_total") {
+                Some(rted_obs::MetricValue::Counter(v)) => {
+                    assert!(*v >= 1, "expected early exits, saw {v}")
+                }
+                other => panic!("{other:?}"),
+            }
+            match snap.get("index_verify_bounded_ns") {
+                Some(rted_obs::MetricValue::Counter(v)) => assert!(*v > 0),
                 other => panic!("{other:?}"),
             }
         }

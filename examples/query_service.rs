@@ -71,6 +71,7 @@ fn main() {
     if let Response::Distance(d) = client.call(Request::Distance {
         left: TreeRef::Id(0),
         right: TreeRef::Id(4), // the memo inserted before the crash
+        at_most: f64::INFINITY,
     }) {
         println!("distance(article, memo) = {d}");
     }

@@ -120,6 +120,20 @@ if "$RTED" diff --index "$WORK/corpus.idx" 3 "$id_b" 2> "$WORK/err.txt"; then
 fi
 grep -q "no live tree" "$WORK/err.txt" || fail "unclear dead-id diff error: $(cat "$WORK/err.txt")"
 
+# --- 3c. Budget-aware distance agrees with the full computation ---------
+# A budget at the exact distance must reproduce it byte-for-byte; a
+# budget below it must print a certified `exceeds` bound no larger than
+# the true distance.
+b=$("$RTED" distance "$tree_a" "$tree_b" --at-most "$d" 2>/dev/null)
+[[ "$b" == "$d" ]] || fail "distance --at-most $d printed $b, full run printed $d"
+if [[ "$d" != "0" ]]; then
+    ex=$("$RTED" distance "$tree_a" "$tree_b" --at-most 0 2>/dev/null)
+    [[ "$ex" == exceeds\ * ]] || fail "budget 0 on distinct trees must print exceeds: $ex"
+    lb=${ex#exceeds }
+    awk -v lb="$lb" -v d="$d" 'BEGIN { exit !(lb <= d && lb >= 0) }' \
+        || fail "exceeds bound $lb not in [0, $d]"
+fi
+
 # --- 4. Damaged files must be rejected with a clear error ---------------
 head -c 100 "$WORK/corpus.idx" > "$WORK/truncated.idx"
 if "$RTED" search --index "$WORK/truncated.idx" "$QUERY" --tau 2 2> "$WORK/err.txt"; then

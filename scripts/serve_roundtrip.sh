@@ -133,6 +133,32 @@ echo "$metrics" | grep -q '"index_diff_calls_total":2' || fail "metrics: expecte
 echo '{"op":"status"}' | "$RTED" query --socket "$SOCK" | grep -q '"ops":\["range","topk","distance","insert","remove","status","compact","metrics","diff","shutdown"\]' \
     || fail "status must list supported ops incl. diff"
 
+# --- 2d. Budget-aware distance: at_most is a field, not a new op --------
+# A met budget answers the plain exact distance line, byte-identical to
+# an unbudgeted request; a blown budget answers a certified
+# exceeds/lower_bound line. Both sides down to the byte: a near pair
+# (distance 1), a same-size far pair (frontier abandonment, bound = τ),
+# and a size-mismatched pair (size pre-bound 3 beats τ = 1).
+{
+    echo '{"op":"distance","left":"{a{b}{c}}","right":"{a{b}{x}}","at_most":5,"id":"b1"}'
+    echo '{"op":"distance","left":"{a{b}{c}}","right":"{x{y}{z}}","at_most":1,"id":"b2"}'
+    echo '{"op":"distance","left":"{a{b}{c}}","right":"{q{w{e{r{t{y}}}}}}","at_most":1,"id":"b3"}'
+    echo '{"op":"distance","left":"{a{b}{c}}","right":"{x{y}{z}}","at_most":3,"id":"b4"}'
+} | "$RTED" query --socket "$SOCK" > "$WORK/bounded.out"
+[[ "$(sed -n 1p "$WORK/bounded.out")" == '{"id":"b1","ok":true,"distance":1}' ]] \
+    || fail "met budget must answer the exact distance: $(sed -n 1p "$WORK/bounded.out")"
+[[ "$(sed -n 2p "$WORK/bounded.out")" == '{"id":"b2","ok":true,"exceeds":true,"lower_bound":1}' ]] \
+    || fail "abandoned frontier must certify the budget as the bound: $(sed -n 2p "$WORK/bounded.out")"
+[[ "$(sed -n 3p "$WORK/bounded.out")" == '{"id":"b3","ok":true,"exceeds":true,"lower_bound":3}' ]] \
+    || fail "size pre-bound must be the certified bound: $(sed -n 3p "$WORK/bounded.out")"
+[[ "$(sed -n 4p "$WORK/bounded.out")" == '{"id":"b4","ok":true,"distance":3}' ]] \
+    || fail "budget exactly at the distance must stay exact: $(sed -n 4p "$WORK/bounded.out")"
+metrics=$(echo '{"op":"metrics","format":"json"}' | "$RTED" query --socket "$SOCK")
+echo "$metrics" | grep -q '"index_verify_early_exit_total":[1-9]' \
+    || fail "metrics: blown budgets must count as early exits: $metrics"
+echo "$metrics" | grep -q '"index_verify_bounded_ns":[1-9]' \
+    || fail "metrics: bounded kernel time must be nonzero: $metrics"
+
 # --- 3. Durable updates + reference answers -----------------------------
 NEW1=$("$RTED" generate random 12 --seed 201)
 NEW2=$("$RTED" generate fb 15 --seed 202)
