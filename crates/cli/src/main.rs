@@ -18,11 +18,12 @@
 //! rted index repair  <INDEX>
 //! rted index info    <INDEX>
 //! rted index dump    <INDEX>
-//! rted serve   [--index INDEX | FILE] [--socket PATH] [--workers N]
-//!              [--threads N] [--compact-frac F] [--strict] [--metric-tree]
-//!              [--slow-ms MS]
-//! rted query   --socket PATH
-//! rted metrics --socket PATH [--json]
+//! rted serve   [--index INDEX | FILE] [--socket PATH] [--tcp ADDR]
+//!              [--auth-token TOKEN] [--shards N] [--timeout-ms MS]
+//!              [--workers N] [--threads N] [--compact-frac F] [--strict]
+//!              [--metric-tree] [--slow-ms MS]
+//! rted query   (--socket PATH | --tcp ADDR) [--auth-token TOKEN]
+//! rted metrics (--socket PATH | --tcp ADDR) [--auth-token TOKEN] [--json]
 //! ```
 //!
 //! Trees are given inline in bracket notation (`{a{b}{c}}`) or as file
@@ -41,14 +42,25 @@
 //! take only the query). `<SHAPE>` is one of `lb rb fb zz mx random`.
 //!
 //! `rted serve` runs the long-lived query service (`rted-serve`): one
-//! newline-delimited JSON request per line over stdin/stdout, or — with
-//! `--socket` — over a Unix socket serving many concurrent client
-//! connections (`rted query` is the matching line-pipe client). With
+//! newline-delimited JSON request per line over stdin/stdout, a Unix
+//! socket (`--socket`), and/or a TCP listener (`--tcp ADDR`, which may
+//! coexist with `--socket`; stdio is used only when neither is given) —
+//! `rted query` is the matching line-pipe client for both. TCP
+//! connections can be gated by a shared secret (`--auth-token`, or the
+//! `RTED_AUTH_TOKEN` environment variable): the first line of each
+//! connection must be the token, otherwise the connection is answered
+//! with one error line and dropped. `--timeout-ms` applies per-connection
+//! read/write timeouts so a stalled peer cannot pin a connection thread
+//! forever. `--shards N` stripes the corpus over N independent index
+//! shards (global id `g` lives on shard `g % N`): queries scatter-gather
+//! with answers byte-identical to 1-shard serving, and mutations,
+//! snapshots and compaction proceed per shard. With
 //! `--index` the service is durable and **recovers the corpus on
-//! startup**, repairing a file torn by a crash mid-update (tail-scan
-//! salvage) unless `--strict` demands a fully consistent file; what was
-//! recovered is reported on stderr. `rted index repair` performs the
-//! same salvage as a one-shot offline command.
+//! startup** (shard `k > 0` lives at `INDEX.shard{k}`), repairing files
+//! torn by a crash mid-update (tail-scan salvage) unless `--strict`
+//! demands fully consistent files; what was recovered is reported on
+//! stderr. `rted index repair` performs the same salvage as a one-shot
+//! offline command.
 //!
 //! `rted metrics` scrapes a running service's telemetry (`metrics`
 //! request): Prometheus text exposition by default, the raw JSON
@@ -87,17 +99,23 @@ fn usage() -> ExitCode {
          rted index repair  <INDEX>\n  \
          rted index info    <INDEX> [--stats]\n  \
          rted index dump    <INDEX>\n  \
-         rted serve    [--index INDEX | FILE] [--socket PATH] [--workers N] [--threads N]\n  \
-         \x20             [--compact-frac F] [--strict] [--metric-tree] [--slow-ms MS]\n  \
-         rted query    --socket PATH\n  \
-         rted metrics  --socket PATH [--json]\n\n\
+         rted serve    [--index INDEX | FILE] [--socket PATH] [--tcp ADDR]\n  \
+         \x20             [--auth-token TOKEN] [--shards N] [--timeout-ms MS]\n  \
+         \x20             [--workers N] [--threads N] [--compact-frac F] [--strict]\n  \
+         \x20             [--metric-tree] [--slow-ms MS]\n  \
+         rted query    (--socket PATH | --tcp ADDR) [--auth-token TOKEN]\n  \
+         rted metrics  (--socket PATH | --tcp ADDR) [--auth-token TOKEN] [--json]\n\n\
          join/search/topk also accept --index <INDEX> in place of <FILE>, plus\n\
          --pq P,Q (re-profile with those gram lengths) and --no-metric-tree\n\
          (linear size-window scan instead of the vantage-point tree).\n\
          serve/query speak one JSON request per line (see README); ops: range |\n\
-         topk | distance | diff | insert | remove | status | compact | metrics |\n\
-         shutdown. serve --index recovers\n\
+         topk | distance | diff (single or batched pairs) | join | insert |\n\
+         remove | status | compact | metrics | shutdown. serve --index recovers\n\
          (and repairs) the corpus on startup, a FILE serves from memory only.\n\
+         serve --tcp listens on ADDR (may coexist with --socket); --auth-token\n\
+         (or RTED_AUTH_TOKEN) gates TCP connections on a shared-secret first\n\
+         line; --shards N stripes the corpus over N snapshot-isolated shards\n\
+         with scatter-gather queries (answers identical to 1 shard).\n\
          serve --slow-ms logs slow requests to stderr; metrics scrapes the\n\
          service's telemetry (Prometheus text, or the raw line with --json).\n\
          index info --stats probes the filter pipeline and prints per-stage\n\
@@ -134,6 +152,10 @@ const VALUE_FLAGS: &[&str] = &[
     "slow-ms",
     "format",
     "at-most",
+    "tcp",
+    "auth-token",
+    "shards",
+    "timeout-ms",
 ];
 
 struct Opts {
@@ -812,14 +834,19 @@ fn cmd_index(opts: &Opts) -> Result<(), String> {
     }
 }
 
-/// `rted serve` — the long-lived query service over stdin/stdout or a
-/// Unix socket. See the crate docs of `rted-serve` for the protocol.
+/// `rted serve` — the long-lived query service over stdin/stdout, a
+/// Unix socket, and/or an authenticated TCP listener. See the crate
+/// docs of `rted-serve` for the protocol.
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     opts.expect_flags(
         "serve",
         &[
             "index",
             "socket",
+            "tcp",
+            "auth-token",
+            "shards",
+            "timeout-ms",
             "workers",
             "threads",
             "compact-frac",
@@ -837,6 +864,13 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             .ok_or(format!("bad --workers {w}"))?;
     }
     config.query_threads = parsed_flag(opts, "threads", 1)?;
+    if let Some(s) = opts.flag("shards") {
+        config.shards = s
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or(format!("bad --shards {s}"))?;
+    }
     let frac: f64 = parsed_flag(opts, "compact-frac", 0.25)?;
     // A non-positive fraction disables background compaction.
     config.compact_fraction = (frac > 0.0).then_some(frac);
@@ -853,6 +887,20 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
                 .ok_or(format!("bad --slow-ms {ms}"))?,
         )),
     };
+    // Per-connection read/write timeouts for the TCP front-end: a
+    // stalled or vanished peer can hold its connection thread for at
+    // most this long per I/O operation. Off unless asked for (a local
+    // interactive client may legitimately idle).
+    let timeout = match opts.flag("timeout-ms") {
+        None => None,
+        Some(ms) => Some(std::time::Duration::from_millis(
+            ms.parse::<u64>()
+                .ok()
+                .filter(|&ms| ms >= 1)
+                .ok_or(format!("bad --timeout-ms {ms}"))?,
+        )),
+    };
+    let auth = auth_token(opts);
 
     let server = match opts.flag("index") {
         Some(index_path) => {
@@ -898,13 +946,187 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         }
     };
 
-    let result = match opts.flag("socket") {
-        Some(path) => serve_socket(&server, path, slow),
-        None => serve_stdio(&server, slow),
+    // Bind the TCP listener before entering the accept loops so a bad
+    // address fails fast, and surface the bound address through
+    // `status` (`--tcp 127.0.0.1:0` picks a free port).
+    let tcp = match opts.flag("tcp") {
+        None => None,
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("cannot bind tcp {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            server.set_tcp_addr(local.to_string());
+            eprintln!(
+                "rted serve: listening on tcp {local}{}",
+                if auth.is_some() {
+                    " (auth required)"
+                } else {
+                    ""
+                }
+            );
+            Some((listener, local))
+        }
     };
-    // Graceful either way: drain whatever the front-end accepted.
+
+    let fronts = FrontEnds {
+        stop: std::sync::atomic::AtomicBool::new(false),
+        socket_path: opts.flag("socket"),
+        tcp_addr: tcp.as_ref().map(|(_, local)| *local),
+    };
+    let result = std::thread::scope(|scope| {
+        if let Some((listener, _)) = &tcp {
+            let (server, fronts, auth) = (&server, &fronts, auth.as_deref());
+            scope.spawn(move || serve_tcp(server, listener, slow, auth, timeout, fronts));
+        }
+        match opts.flag("socket") {
+            Some(path) => serve_socket(&server, path, slow, &fronts),
+            // TCP-only mode: the accept loop above is the front-end;
+            // the scope join below blocks until a shutdown request
+            // stops it.
+            None if tcp.is_some() => Ok(()),
+            None => serve_stdio(&server, slow, &fronts),
+        }
+    });
+    // Graceful either way: drain whatever the front-ends accepted.
     server.shutdown();
     result
+}
+
+/// Shared stop switch for the serve front-ends: any connection's
+/// `shutdown` request flips it and self-connects to every listener so
+/// blocked `accept` calls observe it.
+struct FrontEnds<'a> {
+    stop: std::sync::atomic::AtomicBool,
+    socket_path: Option<&'a str>,
+    tcp_addr: Option<std::net::SocketAddr>,
+}
+
+impl FrontEnds<'_> {
+    fn stopped(&self) -> bool {
+        self.stop.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    fn request_stop(&self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(addr) = self.tcp_addr {
+            let _ = std::net::TcpStream::connect(addr);
+        }
+        #[cfg(unix)]
+        if let Some(path) = self.socket_path {
+            let _ = std::os::unix::net::UnixStream::connect(path);
+        }
+        #[cfg(not(unix))]
+        let _ = self.socket_path;
+    }
+}
+
+/// The shared secret gating TCP connections: the explicit flag wins
+/// over the `RTED_AUTH_TOKEN` environment variable.
+fn auth_token(opts: &Opts) -> Option<String> {
+    opts.flag("auth-token").map(str::to_string).or_else(|| {
+        std::env::var("RTED_AUTH_TOKEN")
+            .ok()
+            .filter(|t| !t.is_empty())
+    })
+}
+
+/// Constant-work token comparison (no early exit on the first
+/// mismatching byte).
+fn token_matches(given: &str, expected: &str) -> bool {
+    given.len() == expected.len()
+        && given
+            .bytes()
+            .zip(expected.bytes())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+            == 0
+}
+
+/// Drains one connection's request lines against its own service
+/// client; returns whether a `shutdown` request was answered (the
+/// caller then stops every listener). With `auth`, the first non-empty
+/// line must be the shared token — on mismatch the connection gets one
+/// error line and is dropped without touching the service.
+fn serve_connection(
+    server: &rted_serve::Server,
+    client: &mut rted_serve::Client,
+    reader: impl std::io::BufRead,
+    writer: &mut impl std::io::Write,
+    slow: Option<std::time::Duration>,
+    auth: Option<&str>,
+) -> bool {
+    let mut authed = auth.is_none();
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !authed {
+            if token_matches(line.trim(), auth.unwrap_or_default()) {
+                authed = true;
+                continue;
+            }
+            let denied = rted_serve::render_response(&rted_serve::Response::Error(
+                "authentication failed".into(),
+            ));
+            let _ = writeln!(writer, "{denied}").and_then(|_| writer.flush());
+            return false;
+        }
+        let (response, is_shutdown) = respond(server, client, slow, &line);
+        if writeln!(writer, "{response}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if is_shutdown {
+            return true;
+        }
+    }
+    false
+}
+
+/// TCP front-end: every accepted connection is an independent
+/// (optionally authenticated) client of the shared service, with the
+/// configured read/write timeouts applied before the first byte.
+fn serve_tcp(
+    server: &rted_serve::Server,
+    listener: &std::net::TcpListener,
+    slow: Option<std::time::Duration>,
+    auth: Option<&str>,
+    timeout: Option<std::time::Duration>,
+    fronts: &FrontEnds,
+) {
+    use std::io::BufReader;
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if fronts.stopped() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            scope.spawn(move || {
+                let _ = stream.set_read_timeout(timeout);
+                let _ = stream.set_write_timeout(timeout);
+                let Ok(read_half) = stream.try_clone() else {
+                    return;
+                };
+                server.note_connection_opened();
+                let mut client = server.client();
+                let mut writer = stream;
+                let is_shutdown = serve_connection(
+                    server,
+                    &mut client,
+                    BufReader::new(read_half),
+                    &mut writer,
+                    slow,
+                    auth,
+                );
+                server.note_connection_closed();
+                if is_shutdown {
+                    fronts.request_stop();
+                }
+            });
+        }
+    });
 }
 
 /// Stdio front-end: one request line in, one response line out, until
@@ -912,27 +1134,18 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
 fn serve_stdio(
     server: &rted_serve::Server,
     slow: Option<std::time::Duration>,
+    fronts: &FrontEnds,
 ) -> Result<(), String> {
-    use std::io::{BufRead, Write};
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     server.note_connection_opened();
     let mut client = server.client();
     let mut out = stdout.lock();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| format!("stdin: {e}"))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, is_shutdown) = respond(server, &mut client, slow, &line);
-        writeln!(out, "{response}")
-            .and_then(|_| out.flush())
-            .map_err(|e| format!("stdout: {e}"))?;
-        if is_shutdown {
-            break;
-        }
-    }
+    let is_shutdown = serve_connection(server, &mut client, stdin.lock(), &mut out, slow, None);
     server.note_connection_closed();
+    if is_shutdown {
+        fronts.request_stop();
+    }
     Ok(())
 }
 
@@ -943,7 +1156,8 @@ fn request_op_name(request: &rted_serve::Request) -> &'static str {
         Request::Range { .. } => "range",
         Request::TopK { .. } => "topk",
         Request::Distance { .. } => "distance",
-        Request::Diff { .. } => "diff",
+        Request::Diff { .. } | Request::DiffBatch { .. } => "diff",
+        Request::Join { .. } => "join",
         Request::Insert { .. } => "insert",
         Request::Remove { .. } => "remove",
         Request::Status => "status",
@@ -1000,28 +1214,26 @@ fn respond(
 
 /// Unix-socket front-end: every connection is an independent client of
 /// the shared service; a `shutdown` request from any connection stops
-/// the listener (after answering `bye`) and drains the rest.
+/// every listener (after answering `bye`) and drains the rest.
 #[cfg(unix)]
 fn serve_socket(
     server: &rted_serve::Server,
     path: &str,
     slow: Option<std::time::Duration>,
+    fronts: &FrontEnds,
 ) -> Result<(), String> {
-    use std::io::{BufRead, BufReader, Write};
-    use std::os::unix::net::{UnixListener, UnixStream};
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::io::BufReader;
+    use std::os::unix::net::UnixListener;
 
     let _ = std::fs::remove_file(path); // stale socket from a previous run
     let listener = UnixListener::bind(path).map_err(|e| format!("cannot bind {path}: {e}"))?;
     eprintln!("rted serve: listening on {path}");
-    let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for stream in listener.incoming() {
-            if stop.load(Ordering::SeqCst) {
+            if fronts.stopped() {
                 break;
             }
             let Ok(stream) = stream else { continue };
-            let stop = &stop;
             scope.spawn(move || {
                 let Ok(read_half) = stream.try_clone() else {
                     return;
@@ -1029,26 +1241,18 @@ fn serve_socket(
                 server.note_connection_opened();
                 let mut client = server.client();
                 let mut writer = stream;
-                for line in BufReader::new(read_half).lines() {
-                    let Ok(line) = line else { break };
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    let (response, is_shutdown) = respond(server, &mut client, slow, &line);
-                    if writeln!(writer, "{response}")
-                        .and_then(|_| writer.flush())
-                        .is_err()
-                    {
-                        break;
-                    }
-                    if is_shutdown {
-                        stop.store(true, Ordering::SeqCst);
-                        // Unblock the accept loop so it observes `stop`.
-                        let _ = UnixStream::connect(path);
-                        break;
-                    }
-                }
+                let is_shutdown = serve_connection(
+                    server,
+                    &mut client,
+                    BufReader::new(read_half),
+                    &mut writer,
+                    slow,
+                    None,
+                );
                 server.note_connection_closed();
+                if is_shutdown {
+                    fronts.request_stop();
+                }
             });
         }
     });
@@ -1061,28 +1265,70 @@ fn serve_socket(
     _server: &rted_serve::Server,
     _path: &str,
     _slow: Option<std::time::Duration>,
+    _fronts: &FrontEnds,
 ) -> Result<(), String> {
-    Err("--socket requires a Unix platform; use the stdin/stdout mode".into())
+    Err("--socket requires a Unix platform; use --tcp or the stdin/stdout mode".into())
 }
 
-/// `rted query` — the line-pipe client for a `rted serve --socket`
-/// service: forwards each stdin line as a request, prints each response.
-/// Requests are one JSON object per line with an `op` of `range`,
-/// `topk`, `distance`, `diff`, `insert`, `remove`, `status`, `compact`,
+/// Connects to a serve front-end: `--socket PATH` (Unix socket, no
+/// auth) or `--tcp ADDR` (sending the shared-secret token line first
+/// when `--auth-token` / `RTED_AUTH_TOKEN` supplies one). Returns the
+/// write half and a buffered read half.
+#[allow(clippy::type_complexity)]
+fn connect_service(
+    opts: &Opts,
+    cmd: &str,
+) -> Result<(Box<dyn std::io::Write>, Box<dyn std::io::BufRead>), String> {
+    use std::io::{BufReader, Write};
+    match (opts.flag("socket"), opts.flag("tcp")) {
+        (Some(_), Some(_)) => Err(format!("{cmd}: --socket and --tcp are mutually exclusive")),
+        (None, None) => Err(format!("{cmd} needs --socket PATH or --tcp ADDR")),
+        (Some(path), None) => {
+            #[cfg(unix)]
+            {
+                let stream = std::os::unix::net::UnixStream::connect(path)
+                    .map_err(|e| format!("cannot connect to {path}: {e}"))?;
+                let writer = stream.try_clone().map_err(|e| e.to_string())?;
+                Ok((Box::new(writer), Box::new(BufReader::new(stream))))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err(format!(
+                    "{cmd}: --socket requires a Unix platform; use --tcp"
+                ))
+            }
+        }
+        (None, Some(addr)) => {
+            let stream = std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+            if let Some(token) = auth_token(opts) {
+                // The auth line precedes the first request; the server
+                // answers nothing on success.
+                writeln!(writer, "{token}")
+                    .and_then(|_| writer.flush())
+                    .map_err(|e| format!("tcp write: {e}"))?;
+            }
+            Ok((Box::new(writer), Box::new(BufReader::new(stream))))
+        }
+    }
+}
+
+/// `rted query` — the line-pipe client for a `rted serve` service over
+/// its Unix socket or TCP listener: forwards each stdin line as a
+/// request, prints each response. Requests are one JSON object per line
+/// with an `op` of `range`, `topk`, `distance`, `diff` (single pair or
+/// batched `pairs`), `join`, `insert`, `remove`, `status`, `compact`,
 /// `metrics`, or `shutdown` (a `status` response lists the same set
 /// under `ops` for feature detection).
-#[cfg(unix)]
 fn cmd_query(opts: &Opts) -> Result<(), String> {
-    use std::io::{BufRead, BufReader, Write};
-    use std::os::unix::net::UnixStream;
-    opts.expect_flags("query", &["socket"])?;
+    use std::io::{BufRead, Write};
+    opts.expect_flags("query", &["socket", "tcp", "auth-token"])?;
     if !opts.positional.is_empty() {
         return Err("query takes no positional arguments".into());
     }
-    let path = opts.flag("socket").ok_or("query needs --socket PATH")?;
-    let stream = UnixStream::connect(path).map_err(|e| format!("cannot connect to {path}: {e}"))?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    let mut responses = BufReader::new(stream).lines();
+    let (mut writer, mut responses) = connect_service(opts, "query")?;
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
@@ -1091,36 +1337,31 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         }
         writeln!(writer, "{line}")
             .and_then(|_| writer.flush())
-            .map_err(|e| format!("socket write: {e}"))?;
-        let response = responses
-            .next()
-            .ok_or("server closed the connection")?
-            .map_err(|e| format!("socket read: {e}"))?;
-        println!("{response}");
+            .map_err(|e| format!("connection write: {e}"))?;
+        let mut response = String::new();
+        let n = responses
+            .read_line(&mut response)
+            .map_err(|e| format!("connection read: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        print!("{response}");
     }
     Ok(())
 }
 
-#[cfg(not(unix))]
-fn cmd_query(_opts: &Opts) -> Result<(), String> {
-    Err("query requires a Unix platform".into())
-}
-
-/// `rted metrics` — scrapes a running `rted serve --socket` service.
-/// Default output is the Prometheus text exposition (ready for a scrape
-/// pipeline or a human eyeball); `--json` prints the raw NDJSON
-/// response line with structured values instead.
-#[cfg(unix)]
+/// `rted metrics` — scrapes a running `rted serve` service over its
+/// Unix socket or TCP listener. Default output is the Prometheus text
+/// exposition (ready for a scrape pipeline or a human eyeball);
+/// `--json` prints the raw NDJSON response line with structured values
+/// instead.
 fn cmd_metrics(opts: &Opts) -> Result<(), String> {
-    use std::io::{BufRead, BufReader, Write};
-    use std::os::unix::net::UnixStream;
-    opts.expect_flags("metrics", &["socket", "json"])?;
+    use std::io::{BufRead, Write};
+    opts.expect_flags("metrics", &["socket", "tcp", "auth-token", "json"])?;
     if !opts.positional.is_empty() {
         return Err("metrics takes no positional arguments".into());
     }
-    let path = opts.flag("socket").ok_or("metrics needs --socket PATH")?;
-    let stream = UnixStream::connect(path).map_err(|e| format!("cannot connect to {path}: {e}"))?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let (mut writer, mut responses) = connect_service(opts, "metrics")?;
     let json = opts.has("json");
     let request = if json {
         r#"{"op":"metrics","format":"json"}"#
@@ -1129,31 +1370,29 @@ fn cmd_metrics(opts: &Opts) -> Result<(), String> {
     };
     writeln!(writer, "{request}")
         .and_then(|_| writer.flush())
-        .map_err(|e| format!("socket write: {e}"))?;
-    let line = BufReader::new(stream)
-        .lines()
-        .next()
-        .ok_or("server closed the connection")?
-        .map_err(|e| format!("socket read: {e}"))?;
+        .map_err(|e| format!("connection write: {e}"))?;
+    let mut line = String::new();
+    let n = responses
+        .read_line(&mut line)
+        .map_err(|e| format!("connection read: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection".into());
+    }
+    let line = line.trim_end_matches('\n');
     if json {
         println!("{line}");
         return Ok(());
     }
     // Unwrap the exposition string so the output is scrape-ready text.
-    let value = rted_serve::json::parse(&line).map_err(|e| format!("bad response: {e}"))?;
+    let value = rted_serve::json::parse(line).map_err(|e| format!("bad response: {e}"))?;
     match value
         .get("exposition")
         .and_then(rted_serve::json::Value::as_str)
     {
         Some(text) => print!("{text}"),
-        None => return Err(format!("unexpected response: {line}")),
+        None => Err(format!("unexpected response: {line}"))?,
     }
     Ok(())
-}
-
-#[cfg(not(unix))]
-fn cmd_metrics(_opts: &Opts) -> Result<(), String> {
-    Err("metrics requires a Unix platform".into())
 }
 
 /// Operator-facing one-liner for a repair outcome — shared by `rted

@@ -60,6 +60,7 @@ use rted_core::bounds::TreeSketch;
 use rted_core::{BoundedResult, Workspace};
 use rted_tree::Tree;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Absent child sentinel.
@@ -123,6 +124,7 @@ impl Default for MetricConfig {
     }
 }
 
+#[derive(Clone)]
 enum VpNode {
     /// A vantage point: `mu` is the median distance of its subset, the
     /// inside (`≤ mu`) branch is `left`, the outside (`≥ mu`) is `right`
@@ -149,13 +151,16 @@ enum VpNode {
 
 /// A vantage-point tree over the live ids of a corpus at build time, plus
 /// the tombstone/pending bookkeeping that keeps it exact under mutation.
+/// Cloning is cheap relative to a rebuild (id vectors plus `Arc` corpse
+/// handles — no exact distances), so snapshot forks carry the tree over.
+#[derive(Clone)]
 pub struct VpTree<L> {
     nodes: Vec<VpNode>,
     root: u32,
     bucket: Vec<u32>,
     /// Built ids removed since build, keeping the removed entry as a
     /// routing corpse: still a valid vantage, never reported.
-    dead: HashMap<u32, CorpusEntry<L>>,
+    dead: HashMap<u32, Arc<CorpusEntry<L>>>,
     /// Ids inserted since build: scanned linearly alongside the tree.
     pending: Vec<u32>,
     /// Live count at build time (the churn trigger's denominator).
@@ -263,7 +268,7 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
 
     /// Records a removal since build: a pending id is simply dropped, a
     /// built id becomes a tombstone whose entry is retained for routing.
-    pub fn note_remove(&mut self, id: usize, entry: CorpusEntry<L>) {
+    pub fn note_remove(&mut self, id: usize, entry: Arc<CorpusEntry<L>>) {
         let id = id as u32;
         if let Some(pos) = self.pending.iter().position(|&p| p == id) {
             self.pending.remove(pos);
@@ -314,7 +319,7 @@ impl<L: Eq + std::hash::Hash + Clone> VpTree<L> {
     #[inline]
     fn entry_of<'a>(&'a self, corpus: &'a TreeCorpus<L>, id: u32) -> &'a CorpusEntry<L> {
         match self.dead.get(&id) {
-            Some(corpse) => corpse,
+            Some(corpse) => corpse.as_ref(),
             None => corpus.entry(id as usize),
         }
     }

@@ -23,6 +23,7 @@
 use rted_core::bounds::TreeSketch;
 use rted_core::pqgram::{PqGramProfile, PqParams, PqScratch};
 use rted_tree::Tree;
+use std::sync::Arc;
 
 /// One corpus entry: the tree plus its insert-time analysis.
 #[derive(Debug, Clone)]
@@ -71,8 +72,10 @@ impl<L> CorpusEntry<L> {
 /// the module docs). All query results refer to trees by these ids.
 #[derive(Debug, Clone)]
 pub struct TreeCorpus<L> {
-    /// Slot per ever-assigned id; `None` marks a removed tree.
-    entries: Vec<Option<CorpusEntry<L>>>,
+    /// Slot per ever-assigned id; `None` marks a removed tree. Entries are
+    /// `Arc`-shared so cloning the corpus (copy-on-write snapshot forks in
+    /// the serving layer) is O(n) pointer copies, not a deep re-analysis.
+    entries: Vec<Option<Arc<CorpusEntry<L>>>>,
     /// Number of live (non-removed) entries.
     live: usize,
     /// Live entry ids sorted by (subtree size, id) — the size-window
@@ -104,13 +107,18 @@ impl<L: Eq + std::hash::Hash + Clone> TreeCorpus<L> {
     pub fn recompute_profiles(&mut self, params: PqParams) {
         let mut scratch = PqScratch::default();
         for slot in self.entries.iter_mut().flatten() {
-            slot.sketch.pq = PqGramProfile::compute_in(&slot.tree, params, &mut scratch);
+            // Entries may be shared with snapshot forks; re-profile a
+            // private copy so concurrent readers keep a consistent view.
+            let entry = Arc::make_mut(slot);
+            entry.sketch.pq = PqGramProfile::compute_in(&entry.tree, params, &mut scratch);
         }
     }
 
     /// Rebuilds a corpus from per-id slots (`None` = removed id), deriving
     /// the live count and size-sorted view. Used by the persistence layer.
     pub(crate) fn from_raw_parts(entries: Vec<Option<CorpusEntry<L>>>) -> Self {
+        let entries: Vec<Option<Arc<CorpusEntry<L>>>> =
+            entries.into_iter().map(|slot| slot.map(Arc::new)).collect();
         let mut by_size: Vec<u32> = (0..entries.len() as u32)
             .filter(|&id| entries[id as usize].is_some())
             .collect();
@@ -141,29 +149,56 @@ impl<L: Eq + std::hash::Hash + Clone> TreeCorpus<L> {
     /// arrives with other params — `CorpusEntry::analyze` uses the
     /// defaults — its profile is recomputed to match before insertion,
     /// keeping the corpus-wide uniformity invariant.
-    pub fn insert_entry(&mut self, mut entry: CorpusEntry<L>) -> usize {
+    pub fn insert_entry(&mut self, entry: CorpusEntry<L>) -> usize {
+        let id = self.entries.len();
+        self.insert_arc_at(id, Arc::new(entry));
+        id
+    }
+
+    /// Inserts an already-analyzed, shared entry at an **explicit id**,
+    /// padding the id space with vacant slots when `id` skips past the
+    /// current bound. Sharded serving needs this: global ids are striped
+    /// across shards, and a crash between per-shard WAL appends can leave
+    /// one shard's local id sequence with a permanent hole (recovery
+    /// derives the next global id from the surviving maximum, so the lost
+    /// local id is skipped forever — exactly like a removed id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` names a live entry (ids are never reused).
+    pub fn insert_arc_at(&mut self, id: usize, mut entry: Arc<CorpusEntry<L>>) {
         if let Some((_, first)) = self.iter().next() {
             let params = first.sketch.pq.params();
             if entry.sketch.pq.params() != params {
-                entry.sketch.pq =
-                    PqGramProfile::compute_in(&entry.tree, params, &mut PqScratch::default());
+                let owned = Arc::make_mut(&mut entry);
+                owned.sketch.pq =
+                    PqGramProfile::compute_in(&owned.tree, params, &mut PqScratch::default());
             }
         }
-        let id = self.entries.len();
         assert!(id < u32::MAX as usize, "corpus id space exhausted");
+        assert!(
+            id >= self.entries.len() || self.entries[id].is_none(),
+            "corpus id {id} already live (ids are never reused)"
+        );
+        while self.entries.len() < id {
+            self.entries.push(None);
+        }
         let key = (entry.sketch.size, id as u32);
         let pos = self
             .by_size
             .partition_point(|&e| (Self::slot(&self.entries, e).sketch.size, e) < key);
         self.by_size.insert(pos, id as u32);
-        self.entries.push(Some(entry));
+        if id == self.entries.len() {
+            self.entries.push(Some(entry));
+        } else {
+            self.entries[id] = Some(entry);
+        }
         self.live += 1;
-        id
     }
 
     /// Removes the tree with id `id`, returning its entry, or `None` if the
     /// id was never assigned or already removed. The id stays reserved.
-    pub fn remove(&mut self, id: usize) -> Option<CorpusEntry<L>> {
+    pub fn remove(&mut self, id: usize) -> Option<Arc<CorpusEntry<L>>> {
         // Locate the id in the size-sorted view *before* vacating its slot:
         // the binary search probes neighbouring ids through their (still
         // live) entries, and may probe `id` itself.
@@ -180,9 +215,9 @@ impl<L: Eq + std::hash::Hash + Clone> TreeCorpus<L> {
 
 impl<L> TreeCorpus<L> {
     #[inline]
-    fn slot(entries: &[Option<CorpusEntry<L>>], id: u32) -> &CorpusEntry<L> {
+    fn slot(entries: &[Option<Arc<CorpusEntry<L>>>], id: u32) -> &CorpusEntry<L> {
         entries[id as usize]
-            .as_ref()
+            .as_deref()
             .expect("by_size holds only live ids")
     }
 
@@ -222,6 +257,14 @@ impl<L> TreeCorpus<L> {
     /// assigned.
     #[inline]
     pub fn get(&self, id: usize) -> Option<&CorpusEntry<L>> {
+        self.entries.get(id).and_then(|slot| slot.as_deref())
+    }
+
+    /// The shared handle to entry `id`, or `None` if it was removed or
+    /// never assigned. Lets callers pin an entry beyond the corpus borrow
+    /// (e.g. serving a tree out of a snapshot that may be superseded).
+    #[inline]
+    pub fn get_arc(&self, id: usize) -> Option<&Arc<CorpusEntry<L>>> {
         self.entries.get(id).and_then(|slot| slot.as_ref())
     }
 
@@ -253,7 +296,7 @@ impl<L> TreeCorpus<L> {
         self.entries
             .iter()
             .enumerate()
-            .filter_map(|(id, slot)| slot.as_ref().map(|e| (id, e)))
+            .filter_map(|(id, slot)| slot.as_deref().map(|e| (id, e)))
     }
 
     /// Live entry ids sorted by (size, id).
@@ -321,6 +364,21 @@ mod tests {
         // Ids are never reused.
         assert_eq!(c.insert(t("{z}")), 3);
         assert_eq!(sizes_in_view(&c), vec![(1, 0), (1, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn insert_arc_at_pads_crash_holes() {
+        let mut c = TreeCorpus::build(vec![t("{a}")]);
+        c.insert_arc_at(3, Arc::new(CorpusEntry::analyze(t("{b{c}}"))));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.id_bound(), 4);
+        assert_eq!(c.holes(), 2);
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_none());
+        assert_eq!(c.tree(3).len(), 2);
+        // Padded ids stay permanently vacant; plain inserts append after.
+        assert_eq!(c.insert(t("{z}")), 4);
+        assert_eq!(sizes_in_view(&c), vec![(1, 0), (1, 4), (2, 3)]);
     }
 
     #[test]

@@ -85,7 +85,8 @@ use rted_core::bounds::TreeSketch;
 use rted_core::{Algorithm, BoundedResult, Workspace};
 use rted_tree::Tree;
 use std::collections::BinaryHeap;
-use std::sync::{PoisonError, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// Total-order wrapper for (never-NaN) distances.
@@ -186,6 +187,24 @@ pub struct SearchStats {
     pub time: Duration,
 }
 
+impl SearchStats {
+    /// Folds another run's counters into this one — the scatter-gather
+    /// merge for queries answered by several index shards. Work counters
+    /// sum; `time` takes the maximum (shard legs run concurrently, so the
+    /// slowest leg is the query's wall time).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.candidates += other.candidates;
+        self.filter.merge(&other.filter);
+        self.verified += other.verified;
+        self.subproblems += other.subproblems;
+        self.metric.merge(&other.metric);
+        self.ted_time += other.ted_time;
+        self.early_exits += other.early_exits;
+        self.bounded_time += other.bounded_time;
+        self.time = self.time.max(other.time);
+    }
+}
+
 /// Result of a [`TreeIndex::range`] or [`TreeIndex::top_k`] query.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -208,16 +227,20 @@ pub struct JoinOutcome {
 /// execution policy.
 ///
 /// Built once over an immutable corpus; all queries take `&self` and are
-/// safe to issue concurrently.
+/// safe to issue concurrently. [`fork`](Self::fork) produces a
+/// copy-on-write sibling for epoch-style snapshot publication: the corpus
+/// (cheap `Arc`-per-entry clones) and metric tree are copied, while the
+/// pipeline, verifier, workspace pool, and lifetime totals stay shared —
+/// so counters and warm scratch survive a snapshot swap.
 pub struct TreeIndex<L> {
     corpus: TreeCorpus<L>,
-    pipeline: FilterPipeline<L>,
-    verifier: Box<dyn Verifier<L>>,
+    pipeline: Arc<FilterPipeline<L>>,
+    verifier: Arc<dyn Verifier<L>>,
     policy: ExecPolicy,
     /// Recycled verification scratch, shared by all queries: one
     /// [`Workspace`](rted_core::Workspace) per concurrent worker, warm
     /// after the first query, so verification stops heap-allocating.
-    scratch: WorkspacePool,
+    scratch: Arc<WorkspacePool>,
     /// Whether `range`/`top_k`/`join` route through the metric tree.
     metric_enabled: bool,
     metric_config: MetricConfig,
@@ -225,8 +248,60 @@ pub struct TreeIndex<L> {
     /// dropped by the churn threshold). Behind an `RwLock` so concurrent
     /// queries share a built tree; only the build takes the write lock.
     metric: RwLock<Option<VpTree<L>>>,
-    /// Lifetime query totals (lock-free; recorded by every query).
-    totals: IndexTotals,
+    /// Lifetime query totals (lock-free; recorded by every query; shared
+    /// across snapshot forks so a swap never resets counters).
+    totals: Arc<IndexTotals>,
+}
+
+/// A shrinking search radius shared by concurrent [`TreeIndex::top_k_shared`]
+/// runs over disjoint index shards: each shard publishes its current k-th
+/// distance the moment its heap fills, and prunes against the global
+/// minimum of everything published so far.
+///
+/// Soundness: a published radius only ever *shrinks* (lock-free min over
+/// non-negative distances), and every published value is some shard's
+/// current k-th distance, which is ≥ that shard's final k-th distance, which
+/// is ≥ the final *global* k-th distance (the union holds at least k
+/// neighbours at or below any single shard's k-th). So a candidate pruned
+/// by `bound > budget` has distance strictly above the final global k-th
+/// and cannot appear in the merged top-k, even via the id tie-break.
+#[derive(Debug)]
+pub struct RadiusBudget(AtomicU64);
+
+impl RadiusBudget {
+    /// A fresh budget: no shard has published yet, the radius is infinite.
+    pub fn new() -> Self {
+        RadiusBudget(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// The current global radius.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    /// Shrinks the global radius to `radius` if it is smaller (lock-free
+    /// min; larger values are ignored so publications can race freely).
+    pub fn tighten(&self, radius: f64) {
+        let mut current = self.0.load(Ordering::Acquire);
+        while radius < f64::from_bits(current) {
+            match self.0.compare_exchange_weak(
+                current,
+                radius.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl Default for RadiusBudget {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Recovers the guard from a poisoned lock: a panicking query left the
@@ -313,17 +388,39 @@ where
     /// [`CorpusStore`] or [`CorpusFile`] — without re-analyzing any tree.
     pub fn from_corpus(corpus: TreeCorpus<L>) -> Self {
         let pipeline = FilterPipeline::standard();
-        let totals = IndexTotals::for_pipeline(&pipeline);
+        let totals = Arc::new(IndexTotals::for_pipeline(&pipeline));
         TreeIndex {
             corpus,
-            pipeline,
-            verifier: Box::new(BoundedVerifier::rted()),
+            pipeline: Arc::new(pipeline),
+            verifier: Arc::new(BoundedVerifier::rted()),
             policy: ExecPolicy::default(),
-            scratch: WorkspacePool::new(),
+            scratch: Arc::new(WorkspacePool::new()),
             metric_enabled: false,
             metric_config: MetricConfig::default(),
             metric: RwLock::new(None),
             totals,
+        }
+    }
+
+    /// A copy-on-write sibling of this index: the next epoch's snapshot.
+    ///
+    /// The corpus clones (one `Arc` bump per entry — no tree is re-analyzed)
+    /// and a built metric tree is carried over verbatim, while the filter
+    /// pipeline, verifier, workspace pool, and lifetime totals are
+    /// **shared** with the original. A writer mutates the fork and
+    /// publishes it with a single `Arc` pointer swap; readers holding the
+    /// previous snapshot are never disturbed.
+    pub fn fork(&self) -> Self {
+        TreeIndex {
+            corpus: self.corpus.clone(),
+            pipeline: Arc::clone(&self.pipeline),
+            verifier: Arc::clone(&self.verifier),
+            policy: self.policy,
+            scratch: Arc::clone(&self.scratch),
+            metric_enabled: self.metric_enabled,
+            metric_config: self.metric_config,
+            metric: RwLock::new(relock(self.metric.read()).clone()),
+            totals: Arc::clone(&self.totals),
         }
     }
 
@@ -361,7 +458,18 @@ where
     /// in-memory mutation (a durable log appends the analyzed entry
     /// first, so tree and sketch are computed exactly once).
     pub fn insert_entry(&mut self, entry: CorpusEntry<L>) -> usize {
-        let id = self.corpus.insert_entry(entry);
+        let id = self.corpus.id_bound();
+        self.insert_entry_at(id, Arc::new(entry));
+        id
+    }
+
+    /// Inserts an already-analyzed, shared entry at an **explicit id**,
+    /// padding skipped ids with permanent holes — the sharded serving
+    /// layer's insert path, where global ids are striped across shards and
+    /// recovery can leave a shard's local id sequence with gaps (see
+    /// [`TreeCorpus::insert_arc_at`]). Panics if `id` names a live entry.
+    pub fn insert_entry_at(&mut self, id: usize, entry: Arc<CorpusEntry<L>>) {
+        self.corpus.insert_arc_at(id, entry);
         let slot = relock(self.metric.get_mut());
         if let Some(tree) = slot.as_mut() {
             tree.note_insert(id);
@@ -369,7 +477,6 @@ where
                 *slot = None;
             }
         }
-        id
     }
 
     /// Exact distance between two trees under this index's verifier,
@@ -454,8 +561,8 @@ where
     /// Replaces the filter pipeline. Lifetime per-stage totals are reset
     /// to match the new stage order.
     pub fn with_pipeline(mut self, pipeline: FilterPipeline<L>) -> Self {
-        self.totals = IndexTotals::for_pipeline(&pipeline);
-        self.pipeline = pipeline;
+        self.totals = Arc::new(IndexTotals::for_pipeline(&pipeline));
+        self.pipeline = Arc::new(pipeline);
         self
     }
 
@@ -474,7 +581,7 @@ where
     /// [`unfiltered`](Self::unfiltered) or a custom pipeline whose stages
     /// are sound for that model.
     pub fn with_verifier(mut self, verifier: Box<dyn Verifier<L>>) -> Self {
-        self.verifier = verifier;
+        self.verifier = Arc::from(verifier);
         // Metric routing compares fresh distances against the mu radii
         // recorded at build time; a tree built under a different verifier
         // would prune with stale geometry. Drop it for a lazy rebuild.
@@ -683,6 +790,30 @@ where
 
     /// [`top_k`](Self::top_k) with an explicit (possibly borrowed) verifier.
     pub fn top_k_with(&self, query: &Tree<L>, k: usize, verifier: &dyn Verifier<L>) -> QueryResult {
+        self.top_k_inner(query, k, verifier, None)
+    }
+
+    /// [`top_k`](Self::top_k) participating in a cross-shard radius
+    /// race: the run publishes its current k-th distance into `budget`
+    /// whenever its heap is full, and prunes against the global minimum —
+    /// so a shard holding only far neighbours stops verifying as soon as
+    /// any sibling shard has found k closer ones. Merging each shard's
+    /// result by `(distance, id)` and keeping the best k yields exactly
+    /// the unsharded neighbour set (see [`RadiusBudget`] for why pruning
+    /// against the shared radius is sound). Always takes the linear path:
+    /// metric-tree routing has its own radius schedule and does not
+    /// consult the budget.
+    pub fn top_k_shared(&self, query: &Tree<L>, k: usize, budget: &RadiusBudget) -> QueryResult {
+        self.top_k_inner(query, k, self.verifier.as_ref(), Some(budget))
+    }
+
+    fn top_k_inner(
+        &self,
+        query: &Tree<L>,
+        k: usize,
+        verifier: &dyn Verifier<L>,
+        budget: Option<&RadiusBudget>,
+    ) -> QueryResult {
         let start = Instant::now();
         let qsketch = self.query_sketch(query);
         let mut stats = SearchStats {
@@ -720,12 +851,23 @@ where
         let batch_cap = (self.policy.chunk.max(1) * 4).max(batch);
         let mut pos = 0;
         while pos < order.len() {
-            let radius = if heap.len() == k {
+            let local = if heap.len() == k {
                 heap.peek()
                     .map(|&(OrdF64(d), _)| d)
                     .unwrap_or(f64::INFINITY)
             } else {
                 f64::INFINITY
+            };
+            let radius = match budget {
+                None => local,
+                Some(shared) => {
+                    // Publish before reading: our k-th distance may be the
+                    // one that lets a sibling shard stop.
+                    if local.is_finite() {
+                        shared.tighten(local);
+                    }
+                    local.min(shared.get())
+                }
             };
 
             // Select this batch's survivors at the current radius. Pruning
@@ -890,6 +1032,95 @@ where
                                 out.found.push(JoinPair {
                                     left,
                                     right,
+                                    distance: d,
+                                });
+                            }
+                        }
+                    }
+                }
+                out
+            },
+        );
+
+        let mut matches = Vec::new();
+        for out in chunks {
+            stats.filter.merge(&out.filter);
+            stats.verified += out.verified;
+            stats.subproblems += out.subproblems;
+            stats.ted_time += out.ted_time;
+            stats.early_exits += out.early_exits;
+            stats.bounded_time += out.bounded_time;
+            matches.extend(out.found);
+        }
+        matches.sort_by_key(|m| (m.left, m.right));
+        stats.time = start.elapsed();
+        self.totals.record_query(QueryKind::Join, &stats);
+        JoinOutcome { matches, stats }
+    }
+
+    /// The bipartite half of a sharded similarity join: every pair of one
+    /// tree from `self` and one from `other` with `TED < tau`. Reported
+    /// ids are **local** to each side (`left` from `self`, `right` from
+    /// `other`, no ordering between them — the two corpora have
+    /// independent id spaces); the caller maps them into its own global
+    /// namespace and normalizes. A sharded self-join is the union of each
+    /// shard's own [`join`](Self::join) and `join_between` over every
+    /// unordered shard pair — per-pair prune and match decisions depend
+    /// only on the two sketches and `tau`, so the union is exactly the
+    /// unsharded join.
+    ///
+    /// `candidates` counts `self.len() × other.len()` pairs; the size
+    /// stage books `other`'s trees outside the size window of each `self`
+    /// tree, keeping the linear-path partition invariant
+    /// (`pruned + verified == candidates`).
+    pub fn join_between(&self, other: &TreeIndex<L>, tau: f64) -> JoinOutcome {
+        let start = Instant::now();
+        let mut stats = SearchStats {
+            candidates: self.corpus.len() * other.corpus.len(),
+            filter: FilterStats::for_pipeline(&self.pipeline),
+            ..SearchStats::default()
+        };
+        let size_stage = self.leading_size_stage();
+        let filters_active = tau != f64::INFINITY;
+        let verifier = self.verifier.as_ref();
+
+        let chunks = map_chunks_with(
+            self.corpus.by_size(),
+            &self.policy,
+            || self.scratch.take(),
+            |ws, _, chunk| {
+                let mut out: ChunkOut<JoinPair> = ChunkOut::new(&self.pipeline);
+                for &i in chunk {
+                    let si = self.corpus.sketch(i as usize);
+                    let window: &[u32] = if size_stage.is_some() {
+                        other.corpus.size_window(si.size, tau)
+                    } else {
+                        other.corpus.by_size()
+                    };
+                    if let Some(idx) = size_stage {
+                        out.filter
+                            .record(idx, (other.corpus.len() - window.len()) as u64);
+                    }
+                    for &j in window {
+                        let sj = other.corpus.sketch(j as usize);
+                        if filters_active {
+                            if let Some(stage) = self.pipeline.prune_stage(si, sj, tau) {
+                                out.filter.record(stage, 1);
+                                continue;
+                            }
+                        }
+                        if let Some(d) = verify_bounded(
+                            verifier,
+                            self.corpus.tree(i as usize),
+                            other.corpus.tree(j as usize),
+                            tau,
+                            ws.get(),
+                            &mut out,
+                        ) {
+                            if d < tau {
+                                out.found.push(JoinPair {
+                                    left: i as usize,
+                                    right: j as usize,
                                     distance: d,
                                 });
                             }

@@ -228,6 +228,38 @@ pub struct TotalsSnapshot {
 }
 
 impl TotalsSnapshot {
+    /// Sums another snapshot in — the scatter-gather aggregation for a
+    /// sharded index, whose `metrics` surface reports one service-wide
+    /// `index_*` family over all shards. Stage counters align by position
+    /// when both sides carry stages (shards share one pipeline
+    /// configuration); a default (stage-less) accumulator adopts the
+    /// other side's stages, so folding starts from
+    /// `TotalsSnapshot::default()`.
+    pub fn merge(&mut self, other: &TotalsSnapshot) {
+        self.range_queries += other.range_queries;
+        self.topk_queries += other.topk_queries;
+        self.join_queries += other.join_queries;
+        self.distance_calls += other.distance_calls;
+        self.diff_calls += other.diff_calls;
+        self.query_ns += other.query_ns;
+        self.candidates += other.candidates;
+        if self.stages.is_empty() {
+            self.stages = other.stages.clone();
+        } else {
+            debug_assert_eq!(self.stages.len(), other.stages.len());
+            for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+                mine.pruned += theirs.pruned;
+            }
+        }
+        self.verified += other.verified;
+        self.subproblems += other.subproblems;
+        self.ted_ns += other.ted_ns;
+        self.verify_early_exits += other.verify_early_exits;
+        self.verify_bounded_ns += other.verify_bounded_ns;
+        self.metric_nodes_visited += other.metric_nodes_visited;
+        self.metric_routing_ted += other.metric_routing_ted;
+    }
+
     /// Appends every total to an observability snapshot under stable
     /// `index_*` metric names (per-stage prunes as
     /// `index_prune_<stage>_total`).

@@ -20,11 +20,19 @@
 //!   path when the tombstone backlog crosses a configurable fraction of
 //!   the live count.
 //!
+//! * the corpus can be **striped over N independent shards**
+//!   ([`ServerConfig::shards`]), each with its own log, epoch-based
+//!   copy-on-write snapshot, and compaction; queries pin a snapshot
+//!   (`Arc::clone`) and never wait on mutations or compaction, while
+//!   `range`/`top_k`/`join` scatter-gather across shards with answers
+//!   byte-identical to a 1-shard server.
+//!
 //! Two surfaces expose it: the typed library API ([`Server::start`],
 //! [`Client::call`], graceful [`Server::shutdown`] draining in-flight
 //! requests) and — via the `rted serve` CLI — a newline-delimited JSON
-//! protocol ([`proto`]) over stdin/stdout or a Unix socket, so many
-//! client processes can share one resident corpus.
+//! protocol ([`proto`]) over stdin/stdout, a Unix socket, or an
+//! authenticated TCP listener, so many client processes (local or
+//! remote) can share one resident corpus.
 //!
 //! # Example
 //!
@@ -62,6 +70,6 @@ pub use proto::{
 };
 pub use server::{Client, Server, ServerConfig};
 
-// Re-exported so front-ends can name recovery modes and reports without
-// depending on rted-index directly.
-pub use rted_index::{PersistError, Recovery, RepairReport};
+// Re-exported so front-ends can name recovery modes, reports, and
+// result-row types without depending on rted-index directly.
+pub use rted_index::{JoinPair, Neighbor, PersistError, Recovery, RepairReport};

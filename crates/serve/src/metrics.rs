@@ -11,6 +11,13 @@
 //! histogram's `count` is exactly the number of requests of that type
 //! served, so `status` derives its per-type breakdown from the same
 //! atoms the latency summaries use.
+//!
+//! A sharded server additionally carries one [`ShardMetrics`] block per
+//! shard (`serve_shard{K}_*` names) plus a `serve_scatter_fanout`
+//! histogram recording how many shards each scatter-capable query
+//! (`range`/`top_k`/`join`) fanned out to. The per-shard names are
+//! minted once at startup (the registry wants `&'static str`, so they
+//! are leaked — a few dozen bytes per shard for the process lifetime).
 
 use rted_obs::{Counter, Gauge, Histogram, Registry, Snapshot};
 use std::sync::Arc;
@@ -18,7 +25,8 @@ use std::time::Instant;
 
 /// The request kinds the server tracks individually. `shutdown` is
 /// transport-level and never reaches a worker successfully, so it has
-/// no slot.
+/// no slot. Batched diff shares the `Diff` slot: it is the same
+/// operation amortized, and capability probing goes through `ops`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum OpKind {
     Range,
@@ -30,6 +38,7 @@ pub(crate) enum OpKind {
     Compact,
     Metrics,
     Diff,
+    Join,
 }
 
 impl OpKind {
@@ -43,6 +52,20 @@ pub(crate) fn ns_since(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Per-shard recording handles: every query leg that touches a shard
+/// (a scatter leg, or the single routed shard of `distance`/`diff`)
+/// bumps that shard's counters, so an operator can see skew between
+/// shards directly.
+#[derive(Debug)]
+pub(crate) struct ShardMetrics {
+    /// Query legs answered by this shard.
+    pub queries: Arc<Counter>,
+    /// Wall time of scatter legs on this shard (ns).
+    pub scatter_ns: Arc<Histogram>,
+    /// Scatter legs currently executing on this shard.
+    pub depth: Arc<Gauge>,
+}
+
 /// All service metric handles, pre-registered so request-time recording
 /// never touches the registry.
 #[derive(Debug)]
@@ -50,7 +73,7 @@ pub(crate) struct ServeMetrics {
     registry: Registry,
     started: Instant,
     /// Wall-clock handler latency per request type (queue wait excluded).
-    pub latency: [Arc<Histogram>; 9],
+    pub latency: [Arc<Histogram>; 10],
     /// Time requests spent queued before a worker picked them up.
     pub queue_wait_ns: Arc<Histogram>,
     /// Requests currently queued (not yet picked up).
@@ -79,12 +102,17 @@ pub(crate) struct ServeMetrics {
     pub core_subproblems: Arc<Counter>,
     /// High-water strategy-row pool size across all worker workspaces.
     pub core_rows_peak: Arc<Gauge>,
+    /// Shards each scatter-capable query fanned out to (1 on an
+    /// unsharded server).
+    pub scatter_fanout: Arc<Histogram>,
+    /// Per-shard blocks, indexed by shard number.
+    shards: Vec<ShardMetrics>,
     /// Seconds since the server started (set at snapshot time).
     uptime_secs: Arc<Gauge>,
 }
 
 impl ServeMetrics {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(shards: usize) -> Self {
         let mut r = Registry::new();
         let latency = [
             r.histogram("serve_latency_range_ns"),
@@ -96,7 +124,15 @@ impl ServeMetrics {
             r.histogram("serve_latency_compact_ns"),
             r.histogram("serve_latency_metrics_ns"),
             r.histogram("serve_latency_diff_ns"),
+            r.histogram("serve_latency_join_ns"),
         ];
+        let shard_blocks = (0..shards.max(1))
+            .map(|k| ShardMetrics {
+                queries: r.counter(leak(format!("serve_shard{k}_queries_total"))),
+                scatter_ns: r.histogram(leak(format!("serve_shard{k}_scatter_ns"))),
+                depth: r.gauge(leak(format!("serve_shard{k}_depth"))),
+            })
+            .collect();
         ServeMetrics {
             latency,
             queue_wait_ns: r.histogram("serve_queue_wait_ns"),
@@ -113,6 +149,8 @@ impl ServeMetrics {
             core_ted_runs: r.counter("core_ted_runs_total"),
             core_subproblems: r.counter("core_subproblems_total"),
             core_rows_peak: r.gauge("core_strategy_rows_peak"),
+            scatter_fanout: r.histogram("serve_scatter_fanout"),
+            shards: shard_blocks,
             uptime_secs: r.gauge("serve_uptime_secs"),
             registry: r,
             started: Instant::now(),
@@ -124,6 +162,11 @@ impl ServeMetrics {
         &self.latency[kind.index()]
     }
 
+    /// The per-shard block for shard `k`.
+    pub(crate) fn shard(&self, k: usize) -> &ShardMetrics {
+        &self.shards[k]
+    }
+
     /// Seconds since the server started.
     pub(crate) fn uptime_secs(&self) -> u64 {
         self.started.elapsed().as_secs()
@@ -131,8 +174,8 @@ impl ServeMetrics {
 
     /// Per-type request counts, in [`crate::proto::REQUEST_TYPE_NAMES`]
     /// order (which is [`OpKind`] discriminant order).
-    pub(crate) fn per_type_counts(&self) -> [u64; 9] {
-        let mut out = [0u64; 9];
+    pub(crate) fn per_type_counts(&self) -> [u64; 10] {
+        let mut out = [0u64; 10];
         for (slot, h) in out.iter_mut().zip(self.latency.iter()) {
             *slot = h.count();
         }
@@ -156,32 +199,44 @@ impl ServeMetrics {
     }
 }
 
+/// Mints a `&'static str` metric name at startup (the registry holds
+/// names for the process lifetime anyway; shard counts are small).
+fn leak(name: String) -> &'static str {
+    Box::leak(name.into_boxed_str())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn per_type_counts_follow_latency_histograms() {
-        let m = ServeMetrics::new();
-        assert_eq!(m.per_type_counts(), [0; 9]);
+        let m = ServeMetrics::new(1);
+        assert_eq!(m.per_type_counts(), [0; 10]);
         m.latency_of(OpKind::Distance).record(100);
         m.latency_of(OpKind::Distance).record(200);
         m.latency_of(OpKind::Status).record(50);
+        m.latency_of(OpKind::Join).record(75);
         let counts = m.per_type_counts();
         assert_eq!(counts[OpKind::Distance as usize], 2);
         assert_eq!(counts[OpKind::Status as usize], 1);
+        assert_eq!(counts[OpKind::Join as usize], 1);
         assert_eq!(counts[OpKind::Range as usize], 0);
         // The wire names and the histogram slots stay aligned.
         assert_eq!(
             crate::proto::REQUEST_TYPE_NAMES[OpKind::Distance as usize],
             "distance"
         );
+        assert_eq!(
+            crate::proto::REQUEST_TYPE_NAMES[OpKind::Join as usize],
+            "join"
+        );
         assert_eq!(crate::proto::REQUEST_TYPE_NAMES.len(), m.latency.len());
     }
 
     #[test]
     fn snapshot_carries_registered_names() {
-        let m = ServeMetrics::new();
+        let m = ServeMetrics::new(1);
         m.latency_of(OpKind::Range).record(10);
         m.errors.inc();
         let snap = m.snapshot();
@@ -192,5 +247,22 @@ mod tests {
         assert!(snap
             .render_prometheus()
             .contains("serve_latency_range_ns_count 1"));
+    }
+
+    #[test]
+    fn shard_blocks_register_labelled_names() {
+        let m = ServeMetrics::new(3);
+        m.shard(0).queries.inc();
+        m.shard(2).scatter_ns.record(500);
+        m.shard(1).depth.add(1);
+        m.scatter_fanout.record(3);
+        let snap = m.snapshot();
+        assert!(snap.get("serve_shard0_queries_total").is_some());
+        assert!(snap.get("serve_shard1_depth").is_some());
+        assert!(snap.get("serve_shard2_scatter_ns").is_some());
+        assert!(snap.get("serve_scatter_fanout").is_some());
+        let text = snap.render_prometheus();
+        assert!(text.contains("serve_shard0_queries_total 1"));
+        assert!(text.contains("serve_scatter_fanout_count 1"));
     }
 }

@@ -18,9 +18,11 @@
 //! | `topk`     | `tree` (string), `k` (number, default 5) | `neighbors` (array of `{id, distance}`), `candidates`, `verified`            |
 //! | `distance` | `left`, `right` (each: id number or tree string), `at_most` (number, omit = exact) | `distance` (number); with a finite `at_most` budget the answer may instead be `exceeds` (`true`) + `lower_bound` (number) when the distance provably exceeds the budget — the bounded kernel stops early instead of finishing the computation |
 //! | `diff`     | `left`, `right` (each: id number or tree string) | `distance`, `ops` (array of script steps: `{"op":"delete","node",` `"label"}`, `{"op":"insert","node","label"}`, `{"op":"rename","from","to","old","new"}`, `{"op":"keep","from","to","label"}`), `summary` (`{deletes, inserts, renames, keeps}`) |
+//! | `diff` (batched) | `pairs` (array of `[left_id, right_id]` pairs; excludes `left`/`right`) | `results` (array of `{distance, ops, summary}` objects, one per pair, in order) |
+//! | `join`     | `tau` (number, omit = unbounded)         | `matches` (array of `{left, right, distance}`, `left < right`), `candidates` (unordered pairs), `verified` |
 //! | `insert`   | `trees` (array of tree strings)          | `ids` (assigned ids, ascending)                                              |
 //! | `remove`   | `ids` (array of id numbers)              | `removed` (count actually live)                                              |
-//! | `status`   | —                                        | `status` object: `uptime_secs`, `live`, `id_bound`, `holes`, `segments`, `file_tombstones`, `workers`, `requests`, `compactions`, `metric_built`, `metric_pending`, `metric_tombstones`, `requests_by_type` (per-op counts), `ops` (supported op names, for feature detection), `metric_tree`, `persistent` |
+//! | `status`   | —                                        | `status` object: `uptime_secs`, `live`, `id_bound`, `holes`, `segments`, `file_tombstones`, `workers`, `shards`, `requests`, `compactions`, `metric_built`, `metric_pending`, `metric_tombstones`, `requests_by_type` (per-op counts), `ops` (supported op names, for feature detection), `shard_live` / `shard_tombstones` (per-shard arrays), `tcp` (bound TCP address, present only when the TCP front-end is up), `metric_tree`, `persistent` |
 //! | `compact`  | —                                        | `compacted` (bool: anything reclaimed)                                       |
 //! | `metrics`  | `format` (`"json"` \| `"prometheus"`)    | `metrics` object (name → value or histogram summary) / `exposition` (string) |
 //! | `shutdown` | —                                        | `bye` (then the stream ends)                                                 |
@@ -108,6 +110,20 @@ pub enum Request {
         /// Right operand (the "after" tree).
         right: TreeRef,
     },
+    /// Batched edit scripts over corpus id pairs
+    /// (`{"op":"diff","pairs":[[a,b],...]}`): one workspace is amortized
+    /// across the whole batch, and ids are validated up front — any dead
+    /// id fails the entire request before any script is extracted.
+    DiffBatch {
+        /// `(left, right)` corpus id pairs, in response order.
+        pairs: Vec<(usize, usize)>,
+    },
+    /// All corpus pairs with `TED < tau` (the similarity self-join over
+    /// the whole corpus; scatter-gathered across shards).
+    Join {
+        /// Strict threshold (`f64::INFINITY` = unbounded).
+        tau: f64,
+    },
     /// Insert trees; responds with their assigned ids.
     Insert {
         /// Trees to add.
@@ -165,39 +181,50 @@ impl RequestId {
 }
 
 /// Corpus, store and service counters for a `status` request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatusReport {
-    /// Live trees in the corpus.
+    /// Live trees across all shards.
     pub live: usize,
-    /// One past the largest id ever assigned.
+    /// One past the largest global id ever assigned.
     pub id_bound: usize,
-    /// Reserved-but-vacant ids (never shrinks; ids are not reused).
+    /// Reserved-but-vacant global ids (never shrinks; ids are not
+    /// reused).
     pub holes: usize,
     /// Whether a durable store backs the service.
     pub persistent: bool,
-    /// Segments in the backing file (0 when in-memory).
+    /// Segments across all backing files (0 when in-memory).
     pub segments: usize,
-    /// Tombstone records in the backing file — the compaction backlog
-    /// (0 when in-memory).
+    /// Tombstone records across all backing files — the compaction
+    /// backlog (0 when in-memory).
     pub file_tombstones: usize,
     /// Worker threads.
     pub workers: usize,
+    /// Independent `TreeIndex` shards the corpus is striped over.
+    pub shards: usize,
+    /// Live trees per shard, indexed by shard number.
+    pub shard_live: Vec<usize>,
+    /// File tombstones per shard (all zero when in-memory).
+    pub shard_tombstones: Vec<usize>,
+    /// The TCP front-end's bound address, when one is up.
+    pub tcp: Option<String>,
     /// Requests served since start.
     pub requests: u64,
     /// Compactions performed since start (threshold-driven + explicit).
     pub compactions: u64,
     /// Whether metric-tree candidate generation is enabled.
     pub metric_tree: bool,
-    /// Ids the current vantage-point tree was built over (0 = not built).
+    /// Ids the current vantage-point tree was built over, summed over
+    /// shards (0 = not built).
     pub metric_built: usize,
-    /// Post-build inserts in the metric tree's linear overflow.
+    /// Post-build inserts in the metric trees' linear overflow, summed.
     pub metric_pending: usize,
-    /// Built ids tombstoned in the metric tree since its build.
+    /// Built ids tombstoned in the metric trees since their builds,
+    /// summed.
     pub metric_tombstones: usize,
     /// Seconds since the server started.
     pub uptime_secs: u64,
     /// Requests served per type, in [`REQUEST_TYPE_NAMES`] order.
-    pub requests_by_type: [u64; 9],
+    pub requests_by_type: [u64; 10],
 }
 
 /// The single source of truth for worker-served op names: the order of
@@ -206,8 +233,8 @@ pub struct StatusReport {
 /// per-op latency histograms. `shutdown` is transport-level and is not
 /// listed. New ops are appended so existing indices (and metric names
 /// derived from them) never shift.
-pub const REQUEST_TYPE_NAMES: [&str; 9] = [
-    "range", "topk", "distance", "insert", "remove", "status", "compact", "metrics", "diff",
+pub const REQUEST_TYPE_NAMES: [&str; 10] = [
+    "range", "topk", "distance", "insert", "remove", "status", "compact", "metrics", "diff", "join",
 ];
 
 /// The service's answer to one [`Request`].
@@ -230,6 +257,17 @@ pub enum Response {
     DistanceExceeds(f64),
     /// Edit script for `diff` (its `cost` is rendered as `distance`).
     Diff(rted_core::EditScript),
+    /// Edit scripts for a batched `diff`, in request-pair order.
+    DiffBatch(Vec<rted_core::EditScript>),
+    /// Matched pairs for `join`, plus that join's filter counters.
+    Matches {
+        /// Matched pairs, sorted by `(left, right)` with `left < right`.
+        matches: Vec<rted_index::JoinPair>,
+        /// Unordered candidate pairs considered.
+        candidates: usize,
+        /// Exact verifications performed.
+        verified: usize,
+    },
     /// Assigned ids for `insert`.
     Inserted(Vec<usize>),
     /// Count of trees actually removed for `remove`.
@@ -367,11 +405,47 @@ fn parse_request_value(v: &Value) -> Result<Request, String> {
             })
         }
         "diff" => {
-            expect_keys(v, op, &["left", "right"])?;
+            expect_keys(v, op, &["left", "right", "pairs"])?;
+            if let Some(pairs_val) = v.get("pairs") {
+                if v.get("left").is_some() || v.get("right").is_some() {
+                    return Err(field_err(op, "\"pairs\" excludes \"left\"/\"right\""));
+                }
+                let items = pairs_val
+                    .as_arr()
+                    .ok_or_else(|| field_err(op, "\"pairs\" must be an array of [left,right]"))?;
+                let pairs = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        let pair = item.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                            field_err(op, format_args!("\"pairs\"[{i}] is not an id pair"))
+                        })?;
+                        let left = pair[0].as_usize().ok_or_else(|| {
+                            field_err(op, format_args!("\"pairs\"[{i}][0] is not an id"))
+                        })?;
+                        let right = pair[1].as_usize().ok_or_else(|| {
+                            field_err(op, format_args!("\"pairs\"[{i}][1] is not an id"))
+                        })?;
+                        Ok((left, right))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                return Ok(Request::DiffBatch { pairs });
+            }
             Ok(Request::Diff {
                 left: tree_ref_field(v, op, "left")?,
                 right: tree_ref_field(v, op, "right")?,
             })
+        }
+        "join" => {
+            expect_keys(v, op, &["tau"])?;
+            let tau = match v.get("tau") {
+                None => f64::INFINITY,
+                Some(t) => t
+                    .as_f64()
+                    .filter(|t| !t.is_nan())
+                    .ok_or_else(|| field_err(op, "\"tau\" must be a number"))?,
+            };
+            Ok(Request::Join { tau })
         }
         "insert" => {
             expect_keys(v, op, &["trees"])?;
@@ -494,60 +568,45 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
             out.push('}');
         }
         Response::Diff(script) => {
-            use rted_core::ScriptOp;
-            out.push_str("\"ok\":true,\"distance\":");
-            write_number(script.cost, &mut out);
-            out.push_str(",\"ops\":[");
-            for (i, op) in script.ops.iter().enumerate() {
+            out.push_str("\"ok\":true,");
+            render_script_body(script, &mut out);
+            out.push('}');
+        }
+        Response::DiffBatch(scripts) => {
+            out.push_str("\"ok\":true,\"results\":[");
+            for (i, script) in scripts.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
-                match op {
-                    ScriptOp::Delete { node, label } => {
-                        out.push_str("{\"op\":\"delete\",\"node\":");
-                        write_number(*node as f64, &mut out);
-                        out.push_str(",\"label\":");
-                        write_escaped(label, &mut out);
-                        out.push('}');
-                    }
-                    ScriptOp::Insert { node, label } => {
-                        out.push_str("{\"op\":\"insert\",\"node\":");
-                        write_number(*node as f64, &mut out);
-                        out.push_str(",\"label\":");
-                        write_escaped(label, &mut out);
-                        out.push('}');
-                    }
-                    ScriptOp::Rename { from, to, old, new } => {
-                        out.push_str("{\"op\":\"rename\",\"from\":");
-                        write_number(*from as f64, &mut out);
-                        out.push_str(",\"to\":");
-                        write_number(*to as f64, &mut out);
-                        out.push_str(",\"old\":");
-                        write_escaped(old, &mut out);
-                        out.push_str(",\"new\":");
-                        write_escaped(new, &mut out);
-                        out.push('}');
-                    }
-                    ScriptOp::Keep { from, to, label } => {
-                        out.push_str("{\"op\":\"keep\",\"from\":");
-                        write_number(*from as f64, &mut out);
-                        out.push_str(",\"to\":");
-                        write_number(*to as f64, &mut out);
-                        out.push_str(",\"label\":");
-                        write_escaped(label, &mut out);
-                        out.push('}');
-                    }
-                }
+                out.push('{');
+                render_script_body(script, &mut out);
+                out.push('}');
             }
-            out.push_str("],\"summary\":{\"deletes\":");
-            write_number(script.deletes as f64, &mut out);
-            out.push_str(",\"inserts\":");
-            write_number(script.inserts as f64, &mut out);
-            out.push_str(",\"renames\":");
-            write_number(script.renames as f64, &mut out);
-            out.push_str(",\"keeps\":");
-            write_number(script.keeps as f64, &mut out);
-            out.push_str("}}");
+            out.push_str("]}");
+        }
+        Response::Matches {
+            matches,
+            candidates,
+            verified,
+        } => {
+            out.push_str("\"ok\":true,\"matches\":[");
+            for (i, m) in matches.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"left\":");
+                write_number(m.left as f64, &mut out);
+                out.push_str(",\"right\":");
+                write_number(m.right as f64, &mut out);
+                out.push_str(",\"distance\":");
+                write_number(m.distance, &mut out);
+                out.push('}');
+            }
+            out.push_str("],\"candidates\":");
+            write_number(*candidates as f64, &mut out);
+            out.push_str(",\"verified\":");
+            write_number(*verified as f64, &mut out);
+            out.push('}');
         }
         Response::Inserted(ids) => {
             out.push_str("\"ok\":true,\"ids\":[");
@@ -566,7 +625,7 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
         }
         Response::Status(s) => {
             out.push_str("\"ok\":true,\"status\":{");
-            let fields: [(&str, f64); 12] = [
+            let fields: [(&str, f64); 13] = [
                 ("uptime_secs", s.uptime_secs as f64),
                 ("live", s.live as f64),
                 ("id_bound", s.id_bound as f64),
@@ -574,6 +633,7 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
                 ("segments", s.segments as f64),
                 ("file_tombstones", s.file_tombstones as f64),
                 ("workers", s.workers as f64),
+                ("shards", s.shards as f64),
                 ("requests", s.requests as f64),
                 ("compactions", s.compactions as f64),
                 ("metric_built", s.metric_built as f64),
@@ -617,7 +677,29 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
                 out.push_str(name);
                 out.push('"');
             }
-            out.push_str("],\"metric_tree\":");
+            // Per-shard breakdowns (aligned by shard number), then the
+            // TCP bind address when a TCP front-end is up — clients
+            // probe it the same way they probe `ops`.
+            out.push_str("],\"shard_live\":[");
+            for (i, n) in s.shard_live.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_number(*n as f64, &mut out);
+            }
+            out.push_str("],\"shard_tombstones\":[");
+            for (i, n) in s.shard_tombstones.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_number(*n as f64, &mut out);
+            }
+            out.push(']');
+            if let Some(addr) = &s.tcp {
+                out.push_str(",\"tcp\":");
+                write_escaped(addr, &mut out);
+            }
+            out.push_str(",\"metric_tree\":");
             out.push_str(if s.metric_tree { "true" } else { "false" });
             out.push_str(",\"persistent\":");
             out.push_str(if s.persistent { "true" } else { "false" });
@@ -679,6 +761,67 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
     out
 }
 
+/// Renders one edit script's members (`distance`, `ops`, `summary`,
+/// without surrounding braces) — shared between the single `diff`
+/// response and each element of a batched one, so the two shapes can
+/// never drift apart.
+fn render_script_body(script: &rted_core::EditScript, out: &mut String) {
+    use rted_core::ScriptOp;
+    out.push_str("\"distance\":");
+    write_number(script.cost, out);
+    out.push_str(",\"ops\":[");
+    for (i, op) in script.ops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match op {
+            ScriptOp::Delete { node, label } => {
+                out.push_str("{\"op\":\"delete\",\"node\":");
+                write_number(*node as f64, out);
+                out.push_str(",\"label\":");
+                write_escaped(label, out);
+                out.push('}');
+            }
+            ScriptOp::Insert { node, label } => {
+                out.push_str("{\"op\":\"insert\",\"node\":");
+                write_number(*node as f64, out);
+                out.push_str(",\"label\":");
+                write_escaped(label, out);
+                out.push('}');
+            }
+            ScriptOp::Rename { from, to, old, new } => {
+                out.push_str("{\"op\":\"rename\",\"from\":");
+                write_number(*from as f64, out);
+                out.push_str(",\"to\":");
+                write_number(*to as f64, out);
+                out.push_str(",\"old\":");
+                write_escaped(old, out);
+                out.push_str(",\"new\":");
+                write_escaped(new, out);
+                out.push('}');
+            }
+            ScriptOp::Keep { from, to, label } => {
+                out.push_str("{\"op\":\"keep\",\"from\":");
+                write_number(*from as f64, out);
+                out.push_str(",\"to\":");
+                write_number(*to as f64, out);
+                out.push_str(",\"label\":");
+                write_escaped(label, out);
+                out.push('}');
+            }
+        }
+    }
+    out.push_str("],\"summary\":{\"deletes\":");
+    write_number(script.deletes as f64, out);
+    out.push_str(",\"inserts\":");
+    write_number(script.inserts as f64, out);
+    out.push_str(",\"renames\":");
+    write_number(script.renames as f64, out);
+    out.push_str(",\"keeps\":");
+    write_number(script.keeps as f64, out);
+    out.push('}');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -719,6 +862,19 @@ mod tests {
                 left: TreeRef::Inline(t),
                 right: TreeRef::Id(2),
             } => assert_eq!(to_bracket(&t), "{a{b}}"),
+            other => panic!("{other:?}"),
+        }
+        match parse_request(r#"{"op":"diff","pairs":[[0,1],[2,0]]}"#).unwrap() {
+            Request::DiffBatch { pairs } => assert_eq!(pairs, vec![(0, 1), (2, 0)]),
+            other => panic!("{other:?}"),
+        }
+        match parse_request(r#"{"op":"join","tau":2}"#).unwrap() {
+            Request::Join { tau } => assert_eq!(tau, 2.0),
+            other => panic!("{other:?}"),
+        }
+        // tau omitted = unbounded join.
+        match parse_request(r#"{"op":"join"}"#).unwrap() {
+            Request::Join { tau } => assert_eq!(tau, f64::INFINITY),
             other => panic!("{other:?}"),
         }
         match parse_request(r#"{"op":"insert","trees":["{a}","{b{c}}"]}"#).unwrap() {
@@ -810,6 +966,12 @@ mod tests {
             r#"{"op":"distance","left":0,"right":1,"atmost":2}"#,    // typoed key
             r#"{"op":"diff","left":0}"#,                             // missing right
             r#"{"op":"diff","left":0,"right":1,"costs":"1,1,1"}"#,   // unknown key
+            r#"{"op":"diff","pairs":[[0,1]],"left":0}"#,             // pairs excludes left
+            r#"{"op":"diff","pairs":[[0,1,2]]}"#,                    // not a pair
+            r#"{"op":"diff","pairs":[[0,1.5]]}"#,                    // non-id member
+            r#"{"op":"diff","pairs":[0,1]}"#,                        // flat list
+            r#"{"op":"join","tau":"2"}"#,                            // non-numeric tau
+            r#"{"op":"join","k":3}"#,                                // unknown key
             r#"{"op":"insert","trees":"{a}"}"#,                      // not an array
             r#"{"op":"remove","ids":[1.5]}"#,
             r#"{"op":"status","x":1}"#,
@@ -857,6 +1019,15 @@ mod tests {
             Response::Removed(2),
             Response::Compacted(true),
             Response::Bye,
+            Response::Matches {
+                matches: vec![rted_index::JoinPair {
+                    left: 0,
+                    right: 2,
+                    distance: 1.0,
+                }],
+                candidates: 3,
+                verified: 2,
+            },
             Response::Status(StatusReport {
                 live: 3,
                 id_bound: 5,
@@ -865,6 +1036,10 @@ mod tests {
                 segments: 2,
                 file_tombstones: 1,
                 workers: 4,
+                shards: 2,
+                shard_live: vec![2, 1],
+                shard_tombstones: vec![1, 0],
+                tcp: Some("127.0.0.1:4433".into()),
                 requests: 99,
                 compactions: 1,
                 metric_tree: true,
@@ -872,7 +1047,7 @@ mod tests {
                 metric_pending: 1,
                 metric_tombstones: 0,
                 uptime_secs: 12,
-                requests_by_type: [40, 5, 50, 1, 1, 1, 1, 0, 2],
+                requests_by_type: [40, 5, 50, 1, 1, 1, 1, 0, 2, 4],
             }),
         ] {
             let line = render_response(&resp);
@@ -891,6 +1066,10 @@ mod tests {
             segments: 0,
             file_tombstones: 0,
             workers: 1,
+            shards: 3,
+            shard_live: vec![1, 1, 1],
+            shard_tombstones: vec![0, 0, 0],
+            tcp: None,
             requests: 46,
             compactions: 0,
             metric_tree: false,
@@ -898,19 +1077,59 @@ mod tests {
             metric_pending: 0,
             metric_tombstones: 0,
             uptime_secs: 7,
-            requests_by_type: [40, 5, 0, 0, 0, 1, 0, 0, 3],
+            requests_by_type: [40, 5, 0, 0, 0, 1, 0, 0, 3, 2],
         }));
         assert!(line.contains(r#""uptime_secs":7"#), "{line}");
+        assert!(line.contains(r#""shards":3"#), "{line}");
         assert!(
-            line.contains(r#""requests_by_type":{"range":40,"topk":5,"distance":0,"insert":0,"remove":0,"status":1,"compact":0,"metrics":0,"diff":3}"#),
+            line.contains(r#""requests_by_type":{"range":40,"topk":5,"distance":0,"insert":0,"remove":0,"status":1,"compact":0,"metrics":0,"diff":3,"join":2}"#),
             "{line}"
         );
         // Feature detection: the supported-op list is rendered verbatim
         // from REQUEST_TYPE_NAMES plus the transport-level shutdown.
         assert!(
-            line.contains(r#""ops":["range","topk","distance","insert","remove","status","compact","metrics","diff","shutdown"]"#),
+            line.contains(r#""ops":["range","topk","distance","insert","remove","status","compact","metrics","diff","join","shutdown"]"#),
             "{line}"
         );
+        // Per-shard arrays render aligned by shard number; the tcp
+        // member is absent without a TCP front-end...
+        assert!(
+            line.contains(r#""shard_live":[1,1,1],"shard_tombstones":[0,0,0],"metric_tree":"#),
+            "{line}"
+        );
+        assert!(!line.contains(r#""tcp""#), "{line}");
+        // ...and present, as a string, with one.
+        let report = StatusReport {
+            tcp: Some("127.0.0.1:4433".into()),
+            ..render_and_reparse_seed()
+        };
+        let line = render_response(&Response::Status(report));
+        assert!(line.contains(r#","tcp":"127.0.0.1:4433","#), "{line}");
+    }
+
+    /// A small valid report for tests that tweak one field.
+    fn render_and_reparse_seed() -> StatusReport {
+        StatusReport {
+            live: 0,
+            id_bound: 0,
+            holes: 0,
+            persistent: false,
+            segments: 0,
+            file_tombstones: 0,
+            workers: 1,
+            shards: 1,
+            shard_live: vec![0],
+            shard_tombstones: vec![0],
+            tcp: None,
+            requests: 0,
+            compactions: 0,
+            metric_tree: false,
+            metric_built: 0,
+            metric_pending: 0,
+            metric_tombstones: 0,
+            uptime_secs: 0,
+            requests_by_type: [0; 10],
+        }
     }
 
     #[test]
@@ -919,12 +1138,25 @@ mod tests {
         let f = parse_bracket("{a{b}{c}}").unwrap();
         let g = parse_bracket("{a{b}{x}}").unwrap();
         let script = edit_mapping(&f, &g, &UnitCost).script(&f, &g);
-        let line = render_response(&Response::Diff(script));
+        let line = render_response(&Response::Diff(script.clone()));
         assert_eq!(
             line,
             r#"{"ok":true,"distance":1,"ops":[{"op":"keep","from":0,"to":0,"label":"b"},{"op":"rename","from":1,"to":1,"old":"c","new":"x"},{"op":"keep","from":2,"to":2,"label":"a"}],"summary":{"deletes":0,"inserts":0,"renames":1,"keeps":2}}"#
         );
         crate::json::parse(&line).unwrap();
+
+        // Batched rendering reuses the exact same script body, wrapped
+        // in a results array.
+        let batch = render_response(&Response::DiffBatch(vec![script.clone(), script]));
+        let body = line
+            .strip_prefix(r#"{"ok":true,"#)
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap();
+        assert_eq!(
+            batch,
+            format!(r#"{{"ok":true,"results":[{{{body}}},{{{body}}}]}}"#)
+        );
+        crate::json::parse(&batch).unwrap();
     }
 
     #[test]

@@ -1,56 +1,82 @@
 //! The long-lived query service: request queue, fixed worker pool,
-//! durable mutations, and threshold-driven background compaction.
+//! sharded corpus with copy-on-write snapshots, durable mutations, and
+//! threshold-driven background compaction.
 //!
 //! # Architecture
 //!
 //! ```text
-//! Client::call ──▶ queue (Mutex<VecDeque> + Condvar) ──▶ worker 0..N
+//! Client::call ──▶ queue (Mutex<VecDeque> + Condvar) ──▶ worker 0..W
 //!                                                          │ owns one Workspace
 //!                                                          ▼ for its lifetime
-//!                              RwLock<TreeIndex> ◀── read: range/topk/distance
-//!                                   │                write: insert/remove
-//!                                   ▼ (always index, then log)
-//!                              Mutex<Option<CorpusLog>>  ◀── maintenance thread
+//!            shard 0..N: RwLock<Arc<TreeIndex>>  ◀── readers pin (Arc::clone)
+//!                 │    ▲ publish = one pointer swap
+//!                 ▼    │
+//!            Mutex<Option<CorpusLog>> per shard  ◀── maintenance thread
+//!                 ▲
+//!            Mutex<()> writer — serializes mutations across shards
 //! ```
 //!
-//! * **Queries** (`range`, `topk`, `distance`) take the index read lock
-//!   and run concurrently across workers. Each worker borrows one
-//!   [`Workspace`] from the shared [`WorkspacePool`] for its whole
-//!   lifetime, so the id-to-id `distance` path performs **zero heap
-//!   allocations** per request once warm (enforced by a
-//!   counting-allocator test); `range`/`topk` allocate only for their
-//!   result sets — the TED kernel underneath runs on warm pooled
-//!   buffers.
-//! * **Mutations** take the write lock, append to the [`CorpusLog`]
-//!   **first** (fsynced segment, then header — see the store's
-//!   durability model), and only then mutate the in-memory corpus: an
-//!   I/O failure answers that one request with an error and leaves
-//!   memory and disk consistent on the old state.
+//! * **Snapshot isolation.** Each shard's current epoch is an
+//!   `Arc<TreeIndex>` behind an `RwLock` that is only ever held for the
+//!   duration of a pointer clone or swap — nanoseconds. Queries *pin* a
+//!   snapshot (`Arc::clone`) and run entirely against it; writers fork
+//!   the pinned snapshot (O(live) pointer copies — trees, pipeline,
+//!   verifier and scratch pool are all `Arc`-shared), apply the
+//!   mutation, and publish with a single swap. Compaction rewrites a
+//!   pinned epoch. **No query ever waits on a mutation or a
+//!   compaction** — the only contended wait left in the system is the
+//!   writer mutex between two mutations.
+//! * **Sharding.** The corpus is striped over N independent
+//!   [`TreeIndex`] shards: global id `g` lives on shard `g % N` as
+//!   local id `g / N`, so freshly assigned ids stay dense per shard and
+//!   the mapping needs no routing table. `range`/`top_k`/`join`
+//!   scatter-gather across every shard (`top_k` legs share one
+//!   shrinking radius through an atomic [`RadiusBudget`]);
+//!   `distance`/`diff` and mutations route to exactly the shards their
+//!   ids live on. Answers are byte-identical to a 1-shard server:
+//!   merges re-sort into the canonical order and every per-pair filter
+//!   decision is a pure function of the operands.
+//! * **Queries** (`range`, `topk`, `distance`, `diff`, `join`) run
+//!   concurrently across workers against pinned snapshots. Each worker
+//!   borrows one [`Workspace`] from the shared [`WorkspacePool`] for
+//!   its whole lifetime, so the id-to-id `distance` path performs
+//!   **zero heap allocations** per request once warm (enforced by a
+//!   counting-allocator test); scatter ops allocate only their merge
+//!   buffers and per-leg threads.
+//! * **Mutations** take the writer mutex, then every affected shard's
+//!   log lock in ascending shard order, append to each [`CorpusLog`]
+//!   **first** (fsynced segment, then header), and only then fork and
+//!   publish the affected snapshots — the log locks are held across
+//!   the swap so compaction can never rewrite an epoch that is about
+//!   to be superseded. An I/O failure answers that request with an
+//!   error and publishes nothing; WAL segments already appended to
+//!   *other* shards in the same batch are unacknowledged residue,
+//!   exactly as if the process had crashed mid-batch, and are
+//!   reconciled by the next restart's recovery pass.
 //! * **Compaction** runs on a dedicated maintenance thread, woken by
-//!   mutations and a timer: when the file's tombstone backlog exceeds
-//!   `compact_fraction × live` it rewrites the file while holding the
-//!   index *read* lock — queries keep flowing; only mutations wait. The
-//!   trigger is multiplicative (no division), keyed off the reclaimable
-//!   file backlog rather than the corpus's permanent id holes, so it can
-//!   neither fire on an empty store nor re-fire forever after a compact.
-//! * **Shutdown** ([`Server::shutdown`], also on drop) closes the queue,
-//!   lets the workers drain every already-accepted request, then joins
-//!   all threads. Requests submitted after close get an error response
-//!   immediately instead of hanging.
+//!   mutations and a timer: when a shard file's tombstone backlog
+//!   exceeds `compact_fraction × live` it takes that shard's log lock,
+//!   pins the current epoch, and rewrites the file — queries and other
+//!   shards keep flowing; only mutations touching that shard wait.
+//! * **Shutdown** ([`Server::shutdown`], also on drop) closes the
+//!   queue, lets the workers drain every already-accepted request,
+//!   then joins all threads.
 //!
-//! Lock order is **index, then log** everywhere — the one rule that
-//! keeps the three thread groups deadlock-free.
+//! Lock order is **writer, then shard logs ascending** for mutations;
+//! compaction takes a single shard log lock and nothing else; snapshot
+//! `RwLock`s nest innermost and are never held across work. That
+//! ordering keeps the three thread groups deadlock-free.
 
 use crate::metrics::{ns_since, OpKind, ServeMetrics};
 use crate::proto::{MetricsFormat, Request, Response, StatusReport, TreeRef};
 use rted_core::{Workspace, WorkspaceStats};
 use rted_index::{
-    CorpusEntry, CorpusLog, CorpusStore, LogCounts, PersistError, Recovery, RepairReport,
-    TreeIndex, WorkspacePool,
+    CorpusEntry, CorpusLog, CorpusStore, JoinPair, LogCounts, Neighbor, PersistError, RadiusBudget,
+    Recovery, RepairReport, TotalsSnapshot, TreeIndex, WorkspacePool,
 };
 use rted_tree::Tree;
 use std::collections::VecDeque;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
@@ -75,15 +101,21 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Threads *within* one query (`TreeIndex` execution policy). The
     /// default of 1 is right for a server: concurrency comes from the
-    /// worker pool, not from splitting individual queries.
+    /// worker pool and the shard fan-out, not from splitting individual
+    /// legs.
     pub query_threads: usize,
-    /// Compact when `file_tombstones > compact_fraction × max(live, 1)`;
-    /// `None` disables background compaction.
+    /// Independent shards the corpus is striped over (clamped to ≥ 1).
+    /// Used by [`Server::open`] and [`Server::in_memory`];
+    /// [`Server::start`] serves the single index it is given.
+    pub shards: usize,
+    /// Compact a shard when its `file_tombstones >
+    /// compact_fraction × max(live, 1)`; `None` disables background
+    /// compaction.
     pub compact_fraction: Option<f64>,
     /// How often the maintenance thread re-checks the trigger even
     /// without a mutation wake-up.
     pub maintenance_interval: Duration,
-    /// Route `range`/`topk` queries through the index's vantage-point
+    /// Route `range`/`topk` queries through each shard's vantage-point
     /// tree (built lazily by the first eligible query, maintained
     /// incrementally across inserts/removes). Results are identical to
     /// the linear scan; only the work per query changes. Off by default —
@@ -101,6 +133,7 @@ impl Default for ServerConfig {
                 .min(4),
             queue_capacity: 1024,
             query_threads: 1,
+            shards: 1,
             compact_fraction: Some(0.25),
             maintenance_interval: Duration::from_millis(100),
             metric_tree: false,
@@ -129,11 +162,29 @@ struct QueueState {
     closed: bool,
 }
 
-struct Shared {
-    index: RwLock<TreeIndex<String>>,
-    /// `None` = in-memory service (no durability). Always locked *after*
-    /// the index lock.
+/// One stripe of the corpus: its current published epoch and its
+/// durable log.
+struct Shard {
+    /// The published snapshot. The lock is held only for `Arc::clone`
+    /// (readers) or the publish swap (writers) — never across work.
+    snapshot: RwLock<Arc<TreeIndex<String>>>,
+    /// `None` = in-memory service (no durability). Mutations hold this
+    /// across WAL append *and* snapshot publish; compaction holds it
+    /// across the rewrite — so a compactor can never persist an epoch
+    /// a concurrent mutation is superseding.
     log: Mutex<Option<CorpusLog>>,
+}
+
+struct Shared {
+    shards: Vec<Shard>,
+    /// Serializes mutations (insert/remove) across all shards, so a
+    /// batch spanning shards commits as one unit and `next_global`
+    /// needs no CAS loop. Queries never touch it.
+    writer: Mutex<()>,
+    /// Next global id to assign. Only mutated under `writer`.
+    next_global: AtomicU64,
+    /// The TCP front-end's bound address, surfaced through `status`.
+    tcp_addr: Mutex<Option<String>>,
     queue: Mutex<QueueState>,
     have_jobs: Condvar,
     /// Mutation wake-up flag for the maintenance thread.
@@ -149,6 +200,28 @@ struct Shared {
 }
 
 impl Shared {
+    fn nshards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global id → `(shard, local id)`.
+    fn route(&self, global: usize) -> (usize, usize) {
+        (global % self.nshards(), global / self.nshards())
+    }
+
+    /// `(shard, local id)` → global id.
+    fn global_of(&self, shard: usize, local: usize) -> usize {
+        local * self.nshards() + shard
+    }
+
+    /// Pins shard `s`'s current epoch: an `Arc::clone` under a
+    /// momentary read lock — no allocation, and the returned snapshot
+    /// stays valid (and immutable) however many mutations or
+    /// compactions run while the caller uses it.
+    fn pin(&self, s: usize) -> Arc<TreeIndex<String>> {
+        Arc::clone(&*relock(self.shards[s].snapshot.read()))
+    }
+
     fn wake_maintenance(&self) {
         *relock(self.maint_pending.lock()) = true;
         self.maint_wake.notify_all();
@@ -189,8 +262,8 @@ impl Client {
     }
 }
 
-/// The running service: worker pool + maintenance thread over one
-/// shared index and (optionally) its durable log.
+/// The running service: worker pool + maintenance thread over N
+/// snapshot-isolated shards and (optionally) their durable logs.
 pub struct Server {
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
@@ -198,23 +271,65 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the service over a pre-built index. Pass the log half of a
-    /// [`CorpusStore`] (see [`CorpusStore::into_parts`]) to make
-    /// mutations durable; `None` serves purely from memory. The index is
-    /// used as configured — set its verifier/pipeline/threads first.
+    /// Starts a 1-shard service over a pre-built index. Pass the log
+    /// half of a [`CorpusStore`] (see [`CorpusStore::into_parts`]) to
+    /// make mutations durable; `None` serves purely from memory. The
+    /// index is used as configured — set its verifier/pipeline/threads
+    /// first. (`cfg.shards` is ignored here: a pre-built index is one
+    /// stripe by construction; use [`Server::open`] or
+    /// [`Server::in_memory`] for sharded layouts.)
     pub fn start(index: TreeIndex<String>, log: Option<CorpusLog>, cfg: ServerConfig) -> Server {
+        Server::start_shards(vec![(index, log)], cfg)
+    }
+
+    /// Starts the service over pre-assembled shards (index + optional
+    /// log per stripe, in shard order). Shard `s` of `N` holds the
+    /// trees whose global ids are `≡ s (mod N)`, as local ids
+    /// `global / N`.
+    pub fn start_shards(
+        shards: Vec<(TreeIndex<String>, Option<CorpusLog>)>,
+        cfg: ServerConfig,
+    ) -> Server {
+        assert!(!shards.is_empty(), "a server needs at least one shard");
+        let n = shards.len();
         let workers = cfg.workers.max(1);
-        let persistent = log.is_some();
-        let metrics = ServeMetrics::new();
-        // Hand the WAL its latency/reclaim handles before it goes behind
-        // the lock, so every durable append is timed from the start.
-        let log = log.map(|mut log| {
-            log.set_obs(metrics.wal_obs());
-            log
-        });
+        let persistent = shards.iter().any(|(_, log)| log.is_some());
+        let metrics = ServeMetrics::new(n);
+        // Recover the global id cursor from the per-shard local bounds:
+        // local bound b on shard s means global (b-1)·N + s was
+        // assigned, so the cursor resumes past the max over shards —
+        // crash holes in any one stripe never cause global id reuse.
+        let next_global = shards
+            .iter()
+            .enumerate()
+            .map(|(s, (index, _))| {
+                let bound = index.corpus().id_bound();
+                if bound == 0 {
+                    0
+                } else {
+                    ((bound - 1) * n + s + 1) as u64
+                }
+            })
+            .max()
+            .unwrap_or(0);
+        let shards = shards
+            .into_iter()
+            .map(|(index, log)| Shard {
+                snapshot: RwLock::new(Arc::new(index)),
+                // Hand each WAL its latency/reclaim handles before it
+                // goes behind the lock, so every durable append is
+                // timed from the start.
+                log: Mutex::new(log.map(|mut log| {
+                    log.set_obs(metrics.wal_obs());
+                    log
+                })),
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            index: RwLock::new(index),
-            log: Mutex::new(log),
+            shards,
+            writer: Mutex::new(()),
+            next_global: AtomicU64::new(next_global),
+            tcp_addr: Mutex::new(None),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::with_capacity(cfg.queue_capacity),
                 closed: false,
@@ -250,31 +365,78 @@ impl Server {
         }
     }
 
-    /// Opens (and if torn, recovers) the corpus file at `path` and starts
-    /// a durable service over it. With [`Recovery::Repair`] a file torn
-    /// by a crash mid-update comes back with every complete segment
-    /// intact — the report says what was recovered; with
-    /// [`Recovery::Strict`] such a file is an error.
+    /// Opens (and if torn, recovers) the corpus files for a
+    /// `cfg.shards`-stripe layout rooted at `path` and starts a durable
+    /// service over them. Shard 0 lives at `path` itself; shard `k > 0`
+    /// at `path.shard{k}`, created empty when missing (so an existing
+    /// 1-shard file can be widened in place). The returned report sums
+    /// recovery over every stripe.
+    ///
+    /// Shard files store *local* ids: a file's meaning depends on the
+    /// shard count it is opened under (global = local × N + shard).
+    /// Reopen a layout with the same `--shards` it was written with.
     pub fn open(
         path: impl AsRef<Path>,
         recovery: Recovery,
         cfg: ServerConfig,
     ) -> Result<(Server, RepairReport), PersistError> {
-        let (store, report) = CorpusStore::open_with(path.as_ref(), recovery)?;
-        let (corpus, log) = store.into_parts();
-        let index = TreeIndex::from_corpus(corpus)
-            .with_threads(cfg.query_threads.max(1))
-            .with_metric_tree(cfg.metric_tree);
-        Ok((Server::start(index, Some(log), cfg), report))
+        let path = path.as_ref();
+        let n = cfg.shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        let mut merged = RepairReport {
+            segments_recovered: 0,
+            bytes_dropped: 0,
+            header_rewritten: false,
+            live: 0,
+            next_id: 0,
+            upgraded_from: None,
+        };
+        for k in 0..n {
+            let shard_file = shard_path(path, k);
+            let store = if k == 0 || shard_file.exists() {
+                let (store, report) = CorpusStore::open_with(&shard_file, recovery)?;
+                merged.segments_recovered += report.segments_recovered;
+                merged.bytes_dropped += report.bytes_dropped;
+                merged.header_rewritten |= report.header_rewritten;
+                merged.live += report.live;
+                if merged.upgraded_from.is_none() {
+                    merged.upgraded_from = report.upgraded_from;
+                }
+                store
+            } else {
+                CorpusStore::create(&shard_file, std::iter::empty())?
+            };
+            let (corpus, log) = store.into_parts();
+            let index = TreeIndex::from_corpus(corpus)
+                .with_threads(cfg.query_threads.max(1))
+                .with_metric_tree(cfg.metric_tree);
+            shards.push((index, Some(log)));
+        }
+        let server = Server::start_shards(shards, cfg);
+        merged.next_id = server.shared.next_global.load(Ordering::Relaxed);
+        Ok((server, merged))
     }
 
     /// Starts a non-durable service over trees held only in memory
-    /// (useful for tests and ephemeral corpora).
+    /// (useful for tests and ephemeral corpora), striped over
+    /// `cfg.shards` stripes: tree `i` gets global id `i`, exactly as a
+    /// 1-shard build would assign.
     pub fn in_memory(trees: impl IntoIterator<Item = Tree<String>>, cfg: ServerConfig) -> Server {
-        let index = TreeIndex::build(trees)
-            .with_threads(cfg.query_threads.max(1))
-            .with_metric_tree(cfg.metric_tree);
-        Server::start(index, None, cfg)
+        let n = cfg.shards.max(1);
+        let mut stripes: Vec<Vec<Tree<String>>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, tree) in trees.into_iter().enumerate() {
+            stripes[i % n].push(tree);
+        }
+        let shards = stripes
+            .into_iter()
+            .map(|stripe| {
+                let index = TreeIndex::build(stripe)
+                    .with_threads(cfg.query_threads.max(1))
+                    .with_metric_tree(cfg.metric_tree);
+                (index, None)
+            })
+            .collect();
+        Server::start_shards(shards, cfg)
     }
 
     /// A new client handle (its completion slot is the one allocation;
@@ -289,6 +451,17 @@ impl Server {
     /// One-shot convenience: submit through a fresh client.
     pub fn call(&self, request: Request) -> Response {
         self.client().call(request)
+    }
+
+    /// The shard count this server is striped over.
+    pub fn shards(&self) -> usize {
+        self.shared.nshards()
+    }
+
+    /// Front-end hook: the TCP listener is up on `addr` (surfaced in
+    /// `status` for capability probing).
+    pub fn set_tcp_addr(&self, addr: String) {
+        *relock(self.shared.tcp_addr.lock()) = Some(addr);
     }
 
     /// Front-end hook: a request's wall time crossed the configured
@@ -342,14 +515,29 @@ impl Drop for Server {
     }
 }
 
+/// Shard `k`'s backing file under a root path: the root itself for
+/// shard 0 (so 1-shard layouts are plain corpus files), `.shard{k}`
+/// suffixed siblings otherwise.
+fn shard_path(path: &Path, k: usize) -> PathBuf {
+    if k == 0 {
+        return path.to_path_buf();
+    }
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".shard{k}"));
+    PathBuf::from(os)
+}
+
 /// The telemetry slot for one request, or `None` for the transport-level
-/// `shutdown` (which only reaches a worker by mistake).
+/// `shutdown` (which only reaches a worker by mistake). Batched diff
+/// shares the `diff` slot.
 fn op_kind(request: &Request) -> Option<OpKind> {
     match request {
         Request::Range { .. } => Some(OpKind::Range),
         Request::TopK { .. } => Some(OpKind::TopK),
         Request::Distance { .. } => Some(OpKind::Distance),
         Request::Diff { .. } => Some(OpKind::Diff),
+        Request::DiffBatch { .. } => Some(OpKind::Diff),
+        Request::Join { .. } => Some(OpKind::Join),
         Request::Insert { .. } => Some(OpKind::Insert),
         Request::Remove { .. } => Some(OpKind::Remove),
         Request::Status => Some(OpKind::Status),
@@ -425,24 +613,193 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Runs one scatter leg with its shard's telemetry around it.
+fn timed_leg<T>(m: &crate::metrics::ShardMetrics, f: impl FnOnce() -> T) -> T {
+    m.depth.add(1);
+    let started = Instant::now();
+    let out = f();
+    m.scatter_ns.record(ns_since(started));
+    m.queries.inc();
+    m.depth.add(-1);
+    out
+}
+
 fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
     match request {
         Request::Range { tree, tau } => {
-            let index = relock(shared.index.read());
-            let res = index.range(&tree, tau);
+            let n = shared.nshards();
+            shared.metrics.scatter_fanout.record(n as u64);
+            if n == 1 {
+                let index = shared.pin(0);
+                let res = index.range(&tree, tau);
+                shared.metrics.shard(0).queries.inc();
+                return Response::Neighbors {
+                    neighbors: res.neighbors,
+                    candidates: res.stats.candidates,
+                    verified: res.stats.verified,
+                };
+            }
+            let pins: Vec<Arc<TreeIndex<String>>> = (0..n).map(|s| shared.pin(s)).collect();
+            let mut legs = Vec::with_capacity(n);
+            std::thread::scope(|scope| {
+                let tree = &tree;
+                let handles: Vec<_> = pins
+                    .iter()
+                    .enumerate()
+                    .map(|(s, pin)| {
+                        let m = shared.metrics.shard(s);
+                        scope.spawn(move || timed_leg(m, || pin.range(tree, tau)))
+                    })
+                    .collect();
+                for h in handles {
+                    legs.push(h.join().expect("scatter leg panicked"));
+                }
+            });
+            let mut neighbors = Vec::new();
+            let (mut candidates, mut verified) = (0, 0);
+            for (s, leg) in legs.into_iter().enumerate() {
+                candidates += leg.stats.candidates;
+                verified += leg.stats.verified;
+                neighbors.extend(leg.neighbors.into_iter().map(|nb| Neighbor {
+                    id: shared.global_of(s, nb.id),
+                    distance: nb.distance,
+                }));
+            }
+            // Canonical range order (ascending id) — byte-identical to
+            // the 1-shard answer.
+            neighbors.sort_by_key(|nb| nb.id);
             Response::Neighbors {
-                neighbors: res.neighbors,
-                candidates: res.stats.candidates,
-                verified: res.stats.verified,
+                neighbors,
+                candidates,
+                verified,
             }
         }
         Request::TopK { tree, k } => {
-            let index = relock(shared.index.read());
-            let res = index.top_k(&tree, k);
+            let n = shared.nshards();
+            shared.metrics.scatter_fanout.record(n as u64);
+            if n == 1 {
+                let index = shared.pin(0);
+                let res = index.top_k(&tree, k);
+                shared.metrics.shard(0).queries.inc();
+                return Response::Neighbors {
+                    neighbors: res.neighbors,
+                    candidates: res.stats.candidates,
+                    verified: res.stats.verified,
+                };
+            }
+            let pins: Vec<Arc<TreeIndex<String>>> = (0..n).map(|s| shared.pin(s)).collect();
+            // Legs share the shrinking global radius: as soon as any
+            // shard holds k matches, every other shard prunes against
+            // that bound too.
+            let budget = RadiusBudget::new();
+            let mut legs = Vec::with_capacity(n);
+            std::thread::scope(|scope| {
+                let tree = &tree;
+                let budget = &budget;
+                let handles: Vec<_> = pins
+                    .iter()
+                    .enumerate()
+                    .map(|(s, pin)| {
+                        let m = shared.metrics.shard(s);
+                        scope.spawn(move || timed_leg(m, || pin.top_k_shared(tree, k, budget)))
+                    })
+                    .collect();
+                for h in handles {
+                    legs.push(h.join().expect("scatter leg panicked"));
+                }
+            });
+            let mut neighbors = Vec::new();
+            let (mut candidates, mut verified) = (0, 0);
+            for (s, leg) in legs.into_iter().enumerate() {
+                candidates += leg.stats.candidates;
+                verified += leg.stats.verified;
+                neighbors.extend(leg.neighbors.into_iter().map(|nb| Neighbor {
+                    id: shared.global_of(s, nb.id),
+                    distance: nb.distance,
+                }));
+            }
+            // Each leg is sorted by (distance, id) and keeps its local
+            // best k; the global best k is the best k of the union —
+            // byte-identical to the 1-shard answer.
+            neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+            neighbors.truncate(k);
             Response::Neighbors {
-                neighbors: res.neighbors,
-                candidates: res.stats.candidates,
-                verified: res.stats.verified,
+                neighbors,
+                candidates,
+                verified,
+            }
+        }
+        Request::Join { tau } => {
+            let n = shared.nshards();
+            shared.metrics.scatter_fanout.record(n as u64);
+            if n == 1 {
+                let index = shared.pin(0);
+                let out = index.join(tau);
+                shared.metrics.shard(0).queries.inc();
+                return Response::Matches {
+                    matches: out.matches,
+                    candidates: out.stats.candidates,
+                    verified: out.stats.verified,
+                };
+            }
+            let pins: Vec<Arc<TreeIndex<String>>> = (0..n).map(|s| shared.pin(s)).collect();
+            let mut matches: Vec<JoinPair> = Vec::new();
+            let (mut candidates, mut verified) = (0, 0);
+            // N self-join legs plus N·(N-1)/2 bipartite legs cover every
+            // unordered pair exactly once: Σ nₛ(nₛ-1)/2 + Σ_{s<t} nₛ·nₜ
+            // = n(n-1)/2, so even the candidate count matches the
+            // 1-shard answer byte for byte.
+            std::thread::scope(|scope| {
+                let pins = &pins;
+                let self_handles: Vec<_> = (0..n)
+                    .map(|s| {
+                        let m = shared.metrics.shard(s);
+                        scope.spawn(move || timed_leg(m, || pins[s].join(tau)))
+                    })
+                    .collect();
+                let mut cross_handles = Vec::with_capacity(n * (n - 1) / 2);
+                for s in 0..n {
+                    for t in s + 1..n {
+                        let m = shared.metrics.shard(s);
+                        cross_handles.push((
+                            s,
+                            t,
+                            scope.spawn(move || {
+                                timed_leg(m, || pins[s].join_between(&pins[t], tau))
+                            }),
+                        ));
+                    }
+                }
+                for (s, h) in self_handles.into_iter().enumerate() {
+                    let out = h.join().expect("scatter leg panicked");
+                    candidates += out.stats.candidates;
+                    verified += out.stats.verified;
+                    matches.extend(out.matches.into_iter().map(|p| JoinPair {
+                        left: shared.global_of(s, p.left),
+                        right: shared.global_of(s, p.right),
+                        distance: p.distance,
+                    }));
+                }
+                for (s, t, h) in cross_handles {
+                    let out = h.join().expect("scatter leg panicked");
+                    candidates += out.stats.candidates;
+                    verified += out.stats.verified;
+                    matches.extend(out.matches.into_iter().map(|p| {
+                        let a = shared.global_of(s, p.left);
+                        let b = shared.global_of(t, p.right);
+                        JoinPair {
+                            left: a.min(b),
+                            right: a.max(b),
+                            distance: p.distance,
+                        }
+                    }));
+                }
+            });
+            matches.sort_by_key(|x| (x.left, x.right));
+            Response::Matches {
+                matches,
+                candidates,
+                verified,
             }
         }
         Request::Distance {
@@ -450,30 +807,57 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
             right,
             at_most,
         } => {
-            let index = relock(shared.index.read());
-            let corpus = index.corpus();
-            let left_tree: &Tree<String> = match &left {
-                TreeRef::Inline(t) => t,
-                TreeRef::Id(id) => match corpus.get(*id) {
-                    Some(entry) => entry.tree(),
-                    None => return Response::Error(format!("no live tree with id {id}")),
-                },
+            // Route each id operand to its shard and pin at most two
+            // snapshots — `Arc::clone`s, so the warm id-to-id path
+            // stays allocation-free.
+            let lroute = route_ref(shared, &left);
+            let rroute = route_ref(shared, &right);
+            let lpin = lroute.map(|(s, _)| shared.pin(s));
+            let rpin = match (rroute, &lpin, lroute) {
+                (Some((s, _)), Some(pin), Some((ls, _))) if s == ls => Some(Arc::clone(pin)),
+                (Some((s, _)), _, _) => Some(shared.pin(s)),
+                (None, _, _) => None,
             };
-            let right_tree: &Tree<String> = match &right {
-                TreeRef::Inline(t) => t,
-                TreeRef::Id(id) => match corpus.get(*id) {
+            let left_tree: &Tree<String> = match (&left, &lpin, lroute) {
+                (TreeRef::Inline(t), _, _) => t,
+                (TreeRef::Id(id), Some(pin), Some((_, local))) => match pin.corpus().get(local) {
                     Some(entry) => entry.tree(),
                     None => return Response::Error(format!("no live tree with id {id}")),
                 },
+                _ => unreachable!("id operands always route"),
+            };
+            let right_tree: &Tree<String> = match (&right, &rpin, rroute) {
+                (TreeRef::Inline(t), _, _) => t,
+                (TreeRef::Id(id), Some(pin), Some((_, local))) => match pin.corpus().get(local) {
+                    Some(entry) => entry.tree(),
+                    None => return Response::Error(format!("no live tree with id {id}")),
+                },
+                _ => unreachable!("id operands always route"),
+            };
+            if let Some((s, _)) = lroute {
+                shared.metrics.shard(s).queries.inc();
+            }
+            if let Some((s, _)) = rroute {
+                if lroute.map_or(true, |(ls, _)| ls != s) {
+                    shared.metrics.shard(s).queries.inc();
+                }
+            }
+            let fallback;
+            let recorder: &TreeIndex<String> = match lpin.as_deref().or(rpin.as_deref()) {
+                Some(index) => index,
+                None => {
+                    fallback = shared.pin(0);
+                    &fallback
+                }
             };
             if at_most == f64::INFINITY {
-                let run = index.distance_in(left_tree, right_tree, ws);
+                let run = recorder.distance_in(left_tree, right_tree, ws);
                 Response::Distance(run.distance)
             } else {
                 // Budgeted path: the bounded kernel may stop the moment
                 // the budget is provably blown, answering with a
                 // certified lower bound instead of the exact distance.
-                let bv = index.distance_within(left_tree, right_tree, at_most, ws);
+                let bv = recorder.distance_within(left_tree, right_tree, at_most, ws);
                 match bv.result {
                     rted_core::BoundedResult::Exact(d) => Response::Distance(d),
                     rted_core::BoundedResult::Exceeds(lb) => Response::DistanceExceeds(lb),
@@ -481,148 +865,312 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
             }
         }
         Request::Diff { left, right } => {
-            let index = relock(shared.index.read());
-            let corpus = index.corpus();
-            let left_tree: &Tree<String> = match &left {
-                TreeRef::Inline(t) => t,
-                TreeRef::Id(id) => match corpus.get(*id) {
+            let lroute = route_ref(shared, &left);
+            let rroute = route_ref(shared, &right);
+            let lpin = lroute.map(|(s, _)| shared.pin(s));
+            let rpin = match (rroute, &lpin, lroute) {
+                (Some((s, _)), Some(pin), Some((ls, _))) if s == ls => Some(Arc::clone(pin)),
+                (Some((s, _)), _, _) => Some(shared.pin(s)),
+                (None, _, _) => None,
+            };
+            let left_tree: &Tree<String> = match (&left, &lpin, lroute) {
+                (TreeRef::Inline(t), _, _) => t,
+                (TreeRef::Id(id), Some(pin), Some((_, local))) => match pin.corpus().get(local) {
                     Some(entry) => entry.tree(),
                     None => return Response::Error(format!("no live tree with id {id}")),
                 },
+                _ => unreachable!("id operands always route"),
             };
-            let right_tree: &Tree<String> = match &right {
-                TreeRef::Inline(t) => t,
-                TreeRef::Id(id) => match corpus.get(*id) {
+            let right_tree: &Tree<String> = match (&right, &rpin, rroute) {
+                (TreeRef::Inline(t), _, _) => t,
+                (TreeRef::Id(id), Some(pin), Some((_, local))) => match pin.corpus().get(local) {
                     Some(entry) => entry.tree(),
                     None => return Response::Error(format!("no live tree with id {id}")),
                 },
+                _ => unreachable!("id operands always route"),
             };
-            let mapping = index.diff_in(left_tree, right_tree, ws);
+            if let Some((s, _)) = lroute {
+                shared.metrics.shard(s).queries.inc();
+            }
+            if let Some((s, _)) = rroute {
+                if lroute.map_or(true, |(ls, _)| ls != s) {
+                    shared.metrics.shard(s).queries.inc();
+                }
+            }
+            let fallback;
+            let recorder: &TreeIndex<String> = match lpin.as_deref().or(rpin.as_deref()) {
+                Some(index) => index,
+                None => {
+                    fallback = shared.pin(0);
+                    &fallback
+                }
+            };
+            let mapping = recorder.diff_in(left_tree, right_tree, ws);
             Response::Diff(mapping.script(left_tree, right_tree))
+        }
+        Request::DiffBatch { pairs } => {
+            let n = shared.nshards();
+            // One pinned snapshot per touched shard, reused across the
+            // whole batch; every id validated before any script is
+            // extracted, so a dead id fails the batch atomically.
+            let mut pins: Vec<Option<Arc<TreeIndex<String>>>> = vec![None; n];
+            for &(a, b) in &pairs {
+                for id in [a, b] {
+                    let (s, local) = shared.route(id);
+                    let pin = match &pins[s] {
+                        Some(pin) => pin,
+                        None => {
+                            pins[s] = Some(shared.pin(s));
+                            pins[s].as_ref().expect("just pinned")
+                        }
+                    };
+                    if pin.corpus().get(local).is_none() {
+                        return Response::Error(format!("no live tree with id {id}"));
+                    }
+                }
+            }
+            // This worker's one warm workspace is amortized across the
+            // batch — the per-pair cost is the extraction itself.
+            let mut scripts = Vec::with_capacity(pairs.len());
+            for &(a, b) in &pairs {
+                let (sa, la) = shared.route(a);
+                let (sb, lb) = shared.route(b);
+                let pa = pins[sa].as_ref().expect("validated above");
+                let pb = pins[sb].as_ref().expect("validated above");
+                let left = pa.corpus().get(la).expect("validated above").tree();
+                let right = pb.corpus().get(lb).expect("validated above").tree();
+                let mapping = pa.diff_in(left, right, ws);
+                scripts.push(mapping.script(left, right));
+                shared.metrics.shard(sa).queries.inc();
+            }
+            Response::DiffBatch(scripts)
         }
         Request::Insert { trees } => {
             if trees.is_empty() {
                 return Response::Inserted(Vec::new());
             }
             // Analyze outside every lock — the expensive part.
-            let entries: Vec<CorpusEntry<String>> =
-                trees.into_iter().map(CorpusEntry::analyze).collect();
-            let mut index = relock(shared.index.write());
-            let base = index.corpus().id_bound();
-            {
-                let mut log = relock(shared.log.lock());
-                if let Some(log) = log.as_mut() {
-                    let pairs: Vec<(u64, &CorpusEntry<String>)> = entries
-                        .iter()
-                        .enumerate()
-                        .map(|(i, entry)| ((base + i) as u64, entry))
-                        .collect();
-                    let old = LogCounts::of(index.corpus());
-                    let new = LogCounts {
-                        next_id: (base + entries.len()) as u64,
-                        live: old.live + entries.len() as u64,
-                    };
-                    // Durable append FIRST: on failure the in-memory
-                    // corpus is untouched, memory and disk still agree.
-                    if let Err(e) = log.append_trees(&pairs, old, new) {
-                        return Response::Error(format!(
-                            "insert not applied (durable append failed): {e}"
-                        ));
+            let entries: Vec<Arc<CorpusEntry<String>>> = trees
+                .into_iter()
+                .map(|tree| Arc::new(CorpusEntry::analyze(tree)))
+                .collect();
+            let n = shared.nshards();
+            let response = {
+                let _writer = relock(shared.writer.lock());
+                let base = shared.next_global.load(Ordering::Relaxed) as usize;
+                let count = entries.len();
+                let ids: Vec<usize> = (base..base + count).collect();
+                let mut stripes: Vec<Vec<(usize, Arc<CorpusEntry<String>>)>> =
+                    (0..n).map(|_| Vec::new()).collect();
+                for (i, entry) in entries.into_iter().enumerate() {
+                    let (s, local) = shared.route(base + i);
+                    stripes[s].push((local, entry));
+                }
+                let affected: Vec<usize> = (0..n).filter(|&s| !stripes[s].is_empty()).collect();
+                // Every affected WAL locked in ascending shard order and
+                // held across the snapshot publish below, so compaction
+                // can never pin an epoch between append and swap.
+                let mut log_guards: Vec<_> = affected
+                    .iter()
+                    .map(|&s| relock(shared.shards[s].log.lock()))
+                    .collect();
+                let pins: Vec<Arc<TreeIndex<String>>> =
+                    affected.iter().map(|&s| shared.pin(s)).collect();
+                // Durable appends FIRST, all shards, before any publish:
+                // on failure nothing is visible in memory. Segments
+                // already appended to earlier shards in the batch are
+                // unacknowledged crash-like residue for restart recovery.
+                let mut failed = None;
+                for ((guard, &s), pin) in log_guards.iter_mut().zip(&affected).zip(&pins) {
+                    if let Some(log) = guard.as_mut() {
+                        let stripe = &stripes[s];
+                        let pairs: Vec<(u64, &CorpusEntry<String>)> = stripe
+                            .iter()
+                            .map(|(local, entry)| (*local as u64, entry.as_ref()))
+                            .collect();
+                        let old = LogCounts::of(pin.corpus());
+                        let last_local = stripe.last().expect("affected stripes are non-empty").0;
+                        let new = LogCounts {
+                            next_id: old.next_id.max(last_local as u64 + 1),
+                            live: old.live + stripe.len() as u64,
+                        };
+                        if let Err(e) = log.append_trees(&pairs, old, new) {
+                            failed =
+                                Some(format!("insert not applied (durable append failed): {e}"));
+                            break;
+                        }
                     }
                 }
+                match failed {
+                    Some(msg) => Response::Error(msg),
+                    None => {
+                        for (&s, pin) in affected.iter().zip(&pins) {
+                            let mut next = pin.fork();
+                            for (local, entry) in stripes[s].drain(..) {
+                                next.insert_entry_at(local, entry);
+                            }
+                            *relock(shared.shards[s].snapshot.write()) = Arc::new(next);
+                        }
+                        shared
+                            .next_global
+                            .store((base + count) as u64, Ordering::Relaxed);
+                        Response::Inserted(ids)
+                    }
+                }
+            };
+            if matches!(response, Response::Inserted(_)) {
+                shared.wake_maintenance();
             }
-            let ids: Vec<usize> = entries
-                .into_iter()
-                .map(|entry| index.insert_entry(entry))
-                .collect();
-            drop(index);
-            shared.wake_maintenance();
-            Response::Inserted(ids)
+            response
         }
         Request::Remove { ids } => {
-            let mut index = relock(shared.index.write());
-            // Dedup against the live set, as the store does: a repeated
-            // or dead id is skipped, not an error.
-            let mut seen = std::collections::HashSet::new();
-            let removable: Vec<u64> = ids
-                .iter()
-                .filter(|&&id| index.corpus().get(id).is_some() && seen.insert(id))
-                .map(|&id| id as u64)
-                .collect();
-            if removable.is_empty() {
-                return Response::Removed(0);
-            }
-            {
-                let mut log = relock(shared.log.lock());
-                if let Some(log) = log.as_mut() {
-                    let old = LogCounts::of(index.corpus());
-                    let new = LogCounts {
-                        next_id: old.next_id,
-                        live: old.live - removable.len() as u64,
-                    };
-                    if let Err(e) = log.append_tombstones(&removable, old, new) {
-                        return Response::Error(format!(
-                            "remove not applied (durable append failed): {e}"
-                        ));
+            let n = shared.nshards();
+            let response = {
+                let _writer = relock(shared.writer.lock());
+                // Pinned under the writer mutex, these snapshots are the
+                // current epochs — no concurrent mutation can invalidate
+                // the liveness check below.
+                let pins: Vec<Arc<TreeIndex<String>>> = (0..n).map(|s| shared.pin(s)).collect();
+                // Dedup against the live set, as the store does: a
+                // repeated or dead id is skipped, not an error.
+                let mut seen = std::collections::HashSet::new();
+                let mut stripes: Vec<Vec<usize>> = (0..n).map(|_| Vec::new()).collect();
+                let mut removed = 0usize;
+                for &id in &ids {
+                    let (s, local) = shared.route(id);
+                    if pins[s].corpus().get(local).is_some() && seen.insert(id) {
+                        stripes[s].push(local);
+                        removed += 1;
                     }
                 }
+                if removed == 0 {
+                    Response::Removed(0)
+                } else {
+                    let affected: Vec<usize> = (0..n).filter(|&s| !stripes[s].is_empty()).collect();
+                    let mut log_guards: Vec<_> = affected
+                        .iter()
+                        .map(|&s| relock(shared.shards[s].log.lock()))
+                        .collect();
+                    let mut failed = None;
+                    for (guard, &s) in log_guards.iter_mut().zip(&affected) {
+                        if let Some(log) = guard.as_mut() {
+                            let locals: Vec<u64> = stripes[s].iter().map(|&l| l as u64).collect();
+                            let old = LogCounts::of(pins[s].corpus());
+                            let new = LogCounts {
+                                next_id: old.next_id,
+                                live: old.live - locals.len() as u64,
+                            };
+                            if let Err(e) = log.append_tombstones(&locals, old, new) {
+                                failed = Some(format!(
+                                    "remove not applied (durable append failed): {e}"
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                    match failed {
+                        Some(msg) => Response::Error(msg),
+                        None => {
+                            for &s in &affected {
+                                let mut next = pins[s].fork();
+                                for &local in &stripes[s] {
+                                    next.remove(local);
+                                }
+                                *relock(shared.shards[s].snapshot.write()) = Arc::new(next);
+                            }
+                            Response::Removed(removed)
+                        }
+                    }
+                }
+            };
+            if matches!(response, Response::Removed(r) if r > 0) {
+                shared.wake_maintenance();
             }
-            for &id in &removable {
-                index.remove(id as usize);
-            }
-            drop(index);
-            shared.wake_maintenance();
-            Response::Removed(removable.len())
+            response
         }
         Request::Status => {
-            let index = relock(shared.index.read());
-            let log = relock(shared.log.lock());
-            let corpus = index.corpus();
-            let metric = index.metric_snapshot();
+            let n = shared.nshards();
+            let pins: Vec<Arc<TreeIndex<String>>> = (0..n).map(|s| shared.pin(s)).collect();
+            let shard_live: Vec<usize> = pins.iter().map(|p| p.corpus().len()).collect();
+            let live: usize = shard_live.iter().sum();
+            let (mut segments, mut file_tombstones, mut persistent) = (0, 0, false);
+            let mut shard_tombstones = Vec::with_capacity(n);
+            for shard in &shared.shards {
+                let log = relock(shard.log.lock());
+                persistent |= log.is_some();
+                segments += log.as_ref().map_or(0, CorpusLog::segment_count);
+                let tombs = log.as_ref().map_or(0, CorpusLog::tombstone_count);
+                file_tombstones += tombs;
+                shard_tombstones.push(tombs);
+            }
+            let (mut metric_built, mut metric_pending, mut metric_tombstones) = (0, 0, 0);
+            let mut metric_tree = false;
+            for pin in &pins {
+                let metric = pin.metric_snapshot();
+                metric_tree |= metric.enabled;
+                metric_built += metric.built;
+                metric_pending += metric.pending;
+                metric_tombstones += metric.tombstones;
+            }
+            // Global id accounting: the stripe mapping means the global
+            // id space is exactly [0, next_global), and every id not
+            // live on its shard is a hole.
+            let id_bound = shared.next_global.load(Ordering::Relaxed) as usize;
             Response::Status(StatusReport {
-                live: corpus.len(),
-                id_bound: corpus.id_bound(),
-                holes: corpus.holes(),
-                persistent: log.is_some(),
-                segments: log.as_ref().map_or(0, CorpusLog::segment_count),
-                file_tombstones: log.as_ref().map_or(0, CorpusLog::tombstone_count),
+                live,
+                id_bound,
+                holes: id_bound - live,
+                persistent,
+                segments,
+                file_tombstones,
                 workers: shared.workers,
+                shards: n,
+                shard_live,
+                shard_tombstones,
+                tcp: relock(shared.tcp_addr.lock()).clone(),
                 requests: shared.requests.load(Ordering::Relaxed),
                 compactions: shared.metrics.compactions.get(),
-                metric_tree: metric.enabled,
-                metric_built: metric.built,
-                metric_pending: metric.pending,
-                metric_tombstones: metric.tombstones,
+                metric_tree,
+                metric_built,
+                metric_pending,
+                metric_tombstones,
                 uptime_secs: shared.metrics.uptime_secs(),
                 requests_by_type: shared.metrics.per_type_counts(),
             })
         }
         Request::Compact => {
-            let index = relock(shared.index.read());
-            let mut log = relock(shared.log.lock());
-            match log.as_mut() {
-                None => Response::Error("service is not persistent (nothing to compact)".into()),
-                Some(log) => {
-                    let reclaimable = log.tombstone_count() > 0 || log.segment_count() > 1;
-                    match log.rewrite(index.corpus()) {
-                        Ok(()) => {
-                            shared.metrics.compactions.inc();
-                            Response::Compacted(reclaimable)
-                        }
-                        Err(e) => Response::Error(format!("compaction failed: {e}")),
-                    }
+            let mut any_persistent = false;
+            let mut reclaimable = false;
+            for shard in &shared.shards {
+                let mut log_guard = relock(shard.log.lock());
+                let Some(log) = log_guard.as_mut() else {
+                    continue;
+                };
+                any_persistent = true;
+                // Pin under the log lock: mutations hold the log lock
+                // across their publish, so this epoch is the one the
+                // file must converge to.
+                let pin = Arc::clone(&*relock(shard.snapshot.read()));
+                reclaimable |= log.tombstone_count() > 0 || log.segment_count() > 1;
+                if let Err(e) = log.rewrite(pin.corpus()) {
+                    return Response::Error(format!("compaction failed: {e}"));
                 }
             }
+            if !any_persistent {
+                return Response::Error("service is not persistent (nothing to compact)".into());
+            }
+            shared.metrics.compactions.inc();
+            Response::Compacted(reclaimable)
         }
         Request::Metrics { format } => {
-            // The service registry plus the index's lifetime totals,
-            // frozen together under one read lock.
-            let mut snap = {
-                let index = relock(shared.index.read());
-                let mut snap = shared.metrics.snapshot();
-                index.totals().push_metrics(&mut snap);
-                snap
-            };
+            // The service registry plus every shard's lifetime totals,
+            // merged into one service-wide `index_*` family.
+            let mut snap = shared.metrics.snapshot();
+            let mut totals = TotalsSnapshot::default();
+            for s in 0..shared.nshards() {
+                totals.merge(&shared.pin(s).totals());
+            }
+            totals.push_metrics(&mut snap);
             snap.push(
                 "serve_requests_total",
                 rted_obs::MetricValue::Counter(shared.requests.load(Ordering::Relaxed)),
@@ -635,6 +1183,15 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
         Request::Shutdown => {
             Response::Error("shutdown is handled by the connection front-end".into())
         }
+    }
+}
+
+/// Routes an id operand to `(shard, local id)`; inline trees don't
+/// route.
+fn route_ref(shared: &Shared, r: &TreeRef) -> Option<(usize, usize)> {
+    match r {
+        TreeRef::Id(id) => Some(shared.route(*id)),
+        TreeRef::Inline(_) => None,
     }
 }
 
@@ -658,26 +1215,184 @@ fn maintenance_loop(shared: &Shared, fraction: f64, interval: Duration) {
     }
 }
 
-/// The threshold-driven compaction pass. Holds the index **read** lock
-/// for the rewrite, so queries keep running; only mutations wait. The
-/// trigger compares the file's reclaimable tombstone backlog (which
-/// resets on compact) against the live count in multiplicative form —
+/// The threshold-driven compaction pass, per shard. Holds only that
+/// shard's log lock for the rewrite — queries run against pinned
+/// snapshots and never notice; mutations touching *other* shards flow
+/// freely; only a mutation on the compacting shard waits. The trigger
+/// compares the file's reclaimable tombstone backlog (which resets on
+/// compact) against the shard's live count in multiplicative form —
 /// no division, no firing on an empty store, no perpetual re-firing on
 /// the corpus's permanent id holes.
 fn maybe_compact(shared: &Shared, fraction: f64) {
-    let index = relock(shared.index.read());
-    let mut log_guard = relock(shared.log.lock());
-    let Some(log) = log_guard.as_mut() else {
-        return;
-    };
-    let backlog = log.tombstone_count();
-    if backlog == 0 || (backlog as f64) <= fraction * (index.corpus().len().max(1) as f64) {
-        return;
+    for shard in &shared.shards {
+        let mut log_guard = relock(shard.log.lock());
+        let Some(log) = log_guard.as_mut() else {
+            continue;
+        };
+        let backlog = log.tombstone_count();
+        // Pin under the log lock (see `Compact`): this epoch is final
+        // for the file until the lock is released.
+        let pin = Arc::clone(&*relock(shard.snapshot.read()));
+        if backlog == 0 || (backlog as f64) <= fraction * (pin.corpus().len().max(1) as f64) {
+            continue;
+        }
+        if log.rewrite(pin.corpus()).is_ok() {
+            shared.metrics.compactions.inc();
+        }
+        // On rewrite failure: leave the backlog as is; the next pass
+        // retries. Queries and updates are unaffected (the old file is
+        // still intact — rewrite goes through a temp file + rename).
     }
-    if log.rewrite(index.corpus()).is_ok() {
-        shared.metrics.compactions.inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rted_tree::parse_bracket;
+
+    fn trees(specs: &[&str]) -> Vec<Tree<String>> {
+        specs.iter().map(|s| parse_bracket(s).unwrap()).collect()
     }
-    // On rewrite failure: leave the backlog as is; the next pass retries.
-    // Queries and updates are unaffected (the old file is still intact —
-    // rewrite goes through a temp file + rename).
+
+    /// The snapshot-isolation guarantee, asserted at the lock level: a
+    /// query completes while a writer *and* a compactor hold every
+    /// mutation-side lock in the system. Under the old
+    /// `RwLock<TreeIndex>` design this deadlocked (the query needed the
+    /// read lock a writer held); under snapshots the query only ever
+    /// takes a momentary snapshot read lock that nothing holds across
+    /// work.
+    #[test]
+    fn queries_never_wait_on_writers_or_compaction() {
+        let server = Server::in_memory(
+            trees(&["{a{b}}", "{a{c}}", "{b}", "{a{b}{c}}", "{c{d}}"]),
+            ServerConfig {
+                workers: 2,
+                shards: 2,
+                ..ServerConfig::default()
+            },
+        );
+        // Simulate an in-flight mutation (writer mutex) and an
+        // in-flight compaction on every shard (log locks).
+        let writer_guard = relock(server.shared.writer.lock());
+        let log_guards: Vec<_> = server
+            .shared
+            .shards
+            .iter()
+            .map(|s| relock(s.log.lock()))
+            .collect();
+        let mut client = server.client();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let query = std::thread::spawn(move || {
+            let resp = client.call(Request::Range {
+                tree: parse_bracket("{a{b}}").unwrap(),
+                tau: 2.0,
+            });
+            let _ = tx.send(resp);
+        });
+        let resp = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("range query blocked on writer/compaction locks");
+        match resp {
+            Response::Neighbors { candidates, .. } => assert_eq!(candidates, 5),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        query.join().unwrap();
+        drop(log_guards);
+        drop(writer_guard);
+    }
+
+    /// Striped routing: global ids assigned across shards behave
+    /// exactly like 1-shard ids from the client's point of view.
+    #[test]
+    fn striped_ids_stay_global() {
+        let server = Server::in_memory(
+            trees(&["{a}", "{b}", "{c}"]),
+            ServerConfig {
+                workers: 1,
+                shards: 3,
+                ..ServerConfig::default()
+            },
+        );
+        // Initial build: tree i has global id i.
+        match server.call(Request::Distance {
+            left: TreeRef::Id(0),
+            right: TreeRef::Id(2),
+            at_most: f64::INFINITY,
+        }) {
+            Response::Distance(d) => assert_eq!(d, 1.0),
+            other => panic!("{other:?}"),
+        }
+        // Inserts keep assigning dense global ids.
+        match server.call(Request::Insert {
+            trees: trees(&["{d}", "{e}"]),
+        }) {
+            Response::Inserted(ids) => assert_eq!(ids, vec![3, 4]),
+            other => panic!("{other:?}"),
+        }
+        match server.call(Request::Status) {
+            Response::Status(s) => {
+                assert_eq!(s.live, 5);
+                assert_eq!(s.id_bound, 5);
+                assert_eq!(s.holes, 0);
+                assert_eq!(s.shards, 3);
+                // 0,3 → shard 0; 1,4 → shard 1; 2 → shard 2.
+                assert_eq!(s.shard_live, vec![2, 2, 1]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Remove by global id, then the hole is visible globally.
+        match server.call(Request::Remove { ids: vec![1] }) {
+            Response::Removed(r) => assert_eq!(r, 1),
+            other => panic!("{other:?}"),
+        }
+        match server.call(Request::Status) {
+            Response::Status(s) => {
+                assert_eq!((s.live, s.id_bound, s.holes), (4, 5, 1));
+                assert_eq!(s.shard_live, vec![2, 1, 1]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match server.call(Request::Distance {
+            left: TreeRef::Id(1),
+            right: TreeRef::Id(0),
+            at_most: f64::INFINITY,
+        }) {
+            Response::Error(e) => assert!(e.contains("no live tree with id 1"), "{e}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// A pinned snapshot answers consistently even while mutations
+    /// publish new epochs: queries in flight during an insert see
+    /// either the old or the new corpus, never a torn mix.
+    #[test]
+    fn snapshots_isolate_queries_from_mutations() {
+        let server = Server::in_memory(
+            trees(&["{a}", "{b}"]),
+            ServerConfig {
+                workers: 2,
+                shards: 2,
+                ..ServerConfig::default()
+            },
+        );
+        // Pin the current epoch of both shards directly.
+        let pre: Vec<_> = (0..2).map(|s| server.shared.pin(s)).collect();
+        match server.call(Request::Insert {
+            trees: trees(&["{c}", "{d}", "{e}"]),
+        }) {
+            Response::Inserted(ids) => assert_eq!(ids, vec![2, 3, 4]),
+            other => panic!("{other:?}"),
+        }
+        // The pinned pre-insert epochs still see exactly one tree each.
+        assert_eq!(pre[0].corpus().len(), 1);
+        assert_eq!(pre[1].corpus().len(), 1);
+        // New queries see all five.
+        match server.call(Request::Range {
+            tree: parse_bracket("{a}").unwrap(),
+            tau: f64::INFINITY,
+        }) {
+            Response::Neighbors { candidates, .. } => assert_eq!(candidates, 5),
+            other => panic!("{other:?}"),
+        }
+    }
 }

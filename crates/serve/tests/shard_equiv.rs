@@ -1,0 +1,124 @@
+//! Property tests for sharded serving: a server striped over any shard
+//! count must answer **byte-identically** to a 1-shard server — same
+//! neighbors, same order, same candidate counters, same rendered
+//! response lines — across random corpora, random insert/remove
+//! scripts, and random queries.
+//!
+//! Why bytes and not just values: the scatter-gather merge re-sorts
+//! into the canonical order and the per-pair filter decisions are pure
+//! functions of the operands, so nothing about the answer may depend on
+//! the stripe layout. The one deliberate exception is `topk`'s
+//! `verified` counter: the shared-radius gather can verify a different
+//! *number* of candidates per shard than one linear pass does (the
+//! radius tightens in a different interleaving), so that single counter
+//! is masked before comparison. Every other byte must match.
+
+use proptest::prelude::*;
+use rted_datasets::shapes::Shape;
+use rted_serve::{render_response, Request, Server, ServerConfig};
+use rted_tree::Tree;
+
+fn arb_tree(max: usize) -> impl Strategy<Value = Tree<String>> {
+    (0..Shape::ALL.len(), 1..=max, any::<u32>()).prop_map(|(s, n, seed)| {
+        Shape::ALL[s]
+            .generate(n, seed as u64)
+            .map_labels(|l| l.to_string())
+    })
+}
+
+fn cfg(shards: usize) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        shards,
+        ..ServerConfig::default()
+    }
+}
+
+/// Zeroes the `"verified":N` counter in a rendered response line.
+fn mask_verified(line: &str) -> String {
+    const KEY: &str = "\"verified\":";
+    match line.find(KEY) {
+        None => line.to_string(),
+        Some(i) => {
+            let start = i + KEY.len();
+            let end = line[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map_or(line.len(), |e| start + e);
+            format!("{}0{}", &line[..start], &line[end..])
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_answers_are_byte_identical_to_one_shard(
+        initial in proptest::collection::vec(arb_tree(10), 1..=7),
+        script in proptest::collection::vec((any::<bool>(), any::<u32>(), arb_tree(10)), 0..6),
+        shards in 2..=4usize,
+        q in arb_tree(10),
+        tau_int in 0..12usize,
+        k in 1..5usize,
+        picks in proptest::collection::vec(any::<u32>(), 4),
+    ) {
+        let reference = Server::in_memory(initial.clone(), cfg(1));
+        let sharded = Server::in_memory(initial.clone(), cfg(shards));
+        let mut ref_client = reference.client();
+        let mut sh_client = sharded.client();
+
+        // Drive both servers through the same mutation script: both
+        // assign identical global ids (the stripe mapping is invisible
+        // at the protocol level), so every later id-based request means
+        // the same trees on both.
+        let mut id_bound = initial.len();
+        for (is_remove, pick, tree) in script {
+            let request = if is_remove {
+                // May hit a dead id — then both servers skip it alike.
+                Request::Remove { ids: vec![pick as usize % id_bound] }
+            } else {
+                id_bound += 1;
+                Request::Insert { trees: vec![tree] }
+            };
+            let a = render_response(&ref_client.call(request.clone()));
+            let b = render_response(&sh_client.call(request));
+            prop_assert_eq!(a, b);
+        }
+
+        let tau = if tau_int == 0 { f64::INFINITY } else { tau_int as f64 / 2.0 };
+
+        // range and join: full-line byte identity, counters included.
+        for request in [Request::Range { tree: q.clone(), tau }, Request::Join { tau }] {
+            let a = render_response(&ref_client.call(request.clone()));
+            let b = render_response(&sh_client.call(request));
+            prop_assert_eq!(a, b);
+        }
+
+        // topk: byte-identical except the masked `verified` counter.
+        let request = Request::TopK { tree: q.clone(), k };
+        let a = render_response(&ref_client.call(request.clone()));
+        let b = render_response(&sh_client.call(request));
+        prop_assert_eq!(mask_verified(&a), mask_verified(&b));
+
+        // Routed ops on arbitrary (possibly dead) ids: identical
+        // answers *and* identical errors.
+        let id = |i: usize| picks[i] as usize % id_bound;
+        let request = Request::DiffBatch {
+            pairs: vec![(id(0), id(1)), (id(2), id(3))],
+        };
+        let a = render_response(&ref_client.call(request.clone()));
+        let b = render_response(&sh_client.call(request));
+        prop_assert_eq!(a, b);
+        let request = Request::Distance {
+            left: rted_serve::TreeRef::Id(id(0)),
+            right: rted_serve::TreeRef::Id(id(3)),
+            at_most: tau,
+        };
+        let a = render_response(&ref_client.call(request.clone()));
+        let b = render_response(&sh_client.call(request));
+        prop_assert_eq!(a, b);
+
+        reference.shutdown();
+        sharded.shutdown();
+    }
+}

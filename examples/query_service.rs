@@ -76,4 +76,44 @@ fn main() {
         println!("distance(article, memo) = {d}");
     }
     server.shutdown();
+
+    // --- Session 3: the same corpus, striped over 3 shards --------------
+    // A shard count is fixed when the corpus is written (shard files
+    // store local ids), so the sharded service starts from an empty
+    // store and the trees are inserted through it: global id g lands on
+    // shard g mod 3 as local id g div 3, and the extra segment files
+    // appear next to the root as `sharded.idx.shard{1,2}`. Scatter-
+    // gather then answers exactly like the 1-shard sessions above.
+    let sharded_path = dir.join("sharded.idx");
+    CorpusStore::create(&sharded_path, std::iter::empty()).expect("create sharded store");
+    let config = ServerConfig {
+        shards: 3,
+        ..ServerConfig::default()
+    };
+    let (server, _) = Server::open(&sharded_path, Recovery::Strict, config).expect("open sharded");
+    let mut client = server.client();
+    let reloaded: Vec<_> = [
+        "{article{title}{authors{a}{a}}{body{sec}{sec}}}",
+        "{article{title}{authors{a}}{body{sec}{sec}{sec}}}",
+        "{book{title}{chapters{ch{sec}}{ch{sec}{sec}}}}",
+        "{note{title}{body}}",
+        "{memo{title}{body{p}{p}}}",
+    ]
+    .iter()
+    .map(|s| parse_bracket(s).unwrap())
+    .collect();
+    if let Response::Inserted(ids) = client.call(Request::Insert { trees: reloaded }) {
+        println!("sharded service assigned global ids {ids:?}");
+    }
+    let query = parse_bracket("{article{title}{authors{a}}{body{sec}{sec}}}").unwrap();
+    if let Response::Neighbors { neighbors, .. } = client.call(Request::Range {
+        tree: query,
+        tau: 4.0,
+    }) {
+        println!(
+            "sharded range: {} trees within distance 4 (gathered from 3 shards)",
+            neighbors.len()
+        );
+    }
+    server.shutdown();
 }

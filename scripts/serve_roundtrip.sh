@@ -1,26 +1,28 @@
 #!/usr/bin/env bash
-# End-to-end smoke test of the `rted serve` query service through the
-# real binary and its Unix-socket front-end:
+# End-to-end crash/repair drill of the sharded `rted serve` service
+# through the real binary and its authenticated TCP front-end, with the
+# corpus striped over THREE shards:
 #
-#   1. build a persistent index and start the service on a socket;
-#   2. drive it with several *concurrent* `rted query` clients;
-#   3. apply durable updates (insert + remove) and record reference
-#      answers for a fixed query set;
-#   4. shut down, tear the store's tail (simulating a crash mid-append),
-#      and check that `--strict` startup refuses the file;
-#   5. restart in the default repair mode, require the recovery report,
-#      and require byte-identical answers to the pre-crash references;
-#   6. restart with --metric-tree: identical answers through the
-#      vantage-point candidate generator, request ids echoed (pipelined
-#      clients), metric state reported by status;
-#   7. check threshold-driven background compaction clears the backlog.
-#
-# Along the way the telemetry surface is exercised for real: after the
-# concurrent-client stage the `metrics` response must show the exact
-# request counts served, `rted metrics` must emit a Prometheus
-# exposition with the same numbers, and a repair-mode restart must come
-# up with all counters at zero (metrics are process state, not corpus
-# state).
+#   1. start a durable 3-shard service on a TCP listener (port 0 = auto)
+#      gated by a shared-secret auth token; reject a bad token;
+#   2. build the corpus over TCP inserts (global ids stripe across the
+#      shard files), then assert the shard layout through `status`;
+#   3. drive one exactly-counted query sequence and require the
+#      per-shard counters (`serve_shard{K}_queries_total`) and the
+#      `serve_scatter_fanout` histogram to match it to the count;
+#   4. check batched diff (`pairs`) answers the same scripts as the
+#      equivalent single diffs, one workspace amortized;
+#   5. hammer the service with concurrent TCP clients (range / topk /
+#      join / distance), all answered without error;
+#   6. record reference answers, then `kill -9` the server MID-UPDATE
+#      (a client is streaming inserts when it dies) and tear two shard
+#      files' tails for good measure;
+#   7. `--strict` startup must refuse the damage; default repair mode
+#      must recover every shard, report what it dropped, and — after
+#      clearing the partially-applied crash-window inserts — answer the
+#      reference queries byte-identically over TCP;
+#   8. threshold-driven background compaction must clear every shard's
+#      tombstone backlog (3 files -> 3 single-segment files).
 #
 # Usage: scripts/serve_roundtrip.sh [path-to-rted-binary]
 set -euo pipefail
@@ -40,111 +42,126 @@ trap cleanup EXIT
 
 fail() { echo "serve-roundtrip FAILED: $*" >&2; exit 1; }
 
-SOCK="$WORK/rted.sock"
+TOKEN="drill-secret-$$"
+ADDR=""
+STARTS=0
 
-start_server() { # args: extra flags...; returns when the socket exists
-    "$RTED" serve --index "$WORK/corpus.idx" --socket "$SOCK" "$@" \
-        2>> "$WORK/serve.log" &
+start_server() { # args: extra flags...; sets ADDR from the bound port
+    STARTS=$((STARTS + 1))
+    LOG="$WORK/serve.$STARTS.log"
+    "$RTED" serve --index "$WORK/corpus.idx" --shards 3 \
+        --tcp 127.0.0.1:0 --auth-token "$TOKEN" --timeout-ms 10000 "$@" \
+        2> "$LOG" &
     SERVER_PID=$!
+    ADDR=""
     for _ in $(seq 1 100); do
-        [[ -S "$SOCK" ]] && return 0
-        kill -0 "$SERVER_PID" 2>/dev/null || fail "server died on startup: $(tail -2 "$WORK/serve.log")"
+        ADDR=$(sed -n 's/.*listening on tcp \([0-9.:]*\).*/\1/p' "$LOG" | tail -1)
+        [[ -n "$ADDR" ]] && return 0
+        kill -0 "$SERVER_PID" 2>/dev/null || fail "server died on startup: $(tail -2 "$LOG")"
         sleep 0.1
     done
-    fail "server socket never appeared"
+    fail "server never reported its TCP address"
 }
 
 stop_server() {
-    echo '{"op":"shutdown"}' | "$RTED" query --socket "$SOCK" > /dev/null
+    echo '{"op":"shutdown"}' | q > /dev/null
     wait "$SERVER_PID" || fail "server exited nonzero"
     SERVER_PID=""
 }
 
-# --- 1. Build an index and start the service ----------------------------
+# The drill's client: auth token through the environment on purpose, so
+# both the flag (server side) and the env var (client side) are covered.
+q() { RTED_AUTH_TOKEN="$TOKEN" "$RTED" query --tcp "$ADDR"; }
+
+# --- 1. Fresh 3-shard service over authenticated TCP --------------------
+start_server --workers 3
+[[ -f "$WORK/corpus.idx" ]] || fail "shard 0 file not created"
+grep -q "auth required" "$LOG" || fail "server did not report auth gating"
+
+# A wrong token gets exactly one error line, then the connection drops.
+# Raw TCP client (bash /dev/tcp): send ONLY the bad token so the close
+# is clean — a pipelined request after it can race the drop into an RST.
+exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+printf 'wrong-%s\n' "$TOKEN" >&3
+bad=$(cat <&3 || true)
+exec 3>&- 3<&-
+echo "$bad" | grep -q '"ok":false,"error":"authentication failed"' \
+    || fail "bad token not rejected: $bad"
+
+# --- 2. Build the corpus over TCP: ids stripe across 3 shard files ------
 shapes=(lb rb fb zz mx random)
 for i in $(seq 0 29); do
-    "$RTED" generate "${shapes[$((i % 6))]}" $((8 + i % 17)) --seed "$i"
-done > "$WORK/a.trees"
-"$RTED" index build "$WORK/corpus.idx" "$WORK/a.trees" 2>/dev/null
-start_server --workers 3
+    tree=$("$RTED" generate "${shapes[$((i % 6))]}" $((8 + i % 17)) --seed "$i")
+    echo "{\"op\":\"insert\",\"trees\":[\"$tree\"]}"
+done | q > "$WORK/insert.out"
+[[ $(grep -c '"ok":true' "$WORK/insert.out") -eq 30 ]] || fail "inserts failed: $(grep -m1 '"ok":false' "$WORK/insert.out")"
+sed -n 1p "$WORK/insert.out" | grep -q '"ids":\[0\]' || fail "first insert id wrong"
+sed -n 30p "$WORK/insert.out" | grep -q '"ids":\[29\]' || fail "last insert id wrong"
+[[ -f "$WORK/corpus.idx.shard1" && -f "$WORK/corpus.idx.shard2" ]] || fail "shard files not created"
 
-# --- 2. Concurrent clients, all answered without error ------------------
+status=$(echo '{"op":"status"}' | q)
+echo "$status" | grep -q '"shards":3' || fail "status shards wrong: $status"
+echo "$status" | grep -q '"live":30' || fail "status live wrong: $status"
+echo "$status" | grep -q '"shard_live":\[10,10,10\]' || fail "ids did not stripe evenly: $status"
+echo "$status" | grep -q "\"tcp\":\"$ADDR\"" || fail "status must surface the TCP address: $status"
+echo "$status" | grep -q '"ops":\["range","topk","distance","insert","remove","status","compact","metrics","diff","join","shutdown"\]' \
+    || fail "status must list supported ops incl. join: $status"
+
+# --- 3. Exactly-counted scatter traffic vs per-shard telemetry ----------
+# 2 range + 1 topk + 1 join = 4 scatter ops, every one fanning out to all
+# 3 shards (fanout histogram count 4). Per-shard legs: 4 scatter legs
+# each, plus the join's cross-shard legs recorded on the lower shard
+# (0-1, 0-2 -> shard0 +2; 1-2 -> shard1 +1), plus routed ops: distance
+# 0,1 (+1 on shards 0 and 1), diff 0,2 (+1 on shards 0 and 2), batched
+# diff [[0,1],[2,4]] (left shards: +1 on shards 0 and 2).
+# Totals: shard0 = 4+2+1+1+1 = 9, shard1 = 4+1+1 = 6, shard2 = 4+1+1 = 6.
 QUERY=$("$RTED" generate mx 14 --seed 99)
-client_pids=()
-for c in 1 2 3; do
-    {
-        for t in 4 7 10; do
-            echo "{\"op\":\"range\",\"tree\":\"$QUERY\",\"tau\":$t}"
-            echo "{\"op\":\"topk\",\"tree\":\"$QUERY\",\"k\":$((c + 2))}"
-            echo "{\"op\":\"distance\",\"left\":$((c - 1)),\"right\":$((c + 10))}"
-        done
-    } | "$RTED" query --socket "$SOCK" > "$WORK/client$c.out" &
-    client_pids+=($!)
-done
-# Wait per pid: a bare `wait` would also wait on the server job (which
-# never exits on its own), and a multi-jobspec wait only reports the
-# last job's status.
-for pid in "${client_pids[@]}"; do
-    wait "$pid" || fail "a concurrent client exited nonzero"
-done
-for c in 1 2 3; do
-    [[ $(wc -l < "$WORK/client$c.out") -eq 9 ]] || fail "client $c: expected 9 responses"
-    grep -q '"ok":false' "$WORK/client$c.out" && fail "client $c got an error: $(grep '"ok":false' "$WORK/client$c.out")"
-    grep -q '"neighbors":\[{' "$WORK/client$c.out" || fail "client $c: no non-empty result (corpus too sparse?)"
-done
-
-# --- 2b. Telemetry reflects the traffic just served ----------------------
-# 3 clients x 3 rounds = 9 of each query op; the counts must match exactly.
-metrics=$(echo '{"op":"metrics","format":"json"}' | "$RTED" query --socket "$SOCK")
-echo "$metrics" | grep -q '"ok":true' || fail "metrics request errored: $metrics"
-for op in range topk distance; do
-    echo "$metrics" | grep -q "\"serve_latency_${op}_ns\":{\"count\":9," \
-        || fail "metrics: expected 9 $op requests: $metrics"
-done
-echo "$metrics" | grep -q '"serve_requests_total":27' || fail "metrics: expected 27 requests total: $metrics"
-echo "$metrics" | grep -q '"serve_queue_wait_ns":{"count":2[0-9]' || fail "metrics: queue wait not recorded: $metrics"
-echo "$metrics" | grep -q '"index_range_queries_total":9' || fail "metrics: index stage counters missing: $metrics"
-# The CLI scraper renders the same numbers as a Prometheus exposition.
-"$RTED" metrics --socket "$SOCK" > "$WORK/metrics.prom"
-grep -q '^# TYPE serve_latency_range_ns summary' "$WORK/metrics.prom" || fail "no TYPE line in exposition: $(head -5 "$WORK/metrics.prom")"
-grep -q '^serve_latency_range_ns_count 9$' "$WORK/metrics.prom" || fail "exposition range count wrong: $(grep range "$WORK/metrics.prom")"
-grep -q '^serve_worker_busy_ns_total [1-9]' "$WORK/metrics.prom" || fail "no worker busy time in exposition"
-
-# --- 2c. Structural diff: exact script bytes + telemetry -----------------
-# The script for a known pair is deterministic down to the byte; an
-# id-to-id diff must report the same distance the distance op does; a
-# dead id errors with its request id echoed; and the diff traffic shows
-# up in the per-type latency histogram and the index totals.
 {
-    echo '{"op":"diff","left":"{a{b}{c}}","right":"{a{b}{x}}","id":"d1"}'
-    echo '{"op":"distance","left":0,"right":11,"id":"d2"}'
-    echo '{"op":"diff","left":0,"right":11,"id":"d3"}'
-    echo '{"op":"diff","left":0,"right":9999,"id":"d4"}'
-} | "$RTED" query --socket "$SOCK" > "$WORK/diff.out"
-expected='{"id":"d1","ok":true,"distance":1,"ops":[{"op":"keep","from":0,"to":0,"label":"b"},{"op":"rename","from":1,"to":1,"old":"c","new":"x"},{"op":"keep","from":2,"to":2,"label":"a"}],"summary":{"deletes":0,"inserts":0,"renames":1,"keeps":2}}'
-[[ "$(sed -n 1p "$WORK/diff.out")" == "$expected" ]] || fail "diff script bytes wrong: $(sed -n 1p "$WORK/diff.out")"
-dist=$(sed -n 2p "$WORK/diff.out" | sed 's/.*"distance"://; s/[,}].*//')
-sed -n 3p "$WORK/diff.out" | grep -q "\"distance\":$dist," || fail "diff distance disagrees with distance op: $(sed -n 2,3p "$WORK/diff.out")"
-sed -n 4p "$WORK/diff.out" | grep -q '"id":"d4","ok":false' || fail "dead-id diff must error with id echoed: $(sed -n 4p "$WORK/diff.out")"
-metrics=$(echo '{"op":"metrics","format":"json"}' | "$RTED" query --socket "$SOCK")
-echo "$metrics" | grep -q '"serve_latency_diff_ns":{"count":3,' || fail "metrics: expected 3 diff requests: $metrics"
-echo "$metrics" | grep -q '"index_diff_calls_total":2' || fail "metrics: expected 2 index diff calls (dead id never reaches it): $metrics"
-# status advertises the op set, diff included, for feature detection.
-echo '{"op":"status"}' | "$RTED" query --socket "$SOCK" | grep -q '"ops":\["range","topk","distance","insert","remove","status","compact","metrics","diff","shutdown"\]' \
-    || fail "status must list supported ops incl. diff"
+    echo "{\"op\":\"range\",\"tree\":\"$QUERY\",\"tau\":5}"
+    echo "{\"op\":\"range\",\"tree\":\"$QUERY\",\"tau\":9}"
+    echo "{\"op\":\"topk\",\"tree\":\"$QUERY\",\"k\":6}"
+    echo '{"op":"join","tau":6}'
+    echo '{"op":"distance","left":0,"right":1}'
+    echo '{"op":"diff","left":0,"right":2}'
+    echo '{"op":"diff","pairs":[[0,1],[2,4]]}'
+} | q > "$WORK/counted.out"
+grep -q '"ok":false' "$WORK/counted.out" && fail "counted sequence errored: $(grep -m1 '"ok":false' "$WORK/counted.out")"
+metrics=$(echo '{"op":"metrics","format":"json"}' | q)
+echo "$metrics" | grep -q '"serve_scatter_fanout":{"count":4,"sum":12,"p50":3,"p95":3,"p99":3,"max":3}' \
+    || fail "metrics: expected 4 scatter ops fanning out to 3 shards: $metrics"
+echo "$metrics" | grep -q '"serve_shard0_queries_total":9' || fail "metrics: shard0 legs wrong: $metrics"
+echo "$metrics" | grep -q '"serve_shard1_queries_total":6' || fail "metrics: shard1 legs wrong: $metrics"
+echo "$metrics" | grep -q '"serve_shard2_queries_total":6' || fail "metrics: shard2 legs wrong: $metrics"
+echo "$metrics" | grep -q '"serve_latency_join_ns":{"count":1,' || fail "metrics: expected 1 join request: $metrics"
+echo "$metrics" | grep -q '"serve_latency_diff_ns":{"count":2,' || fail "metrics: expected 2 diff requests (single + batch): $metrics"
+# The batch counts each extracted pair in the index totals: 1 single + 2.
+echo "$metrics" | grep -q '"index_diff_calls_total":3' || fail "metrics: expected 3 extracted scripts: $metrics"
+# The scrape client renders the same counters as a Prometheus exposition.
+RTED_AUTH_TOKEN="$TOKEN" "$RTED" metrics --tcp "$ADDR" > "$WORK/metrics.prom"
+grep -q '^serve_shard0_queries_total 9$' "$WORK/metrics.prom" || fail "exposition shard0 count wrong: $(grep shard0 "$WORK/metrics.prom")"
+grep -q '^serve_scatter_fanout_count 4$' "$WORK/metrics.prom" || fail "exposition fanout count wrong: $(grep fanout "$WORK/metrics.prom")"
 
-# --- 2d. Budget-aware distance: at_most is a field, not a new op --------
-# A met budget answers the plain exact distance line, byte-identical to
-# an unbudgeted request; a blown budget answers a certified
-# exceeds/lower_bound line. Both sides down to the byte: a near pair
-# (distance 1), a same-size far pair (frontier abandonment, bound = τ),
-# and a size-mismatched pair (size pre-bound 3 beats τ = 1).
+# --- 4. Batched diff answers the same scripts as single diffs -----------
+single1=$(echo '{"op":"diff","left":0,"right":1}' | q)
+single2=$(echo '{"op":"diff","left":2,"right":4}' | q)
+batch=$(echo '{"op":"diff","pairs":[[0,1],[2,4]]}' | q)
+body1=${single1#'{"ok":true,'}; body1=${body1%'}'}
+body2=${single2#'{"ok":true,'}; body2=${body2%'}'}
+[[ "$batch" == "{\"ok\":true,\"results\":[{$body1},{$body2}]}" ]] \
+    || fail "batched diff differs from single diffs: $batch"
+echo '{"op":"diff","pairs":[[0,9999]]}' | q | grep -q '"ok":false.*no live tree with id 9999' \
+    || fail "batched diff with a dead id must fail whole-request"
+
+# --- 4b. Budget-aware distance: exact wire bytes over TCP ---------------
+# Same contract as over the Unix socket: a met budget answers the plain
+# exact distance line, a blown budget a certified exceeds/lower_bound
+# line — byte-for-byte, with client request ids echoed first.
 {
     echo '{"op":"distance","left":"{a{b}{c}}","right":"{a{b}{x}}","at_most":5,"id":"b1"}'
     echo '{"op":"distance","left":"{a{b}{c}}","right":"{x{y}{z}}","at_most":1,"id":"b2"}'
     echo '{"op":"distance","left":"{a{b}{c}}","right":"{q{w{e{r{t{y}}}}}}","at_most":1,"id":"b3"}'
     echo '{"op":"distance","left":"{a{b}{c}}","right":"{x{y}{z}}","at_most":3,"id":"b4"}'
-} | "$RTED" query --socket "$SOCK" > "$WORK/bounded.out"
+} | q > "$WORK/bounded.out"
 [[ "$(sed -n 1p "$WORK/bounded.out")" == '{"id":"b1","ok":true,"distance":1}' ]] \
     || fail "met budget must answer the exact distance: $(sed -n 1p "$WORK/bounded.out")"
 [[ "$(sed -n 2p "$WORK/bounded.out")" == '{"id":"b2","ok":true,"exceeds":true,"lower_bound":1}' ]] \
@@ -153,101 +170,110 @@ echo '{"op":"status"}' | "$RTED" query --socket "$SOCK" | grep -q '"ops":\["rang
     || fail "size pre-bound must be the certified bound: $(sed -n 3p "$WORK/bounded.out")"
 [[ "$(sed -n 4p "$WORK/bounded.out")" == '{"id":"b4","ok":true,"distance":3}' ]] \
     || fail "budget exactly at the distance must stay exact: $(sed -n 4p "$WORK/bounded.out")"
-metrics=$(echo '{"op":"metrics","format":"json"}' | "$RTED" query --socket "$SOCK")
-echo "$metrics" | grep -q '"index_verify_early_exit_total":[1-9]' \
-    || fail "metrics: blown budgets must count as early exits: $metrics"
-echo "$metrics" | grep -q '"index_verify_bounded_ns":[1-9]' \
-    || fail "metrics: bounded kernel time must be nonzero: $metrics"
 
-# --- 3. Durable updates + reference answers -----------------------------
-NEW1=$("$RTED" generate random 12 --seed 201)
-NEW2=$("$RTED" generate fb 15 --seed 202)
+# --- 5. Concurrent TCP clients, all answered without error --------------
+client_pids=()
+for c in 1 2 3; do
+    {
+        for t in 4 7 10; do
+            echo "{\"op\":\"range\",\"tree\":\"$QUERY\",\"tau\":$t}"
+            echo "{\"op\":\"topk\",\"tree\":\"$QUERY\",\"k\":$((c + 2))}"
+            echo "{\"op\":\"distance\",\"left\":$((c - 1)),\"right\":$((c + 10))}"
+            echo "{\"op\":\"join\",\"tau\":$((c + 3))}"
+        done
+    } | q > "$WORK/client$c.out" &
+    client_pids+=($!)
+done
+for pid in "${client_pids[@]}"; do
+    wait "$pid" || fail "a concurrent client exited nonzero"
+done
+for c in 1 2 3; do
+    [[ $(wc -l < "$WORK/client$c.out") -eq 12 ]] || fail "client $c: expected 12 responses"
+    grep -q '"ok":false' "$WORK/client$c.out" && fail "client $c got an error: $(grep -m1 '"ok":false' "$WORK/client$c.out")"
+    grep -q '"neighbors":\[{' "$WORK/client$c.out" || fail "client $c: no non-empty result (corpus too sparse?)"
+done
+
+# --- 6. Durable updates, references, then a crash MID-UPDATE ------------
 {
-    echo "{\"op\":\"insert\",\"trees\":[\"$NEW1\",\"$NEW2\"]}"
     echo '{"op":"remove","ids":[3,17,5]}'
-} | "$RTED" query --socket "$SOCK" > "$WORK/update.out"
-grep -q '"ids":\[30,31\]' "$WORK/update.out" || fail "insert ids wrong: $(cat "$WORK/update.out")"
+} | q > "$WORK/update.out"
 grep -q '"removed":3' "$WORK/update.out" || fail "remove count wrong: $(cat "$WORK/update.out")"
 
-# The fixed query set asked again after every restart must answer the same.
+# The fixed query set asked again after recovery must answer the same.
 {
     for t in 5 9; do
         echo "{\"op\":\"range\",\"tree\":\"$QUERY\",\"tau\":$t}"
     done
     echo "{\"op\":\"topk\",\"tree\":\"$QUERY\",\"k\":6}"
-    echo "{\"op\":\"distance\",\"left\":30,\"right\":31}"
+    echo '{"op":"join","tau":5}'
+    echo '{"op":"distance","left":0,"right":11}'
     echo "{\"op\":\"distance\",\"left\":0,\"right\":\"$QUERY\"}"
+    echo '{"op":"diff","pairs":[[0,11],[1,2]]}'
+    echo '{"op":"distance","left":"{a{b}{c}}","right":"{x{y}{z}}","at_most":1}'
 } > "$WORK/queries.ndjson"
-"$RTED" query --socket "$SOCK" < "$WORK/queries.ndjson" > "$WORK/ref.out"
+q < "$WORK/queries.ndjson" > "$WORK/ref.out"
 grep -q '"ok":false' "$WORK/ref.out" && fail "reference query errored: $(cat "$WORK/ref.out")"
-stop_server
+grep -q '"exceeds":true,"lower_bound":1' "$WORK/ref.out" || fail "bounded distance must certify the blown budget: $(tail -1 "$WORK/ref.out")"
 
-# --- 4. Tear the tail; strict startup must refuse -----------------------
-head -c 61 "$WORK/corpus.idx" | tail -c 13 >> "$WORK/corpus.idx" # torn partial segment
-# Stdio mode with closed stdin: if strict startup wrongly accepted the
-# torn file, serve would just reach EOF and exit 0 — no hang either way.
-if "$RTED" serve --index "$WORK/corpus.idx" --strict < /dev/null \
+# Kill -9 while a client is streaming inserts: a real crash mid-update.
+FILLER=$("$RTED" generate random 10 --seed 777)
+( while :; do echo "{\"op\":\"insert\",\"trees\":[\"$FILLER\"]}"; done | q > /dev/null 2>&1 ) &
+FEEDER_PID=$!
+sleep 0.4
+{ kill -9 "$SERVER_PID" && wait "$SERVER_PID"; } 2>/dev/null || true
+SERVER_PID=""
+kill "$FEEDER_PID" 2>/dev/null || true
+wait "$FEEDER_PID" 2>/dev/null || true
+# And tear two shard files' tails so repair provably has bytes to drop.
+head -c 61 "$WORK/corpus.idx.shard1" | tail -c 13 >> "$WORK/corpus.idx.shard1"
+head -c 45 "$WORK/corpus.idx.shard2" | tail -c 9 >> "$WORK/corpus.idx.shard2"
+
+# --- 7. Strict refuses; repair recovers; answers byte-identical ---------
+if "$RTED" serve --index "$WORK/corpus.idx" --shards 3 --strict < /dev/null \
     2> "$WORK/strict.err"; then
-    fail "strict serve accepted a torn store"
+    fail "strict serve accepted torn shard files"
 fi
 grep -qiE "truncat|checksum|corrupt" "$WORK/strict.err" || fail "unclear strict error: $(cat "$WORK/strict.err")"
 
-# --- 5. Repair-mode restart: recovery reported, answers identical -------
-start_server --workers 2
-grep -q "repaired" "$WORK/serve.log" || fail "no repair report in: $(tail -3 "$WORK/serve.log")"
-grep -q "dropped 13 byte" "$WORK/serve.log" || fail "unexpected repair report: $(grep repaired "$WORK/serve.log")"
-# Metrics are process state, not corpus state: the restarted service
-# starts from zero (only the metrics request's own queue wait is ahead
-# of its snapshot).
-metrics=$(echo '{"op":"metrics","format":"json"}' | "$RTED" query --socket "$SOCK")
-echo "$metrics" | grep -q '"serve_requests_total":0' || fail "restart did not reset request counter: $metrics"
-echo "$metrics" | grep -q '"serve_latency_range_ns":{"count":0,' || fail "restart did not reset latency histograms: $metrics"
-"$RTED" query --socket "$SOCK" < "$WORK/queries.ndjson" > "$WORK/post.out"
-diff "$WORK/ref.out" "$WORK/post.out" || fail "recovered service answers differ from pre-crash references"
-stop_server
-
-# The repaired file is clean again: the strict offline tools accept it.
-"$RTED" index info "$WORK/corpus.idx" > /dev/null || fail "repaired file rejected by index info"
-"$RTED" index repair "$WORK/corpus.idx" 2> "$WORK/repair.err"
-grep -q "already clean" "$WORK/repair.err" || fail "repair not idempotent: $(cat "$WORK/repair.err")"
-
-# --- 6. Metric-tree serving answers identically; ids are echoed ---------
-start_server --workers 2 --metric-tree
-# Per-query counters legitimately differ between candidate generators;
-# the answers must not.
-strip_counters() { sed 's/,"candidates":[0-9]*,"verified":[0-9]*//'; }
-"$RTED" query --socket "$SOCK" < "$WORK/queries.ndjson" | strip_counters > "$WORK/metric.out"
-strip_counters < "$WORK/ref.out" > "$WORK/ref.stripped"
-diff "$WORK/ref.stripped" "$WORK/metric.out" || fail "metric-tree service answers differ"
-status=$(echo '{"op":"status","id":"m-7"}' | "$RTED" query --socket "$SOCK")
-echo "$status" | grep -q '^{"id":"m-7",' || fail "request id not echoed first: $status"
-echo "$status" | grep -q '"metric_tree":true' || fail "status must report the metric tree: $status"
-echo "$status" | grep -q '"metric_built":[1-9]' || fail "metric tree not built after queries: $status"
-# Pipelined client: several in-flight requests, answers correlatable.
-{
-    echo '{"op":"distance","left":0,"right":1,"id":1}'
-    echo '{"op":"distance","left":1,"right":2,"id":2}'
-    echo '{"op":"fly","id":3}'
-} | "$RTED" query --socket "$SOCK" > "$WORK/pipe.out"
-[[ $(grep -c '"id":' "$WORK/pipe.out") -eq 3 ]] || fail "pipelined ids missing: $(cat "$WORK/pipe.out")"
-grep -q '"id":3,"ok":false' "$WORK/pipe.out" || fail "error response must keep its id: $(cat "$WORK/pipe.out")"
-stop_server
-
-# --- 7. Background compaction clears the tombstone backlog --------------
 start_server --workers 2 --compact-frac 0.05
-{
-    echo '{"op":"remove","ids":[8,9,10,11]}'
-} | "$RTED" query --socket "$SOCK" > /dev/null
-# Poll for the *settled* post-compaction state in one condition: the
-# recovered backlog from stage 3 can trigger a startup compaction before
-# our remove lands, so an intermediate snapshot may legitimately show
-# compactions >= 1 with the new tombstones still pending.
+grep -q "repaired" "$LOG" || fail "no repair report in: $(tail -3 "$LOG")"
+grep -q "byte(s) of torn tail" "$LOG" || fail "unexpected repair report: $(grep repaired "$LOG")"
+
+# Clear the crash-window inserts (some acked, some torn away — both are
+# fine; what matters is the surviving prefix) to restore the reference
+# corpus, then the answers must match the pre-crash bytes. The `topk`
+# `verified` counter is masked: the shared-radius gather's verification
+# count depends on leg interleaving, the answer itself does not.
+status=$(echo '{"op":"status"}' | q)
+bound=$(echo "$status" | sed 's/.*"id_bound"://; s/[,}].*//')
+[[ "$bound" -ge 30 ]] || fail "recovered id bound regressed below the pre-crash corpus: $status"
+if [[ "$bound" -gt 30 ]]; then
+    ids=$(seq 30 $((bound - 1)) | paste -sd, -)
+    echo "{\"op\":\"remove\",\"ids\":[$ids]}" | q > /dev/null
+fi
+echo '{"op":"status"}' | q | grep -q '"live":27' || fail "live set not restored after cleanup: $(echo '{"op":"status"}' | q)"
+mask_verified() { sed 's/"verified":[0-9]*/"verified":_/g'; }
+q < "$WORK/queries.ndjson" | mask_verified > "$WORK/post.out"
+mask_verified < "$WORK/ref.out" > "$WORK/ref.masked"
+diff "$WORK/ref.masked" "$WORK/post.out" || fail "recovered service answers differ from pre-crash references"
+
+# --- 8. Background compaction clears every shard's backlog --------------
+# Three consecutive ids stripe one tree onto every shard; removing them
+# again guarantees each of the 3 shards carries a tombstone no matter
+# which shards the crash-window inserts landed on. The maintenance
+# thread must then settle all 3 files to single segments with zero
+# recorded tombstones.
+bound=$(echo '{"op":"status"}' | q | sed 's/.*"id_bound"://; s/[,}].*//')
+echo "{\"op\":\"insert\",\"trees\":[\"$FILLER\",\"$FILLER\",\"$FILLER\"]}" | q > /dev/null
+echo "{\"op\":\"remove\",\"ids\":[$bound,$((bound + 1)),$((bound + 2))]}" | q \
+    | grep -q '"removed":3' || fail "tombstone seeding failed"
 compacted=""
 for _ in $(seq 1 100); do
-    status=$(echo '{"op":"status"}' | "$RTED" query --socket "$SOCK")
+    status=$(echo '{"op":"status"}' | q)
     if echo "$status" | grep -q '"compactions":[1-9]' \
         && echo "$status" | grep -q '"file_tombstones":0' \
-        && echo "$status" | grep -q '"segments":1'; then
+        && echo "$status" | grep -q '"shard_tombstones":\[0,0,0\]' \
+        && echo "$status" | grep -q '"segments":3'; then
         compacted=yes
         break
     fi
@@ -256,4 +282,10 @@ done
 [[ -n "$compacted" ]] || fail "background compaction never settled: $status"
 stop_server
 
-echo "serve-roundtrip OK: concurrent clients served, telemetry counts match traffic (and reset on restart), torn tail repaired on restart (answers identical), strict mode refuses damage, metric-tree serving identical with ids echoed, background compaction reclaims"
+# The repaired shard files are clean again: strict offline tools agree.
+for f in "$WORK/corpus.idx" "$WORK/corpus.idx.shard1" "$WORK/corpus.idx.shard2"; do
+    "$RTED" index repair "$f" 2> "$WORK/repair.err"
+    grep -q "already clean" "$WORK/repair.err" || fail "$f not clean after drill: $(cat "$WORK/repair.err")"
+done
+
+echo "serve-roundtrip OK: 3-shard TCP service with auth, even striping, exact per-shard telemetry, batched diff == single diffs, concurrent clients served, kill -9 mid-update + torn tails repaired on restart (answers identical), strict mode refuses damage, per-shard compaction reclaims"
