@@ -7,11 +7,11 @@
 //! rted diff      --index INDEX <ID1> <ID2> [--format text|json]
 //! rted generate  <SHAPE> <N> [--seed S]
 //! rted join      <FILE> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]
-//!                [--pq P,Q] [--no-metric-tree]
+//!                [--pq P,Q] [--no-metric-tree] [--no-planner]
 //! rted search    <FILE> <QUERY> [--tau T] [--algorithm NAME] [--threads N] [--no-filter]
-//!                [--pq P,Q] [--no-metric-tree]
+//!                [--pq P,Q] [--no-metric-tree] [--no-planner]
 //! rted topk      <FILE> <QUERY> [--k K] [--algorithm NAME] [--threads N] [--no-filter]
-//!                [--pq P,Q] [--no-metric-tree]
+//!                [--pq P,Q] [--no-metric-tree] [--no-planner]
 //! rted index build   <INDEX> <FILE> [--format-version 1|2]
 //! rted index update  <INDEX> [--add FILE] [--remove IDS]... [--compact]
 //! rted index compact <INDEX>
@@ -21,8 +21,9 @@
 //! rted serve   [--index INDEX | FILE] [--socket PATH] [--tcp ADDR]
 //!              [--auth-token TOKEN] [--shards N] [--timeout-ms MS]
 //!              [--workers N] [--threads N] [--compact-frac F] [--strict]
-//!              [--metric-tree] [--slow-ms MS]
+//!              [--metric-tree] [--slow-ms MS] [--no-planner]
 //! rted query   (--socket PATH | --tcp ADDR) [--auth-token TOKEN]
+//!              [--explain [--tau T]]
 //! rted metrics (--socket PATH | --tcp ADDR) [--auth-token TOKEN] [--json]
 //! ```
 //!
@@ -68,6 +69,15 @@
 //! logs every request whose wall time (queue wait included) crosses the
 //! threshold to stderr, carrying the request's `id` when one was given.
 //!
+//! The adaptive query planner (`rted-plan`) steers candidate
+//! generation, verifier choice, and filter-stage order per query; it is
+//! answer-invariant and **on by default** for the query commands and
+//! `rted serve` — `--no-planner` pins the fixed configuration instead.
+//! `rted query --explain` asks a running service what it would plan
+//! (`{"op":"explain"}`, `--tau T` for a budgeted query), and `rted
+//! index info --stats` prints the planner's decision report and the
+//! observed per-algorithm cost model alongside the pipeline probe.
+//!
 //! Every failure — malformed trees, missing files, unknown or
 //! valueless flags, corrupt or version-mismatched index files — exits
 //! with code 1 and a one-line `error: ...` message on stderr; a missing
@@ -102,24 +112,30 @@ fn usage() -> ExitCode {
          rted serve    [--index INDEX | FILE] [--socket PATH] [--tcp ADDR]\n  \
          \x20             [--auth-token TOKEN] [--shards N] [--timeout-ms MS]\n  \
          \x20             [--workers N] [--threads N] [--compact-frac F] [--strict]\n  \
-         \x20             [--metric-tree] [--slow-ms MS]\n  \
+         \x20             [--metric-tree] [--slow-ms MS] [--no-planner]\n  \
          rted query    (--socket PATH | --tcp ADDR) [--auth-token TOKEN]\n  \
+         \x20             [--explain [--tau T]]\n  \
          rted metrics  (--socket PATH | --tcp ADDR) [--auth-token TOKEN] [--json]\n\n\
          join/search/topk also accept --index <INDEX> in place of <FILE>, plus\n\
-         --pq P,Q (re-profile with those gram lengths) and --no-metric-tree\n\
-         (linear size-window scan instead of the vantage-point tree).\n\
+         --pq P,Q (re-profile with those gram lengths), --no-metric-tree\n\
+         (linear size-window scan instead of the vantage-point tree), and\n\
+         --no-planner (fixed candidate generator / verifier / stage order\n\
+         instead of the adaptive query planner; answers are identical).\n\
          serve/query speak one JSON request per line (see README); ops: range |\n\
          topk | distance | diff (single or batched pairs) | join | insert |\n\
-         remove | status | compact | metrics | shutdown. serve --index recovers\n\
-         (and repairs) the corpus on startup, a FILE serves from memory only.\n\
+         remove | status | compact | metrics | explain | shutdown. serve\n\
+         --index recovers (and repairs) the corpus on startup, a FILE serves\n\
+         from memory only.\n\
          serve --tcp listens on ADDR (may coexist with --socket); --auth-token\n\
          (or RTED_AUTH_TOKEN) gates TCP connections on a shared-secret first\n\
          line; --shards N stripes the corpus over N snapshot-isolated shards\n\
          with scatter-gather queries (answers identical to 1 shard).\n\
          serve --slow-ms logs slow requests to stderr; metrics scrapes the\n\
          service's telemetry (Prometheus text, or the raw line with --json).\n\
+         query --explain asks the service for its current query plan (one\n\
+         {{\"op\":\"explain\"}} round-trip; --tau T plans a budgeted query).\n\
          index info --stats probes the filter pipeline and prints per-stage\n\
-         prune counts and hit rates.\n\
+         prune counts, hit rates, and the planner's decision report.\n\
          distance --at-most T runs the band-limited kernel: prints the\n\
          exact distance when it is <= T, else `exceeds B` with a certified\n\
          lower bound B, usually long before the full computation.\n\
@@ -459,6 +475,7 @@ const QUERY_FLAGS: &[&str] = &[
     "index",
     "pq",
     "no-metric-tree",
+    "no-planner",
 ];
 
 fn cmd_join(opts: &Opts) -> Result<(), String> {
@@ -491,13 +508,14 @@ fn parse_pq(spec: &str) -> Result<rted_core::PqParams, String> {
 /// Loads the corpus for a query command — either the positional flat file
 /// or a persistent `--index` file (read-only, via [`CorpusFile`], so a
 /// query never touches the file) — honoring the shared `--algorithm`,
-/// `--threads`, `--no-filter`, `--pq` and `--no-metric-tree` flags.
-/// `extra` is how many positional arguments follow the corpus (the
-/// query, for search/topk).
+/// `--threads`, `--no-filter`, `--pq`, `--no-metric-tree` and
+/// `--no-planner` flags. `extra` is how many positional arguments follow
+/// the corpus (the query, for search/topk).
 ///
-/// Metric-tree candidate generation is **on** by default for the query
-/// commands (results are identical to the linear scan; stderr counters
-/// show the difference) and disabled by `--no-metric-tree`.
+/// Metric-tree candidate generation and the adaptive query planner are
+/// both **on** by default for the query commands (results are identical
+/// either way; stderr counters show the difference) and disabled by
+/// `--no-metric-tree` / `--no-planner` respectively.
 fn load_query_index(opts: &Opts, cmd: &str, extra: usize) -> Result<TreeIndex<String>, String> {
     let mut corpus = match opts.flag("index") {
         Some(path) => {
@@ -528,7 +546,8 @@ fn load_query_index(opts: &Opts, cmd: &str, extra: usize) -> Result<TreeIndex<St
     };
     let mut index = TreeIndex::from_corpus(corpus)
         .with_algorithm(alg)
-        .with_metric_tree(!opts.has("no-metric-tree"));
+        .with_metric_tree(!opts.has("no-metric-tree"))
+        .with_planner(!opts.has("no-planner"));
     if opts.has("no-filter") {
         index = index.unfiltered();
     }
@@ -545,6 +564,24 @@ fn parsed_flag<T: std::str::FromStr>(opts: &Opts, name: &str, default: T) -> Res
     match opts.flag(name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("bad --{name} {v}")),
+    }
+}
+
+/// Parses an optional integer flag that must be **at least 1** (worker
+/// counts, shard counts, millisecond thresholds): `None` when absent,
+/// an error on zero or malformed values.
+fn positive_flag<T>(opts: &Opts, name: &str) -> Result<Option<T>, String>
+where
+    T: std::str::FromStr + PartialOrd + From<u8>,
+{
+    match opts.flag(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<T>()
+            .ok()
+            .filter(|n| *n >= T::from(1u8))
+            .map(Some)
+            .ok_or_else(|| format!("bad --{name} {v}")),
     }
 }
 
@@ -583,9 +620,11 @@ fn report_stats(stats: &SearchStats, what: &str) {
 /// and a loose threshold) and prints the cumulative per-stage prune
 /// counters the index keeps for its lifetime — stage order, prune
 /// counts, and each stage's hit rate over the candidates that actually
-/// reached it.
+/// reached it — followed by the adaptive planner's decision report for
+/// the probed workload and the per-algorithm cost model (observed
+/// ns/subproblem) that steers the verifier crossover.
 fn print_pipeline_stats(corpus: rted_index::TreeCorpus<String>) {
-    let index = TreeIndex::from_corpus(corpus);
+    let index = TreeIndex::from_corpus(corpus).with_planner(true);
     let queries: Vec<Tree<String>> = index
         .corpus()
         .iter()
@@ -628,6 +667,35 @@ fn print_pipeline_stats(corpus: rted_index::TreeCorpus<String>) {
         totals.verify_early_exits,
         totals.verify_bounded_ns as f64 / 1e6
     );
+    println!(
+        "  {:<14} {:>8} zhang-shasha / {} bounded / {} full-rted pairs",
+        "verifier mix", totals.plan_zs_pairs, totals.plan_bounded_pairs, totals.plan_rted_pairs
+    );
+    println!("\nplanner report  (for a budgeted query, after the probe)");
+    for line in index.explain(true).summary_lines() {
+        println!("  {line}");
+    }
+    // The verifier crossover calibrates against observed ns/subproblem;
+    // run both verifier arms over a few probe pairs through a local
+    // workspace so the report shows real measurements, not placeholders.
+    if queries.len() >= 2 {
+        let mut ws = Workspace::new();
+        for pair in queries.windows(2).take(8) {
+            for alg in [Algorithm::ZhangL, Algorithm::Rted] {
+                alg.run_in(&pair[0], &pair[1], &UnitCost, &mut ws);
+            }
+        }
+        println!("\nverifier cost model (local probe)");
+        for (alg, cost) in Algorithm::ALL.iter().zip(ws.algorithm_costs()) {
+            if let Some(ns) = cost.ns_per_subproblem() {
+                println!(
+                    "  {:<10} {ns:>8.1} ns/subproblem over {} run(s)",
+                    alg.name(),
+                    cost.runs
+                );
+            }
+        }
+    }
 }
 
 fn cmd_search(opts: &Opts) -> Result<(), String> {
@@ -853,53 +921,31 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             "strict",
             "metric-tree",
             "slow-ms",
+            "no-planner",
         ],
     )?;
     let mut config = rted_serve::ServerConfig::default();
-    if let Some(w) = opts.flag("workers") {
-        config.workers = w
-            .parse::<usize>()
-            .ok()
-            .filter(|&w| w >= 1)
-            .ok_or(format!("bad --workers {w}"))?;
+    if let Some(w) = positive_flag(opts, "workers")? {
+        config.workers = w;
     }
     config.query_threads = parsed_flag(opts, "threads", 1)?;
-    if let Some(s) = opts.flag("shards") {
-        config.shards = s
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .ok_or(format!("bad --shards {s}"))?;
+    if let Some(s) = positive_flag(opts, "shards")? {
+        config.shards = s;
     }
     let frac: f64 = parsed_flag(opts, "compact-frac", 0.25)?;
     // A non-positive fraction disables background compaction.
     config.compact_fraction = (frac > 0.0).then_some(frac);
     config.metric_tree = opts.has("metric-tree");
+    config.planner = !opts.has("no-planner");
     // Slow-query threshold: off unless asked for. Measured at the
     // front-end around the whole call, so queue wait counts — that is
     // what the client experienced.
-    let slow = match opts.flag("slow-ms") {
-        None => None,
-        Some(ms) => Some(std::time::Duration::from_millis(
-            ms.parse::<u64>()
-                .ok()
-                .filter(|&ms| ms >= 1)
-                .ok_or(format!("bad --slow-ms {ms}"))?,
-        )),
-    };
+    let slow = positive_flag::<u64>(opts, "slow-ms")?.map(std::time::Duration::from_millis);
     // Per-connection read/write timeouts for the TCP front-end: a
     // stalled or vanished peer can hold its connection thread for at
     // most this long per I/O operation. Off unless asked for (a local
     // interactive client may legitimately idle).
-    let timeout = match opts.flag("timeout-ms") {
-        None => None,
-        Some(ms) => Some(std::time::Duration::from_millis(
-            ms.parse::<u64>()
-                .ok()
-                .filter(|&ms| ms >= 1)
-                .ok_or(format!("bad --timeout-ms {ms}"))?,
-        )),
-    };
+    let timeout = positive_flag::<u64>(opts, "timeout-ms")?.map(std::time::Duration::from_millis);
     let auth = auth_token(opts);
 
     let server = match opts.flag("index") {
@@ -1163,6 +1209,7 @@ fn request_op_name(request: &rted_serve::Request) -> &'static str {
         Request::Status => "status",
         Request::Compact => "compact",
         Request::Metrics { .. } => "metrics",
+        Request::Explain { .. } => "explain",
         Request::Shutdown => "shutdown",
     }
 }
@@ -1315,37 +1362,77 @@ fn connect_service(
     }
 }
 
+/// Sends one request line to a connected service and reads the single
+/// response line (trailing newline stripped). The `query` and `metrics`
+/// clients — and the one-shot `query --explain` — all speak this
+/// one-in-one-out exchange.
+fn exchange_line(
+    writer: &mut dyn std::io::Write,
+    responses: &mut dyn std::io::BufRead,
+    request: &str,
+) -> Result<String, String> {
+    writeln!(writer, "{request}")
+        .and_then(|_| writer.flush())
+        .map_err(|e| format!("connection write: {e}"))?;
+    let mut line = String::new();
+    let n = responses
+        .read_line(&mut line)
+        .map_err(|e| format!("connection read: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection".into());
+    }
+    line.truncate(line.trim_end_matches('\n').len());
+    Ok(line)
+}
+
 /// `rted query` — the line-pipe client for a `rted serve` service over
 /// its Unix socket or TCP listener: forwards each stdin line as a
 /// request, prints each response. Requests are one JSON object per line
 /// with an `op` of `range`, `topk`, `distance`, `diff` (single pair or
 /// batched `pairs`), `join`, `insert`, `remove`, `status`, `compact`,
-/// `metrics`, or `shutdown` (a `status` response lists the same set
-/// under `ops` for feature detection).
+/// `metrics`, `explain`, or `shutdown` (a `status` response lists the
+/// same set under `ops` for feature detection).
+///
+/// `--explain` skips stdin entirely: it sends one `{"op":"explain"}`
+/// request (with the query budget `--tau T` when given) and prints the
+/// service's current plan — candidate generator, verifier cutoffs,
+/// stage order, and the observed selectivity rates steering them.
 fn cmd_query(opts: &Opts) -> Result<(), String> {
-    use std::io::{BufRead, Write};
-    opts.expect_flags("query", &["socket", "tcp", "auth-token"])?;
+    use std::io::BufRead;
+    opts.expect_flags("query", &["socket", "tcp", "auth-token", "explain", "tau"])?;
     if !opts.positional.is_empty() {
         return Err("query takes no positional arguments".into());
     }
+    if opts.has("tau") && !opts.has("explain") {
+        return Err(
+            "query --tau only modifies --explain; pipe requests via stdin otherwise".into(),
+        );
+    }
     let (mut writer, mut responses) = connect_service(opts, "query")?;
+    if opts.has("explain") {
+        let request = match opts.flag("tau") {
+            None => r#"{"op":"explain"}"#.to_string(),
+            Some(spec) => {
+                let tau: f64 = spec
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| !t.is_nan())
+                    .ok_or(format!("bad --tau {spec}"))?;
+                format!(r#"{{"op":"explain","tau":{tau}}}"#)
+            }
+        };
+        let response = exchange_line(&mut writer, &mut responses, &request)?;
+        println!("{response}");
+        return Ok(());
+    }
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
         if line.trim().is_empty() {
             continue;
         }
-        writeln!(writer, "{line}")
-            .and_then(|_| writer.flush())
-            .map_err(|e| format!("connection write: {e}"))?;
-        let mut response = String::new();
-        let n = responses
-            .read_line(&mut response)
-            .map_err(|e| format!("connection read: {e}"))?;
-        if n == 0 {
-            return Err("server closed the connection".into());
-        }
-        print!("{response}");
+        let response = exchange_line(&mut writer, &mut responses, &line)?;
+        println!("{response}");
     }
     Ok(())
 }
@@ -1356,7 +1443,6 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
 /// `--json` prints the raw NDJSON response line with structured values
 /// instead.
 fn cmd_metrics(opts: &Opts) -> Result<(), String> {
-    use std::io::{BufRead, Write};
     opts.expect_flags("metrics", &["socket", "tcp", "auth-token", "json"])?;
     if !opts.positional.is_empty() {
         return Err("metrics takes no positional arguments".into());
@@ -1368,23 +1454,13 @@ fn cmd_metrics(opts: &Opts) -> Result<(), String> {
     } else {
         r#"{"op":"metrics","format":"prometheus"}"#
     };
-    writeln!(writer, "{request}")
-        .and_then(|_| writer.flush())
-        .map_err(|e| format!("connection write: {e}"))?;
-    let mut line = String::new();
-    let n = responses
-        .read_line(&mut line)
-        .map_err(|e| format!("connection read: {e}"))?;
-    if n == 0 {
-        return Err("server closed the connection".into());
-    }
-    let line = line.trim_end_matches('\n');
+    let line = exchange_line(&mut writer, &mut responses, request)?;
     if json {
         println!("{line}");
         return Ok(());
     }
     // Unwrap the exposition string so the output is scrape-ready text.
-    let value = rted_serve::json::parse(line).map_err(|e| format!("bad response: {e}"))?;
+    let value = rted_serve::json::parse(&line).map_err(|e| format!("bad response: {e}"))?;
     match value
         .get("exposition")
         .and_then(rted_serve::json::Value::as_str)

@@ -69,4 +69,4 @@ pub use strategy::{
     compute_strategy_in, optimal_strategy, strategy_cost, Chooser, DemaineChooser, FixedChooser,
     OptimalChooser, PathChoice, Side, Strategy, StrategyProvider, SubsetChooser,
 };
-pub use workspace::{Workspace, WorkspaceStats};
+pub use workspace::{AlgorithmCost, Workspace, WorkspaceStats};

@@ -128,7 +128,26 @@ impl Algorithm {
             }
         };
         ws.note_run(stats.subproblems);
+        let spent = stats.strategy_time + stats.distance_time;
+        ws.note_algorithm(
+            self.portfolio_index(),
+            stats.subproblems,
+            u64::try_from(spent.as_nanos()).unwrap_or(u64::MAX),
+        );
         stats
+    }
+
+    /// This algorithm's position in [`Algorithm::ALL`] — the slot its
+    /// observed costs accumulate under in
+    /// [`Workspace::algorithm_costs`](crate::Workspace::algorithm_costs).
+    pub fn portfolio_index(self) -> usize {
+        match self {
+            Algorithm::ZhangL => 0,
+            Algorithm::ZhangR => 1,
+            Algorithm::KleinH => 2,
+            Algorithm::DemaineH => 3,
+            Algorithm::Rted => 4,
+        }
     }
 
     /// The exact number of relevant subproblems this algorithm computes on

@@ -22,7 +22,14 @@
 //!   — results are byte-identical to exact verification, only "no"
 //!   answers get cheaper;
 //! * a chunked executor ([`exec::map_chunks`]) spreads verification over
-//!   scoped threads; results are bit-identical for any thread count.
+//!   scoped threads; results are bit-identical for any thread count;
+//! * an optional **adaptive planner** ([`TreeIndex::with_planner`], the
+//!   `rted-plan` crate) re-decides, per query, the candidate generator
+//!   (linear vs. metric-tree), the verifier per surviving pair
+//!   (Zhang–Shasha / bounded-τ kernel / full RTED) and the filter-stage
+//!   order, from the same lifetime counters the metrics surface
+//!   exports. Every planned choice is answer-invariant by construction
+//!   — see [`TreeIndex::explain`] for the decision record.
 //!
 //! Three query APIs cover the common workloads: [`TreeIndex::range`]
 //! (all trees within a distance threshold), [`TreeIndex::top_k`]
@@ -69,6 +76,7 @@ pub mod exec;
 pub mod filter;
 pub mod persist;
 pub mod store;
+mod striped;
 pub mod totals;
 pub mod verify;
 
@@ -81,11 +89,12 @@ pub use store::{CorpusLog, CorpusStore, LogCounts, Recovery, WalObs};
 pub use totals::{IndexTotals, QueryKind, TotalsSnapshot};
 pub use verify::{AlgorithmVerifier, BoundedVerifier, BoundedVerify, Verifier};
 
-use rted_core::bounds::TreeSketch;
+use crate::verify::PlannedVerifier;
+use rted_core::bounds::{standard_bounds, TreeSketch};
 use rted_core::{Algorithm, BoundedResult, Workspace};
+use rted_plan::CandidateGen;
 use rted_tree::Tree;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
@@ -251,56 +260,52 @@ pub struct TreeIndex<L> {
     /// Lifetime query totals (lock-free; recorded by every query; shared
     /// across snapshot forks so a swap never resets counters).
     totals: Arc<IndexTotals>,
+    /// Planner decision state (observations are fed by every query even
+    /// while the planner is disabled, so [`explain`](Self::explain) and
+    /// a later [`with_planner(true)`](Self::with_planner) start informed).
+    plan: Arc<PlannerState<L>>,
+    /// Whether queries go through the adaptive planner (off by default;
+    /// the CLI and serving layers opt in).
+    planner_enabled: bool,
+    /// Whether the verifier is still the construction default — the only
+    /// verifier the planner may dispatch around, since all its arms
+    /// compute the same unit-cost distances. Cleared by
+    /// [`with_verifier`](Self::with_verifier) / `with_algorithm`.
+    default_verifier: bool,
 }
 
-/// A shrinking search radius shared by concurrent [`TreeIndex::top_k_shared`]
-/// runs over disjoint index shards: each shard publishes its current k-th
-/// distance the moment its heap fills, and prunes against the global
-/// minimum of everything published so far.
-///
-/// Soundness: a published radius only ever *shrinks* (lock-free min over
-/// non-negative distances), and every published value is some shard's
-/// current k-th distance, which is ≥ that shard's final k-th distance, which
-/// is ≥ the final *global* k-th distance (the union holds at least k
-/// neighbours at or below any single shard's k-th). So a candidate pruned
-/// by `bound > budget` has distance strictly above the final global k-th
-/// and cannot appear in the merged top-k, even via the id tie-break.
-#[derive(Debug)]
-pub struct RadiusBudget(AtomicU64);
+/// Adaptive-planner state, shared across snapshot forks like
+/// [`IndexTotals`] so what the planner has learned survives an epoch
+/// swap: the decision constants, the lock-free per-arm observation
+/// accumulators, and the cached stage-reordered pipeline.
+struct PlannerState<L> {
+    config: rted_plan::PlannerConfig,
+    obs: rted_plan::Observations,
+    /// The planner's current stage-order rebuild. `None` until the first
+    /// reorder; reads are the per-query fast path, the write lock is
+    /// taken only to publish a new order.
+    reordered: RwLock<Option<Arc<FilterPipeline<L>>>>,
+    /// Whether the base pipeline is the standard stage set — the only
+    /// pipeline the planner knows how to rebuild in a different order.
+    /// Custom pipelines always run in their construction order.
+    reorderable: bool,
+}
 
-impl RadiusBudget {
-    /// A fresh budget: no shard has published yet, the radius is infinite.
-    pub fn new() -> Self {
-        RadiusBudget(AtomicU64::new(f64::INFINITY.to_bits()))
-    }
-
-    /// The current global radius.
-    #[inline]
-    pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Acquire))
-    }
-
-    /// Shrinks the global radius to `radius` if it is smaller (lock-free
-    /// min; larger values are ignored so publications can race freely).
-    pub fn tighten(&self, radius: f64) {
-        let mut current = self.0.load(Ordering::Acquire);
-        while radius < f64::from_bits(current) {
-            match self.0.compare_exchange_weak(
-                current,
-                radius.to_bits(),
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => break,
-                Err(observed) => current = observed,
-            }
+impl<L> PlannerState<L> {
+    fn for_pipeline(pipeline: &FilterPipeline<L>) -> Self {
+        const STANDARD: [&str; 6] = ["size", "depth", "leaf", "degree", "histogram", "pqgram"];
+        let reorderable = pipeline.stages().len() == STANDARD.len()
+            && pipeline
+                .stages()
+                .iter()
+                .zip(STANDARD)
+                .all(|(stage, name)| stage.name() == name);
+        PlannerState {
+            config: rted_plan::PlannerConfig::default(),
+            obs: rted_plan::Observations::default(),
+            reordered: RwLock::new(None),
+            reorderable,
         }
-    }
-}
-
-impl Default for RadiusBudget {
-    fn default() -> Self {
-        Self::new()
     }
 }
 
@@ -389,6 +394,7 @@ where
     pub fn from_corpus(corpus: TreeCorpus<L>) -> Self {
         let pipeline = FilterPipeline::standard();
         let totals = Arc::new(IndexTotals::for_pipeline(&pipeline));
+        let plan = Arc::new(PlannerState::for_pipeline(&pipeline));
         TreeIndex {
             corpus,
             pipeline: Arc::new(pipeline),
@@ -399,6 +405,9 @@ where
             metric_config: MetricConfig::default(),
             metric: RwLock::new(None),
             totals,
+            plan,
+            planner_enabled: false,
+            default_verifier: true,
         }
     }
 
@@ -421,6 +430,9 @@ where
             metric_config: self.metric_config,
             metric: RwLock::new(relock(self.metric.read()).clone()),
             totals: Arc::clone(&self.totals),
+            plan: Arc::clone(&self.plan),
+            planner_enabled: self.planner_enabled,
+            default_verifier: self.default_verifier,
         }
     }
 
@@ -558,10 +570,11 @@ where
         self.totals.snapshot()
     }
 
-    /// Replaces the filter pipeline. Lifetime per-stage totals are reset
-    /// to match the new stage order.
+    /// Replaces the filter pipeline. Lifetime per-stage totals and
+    /// planner observations are reset to match the new stage order.
     pub fn with_pipeline(mut self, pipeline: FilterPipeline<L>) -> Self {
         self.totals = Arc::new(IndexTotals::for_pipeline(&pipeline));
+        self.plan = Arc::new(PlannerState::for_pipeline(&pipeline));
         self.pipeline = Arc::new(pipeline);
         self
     }
@@ -582,6 +595,11 @@ where
     /// are sound for that model.
     pub fn with_verifier(mut self, verifier: Box<dyn Verifier<L>>) -> Self {
         self.verifier = Arc::from(verifier);
+        // The planner's per-pair verifier dispatch is only
+        // answer-invariant over the construction default (all its arms
+        // compute unit-cost distances): a custom verifier is always
+        // called as given.
+        self.default_verifier = false;
         // Metric routing compares fresh distances against the mu radii
         // recorded at build time; a tree built under a different verifier
         // would prune with stale geometry. Drop it for a lazy rebuild.
@@ -618,6 +636,118 @@ where
         self.metric_config = config;
         *relock(self.metric.get_mut()) = None;
         self
+    }
+
+    /// Enables (or disables) the adaptive query planner.
+    ///
+    /// With the planner on, each `range`/`top_k`/`join` query re-decides
+    /// three things from the index's lifetime counters:
+    ///
+    /// * the **candidate generator** — linear size-window scan vs.
+    ///   metric-tree routing (when [`with_metric_tree`](Self::with_metric_tree)
+    ///   made the metric path available), by observed exact-TED
+    ///   computations per candidate on each arm;
+    /// * the **verifier per surviving pair** — Zhang–Shasha below a
+    ///   size-product cutoff, the bounded-τ kernel under a finite budget,
+    ///   full RTED otherwise (only while the verifier is still the
+    ///   construction default, whose arms all compute unit-cost
+    ///   distances);
+    /// * the **filter-stage order** — measured selectivity-per-cost,
+    ///   descending, with `size` pinned first (standard pipeline only).
+    ///
+    /// Every choice is answer-invariant: results are byte-identical to
+    /// any fixed configuration, only the work changes. Observations are
+    /// collected even while disabled, so enabling the planner later (or
+    /// asking [`explain`](Self::explain)) starts from real signals.
+    pub fn with_planner(mut self, enabled: bool) -> Self {
+        self.planner_enabled = enabled;
+        self
+    }
+
+    /// Whether the adaptive planner is steering queries.
+    pub fn planner_enabled(&self) -> bool {
+        self.planner_enabled
+    }
+
+    /// The decision record for a hypothetical next query: which candidate
+    /// generator the planner would pick (`budgeted` says whether the
+    /// query would carry a finite `tau`), the active stage order, the
+    /// verifier dispatch constants, and the observed per-arm rates that
+    /// drove the choice. Records the probed decision into the
+    /// `index_plan_*` counters like a real planned query.
+    pub fn explain(&self, budgeted: bool) -> rted_plan::PlanReport {
+        let metric_eligible = self.metric_enabled && budgeted && !self.corpus.is_empty();
+        let (gen, pipeline) = self.plan_query(metric_eligible);
+        rted_plan::PlanReport {
+            candidate_gen: gen,
+            stage_order: pipeline.stages().iter().map(|s| s.name()).collect(),
+            zs_cell_cutoff: self.plan.config.zs_cell_cutoff,
+            budgeted: budgeted && self.planner_enabled && self.default_verifier,
+            linear_rate: self.plan.obs.linear.rate(),
+            metric_rate: self.plan.obs.metric.rate(),
+            observed_queries: self.plan.obs.linear.queries() + self.plan.obs.metric.queries(),
+        }
+    }
+
+    /// One query's plan: the candidate generator and the pipeline to run.
+    /// With the planner disabled this is exactly the historical fixed
+    /// behavior (the configured generator, the construction stage order).
+    fn plan_query(&self, metric_eligible: bool) -> (CandidateGen, Arc<FilterPipeline<L>>) {
+        if !self.planner_enabled {
+            let gen = if metric_eligible {
+                CandidateGen::Metric
+            } else {
+                CandidateGen::Linear
+            };
+            return (gen, Arc::clone(&self.pipeline));
+        }
+        let gen = self.plan.obs.choose(metric_eligible);
+        self.totals.record_plan(gen);
+        (gen, self.planned_pipeline())
+    }
+
+    /// The stage order the planner wants right now: the base pipeline
+    /// until enough queries have been observed (or when it is not the
+    /// standard stage set), then the standard stages re-sorted by
+    /// measured selectivity-per-cost, rebuilt and cached whenever the
+    /// ranking moves. Reordering never changes answers — a pair is
+    /// pruned iff *any* stage bound reaches the threshold — it only
+    /// moves cheap-and-selective stages ahead so pruned pairs cost less.
+    fn planned_pipeline(&self) -> Arc<FilterPipeline<L>> {
+        if !self.plan.reorderable {
+            return Arc::clone(&self.pipeline);
+        }
+        let obs = &self.plan.obs;
+        if obs.linear.queries() + obs.metric.queries() < self.plan.config.reorder_after {
+            return Arc::clone(&self.pipeline);
+        }
+        let target = rted_plan::order_stages(&self.totals.stage_prune_counts());
+        let active = relock(self.plan.reordered.read())
+            .clone()
+            .unwrap_or_else(|| Arc::clone(&self.pipeline));
+        if active
+            .stages()
+            .iter()
+            .map(|s| s.name())
+            .eq(target.iter().copied())
+        {
+            return active;
+        }
+        // The ranking moved: publish the new order. Concurrent queries
+        // racing here at worst rebuild the same order twice.
+        let mut stages = standard_bounds::<L>();
+        stages.sort_by_key(|s| target.iter().position(|&n| n == s.name()));
+        let rebuilt = Arc::new(FilterPipeline::from_stages(stages));
+        *relock(self.plan.reordered.write()) = Some(Arc::clone(&rebuilt));
+        self.totals.record_plan_reorder();
+        rebuilt
+    }
+
+    /// The per-pair dispatching verifier, when the planner may use it
+    /// (planner on, construction-default verifier still installed).
+    fn planned_verifier(&self) -> Option<PlannedVerifier<'_>> {
+        (self.planner_enabled && self.default_verifier)
+            .then(|| PlannedVerifier::new(self.plan.config.zs_cell_cutoff, &self.totals))
     }
 
     /// A point-in-time view of the metric-tree state (never triggers a
@@ -671,12 +801,22 @@ where
     /// With [`with_metric_tree`](Self::with_metric_tree) enabled and a
     /// finite positive `tau`, candidates come from the vantage-point tree
     /// instead of the linear size window — identical results, fewer
-    /// candidates examined.
+    /// candidates examined. With [`with_planner`](Self::with_planner) the
+    /// generator, stage order and per-pair verifier are re-decided from
+    /// observed costs instead (still identical results).
     pub fn range(&self, query: &Tree<L>, tau: f64) -> QueryResult {
-        if self.metric_enabled && tau.is_finite() && tau > 0.0 && !self.corpus.is_empty() {
-            return self.range_metric(query, tau);
+        let metric_eligible =
+            self.metric_enabled && tau.is_finite() && tau > 0.0 && !self.corpus.is_empty();
+        let (gen, pipeline) = self.plan_query(metric_eligible);
+        let planned = self.planned_verifier();
+        let verifier: &dyn Verifier<L> = match &planned {
+            Some(pv) => pv,
+            None => self.verifier.as_ref(),
+        };
+        match gen {
+            CandidateGen::Metric => self.range_metric(query, tau, &pipeline, verifier),
+            CandidateGen::Linear => self.range_core(query, tau, verifier, &pipeline),
         }
-        self.range_with(query, tau, self.verifier.as_ref())
     }
 
     /// The query's sketch, profiled with the **corpus's** pq-gram params:
@@ -695,18 +835,29 @@ where
     }
 
     /// [`range`](Self::range) with an explicit (possibly borrowed) verifier.
+    /// Always the linear path in the construction stage order.
     pub fn range_with(&self, query: &Tree<L>, tau: f64, verifier: &dyn Verifier<L>) -> QueryResult {
+        self.range_core(query, tau, verifier, &Arc::clone(&self.pipeline))
+    }
+
+    fn range_core(
+        &self,
+        query: &Tree<L>,
+        tau: f64,
+        verifier: &dyn Verifier<L>,
+        pipeline: &Arc<FilterPipeline<L>>,
+    ) -> QueryResult {
         let start = Instant::now();
         let qsketch = self.query_sketch(query);
         let mut stats = SearchStats {
             candidates: self.corpus.len(),
-            filter: FilterStats::for_pipeline(&self.pipeline),
+            filter: FilterStats::for_pipeline(pipeline),
             ..SearchStats::default()
         };
 
         // The size-sorted window is the size stage, run as index arithmetic
         // instead of a per-candidate check.
-        let size_stage = self.leading_size_stage();
+        let size_stage = pipeline.leading_size_stage();
         let window: &[u32] = if size_stage.is_some() {
             self.corpus.size_window(qsketch.size, tau)
         } else {
@@ -726,13 +877,11 @@ where
             &self.policy,
             || self.scratch.take(),
             |ws, _, chunk| {
-                let mut out: ChunkOut<Neighbor> = ChunkOut::new(&self.pipeline);
+                let mut out: ChunkOut<Neighbor> = ChunkOut::new(pipeline);
                 for &id in chunk {
                     let entry = self.corpus.entry(id as usize);
                     if filters_active {
-                        if let Some(stage) =
-                            self.pipeline.prune_stage(&qsketch, entry.sketch(), tau)
-                        {
+                        if let Some(stage) = pipeline.prune_stage(&qsketch, entry.sketch(), tau) {
                             out.filter.record(stage, 1);
                             continue;
                         }
@@ -768,8 +917,26 @@ where
         }
         neighbors.sort_by_key(|n| n.id);
         stats.time = start.elapsed();
+        self.observe_linear(&stats);
         self.totals.record_query(QueryKind::Range, &stats);
         QueryResult { neighbors, stats }
+    }
+
+    /// Feeds one linear-path query into the planner's linear arm (always
+    /// on — see [`PlannerState`]).
+    fn observe_linear(&self, stats: &SearchStats) {
+        self.plan
+            .obs
+            .linear
+            .observe(stats.candidates as u64, stats.verified as u64);
+    }
+
+    /// Feeds one metric-path query into the planner's metric arm.
+    fn observe_metric(&self, stats: &SearchStats) {
+        self.plan
+            .obs
+            .metric
+            .observe(stats.candidates as u64, stats.verified as u64);
     }
 
     /// The `k` nearest corpus trees by exact distance (ties broken by id),
@@ -782,29 +949,23 @@ where
     /// identical for every thread count; with filters disabled every
     /// candidate is verified.
     pub fn top_k(&self, query: &Tree<L>, k: usize) -> QueryResult {
-        if self.metric_enabled && k > 0 && !self.corpus.is_empty() {
-            return self.top_k_metric(query, k);
+        let metric_eligible = self.metric_enabled && k > 0 && !self.corpus.is_empty();
+        let (gen, pipeline) = self.plan_query(metric_eligible);
+        let planned = self.planned_verifier();
+        let verifier: &dyn Verifier<L> = match &planned {
+            Some(pv) => pv,
+            None => self.verifier.as_ref(),
+        };
+        match gen {
+            CandidateGen::Metric => self.top_k_metric(query, k, &pipeline, verifier),
+            CandidateGen::Linear => self.top_k_inner(query, k, verifier, &pipeline),
         }
-        self.top_k_with(query, k, self.verifier.as_ref())
     }
 
     /// [`top_k`](Self::top_k) with an explicit (possibly borrowed) verifier.
+    /// Always the linear path in the construction stage order.
     pub fn top_k_with(&self, query: &Tree<L>, k: usize, verifier: &dyn Verifier<L>) -> QueryResult {
-        self.top_k_inner(query, k, verifier, None)
-    }
-
-    /// [`top_k`](Self::top_k) participating in a cross-shard radius
-    /// race: the run publishes its current k-th distance into `budget`
-    /// whenever its heap is full, and prunes against the global minimum —
-    /// so a shard holding only far neighbours stops verifying as soon as
-    /// any sibling shard has found k closer ones. Merging each shard's
-    /// result by `(distance, id)` and keeping the best k yields exactly
-    /// the unsharded neighbour set (see [`RadiusBudget`] for why pruning
-    /// against the shared radius is sound). Always takes the linear path:
-    /// metric-tree routing has its own radius schedule and does not
-    /// consult the budget.
-    pub fn top_k_shared(&self, query: &Tree<L>, k: usize, budget: &RadiusBudget) -> QueryResult {
-        self.top_k_inner(query, k, self.verifier.as_ref(), Some(budget))
+        self.top_k_inner(query, k, verifier, &Arc::clone(&self.pipeline))
     }
 
     fn top_k_inner(
@@ -812,17 +973,18 @@ where
         query: &Tree<L>,
         k: usize,
         verifier: &dyn Verifier<L>,
-        budget: Option<&RadiusBudget>,
+        pipeline: &Arc<FilterPipeline<L>>,
     ) -> QueryResult {
         let start = Instant::now();
         let qsketch = self.query_sketch(query);
         let mut stats = SearchStats {
             candidates: self.corpus.len(),
-            filter: FilterStats::for_pipeline(&self.pipeline),
+            filter: FilterStats::for_pipeline(pipeline),
             ..SearchStats::default()
         };
         if k == 0 || self.corpus.is_empty() {
             stats.time = start.elapsed();
+            self.observe_linear(&stats);
             self.totals.record_query(QueryKind::TopK, &stats);
             return QueryResult {
                 neighbors: Vec::new(),
@@ -833,7 +995,7 @@ where
         // Candidates ordered by |size − query size|: walk outward from the
         // query's position in the size-sorted view.
         let order = self.candidates_by_size_distance(qsketch.size);
-        let size_stage = self.leading_size_stage();
+        let size_stage = pipeline.leading_size_stage();
 
         // Max-heap on (distance, id): the top is the worst of the best k.
         // Capacity (and the batch schedule below) is sized from the
@@ -851,23 +1013,12 @@ where
         let batch_cap = (self.policy.chunk.max(1) * 4).max(batch);
         let mut pos = 0;
         while pos < order.len() {
-            let local = if heap.len() == k {
+            let radius = if heap.len() == k {
                 heap.peek()
                     .map(|&(OrdF64(d), _)| d)
                     .unwrap_or(f64::INFINITY)
             } else {
                 f64::INFINITY
-            };
-            let radius = match budget {
-                None => local,
-                Some(shared) => {
-                    // Publish before reading: our k-th distance may be the
-                    // one that lets a sibling shard stop.
-                    if local.is_finite() {
-                        shared.tighten(local);
-                    }
-                    local.min(shared.get())
-                }
             };
 
             // Select this batch's survivors at the current radius. Pruning
@@ -897,7 +1048,7 @@ where
                         break;
                     }
                 }
-                match self.pipeline.prune_stage_strict(&qsketch, sketch, radius) {
+                match pipeline.prune_stage_strict(&qsketch, sketch, radius) {
                     Some(stage) => stats.filter.record(stage, 1),
                     None => survivors.push(id),
                 }
@@ -919,7 +1070,7 @@ where
                 &self.policy,
                 || self.scratch.take(),
                 |ws, _, chunk| {
-                    let mut out: ChunkOut<(usize, f64)> = ChunkOut::new(&self.pipeline);
+                    let mut out: ChunkOut<(usize, f64)> = ChunkOut::new(pipeline);
                     for &id in chunk {
                         if let Some(d) = verify_bounded(
                             verifier,
@@ -956,6 +1107,7 @@ where
             .map(|(OrdF64(distance), id)| Neighbor { id, distance })
             .collect();
         stats.time = start.elapsed();
+        self.observe_linear(&stats);
         self.totals.record_query(QueryKind::TopK, &stats);
         QueryResult { neighbors, stats }
     }
@@ -968,23 +1120,41 @@ where
     /// verification run per surviving pair, parallelized over chunks of
     /// outer positions.
     pub fn join(&self, tau: f64) -> JoinOutcome {
-        if self.metric_enabled && tau.is_finite() && tau > 0.0 && self.corpus.len() > 1 {
-            return self.join_metric(tau);
+        let metric_eligible =
+            self.metric_enabled && tau.is_finite() && tau > 0.0 && self.corpus.len() > 1;
+        let (gen, pipeline) = self.plan_query(metric_eligible);
+        let planned = self.planned_verifier();
+        let verifier: &dyn Verifier<L> = match &planned {
+            Some(pv) => pv,
+            None => self.verifier.as_ref(),
+        };
+        match gen {
+            CandidateGen::Metric => self.join_metric(tau, &pipeline, verifier),
+            CandidateGen::Linear => self.join_core(tau, verifier, &pipeline),
         }
-        self.join_with(tau, self.verifier.as_ref())
     }
 
     /// [`join`](Self::join) with an explicit (possibly borrowed) verifier.
+    /// Always the linear path in the construction stage order.
     pub fn join_with(&self, tau: f64, verifier: &dyn Verifier<L>) -> JoinOutcome {
+        self.join_core(tau, verifier, &Arc::clone(&self.pipeline))
+    }
+
+    fn join_core(
+        &self,
+        tau: f64,
+        verifier: &dyn Verifier<L>,
+        pipeline: &Arc<FilterPipeline<L>>,
+    ) -> JoinOutcome {
         let start = Instant::now();
         let n = self.corpus.len();
         let mut stats = SearchStats {
             candidates: n.saturating_sub(1) * n / 2,
-            filter: FilterStats::for_pipeline(&self.pipeline),
+            filter: FilterStats::for_pipeline(pipeline),
             ..SearchStats::default()
         };
         let by_size = self.corpus.by_size();
-        let size_stage = self.leading_size_stage();
+        let size_stage = pipeline.leading_size_stage();
         // With `tau = ∞` no finite bound can reach the threshold: skip the
         // per-pair stage evaluation entirely.
         let filters_active = tau != f64::INFINITY;
@@ -994,7 +1164,7 @@ where
             &self.policy,
             || self.scratch.take(),
             |ws, chunk_start, chunk| {
-                let mut out: ChunkOut<JoinPair> = ChunkOut::new(&self.pipeline);
+                let mut out: ChunkOut<JoinPair> = ChunkOut::new(pipeline);
                 for (off, &i) in chunk.iter().enumerate() {
                     let p = chunk_start + off;
                     let si = self.corpus.sketch(i as usize);
@@ -1009,7 +1179,7 @@ where
                             }
                         }
                         if filters_active {
-                            if let Some(stage) = self.pipeline.prune_stage(si, sj, tau) {
+                            if let Some(stage) = pipeline.prune_stage(si, sj, tau) {
                                 out.filter.record(stage, 1);
                                 continue;
                             }
@@ -1054,6 +1224,7 @@ where
         }
         matches.sort_by_key(|m| (m.left, m.right));
         stats.time = start.elapsed();
+        self.observe_linear(&stats);
         self.totals.record_query(QueryKind::Join, &stats);
         JoinOutcome { matches, stats }
     }
@@ -1077,19 +1248,32 @@ where
         let start = Instant::now();
         let mut stats = SearchStats {
             candidates: self.corpus.len() * other.corpus.len(),
-            filter: FilterStats::for_pipeline(&self.pipeline),
             ..SearchStats::default()
         };
-        let size_stage = self.leading_size_stage();
+        // The cross-shard half-join is inherently linear (the two sides
+        // have independent id spaces), but the planner's stage order and
+        // per-pair verifier dispatch still apply.
+        let pipeline = if self.planner_enabled {
+            self.planned_pipeline()
+        } else {
+            Arc::clone(&self.pipeline)
+        };
+        stats.filter = FilterStats::for_pipeline(&pipeline);
+        let size_stage = pipeline.leading_size_stage();
         let filters_active = tau != f64::INFINITY;
-        let verifier = self.verifier.as_ref();
+        let planned = self.planned_verifier();
+        let verifier: &dyn Verifier<L> = match &planned {
+            Some(pv) => pv,
+            None => self.verifier.as_ref(),
+        };
+        let pipeline = &pipeline;
 
         let chunks = map_chunks_with(
             self.corpus.by_size(),
             &self.policy,
             || self.scratch.take(),
             |ws, _, chunk| {
-                let mut out: ChunkOut<JoinPair> = ChunkOut::new(&self.pipeline);
+                let mut out: ChunkOut<JoinPair> = ChunkOut::new(pipeline);
                 for &i in chunk {
                     let si = self.corpus.sketch(i as usize);
                     let window: &[u32] = if size_stage.is_some() {
@@ -1104,7 +1288,7 @@ where
                     for &j in window {
                         let sj = other.corpus.sketch(j as usize);
                         if filters_active {
-                            if let Some(stage) = self.pipeline.prune_stage(si, sj, tau) {
+                            if let Some(stage) = pipeline.prune_stage(si, sj, tau) {
                                 out.filter.record(stage, 1);
                                 continue;
                             }
@@ -1143,19 +1327,9 @@ where
         }
         matches.sort_by_key(|m| (m.left, m.right));
         stats.time = start.elapsed();
+        self.observe_linear(&stats);
         self.totals.record_query(QueryKind::Join, &stats);
         JoinOutcome { matches, stats }
-    }
-
-    /// The size stage, but only when it runs first — the sorted-size
-    /// window/early-break replaces a per-candidate stage check, which is
-    /// only faithful to the documented "first stage that reaches the
-    /// threshold prunes" counter semantics when no other stage precedes
-    /// it. Custom pipelines with `size` elsewhere fall back to evaluating
-    /// every stage per candidate, in order. Resolved once at pipeline
-    /// construction, not per query.
-    fn leading_size_stage(&self) -> Option<usize> {
-        self.pipeline.leading_size_stage()
     }
 
     /// Runs `f` against the metric tree, building it first if needed (the
@@ -1186,13 +1360,22 @@ where
         f(guard.as_ref().expect("tree built above"))
     }
 
-    /// [`range`](Self::range) through the vantage-point tree.
-    fn range_metric(&self, query: &Tree<L>, tau: f64) -> QueryResult {
+    /// [`range`](Self::range) through the vantage-point tree. The
+    /// verifier must compute the same distances as the one the tree was
+    /// built with (true for the planner's dispatch: all arms are exact
+    /// unit-cost).
+    fn range_metric(
+        &self,
+        query: &Tree<L>,
+        tau: f64,
+        pipeline: &Arc<FilterPipeline<L>>,
+        verifier: &dyn Verifier<L>,
+    ) -> QueryResult {
         let start = Instant::now();
         let qsketch = self.query_sketch(query);
         let mut stats = SearchStats {
             candidates: self.corpus.len(),
-            filter: FilterStats::for_pipeline(&self.pipeline),
+            filter: FilterStats::for_pipeline(pipeline),
             ..SearchStats::default()
         };
         let mut neighbors = Vec::new();
@@ -1204,8 +1387,8 @@ where
                 &qsketch,
                 tau,
                 None,
-                &self.pipeline,
-                self.verifier.as_ref(),
+                pipeline,
+                verifier,
                 ws.get(),
                 &mut neighbors,
                 &mut stats,
@@ -1213,17 +1396,24 @@ where
         });
         neighbors.sort_by_key(|n| n.id);
         stats.time = start.elapsed();
+        self.observe_metric(&stats);
         self.totals.record_query(QueryKind::Range, &stats);
         QueryResult { neighbors, stats }
     }
 
     /// [`top_k`](Self::top_k) through the vantage-point tree.
-    fn top_k_metric(&self, query: &Tree<L>, k: usize) -> QueryResult {
+    fn top_k_metric(
+        &self,
+        query: &Tree<L>,
+        k: usize,
+        pipeline: &Arc<FilterPipeline<L>>,
+        verifier: &dyn Verifier<L>,
+    ) -> QueryResult {
         let start = Instant::now();
         let qsketch = self.query_sketch(query);
         let mut stats = SearchStats {
             candidates: self.corpus.len(),
-            filter: FilterStats::for_pipeline(&self.pipeline),
+            filter: FilterStats::for_pipeline(pipeline),
             ..SearchStats::default()
         };
         let neighbors = self.with_metric(|vp| {
@@ -1233,13 +1423,14 @@ where
                 query,
                 &qsketch,
                 k,
-                &self.pipeline,
-                self.verifier.as_ref(),
+                pipeline,
+                verifier,
                 ws.get(),
                 &mut stats,
             )
         });
         stats.time = start.elapsed();
+        self.observe_metric(&stats);
         self.totals.record_query(QueryKind::TopK, &stats);
         QueryResult { neighbors, stats }
     }
@@ -1248,12 +1439,17 @@ where
     /// range query per corpus tree, reporting only partners with a larger
     /// id so each unordered pair is verified exactly once (in the same
     /// `(left, right)` operand order as the linear join).
-    fn join_metric(&self, tau: f64) -> JoinOutcome {
+    fn join_metric(
+        &self,
+        tau: f64,
+        pipeline: &Arc<FilterPipeline<L>>,
+        verifier: &dyn Verifier<L>,
+    ) -> JoinOutcome {
         let start = Instant::now();
         let n = self.corpus.len();
         let mut stats = SearchStats {
             candidates: n.saturating_sub(1) * n / 2,
-            filter: FilterStats::for_pipeline(&self.pipeline),
+            filter: FilterStats::for_pipeline(pipeline),
             ..SearchStats::default()
         };
         let mut matches = Vec::new();
@@ -1268,8 +1464,8 @@ where
                     entry.sketch(),
                     tau,
                     Some(i),
-                    &self.pipeline,
-                    self.verifier.as_ref(),
+                    pipeline,
+                    verifier,
                     ws.get(),
                     &mut found,
                     &mut stats,
@@ -1283,6 +1479,7 @@ where
         });
         matches.sort_by_key(|m| (m.left, m.right));
         stats.time = start.elapsed();
+        self.observe_metric(&stats);
         self.totals.record_query(QueryKind::Join, &stats);
         JoinOutcome { matches, stats }
     }

@@ -1,0 +1,246 @@
+//! Deterministic top-k over a striped (sharded) corpus.
+//!
+//! The sharded serving layer splits one logical corpus over `N` shard
+//! indexes, global id `g` living on shard `g % N` as local id `g / N`.
+//! Range queries and joins scatter-gather trivially — every per-pair
+//! decision depends only on the pair — but top-k is a *global* argmin:
+//! the search radius after `k` hits belongs to the union, not to any
+//! shard. The previous implementation ran one radius-racing `top_k` per
+//! shard against a shared atomic budget; results were exact, but the
+//! per-shard work counters depended on cross-thread publication timing,
+//! so `verified` was not reproducible run to run.
+//!
+//! [`TreeIndex::top_k_striped`] replaces that with one centralized
+//! driver replicating the single-index best-first batch algorithm over
+//! the merged candidate view: the same `(|size − q|, side, id)` visit
+//! order (on *global* ids), the same geometric batch schedule, the same
+//! batch-start radius — so the neighbour set **and every counter** are
+//! byte-identical to an unsharded index holding the union, for any
+//! shard count and thread count.
+
+use crate::exec::map_chunks_with;
+use crate::filter::FilterStats;
+use crate::totals::QueryKind;
+use crate::verify::{PlannedVerifier, Verifier};
+use crate::{verify_bounded, ChunkOut, Neighbor, OrdF64, QueryResult, SearchStats, TreeIndex};
+use rted_tree::Tree;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One merged-view candidate: where it lives and how big it is.
+#[derive(Clone, Copy)]
+struct Cand {
+    /// Global id (`local * N + shard`) — the merge/tie-break key.
+    global: usize,
+    /// Owning shard (index into the `shards` slice).
+    shard: u32,
+    /// Id within the owning shard's corpus.
+    local: u32,
+    /// Subtree size (copied out of the sketch once).
+    size: usize,
+}
+
+impl<L> TreeIndex<L>
+where
+    L: Eq + std::hash::Hash + Clone + Send + Sync + 'static,
+{
+    /// The `k` nearest trees across all `shards` by exact distance (ties
+    /// broken by **global** id), sorted by `(distance, id)` — exactly
+    /// the result (and counters) of [`top_k`](Self::top_k) on one index
+    /// holding the union corpus under global ids.
+    ///
+    /// `shards[0]` is the driver: its filter pipeline (planner-reordered
+    /// if enabled), execution policy, workspace pool and lifetime totals
+    /// serve the whole query; each surviving pair is verified by its
+    /// owning shard's verifier (with the planner's per-pair dispatch
+    /// when that shard allows it). The query is recorded once, into the
+    /// driver's totals and linear-arm observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn top_k_striped(shards: &[&TreeIndex<L>], query: &Tree<L>, k: usize) -> QueryResult {
+        assert!(!shards.is_empty(), "top_k_striped needs at least one shard");
+        if shards.len() == 1 {
+            return shards[0].top_k(query, k);
+        }
+        let driver = shards[0];
+        let start = Instant::now();
+        let qsketch = driver.query_sketch(query);
+        let pipeline = if driver.planner_enabled {
+            driver.planned_pipeline()
+        } else {
+            Arc::clone(&driver.pipeline)
+        };
+        let mut stats = SearchStats {
+            candidates: shards.iter().map(|s| s.corpus.len()).sum(),
+            filter: FilterStats::for_pipeline(&pipeline),
+            ..SearchStats::default()
+        };
+        if k == 0 || stats.candidates == 0 {
+            stats.time = start.elapsed();
+            driver.observe_linear(&stats);
+            driver.totals.record_query(QueryKind::TopK, &stats);
+            return QueryResult {
+                neighbors: Vec::new(),
+                stats,
+            };
+        }
+
+        let order = merged_by_size_distance(shards, qsketch.size);
+        let size_stage = pipeline.leading_size_stage();
+        // Per-shard verifier choice, resolved once: the planner's
+        // dispatching verifier where a shard allows it, that shard's own
+        // verifier otherwise.
+        let planned: Vec<Option<PlannedVerifier<'_>>> =
+            shards.iter().map(|s| s.planned_verifier()).collect();
+
+        // From here on this is `top_k_inner`'s batch loop verbatim, with
+        // `(shard, local)` lookups where the single index used `id` —
+        // see that function for the algorithmic commentary. Schedule
+        // constants must stay in lockstep for counter equality.
+        let k_eff = k.min(order.len());
+        let mut heap: BinaryHeap<(OrdF64, usize)> = BinaryHeap::with_capacity(k_eff + 1);
+        let mut batch = (2 * k_eff).max(16);
+        let batch_cap = (driver.policy.chunk.max(1) * 4).max(batch);
+        let mut pos = 0;
+        while pos < order.len() {
+            let radius = if heap.len() == k {
+                heap.peek()
+                    .map(|&(OrdF64(d), _)| d)
+                    .unwrap_or(f64::INFINITY)
+            } else {
+                f64::INFINITY
+            };
+
+            let mut survivors: Vec<Cand> = Vec::new();
+            let batch_end = (pos + batch).min(order.len());
+            batch = (batch * 2).min(batch_cap);
+            if radius == f64::INFINITY {
+                while pos < batch_end {
+                    survivors.push(order[pos]);
+                    pos += 1;
+                }
+            }
+            while pos < batch_end {
+                let cand = order[pos];
+                let sketch = shards[cand.shard as usize]
+                    .corpus
+                    .sketch(cand.local as usize);
+                if let Some(idx) = size_stage {
+                    let size_lb = (sketch.size as f64 - qsketch.size as f64).abs();
+                    if size_lb > radius {
+                        stats.filter.record(idx, (order.len() - pos) as u64);
+                        pos = order.len();
+                        break;
+                    }
+                }
+                match pipeline.prune_stage_strict(&qsketch, sketch, radius) {
+                    Some(stage) => stats.filter.record(stage, 1),
+                    None => survivors.push(cand),
+                }
+                pos += 1;
+            }
+
+            let chunk_outs = map_chunks_with(
+                &survivors,
+                &driver.policy,
+                || driver.scratch.take(),
+                |ws, _, chunk| {
+                    let mut out: ChunkOut<(usize, f64)> = ChunkOut::new(&pipeline);
+                    for cand in chunk {
+                        let shard = &shards[cand.shard as usize];
+                        let verifier: &dyn Verifier<L> = match &planned[cand.shard as usize] {
+                            Some(pv) => pv,
+                            None => shard.verifier.as_ref(),
+                        };
+                        if let Some(d) = verify_bounded(
+                            verifier,
+                            query,
+                            shard.corpus.tree(cand.local as usize),
+                            radius,
+                            ws.get(),
+                            &mut out,
+                        ) {
+                            out.found.push((cand.global, d));
+                        }
+                    }
+                    out
+                },
+            );
+            for out in chunk_outs {
+                stats.verified += out.verified;
+                stats.subproblems += out.subproblems;
+                stats.ted_time += out.ted_time;
+                stats.early_exits += out.early_exits;
+                stats.bounded_time += out.bounded_time;
+                for (id, distance) in out.found {
+                    heap.push((OrdF64(distance), id));
+                    if heap.len() > k {
+                        heap.pop();
+                    }
+                }
+            }
+        }
+
+        let neighbors: Vec<Neighbor> = heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(OrdF64(distance), id)| Neighbor { id, distance })
+            .collect();
+        stats.time = start.elapsed();
+        driver.observe_linear(&stats);
+        driver.totals.record_query(QueryKind::TopK, &stats);
+        QueryResult { neighbors, stats }
+    }
+}
+
+/// The merged best-first visit order: all live trees across all shards
+/// by `(|size − center|, below-side-first, global id)` — exactly
+/// `candidates_by_size_distance` run on the union corpus, where the
+/// union's `by_size` view is sorted by `(size, global id)`.
+fn merged_by_size_distance<L>(shards: &[&TreeIndex<L>], center: usize) -> Vec<Cand>
+where
+    L: Eq + std::hash::Hash + Clone + Send + Sync + 'static,
+{
+    let n = shards.len();
+    let mut by_size: Vec<Cand> = Vec::with_capacity(shards.iter().map(|s| s.corpus.len()).sum());
+    for (s, shard) in shards.iter().enumerate() {
+        for &local in shard.corpus.by_size() {
+            by_size.push(Cand {
+                global: local as usize * n + s,
+                shard: s as u32,
+                local,
+                size: shard.corpus.sketch(local as usize).size,
+            });
+        }
+    }
+    by_size.sort_by_key(|c| (c.size, c.global));
+
+    let split = by_size.partition_point(|c| c.size < center);
+    let mut order = Vec::with_capacity(by_size.len());
+    let (mut lo, mut hi) = (split, split);
+    while lo > 0 || hi < by_size.len() {
+        let below = (lo > 0).then(|| center - by_size[lo - 1].size);
+        let above = (hi < by_size.len()).then(|| by_size[hi].size - center);
+        // Same tie rule as the single-index walk: prefer the smaller
+        // size gap, and on ties the "below" side.
+        match (below, above) {
+            (Some(b), Some(a)) if b <= a => {
+                lo -= 1;
+                order.push(by_size[lo]);
+            }
+            (Some(_), None) => {
+                lo -= 1;
+                order.push(by_size[lo]);
+            }
+            (_, Some(_)) => {
+                order.push(by_size[hi]);
+                hi += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    order
+}

@@ -69,6 +69,18 @@ pub struct IndexTotals {
     /// Metric-tree routing TED computations, summed (included in
     /// `verified`).
     metric_routing_ted: Counter,
+    /// Planner decisions that selected the linear candidate generator.
+    plan_linear: Counter,
+    /// Planner decisions that selected the metric-tree generator.
+    plan_metric: Counter,
+    /// Times the planner changed the filter-stage execution order.
+    plan_reorders: Counter,
+    /// Pairs the planned verifier dispatched to Zhang–Shasha.
+    plan_zs_pairs: Counter,
+    /// Pairs the planned verifier dispatched to the bounded-τ kernel.
+    plan_bounded_pairs: Counter,
+    /// Pairs the planned verifier dispatched to full RTED.
+    plan_rted_pairs: Counter,
 }
 
 impl IndexTotals {
@@ -92,6 +104,12 @@ impl IndexTotals {
             verify_bounded_ns: Counter::new(),
             metric_nodes_visited: Counter::new(),
             metric_routing_ted: Counter::new(),
+            plan_linear: Counter::new(),
+            plan_metric: Counter::new(),
+            plan_reorders: Counter::new(),
+            plan_zs_pairs: Counter::new(),
+            plan_bounded_pairs: Counter::new(),
+            plan_rted_pairs: Counter::new(),
         }
     }
 
@@ -104,8 +122,19 @@ impl IndexTotals {
         }
         self.query_ns.add(duration_ns(stats.time));
         self.candidates.add(stats.candidates as u64);
-        for (counter, stage) in self.stage_prunes.iter().zip(&stats.filter.stages) {
-            counter.add(stage.pruned);
+        // Stage credit is matched by *name*, not position: a planned query
+        // may have run a reordered pipeline, and its per-stage counters
+        // must land on the lifetime counter of the same stage. The common
+        // aligned case short-circuits on the first comparison.
+        for (pos, stage) in stats.filter.stages.iter().enumerate() {
+            let slot = if self.stage_names.get(pos) == Some(&stage.stage) {
+                Some(pos)
+            } else {
+                self.stage_names.iter().position(|n| *n == stage.stage)
+            };
+            if let Some(i) = slot {
+                self.stage_prunes[i].add(stage.pruned);
+            }
         }
         self.verified.add(stats.verified as u64);
         self.subproblems.add(stats.subproblems);
@@ -154,6 +183,43 @@ impl IndexTotals {
         }
     }
 
+    /// Folds one planner candidate-generation decision in (a planned
+    /// query's chosen arm, or an `explain` probe's recommendation).
+    #[inline]
+    pub fn record_plan(&self, gen: rted_plan::CandidateGen) {
+        match gen {
+            rted_plan::CandidateGen::Linear => self.plan_linear.inc(),
+            rted_plan::CandidateGen::Metric => self.plan_metric.inc(),
+        }
+    }
+
+    /// Notes one applied filter-stage reorder.
+    #[inline]
+    pub fn record_plan_reorder(&self) {
+        self.plan_reorders.inc();
+    }
+
+    /// Notes one pair dispatched by the planned verifier. Lock-free and
+    /// allocation-free: called from verification worker threads.
+    #[inline]
+    pub(crate) fn record_plan_pair(&self, arm: PlanPair) {
+        match arm {
+            PlanPair::ZhangShasha => self.plan_zs_pairs.inc(),
+            PlanPair::Bounded => self.plan_bounded_pairs.inc(),
+            PlanPair::Rted => self.plan_rted_pairs.inc(),
+        }
+    }
+
+    /// Per-stage lifetime prune counts in construction order — the
+    /// planner's stage-reorder signal.
+    pub(crate) fn stage_prune_counts(&self) -> Vec<(&'static str, u64)> {
+        self.stage_names
+            .iter()
+            .zip(&self.stage_prunes)
+            .map(|(&name, counter)| (name, counter.get()))
+            .collect()
+    }
+
     /// A point-in-time copy of every total.
     pub fn snapshot(&self) -> TotalsSnapshot {
         TotalsSnapshot {
@@ -180,8 +246,25 @@ impl IndexTotals {
             verify_bounded_ns: self.verify_bounded_ns.get(),
             metric_nodes_visited: self.metric_nodes_visited.get(),
             metric_routing_ted: self.metric_routing_ted.get(),
+            plan_linear: self.plan_linear.get(),
+            plan_metric: self.plan_metric.get(),
+            plan_reorders: self.plan_reorders.get(),
+            plan_zs_pairs: self.plan_zs_pairs.get(),
+            plan_bounded_pairs: self.plan_bounded_pairs.get(),
+            plan_rted_pairs: self.plan_rted_pairs.get(),
         }
     }
+}
+
+/// Which verifier arm the planned dispatch sent a pair to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlanPair {
+    /// Zhang–Shasha (small pair, strategy overhead dominates).
+    ZhangShasha,
+    /// The bounded-τ early-exit kernel (a finite budget exists).
+    Bounded,
+    /// Full RTED.
+    Rted,
 }
 
 /// Saturating nanoseconds of a duration (u64 holds ~584 years).
@@ -225,6 +308,18 @@ pub struct TotalsSnapshot {
     pub metric_nodes_visited: u64,
     /// Metric-tree routing TED computations, summed.
     pub metric_routing_ted: u64,
+    /// Planner decisions for the linear candidate generator.
+    pub plan_linear: u64,
+    /// Planner decisions for the metric-tree generator.
+    pub plan_metric: u64,
+    /// Filter-stage reorders the planner applied.
+    pub plan_reorders: u64,
+    /// Pairs the planned verifier sent to Zhang–Shasha.
+    pub plan_zs_pairs: u64,
+    /// Pairs the planned verifier sent to the bounded-τ kernel.
+    pub plan_bounded_pairs: u64,
+    /// Pairs the planned verifier sent to full RTED.
+    pub plan_rted_pairs: u64,
 }
 
 impl TotalsSnapshot {
@@ -258,6 +353,12 @@ impl TotalsSnapshot {
         self.verify_bounded_ns += other.verify_bounded_ns;
         self.metric_nodes_visited += other.metric_nodes_visited;
         self.metric_routing_ted += other.metric_routing_ted;
+        self.plan_linear += other.plan_linear;
+        self.plan_metric += other.plan_metric;
+        self.plan_reorders += other.plan_reorders;
+        self.plan_zs_pairs += other.plan_zs_pairs;
+        self.plan_bounded_pairs += other.plan_bounded_pairs;
+        self.plan_rted_pairs += other.plan_rted_pairs;
     }
 
     /// Appends every total to an observability snapshot under stable
@@ -288,5 +389,11 @@ impl TotalsSnapshot {
             C(self.metric_nodes_visited),
         );
         snap.push("index_metric_routing_ted_total", C(self.metric_routing_ted));
+        snap.push("index_plan_linear_total", C(self.plan_linear));
+        snap.push("index_plan_metric_total", C(self.plan_metric));
+        snap.push("index_plan_reorders_total", C(self.plan_reorders));
+        snap.push("index_plan_zs_pairs_total", C(self.plan_zs_pairs));
+        snap.push("index_plan_bounded_pairs_total", C(self.plan_bounded_pairs));
+        snap.push("index_plan_rted_pairs_total", C(self.plan_rted_pairs));
     }
 }

@@ -6,6 +6,7 @@
 //! [`CostModel`] plug in — including borrowed cost models, since
 //! `CostModel` is implemented for references.
 
+use crate::totals::{IndexTotals, PlanPair};
 use rted_core::{
     ted_at_most_run, Algorithm, BoundedResult, CostModel, RunStats, UnitCost, Workspace,
 };
@@ -193,5 +194,99 @@ impl<L, C: CostModel<L> + Send + Sync> Verifier<L> for BoundedVerifier<C> {
 
     fn name(&self) -> &'static str {
         "bounded"
+    }
+}
+
+/// The planner's per-pair verifier portfolio — RTED's dynamic strategy
+/// selection lifted one level up. For each surviving candidate pair it
+/// picks the cheapest member of the exact **unit-cost** family:
+///
+/// * **Zhang–Shasha** (`Algorithm::ZhangL`) when the pair is small —
+///   `|f| · |g|` at or below the cutoff — so RTED's strategy
+///   computation would cost more than any subproblems it could save;
+/// * the **bounded-τ early-exit kernel** when the query supplies a
+///   finite budget (abandonment makes "no" answers nearly free);
+/// * **full RTED** otherwise.
+///
+/// All three arms compute the *same exact distance* under unit costs
+/// (Zhang–Shasha is one fixed LRH strategy; the bounded kernel returns
+/// `Exact(d)` identical to RTED whenever `d ≤ τ`), so query results are
+/// byte-identical to any fixed configuration — only the work changes.
+/// Because the arms are pinned to unit costs, the index only installs
+/// this dispatch over its *default* verifier; `with_verifier` /
+/// `with_algorithm` turn it off.
+///
+/// Each dispatch decision is counted into the owning index's
+/// `index_plan_{zs,bounded,rted}_pairs_total` metrics (lock-free — this
+/// runs on verification worker threads).
+#[derive(Clone, Copy)]
+pub(crate) struct PlannedVerifier<'a> {
+    zs_cell_cutoff: u64,
+    totals: &'a IndexTotals,
+}
+
+impl<'a> PlannedVerifier<'a> {
+    pub(crate) fn new(zs_cell_cutoff: u64, totals: &'a IndexTotals) -> Self {
+        PlannedVerifier {
+            zs_cell_cutoff,
+            totals,
+        }
+    }
+
+    fn small<L>(&self, f: &Tree<L>, g: &Tree<L>) -> bool {
+        (f.len() as u64).saturating_mul(g.len() as u64) <= self.zs_cell_cutoff
+    }
+}
+
+impl<'a, L: PartialEq + Send + Sync> Verifier<L> for PlannedVerifier<'a> {
+    fn verify(&self, f: &Tree<L>, g: &Tree<L>) -> RunStats {
+        self.verify_in(f, g, &mut Workspace::new())
+    }
+
+    fn verify_in(&self, f: &Tree<L>, g: &Tree<L>, ws: &mut Workspace) -> RunStats {
+        if self.small(f, g) {
+            self.totals.record_plan_pair(PlanPair::ZhangShasha);
+            Algorithm::ZhangL.run_in(f, g, &UnitCost, ws)
+        } else {
+            self.totals.record_plan_pair(PlanPair::Rted);
+            Algorithm::Rted.run_in(f, g, &UnitCost, ws)
+        }
+    }
+
+    fn verify_within(
+        &self,
+        f: &Tree<L>,
+        g: &Tree<L>,
+        tau: f64,
+        ws: &mut Workspace,
+    ) -> BoundedVerify {
+        if tau == f64::INFINITY || self.small(f, g) {
+            // No budget to exploit, or a pair so small that even the
+            // bounded kernel's band bookkeeping is overhead: run the
+            // chosen exact arm and classify — identical to the default
+            // `verify_within` contract.
+            let run = self.verify_in(f, g, ws);
+            let result = if run.distance <= tau {
+                BoundedResult::Exact(run.distance)
+            } else {
+                BoundedResult::Exceeds(run.distance)
+            };
+            return BoundedVerify {
+                result,
+                subproblems: run.subproblems,
+                early_exit: false,
+            };
+        }
+        self.totals.record_plan_pair(PlanPair::Bounded);
+        let run = ted_at_most_run(f, g, &UnitCost, tau, ws);
+        BoundedVerify {
+            result: run.result,
+            subproblems: run.subproblems,
+            early_exit: run.early_exit,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "planned"
     }
 }

@@ -39,6 +39,7 @@ pub(crate) enum OpKind {
     Metrics,
     Diff,
     Join,
+    Explain,
 }
 
 impl OpKind {
@@ -73,7 +74,7 @@ pub(crate) struct ServeMetrics {
     registry: Registry,
     started: Instant,
     /// Wall-clock handler latency per request type (queue wait excluded).
-    pub latency: [Arc<Histogram>; 10],
+    pub latency: [Arc<Histogram>; 11],
     /// Time requests spent queued before a worker picked them up.
     pub queue_wait_ns: Arc<Histogram>,
     /// Requests currently queued (not yet picked up).
@@ -125,6 +126,7 @@ impl ServeMetrics {
             r.histogram("serve_latency_metrics_ns"),
             r.histogram("serve_latency_diff_ns"),
             r.histogram("serve_latency_join_ns"),
+            r.histogram("serve_latency_explain_ns"),
         ];
         let shard_blocks = (0..shards.max(1))
             .map(|k| ShardMetrics {
@@ -174,8 +176,8 @@ impl ServeMetrics {
 
     /// Per-type request counts, in [`crate::proto::REQUEST_TYPE_NAMES`]
     /// order (which is [`OpKind`] discriminant order).
-    pub(crate) fn per_type_counts(&self) -> [u64; 10] {
-        let mut out = [0u64; 10];
+    pub(crate) fn per_type_counts(&self) -> [u64; 11] {
+        let mut out = [0u64; 11];
         for (slot, h) in out.iter_mut().zip(self.latency.iter()) {
             *slot = h.count();
         }
@@ -212,7 +214,7 @@ mod tests {
     #[test]
     fn per_type_counts_follow_latency_histograms() {
         let m = ServeMetrics::new(1);
-        assert_eq!(m.per_type_counts(), [0; 10]);
+        assert_eq!(m.per_type_counts(), [0; 11]);
         m.latency_of(OpKind::Distance).record(100);
         m.latency_of(OpKind::Distance).record(200);
         m.latency_of(OpKind::Status).record(50);
@@ -230,6 +232,10 @@ mod tests {
         assert_eq!(
             crate::proto::REQUEST_TYPE_NAMES[OpKind::Join as usize],
             "join"
+        );
+        assert_eq!(
+            crate::proto::REQUEST_TYPE_NAMES[OpKind::Explain as usize],
+            "explain"
         );
         assert_eq!(crate::proto::REQUEST_TYPE_NAMES.len(), m.latency.len());
     }

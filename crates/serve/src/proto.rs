@@ -24,6 +24,7 @@
 //! | `remove`   | `ids` (array of id numbers)              | `removed` (count actually live)                                              |
 //! | `status`   | —                                        | `status` object: `uptime_secs`, `live`, `id_bound`, `holes`, `segments`, `file_tombstones`, `workers`, `shards`, `requests`, `compactions`, `metric_built`, `metric_pending`, `metric_tombstones`, `requests_by_type` (per-op counts), `ops` (supported op names, for feature detection), `shard_live` / `shard_tombstones` (per-shard arrays), `tcp` (bound TCP address, present only when the TCP front-end is up), `metric_tree`, `persistent` |
 //! | `compact`  | —                                        | `compacted` (bool: anything reclaimed)                                       |
+//! | `explain`  | `tau` (number, omit = unbudgeted)        | `plan` object: `candidate_gen`, `stage_order` (array), `zs_cell_cutoff`, `budgeted`, `linear_rate` / `metric_rate` (number or `null` while unsampled), `observed_queries` — the planner's decision record for a hypothetical query with this `tau` |
 //! | `metrics`  | `format` (`"json"` \| `"prometheus"`)    | `metrics` object (name → value or histogram summary) / `exposition` (string) |
 //! | `shutdown` | —                                        | `bye` (then the stream ends)                                                 |
 //!
@@ -136,6 +137,14 @@ pub enum Request {
     },
     /// Service counters and corpus/store state.
     Status,
+    /// The adaptive planner's decision record for a hypothetical query
+    /// carrying this `tau` — what would run and the observed signals
+    /// driving the choice. Answered from shard 0 (all shards share one
+    /// configuration; observations differ only by routing).
+    Explain {
+        /// The hypothetical query's budget (`f64::INFINITY` = none).
+        tau: f64,
+    },
     /// Force a compaction now (persistent services only).
     Compact,
     /// The full telemetry snapshot: counters, gauges, and latency
@@ -224,7 +233,7 @@ pub struct StatusReport {
     /// Seconds since the server started.
     pub uptime_secs: u64,
     /// Requests served per type, in [`REQUEST_TYPE_NAMES`] order.
-    pub requests_by_type: [u64; 10],
+    pub requests_by_type: [u64; 11],
 }
 
 /// The single source of truth for worker-served op names: the order of
@@ -233,8 +242,9 @@ pub struct StatusReport {
 /// per-op latency histograms. `shutdown` is transport-level and is not
 /// listed. New ops are appended so existing indices (and metric names
 /// derived from them) never shift.
-pub const REQUEST_TYPE_NAMES: [&str; 10] = [
-    "range", "topk", "distance", "insert", "remove", "status", "compact", "metrics", "diff", "join",
+pub const REQUEST_TYPE_NAMES: [&str; 11] = [
+    "range", "topk", "distance", "insert", "remove", "status", "compact", "metrics", "diff",
+    "join", "explain",
 ];
 
 /// The service's answer to one [`Request`].
@@ -276,6 +286,8 @@ pub enum Response {
     Status(StatusReport),
     /// Answer to `compact` (`false` when there was nothing to reclaim).
     Compacted(bool),
+    /// Answer to `explain`: the planner's decision record.
+    Plan(rted_plan::PlanReport),
     /// Answer to `metrics` with `format: "json"`: every registered
     /// metric as a structured value.
     Metrics(rted_obs::Snapshot),
@@ -507,6 +519,17 @@ fn parse_request_value(v: &Value) -> Result<Request, String> {
             };
             Ok(Request::Metrics { format })
         }
+        "explain" => {
+            expect_keys(v, op, &["tau"])?;
+            let tau = match v.get("tau") {
+                None => f64::INFINITY,
+                Some(t) => t
+                    .as_f64()
+                    .filter(|t| !t.is_nan())
+                    .ok_or_else(|| field_err(op, "\"tau\" must be a number"))?,
+            };
+            Ok(Request::Explain { tau })
+        }
         "shutdown" => {
             expect_keys(v, op, &[])?;
             Ok(Request::Shutdown)
@@ -710,6 +733,36 @@ pub fn render_response_with(response: &Response, id: Option<&RequestId>) -> Stri
             out.push_str(if *reclaimed { "true" } else { "false" });
             out.push('}');
         }
+        Response::Plan(report) => {
+            out.push_str("\"ok\":true,\"plan\":{\"candidate_gen\":");
+            write_escaped(report.candidate_gen.name(), &mut out);
+            out.push_str(",\"stage_order\":[");
+            for (i, name) in report.stage_order.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(name, &mut out);
+            }
+            out.push_str("],\"zs_cell_cutoff\":");
+            write_number(report.zs_cell_cutoff as f64, &mut out);
+            out.push_str(",\"budgeted\":");
+            out.push_str(if report.budgeted { "true" } else { "false" });
+            for (key, rate) in [
+                ("linear_rate", report.linear_rate),
+                ("metric_rate", report.metric_rate),
+            ] {
+                out.push_str(",\"");
+                out.push_str(key);
+                out.push_str("\":");
+                match rate {
+                    Some(r) => write_number(r, &mut out),
+                    None => out.push_str("null"),
+                }
+            }
+            out.push_str(",\"observed_queries\":");
+            write_number(report.observed_queries as f64, &mut out);
+            out.push_str("}}");
+        }
         Response::Metrics(snap) => {
             out.push_str("\"ok\":true,\"metrics\":{");
             for (i, (name, value)) in snap.metrics.iter().enumerate() {
@@ -889,6 +942,15 @@ mod tests {
             parse_request(r#"{"op":"status"}"#).unwrap(),
             Request::Status
         ));
+        match parse_request(r#"{"op":"explain","tau":3}"#).unwrap() {
+            Request::Explain { tau } => assert_eq!(tau, 3.0),
+            other => panic!("{other:?}"),
+        }
+        // tau omitted = unbudgeted plan probe.
+        match parse_request(r#"{"op":"explain"}"#).unwrap() {
+            Request::Explain { tau } => assert_eq!(tau, f64::INFINITY),
+            other => panic!("{other:?}"),
+        }
         assert!(matches!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
@@ -977,6 +1039,8 @@ mod tests {
             r#"{"op":"status","x":1}"#,
             r#"{"op":"metrics","format":"xml"}"#, // unsupported format
             r#"{"op":"metrics","fmt":"json"}"#,   // typoed key
+            r#"{"op":"explain","tau":"2"}"#,      // non-numeric tau
+            r#"{"op":"explain","k":5}"#,          // unknown key
         ] {
             assert!(parse_request(bad).is_err(), "accepted: {bad}");
         }
@@ -1047,7 +1111,16 @@ mod tests {
                 metric_pending: 1,
                 metric_tombstones: 0,
                 uptime_secs: 12,
-                requests_by_type: [40, 5, 50, 1, 1, 1, 1, 0, 2, 4],
+                requests_by_type: [40, 5, 50, 1, 1, 1, 1, 0, 2, 4, 3],
+            }),
+            Response::Plan(rted_plan::PlanReport {
+                candidate_gen: rted_plan::CandidateGen::Linear,
+                stage_order: vec!["size", "depth"],
+                zs_cell_cutoff: 256,
+                budgeted: true,
+                linear_rate: Some(0.25),
+                metric_rate: None,
+                observed_queries: 8,
             }),
         ] {
             let line = render_response(&resp);
@@ -1077,18 +1150,18 @@ mod tests {
             metric_pending: 0,
             metric_tombstones: 0,
             uptime_secs: 7,
-            requests_by_type: [40, 5, 0, 0, 0, 1, 0, 0, 3, 2],
+            requests_by_type: [40, 5, 0, 0, 0, 1, 0, 0, 3, 2, 1],
         }));
         assert!(line.contains(r#""uptime_secs":7"#), "{line}");
         assert!(line.contains(r#""shards":3"#), "{line}");
         assert!(
-            line.contains(r#""requests_by_type":{"range":40,"topk":5,"distance":0,"insert":0,"remove":0,"status":1,"compact":0,"metrics":0,"diff":3,"join":2}"#),
+            line.contains(r#""requests_by_type":{"range":40,"topk":5,"distance":0,"insert":0,"remove":0,"status":1,"compact":0,"metrics":0,"diff":3,"join":2,"explain":1}"#),
             "{line}"
         );
         // Feature detection: the supported-op list is rendered verbatim
         // from REQUEST_TYPE_NAMES plus the transport-level shutdown.
         assert!(
-            line.contains(r#""ops":["range","topk","distance","insert","remove","status","compact","metrics","diff","join","shutdown"]"#),
+            line.contains(r#""ops":["range","topk","distance","insert","remove","status","compact","metrics","diff","join","explain","shutdown"]"#),
             "{line}"
         );
         // Per-shard arrays render aligned by shard number; the tcp
@@ -1128,8 +1201,26 @@ mod tests {
             metric_pending: 0,
             metric_tombstones: 0,
             uptime_secs: 0,
-            requests_by_type: [0; 10],
+            requests_by_type: [0; 11],
         }
+    }
+
+    #[test]
+    fn plan_responses_render_decision_records() {
+        let line = render_response(&Response::Plan(rted_plan::PlanReport {
+            candidate_gen: rted_plan::CandidateGen::Metric,
+            stage_order: vec!["size", "leaf", "depth"],
+            zs_cell_cutoff: 256,
+            budgeted: false,
+            linear_rate: Some(0.5),
+            metric_rate: None,
+            observed_queries: 12,
+        }));
+        assert_eq!(
+            line,
+            r#"{"ok":true,"plan":{"candidate_gen":"metric","stage_order":["size","leaf","depth"],"zs_cell_cutoff":256,"budgeted":false,"linear_rate":0.5,"metric_rate":null,"observed_queries":12}}"#
+        );
+        crate::json::parse(&line).unwrap();
     }
 
     #[test]

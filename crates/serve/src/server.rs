@@ -29,13 +29,14 @@
 //! * **Sharding.** The corpus is striped over N independent
 //!   [`TreeIndex`] shards: global id `g` lives on shard `g % N` as
 //!   local id `g / N`, so freshly assigned ids stay dense per shard and
-//!   the mapping needs no routing table. `range`/`top_k`/`join`
-//!   scatter-gather across every shard (`top_k` legs share one
-//!   shrinking radius through an atomic [`RadiusBudget`]);
-//!   `distance`/`diff` and mutations route to exactly the shards their
-//!   ids live on. Answers are byte-identical to a 1-shard server:
-//!   merges re-sort into the canonical order and every per-pair filter
-//!   decision is a pure function of the operands.
+//!   the mapping needs no routing table. `range`/`join` scatter-gather
+//!   across every shard; `top_k` runs the centralized striped driver
+//!   ([`TreeIndex::top_k_striped`]) over pinned snapshots of all
+//!   shards, so its counters — not just its answers — are
+//!   deterministic; `distance`/`diff` and mutations route to exactly
+//!   the shards their ids live on. Answers are byte-identical to a
+//!   1-shard server: merges re-sort into the canonical order and every
+//!   per-pair filter decision is a pure function of the operands.
 //! * **Queries** (`range`, `topk`, `distance`, `diff`, `join`) run
 //!   concurrently across workers against pinned snapshots. Each worker
 //!   borrows one [`Workspace`] from the shared [`WorkspacePool`] for
@@ -71,8 +72,8 @@ use crate::metrics::{ns_since, OpKind, ServeMetrics};
 use crate::proto::{MetricsFormat, Request, Response, StatusReport, TreeRef};
 use rted_core::{Workspace, WorkspaceStats};
 use rted_index::{
-    CorpusEntry, CorpusLog, CorpusStore, JoinPair, LogCounts, Neighbor, PersistError, RadiusBudget,
-    Recovery, RepairReport, TotalsSnapshot, TreeIndex, WorkspacePool,
+    CorpusEntry, CorpusLog, CorpusStore, JoinPair, LogCounts, Neighbor, PersistError, Recovery,
+    RepairReport, TotalsSnapshot, TreeIndex, WorkspacePool,
 };
 use rted_tree::Tree;
 use std::collections::VecDeque;
@@ -122,6 +123,14 @@ pub struct ServerConfig {
     /// the build spends O(n log n) exact distances, which only pays off
     /// for query-heavy, selective workloads.
     pub metric_tree: bool,
+    /// Let the adaptive planner steer each query (candidate generator,
+    /// per-pair verifier, filter-stage order) from the shards' lifetime
+    /// counters. Answer-invariant — results are byte-identical either
+    /// way — so it is on by default; turn it off to pin the fixed
+    /// configuration (the CLI's `--no-planner`). Used by
+    /// [`Server::open`] and [`Server::in_memory`]; [`Server::start`]
+    /// serves the index it is given as configured.
+    pub planner: bool,
 }
 
 impl Default for ServerConfig {
@@ -137,6 +146,7 @@ impl Default for ServerConfig {
             compact_fraction: Some(0.25),
             maintenance_interval: Duration::from_millis(100),
             metric_tree: false,
+            planner: true,
         }
     }
 }
@@ -409,7 +419,8 @@ impl Server {
             let (corpus, log) = store.into_parts();
             let index = TreeIndex::from_corpus(corpus)
                 .with_threads(cfg.query_threads.max(1))
-                .with_metric_tree(cfg.metric_tree);
+                .with_metric_tree(cfg.metric_tree)
+                .with_planner(cfg.planner);
             shards.push((index, Some(log)));
         }
         let server = Server::start_shards(shards, cfg);
@@ -432,7 +443,8 @@ impl Server {
             .map(|stripe| {
                 let index = TreeIndex::build(stripe)
                     .with_threads(cfg.query_threads.max(1))
-                    .with_metric_tree(cfg.metric_tree);
+                    .with_metric_tree(cfg.metric_tree)
+                    .with_planner(cfg.planner);
                 (index, None)
             })
             .collect();
@@ -542,6 +554,7 @@ fn op_kind(request: &Request) -> Option<OpKind> {
         Request::Remove { .. } => Some(OpKind::Remove),
         Request::Status => Some(OpKind::Status),
         Request::Compact => Some(OpKind::Compact),
+        Request::Explain { .. } => Some(OpKind::Explain),
         Request::Metrics { .. } => Some(OpKind::Metrics),
         Request::Shutdown => None,
     }
@@ -688,45 +701,28 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
                 };
             }
             let pins: Vec<Arc<TreeIndex<String>>> = (0..n).map(|s| shared.pin(s)).collect();
-            // Legs share the shrinking global radius: as soon as any
-            // shard holds k matches, every other shard prunes against
-            // that bound too.
-            let budget = RadiusBudget::new();
-            let mut legs = Vec::with_capacity(n);
-            std::thread::scope(|scope| {
-                let tree = &tree;
-                let budget = &budget;
-                let handles: Vec<_> = pins
-                    .iter()
-                    .enumerate()
-                    .map(|(s, pin)| {
-                        let m = shared.metrics.shard(s);
-                        scope.spawn(move || timed_leg(m, || pin.top_k_shared(tree, k, budget)))
-                    })
-                    .collect();
-                for h in handles {
-                    legs.push(h.join().expect("scatter leg panicked"));
-                }
-            });
-            let mut neighbors = Vec::new();
-            let (mut candidates, mut verified) = (0, 0);
-            for (s, leg) in legs.into_iter().enumerate() {
-                candidates += leg.stats.candidates;
-                verified += leg.stats.verified;
-                neighbors.extend(leg.neighbors.into_iter().map(|nb| Neighbor {
-                    id: shared.global_of(s, nb.id),
-                    distance: nb.distance,
-                }));
+            // One centralized driver over all pinned shards — the
+            // merged best-first walk answers (and counts) exactly like
+            // an unsharded index holding the union, deterministically.
+            // Every shard participates in the one pass, so each still
+            // gets a query-leg mark and the pass's wall time.
+            for s in 0..n {
+                shared.metrics.shard(s).depth.add(1);
             }
-            // Each leg is sorted by (distance, id) and keeps its local
-            // best k; the global best k is the best k of the union —
-            // byte-identical to the 1-shard answer.
-            neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
-            neighbors.truncate(k);
+            let started = Instant::now();
+            let refs: Vec<&TreeIndex<String>> = pins.iter().map(Arc::as_ref).collect();
+            let res = TreeIndex::top_k_striped(&refs, &tree, k);
+            let elapsed = ns_since(started);
+            for s in 0..n {
+                let m = shared.metrics.shard(s);
+                m.scatter_ns.record(elapsed);
+                m.queries.inc();
+                m.depth.add(-1);
+            }
             Response::Neighbors {
-                neighbors,
-                candidates,
-                verified,
+                neighbors: res.neighbors,
+                candidates: res.stats.candidates,
+                verified: res.stats.verified,
             }
         }
         Request::Join { tau } => {
@@ -1179,6 +1175,13 @@ fn handle(shared: &Shared, ws: &mut Workspace, request: Request) -> Response {
                 MetricsFormat::Json => Response::Metrics(snap),
                 MetricsFormat::Prometheus => Response::MetricsText(snap.render_prometheus()),
             }
+        }
+        Request::Explain { tau } => {
+            // All shards share one configuration and the same planner
+            // constants; shard 0 (the striped top-k driver) holds the
+            // observations that steer cross-shard queries, so its
+            // decision record is the service's.
+            Response::Plan(shared.pin(0).explain(tau != f64::INFINITY))
         }
         Request::Shutdown => {
             Response::Error("shutdown is handled by the connection front-end".into())

@@ -654,3 +654,78 @@ fn bounded_distance_answers_exact_or_certified_exceeds() {
     }
     server.shutdown();
 }
+
+/// The `explain` op surfaces the planner's decision record, and planned
+/// queries feed the `index_plan_*` counters — while `--no-planner`
+/// (config `planner: false`) pins the fixed configuration.
+#[test]
+fn explain_reports_planner_decisions() {
+    use rted_serve::MetricsFormat;
+    let server = Server::in_memory(
+        gen_trees(12, 900),
+        ServerConfig {
+            workers: 1,
+            shards: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = server.client();
+    // A budgeted probe: no metric tree, so the generator is linear; the
+    // default verifier is intact, so a finite tau plans the bounded arm.
+    match client.call(Request::Explain { tau: 2.0 }) {
+        Response::Plan(report) => {
+            assert_eq!(report.candidate_gen.name(), "linear");
+            assert!(report.budgeted);
+            assert_eq!(report.stage_order[0], "size");
+            assert_eq!(report.stage_order.len(), 6);
+        }
+        other => panic!("{other:?}"),
+    }
+    // An unbudgeted probe plans the exact arm above the ZS cutoff.
+    match client.call(Request::Explain { tau: f64::INFINITY }) {
+        Response::Plan(report) => assert!(!report.budgeted),
+        other => panic!("{other:?}"),
+    }
+    // Planned queries count their decisions.
+    match client.call(Request::Range {
+        tree: gen_trees(1, 901).pop().unwrap(),
+        tau: 2.0,
+    }) {
+        Response::Neighbors { .. } => {}
+        other => panic!("{other:?}"),
+    }
+    match client.call(Request::Metrics {
+        format: MetricsFormat::Json,
+    }) {
+        Response::Metrics(snap) => {
+            let counter = |name: &str| match snap.get(name) {
+                Some(rted_obs::MetricValue::Counter(v)) => *v,
+                other => panic!("{name}: {other:?}"),
+            };
+            // Two explain probes + one range over two shards.
+            assert!(counter("index_plan_linear_total") >= 3);
+            assert_eq!(counter("index_plan_metric_total"), 0);
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+
+    // planner: false serves the historical fixed configuration and
+    // reports it as such.
+    let fixed = Server::in_memory(
+        gen_trees(6, 910),
+        ServerConfig {
+            workers: 1,
+            planner: false,
+            ..ServerConfig::default()
+        },
+    );
+    match fixed.call(Request::Explain { tau: 2.0 }) {
+        Response::Plan(report) => {
+            assert_eq!(report.candidate_gen.name(), "linear");
+            assert!(!report.budgeted, "planner off never plans the bounded arm");
+        }
+        other => panic!("{other:?}"),
+    }
+    fixed.shutdown();
+}

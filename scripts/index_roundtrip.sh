@@ -70,6 +70,28 @@ diff "$WORK/metric.out" "$WORK/linear.out" || fail "metric vs linear topk"
 "$RTED" join --index "$WORK/corpus.idx" --tau 7 2>/dev/null > "$WORK/metric.out"
 "$RTED" join --index "$WORK/corpus.idx" --tau 7 --no-metric-tree 2>/dev/null > "$WORK/linear.out"
 diff "$WORK/metric.out" "$WORK/linear.out" || fail "metric vs linear join"
+# --- 2c. The adaptive planner must be invisible in results --------------
+# Planner on (the default) vs --no-planner, and vs the fully fixed
+# configuration (--no-planner --no-metric-tree): byte-identical output.
+"$RTED" search --index "$WORK/corpus.idx" "$QUERY" --tau 9 2>/dev/null > "$WORK/plan.out"
+"$RTED" search --index "$WORK/corpus.idx" "$QUERY" --tau 9 --no-planner 2>/dev/null > "$WORK/fixed.out"
+diff "$WORK/plan.out" "$WORK/fixed.out" || fail "planner vs fixed search"
+"$RTED" search --index "$WORK/corpus.idx" "$QUERY" --tau 9 --no-planner --no-metric-tree 2>/dev/null \
+    | diff - "$WORK/plan.out" || fail "planner vs fixed-linear search"
+"$RTED" topk --index "$WORK/corpus.idx" "$QUERY" --k 5 2>/dev/null > "$WORK/plan.out"
+"$RTED" topk --index "$WORK/corpus.idx" "$QUERY" --k 5 --no-planner 2>/dev/null > "$WORK/fixed.out"
+diff "$WORK/plan.out" "$WORK/fixed.out" || fail "planner vs fixed topk"
+"$RTED" join --index "$WORK/corpus.idx" --tau 7 2>/dev/null > "$WORK/plan.out"
+"$RTED" join --index "$WORK/corpus.idx" --tau 7 --no-planner 2>/dev/null > "$WORK/fixed.out"
+diff "$WORK/plan.out" "$WORK/fixed.out" || fail "planner vs fixed join"
+# `index info --stats` reports the planner's decisions and cost model.
+"$RTED" index info "$WORK/corpus.idx" --stats > "$WORK/stats.out" 2>/dev/null
+grep -q "planner report" "$WORK/stats.out" || fail "stats lost the planner report"
+grep -q "candidate_gen" "$WORK/stats.out" || fail "stats lost the candidate_gen decision"
+grep -q "stage_order" "$WORK/stats.out" || fail "stats lost the stage order"
+grep -q "verifier mix" "$WORK/stats.out" || fail "stats lost the verifier mix counters"
+grep -q "ns/subproblem" "$WORK/stats.out" || fail "stats lost the verifier cost model"
+
 # A --pq override re-profiles in memory; results must not change.
 "$RTED" search --index "$WORK/corpus.idx" "$QUERY" --tau 9 --pq 3,2 --no-metric-tree 2>/dev/null \
     > "$WORK/pq.out"
@@ -180,4 +202,4 @@ grep -q "format version  2" "$WORK/v1up.info" || fail "v1 file not upgraded by u
 grep -q "(stored)" "$WORK/v1up.info" || fail "upgraded file must store profiles"
 [[ $(("$("$RTED" index dump "$WORK/v1.idx" | wc -l)")) -eq 36 ]] || fail "upgrade lost trees"
 
-echo "index-roundtrip OK: persistent and in-memory paths agree (search/topk/join, metric and linear), damage rejected, v1 opens and upgrades"
+echo "index-roundtrip OK: persistent and in-memory paths agree (search/topk/join, metric and linear, planner and fixed), damage rejected, v1 opens and upgrades"

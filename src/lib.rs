@@ -22,6 +22,9 @@
 //! * [`obs`] — lock-free, allocation-free-at-record-time metrics:
 //!   counters, gauges, log₂ latency histograms, Prometheus-style text
 //!   exposition ([`rted_obs`]);
+//! * [`plan`] — the adaptive query planner's decision core: observed
+//!   crossover between candidate generators, per-pair verifier choice,
+//!   selectivity-per-cost stage ordering ([`rted_plan`]);
 //! * [`serve`] — the crash-safe, long-lived query service over a
 //!   persistent corpus: request queue + worker pool, torn-tail recovery
 //!   on startup, background compaction, scrape-able telemetry
@@ -67,6 +70,7 @@ pub use rted_datasets as datasets;
 pub use rted_index as index;
 pub use rted_join as join;
 pub use rted_obs as obs;
+pub use rted_plan as plan;
 pub use rted_serve as serve;
 pub use rted_tree as tree;
 
